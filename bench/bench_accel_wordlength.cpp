@@ -1,0 +1,59 @@
+// Accelerator-level extension of Fig. 2: end-to-end ShallowCaps inference
+// latency and energy on a CapsAcc-style 16x16 systolic array, across
+// uniform wordlengths — and for a Q-CapsNets mixed-precision result.
+//
+// Expected shape: energy drops superlinearly with wordlength (quadratic MAC
+// cost + fewer DRAM passes once the weights fit on-chip); latency improves
+// when multi-pass execution disappears.
+#include <cstdio>
+
+#include "accel/systolic.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qcaps;
+  std::printf("=== Accelerator roll-up — ShallowCaps on a 16x16 systolic "
+              "array ===\n\n");
+  const auto arch = models::shallow_caps_desc();
+  accel::SystolicConfig cfg;
+
+  std::printf("%10s %12s %14s %12s %10s\n", "bits", "cycles", "latency (us)",
+              "energy (uJ)", "passes");
+  for (const int bits : {32, 16, 12, 8, 6, 4}) {
+    const auto wls = accel::workloads_from_arch(arch, bits, bits);
+    const auto t = accel::simulate_network(cfg, wls);
+    std::int64_t passes = 0;
+    for (const auto& l : t.layers) passes += l.passes;
+    std::printf("%10d %12lld %14.1f %12.2f %10lld\n", bits,
+                static_cast<long long>(t.total_cycles), t.latency_us(cfg),
+                t.total_pj / 1e6, static_cast<long long>(passes));
+  }
+
+  // A Q-CapsNets-style mixed-precision point (Fig. 11 Q1 analogue:
+  // descending weight wordlengths 8/7/6, activations 7/5/5).
+  core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  spec.layers[0].qw_frac = 7;
+  spec.layers[1].qw_frac = 6;
+  spec.layers[2].qw_frac = 5;
+  spec.layers[0].qa_frac = 6;
+  spec.layers[1].qa_frac = 4;
+  spec.layers[2].qa_frac = 4;
+  std::vector<accel::LayerWorkload> wls =
+      accel::workloads_from_arch(arch, 32, 32);
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    wls[i].weight_bits = spec.layers[i].weight_wordlength();
+    wls[i].act_bits = spec.layers[i].act_wordlength();
+  }
+  const auto t = accel::simulate_network(cfg, wls);
+  std::printf("\nQ-CapsNets mixed precision (W 8/7/6, A 7/5/5 bits):\n%s\n",
+              accel::to_table(cfg, t).c_str());
+
+  const auto fp32 =
+      accel::simulate_network(cfg, accel::workloads_from_arch(arch, 32, 32));
+  std::printf("Energy vs FP32: %.1fx lower; latency: %.1fx lower.\n",
+              fp32.total_pj / t.total_pj,
+              static_cast<double>(fp32.total_cycles) /
+                  static_cast<double>(t.total_cycles));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Extension (via the paper's reference [6], Deep Compression): how much
+// additional lossless memory reduction does Huffman coding buy on top of a
+// Q-CapsNets fixed-point result?
+//
+// For each weighted layer of the trained ShallowCaps at Fig.-11-style
+// wordlengths, reports symbol entropy, exact Huffman bits/weight, and the
+// combined (quantization x Huffman) reduction over FP32.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fixed/entropy.hpp"
+
+int main() {
+  using namespace qcaps;
+  std::printf("=== Huffman coding on top of Q-CapsNets quantization ===\n\n");
+  const data::DataSplit split = bench::digits_split();
+  auto trained = bench::shallow_on(split, "digits", data::AugmentPolicy::mnist());
+
+  // Fig.-11-style descending weight wordlengths: 8/7/6 total bits.
+  const int frac_bits[] = {7, 6, 5};
+  const auto widx = trained.net->weighted_layers();
+  std::printf("%-18s %6s %10s %12s %12s %14s\n", "layer", "bits", "symbols",
+              "entropy", "Huffman", "total vs FP32");
+  double fixed_total = 0.0, huff_total = 0.0, fp32_total = 0.0;
+  for (std::size_t l = 0; l < widx.size(); ++l) {
+    auto& layer = trained.net->layer(widx[l]);
+    const fixed::FixedFormat fmt(1, frac_bits[l]);
+    // Analyze the layer's main weight tensor (params()[0]).
+    const tensor::Tensor& w = *layer.params()[0];
+    const auto stats = fixed::quantize_and_analyze(
+        w, fmt, fixed::RoundingScheme::kRoundToNearest);
+    const double n = static_cast<double>(w.numel());
+    fixed_total += n * stats.wordlength;
+    huff_total += n * stats.huffman_bits;
+    fp32_total += n * 32.0;
+    std::printf("%-18s %6d %10lld %9.2f b %9.2f b %13.2fx\n",
+                layer.name().c_str(), stats.wordlength,
+                static_cast<long long>(stats.distinct_symbols),
+                stats.entropy_bits, stats.huffman_bits,
+                32.0 / stats.huffman_bits);
+  }
+  std::printf("\nNetwork: fixed-point alone %.2fx, + Huffman %.2fx over FP32 "
+              "(Huffman adds %.2fx)\n",
+              fp32_total / fixed_total, fp32_total / huff_total,
+              fixed_total / huff_total);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Paper Fig. 11: Q-CapsNets on ShallowCaps / MNIST — per-layer fractional
+// bits (weights, activations, dynamic routing) and memory reductions for:
+//   [Q1] model_satisfied  — Path A, budget ~0.21x FP32 (paper: 45/217 Mbit)
+//   [Q2] model_accuracy   — Path B under a very low budget
+//   [Q3] model_memory     — Path B under a very low budget
+//
+// Expected shape (paper): Q1 reduces weight memory ~4x at <0.2% accuracy
+// loss with the DR arrays at very few bits; Q3's extreme budget collapses
+// accuracy (17.47% in the paper); Q2 keeps accuracy at minimal memory.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qcaps;
+  std::printf("=== Fig. 11 — ShallowCaps on synth-MNIST ===\n\n");
+  const data::DataSplit split = bench::digits_split();
+  auto trained = bench::shallow_on(split, "digits", data::AugmentPolicy::mnist());
+  std::printf("FP32 accuracy: %.2f%% (paper: 99.67%%)\n\n",
+              trained.fp32_accuracy * 100.0f);
+
+  core::Evaluator probe(*trained.net, split.test, 384);
+  const std::int64_t fp32_bits = probe.memory().weight_bits_fp32();
+
+  // ---- Path A: budget 0.21x FP32, tolerance 0.2% (the paper's setting) ----
+  core::FrameworkConfig cfg_a;
+  cfg_a.acc_tolerance = 0.002;
+  cfg_a.memory_budget_bits = static_cast<std::int64_t>(0.21 * static_cast<double>(fp32_bits));
+  cfg_a.eval_samples = 384;
+  cfg_a.verbose = false;
+  const core::FrameworkResult res_a =
+      core::run_qcapsnets(*trained.net, split.test, cfg_a);
+  std::printf("--- Path A run (budget %.1f%% of FP32) ---\n%s\n",
+              21.0, core::report(res_a, probe.memory()).c_str());
+
+  // ---- Path B: extreme budget (6% of FP32), as in the paper's Q2/Q3 test --
+  core::FrameworkConfig cfg_b = cfg_a;
+  cfg_b.memory_budget_bits = static_cast<std::int64_t>(0.06 * static_cast<double>(fp32_bits));
+  const core::FrameworkResult res_b =
+      core::run_qcapsnets(*trained.net, split.test, cfg_b);
+  std::printf("--- Path B run (budget %.1f%% of FP32) ---\n%s\n", 6.0,
+              core::report(res_b, probe.memory()).c_str());
+
+  // ---- Fig. 11 summary lines ----------------------------------------------
+  std::printf("--- summary (Fig. 11 legend format) ---\n");
+  if (res_a.model_satisfied)
+    bench::print_model_row("ShallowCaps", "synth-MNIST", "[Q1] satisfied",
+                           *res_a.model_satisfied);
+  if (res_b.model_accuracy)
+    bench::print_model_row("ShallowCaps", "synth-MNIST", "[Q2] accuracy",
+                           *res_b.model_accuracy);
+  if (res_b.model_memory)
+    bench::print_model_row("ShallowCaps", "synth-MNIST", "[Q3] memory",
+                           *res_b.model_memory);
+  return 0;
+}

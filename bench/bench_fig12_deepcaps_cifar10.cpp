@@ -1,0 +1,53 @@
+// Paper Fig. 12: Q-CapsNets on DeepCaps / CIFAR10 — per-layer (per-block)
+// fractional bits and memory reductions, including the Q4 (Path A) and Q5
+// (Path B accuracy model) operating points.
+//
+// Expected shape (paper): ~6x weight-memory reduction at ~0.15% accuracy
+// loss on Path A; the routed block and L6 tolerate lower QDR than Qa; an
+// extreme budget (last legend row, 19.76x) collapses accuracy to chance.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace qcaps;
+  std::printf("=== Fig. 12 — DeepCaps on synth-CIFAR10 ===\n\n");
+  const data::DataSplit split = bench::cifar_split();
+  auto trained = bench::deep_on(split, "cifar", data::AugmentPolicy::cifar10());
+  std::printf("FP32 accuracy: %.2f%% (paper: 91.26%% on real CIFAR10)\n\n",
+              trained.fp32_accuracy * 100.0f);
+
+  core::Evaluator probe(*trained.net, split.test, 256);
+  const std::int64_t fp32_bits = probe.memory().weight_bits_fp32();
+
+  // ---- Path A: budget 0.25x FP32, tolerance 0.3% --------------------------
+  core::FrameworkConfig cfg_a;
+  cfg_a.acc_tolerance = 0.003;
+  cfg_a.memory_budget_bits = static_cast<std::int64_t>(0.25 * static_cast<double>(fp32_bits));
+  cfg_a.eval_samples = 256;
+  cfg_a.verbose = false;
+  const core::FrameworkResult res_a =
+      core::run_qcapsnets(*trained.net, split.test, cfg_a);
+  std::printf("--- Path A run (budget 25%% of FP32) ---\n%s\n",
+              core::report(res_a, probe.memory()).c_str());
+
+  // ---- Path B: extreme budget (5% of FP32) --------------------------------
+  core::FrameworkConfig cfg_b = cfg_a;
+  cfg_b.memory_budget_bits = static_cast<std::int64_t>(0.05 * static_cast<double>(fp32_bits));
+  const core::FrameworkResult res_b =
+      core::run_qcapsnets(*trained.net, split.test, cfg_b);
+  std::printf("--- Path B run (budget 5%% of FP32) ---\n%s\n",
+              core::report(res_b, probe.memory()).c_str());
+
+  std::printf("--- summary (Fig. 12 legend format) ---\n");
+  if (res_a.model_satisfied)
+    bench::print_model_row("DeepCaps", "synth-CIFAR10", "[Q4] satisfied",
+                           *res_a.model_satisfied);
+  if (res_b.model_accuracy)
+    bench::print_model_row("DeepCaps", "synth-CIFAR10", "[Q5] accuracy",
+                           *res_b.model_accuracy);
+  if (res_b.model_memory)
+    bench::print_model_row("DeepCaps", "synth-CIFAR10", "extreme memory",
+                           *res_b.model_memory);
+  return 0;
+}

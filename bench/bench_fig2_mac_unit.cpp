@@ -1,0 +1,24 @@
+// Paper Fig. 2: energy (pJ) and area (µm²) of a fixed-point MAC unit as a
+// function of operand wordlength (4..32 bits).
+//
+// Expected shape: both curves grow quadratically; the 32-bit point sits at
+// ~1.4 pJ / ~10800 µm² (UMC 65 nm calibration — see src/hwmodel).
+#include <cstdio>
+
+#include "hwmodel/cost_model.hpp"
+
+int main() {
+  using namespace qcaps::hwmodel;
+  std::printf("=== Fig. 2 — fixed-point MAC unit cost vs wordlength ===\n\n");
+  std::printf("%10s %14s %14s\n", "bits", "energy (pJ)", "area (um^2)");
+  const MacUnitModel model;
+  for (int bits = 4; bits <= 32; bits += 4) {
+    const UnitCost c = model.cost(bits);
+    std::printf("%10d %14.3f %14.0f\n", bits, c.energy_pj, c.area_um2);
+  }
+  const double ratio =
+      model.cost(32).energy_pj / model.cost(8).energy_pj;
+  std::printf("\n32-bit vs 8-bit energy ratio: %.1fx (quadratic trend: ~16x)\n",
+              ratio);
+  return 0;
+}

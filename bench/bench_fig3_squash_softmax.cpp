@@ -1,0 +1,101 @@
+// Paper Fig. 3: energy and area of the squash (left) and softmax (right)
+// hardware modules vs the number of fractional bits (2..8, one integer bit).
+//
+// Expected shape: quadratic growth; both units are several times more
+// expensive than a MAC of comparable width — the motivation for quantizing
+// the dynamic-routing arrays harder than everything else.
+//
+// The table also cross-checks the bit-accurate functional simulations of the
+// two units against their float references at each width.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "hwmodel/units.hpp"
+
+namespace {
+
+/// Worst-case |error| of the bit-accurate squash unit vs float, in ULPs of
+/// the io format, over random capsule vectors.
+double squash_sim_error_ulp(int frac_bits) {
+  using namespace qcaps;
+  const fixed::FixedFormat io(2, frac_bits);
+  hwmodel::SquashUnit unit(io);
+  common::Rng rng(42);
+  double worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<hwmodel::FixedNum> s;
+    std::vector<double> ref;
+    for (int i = 0; i < 8; ++i) {
+      s.push_back(hwmodel::FixedNum::from_double(rng.uniform(-1.0f, 1.0f), io));
+      ref.push_back(s.back().to_double());
+    }
+    double nsq = 0.0;
+    for (const auto x : ref) nsq += x * x;
+    // v_i = s_i * ||s|| / (1 + ||s||^2)
+    const double gain = nsq > 0.0 ? std::sqrt(nsq) / (1.0 + nsq) : 0.0;
+    const auto v = unit.apply(s);
+    for (int i = 0; i < 8; ++i) {
+      const double want = gain * ref[static_cast<std::size_t>(i)];
+      const double err =
+          std::fabs(v[static_cast<std::size_t>(i)].to_double() - want) /
+          io.precision();
+      worst = std::max(worst, err);
+    }
+  }
+  return worst;
+}
+
+double softmax_sim_error(int frac_bits) {
+  using namespace qcaps;
+  const fixed::FixedFormat io(3, frac_bits);
+  hwmodel::SoftmaxUnit unit(io);
+  common::Rng rng(43);
+  double worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<hwmodel::FixedNum> logits;
+    std::vector<double> in;
+    for (int i = 0; i < 10; ++i) {
+      logits.push_back(hwmodel::FixedNum::from_double(rng.uniform(-3.0f, 3.0f), io));
+      in.push_back(logits.back().to_double());
+    }
+    double mx = in[0];
+    for (const auto x : in) mx = std::max(mx, x);
+    double z = 0.0;
+    std::vector<double> e;
+    for (const auto x : in) {
+      e.push_back(std::exp(x - mx));
+      z += e.back();
+    }
+    const auto p = unit.apply(logits);
+    for (int i = 0; i < 10; ++i)
+      worst = std::max(worst, std::fabs(p[static_cast<std::size_t>(i)].to_double() -
+                                        e[static_cast<std::size_t>(i)] / z));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qcaps::hwmodel;
+  std::printf("=== Fig. 3 — squash / softmax module cost vs fractional bits ===\n\n");
+  std::printf("%6s | %12s %12s %10s | %12s %12s %10s\n", "frac",
+              "squash pJ", "squash um2", "err(ulp)", "softmax pJ",
+              "softmax um2", "err(abs)");
+  const SquashUnitModel squash;
+  const SoftmaxUnitModel softmax;
+  for (int f = 2; f <= 8; ++f) {
+    const UnitCost sq = squash.cost(f);
+    const UnitCost sm = softmax.cost(f);
+    std::printf("%6d | %12.3f %12.0f %10.2f | %12.3f %12.0f %10.4f\n", f,
+                sq.energy_pj, sq.area_um2, squash_sim_error_ulp(f),
+                sm.energy_pj, sm.area_um2, softmax_sim_error(f));
+  }
+  const MacUnitModel mac;
+  std::printf("\nAt 8 fractional bits: squash costs %.1fx a 9-bit MAC.\n",
+              squash.cost(8).energy_pj / mac.cost(9).energy_pj);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Google-benchmark microbenchmarks of the computational kernels underlying
+// the Q-CapsNets experiments: GEMM, convolution, dynamic routing (FP32 vs
+// quantized), the fake quantizer per rounding scheme, and the bit-accurate
+// hardware unit simulations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fixed/quantizer.hpp"
+#include "hwmodel/units.hpp"
+#include "nn/routing.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace qcaps;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  common::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2d(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  common::Rng rng(2);
+  const tensor::Tensor input = tensor::Tensor::randn({8, c, 20, 20}, rng);
+  const tensor::Tensor weight = tensor::Tensor::randn({c, c, 3, 3}, rng);
+  const tensor::Tensor bias = tensor::Tensor::randn({c}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::conv2d_forward(input, weight, bias, 1, 1));
+  }
+}
+BENCHMARK(BM_Conv2d)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_RoutingFp32(benchmark::State& state) {
+  const std::int64_t nin = state.range(0);
+  common::Rng rng(3);
+  const tensor::Tensor votes = tensor::Tensor::randn({32, nin, 10, 16}, rng);
+  nn::DynamicRouting routing;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routing.forward(votes, 3, false, nn::RoutingQuantPoints{}));
+  }
+}
+BENCHMARK(BM_RoutingFp32)->Arg(72)->Arg(144)->Arg(288);
+
+void BM_RoutingQuantized(benchmark::State& state) {
+  const std::int64_t nin = state.range(0);
+  common::Rng rng(4);
+  const tensor::Tensor votes = tensor::Tensor::randn({32, nin, 10, 16}, rng);
+  const fixed::Quantizer act(fixed::FixedFormat(1, 6),
+                             fixed::RoundingScheme::kRoundToNearest);
+  const fixed::Quantizer dr(fixed::FixedFormat(2, 3),
+                            fixed::RoundingScheme::kRoundToNearest);
+  nn::RoutingQuantPoints qp;
+  qp.activations = &act;
+  qp.routing = &dr;
+  nn::DynamicRouting routing;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing.forward(votes, 3, false, qp));
+  }
+}
+BENCHMARK(BM_RoutingQuantized)->Arg(72)->Arg(144)->Arg(288);
+
+void BM_Quantizer(benchmark::State& state) {
+  const auto scheme = static_cast<fixed::RoundingScheme>(state.range(0));
+  common::Rng rng(5);
+  const tensor::Tensor t = tensor::Tensor::randn({1 << 18}, rng);
+  const fixed::Quantizer q(fixed::FixedFormat(1, 6), scheme, 9);
+  for (auto _ : state) {
+    tensor::Tensor copy = t;
+    q.apply(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_Quantizer)
+    ->Arg(static_cast<int>(fixed::RoundingScheme::kTruncation))
+    ->Arg(static_cast<int>(fixed::RoundingScheme::kRoundToNearest))
+    ->Arg(static_cast<int>(fixed::RoundingScheme::kStochastic));
+
+void BM_MacUnitSim(benchmark::State& state) {
+  const fixed::FixedFormat op(2, 10), res(6, 10);
+  common::Rng rng(6);
+  std::vector<hwmodel::FixedNum> a, b;
+  for (int i = 0; i < 256; ++i) {
+    a.push_back(hwmodel::FixedNum::from_double(rng.uniform(-1.0f, 1.0f), op));
+    b.push_back(hwmodel::FixedNum::from_double(rng.uniform(-1.0f, 1.0f), op));
+  }
+  for (auto _ : state) {
+    hwmodel::MacUnit mac(op, res);
+    for (int i = 0; i < 256; ++i) mac.mac(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(mac.result());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_MacUnitSim);
+
+void BM_SquashUnitSim(benchmark::State& state) {
+  const fixed::FixedFormat io(2, 10);
+  hwmodel::SquashUnit unit(io);
+  common::Rng rng(7);
+  std::vector<hwmodel::FixedNum> s;
+  for (int i = 0; i < 16; ++i)
+    s.push_back(hwmodel::FixedNum::from_double(rng.uniform(-1.0f, 1.0f), io));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.apply(s));
+  }
+}
+BENCHMARK(BM_SquashUnitSim);
+
+void BM_SoftmaxUnitSim(benchmark::State& state) {
+  const fixed::FixedFormat io(3, 10);
+  hwmodel::SoftmaxUnit unit(io);
+  common::Rng rng(8);
+  std::vector<hwmodel::FixedNum> logits;
+  for (int i = 0; i < 10; ++i)
+    logits.push_back(hwmodel::FixedNum::from_double(rng.uniform(-3.0f, 3.0f), io));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.apply(logits));
+  }
+}
+BENCHMARK(BM_SoftmaxUnitSim);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Each bench regenerates one table or figure of the paper. Trained FP32
+// models are cached in ./qcaps_model_cache (override with QCAPS_MODEL_CACHE)
+// so repeated bench runs skip training.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+#include "data/synth.hpp"
+#include "models/model_cache.hpp"
+#include "nn/trainer.hpp"
+
+namespace qcaps::bench {
+
+/// Standard experiment datasets (DESIGN.md §3 substitution for MNIST /
+/// FashionMNIST / CIFAR10).
+inline data::DataSplit digits_split() {
+  data::SynthConfig cfg;
+  cfg.train_size = 2000;
+  cfg.test_size = 512;
+  return data::make_digits_split(cfg);
+}
+
+inline data::DataSplit fashion_split() {
+  data::SynthConfig cfg;
+  cfg.train_size = 2000;
+  cfg.test_size = 512;
+  return data::make_fashion_split(cfg);
+}
+
+inline data::DataSplit cifar_split() {
+  data::SynthConfig cfg;
+  cfg.train_size = 1500;
+  cfg.test_size = 384;
+  return data::make_cifar_split(cfg);
+}
+
+inline nn::TrainConfig shallow_train_cfg(data::AugmentPolicy augment) {
+  nn::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.augment = augment;
+  return cfg;
+}
+
+inline nn::TrainConfig deep_train_cfg(data::AugmentPolicy augment) {
+  nn::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.augment = augment;
+  return cfg;
+}
+
+/// Trained models for the five model/dataset combinations of Table I.
+inline models::TrainedModel shallow_on(const data::DataSplit& split,
+                                       const std::string& tag,
+                                       data::AugmentPolicy augment) {
+  return models::get_trained_shallow_caps(split, tag, shallow_train_cfg(augment));
+}
+
+inline models::TrainedModel deep_on(const data::DataSplit& split,
+                                    const std::string& tag,
+                                    data::AugmentPolicy augment) {
+  return models::get_trained_deep_caps(split, tag, deep_train_cfg(augment));
+}
+
+/// Print one summary line for a quantized model (Table I row format).
+inline void print_model_row(const char* model, const char* dataset,
+                            const char* tag, const core::QuantizedModel& m) {
+  std::printf("%-12s %-14s %-16s acc=%6.2f%%  W-mem x%5.2f  A-mem x%5.2f  [%s]\n",
+              model, dataset, tag, m.accuracy * 100.0f, m.weight_reduction,
+              m.activation_reduction,
+              fixed::scheme_name(m.spec.scheme).c_str());
+}
+
+}  // namespace qcaps::bench

@@ -1,0 +1,43 @@
+// DeepCaps on the synthetic CIFAR10 stand-in: train (or load) the FP32
+// model, then quantize it with the Q-CapsNets framework.
+//
+// Usage: deepcaps_cifar10 [--train=1500] [--test=384] [--epochs=4]
+//                         [--budget-frac=0.25] [--tol=0.003]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "core/framework.hpp"
+#include "data/synth.hpp"
+#include "models/model_cache.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+
+  data::SynthConfig dcfg;
+  dcfg.train_size = args.get_int("train", 1500);
+  dcfg.test_size = args.get_int("test", 384);
+  const data::DataSplit split = data::make_cifar_split(dcfg);
+
+  nn::TrainConfig tcfg;
+  tcfg.epochs = args.get_int("epochs", 4);
+  tcfg.augment = data::AugmentPolicy::cifar10();
+  common::Timer timer;
+  auto trained = models::get_trained_deep_caps(split, "cifar", tcfg);
+  std::printf("DeepCaps FP32 accuracy %.2f%% (%s, %.0fs)\n",
+              trained.fp32_accuracy * 100.0f,
+              trained.from_cache ? "cached" : "trained", timer.seconds());
+
+  core::Evaluator probe(*trained.net, split.test, 256);
+  const std::int64_t fp32_bits = probe.memory().weight_bits_fp32();
+  core::FrameworkConfig fcfg;
+  fcfg.acc_tolerance = args.get_double("tol", 0.003);
+  fcfg.memory_budget_bits = static_cast<std::int64_t>(
+      args.get_double("budget-frac", 0.25) * static_cast<double>(fp32_bits));
+  fcfg.eval_samples = 256;
+  const core::FrameworkResult result =
+      core::run_qcapsnets(*trained.net, split.test, fcfg);
+  std::printf("%s\n", core::report(result, probe.memory()).c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Hardware cost explorer: translate a quantization choice into estimated
+// per-inference energy using the Figs. 2-3 unit models and the MAC/squash/
+// softmax operation counts of the ShallowCaps architecture.
+//
+// Usage: hw_cost_explorer [--mac-bits=8] [--act-frac=5]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "models/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+  const int mac_bits = args.get_int("mac-bits", 8);
+  const int act_frac = args.get_int("act-frac", 5);
+
+  const models::ArchDesc arch = models::shallow_caps_desc();
+  // Squash ops: one per primary capsule + one per output capsule per routing
+  // iteration. Softmax ops: one per (input capsule) per iteration.
+  const std::int64_t primary_caps = 1152, out_caps = 10, iters = 3;
+  const std::int64_t squash_ops = primary_caps + iters * out_caps;
+  const std::int64_t softmax_ops = iters * primary_caps;
+
+  std::printf("ShallowCaps per-inference energy estimate\n");
+  std::printf("  MACs: %lld at %d-bit operands\n",
+              static_cast<long long>(arch.total_macs()), mac_bits);
+  std::printf("  squash ops: %lld, softmax ops: %lld at %d fractional bits\n\n",
+              static_cast<long long>(squash_ops),
+              static_cast<long long>(softmax_ops), act_frac);
+
+  std::printf("%10s %14s %14s %14s %14s\n", "MAC bits", "MAC (uJ)",
+              "squash (nJ)", "softmax (nJ)", "total (uJ)");
+  for (int bits = 4; bits <= 32; bits += 4) {
+    const auto e = hwmodel::inference_energy(arch.total_macs(), bits,
+                                             squash_ops, softmax_ops, act_frac);
+    std::printf("%10d %14.2f %14.2f %14.2f %14.2f\n", bits, e.mac_pj / 1e6,
+                e.squash_pj / 1e3, e.softmax_pj / 1e3, e.total_pj() / 1e6);
+  }
+
+  const auto chosen = hwmodel::inference_energy(arch.total_macs(), mac_bits,
+                                                squash_ops, softmax_ops, act_frac);
+  const auto fp32ish = hwmodel::inference_energy(arch.total_macs(), 32,
+                                                 squash_ops, softmax_ops, 8);
+  std::printf("\nChosen config (%d-bit MAC, %d-frac activations): %.2f uJ "
+              "(%.1fx lower than 32-bit)\n",
+              mac_bits, act_frac, chosen.total_pj() / 1e6,
+              fp32ish.total_pj() / chosen.total_pj());
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Conventional-CNN baseline: train LeNet-5 on the synthetic digits with
+// cross-entropy, then compare its quantization sensitivity against the
+// capsule network path (a miniature of the paper's CapsNet-vs-CNN framing).
+//
+// Usage: lenet_baseline [--train=2000] [--test=512] [--epochs=8]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/quant_spec.hpp"
+#include "data/loader.hpp"
+#include "data/synth.hpp"
+#include "models/lenet.hpp"
+#include "nn/cross_entropy.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace qcaps;
+
+float lenet_accuracy(nn::Network& net, const data::Dataset& test) {
+  const tensor::Tensor out = net.forward(test.images, nn::Phase::kEval);
+  const auto pred = nn::predict_logits(out);
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == test.labels[i]) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  data::SynthConfig dcfg;
+  dcfg.train_size = args.get_int("train", 2000);
+  dcfg.test_size = args.get_int("test", 512);
+  const data::DataSplit split = data::make_digits_split(dcfg);
+
+  common::Rng rng(5);
+  auto net = models::build_lenet(rng);
+  nn::CrossEntropyLoss loss;
+  nn::AdamOptimizer opt;
+  data::BatchLoader loader(split.train, 32, true, 6);
+  common::Rng aug_rng(11);
+  const int epochs = args.get_int("epochs", 8);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    loader.start_epoch();
+    double epoch_loss = 0.0;
+    for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+      const data::Batch batch = loader.batch(b);
+      const tensor::Tensor images =
+          augment_batch(batch.images, data::AugmentPolicy::mnist(), aug_rng);
+      const tensor::Tensor out = net->forward(images, nn::Phase::kTrain);
+      epoch_loss += loss.forward(out, batch.labels);
+      net->backward(loss.backward());
+      opt.step(net->params(), net->grads(), 1e-3f);
+    }
+    std::printf("epoch %d/%d  loss %.4f\n", epoch + 1, epochs,
+                epoch_loss / static_cast<double>(loader.num_batches()));
+  }
+  const float fp32 = lenet_accuracy(*net, split.test);
+  std::printf("\nLeNet FP32 accuracy: %.2f%%\n\n", fp32 * 100.0f);
+
+  // Uniform post-training quantization sweep (weights + activations).
+  std::printf("%10s %12s\n", "frac bits", "accuracy");
+  const auto widx = net->weighted_layers();
+  for (const int qf : {12, 8, 6, 5, 4, 3, 2}) {
+    auto spec = core::NetworkQuantSpec::uniform(
+        widx.size(), qf, fixed::RoundingScheme::kRoundToNearest);
+    // LeNet activations exceed [-1, 1): give them headroom like the
+    // framework's calibration does.
+    for (auto& l : spec.layers) l.qa_int = 4;
+    core::apply_spec(*net, spec);
+    std::printf("%10d %11.2f%%\n", qf, lenet_accuracy(*net, split.test) * 100.0f);
+  }
+  net->clear_quantization();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// End-to-end deployment: search a quantization with the Q-CapsNets
+// framework, then run the winning spec on the integer-only inference engine
+// and on the systolic-array accelerator model — the full "paper pipeline"
+// from trained FP32 model to edge-deployable fixed-point CapsNet.
+//
+// Usage: quantized_deployment [--budget-frac=0.25] [--tol=0.002]
+#include <cstdio>
+
+#include "accel/systolic.hpp"
+#include "common/cli.hpp"
+#include "core/framework.hpp"
+#include "data/synth.hpp"
+#include "models/model_cache.hpp"
+#include "qengine/quantized_shallow_caps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+
+  data::SynthConfig dcfg;
+  dcfg.train_size = 2000;
+  dcfg.test_size = 512;
+  const data::DataSplit split = data::make_digits_split(dcfg);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = 3;
+  tcfg.augment = data::AugmentPolicy::mnist();
+  auto trained = models::get_trained_shallow_caps(split, "digits", tcfg);
+  std::printf("FP32 accuracy: %.2f%%\n\n", trained.fp32_accuracy * 100.0f);
+
+  // 1) Search.
+  core::Evaluator probe(*trained.net, split.test, 384);
+  core::FrameworkConfig fcfg;
+  fcfg.acc_tolerance = args.get_double("tol", 0.002);
+  fcfg.memory_budget_bits = static_cast<std::int64_t>(
+      args.get_double("budget-frac", 0.25) *
+      static_cast<double>(probe.memory().weight_bits_fp32()));
+  fcfg.eval_samples = 384;
+  fcfg.verbose = false;
+  const auto result = core::run_qcapsnets(*trained.net, split.test, fcfg);
+  const core::QuantizedModel* chosen =
+      result.model_satisfied ? &*result.model_satisfied
+                             : &*result.model_accuracy;
+  std::printf("framework (%s, path %s): fake-quant accuracy %.2f%%, "
+              "W-mem x%.2f\n",
+              fixed::scheme_name(result.selected_scheme).c_str(),
+              result.path == core::ExitPath::kSatisfied ? "A" : "B",
+              chosen->accuracy * 100.0f, chosen->weight_reduction);
+
+  // 2) Deploy on the integer engine.
+  core::NetworkQuantSpec spec = chosen->spec;
+  core::Evaluator calib(*trained.net, split.test, 384);
+  calib.calibrate_spec(spec);
+  const qengine::QuantizedShallowCaps deployed(*trained.net, spec);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < split.test.size(); ++i) idx.push_back(i);
+  const auto pred = deployed.predict(split.test.batch(idx));
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == split.test.labels[i]) ++correct;
+  std::printf("integer engine: accuracy %.2f%% (%lld weight bits, "
+              "%.2fx below FP32)\n",
+              100.0 * correct / static_cast<double>(pred.size()),
+              static_cast<long long>(deployed.weight_bits()),
+              static_cast<double>(calib.memory().weight_bits_fp32()) /
+                  static_cast<double>(deployed.weight_bits()));
+
+  // 3) Accelerator estimate for the deployed wordlengths.
+  accel::SystolicConfig acfg;
+  const auto wls = accel::workloads_from_spec(
+      calib.memory(), spec, split.test.channels() * split.test.height() *
+                                 split.test.width());
+  const auto timing = accel::simulate_network(acfg, wls);
+  const auto fp32_wls = accel::workloads_from_spec(
+      calib.memory(),
+      core::NetworkQuantSpec::uniform(spec.layers.size(), 31, spec.scheme),
+      split.test.channels() * split.test.height() * split.test.width());
+  const auto fp32_t = accel::simulate_network(acfg, fp32_wls);
+  std::printf("\naccelerator (16x16 systolic):\n%s", accel::to_table(acfg, timing).c_str());
+  std::printf("vs 32-bit: %.1fx energy, %.1fx latency\n",
+              fp32_t.total_pj / timing.total_pj,
+              static_cast<double>(fp32_t.total_cycles) /
+                  static_cast<double>(timing.total_cycles));
+  return 0;
+}

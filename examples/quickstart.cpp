@@ -1,0 +1,43 @@
+// Quickstart: train a ShallowCaps on the synthetic digits dataset, then run
+// the Q-CapsNets framework with a memory budget and accuracy tolerance, and
+// print the chosen quantized models.
+//
+// Usage: quickstart [--train=2000] [--test=512] [--epochs=3]
+//                   [--budget-mbit=2.0] [--tol=0.002]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/framework.hpp"
+#include "data/synth.hpp"
+#include "models/model_cache.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+
+  // 1) Data: a synthetic stand-in for MNIST (see DESIGN.md §3).
+  data::SynthConfig dcfg;
+  dcfg.train_size = args.get_int("train", 2000);
+  dcfg.test_size = args.get_int("test", 512);
+  const data::DataSplit split = data::make_digits_split(dcfg);
+
+  // 2) A trained FP32 CapsNet (cached across runs in qcaps_model_cache/).
+  nn::TrainConfig tcfg;
+  tcfg.epochs = args.get_int("epochs", 3);
+  tcfg.augment = data::AugmentPolicy::mnist();
+  auto trained = models::get_trained_shallow_caps(split, "digits", tcfg);
+
+  // 3) Q-CapsNets: quantize under a weight-memory budget + accuracy tolerance.
+  core::FrameworkConfig fcfg;
+  fcfg.acc_tolerance = args.get_double("tol", 0.002);
+  fcfg.memory_budget_bits = static_cast<std::int64_t>(
+      args.get_double("budget-mbit", 2.0) * 1e6);
+  fcfg.eval_samples = 384;
+  const core::FrameworkResult result =
+      core::run_qcapsnets(*trained.net, split.test, fcfg);
+
+  // 4) Report.
+  core::Evaluator eval(*trained.net, split.test, 384);
+  std::printf("%s\n", core::report(result, eval.memory()).c_str());
+  return 0;
+}

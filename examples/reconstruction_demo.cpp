@@ -1,0 +1,114 @@
+// Reconstruction demo: train ShallowCaps jointly with the decoder
+// (margin + 0.0005 * SSE reconstruction, as in the original CapsNet), then
+// write original-vs-reconstruction image strips as PGM files.
+//
+// Usage: reconstruction_demo [--train=1200] [--test=256] [--epochs=3]
+//                            [--out=reconstructions.pgm]
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.hpp"
+#include "data/loader.hpp"
+#include "data/synth.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/decoder.hpp"
+#include "nn/margin_loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace qcaps;
+
+/// Write a 2-row image strip (originals above reconstructions) as PGM.
+void write_strip(const std::string& path, const tensor::Tensor& originals,
+                 const tensor::Tensor& recons, int side) {
+  const std::int64_t n = originals.dim(0);
+  std::ofstream out(path, std::ios::binary);
+  out << "P5\n" << n * side << " " << 2 * side << "\n255\n";
+  auto put_row = [&](const tensor::Tensor& imgs, std::int64_t row) {
+    for (std::int64_t y = 0; y < side; ++y) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t x = 0; x < side; ++x) {
+          const float v = imgs[i * side * side + y * side + x];
+          out.put(static_cast<char>(
+              std::max(0, std::min(255, static_cast<int>(v * 255.0f)))));
+        }
+      }
+    }
+    (void)row;
+  };
+  put_row(originals, 0);
+  put_row(recons, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  data::SynthConfig dcfg;
+  dcfg.train_size = args.get_int("train", 1200);
+  dcfg.test_size = args.get_int("test", 256);
+  const data::DataSplit split = data::make_digits_split(dcfg);
+  const std::int64_t side = split.train.height();
+  const std::int64_t pixels = side * side;
+
+  auto mcfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(15);
+  auto net = models::build_shallow_caps(mcfg, rng);
+  nn::CapsDecoder decoder(mcfg.num_classes, mcfg.digit_dim, 256, 512, pixels,
+                          rng);
+  nn::MarginLoss margin;
+  nn::ReconstructionLoss recon_loss;
+  nn::AdamOptimizer opt;
+  const float alpha = 0.0005f;  // reconstruction weight from [21]
+
+  data::BatchLoader loader(split.train, 32, true, 3);
+  const int epochs = args.get_int("epochs", 3);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    loader.start_epoch();
+    double lm = 0.0, lr = 0.0;
+    for (std::int64_t bidx = 0; bidx < loader.num_batches(); ++bidx) {
+      const data::Batch batch = loader.batch(bidx);
+      const std::int64_t b = batch.images.dim(0);
+      const tensor::Tensor caps = net->forward(batch.images, nn::Phase::kTrain);
+      lm += margin.forward(caps, batch.labels);
+      const tensor::Tensor recon =
+          decoder.forward(caps, batch.labels, nn::Phase::kTrain);
+      lr += recon_loss.forward(recon, batch.images.reshaped({b, pixels}));
+
+      // Joint backward: margin gradient + alpha * decoder gradient.
+      tensor::Tensor gcaps = margin.backward();
+      tensor::Tensor grecon = recon_loss.backward();
+      tensor::scale(grecon, alpha);
+      tensor::axpy(gcaps, 1.0f, decoder.backward(grecon));
+      net->backward(gcaps);
+
+      auto params = net->params();
+      auto grads = net->grads();
+      const auto dp = decoder.params();
+      const auto dg = decoder.grads();
+      params.insert(params.end(), dp.begin(), dp.end());
+      grads.insert(grads.end(), dg.begin(), dg.end());
+      opt.step(params, grads, 1e-3f);
+    }
+    std::printf("epoch %d/%d  margin %.4f  recon %.2f\n", epoch + 1, epochs,
+                lm / loader.num_batches(), lr / loader.num_batches());
+  }
+
+  const float acc = nn::evaluate(*net, split.test);
+  std::printf("test accuracy: %.2f%%\n", acc * 100.0f);
+
+  // Reconstruct the first 12 test images (eval mask = longest capsule).
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < 12; ++i) idx.push_back(i);
+  const tensor::Tensor images = split.test.batch(idx);
+  const tensor::Tensor caps = net->forward(images, nn::Phase::kEval);
+  const tensor::Tensor recon = decoder.forward(caps, {}, nn::Phase::kEval);
+  const std::string out = args.get("out", "reconstructions.pgm");
+  write_strip(out, images.reshaped({12, pixels}), recon, static_cast<int>(side));
+  std::printf("wrote %s (top row: originals, bottom: reconstructions)\n",
+              out.c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Rounding-scheme exploration on raw tensors: quantization-error statistics
+// (bias, MSE, SQNR) per scheme and wordlength, plus a demonstration of the
+// Sec. II-B properties (truncation's negative bias, SR's unbiasedness) that
+// drive the Fig. 13 accuracy differences.
+//
+// Usage: rounding_exploration [--samples=100000]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "fixed/quantizer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+  const std::int64_t n = args.get_int("samples", 100000);
+
+  common::Rng rng(7);
+  const tensor::Tensor weights = tensor::Tensor::randn({n}, rng, 0.0f, 0.25f);
+
+  std::printf("Quantization error on N(0, 0.25) weight-like data (%lld samples)\n\n",
+              static_cast<long long>(n));
+  std::printf("%6s %8s | %12s %12s %10s\n", "scheme", "fracbits", "bias",
+              "RMSE", "SQNR (dB)");
+  for (const auto scheme : fixed::all_schemes()) {
+    for (const int qf : {3, 5, 7, 9, 11}) {
+      const auto err = fixed::quantization_error(
+          weights, fixed::paper_format(qf), scheme, /*seed=*/13);
+      std::printf("%6s %8d | %12.3e %12.3e %10.2f\n",
+                  fixed::scheme_name(scheme).c_str(), qf, err.bias,
+                  std::sqrt(err.mse), err.sqnr_db);
+    }
+    std::printf("\n");
+  }
+  std::printf("Observations (paper Sec. II-B):\n"
+              " * TRN bias ~ -eps/2 (systematic underestimation)\n"
+              " * RTN bias near zero but quantization noise deterministic\n"
+              " * SR unbiased: errors average out across accumulations,\n"
+              "   which is why it survives the lowest wordlengths in Fig. 13\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "accel/systolic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "hwmodel/cost_model.hpp"
+
+namespace qcaps::accel {
+
+LayerTiming simulate_layer(const SystolicConfig& cfg, const LayerWorkload& wl) {
+  QCAPS_CHECK_MSG(cfg.rows > 0 && cfg.cols > 0 && cfg.sram_bits > 0,
+                  "invalid systolic configuration");
+  QCAPS_CHECK_MSG(wl.macs >= 0 && wl.weight_elems >= 0, "invalid workload");
+  LayerTiming t;
+  t.name = wl.name;
+
+  const std::int64_t weight_bits_total = wl.weight_elems * wl.weight_bits;
+  t.passes = std::max<std::int64_t>(
+      1, (weight_bits_total + cfg.sram_bits - 1) / cfg.sram_bits);
+
+  // Cycles: weight fill (one array column per cycle per pass) + compute at
+  // full array throughput + pipeline drain per pass.
+  const std::int64_t fill_cycles =
+      t.passes * ((wl.weight_elems + cfg.cols - 1) / cfg.cols);
+  const std::int64_t compute_cycles =
+      (wl.macs + cfg.macs_per_cycle() - 1) / cfg.macs_per_cycle();
+  const std::int64_t drain_cycles = t.passes * (cfg.rows + cfg.cols);
+  t.cycles = fill_cycles + compute_cycles + drain_cycles;
+  t.utilization =
+      t.cycles > 0 ? static_cast<double>(wl.macs) /
+                         (static_cast<double>(t.cycles) * cfg.macs_per_cycle())
+                   : 0.0;
+
+  // Energy.
+  const int mac_bits = std::max(wl.weight_bits, wl.act_bits);
+  t.compute_pj = static_cast<double>(wl.macs) *
+                 hwmodel::MacUnitModel{}.cost(std::max(1, mac_bits)).energy_pj;
+  // SRAM: one activation operand per MAC plus the weight/activation fills.
+  const double sram_bits_accessed =
+      static_cast<double>(wl.macs) * wl.act_bits +
+      static_cast<double>(weight_bits_total) * t.passes +
+      static_cast<double>(wl.out_act_elems) * wl.act_bits;
+  t.sram_pj = sram_bits_accessed * cfg.sram_pj_per_bit;
+  // DRAM: weights once, inputs once per pass, outputs once.
+  const double dram_bits =
+      static_cast<double>(weight_bits_total) +
+      static_cast<double>(wl.in_act_elems) * wl.act_bits * t.passes +
+      static_cast<double>(wl.out_act_elems) * wl.act_bits;
+  t.dram_pj = dram_bits * cfg.dram_pj_per_bit;
+  return t;
+}
+
+InferenceTiming simulate_network(const SystolicConfig& cfg,
+                                 const std::vector<LayerWorkload>& layers) {
+  InferenceTiming out;
+  for (const auto& wl : layers) {
+    out.layers.push_back(simulate_layer(cfg, wl));
+    out.total_cycles += out.layers.back().cycles;
+    out.total_pj += out.layers.back().total_pj();
+  }
+  return out;
+}
+
+std::vector<LayerWorkload> workloads_from_arch(const models::ArchDesc& arch,
+                                               int weight_bits, int act_bits) {
+  std::vector<LayerWorkload> out;
+  std::int64_t prev_act = 0;
+  for (const auto& l : arch.layers) {
+    LayerWorkload wl;
+    wl.name = l.name;
+    wl.macs = l.macs;
+    wl.weight_elems = l.params;
+    wl.in_act_elems = prev_act;
+    wl.out_act_elems = l.activations;
+    wl.weight_bits = weight_bits;
+    wl.act_bits = act_bits;
+    out.push_back(std::move(wl));
+    prev_act = l.activations;
+  }
+  return out;
+}
+
+std::vector<LayerWorkload> workloads_from_spec(const core::MemoryModel& mem,
+                                               const core::NetworkQuantSpec& spec,
+                                               std::int64_t input_elems) {
+  QCAPS_CHECK(spec.layers.size() == mem.num_layers());
+  std::vector<LayerWorkload> out;
+  std::int64_t prev_act = input_elems;
+  for (std::size_t i = 0; i < mem.num_layers(); ++i) {
+    const auto& l = mem.layers()[i];
+    const auto& q = spec.layers[i];
+    LayerWorkload wl;
+    wl.name = l.name;
+    wl.macs = l.macs;
+    wl.weight_elems = l.params;
+    wl.in_act_elems = prev_act;
+    wl.out_act_elems = l.activations;
+    wl.weight_bits = q.weight_wordlength();
+    wl.act_bits = q.act_wordlength();
+    out.push_back(std::move(wl));
+    prev_act = l.activations;
+  }
+  return out;
+}
+
+std::string to_table(const SystolicConfig& cfg, const InferenceTiming& t) {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "layer" << std::right << std::setw(12)
+     << "cycles" << std::setw(8) << "passes" << std::setw(8) << "util"
+     << std::setw(14) << "compute pJ" << std::setw(12) << "SRAM pJ"
+     << std::setw(12) << "DRAM pJ" << "\n";
+  for (const auto& l : t.layers) {
+    os << std::left << std::setw(28) << l.name << std::right << std::setw(12)
+       << l.cycles << std::setw(8) << l.passes << std::setw(8) << std::fixed
+       << std::setprecision(2) << l.utilization << std::setw(14)
+       << std::setprecision(0) << l.compute_pj << std::setw(12) << l.sram_pj
+       << std::setw(12) << l.dram_pj << "\n";
+  }
+  os << std::left << std::setw(28) << "TOTAL" << std::right << std::setw(12)
+     << t.total_cycles << "  latency " << std::setprecision(1)
+     << t.latency_us(cfg) << " us, energy " << std::setprecision(2)
+     << t.total_pj / 1e6 << " uJ\n";
+  return os.str();
+}
+
+}  // namespace qcaps::accel

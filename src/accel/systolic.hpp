@@ -1,0 +1,95 @@
+// Cycle- and energy-level model of a CapsAcc-style systolic-array CapsNet
+// accelerator (Marchisio et al., DATE 2019 — the paper's reference [17],
+// whose MAC units Figs. 2-3 characterize).
+//
+// Modeled organization (weight-stationary dataflow):
+//   * rows x cols PE array, one MAC per PE per cycle;
+//   * weights streamed from SRAM into the array (one column per cycle),
+//     then held stationary while activations stream through;
+//   * on-chip SRAM for weights/activations; DRAM behind it. If a layer's
+//     quantized weights exceed the SRAM, the layer runs in multiple passes
+//     and re-reads its input activations from DRAM once per pass — the
+//     mechanism through which Q-CapsNets' memory reductions buy energy.
+//
+// Energy components:
+//   * compute  — MACs x the Fig. 2 MAC-unit energy at the layer wordlength;
+//   * SRAM     — one operand delivered per MAC plus weight/activation fills;
+//   * DRAM     — weights once, inputs per pass, outputs once.
+// The model is deliberately first-order (no bank conflicts, no double
+// buffering stalls); it reproduces the relative trends quantization affects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/memory_model.hpp"
+#include "core/quant_spec.hpp"
+#include "models/analysis.hpp"
+
+namespace qcaps::accel {
+
+struct SystolicConfig {
+  int rows = 16;
+  int cols = 16;
+  double clock_ghz = 1.0;
+  std::int64_t sram_bits = 4 * 1024 * 1024;  ///< on-chip buffer
+  double sram_pj_per_bit = 0.012;            ///< ~65nm SRAM access
+  double dram_pj_per_bit = 0.640;            ///< off-chip access
+
+  std::int64_t macs_per_cycle() const {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+};
+
+/// Per-layer work description, independent of the execution substrate.
+struct LayerWorkload {
+  std::string name;
+  std::int64_t macs = 0;
+  std::int64_t weight_elems = 0;
+  std::int64_t in_act_elems = 0;
+  std::int64_t out_act_elems = 0;
+  int weight_bits = 32;
+  int act_bits = 32;
+};
+
+struct LayerTiming {
+  std::string name;
+  std::int64_t cycles = 0;
+  std::int64_t passes = 1;          ///< SRAM refills needed for the weights
+  double utilization = 0.0;         ///< MACs / (cycles * array size)
+  double compute_pj = 0.0;
+  double sram_pj = 0.0;
+  double dram_pj = 0.0;
+  double total_pj() const { return compute_pj + sram_pj + dram_pj; }
+};
+
+struct InferenceTiming {
+  std::vector<LayerTiming> layers;
+  std::int64_t total_cycles = 0;
+  double total_pj = 0.0;
+
+  double latency_us(const SystolicConfig& cfg) const {
+    return static_cast<double>(total_cycles) / (cfg.clock_ghz * 1e3);
+  }
+};
+
+LayerTiming simulate_layer(const SystolicConfig& cfg, const LayerWorkload& wl);
+
+InferenceTiming simulate_network(const SystolicConfig& cfg,
+                                 const std::vector<LayerWorkload>& layers);
+
+/// Workloads from a static architecture descriptor at uniform wordlengths.
+std::vector<LayerWorkload> workloads_from_arch(const models::ArchDesc& arch,
+                                               int weight_bits, int act_bits);
+
+/// Workloads from a captured live network under a quantization spec
+/// (per-layer wordlengths from the spec; in-activations approximated by the
+/// previous layer's out-activations).
+std::vector<LayerWorkload> workloads_from_spec(const core::MemoryModel& mem,
+                                               const core::NetworkQuantSpec& spec,
+                                               std::int64_t input_elems);
+
+/// Aligned table for reports.
+std::string to_table(const SystolicConfig& cfg, const InferenceTiming& t);
+
+}  // namespace qcaps::accel

@@ -1,0 +1,33 @@
+// Tiny command-line flag parser used by the bench/example binaries.
+//
+// Accepts flags of the form --key=value or --key value; everything else is
+// collected as positional arguments. Typed getters fall back to a default
+// when the flag is absent.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qcaps::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qcaps::common

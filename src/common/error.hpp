@@ -1,0 +1,45 @@
+// Error-handling helpers shared by every qcaps subsystem.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qcaps {
+
+/// Exception type thrown by all qcaps precondition violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "QCAPS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace qcaps
+
+/// Precondition check that throws qcaps::Error on failure. Always enabled —
+/// shape/format violations are programming errors the caller must see, and
+/// the cost is negligible next to the tensor kernels they guard.
+#define QCAPS_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::qcaps::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define QCAPS_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream qcaps_os_;                                           \
+      qcaps_os_ << msg;                                                       \
+      ::qcaps::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                           qcaps_os_.str());                  \
+    }                                                                         \
+  } while (false)

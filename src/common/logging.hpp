@@ -1,0 +1,43 @@
+// Minimal leveled logger writing to stderr.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qcaps::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace qcaps::common
+
+#define QCAPS_LOG(level) ::qcaps::common::detail::LogLine(level)
+#define QCAPS_INFO QCAPS_LOG(::qcaps::common::LogLevel::kInfo)
+#define QCAPS_WARN QCAPS_LOG(::qcaps::common::LogLevel::kWarn)
+#define QCAPS_DEBUG QCAPS_LOG(::qcaps::common::LogLevel::kDebug)

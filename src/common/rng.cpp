@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qcaps::common {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four xoshiro words from splitmix64, per the reference impl.
+  std::uint64_t x = seed;
+  for (auto& s : s_) {
+    x = splitmix64(x);
+    s = x;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() { return u64_to_unit_float(next_u64()); }
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+float Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller on two uniforms; guard u1 away from zero for the log.
+  float u1 = uniform();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+}  // namespace qcaps::common

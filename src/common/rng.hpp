@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// Two generators are provided:
+//  * Rng           — a sequential xoshiro256** stream for data generation,
+//                    weight init and shuffling.
+//  * counter_hash  — a stateless counter-based stream (splitmix64 finalizer)
+//                    used by stochastic rounding, so that quantizing the same
+//                    tensor twice with the same seed yields identical results
+//                    regardless of threading.
+#pragma once
+
+#include <cstdint>
+
+namespace qcaps::common {
+
+/// splitmix64 step; also used to seed xoshiro and as a stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Stateless hash of (seed, counter) -> uniform 64-bit value. Deterministic
+/// and order-independent, hence safe under OpenMP parallel loops.
+constexpr std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t counter) {
+  return splitmix64(seed ^ (counter * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+}
+
+/// Map a 64-bit value to a float uniform in [0, 1).
+constexpr float u64_to_unit_float(std::uint64_t v) {
+  // Use the top 24 bits for an exactly representable mantissa.
+  return static_cast<float>(v >> 40) * (1.0f / 16777216.0f);
+}
+
+/// xoshiro256** — fast, high-quality sequential PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9ca9541e75ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  float uniform();
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Standard normal via Box–Muller (cached second variate).
+  float normal();
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev);
+
+  /// Derive an independent child stream (for per-layer init, per-thread use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  float cached_normal_ = 0.0f;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace qcaps::common

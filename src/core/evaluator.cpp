@@ -1,0 +1,78 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/trainer.hpp"
+
+namespace qcaps::core {
+
+Evaluator::Evaluator(nn::Network& net, const data::Dataset& test_set,
+                     std::int64_t eval_samples, std::int64_t batch_size)
+    : net_(net),
+      test_(test_set),
+      eval_samples_(eval_samples > 0 ? std::min(eval_samples, test_set.size())
+                                     : test_set.size()),
+      batch_size_(batch_size) {
+  calibrate();
+  memory_ = MemoryModel::capture(net_);
+}
+
+void Evaluator::calibrate() {
+  net_.clear_quantization();
+  // One probe batch records per-layer |activation| maxima and sizes.
+  const std::int64_t probe = std::min<std::int64_t>(test_.size(), 64);
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(probe));
+  for (std::int64_t i = 0; i < probe; ++i) idx[static_cast<std::size_t>(i)] = i;
+  net_.forward(test_.batch(idx), nn::Phase::kEval);
+  act_int_bits_.clear();
+  weight_int_bits_.clear();
+  // Smallest QI with 2^(QI-1) > m (two's complement, sign included).
+  const auto needed_qi = [](float m) {
+    int qi = 1;
+    while (qi < 8 && std::ldexp(1.0f, qi - 1) <= m) ++qi;
+    return qi;
+  };
+  for (const auto li : net_.weighted_layers()) {
+    act_int_bits_.push_back(needed_qi(net_.layer(li).last_activation_abs_max()));
+    float wmax = 0.0f;
+    for (const auto* p : net_.layer(li).params())
+      wmax = std::max(wmax, p->abs_max());
+    weight_int_bits_.push_back(needed_qi(wmax));
+  }
+  calibrated_ = true;
+}
+
+void Evaluator::calibrate_spec(NetworkQuantSpec& spec) const {
+  QCAPS_CHECK(calibrated_);
+  QCAPS_CHECK(spec.layers.size() == act_int_bits_.size());
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    spec.layers[i].qa_int = act_int_bits_[i];
+    // The paper keeps 1 integer bit for weights; when a trained layer has
+    // weights outside [-1, 1) we widen just enough to avoid the saturation
+    // cliff masking the fractional-precision trends under study.
+    spec.layers[i].qw_int = weight_int_bits_[i];
+    // Routing logits accumulate agreements across iterations: +1 headroom.
+    spec.layers[i].qdr_int = std::min(8, act_int_bits_[i] + 1);
+  }
+}
+
+float Evaluator::evaluate_fp32() {
+  net_.clear_quantization();
+  const float acc = nn::evaluate(net_, test_, batch_size_, eval_samples_);
+  ++evals_;
+  return acc;
+}
+
+float Evaluator::evaluate(const NetworkQuantSpec& spec) {
+  NetworkQuantSpec calibrated = spec;
+  calibrate_spec(calibrated);
+  apply_spec(net_, calibrated);
+  const float acc = nn::evaluate(net_, test_, batch_size_, eval_samples_);
+  ++evals_;
+  net_.clear_quantization();
+  return acc;
+}
+
+}  // namespace qcaps::core

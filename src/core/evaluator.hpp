@@ -1,0 +1,58 @@
+// Quantized-accuracy evaluator: applies a NetworkQuantSpec to a trained
+// network and measures test accuracy. This is the `test(quant(model, ...))`
+// primitive every search step of Algorithm 1 calls.
+//
+// Calibration: the paper keeps a single integer bit everywhere. Our trained
+// models can have pre-squash activations outside [-1, 1), so the evaluator
+// calibrates per-layer activation integer bits once from the FP32 activation
+// ranges (smallest QI covering the observed |max|, +1 bit of headroom for
+// the routing logits which grow across iterations). Fractional widths — the
+// quantities the framework searches — are untouched by calibration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/memory_model.hpp"
+#include "core/quant_spec.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::core {
+
+class Evaluator {
+ public:
+  /// `eval_samples` caps the per-evaluation test subset (the search makes
+  /// dozens of evaluations); <= 0 uses the full test set.
+  Evaluator(nn::Network& net, const data::Dataset& test_set,
+            std::int64_t eval_samples = -1, std::int64_t batch_size = 64);
+
+  /// FP32 accuracy (hooks cleared). Also (re)runs calibration.
+  float evaluate_fp32();
+
+  /// Accuracy under `spec`. Calibrated integer bits are written into a copy
+  /// of the spec; use calibrate() beforehand if you need them externally.
+  float evaluate(const NetworkQuantSpec& spec);
+
+  /// Fill the integer-bit fields of `spec` from the calibrated ranges.
+  void calibrate_spec(NetworkQuantSpec& spec) const;
+
+  const MemoryModel& memory() const { return memory_; }
+  nn::Network& network() { return net_; }
+  std::int64_t num_evaluations() const { return evals_; }
+  std::int64_t eval_samples() const { return eval_samples_; }
+
+ private:
+  void calibrate();
+
+  nn::Network& net_;
+  const data::Dataset& test_;
+  std::int64_t eval_samples_;
+  std::int64_t batch_size_;
+  std::int64_t evals_ = 0;
+  MemoryModel memory_;
+  std::vector<int> act_int_bits_;     ///< per weighted layer
+  std::vector<int> weight_int_bits_;  ///< per weighted layer
+  bool calibrated_ = false;
+};
+
+}  // namespace qcaps::core

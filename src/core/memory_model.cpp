@@ -1,0 +1,100 @@
+#include "core/memory_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcaps::core {
+
+MemoryModel MemoryModel::capture(nn::Network& net) {
+  MemoryModel mm;
+  for (const auto idx : net.weighted_layers()) {
+    auto& layer = net.layer(idx);
+    LayerSizes s;
+    s.name = layer.name();
+    s.params = layer.param_count();
+    s.activations = layer.activation_elems_per_sample();
+    s.macs = layer.macs_per_sample();
+    s.has_routing = layer.has_routing();
+    QCAPS_CHECK_MSG(s.activations > 0,
+                    "layer " << s.name
+                             << " has no recorded activations — run a probe "
+                                "forward pass before capture()");
+    mm.layers_.push_back(std::move(s));
+  }
+  QCAPS_CHECK_MSG(!mm.layers_.empty(), "network has no weighted layers");
+  return mm;
+}
+
+std::int64_t MemoryModel::total_params() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers_) n += l.params;
+  return n;
+}
+
+std::int64_t MemoryModel::weight_bits(const NetworkQuantSpec& spec) const {
+  QCAPS_CHECK(spec.layers.size() == layers_.size());
+  std::int64_t bits = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    bits += layers_[i].params *
+            static_cast<std::int64_t>(spec.layers[i].weight_wordlength());
+  return bits;
+}
+
+std::int64_t MemoryModel::weight_bits_fp32() const { return total_params() * 32; }
+
+std::int64_t MemoryModel::activation_bits(const NetworkQuantSpec& spec) const {
+  QCAPS_CHECK(spec.layers.size() == layers_.size());
+  std::int64_t bits = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    bits += layers_[i].activations *
+            static_cast<std::int64_t>(spec.layers[i].act_wordlength());
+  return bits;
+}
+
+std::int64_t MemoryModel::activation_bits_fp32() const {
+  std::int64_t elems = 0;
+  for (const auto& l : layers_) elems += l.activations;
+  return elems * 32;
+}
+
+double MemoryModel::weight_reduction(const NetworkQuantSpec& spec) const {
+  return static_cast<double>(weight_bits_fp32()) /
+         static_cast<double>(weight_bits(spec));
+}
+
+double MemoryModel::activation_reduction(const NetworkQuantSpec& spec) const {
+  return static_cast<double>(activation_bits_fp32()) /
+         static_cast<double>(activation_bits(spec));
+}
+
+std::vector<int> solve_memory_fulfillment(const MemoryModel& mem,
+                                          std::int64_t budget_bits,
+                                          int min_wordlength,
+                                          int max_wordlength) {
+  const auto& layers = mem.layers();
+  const int L = static_cast<int>(layers.size());
+  auto total_for = [&](int n0) {
+    std::int64_t bits = 0;
+    for (int l = 0; l < L; ++l) {
+      const int n = std::clamp(n0 - l, min_wordlength, max_wordlength);
+      bits += layers[static_cast<std::size_t>(l)].params * n;
+    }
+    return bits;
+  };
+  QCAPS_CHECK_MSG(total_for(min_wordlength) <= budget_bits,
+                  "memory budget " << budget_bits
+                                   << " bits is unreachable even at the "
+                                      "minimum wordlength");
+  int best = min_wordlength;
+  for (int n0 = min_wordlength; n0 <= max_wordlength + L; ++n0) {
+    if (total_for(n0) <= budget_bits) best = n0;
+  }
+  std::vector<int> out(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l)
+    out[static_cast<std::size_t>(l)] =
+        std::clamp(best - l, min_wordlength, max_wordlength);
+  return out;
+}
+
+}  // namespace qcaps::core

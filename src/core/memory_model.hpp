@@ -1,0 +1,62 @@
+// Weight and activation memory accounting (the paper's "W mem" / "A mem").
+//
+// A tensor stored in ⟨QI.QF⟩ costs (QI + QF) bits per element. Weight memory
+// sums parameters (weights + biases) over the weighted layers; activation
+// memory sums each layer's output elements per sample — both relative to the
+// 32-bit FP32 baseline when reporting reductions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quant_spec.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::core {
+
+/// Per-weighted-layer static sizes of a network (probe forward required for
+/// activation counts — see MemoryModel::capture).
+struct LayerSizes {
+  std::string name;
+  std::int64_t params = 0;
+  std::int64_t activations = 0;  ///< output elements per sample
+  std::int64_t macs = 0;         ///< MAC operations per sample
+  bool has_routing = false;
+};
+
+class MemoryModel {
+ public:
+  /// Capture parameter/activation counts from `net`. The network must have
+  /// run at least one forward pass (activation sizes are recorded then).
+  static MemoryModel capture(nn::Network& net);
+
+  const std::vector<LayerSizes>& layers() const { return layers_; }
+  std::size_t num_layers() const { return layers_.size(); }
+
+  std::int64_t total_params() const;
+
+  /// Weight memory in bits under a spec (32-bit FP32 if spec is null).
+  std::int64_t weight_bits(const NetworkQuantSpec& spec) const;
+  std::int64_t weight_bits_fp32() const;
+
+  /// Activation memory in bits per sample under a spec / FP32.
+  std::int64_t activation_bits(const NetworkQuantSpec& spec) const;
+  std::int64_t activation_bits_fp32() const;
+
+  double weight_reduction(const NetworkQuantSpec& spec) const;
+  double activation_reduction(const NetworkQuantSpec& spec) const;
+
+ private:
+  std::vector<LayerSizes> layers_;
+};
+
+/// Solve the paper's Eq. 6: the largest N0 such that
+/// Σ_l P_l · (N0 − l) ≤ budget_bits, with per-layer wordlengths clamped to
+/// at least `min_wordlength`. Returns the per-layer wordlengths N_l = N0 − l.
+/// Throws qcaps::Error if even the all-minimum assignment exceeds the budget.
+std::vector<int> solve_memory_fulfillment(const MemoryModel& mem,
+                                          std::int64_t budget_bits,
+                                          int min_wordlength = 1,
+                                          int max_wordlength = 32);
+
+}  // namespace qcaps::core

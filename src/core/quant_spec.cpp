@@ -1,0 +1,64 @@
+#include "core/quant_spec.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcaps::core {
+
+NetworkQuantSpec NetworkQuantSpec::uniform(std::size_t num_layers,
+                                           int frac_bits,
+                                           fixed::RoundingScheme scheme) {
+  NetworkQuantSpec spec;
+  spec.scheme = scheme;
+  spec.layers.resize(num_layers);
+  for (auto& l : spec.layers) {
+    l.qw_frac = frac_bits;
+    l.qa_frac = frac_bits;
+    l.qdr_frac = -1;
+  }
+  return spec;
+}
+
+std::string NetworkQuantSpec::to_string() const {
+  std::ostringstream os;
+  os << fixed::scheme_name(scheme) << " [";
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    if (i > 0) os << " | ";
+    const auto& l = layers[i];
+    os << "W<" << l.qw_int << "." << l.qw_frac << "> A<" << l.qa_int << "."
+       << l.qa_frac << ">";
+    if (l.qdr_frac >= 0) os << " DR<" << l.qdr_int << "." << l.qdr_frac << ">";
+  }
+  os << "]";
+  return os.str();
+}
+
+void apply_spec(nn::Network& net, const NetworkQuantSpec& spec,
+                std::uint64_t seed) {
+  const auto widx = net.weighted_layers();
+  QCAPS_CHECK_MSG(widx.size() == spec.layers.size(),
+                  "spec covers " << spec.layers.size() << " layers, network has "
+                                 << widx.size() << " weighted layers");
+  net.clear_quantization();
+  for (std::size_t k = 0; k < widx.size(); ++k) {
+    auto& layer = net.layer(widx[k]);
+    const auto& ls = spec.layers[k];
+    const std::uint64_t lseed = common::counter_hash(seed, k);
+    if (spec.quantize_weights) {
+      layer.quant().set_weights(fixed::Quantizer(
+          fixed::FixedFormat(ls.qw_int, ls.qw_frac), spec.scheme, lseed));
+    }
+    if (spec.quantize_activations) {
+      layer.quant().set_activations(fixed::Quantizer(
+          fixed::FixedFormat(ls.qa_int, ls.qa_frac), spec.scheme, lseed ^ 1));
+    }
+    if (spec.quantize_routing && layer.has_routing() && ls.qdr_frac >= 0) {
+      layer.quant().set_routing(fixed::Quantizer(
+          fixed::FixedFormat(ls.qdr_int, ls.qdr_frac), spec.scheme, lseed ^ 2));
+    }
+  }
+}
+
+}  // namespace qcaps::core

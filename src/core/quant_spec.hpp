@@ -1,0 +1,56 @@
+// Network quantization specification: per weighted-layer fixed-point formats
+// plus the rounding scheme — the object the Q-CapsNets search manipulates.
+//
+// Layer indexing follows nn::Network::weighted_layers() (forward order),
+// which is the "layer l" of the paper's Eq. 6 and Algorithms 2-3 — e.g.
+// L1/L2/L3 for ShallowCaps and L1/B2..B5/L6 for DeepCaps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fixed/rounding.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::core {
+
+struct LayerQuantSpec {
+  // Fractional bits (the paper's Qw / Qa / QDR). qdr_frac < 0 means the
+  // routing arrays inherit the activation format.
+  int qw_frac = 31;
+  int qa_frac = 31;
+  int qdr_frac = -1;
+
+  // Integer bits (sign included). The paper fixes 1 integer bit; we
+  // calibrate activation integer bits from observed FP32 ranges so that
+  // saturation does not mask the fractional-precision effects under study
+  // (see Calibration in evaluator.hpp).
+  int qw_int = 1;
+  int qa_int = 1;
+  int qdr_int = 1;
+
+  int weight_wordlength() const { return qw_int + qw_frac; }
+  int act_wordlength() const { return qa_int + qa_frac; }
+};
+
+struct NetworkQuantSpec {
+  fixed::RoundingScheme scheme = fixed::RoundingScheme::kRoundToNearest;
+  std::vector<LayerQuantSpec> layers;  ///< one per weighted layer
+  bool quantize_weights = true;
+  bool quantize_activations = true;
+  bool quantize_routing = true;  ///< honour qdr_frac where set
+
+  /// Uniform spec: every layer gets the same fractional width (Step 1).
+  static NetworkQuantSpec uniform(std::size_t num_layers, int frac_bits,
+                                  fixed::RoundingScheme scheme);
+
+  std::string to_string() const;
+};
+
+/// Install the spec's quantizers on the network's weighted layers; layers
+/// without weights keep their hooks cleared. `seed` diversifies the
+/// stochastic-rounding noise streams across layers.
+void apply_spec(nn::Network& net, const NetworkQuantSpec& spec,
+                std::uint64_t seed = 0x5eed);
+
+}  // namespace qcaps::core

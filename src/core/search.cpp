@@ -1,0 +1,119 @@
+#include "core/search.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace qcaps::core {
+
+namespace {
+void set_frac(LayerQuantSpec& layer, Target target, int frac) {
+  switch (target) {
+    case Target::kWeights:
+      layer.qw_frac = frac;
+      break;
+    case Target::kActivations:
+      layer.qa_frac = frac;
+      break;
+    case Target::kWeightsAndActivations:
+      layer.qw_frac = frac;
+      layer.qa_frac = frac;
+      break;
+  }
+}
+
+int get_frac(const LayerQuantSpec& layer, Target target) {
+  return target == Target::kWeights ? layer.qw_frac : layer.qa_frac;
+}
+}  // namespace
+
+UniformSearchResult binary_search_uniform(Evaluator& eval,
+                                          const NetworkQuantSpec& base,
+                                          Target target, int init_frac,
+                                          int min_frac, float acc_min) {
+  QCAPS_CHECK(init_frac >= min_frac);
+  auto spec_for = [&](int q) {
+    NetworkQuantSpec s = base;
+    for (auto& l : s.layers) set_frac(l, target, q);
+    return s;
+  };
+  // Invariant: `hi` is the smallest width known to satisfy acc_min (verified
+  // at the end); `lo` is one below the candidate range.
+  int lo = min_frac - 1, hi = init_frac;
+  float hi_acc = eval.evaluate(spec_for(hi));
+  if (hi_acc < acc_min) {
+    QCAPS_WARN << "binary search: even " << init_frac
+               << " fractional bits misses the accuracy floor (" << hi_acc
+               << " < " << acc_min << ")";
+    return {spec_for(hi), hi, hi_acc};
+  }
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    const float acc = eval.evaluate(spec_for(mid));
+    if (acc >= acc_min) {
+      hi = mid;
+      hi_acc = acc;
+    } else {
+      lo = mid;
+    }
+  }
+  return {spec_for(hi), hi, hi_acc};
+}
+
+LayerWiseResult layer_wise_quantization(Evaluator& eval,
+                                        const NetworkQuantSpec& base,
+                                        Target target, float acc_min,
+                                        int min_frac) {
+  NetworkQuantSpec spec = base;
+  const std::size_t L = spec.layers.size();
+  float last_acc = 0.0f;
+  bool have_acc = false;
+  // StartL = 1: the first layer is never reduced (Algorithm 2, line 4).
+  for (std::size_t start_l = 1; start_l < L; ++start_l) {
+    while (true) {
+      // Tentatively lower layers [start_l, L) by one fractional bit.
+      NetworkQuantSpec trial = spec;
+      bool room = true;
+      for (std::size_t l = start_l; l < L; ++l) {
+        const int q = get_frac(trial.layers[l], target) - 1;
+        if (q < min_frac) {
+          room = false;
+          break;
+        }
+        set_frac(trial.layers[l], target, q);
+      }
+      if (!room) break;
+      const float acc = eval.evaluate(trial);
+      if (acc < acc_min) break;  // revert: keep `spec` (the +1 of line 11)
+      spec = std::move(trial);
+      last_acc = acc;
+      have_acc = true;
+    }
+  }
+  if (!have_acc) last_acc = eval.evaluate(spec);
+  return {spec, last_acc};
+}
+
+DrQuantResult dr_quantization(Evaluator& eval, const NetworkQuantSpec& base,
+                              std::size_t layer_index, int init_frac,
+                              float acc_min, int min_frac) {
+  QCAPS_CHECK(layer_index < base.layers.size());
+  NetworkQuantSpec spec = base;
+  spec.layers[layer_index].qdr_frac = init_frac;
+  int q = init_frac;
+  float best_acc = eval.evaluate(spec);
+  // Algorithm 3: keep lowering while accuracy holds, then back off one.
+  while (q > min_frac) {
+    NetworkQuantSpec trial = spec;
+    trial.layers[layer_index].qdr_frac = q - 1;
+    const float acc = eval.evaluate(trial);
+    if (acc < acc_min) break;
+    --q;
+    spec = std::move(trial);
+    best_acc = acc;
+  }
+  return {spec, q, best_acc};
+}
+
+}  // namespace qcaps::core

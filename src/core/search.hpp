@@ -1,0 +1,59 @@
+// The search primitives of Algorithm 1:
+//   * binary_search_uniform — Step 1 (and the Path-B weight re-search)
+//   * LayerWise             — Algorithm 2 (Steps 3A / 3B)
+//   * DRQuant               — Algorithm 3 (Step 4A)
+#pragma once
+
+#include <functional>
+
+#include "core/evaluator.hpp"
+#include "core/quant_spec.hpp"
+
+namespace qcaps::core {
+
+/// Which tensors a search move adjusts.
+enum class Target { kWeights, kActivations, kWeightsAndActivations };
+
+/// Step 1: binary search the minimum uniform fractional width Q in
+/// [min_frac, init_frac] such that accuracy(Q applied to `target`) >= acc_min.
+/// Starts from `base` (other fields untouched) and returns the updated spec
+/// plus the found Q. If even init_frac fails, returns Q = init_frac.
+struct UniformSearchResult {
+  NetworkQuantSpec spec;
+  int frac_bits = 0;
+  float accuracy = 0.0f;
+};
+
+UniformSearchResult binary_search_uniform(Evaluator& eval,
+                                          const NetworkQuantSpec& base,
+                                          Target target, int init_frac,
+                                          int min_frac, float acc_min);
+
+/// Algorithm 2: layer-wise reduction. Starting at `base`, repeatedly lowers
+/// the fractional widths of `target` for all layers in [start_l, L) by one
+/// while accuracy stays >= acc_min, then freezes start_l and advances. The
+/// first layer (l = 0) is never reduced, matching the paper.
+struct LayerWiseResult {
+  NetworkQuantSpec spec;
+  float accuracy = 0.0f;
+};
+
+LayerWiseResult layer_wise_quantization(Evaluator& eval,
+                                        const NetworkQuantSpec& base,
+                                        Target target, float acc_min,
+                                        int min_frac = 0);
+
+/// Algorithm 3: dynamic-routing quantization for one routing layer. Lowers
+/// that layer's QDR from `init_frac` until accuracy drops below acc_min,
+/// then backs off one step.
+struct DrQuantResult {
+  NetworkQuantSpec spec;
+  int qdr_frac = 0;
+  float accuracy = 0.0f;
+};
+
+DrQuantResult dr_quantization(Evaluator& eval, const NetworkQuantSpec& base,
+                              std::size_t layer_index, int init_frac,
+                              float acc_min, int min_frac = 0);
+
+}  // namespace qcaps::core

@@ -1,0 +1,68 @@
+#include "data/augment.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qcaps::data {
+
+namespace {
+float bilinear_sample(const float* plane, std::int64_t h, std::int64_t w,
+                      float y, float x) {
+  const std::int64_t x0 = static_cast<std::int64_t>(std::floor(x));
+  const std::int64_t y0 = static_cast<std::int64_t>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  auto pix = [&](std::int64_t yy, std::int64_t xx) -> float {
+    if (yy < 0 || yy >= h || xx < 0 || xx >= w) return 0.0f;
+    return plane[yy * w + xx];
+  };
+  return (1.0f - fy) * ((1.0f - fx) * pix(y0, x0) + fx * pix(y0, x0 + 1)) +
+         fy * ((1.0f - fx) * pix(y0 + 1, x0) + fx * pix(y0 + 1, x0 + 1));
+}
+}  // namespace
+
+tensor::Tensor augment_batch(const tensor::Tensor& batch,
+                             const AugmentPolicy& policy, common::Rng& rng) {
+  QCAPS_CHECK_MSG(batch.ndim() == 4, "augment_batch expects [B,C,H,W]");
+  const std::int64_t b = batch.dim(0), c = batch.dim(1), h = batch.dim(2),
+                     w = batch.dim(3);
+  tensor::Tensor out(batch.shape());
+  const float cy = static_cast<float>(h - 1) * 0.5f;
+  const float cx = static_cast<float>(w - 1) * 0.5f;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float theta = policy.max_rotate_deg > 0.0f
+                            ? rng.uniform(-policy.max_rotate_deg,
+                                          policy.max_rotate_deg) *
+                                  std::numbers::pi_v<float> / 180.0f
+                            : 0.0f;
+    const float sx = policy.max_shift_px > 0.0f
+                         ? rng.uniform(-policy.max_shift_px, policy.max_shift_px)
+                         : 0.0f;
+    const float sy = policy.max_shift_px > 0.0f
+                         ? rng.uniform(-policy.max_shift_px, policy.max_shift_px)
+                         : 0.0f;
+    const bool flip = policy.hflip_prob > 0.0f && rng.uniform() < policy.hflip_prob;
+    const float ct = std::cos(theta), st = std::sin(theta);
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* src = batch.data() + (i * c + ch) * h * w;
+      float* dst = out.data() + (i * c + ch) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        for (std::int64_t x = 0; x < w; ++x) {
+          float px = static_cast<float>(x);
+          if (flip) px = static_cast<float>(w - 1) - px;
+          // Inverse map: output pixel -> source location.
+          const float dx = px - cx - sx;
+          const float dy = static_cast<float>(y) - cy - sy;
+          const float ux = ct * dx + st * dy + cx;
+          const float uy = -st * dx + ct * dy + cy;
+          dst[y * w + x] = bilinear_sample(src, h, w, uy, ux);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qcaps::data

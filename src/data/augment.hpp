@@ -1,0 +1,30 @@
+// Training-time data augmentation matching the paper's Sec. IV-A policies:
+//   MNIST:        shift ±2 px, rotate ±2°
+//   FashionMNIST: shift ±2 px, horizontal flip p = 0.2
+//   CIFAR10:      shift ±5 px, rotate ±2°, horizontal flip p = 0.5
+// No augmentation is applied at test time.
+#pragma once
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::data {
+
+struct AugmentPolicy {
+  float max_shift_px = 0.0f;
+  float max_rotate_deg = 0.0f;
+  float hflip_prob = 0.0f;
+
+  static AugmentPolicy mnist() { return {2.0f, 2.0f, 0.0f}; }
+  static AugmentPolicy fashion_mnist() { return {2.0f, 0.0f, 0.2f}; }
+  static AugmentPolicy cifar10() { return {5.0f, 2.0f, 0.5f}; }
+  static AugmentPolicy none() { return {}; }
+};
+
+/// Apply a random shift/rotation/flip (per the policy) to every image in a
+/// [B, C, H, W] batch, sampling independent parameters per image. Uses
+/// inverse-mapped bilinear interpolation with zero padding outside.
+tensor::Tensor augment_batch(const tensor::Tensor& batch,
+                             const AugmentPolicy& policy, common::Rng& rng);
+
+}  // namespace qcaps::data

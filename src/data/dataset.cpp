@@ -1,0 +1,33 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qcaps::data {
+
+tensor::Tensor Dataset::image(std::int64_t i) const {
+  QCAPS_CHECK_MSG(i >= 0 && i < size(), "image index out of range: " << i);
+  const std::int64_t elems = channels() * height() * width();
+  tensor::Tensor out({1, channels(), height(), width()});
+  std::memcpy(out.data(), images.data() + i * elems,
+              static_cast<std::size_t>(elems) * sizeof(float));
+  return out;
+}
+
+tensor::Tensor Dataset::batch(const std::vector<std::int64_t>& indices) const {
+  QCAPS_CHECK(!indices.empty());
+  const std::int64_t elems = channels() * height() * width();
+  tensor::Tensor out({static_cast<std::int64_t>(indices.size()), channels(),
+                      height(), width()});
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const std::int64_t i = indices[k];
+    QCAPS_CHECK_MSG(i >= 0 && i < size(), "batch index out of range: " << i);
+    std::memcpy(out.data() + static_cast<std::int64_t>(k) * elems,
+                images.data() + i * elems,
+                static_cast<std::size_t>(elems) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace qcaps::data

@@ -1,0 +1,33 @@
+// In-memory labelled image dataset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::data {
+
+struct Dataset {
+  std::string name;
+  tensor::Tensor images;        ///< [N, C, H, W], values in [0, 1]
+  std::vector<int> labels;      ///< size N, values in [0, num_classes)
+  int num_classes = 10;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Copy one image as a [1, C, H, W] tensor.
+  tensor::Tensor image(std::int64_t i) const;
+  /// Copy a contiguous index range as a batch.
+  tensor::Tensor batch(const std::vector<std::int64_t>& indices) const;
+};
+
+struct DataSplit {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace qcaps::data

@@ -1,0 +1,107 @@
+#include "data/idx_loader.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace qcaps::data {
+
+namespace {
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) | b[3];
+}
+
+void write_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {static_cast<unsigned char>(v >> 24),
+                              static_cast<unsigned char>(v >> 16),
+                              static_cast<unsigned char>(v >> 8),
+                              static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // ubyte, rank 3
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // ubyte, rank 1
+
+}  // namespace
+
+Dataset load_idx_dataset(const std::string& images_path,
+                         const std::string& labels_path, std::int64_t limit) {
+  std::ifstream img(images_path, std::ios::binary);
+  QCAPS_CHECK_MSG(img.good(), "cannot open " << images_path);
+  std::ifstream lab(labels_path, std::ios::binary);
+  QCAPS_CHECK_MSG(lab.good(), "cannot open " << labels_path);
+
+  QCAPS_CHECK_MSG(read_be32(img) == kImagesMagic,
+                  images_path << " is not an IDX3 ubyte image file");
+  const std::int64_t n_img = read_be32(img);
+  const std::int64_t rows = read_be32(img);
+  const std::int64_t cols = read_be32(img);
+  QCAPS_CHECK_MSG(read_be32(lab) == kLabelsMagic,
+                  labels_path << " is not an IDX1 ubyte label file");
+  const std::int64_t n_lab = read_be32(lab);
+  QCAPS_CHECK_MSG(n_img == n_lab, "image/label count mismatch: " << n_img
+                                                                 << " vs "
+                                                                 << n_lab);
+  QCAPS_CHECK_MSG(rows > 0 && cols > 0 && n_img > 0, "degenerate IDX sizes");
+  const std::int64_t n =
+      limit > 0 ? std::min<std::int64_t>(limit, n_img) : n_img;
+
+  Dataset ds;
+  ds.name = "idx";
+  ds.num_classes = 10;
+  ds.images = tensor::Tensor({n, 1, rows, cols});
+  ds.labels.resize(static_cast<std::size_t>(n));
+
+  std::vector<unsigned char> buf(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t i = 0; i < n; ++i) {
+    img.read(reinterpret_cast<char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+    QCAPS_CHECK_MSG(img.good(), images_path << " truncated at sample " << i);
+    float* dst = ds.images.data() + i * rows * cols;
+    for (std::size_t p = 0; p < buf.size(); ++p)
+      dst[p] = static_cast<float>(buf[p]) / 255.0f;
+    char label = 0;
+    lab.read(&label, 1);
+    QCAPS_CHECK_MSG(lab.good(), labels_path << " truncated at sample " << i);
+    const int y = static_cast<unsigned char>(label);
+    QCAPS_CHECK_MSG(y < ds.num_classes, "label " << y << " out of range");
+    ds.labels[static_cast<std::size_t>(i)] = y;
+  }
+  return ds;
+}
+
+void save_idx_dataset(const Dataset& ds, const std::string& images_path,
+                      const std::string& labels_path) {
+  QCAPS_CHECK_MSG(ds.channels() == 1, "IDX stores single-channel images");
+  std::ofstream img(images_path, std::ios::binary);
+  QCAPS_CHECK_MSG(img.good(), "cannot open " << images_path << " for writing");
+  std::ofstream lab(labels_path, std::ios::binary);
+  QCAPS_CHECK_MSG(lab.good(), "cannot open " << labels_path << " for writing");
+
+  write_be32(img, kImagesMagic);
+  write_be32(img, static_cast<std::uint32_t>(ds.size()));
+  write_be32(img, static_cast<std::uint32_t>(ds.height()));
+  write_be32(img, static_cast<std::uint32_t>(ds.width()));
+  write_be32(lab, kLabelsMagic);
+  write_be32(lab, static_cast<std::uint32_t>(ds.size()));
+
+  const std::int64_t pixels = ds.height() * ds.width();
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      const float v = ds.images[i * pixels + p];
+      img.put(static_cast<char>(
+          std::clamp(static_cast<int>(v * 255.0f + 0.5f), 0, 255)));
+    }
+    lab.put(static_cast<char>(ds.labels[static_cast<std::size_t>(i)]));
+  }
+  QCAPS_CHECK_MSG(img.good() && lab.good(), "IDX write failure");
+}
+
+}  // namespace qcaps::data

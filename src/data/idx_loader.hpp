@@ -1,0 +1,29 @@
+// Loader for the IDX file format used by MNIST / FashionMNIST.
+//
+// The synthetic datasets (synth.hpp) stand in for the real ones offline;
+// this loader closes the gap for users who do have the original files:
+//   load_idx_dataset("train-images-idx3-ubyte", "train-labels-idx1-ubyte")
+// yields a Dataset interchangeable with the synthetic ones, so every
+// example/bench can run on real MNIST by swapping the data source.
+//
+// Format (big-endian): magic 0x0000080x (ubyte, x = rank), per-dimension
+// sizes, then raw row-major payload. Pixels are rescaled to [0, 1].
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace qcaps::data {
+
+/// Load an images+labels IDX pair. `limit` > 0 truncates to the first N
+/// samples. Throws qcaps::Error on malformed files or count mismatches.
+Dataset load_idx_dataset(const std::string& images_path,
+                         const std::string& labels_path,
+                         std::int64_t limit = -1);
+
+/// Write a Dataset back out as an IDX pair (testing and interchange).
+void save_idx_dataset(const Dataset& ds, const std::string& images_path,
+                      const std::string& labels_path);
+
+}  // namespace qcaps::data

@@ -1,0 +1,45 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qcaps::data {
+
+BatchLoader::BatchLoader(const Dataset& dataset, std::int64_t batch_size,
+                         bool shuffle, std::uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+  QCAPS_CHECK(batch_size_ > 0);
+  order_.resize(static_cast<std::size_t>(dataset_.size()));
+  std::iota(order_.begin(), order_.end(), std::int64_t{0});
+  start_epoch();
+}
+
+std::int64_t BatchLoader::num_batches() const {
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void BatchLoader::start_epoch() {
+  if (!shuffle_) return;
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng_.uniform_index(i));
+    std::swap(order_[i - 1], order_[j]);
+  }
+}
+
+Batch BatchLoader::batch(std::int64_t b) const {
+  QCAPS_CHECK_MSG(b >= 0 && b < num_batches(), "batch index out of range: " << b);
+  const std::int64_t lo = b * batch_size_;
+  const std::int64_t hi = std::min(lo + batch_size_, dataset_.size());
+  std::vector<std::int64_t> idx(order_.begin() + lo, order_.begin() + hi);
+  Batch out;
+  out.images = dataset_.batch(idx);
+  out.labels.reserve(idx.size());
+  for (const auto i : idx)
+    out.labels.push_back(dataset_.labels[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace qcaps::data

@@ -1,0 +1,38 @@
+// Shuffled mini-batch iteration over a Dataset.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace qcaps::data {
+
+struct Batch {
+  tensor::Tensor images;     ///< [B, C, H, W]
+  std::vector<int> labels;   ///< size B
+};
+
+class BatchLoader {
+ public:
+  BatchLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+              std::uint64_t seed = 7);
+
+  /// Number of batches per epoch (last partial batch included).
+  std::int64_t num_batches() const;
+
+  /// Reshuffle (if enabled) and restart the epoch.
+  void start_epoch();
+
+  /// Fetch batch `b` of the current epoch.
+  Batch batch(std::int64_t b) const;
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  common::Rng rng_;
+  std::vector<std::int64_t> order_;
+};
+
+}  // namespace qcaps::data

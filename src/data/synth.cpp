@@ -1,0 +1,389 @@
+#include "data/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcaps::data {
+
+namespace {
+
+using common::Rng;
+
+struct Point {
+  float x, y;
+};
+struct Segment {
+  Point a, b;
+};
+
+/// Distance from point p to segment s.
+float segment_distance(Point p, const Segment& s) {
+  const float dx = s.b.x - s.a.x, dy = s.b.y - s.a.y;
+  const float len2 = dx * dx + dy * dy;
+  float t = 0.0f;
+  if (len2 > 1e-12f) {
+    t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len2;
+    t = std::clamp(t, 0.0f, 1.0f);
+  }
+  const float px = s.a.x + t * dx - p.x;
+  const float py = s.a.y + t * dy - p.y;
+  return std::sqrt(px * px + py * py);
+}
+
+/// Polyline helper: consecutive points become segments; closed loops repeat
+/// the first point at the end.
+void add_polyline(std::vector<Segment>& out, std::initializer_list<Point> pts,
+                  bool closed = false) {
+  const auto* begin = pts.begin();
+  const auto n = pts.size();
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    out.push_back({begin[i], begin[i + 1]});
+  if (closed && n >= 3) out.push_back({begin[n - 1], begin[0]});
+}
+
+/// Stroke tables for the ten digits, in unit coordinates (y grows downward).
+std::vector<Segment> digit_strokes(int digit) {
+  std::vector<Segment> s;
+  switch (digit) {
+    case 0:
+      add_polyline(s, {{0.50f, 0.10f}, {0.78f, 0.28f}, {0.78f, 0.72f},
+                       {0.50f, 0.90f}, {0.22f, 0.72f}, {0.22f, 0.28f}},
+                   /*closed=*/true);
+      break;
+    case 1:
+      add_polyline(s, {{0.35f, 0.28f}, {0.55f, 0.10f}, {0.55f, 0.90f}});
+      add_polyline(s, {{0.35f, 0.90f}, {0.75f, 0.90f}});
+      break;
+    case 2:
+      add_polyline(s, {{0.22f, 0.26f}, {0.40f, 0.10f}, {0.65f, 0.11f},
+                       {0.78f, 0.30f}, {0.24f, 0.88f}, {0.80f, 0.88f}});
+      break;
+    case 3:
+      add_polyline(s, {{0.22f, 0.14f}, {0.68f, 0.10f}, {0.78f, 0.28f},
+                       {0.52f, 0.46f}, {0.78f, 0.66f}, {0.68f, 0.88f},
+                       {0.22f, 0.88f}});
+      break;
+    case 4:
+      add_polyline(s, {{0.66f, 0.90f}, {0.66f, 0.10f}, {0.20f, 0.62f},
+                       {0.84f, 0.62f}});
+      break;
+    case 5:
+      add_polyline(s, {{0.78f, 0.10f}, {0.26f, 0.10f}, {0.23f, 0.46f},
+                       {0.62f, 0.42f}, {0.79f, 0.60f}, {0.70f, 0.86f},
+                       {0.22f, 0.90f}});
+      break;
+    case 6:
+      add_polyline(s, {{0.70f, 0.10f}, {0.38f, 0.34f}, {0.26f, 0.62f},
+                       {0.42f, 0.90f}, {0.68f, 0.82f}, {0.74f, 0.58f},
+                       {0.30f, 0.56f}});
+      break;
+    case 7:
+      add_polyline(s, {{0.20f, 0.10f}, {0.80f, 0.10f}, {0.44f, 0.90f}});
+      add_polyline(s, {{0.34f, 0.50f}, {0.66f, 0.50f}});
+      break;
+    case 8:
+      add_polyline(s, {{0.50f, 0.10f}, {0.73f, 0.20f}, {0.69f, 0.38f},
+                       {0.50f, 0.47f}, {0.31f, 0.38f}, {0.27f, 0.20f}},
+                   /*closed=*/true);
+      add_polyline(s, {{0.50f, 0.50f}, {0.77f, 0.62f}, {0.71f, 0.84f},
+                       {0.50f, 0.92f}, {0.29f, 0.84f}, {0.23f, 0.62f}},
+                   /*closed=*/true);
+      break;
+    case 9:
+      add_polyline(s, {{0.50f, 0.10f}, {0.74f, 0.20f}, {0.74f, 0.42f},
+                       {0.50f, 0.50f}, {0.30f, 0.40f}, {0.30f, 0.20f}},
+                   /*closed=*/true);
+      add_polyline(s, {{0.74f, 0.32f}, {0.68f, 0.90f}});
+      break;
+    default:
+      QCAPS_CHECK_MSG(false, "digit out of range: " << digit);
+  }
+  return s;
+}
+
+struct Affine {
+  // Maps pixel coords -> canonical unit coords (inverse of the sample pose).
+  float cos_t, sin_t, scale_inv, cx, cy, tx, ty;
+
+  Point apply(float px, float py) const {
+    // Translate to center, un-rotate, un-scale, back to unit frame.
+    const float x0 = px - cx - tx;
+    const float y0 = py - cy - ty;
+    const float xr = (cos_t * x0 + sin_t * y0) * scale_inv;
+    const float yr = (-sin_t * x0 + cos_t * y0) * scale_inv;
+    return {xr + 0.5f, yr + 0.5f};
+  }
+};
+
+Affine random_pose(Rng& rng, float size, float max_shift, float max_rot_deg,
+                   float scale_lo, float scale_hi) {
+  const float theta = rng.uniform(-max_rot_deg, max_rot_deg) *
+                      std::numbers::pi_v<float> / 180.0f;
+  const float scale = rng.uniform(scale_lo, scale_hi) * size;
+  Affine a;
+  a.cos_t = std::cos(theta);
+  a.sin_t = std::sin(theta);
+  a.scale_inv = 1.0f / scale;
+  a.cx = size * 0.5f;
+  a.cy = size * 0.5f;
+  a.tx = rng.uniform(-max_shift, max_shift);
+  a.ty = rng.uniform(-max_shift, max_shift);
+  return a;
+}
+
+// ---- digits -----------------------------------------------------------------
+
+void render_digit(float* img, int size, int digit, Rng& rng) {
+  const auto strokes = digit_strokes(digit);
+  const Affine pose = random_pose(rng, static_cast<float>(size),
+                                  /*max_shift=*/2.5f, /*max_rot_deg=*/14.0f,
+                                  /*scale_lo=*/0.72f, /*scale_hi=*/0.95f);
+  const float width = rng.uniform(0.045f, 0.075f);  // stroke half-width, unit
+  const float peak = rng.uniform(0.75f, 1.0f);
+  const float noise_sd = 0.04f;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const Point p = pose.apply(static_cast<float>(x) + 0.5f,
+                                 static_cast<float>(y) + 0.5f);
+      float d = 1e9f;
+      for (const auto& seg : strokes) d = std::min(d, segment_distance(p, seg));
+      float v = peak * std::exp(-(d * d) / (2.0f * width * width));
+      v += rng.normal(0.0f, noise_sd);
+      img[y * size + x] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+// ---- fashion ----------------------------------------------------------------
+
+/// Silhouette masks for ten garment-like classes over unit coordinates.
+bool fashion_mask(int cls, Point p, float w1, float w2) {
+  const float x = p.x, y = p.y;
+  auto in_rect = [](float x0, float y0, float x1, float y1, float px, float py) {
+    return px >= x0 && px <= x1 && py >= y0 && py <= y1;
+  };
+  switch (cls) {
+    case 0:  // t-shirt: torso + short sleeves
+      return in_rect(0.33f, 0.22f, 0.67f, 0.85f, x, y) ||
+             in_rect(0.12f, 0.22f, 0.88f, 0.40f + 0.06f * w1, x, y);
+    case 1:  // trousers: two legs joined at a waistband
+      return in_rect(0.30f, 0.15f, 0.70f, 0.30f, x, y) ||
+             in_rect(0.30f, 0.30f, 0.46f + 0.02f * w1, 0.92f, x, y) ||
+             in_rect(0.54f - 0.02f * w1, 0.30f, 0.70f, 0.92f, x, y);
+    case 2:  // pullover: torso + long sleeves
+      return in_rect(0.32f, 0.20f, 0.68f, 0.88f, x, y) ||
+             in_rect(0.10f, 0.20f, 0.90f, 0.32f, x, y) ||
+             in_rect(0.10f, 0.20f, 0.22f, 0.75f + 0.08f * w2, x, y) ||
+             in_rect(0.78f, 0.20f, 0.90f, 0.75f + 0.08f * w2, x, y);
+    case 3: {  // dress: fitted top flaring to a skirt
+      const float flare = 0.18f + 0.30f * (y - 0.3f) + 0.04f * w1;
+      return y >= 0.15f && y <= 0.92f && std::fabs(x - 0.5f) <=
+                 (y < 0.3f ? 0.14f : std::min(0.38f, flare));
+    }
+    case 4:  // coat: long torso, open front seam
+      return (in_rect(0.28f, 0.15f, 0.72f, 0.92f, x, y) &&
+              std::fabs(x - 0.5f) > 0.015f) ||
+             in_rect(0.10f, 0.15f, 0.90f, 0.30f, x, y);
+    case 5: {  // sandal: sole bar + straps
+      const bool sole = in_rect(0.12f, 0.68f, 0.88f, 0.80f, x, y);
+      const bool strap1 = std::fabs((y - 0.68f) + 0.9f * (x - 0.62f)) < 0.035f &&
+                          x > 0.35f && x < 0.72f && y > 0.3f;
+      const bool strap2 = std::fabs((y - 0.68f) - 0.9f * (x - 0.38f)) < 0.035f &&
+                          x > 0.28f && x < 0.65f && y > 0.3f;
+      return sole || strap1 || strap2;
+    }
+    case 6:  // shirt: torso + collar notch + sleeves
+      return (in_rect(0.34f, 0.18f, 0.66f, 0.88f, x, y) &&
+              !(y < 0.28f && std::fabs(x - 0.5f) < 0.06f)) ||
+             in_rect(0.14f, 0.18f, 0.86f, 0.34f, x, y);
+    case 7: {  // sneaker: wedge profile
+      const bool body = y > 0.45f && y < 0.78f &&
+                        x > 0.10f && x < 0.90f &&
+                        y > 0.78f - (x - 0.10f) * (0.32f + 0.05f * w1);
+      const bool sole = in_rect(0.10f, 0.74f, 0.90f, 0.82f, x, y);
+      return body || sole;
+    }
+    case 8: {  // bag: box + handle ring
+      const bool box = in_rect(0.20f, 0.42f, 0.80f, 0.88f, x, y);
+      const float dx = x - 0.5f, dy = y - 0.40f;
+      const float r = std::sqrt(dx * dx + 4.0f * dy * dy);
+      const bool handle = r > 0.16f && r < 0.24f && y < 0.44f;
+      return box || handle;
+    }
+    case 9:  // ankle boot: shaft + foot
+      return in_rect(0.34f, 0.15f, 0.62f, 0.62f, x, y) ||
+             in_rect(0.34f, 0.55f, 0.88f, 0.80f, x, y);
+    default:
+      QCAPS_CHECK_MSG(false, "fashion class out of range: " << cls);
+  }
+  return false;
+}
+
+void render_fashion(float* img, int size, int cls, Rng& rng) {
+  const Affine pose = random_pose(rng, static_cast<float>(size),
+                                  /*max_shift=*/2.0f, /*max_rot_deg=*/8.0f,
+                                  /*scale_lo=*/0.78f, /*scale_hi=*/1.0f);
+  const float w1 = rng.uniform(0.0f, 1.0f);
+  const float w2 = rng.uniform(0.0f, 1.0f);
+  const float base = rng.uniform(0.55f, 0.95f);
+  const float stripe_freq = rng.uniform(4.0f, 9.0f);
+  const float stripe_amp = rng.uniform(0.0f, 0.25f);
+  const float noise_sd = 0.05f;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const Point p = pose.apply(static_cast<float>(x) + 0.5f,
+                                 static_cast<float>(y) + 0.5f);
+      float v = 0.0f;
+      if (p.x >= 0.0f && p.x <= 1.0f && p.y >= 0.0f && p.y <= 1.0f &&
+          fashion_mask(cls, p, w1, w2)) {
+        v = base * (1.0f + stripe_amp * std::sin(stripe_freq * 2.0f *
+                                                 std::numbers::pi_v<float> * p.y));
+      }
+      v += rng.normal(0.0f, noise_sd);
+      img[y * size + x] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+// ---- cifar ------------------------------------------------------------------
+
+/// Shape masks for ten classes over unit coordinates.
+bool cifar_mask(int cls, Point p) {
+  const float x = p.x - 0.5f, y = p.y - 0.5f;
+  const float r = std::sqrt(x * x + y * y);
+  switch (cls) {
+    case 0: return r < 0.30f;                                   // disc
+    case 1: return std::fabs(x) < 0.27f && std::fabs(y) < 0.27f; // square
+    case 2:  // triangle
+      return p.y > 0.25f && p.y < 0.82f &&
+             std::fabs(x) < 0.55f * (p.y - 0.25f);
+    case 3: return r > 0.17f && r < 0.31f;                      // ring
+    case 4:  // cross
+      return (std::fabs(x) < 0.10f && std::fabs(y) < 0.33f) ||
+             (std::fabs(y) < 0.10f && std::fabs(x) < 0.33f);
+    case 5: return std::fabs(x) + std::fabs(y) < 0.34f;         // diamond
+    case 6:  // horizontal stripes
+      return std::fabs(y) < 0.32f && std::fabs(x) < 0.34f &&
+             std::fmod(p.y * 6.0f, 1.0f) < 0.5f;
+    case 7:  // vertical stripes
+      return std::fabs(y) < 0.34f && std::fabs(x) < 0.32f &&
+             std::fmod(p.x * 6.0f, 1.0f) < 0.5f;
+    case 8: {  // four-point star
+      const float a = std::fabs(x), b = std::fabs(y);
+      return std::sqrt(a) + std::sqrt(b) < 0.72f;
+    }
+    case 9:  // checker
+      return std::fabs(x) < 0.33f && std::fabs(y) < 0.33f &&
+             (static_cast<int>(std::floor(p.x * 5.0f)) +
+              static_cast<int>(std::floor(p.y * 5.0f))) % 2 == 0;
+    default:
+      QCAPS_CHECK_MSG(false, "cifar class out of range: " << cls);
+  }
+  return false;
+}
+
+void hue_to_rgb(float hue, float sat, float val, float rgb[3]) {
+  // Minimal HSV->RGB with s, v in [0,1], hue in [0,1).
+  const float h6 = hue * 6.0f;
+  const int i = static_cast<int>(h6) % 6;
+  const float f = h6 - std::floor(h6);
+  const float q0 = val * (1.0f - sat);
+  const float q1 = val * (1.0f - sat * f);
+  const float q2 = val * (1.0f - sat * (1.0f - f));
+  switch (i) {
+    case 0: rgb[0] = val; rgb[1] = q2; rgb[2] = q0; break;
+    case 1: rgb[0] = q1; rgb[1] = val; rgb[2] = q0; break;
+    case 2: rgb[0] = q0; rgb[1] = val; rgb[2] = q2; break;
+    case 3: rgb[0] = q0; rgb[1] = q1; rgb[2] = val; break;
+    case 4: rgb[0] = q2; rgb[1] = q0; rgb[2] = val; break;
+    default: rgb[0] = val; rgb[1] = q0; rgb[2] = q1; break;
+  }
+}
+
+void render_cifar(float* img, int size, int cls, Rng& rng) {
+  const Affine pose = random_pose(rng, static_cast<float>(size),
+                                  /*max_shift=*/3.0f, /*max_rot_deg=*/20.0f,
+                                  /*scale_lo=*/0.75f, /*scale_hi=*/1.05f);
+  // Class-characteristic foreground hue (with jitter) vs random background.
+  const float fg_hue = std::fmod(static_cast<float>(cls) * 0.1f +
+                                     rng.uniform(-0.03f, 0.03f) + 1.0f,
+                                 1.0f);
+  const float bg_hue = rng.uniform(0.0f, 1.0f);
+  float fg[3], bg[3];
+  hue_to_rgb(fg_hue, rng.uniform(0.55f, 0.9f), rng.uniform(0.7f, 1.0f), fg);
+  hue_to_rgb(bg_hue, rng.uniform(0.1f, 0.35f), rng.uniform(0.25f, 0.6f), bg);
+  const float noise_sd = 0.05f;
+  const int plane = size * size;
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      const Point p = pose.apply(static_cast<float>(x) + 0.5f,
+                                 static_cast<float>(y) + 0.5f);
+      const bool fgp = p.x >= 0.0f && p.x <= 1.0f && p.y >= 0.0f &&
+                       p.y <= 1.0f && cifar_mask(cls, p);
+      for (int c = 0; c < 3; ++c) {
+        float v = fgp ? fg[c] : bg[c];
+        v += rng.normal(0.0f, noise_sd);
+        img[c * plane + y * size + x] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+Dataset make_synth(std::int64_t n, std::uint64_t seed, const char* name,
+                   int size, int channels,
+                   void (*render)(float*, int, int, Rng&)) {
+  QCAPS_CHECK(n > 0);
+  Dataset ds;
+  ds.name = name;
+  ds.num_classes = 10;
+  ds.images = tensor::Tensor({n, channels, size, size});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::int64_t img_elems = channels * size * size;
+  Rng master(seed);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(n));
+  for (auto& s : seeds) s = master.next_u64();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    Rng rng(seeds[static_cast<std::size_t>(i)]);
+    const int cls = static_cast<int>(i % 10);  // balanced classes
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    render(ds.images.data() + i * img_elems, size, cls, rng);
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_synth_digits(std::int64_t n, std::uint64_t seed) {
+  return make_synth(n, seed, "synth-digits", 28, 1, &render_digit);
+}
+
+Dataset make_synth_fashion(std::int64_t n, std::uint64_t seed) {
+  return make_synth(n, seed, "synth-fashion", 28, 1, &render_fashion);
+}
+
+Dataset make_synth_cifar(std::int64_t n, std::uint64_t seed) {
+  return make_synth(n, seed, "synth-cifar", 32, 3, &render_cifar);
+}
+
+DataSplit make_digits_split(const SynthConfig& cfg) {
+  return {make_synth_digits(cfg.train_size, cfg.seed),
+          make_synth_digits(cfg.test_size, cfg.seed + 0x7e57)};
+}
+
+DataSplit make_fashion_split(const SynthConfig& cfg) {
+  return {make_synth_fashion(cfg.train_size, cfg.seed),
+          make_synth_fashion(cfg.test_size, cfg.seed + 0x7e57)};
+}
+
+DataSplit make_cifar_split(const SynthConfig& cfg) {
+  return {make_synth_cifar(cfg.train_size, cfg.seed),
+          make_synth_cifar(cfg.test_size, cfg.seed + 0x7e57)};
+}
+
+}  // namespace qcaps::data

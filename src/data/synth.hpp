@@ -1,0 +1,36 @@
+// Procedural synthetic datasets standing in for MNIST, FashionMNIST and
+// CIFAR10 (none of which is available offline — see DESIGN.md §3).
+//
+// Each generator produces class-conditional images with per-sample random
+// geometric and photometric variation, so a trained model reaches high FP32
+// accuracy yet degrades gracefully under quantization — the property the
+// Q-CapsNets experiments rely on.
+//
+//  * digits  — 28x28x1, ten handwritten-style digits rendered from stroke
+//              tables with random shift/rotation/scale/width/noise.
+//  * fashion — 28x28x1, ten garment-like silhouettes with texture.
+//  * cifar   — 32x32x3, ten colored shape classes on textured backgrounds.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace qcaps::data {
+
+struct SynthConfig {
+  std::int64_t train_size = 2000;
+  std::int64_t test_size = 512;
+  std::uint64_t seed = 1;
+};
+
+Dataset make_synth_digits(std::int64_t n, std::uint64_t seed);
+Dataset make_synth_fashion(std::int64_t n, std::uint64_t seed);
+Dataset make_synth_cifar(std::int64_t n, std::uint64_t seed);
+
+/// Train/test splits with disjoint seeds.
+DataSplit make_digits_split(const SynthConfig& cfg);
+DataSplit make_fashion_split(const SynthConfig& cfg);
+DataSplit make_cifar_split(const SynthConfig& cfg);
+
+}  // namespace qcaps::data

@@ -1,0 +1,69 @@
+#include "fixed/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qcaps::fixed {
+
+namespace {
+/// Exact average Huffman code length for the given symbol counts, via the
+/// classic two-smallest-merge priority queue (no tree materialized: the sum
+/// of all internal-node weights equals total weighted code length).
+double huffman_average_bits(const std::vector<std::int64_t>& counts,
+                            std::int64_t total) {
+  if (counts.size() <= 1) return counts.empty() ? 0.0 : 1.0;
+  std::priority_queue<std::int64_t, std::vector<std::int64_t>,
+                      std::greater<>> heap;
+  for (const auto c : counts) heap.push(c);
+  double weighted_length = 0.0;
+  while (heap.size() > 1) {
+    const std::int64_t a = heap.top();
+    heap.pop();
+    const std::int64_t b = heap.top();
+    heap.pop();
+    weighted_length += static_cast<double>(a + b);
+    heap.push(a + b);
+  }
+  return weighted_length / static_cast<double>(total);
+}
+}  // namespace
+
+EntropyStats analyze_quantized(const tensor::Tensor& t, const FixedFormat& fmt) {
+  QCAPS_CHECK_MSG(t.numel() > 0, "entropy of an empty tensor");
+  std::map<std::int64_t, std::int64_t> histogram;
+  const double scale = std::ldexp(1.0, fmt.qf);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double scaled = static_cast<double>(t[i]) * scale;
+    const std::int64_t code = static_cast<std::int64_t>(std::llround(scaled));
+    QCAPS_CHECK_MSG(std::fabs(scaled - static_cast<double>(code)) < 1e-6,
+                    "value " << t[i] << " is not on the " << fmt.to_string()
+                             << " grid — quantize first");
+    ++histogram[code];
+  }
+  EntropyStats stats;
+  stats.wordlength = fmt.wordlength();
+  stats.distinct_symbols = static_cast<std::int64_t>(histogram.size());
+  const double total = static_cast<double>(t.numel());
+  std::vector<std::int64_t> counts;
+  counts.reserve(histogram.size());
+  for (const auto& [code, count] : histogram) {
+    counts.push_back(count);
+    const double p = static_cast<double>(count) / total;
+    stats.entropy_bits -= p * std::log2(p);
+  }
+  stats.huffman_bits = huffman_average_bits(counts, t.numel());
+  return stats;
+}
+
+EntropyStats quantize_and_analyze(const tensor::Tensor& t, const FixedFormat& fmt,
+                                  RoundingScheme scheme, std::uint64_t seed) {
+  const Quantizer q(fmt, scheme, seed);
+  return analyze_quantized(q.quantized(t), fmt);
+}
+
+}  // namespace qcaps::fixed

@@ -1,0 +1,37 @@
+// Entropy analysis of quantized tensors.
+//
+// Deep Compression (Han et al. [6], cited by the paper) follows quantization
+// with Huffman coding for a further lossless memory cut. These helpers
+// measure what that buys on a Q-CapsNets result: the empirical symbol
+// entropy of a quantized tensor and the exact average Huffman code length,
+// i.e. the achievable bits/weight below the fixed wordlength.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/quantizer.hpp"
+
+namespace qcaps::fixed {
+
+struct EntropyStats {
+  double entropy_bits = 0.0;       ///< Shannon entropy of the symbols
+  double huffman_bits = 0.0;       ///< average Huffman code length
+  std::int64_t distinct_symbols = 0;
+  int wordlength = 0;              ///< fixed-point bits per symbol
+
+  /// Lossless compression factor of Huffman over fixed-length storage.
+  double huffman_gain() const {
+    return huffman_bits > 0.0 ? wordlength / huffman_bits : 0.0;
+  }
+};
+
+/// Analyze a tensor already quantized to `fmt` (each value must lie on the
+/// grid; the raw two's-complement code is the symbol).
+EntropyStats analyze_quantized(const tensor::Tensor& t, const FixedFormat& fmt);
+
+/// Quantize, then analyze.
+EntropyStats quantize_and_analyze(const tensor::Tensor& t, const FixedFormat& fmt,
+                                  RoundingScheme scheme,
+                                  std::uint64_t seed = 0);
+
+}  // namespace qcaps::fixed

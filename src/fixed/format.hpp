@@ -1,0 +1,53 @@
+// Two's-complement fixed-point format ⟨QI.QF⟩ (paper Sec. II-B).
+//
+// A format with QI integer bits and QF fractional bits has wordlength
+// N = QI + QF, precision eps = 2^-QF, and representable range
+// [-2^(QI-1), 2^(QI-1) - 2^-QF]. The sign bit is counted inside QI.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qcaps::fixed {
+
+struct FixedFormat {
+  int qi = 1;   ///< integer bits (including sign)
+  int qf = 15;  ///< fractional bits
+
+  constexpr FixedFormat() = default;
+  constexpr FixedFormat(int integer_bits, int fractional_bits)
+      : qi(integer_bits), qf(fractional_bits) {}
+
+  constexpr int wordlength() const { return qi + qf; }
+  /// Quantization step 2^-QF.
+  double precision() const { return std::ldexp(1.0, -qf); }
+  /// Lowest representable value -2^(QI-1).
+  double min_value() const { return -std::ldexp(1.0, qi - 1); }
+  /// Highest representable value 2^(QI-1) - 2^-QF.
+  double max_value() const { return std::ldexp(1.0, qi - 1) - precision(); }
+  /// Number of representable levels 2^N.
+  std::int64_t levels() const { return std::int64_t{1} << wordlength(); }
+
+  bool valid() const { return qi >= 1 && qf >= 0 && wordlength() <= 62; }
+
+  /// Raw integer bounds of the two's-complement representation.
+  std::int64_t raw_min() const { return -(std::int64_t{1} << (wordlength() - 1)); }
+  std::int64_t raw_max() const { return (std::int64_t{1} << (wordlength() - 1)) - 1; }
+
+  std::string to_string() const {
+    return "<" + std::to_string(qi) + "." + std::to_string(qf) + ">";
+  }
+
+  friend bool operator==(const FixedFormat&, const FixedFormat&) = default;
+};
+
+/// The paper's convention: all quantized tensors keep a 1-bit integer part
+/// and vary only the fractional wordlength (Sec. III-A, Step 1).
+inline FixedFormat paper_format(int fractional_bits) {
+  return FixedFormat(1, fractional_bits);
+}
+
+}  // namespace qcaps::fixed

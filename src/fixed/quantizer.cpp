@@ -1,0 +1,65 @@
+#include "fixed/quantizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcaps::fixed {
+
+void Quantizer::apply(tensor::Tensor& t) const {
+  QCAPS_CHECK_MSG(fmt_.valid(), "invalid fixed format " << fmt_.to_string());
+  float* p = t.data();
+  const std::int64_t n = t.numel();
+  const bool stochastic = scheme_ == RoundingScheme::kStochastic;
+  const std::uint64_t seed = seed_;
+  const FixedFormat fmt = fmt_;
+  const RoundingScheme scheme = scheme_;
+#pragma omp parallel for schedule(static) if (n > (1 << 15))
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float noise =
+        stochastic
+            ? common::u64_to_unit_float(common::counter_hash(seed, static_cast<std::uint64_t>(i)))
+            : 0.0f;
+    p[i] = static_cast<float>(quantize_value(p[i], fmt, scheme, noise));
+  }
+}
+
+tensor::Tensor Quantizer::quantized(const tensor::Tensor& t) const {
+  tensor::Tensor out = t;
+  apply(out);
+  return out;
+}
+
+QuantError measure_error(const tensor::Tensor& reference,
+                         const tensor::Tensor& quantized) {
+  QCAPS_CHECK_MSG(reference.same_shape(quantized), "measure_error shape mismatch");
+  const std::int64_t n = reference.numel();
+  QCAPS_CHECK(n > 0);
+  const float* x = reference.data();
+  const float* xq = quantized.data();
+  double sum_err = 0.0, sum_sq_err = 0.0, sum_sq_sig = 0.0, max_abs = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double e = static_cast<double>(xq[i]) - static_cast<double>(x[i]);
+    sum_err += e;
+    sum_sq_err += e * e;
+    sum_sq_sig += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+    max_abs = std::max(max_abs, std::fabs(e));
+  }
+  QuantError qe;
+  qe.bias = sum_err / static_cast<double>(n);
+  qe.mse = sum_sq_err / static_cast<double>(n);
+  qe.max_abs = max_abs;
+  qe.sqnr_db = (sum_sq_err > 0.0)
+                   ? 10.0 * std::log10(sum_sq_sig / sum_sq_err)
+                   : 300.0;  // lossless: report a large finite SQNR
+  return qe;
+}
+
+QuantError quantization_error(const tensor::Tensor& t, const FixedFormat& fmt,
+                              RoundingScheme scheme, std::uint64_t seed) {
+  const Quantizer q(fmt, scheme, seed);
+  return measure_error(t, q.quantized(t));
+}
+
+}  // namespace qcaps::fixed

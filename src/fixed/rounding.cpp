@@ -1,0 +1,78 @@
+#include "fixed/rounding.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace qcaps::fixed {
+
+std::string scheme_name(RoundingScheme scheme) {
+  switch (scheme) {
+    case RoundingScheme::kTruncation: return "TRN";
+    case RoundingScheme::kRoundToNearest: return "RTN";
+    case RoundingScheme::kStochastic: return "SR";
+  }
+  return "?";
+}
+
+RoundingScheme scheme_from_name(const std::string& name) {
+  std::string up = name;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (up == "TRN") return RoundingScheme::kTruncation;
+  if (up == "RTN") return RoundingScheme::kRoundToNearest;
+  if (up == "SR") return RoundingScheme::kStochastic;
+  throw qcaps::Error("unknown rounding scheme: " + name);
+}
+
+const std::vector<RoundingScheme>& all_schemes() {
+  static const std::vector<RoundingScheme> schemes = {
+      RoundingScheme::kTruncation, RoundingScheme::kRoundToNearest,
+      RoundingScheme::kStochastic};
+  return schemes;
+}
+
+int scheme_complexity_rank(RoundingScheme scheme) {
+  switch (scheme) {
+    case RoundingScheme::kTruncation: return 0;    // drop LSBs only
+    case RoundingScheme::kRoundToNearest: return 1;  // adder on the round bit
+    case RoundingScheme::kStochastic: return 2;    // needs an RNG
+  }
+  return 3;
+}
+
+std::int64_t to_raw(double x, const FixedFormat& fmt, RoundingScheme scheme,
+                    float noise) {
+  QCAPS_CHECK_MSG(fmt.valid(), "invalid fixed format " << fmt.to_string());
+  const double scaled = std::ldexp(x, fmt.qf);  // x / eps
+  double r = 0.0;
+  switch (scheme) {
+    case RoundingScheme::kTruncation:
+      r = std::floor(scaled);
+      break;
+    case RoundingScheme::kRoundToNearest:
+      // Half-up: floor(x/eps + 1/2), Eq. (3) of the paper.
+      r = std::floor(scaled + 0.5);
+      break;
+    case RoundingScheme::kStochastic: {
+      // Eq. (4): round down iff P >= residue, i.e. up with prob = residue.
+      const double fl = std::floor(scaled);
+      const double residue = scaled - fl;
+      r = (static_cast<double>(noise) < residue) ? fl + 1.0 : fl;
+      break;
+    }
+  }
+  const double lo = static_cast<double>(fmt.raw_min());
+  const double hi = static_cast<double>(fmt.raw_max());
+  return static_cast<std::int64_t>(std::clamp(r, lo, hi));
+}
+
+double from_raw(std::int64_t raw, const FixedFormat& fmt) {
+  return std::ldexp(static_cast<double>(raw), -fmt.qf);
+}
+
+double quantize_value(double x, const FixedFormat& fmt, RoundingScheme scheme,
+                      float noise) {
+  return from_raw(to_raw(x, fmt, scheme, noise), fmt);
+}
+
+}  // namespace qcaps::fixed

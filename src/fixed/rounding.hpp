@@ -1,0 +1,48 @@
+// Rounding schemes for float -> fixed-point conversion (paper Sec. II-B).
+//
+//  * TRN — truncation: floor to the next-lower grid point; negative bias.
+//  * RTN — round-to-nearest, half-up: smaller negative bias.
+//  * SR  — stochastic rounding: round up with probability equal to the
+//          fractional residue; unbiased in expectation. Uses a stateless
+//          counter-based random stream so results are reproducible and
+//          thread-order independent.
+//
+// All schemes saturate at the format's representable range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixed/format.hpp"
+
+namespace qcaps::fixed {
+
+enum class RoundingScheme { kTruncation, kRoundToNearest, kStochastic };
+
+/// Short tag used in reports ("TRN", "RTN", "SR").
+std::string scheme_name(RoundingScheme scheme);
+
+/// Parse "TRN"/"RTN"/"SR" (case-insensitive); throws qcaps::Error otherwise.
+RoundingScheme scheme_from_name(const std::string& name);
+
+/// All schemes in the paper's complexity order (simplest first) — also the
+/// tie-break order of the selection rule in Sec. III-B.
+const std::vector<RoundingScheme>& all_schemes();
+
+/// Relative hardware complexity rank for tie-breaking (lower = simpler).
+int scheme_complexity_rank(RoundingScheme scheme);
+
+/// Quantize a single value onto the fmt grid with the given scheme.
+/// `noise` must be a uniform [0,1) variate for SR (ignored otherwise).
+double quantize_value(double x, const FixedFormat& fmt, RoundingScheme scheme,
+                      float noise = 0.0f);
+
+/// Convert to the raw two's-complement integer representation (saturating).
+std::int64_t to_raw(double x, const FixedFormat& fmt, RoundingScheme scheme,
+                    float noise = 0.0f);
+
+/// Back-convert a raw integer to its real value.
+double from_raw(std::int64_t raw, const FixedFormat& fmt);
+
+}  // namespace qcaps::fixed

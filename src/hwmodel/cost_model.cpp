@@ -1,0 +1,60 @@
+#include "hwmodel/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::hwmodel {
+
+namespace {
+// Calibration constants (see header). Energy in pJ, area in µm².
+//
+// MAC: multiplier array ~ a*N^2, accumulator/adder/register ~ b*N.
+constexpr double kMacEnergyQuad = 1.25e-3;
+constexpr double kMacEnergyLin = 3.5e-3;
+constexpr double kMacAreaQuad = 9.6;
+constexpr double kMacAreaLin = 30.0;
+
+// Squash: norm (squarers), reciprocal and inv-sqrt iterations — all
+// multiplier-dominated, hence quadratic in the fractional width F.
+constexpr double kSquashEnergyQuad = 0.070;
+constexpr double kSquashAreaQuad = 109.0;
+
+// Softmax: exp LUT (grows with 2^addr truncated to the quadratic regime in
+// the paper's 2..8-bit window) + divider.
+constexpr double kSoftmaxEnergyQuad = 0.065;
+constexpr double kSoftmaxAreaQuad = 101.0;
+}  // namespace
+
+UnitCost MacUnitModel::cost(int bits) const {
+  QCAPS_CHECK_MSG(bits >= 1 && bits <= 64, "MAC wordlength out of range: " << bits);
+  const double n = static_cast<double>(bits);
+  return {kMacEnergyQuad * n * n + kMacEnergyLin * n,
+          kMacAreaQuad * n * n + kMacAreaLin * n};
+}
+
+UnitCost SquashUnitModel::cost(int fractional_bits) const {
+  QCAPS_CHECK_MSG(fractional_bits >= 1 && fractional_bits <= 32,
+                  "squash fractional width out of range: " << fractional_bits);
+  const double f = static_cast<double>(fractional_bits);
+  return {kSquashEnergyQuad * f * f, kSquashAreaQuad * f * f};
+}
+
+UnitCost SoftmaxUnitModel::cost(int fractional_bits) const {
+  QCAPS_CHECK_MSG(fractional_bits >= 1 && fractional_bits <= 32,
+                  "softmax fractional width out of range: " << fractional_bits);
+  const double f = static_cast<double>(fractional_bits);
+  return {kSoftmaxEnergyQuad * f * f, kSoftmaxAreaQuad * f * f};
+}
+
+InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
+                                 std::int64_t squash_ops,
+                                 std::int64_t softmax_ops, int act_frac_bits) {
+  InferenceEnergy e;
+  e.mac_pj = static_cast<double>(macs) * MacUnitModel{}.cost(mac_bits).energy_pj;
+  e.squash_pj = static_cast<double>(squash_ops) *
+                SquashUnitModel{}.cost(act_frac_bits).energy_pj;
+  e.softmax_pj = static_cast<double>(softmax_ops) *
+                 SoftmaxUnitModel{}.cost(act_frac_bits).energy_pj;
+  return e;
+}
+
+}  // namespace qcaps::hwmodel

@@ -1,0 +1,63 @@
+// Analytic energy/area models of the fixed-point arithmetic units that a
+// CapsNet accelerator instantiates: MAC, squash, softmax.
+//
+// The paper obtains these numbers by synthesizing RTL in UMC 65 nm with
+// Synopsys Design Compiler (Figs. 2-3) — tools we do not have. Substitution:
+// gate-complexity models (array multiplier ~ N^2, adders/registers ~ N,
+// nonlinear function datapaths ~ quadratic in the fractional width) with
+// coefficients calibrated to the published curves:
+//   * 32-bit MAC  ≈ 1.4 pJ / 10800 µm²  (Fig. 2 right end)
+//   * 8-frac-bit squash/softmax ≈ 4-5 pJ / ~7000 µm² (Fig. 3 right end)
+// The models keep the property the paper's argument rests on: cost grows
+// quadratically with wordlength, and squash/softmax are several times more
+// expensive than a MAC at equal width.
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/format.hpp"
+
+namespace qcaps::hwmodel {
+
+/// Energy (pJ/op) and area (µm²) of one hardware unit instance.
+struct UnitCost {
+  double energy_pj = 0.0;
+  double area_um2 = 0.0;
+};
+
+/// Fixed-point multiply-accumulate unit with N-bit operands (Fig. 2).
+class MacUnitModel {
+ public:
+  /// Cost for operand wordlength `bits` (4..32 in the paper's sweep).
+  UnitCost cost(int bits) const;
+};
+
+/// Squash-function datapath: vector norm, 1/(1+x) and inverse square root
+/// (Fig. 3 left). Parameterized on the fractional width; the paper keeps a
+/// single integer bit.
+class SquashUnitModel {
+ public:
+  UnitCost cost(int fractional_bits) const;
+};
+
+/// Softmax datapath: exponential LUT + normalizing divider (Fig. 3 right).
+class SoftmaxUnitModel {
+ public:
+  UnitCost cost(int fractional_bits) const;
+};
+
+/// Inference-level roll-up: energy of `macs` MAC operations at wordlength
+/// `mac_bits` plus `squash_ops`/`softmax_ops` activations at `act_frac_bits`.
+/// Used by the benches to translate quantization choices into energy.
+struct InferenceEnergy {
+  double mac_pj = 0.0;
+  double squash_pj = 0.0;
+  double softmax_pj = 0.0;
+  double total_pj() const { return mac_pj + squash_pj + softmax_pj; }
+};
+
+InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
+                                 std::int64_t squash_ops,
+                                 std::int64_t softmax_ops, int act_frac_bits);
+
+}  // namespace qcaps::hwmodel

@@ -1,0 +1,223 @@
+#include "hwmodel/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qcaps::hwmodel {
+
+std::int64_t saturate_raw(std::int64_t raw, const fixed::FixedFormat& fmt) {
+  return std::clamp(raw, fmt.raw_min(), fmt.raw_max());
+}
+
+std::int64_t rescale_raw(std::int64_t raw, int from_qf,
+                         const fixed::FixedFormat& fmt,
+                         fixed::RoundingScheme scheme, float noise) {
+  const int shift = from_qf - fmt.qf;
+  std::int64_t r = raw;
+  if (shift > 0) {
+    const std::int64_t unit = std::int64_t{1} << shift;
+    switch (scheme) {
+      case fixed::RoundingScheme::kTruncation:
+        // Arithmetic shift right == floor division for two's complement.
+        r = raw >> shift;
+        break;
+      case fixed::RoundingScheme::kRoundToNearest:
+        r = (raw + (unit >> 1)) >> shift;
+        break;
+      case fixed::RoundingScheme::kStochastic: {
+        const std::int64_t fl = raw >> shift;
+        const std::int64_t residue = raw - (fl << shift);
+        const double p = static_cast<double>(residue) / static_cast<double>(unit);
+        r = (static_cast<double>(noise) < p) ? fl + 1 : fl;
+        break;
+      }
+    }
+  } else if (shift < 0) {
+    r = raw << (-shift);
+  }
+  return saturate_raw(r, fmt);
+}
+
+FixedNum fixed_mul(const FixedNum& a, const FixedNum& b,
+                   const fixed::FixedFormat& out_fmt,
+                   fixed::RoundingScheme scheme) {
+  // Widening multiply: the product has qf_a + qf_b fractional bits.
+  const std::int64_t wide = a.raw * b.raw;
+  return {rescale_raw(wide, a.fmt.qf + b.fmt.qf, out_fmt, scheme), out_fmt};
+}
+
+FixedNum fixed_add(const FixedNum& a, const FixedNum& b,
+                   const fixed::FixedFormat& out_fmt) {
+  // Align both operands to the finer fractional width, then add.
+  const int qf = std::max(a.fmt.qf, b.fmt.qf);
+  const std::int64_t ar = a.raw << (qf - a.fmt.qf);
+  const std::int64_t br = b.raw << (qf - b.fmt.qf);
+  return {rescale_raw(ar + br, qf, out_fmt), out_fmt};
+}
+
+MacUnit::MacUnit(fixed::FixedFormat operand_fmt, fixed::FixedFormat result_fmt)
+    : operand_fmt_(operand_fmt), result_fmt_(result_fmt) {
+  QCAPS_CHECK_MSG(2 * operand_fmt_.qf <= 60,
+                  "MAC accumulator overflow risk for format "
+                      << operand_fmt_.to_string());
+}
+
+void MacUnit::clear() { acc_ = 0; }
+
+void MacUnit::mac(const FixedNum& a, const FixedNum& b) {
+  QCAPS_CHECK_MSG(a.fmt == operand_fmt_ && b.fmt == operand_fmt_,
+                  "MAC operand format mismatch");
+  acc_ += a.raw * b.raw;
+}
+
+FixedNum MacUnit::result(fixed::RoundingScheme scheme) const {
+  return {rescale_raw(acc_, 2 * operand_fmt_.qf, result_fmt_, scheme),
+          result_fmt_};
+}
+
+// ---- squash ----------------------------------------------------------------
+
+SquashUnit::SquashUnit(fixed::FixedFormat io_fmt, int internal_frac_bits)
+    : io_fmt_(io_fmt), internal_qf_(internal_frac_bits) {
+  QCAPS_CHECK_MSG(internal_qf_ >= io_fmt.qf && internal_qf_ <= 28,
+                  "squash internal width out of range");
+}
+
+namespace {
+/// Integer Newton-Raphson inverse square root with mantissa/exponent
+/// normalization (the standard hardware organization): write s = m * 2^e
+/// with even e and m in [1, 4); iterate on m (qf fractional bits, so all
+/// intermediates stay within int64), then shift the result by e/2.
+/// Returns 1/sqrt(s) with qf fractional bits (saturating for tiny s).
+std::int64_t inv_sqrt_raw(std::int64_t s_raw, int qf) {
+  QCAPS_CHECK(s_raw > 0);
+  const std::int64_t one = std::int64_t{1} << qf;
+  // Normalize: find even e with m = s / 2^e in [1, 4).
+  int e = 0;
+  std::int64_t m = s_raw;
+  while (m >= 4 * one) {
+    m >>= 2;
+    e += 2;
+  }
+  while (m < one) {
+    m <<= 2;
+    e -= 2;
+  }
+  // Seed: 1/sqrt(m) in (0.5, 1]; two-segment linear fit within ~8% on [1, 4).
+  std::int64_t y = m < 2 * one ? one - ((m - one) >> 2)
+                               : (3 * one >> 2) - ((m - 2 * one) >> 3);
+  // y <- y * (3 - m*y^2) / 2; quadratic convergence, 4 rounds suffice.
+  const std::int64_t three = 3 * one;
+  for (int it = 0; it < 4; ++it) {
+    const std::int64_t y2 = (y * y) >> qf;
+    const std::int64_t my2 = (m * y2) >> qf;
+    y = (y * (three - my2)) >> (qf + 1);
+  }
+  // Undo normalization: 1/sqrt(s) = 1/sqrt(m) * 2^(-e/2).
+  const int shift = e / 2;
+  if (shift > 0) return y >> std::min(shift, 62);
+  if (shift < 0) {
+    const int up = -shift;
+    if (up >= 30) return std::int64_t{1} << 53;  // saturate for tiny s
+    return y << up;
+  }
+  return y;
+}
+}  // namespace
+
+std::vector<FixedNum> SquashUnit::apply(const std::vector<FixedNum>& s) const {
+  return apply(s, io_fmt_);
+}
+
+std::vector<FixedNum> SquashUnit::apply(const std::vector<FixedNum>& s,
+                                        const fixed::FixedFormat& out_fmt) const {
+  QCAPS_CHECK(!s.empty());
+  // norm_sq accumulates at internal_qf_ fractional bits in a wide register
+  // (no saturation: guard bits, like a real MAC accumulator).
+  std::int64_t norm_sq = 0;
+  const int shift_up = internal_qf_ - 2 * io_fmt_.qf;
+  for (const auto& x : s) {
+    QCAPS_CHECK_MSG(x.fmt == io_fmt_, "squash input format mismatch");
+    const std::int64_t wide = x.raw * x.raw;  // 2*io_qf frac bits
+    norm_sq += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+  }
+  std::vector<FixedNum> out(s.size());
+  const std::int64_t one = std::int64_t{1} << internal_qf_;
+  if (norm_sq == 0) {
+    for (auto& o : out) o = {0, out_fmt};
+    return out;
+  }
+  // gain = norm_sq / (1 + norm_sq) * 1/sqrt(norm_sq), internal format.
+  const std::int64_t inv_sqrt = inv_sqrt_raw(norm_sq, internal_qf_);
+  // ratio = 1 - 1/(1 + norm_sq): division keeps every intermediate in range
+  // even for large norms (norm_sq << qf would overflow instead).
+  const std::int64_t denom = one + norm_sq;
+  const std::int64_t inv_denom = (one << internal_qf_) / denom;  // internal qf
+  const std::int64_t ratio = one - inv_denom;
+  const std::int64_t gain = (ratio * inv_sqrt) >> internal_qf_;  // internal qf
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::int64_t prod = s[i].raw * gain;  // io_qf + internal_qf frac
+    out[i] = {rescale_raw(prod, io_fmt_.qf + internal_qf_, out_fmt), out_fmt};
+  }
+  return out;
+}
+
+// ---- softmax ----------------------------------------------------------------
+
+SoftmaxUnit::SoftmaxUnit(fixed::FixedFormat io_fmt, int lut_addr_bits)
+    : io_fmt_(io_fmt), lut_addr_bits_(lut_addr_bits), internal_qf_(20) {
+  QCAPS_CHECK_MSG(lut_addr_bits_ >= 4 && lut_addr_bits_ <= 16,
+                  "softmax LUT address width out of range");
+  // After max-subtraction inputs lie in [-range, 0]; exp(-16) is already
+  // below any representable grid step we use, so cover [-16, 0].
+  lut_range_ = 16.0;
+  const std::size_t entries = std::size_t{1} << lut_addr_bits_;
+  lut_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    const double x = -lut_range_ * static_cast<double>(i) /
+                     static_cast<double>(entries - 1);
+    lut_[i] = static_cast<std::int64_t>(
+        std::llround(std::exp(x) * std::ldexp(1.0, internal_qf_)));
+  }
+}
+
+std::vector<FixedNum> SoftmaxUnit::apply(const std::vector<FixedNum>& logits) const {
+  return apply(logits, io_fmt_);
+}
+
+std::vector<FixedNum> SoftmaxUnit::apply(const std::vector<FixedNum>& logits,
+                                         const fixed::FixedFormat& out_fmt) const {
+  QCAPS_CHECK(!logits.empty());
+  std::int64_t max_raw = logits[0].raw;
+  for (const auto& l : logits) {
+    QCAPS_CHECK_MSG(l.fmt == io_fmt_, "softmax input format mismatch");
+    max_raw = std::max(max_raw, l.raw);
+  }
+  const std::size_t entries = lut_.size();
+  std::vector<std::int64_t> exps(logits.size());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    // delta = logit - max <= 0, in io format.
+    const double delta = std::ldexp(
+        static_cast<double>(logits[i].raw - max_raw), -io_fmt_.qf);
+    // Address the LUT: addr = round(-delta / range * (entries-1)), clamped.
+    std::int64_t addr = static_cast<std::int64_t>(std::llround(
+        -delta / lut_range_ * static_cast<double>(entries - 1)));
+    addr = std::clamp<std::int64_t>(addr, 0, static_cast<std::int64_t>(entries - 1));
+    exps[i] = lut_[static_cast<std::size_t>(addr)];
+    sum += exps[i];
+  }
+  std::vector<FixedNum> out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    // q = round(exp_i / sum) with out_fmt.qf fractional bits of quotient —
+    // a flooring divider would zero small couplings at coarse formats.
+    const std::int64_t num = exps[i] << out_fmt.qf;
+    const std::int64_t q = (2 * num + sum) / (2 * sum);
+    out[i] = {saturate_raw(q, out_fmt), out_fmt};
+  }
+  return out;
+}
+
+}  // namespace qcaps::hwmodel

@@ -1,0 +1,147 @@
+#include "models/analysis.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qcaps::models {
+
+std::int64_t ArchDesc::total_params() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.params;
+  return n;
+}
+
+std::int64_t ArchDesc::total_macs() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.macs;
+  return n;
+}
+
+std::int64_t ArchDesc::total_activations() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.activations;
+  return n;
+}
+
+double ArchDesc::memory_mbit(int bits_per_param) const {
+  return static_cast<double>(total_params()) * bits_per_param / 1e6;
+}
+
+double ArchDesc::macs_per_memory() const {
+  return static_cast<double>(total_macs()) /
+         static_cast<double>(total_params());
+}
+
+namespace {
+LayerDesc conv_desc(const std::string& name, std::int64_t cin, std::int64_t cout,
+                    std::int64_t k, std::int64_t out_h, std::int64_t out_w,
+                    bool bias = true, std::int64_t groups = 1) {
+  LayerDesc d;
+  d.name = name;
+  const std::int64_t cin_g = cin / groups;  // channels seen per filter
+  d.params = cout * cin_g * k * k + (bias ? cout : 0);
+  d.activations = cout * out_h * out_w;
+  d.macs = d.activations * cin_g * k * k;
+  return d;
+}
+
+LayerDesc fc_desc(const std::string& name, std::int64_t in, std::int64_t out,
+                  bool bias = true) {
+  LayerDesc d;
+  d.name = name;
+  d.params = in * out + (bias ? out : 0);
+  d.activations = out;
+  d.macs = in * out;
+  return d;
+}
+}  // namespace
+
+ArchDesc shallow_caps_desc() {
+  // 28x28x1 input. L1: 9x9 conv -> 20x20x256. L2: 9x9 stride-2 conv ->
+  // 6x6x256 grouped into 32 8-D capsule types. L3: 1152 -> 10 capsules,
+  // W[1152, 10, 16, 8] plus 3 routing iterations.
+  ArchDesc a;
+  a.name = "ShallowCaps";
+  a.layers.push_back(conv_desc("L1-conv 9x9x256", 1, 256, 9, 20, 20));
+  a.layers.push_back(conv_desc("L2-primarycaps 9x9x256 s2", 256, 256, 9, 6, 6));
+  LayerDesc digit;
+  digit.name = "L3-digitcaps 1152x10x16x8";
+  const std::int64_t nin = 1152, nout = 10, dout = 16, din = 8;
+  digit.params = nin * nout * dout * din;
+  digit.activations = nout * dout;
+  const std::int64_t vote_macs = nin * nout * dout * din;
+  const std::int64_t routing_macs = 3 * 2 * nin * nout * dout;
+  digit.macs = vote_macs + routing_macs;
+  a.layers.push_back(digit);
+  return a;
+}
+
+ArchDesc alexnet_desc() {
+  // AlexNet on 227x227x3 (Krizhevsky et al. 2012), with the original
+  // two-GPU grouping on conv2/conv4/conv5 — this is what the widely cited
+  // 61M-parameter / ~0.7G-MAC figures (and the paper's Fig. 1) refer to.
+  ArchDesc a;
+  a.name = "AlexNet";
+  a.layers.push_back(conv_desc("conv1 11x11x96 s4", 3, 96, 11, 55, 55));
+  a.layers.push_back(conv_desc("conv2 5x5x256 g2", 96, 256, 5, 27, 27, true, 2));
+  a.layers.push_back(conv_desc("conv3 3x3x384", 256, 384, 3, 13, 13));
+  a.layers.push_back(conv_desc("conv4 3x3x384 g2", 384, 384, 3, 13, 13, true, 2));
+  a.layers.push_back(conv_desc("conv5 3x3x256 g2", 384, 256, 3, 13, 13, true, 2));
+  a.layers.push_back(fc_desc("fc6", 256 * 6 * 6, 4096));
+  a.layers.push_back(fc_desc("fc7", 4096, 4096));
+  a.layers.push_back(fc_desc("fc8", 4096, 1000));
+  return a;
+}
+
+ArchDesc lenet_desc() {
+  // LeNet-5 on a 32x32 input.
+  ArchDesc a;
+  a.name = "LeNet";
+  a.layers.push_back(conv_desc("conv1 5x5x6", 1, 6, 5, 28, 28));
+  a.layers.push_back(conv_desc("conv2 5x5x16", 6, 16, 5, 10, 10));
+  a.layers.push_back(fc_desc("fc1", 400, 120));
+  a.layers.push_back(fc_desc("fc2", 120, 84));
+  a.layers.push_back(fc_desc("fc3", 84, 10));
+  return a;
+}
+
+ArchDesc describe_network(nn::Network& net, const tensor::Tensor& input) {
+  QCAPS_CHECK_MSG(input.dim(0) >= 1, "probe input needs a batch dimension");
+  net.forward(input, nn::Phase::kEval);
+  ArchDesc a;
+  a.name = net.name();
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    auto& layer = net.layer(i);
+    LayerDesc d;
+    d.name = layer.name();
+    d.params = layer.param_count();
+    d.macs = layer.macs_per_sample();
+    d.activations = layer.activation_elems_per_sample();
+    a.layers.push_back(d);
+  }
+  return a;
+}
+
+std::string to_table(const ArchDesc& desc) {
+  std::ostringstream os;
+  os << desc.name << "\n";
+  os << std::left << std::setw(32) << "  layer" << std::right << std::setw(14)
+     << "params" << std::setw(16) << "MACs" << std::setw(14) << "act elems"
+     << "\n";
+  for (const auto& l : desc.layers) {
+    os << "  " << std::left << std::setw(30) << l.name << std::right
+       << std::setw(14) << l.params << std::setw(16) << l.macs << std::setw(14)
+       << l.activations << "\n";
+  }
+  os << std::left << std::setw(32) << "  TOTAL" << std::right << std::setw(14)
+     << desc.total_params() << std::setw(16) << desc.total_macs()
+     << std::setw(14) << desc.total_activations() << "\n";
+  os << "  memory @32b: " << std::fixed << std::setprecision(1)
+     << desc.memory_mbit() << " Mbit, MACs/memory: " << std::setprecision(2)
+     << desc.macs_per_memory() << "\n";
+  return os.str();
+}
+
+}  // namespace qcaps::models

@@ -1,0 +1,45 @@
+// Static architecture analysis: parameter counts, MAC counts and memory
+// footprints of the full-size published architectures (paper Fig. 1), plus
+// instrumentation of live networks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace qcaps::models {
+
+struct LayerDesc {
+  std::string name;
+  std::int64_t params = 0;       ///< weights + biases
+  std::int64_t macs = 0;         ///< multiply-accumulates per inference
+  std::int64_t activations = 0;  ///< output elements per sample
+};
+
+struct ArchDesc {
+  std::string name;
+  std::vector<LayerDesc> layers;
+
+  std::int64_t total_params() const;
+  std::int64_t total_macs() const;
+  std::int64_t total_activations() const;
+  /// Weight memory in Mbit at the given wordlength.
+  double memory_mbit(int bits_per_param = 32) const;
+  /// The paper's Fig. 1 right-hand metric: MACs per stored parameter word.
+  double macs_per_memory() const;
+};
+
+/// Paper-exact descriptors for the Fig. 1 comparison.
+ArchDesc shallow_caps_desc();  ///< Sabour et al. [21], MNIST dimensions
+ArchDesc alexnet_desc();       ///< Krizhevsky et al. [12], ImageNet dims
+ArchDesc lenet_desc();         ///< LeCun et al. [13], 32x32 input
+
+/// Instrument a live network: run a probe forward pass on `input` and read
+/// back each layer's parameter/MAC/activation counts.
+ArchDesc describe_network(nn::Network& net, const tensor::Tensor& input);
+
+/// Format an ArchDesc as an aligned table.
+std::string to_table(const ArchDesc& desc);
+
+}  // namespace qcaps::models

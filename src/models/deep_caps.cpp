@@ -1,0 +1,68 @@
+#include "models/deep_caps.hpp"
+
+#include "common/error.hpp"
+#include "nn/activation_layers.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/conv_caps.hpp"
+#include "nn/fc_caps.hpp"
+
+namespace qcaps::models {
+
+DeepCapsConfig DeepCapsConfig::paper() { return {}; }
+
+DeepCapsConfig DeepCapsConfig::experiment(std::int64_t in_size,
+                                          std::int64_t in_channels) {
+  DeepCapsConfig cfg;
+  cfg.in_size = in_size;
+  cfg.in_channels = in_channels;
+  cfg.conv_channels = 32;  // 8 types x 4-D after the reshape
+  cfg.block_types = 8;
+  cfg.block_dims = {4, 4, 8, 8};
+  cfg.out_caps_dim = 16;
+  return cfg;
+}
+
+std::int64_t DeepCapsConfig::final_grid() const {
+  // L1 conv is stride 1 with same padding; each block halves (stride-2 conv
+  // with pad = kernel/2): out = floor((n - 1) / 2) + 1.
+  std::int64_t n = in_size;
+  for (int i = 0; i < 4; ++i) n = (n - 1) / 2 + 1;
+  return n;
+}
+
+std::int64_t DeepCapsConfig::num_final_caps() const {
+  return block_types * final_grid() * final_grid();
+}
+
+std::unique_ptr<nn::Network> build_deep_caps(const DeepCapsConfig& cfg,
+                                             common::Rng& rng) {
+  QCAPS_CHECK_MSG(cfg.conv_channels % cfg.l1_caps_dim == 0,
+                  "conv_channels must split into capsules of dim l1_caps_dim");
+  const std::int64_t l1_types = cfg.conv_channels / cfg.l1_caps_dim;
+  auto net = std::make_unique<nn::Network>("DeepCaps");
+  net->add<nn::Conv2dLayer>("L1-conv", cfg.in_channels, cfg.conv_channels,
+                            cfg.kernel, /*stride=*/1, /*pad=*/cfg.kernel / 2,
+                            /*bias=*/true, rng);
+  net->add<nn::ReluLayer>("L1-relu");
+  // The [B, C, H, W] output is interpreted as l1_types capsules of dimension
+  // l1_caps_dim — a pure metadata reshape, consumed by the first block.
+  const std::int64_t types = cfg.block_types;
+  std::int64_t prev_types = l1_types;
+  std::int64_t prev_dim = cfg.l1_caps_dim;
+  for (int b = 0; b < 4; ++b) {
+    const bool last = b == 3;
+    net->add<nn::CapsBlockLayer>("B" + std::to_string(b + 2), prev_types,
+                                 prev_dim, types, cfg.block_dims[static_cast<std::size_t>(b)],
+                                 cfg.kernel, /*routed_skip=*/last,
+                                 cfg.routing_iterations, rng);
+    prev_types = types;
+    prev_dim = cfg.block_dims[static_cast<std::size_t>(b)];
+  }
+  net->add<nn::FlattenCapsLayer>("flatten-caps", prev_dim);
+  net->add<nn::FCCapsLayer>("L6-fccaps", cfg.num_final_caps(), prev_dim,
+                            cfg.num_classes, cfg.out_caps_dim,
+                            cfg.routing_iterations, rng);
+  return net;
+}
+
+}  // namespace qcaps::models

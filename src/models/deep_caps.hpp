@@ -1,0 +1,49 @@
+// DeepCaps — Rajasegaran et al. [20] (paper Fig. 7):
+//   L1      Conv 3x3 + ReLU, channels reshaped into capsules
+//   B2..B5  residual capsule cells: three sequential ConvCaps (first one
+//           strided) plus a parallel ConvCaps; the last cell's parallel
+//           layer performs dynamic routing (the ConvCaps3D)
+//   L6      fully-connected capsule layer with dynamic routing
+//
+// The quantization framework operates at the granularity L1, B2..B5, L6 —
+// exactly the columns of the paper's Fig. 12.
+//
+// paper() uses the published dimensions (32 capsule types, 128-channel first
+// conv, 32-D class capsules, 64x64 CIFAR10 input); experiment() is the
+// width-reduced trainable variant on the native 32x32/28x28 inputs.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::models {
+
+struct DeepCapsConfig {
+  std::int64_t in_channels = 3;
+  std::int64_t in_size = 64;
+  std::int64_t num_classes = 10;
+  std::int64_t conv_channels = 128;   ///< L1 output channels = types*dim
+  std::int64_t l1_caps_dim = 4;       ///< capsule dim after the L1 reshape
+  std::int64_t block_types = 32;      ///< capsule types in every block
+  std::array<std::int64_t, 4> block_dims = {4, 8, 8, 8};
+  std::int64_t kernel = 3;
+  std::int64_t out_caps_dim = 32;     ///< class-capsule dimension (L6)
+  int routing_iterations = 3;
+
+  static DeepCapsConfig paper();
+  static DeepCapsConfig experiment(std::int64_t in_size = 32,
+                                   std::int64_t in_channels = 3);
+
+  /// Spatial size after the four strided blocks.
+  std::int64_t final_grid() const;
+  /// Capsule count entering L6.
+  std::int64_t num_final_caps() const;
+};
+
+std::unique_ptr<nn::Network> build_deep_caps(const DeepCapsConfig& cfg,
+                                             common::Rng& rng);
+
+}  // namespace qcaps::models

@@ -1,0 +1,32 @@
+#include "models/lenet.hpp"
+
+#include "common/error.hpp"
+#include "nn/activation_layers.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/dense_layer.hpp"
+#include "nn/pool_layer.hpp"
+
+namespace qcaps::models {
+
+std::unique_ptr<nn::Network> build_lenet(common::Rng& rng,
+                                         std::int64_t in_channels,
+                                         std::int64_t in_size) {
+  QCAPS_CHECK_MSG(in_size == 28 || in_size == 32,
+                  "LeNet expects 28x28 or 32x32 inputs");
+  auto net = std::make_unique<nn::Network>("LeNet5");
+  const std::int64_t pad = in_size == 28 ? 2 : 0;  // classic 32x32 framing
+  net->add<nn::Conv2dLayer>("conv1", in_channels, 6, 5, 1, pad, true, rng);
+  net->add<nn::ReluLayer>("relu1");
+  net->add<nn::MaxPool2dLayer>("pool1", 2, 2);
+  net->add<nn::Conv2dLayer>("conv2", 6, 16, 5, 1, 0, true, rng);
+  net->add<nn::ReluLayer>("relu2");
+  net->add<nn::MaxPool2dLayer>("pool2", 2, 2);
+  net->add<nn::DenseLayer>("fc1", 16 * 5 * 5, 120, true, rng);
+  net->add<nn::ReluLayer>("relu3");
+  net->add<nn::DenseLayer>("fc2", 120, 84, true, rng);
+  net->add<nn::ReluLayer>("relu4");
+  net->add<nn::DenseLayer>("fc3", 84, 10, true, rng);
+  return net;
+}
+
+}  // namespace qcaps::models

@@ -1,0 +1,19 @@
+// LeNet-5 baseline [13] — used in the paper's Fig. 1 comparison and here
+// also as a trainable conventional-CNN exerciser of the NN substrate.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::models {
+
+/// Classic LeNet-5 on 28x28 inputs (padded to 32x32 internally by pad=2 on
+/// the first conv): conv6@5x5 - pool - conv16@5x5 - pool - fc120 - fc84 - fc10.
+/// Output is [B, 10] logits (train with CrossEntropyLoss).
+std::unique_ptr<nn::Network> build_lenet(common::Rng& rng,
+                                         std::int64_t in_channels = 1,
+                                         std::int64_t in_size = 28);
+
+}  // namespace qcaps::models

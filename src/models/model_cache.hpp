@@ -1,0 +1,40 @@
+// Trained-model cache shared by benches, examples and integration tests.
+//
+// Training the experiment-scale CapsNets takes minutes; every binary that
+// needs a trained model calls get_trained_*() which loads cached parameters
+// from $QCAPS_MODEL_CACHE (default: ./qcaps_model_cache) or trains once and
+// saves. Cache keys encode the model family, dataset name and seed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "models/deep_caps.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/trainer.hpp"
+
+namespace qcaps::models {
+
+struct TrainedModel {
+  std::unique_ptr<nn::Network> net;
+  float fp32_accuracy = 0.0f;  ///< accFP32 on the given test set
+  bool from_cache = false;
+};
+
+/// Directory used for cached parameters (created on demand).
+std::string model_cache_dir();
+
+/// ShallowCaps (experiment config) trained on `split`.
+TrainedModel get_trained_shallow_caps(const data::DataSplit& split,
+                                      const std::string& dataset_tag,
+                                      const nn::TrainConfig& train_cfg,
+                                      std::uint64_t init_seed = 11);
+
+/// DeepCaps (experiment config sized to the split's images).
+TrainedModel get_trained_deep_caps(const data::DataSplit& split,
+                                   const std::string& dataset_tag,
+                                   const nn::TrainConfig& train_cfg,
+                                   std::uint64_t init_seed = 13);
+
+}  // namespace qcaps::models

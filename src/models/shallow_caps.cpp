@@ -1,0 +1,44 @@
+#include "models/shallow_caps.hpp"
+
+#include "common/error.hpp"
+#include "nn/activation_layers.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/fc_caps.hpp"
+#include "nn/primary_caps.hpp"
+
+namespace qcaps::models {
+
+ShallowCapsConfig ShallowCapsConfig::paper() { return {}; }
+
+ShallowCapsConfig ShallowCapsConfig::experiment() {
+  ShallowCapsConfig cfg;
+  cfg.conv_channels = 32;
+  cfg.primary_types = 4;
+  return cfg;
+}
+
+std::int64_t ShallowCapsConfig::num_primary_caps() const {
+  const std::int64_t conv_out = in_size - conv_kernel + 1;
+  const std::int64_t primary_out =
+      (conv_out - primary_kernel) / primary_stride + 1;
+  QCAPS_CHECK(primary_out > 0);
+  return primary_types * primary_out * primary_out;
+}
+
+std::unique_ptr<nn::Network> build_shallow_caps(const ShallowCapsConfig& cfg,
+                                                common::Rng& rng) {
+  auto net = std::make_unique<nn::Network>("ShallowCaps");
+  net->add<nn::Conv2dLayer>("L1-conv", cfg.in_channels, cfg.conv_channels,
+                            cfg.conv_kernel, /*stride=*/1, /*pad=*/0,
+                            /*bias=*/true, rng);
+  net->add<nn::ReluLayer>("L1-relu");
+  net->add<nn::PrimaryCapsLayer>("L2-primarycaps", cfg.conv_channels,
+                                 cfg.primary_types, cfg.primary_dim,
+                                 cfg.primary_kernel, cfg.primary_stride, rng);
+  net->add<nn::FCCapsLayer>("L3-digitcaps", cfg.num_primary_caps(),
+                            cfg.primary_dim, cfg.num_classes, cfg.digit_dim,
+                            cfg.routing_iterations, rng);
+  return net;
+}
+
+}  // namespace qcaps::models

@@ -1,0 +1,45 @@
+// ShallowCaps — the original CapsNet of Sabour et al. [21] (paper Fig. 5):
+//   L1  Conv 9x9                      (ReLU)
+//   L2  PrimaryCaps 9x9 stride 2      (squash)
+//   L3  DigitCaps fully connected     (dynamic routing, 3 iterations)
+//
+// Two configurations:
+//   paper()      — the exact published dimensions (256 conv channels, 32
+//                  8-D primary capsule types, 16-D digit capsules). Used for
+//                  static analysis (Fig. 1); too large to train on CPU.
+//   experiment() — width-reduced variant preserving every architectural
+//                  feature; used for the trained quantization experiments
+//                  (see DESIGN.md §3 on this substitution).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::models {
+
+struct ShallowCapsConfig {
+  std::int64_t in_channels = 1;
+  std::int64_t in_size = 28;
+  std::int64_t num_classes = 10;
+  std::int64_t conv_channels = 256;
+  std::int64_t conv_kernel = 9;
+  std::int64_t primary_types = 32;
+  std::int64_t primary_dim = 8;
+  std::int64_t primary_kernel = 9;
+  std::int64_t primary_stride = 2;
+  std::int64_t digit_dim = 16;
+  int routing_iterations = 3;
+
+  static ShallowCapsConfig paper();
+  static ShallowCapsConfig experiment();
+
+  /// Capsule count entering DigitCaps.
+  std::int64_t num_primary_caps() const;
+};
+
+std::unique_ptr<nn::Network> build_shallow_caps(const ShallowCapsConfig& cfg,
+                                                common::Rng& rng);
+
+}  // namespace qcaps::models

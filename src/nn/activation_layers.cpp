@@ -1,0 +1,81 @@
+#include "nn/activation_layers.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+tensor::Tensor ReluLayer::forward(const tensor::Tensor& x, Phase phase) {
+  const std::int64_t batch = x.dim(0);
+  tensor::Tensor out = x;
+  float* p = out.data();
+  const std::int64_t n = out.numel();
+  if (phase == Phase::kTrain) {
+    mask_ = tensor::Tensor(x.shape());
+    float* m = mask_.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (p[i] > 0.0f) {
+        m[i] = 1.0f;
+      } else {
+        p[i] = 0.0f;
+      }
+    }
+  } else {
+    for (std::int64_t i = 0; i < n; ++i)
+      if (p[i] < 0.0f) p[i] = 0.0f;
+  }
+  return finish_forward(std::move(out), batch);
+}
+
+tensor::Tensor ReluLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!mask_.empty(), "backward without a train-phase forward");
+  QCAPS_CHECK(grad_out.same_shape(mask_));
+  tensor::Tensor gx = grad_out;
+  float* g = gx.data();
+  const float* m = mask_.data();
+  const std::int64_t n = gx.numel();
+  for (std::int64_t i = 0; i < n; ++i) g[i] *= m[i];
+  return gx;
+}
+
+FlattenCapsLayer::FlattenCapsLayer(std::string name, std::int64_t caps_dim)
+    : Layer(std::move(name)), caps_dim_(caps_dim) {}
+
+tensor::Tensor FlattenCapsLayer::forward(const tensor::Tensor& x, Phase phase) {
+  QCAPS_CHECK_MSG(x.ndim() == 4, name() << ": expected [B, T*D, H, W]");
+  const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  QCAPS_CHECK_MSG(c % caps_dim_ == 0, name() << ": channels not divisible by D");
+  if (phase == Phase::kTrain) input_shape_ = x.shape();
+  const std::int64_t types = c / caps_dim_;
+  const std::int64_t plane = h * w;
+  // Transpose [T, D, HW] -> [T, HW, D] per sample.
+  tensor::Tensor out({b, types * plane, caps_dim_});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t d = 0; d < caps_dim_; ++d)
+        for (std::int64_t p = 0; p < plane; ++p)
+          po[((bi * types + t) * plane + p) * caps_dim_ + d] =
+              px[((bi * c) + t * caps_dim_ + d) * plane + p];
+  return finish_forward(std::move(out), b);
+}
+
+tensor::Tensor FlattenCapsLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!input_shape_.empty(), "backward without a train-phase forward");
+  const std::int64_t b = input_shape_[0], c = input_shape_[1],
+                     h = input_shape_[2], w = input_shape_[3];
+  const std::int64_t types = c / caps_dim_;
+  const std::int64_t plane = h * w;
+  tensor::Tensor gx(input_shape_);
+  float* pg = gx.data();
+  const float* po = grad_out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t d = 0; d < caps_dim_; ++d)
+        for (std::int64_t p = 0; p < plane; ++p)
+          pg[((bi * c) + t * caps_dim_ + d) * plane + p] =
+              po[((bi * types + t) * plane + p) * caps_dim_ + d];
+  return gx;
+}
+
+}  // namespace qcaps::nn

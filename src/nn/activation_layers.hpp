@@ -1,0 +1,33 @@
+// Parameter-free layers: ReLU and capsule-tensor reshapes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class ReluLayer : public Layer {
+ public:
+  using Layer::Layer;
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  tensor::Tensor mask_;  // 1 where x > 0
+};
+
+/// [B, T*D, H, W] capsule feature map -> [B, T*H*W, D] capsule list.
+/// Bridges DeepCaps ConvCaps blocks to the fully-connected capsule head.
+class FlattenCapsLayer : public Layer {
+ public:
+  FlattenCapsLayer(std::string name, std::int64_t caps_dim);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::int64_t caps_dim_;
+  tensor::Shape input_shape_;
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,107 @@
+#include "nn/batch_norm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, 1.0f),
+      beta_({channels}),
+      grad_gamma_({channels}),
+      grad_beta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f) {}
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& x, bool training) {
+  QCAPS_CHECK_MSG(x.ndim() == 4 && x.dim(1) == channels_,
+                  "batchnorm expects [B, " << channels_ << ", H, W]");
+  const std::int64_t b = x.dim(0), c = channels_, plane = x.dim(2) * x.dim(3);
+  const std::int64_t n = b * plane;
+  tensor::Tensor y(x.shape());
+  if (training) {
+    xhat_ = tensor::Tensor(x.shape());
+    inv_std_ = tensor::Tensor({c});
+  }
+  const float* px = x.data();
+  float* py = y.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    float mean, var;
+    if (training) {
+      double sum = 0.0, sumsq = 0.0;
+      for (std::int64_t bi = 0; bi < b; ++bi) {
+        const float* src = px + (bi * c + ch) * plane;
+        for (std::int64_t p = 0; p < plane; ++p) {
+          sum += src[p];
+          sumsq += static_cast<double>(src[p]) * src[p];
+        }
+      }
+      mean = static_cast<float>(sum / static_cast<double>(n));
+      var = static_cast<float>(sumsq / static_cast<double>(n)) - mean * mean;
+      if (var < 0.0f) var = 0.0f;
+      running_mean_[ch] = (1.0f - momentum_) * running_mean_[ch] + momentum_ * mean;
+      running_var_[ch] = (1.0f - momentum_) * running_var_[ch] + momentum_ * var;
+    } else {
+      mean = running_mean_[ch];
+      var = running_var_[ch];
+    }
+    const float inv = 1.0f / std::sqrt(var + eps_);
+    const float g = gamma_[ch], be = beta_[ch];
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const float* src = px + (bi * c + ch) * plane;
+      float* dst = py + (bi * c + ch) * plane;
+      float* xh = training ? xhat_.data() + (bi * c + ch) * plane : nullptr;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const float h = (src[p] - mean) * inv;
+        if (training) xh[p] = h;
+        dst[p] = g * h + be;
+      }
+    }
+    if (training) inv_std_[ch] = inv;
+  }
+  return y;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!xhat_.empty(), "batchnorm backward without training forward");
+  QCAPS_CHECK(grad_out.same_shape(xhat_));
+  const std::int64_t b = grad_out.dim(0), c = channels_,
+                     plane = grad_out.dim(2) * grad_out.dim(3);
+  const std::int64_t n = b * plane;
+  tensor::Tensor gx(grad_out.shape());
+  const float* pg = grad_out.data();
+  const float* ph = xhat_.data();
+  float* pgx = gx.data();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    double sum_g = 0.0, sum_gh = 0.0;
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const std::int64_t base = (bi * c + ch) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        sum_g += pg[base + p];
+        sum_gh += static_cast<double>(pg[base + p]) * ph[base + p];
+      }
+    }
+    grad_gamma_[ch] += static_cast<float>(sum_gh);
+    grad_beta_[ch] += static_cast<float>(sum_g);
+    // dx = gamma*inv_std/N * (N*g - sum_g - xhat * sum_gh)
+    const float coeff = gamma_[ch] * inv_std_[ch] / static_cast<float>(n);
+    const float mg = static_cast<float>(sum_g);
+    const float mgh = static_cast<float>(sum_gh);
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      const std::int64_t base = (bi * c + ch) * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        pgx[base + p] = coeff * (static_cast<float>(n) * pg[base + p] - mg -
+                                 ph[base + p] * mgh);
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,46 @@
+// Per-channel 2-D batch normalization with affine parameters.
+//
+// Not a standalone Layer: used inside capsule conv layers (as in DeepCaps,
+// where each ConvCaps cell normalizes its pre-squash activations — without
+// it the stacked squash nonlinearities collapse small norms to zero and the
+// network cannot train).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+class BatchNorm2d {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  /// x: [B, C, H, W]. Training mode uses batch statistics and updates the
+  /// running averages; eval mode uses the running averages.
+  tensor::Tensor forward(const tensor::Tensor& x, bool training);
+
+  /// dL/dx given dL/dy of the last training-mode forward. Accumulates
+  /// gamma/beta gradients.
+  tensor::Tensor backward(const tensor::Tensor& grad_out);
+
+  tensor::Tensor& gamma() { return gamma_; }
+  tensor::Tensor& beta() { return beta_; }
+  tensor::Tensor& grad_gamma() { return grad_gamma_; }
+  tensor::Tensor& grad_beta() { return grad_beta_; }
+  /// Non-trainable buffers — must be persisted alongside the parameters.
+  tensor::Tensor& running_mean() { return running_mean_; }
+  tensor::Tensor& running_var() { return running_var_; }
+  std::int64_t channels() const { return channels_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_, eps_;
+  tensor::Tensor gamma_, beta_;
+  tensor::Tensor grad_gamma_, grad_beta_;
+  tensor::Tensor running_mean_, running_var_;
+  // training-mode caches
+  tensor::Tensor xhat_;
+  tensor::Tensor inv_std_;  // per channel
+};
+
+}  // namespace qcaps::nn

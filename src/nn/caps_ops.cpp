@@ -1,0 +1,124 @@
+#include "nn/caps_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+namespace {
+
+/// Core squash on one vector of length d, strided access.
+inline void squash_vec(const float* s, float* v, std::int64_t d,
+                       std::int64_t stride, float eps) {
+  float nsq = 0.0f;
+  for (std::int64_t k = 0; k < d; ++k) {
+    const float x = s[k * stride];
+    nsq += x * x;
+  }
+  const float n = std::sqrt(nsq + eps);
+  const float f = n / (1.0f + nsq);
+  for (std::int64_t k = 0; k < d; ++k) v[k * stride] = f * s[k * stride];
+}
+
+/// Backward on one vector: grad_s = f*g + (f'/n)(s.g) s, with
+/// f(n) = n/(1+n^2), f'(n) = (1-n^2)/(1+n^2)^2.
+inline void squash_vec_backward(const float* s, const float* g, float* gs,
+                                std::int64_t d, std::int64_t stride, float eps) {
+  float nsq = 0.0f, dot = 0.0f;
+  for (std::int64_t k = 0; k < d; ++k) {
+    const float x = s[k * stride];
+    nsq += x * x;
+    dot += x * g[k * stride];
+  }
+  const float n = std::sqrt(nsq + eps);
+  const float denom = 1.0f + nsq;
+  const float f = n / denom;
+  const float fp = (1.0f - nsq) / (denom * denom);
+  const float coeff = fp / n * dot;
+  for (std::int64_t k = 0; k < d; ++k)
+    gs[k * stride] = f * g[k * stride] + coeff * s[k * stride];
+}
+
+}  // namespace
+
+tensor::Tensor squash_last(const tensor::Tensor& s, float eps) {
+  QCAPS_CHECK(s.ndim() >= 1);
+  const std::int64_t d = s.dim(-1);
+  const std::int64_t rows = s.numel() / d;
+  tensor::Tensor v(s.shape());
+  const float* ps = s.data();
+  float* pv = v.data();
+#pragma omp parallel for schedule(static) if (rows > 256)
+  for (std::int64_t r = 0; r < rows; ++r)
+    squash_vec(ps + r * d, pv + r * d, d, 1, eps);
+  return v;
+}
+
+tensor::Tensor squash_last_backward(const tensor::Tensor& s,
+                                    const tensor::Tensor& grad_v, float eps) {
+  QCAPS_CHECK(s.same_shape(grad_v));
+  const std::int64_t d = s.dim(-1);
+  const std::int64_t rows = s.numel() / d;
+  tensor::Tensor gs(s.shape());
+  const float* ps = s.data();
+  const float* pg = grad_v.data();
+  float* pgs = gs.data();
+#pragma omp parallel for schedule(static) if (rows > 256)
+  for (std::int64_t r = 0; r < rows; ++r)
+    squash_vec_backward(ps + r * d, pg + r * d, pgs + r * d, d, 1, eps);
+  return gs;
+}
+
+tensor::Tensor squash_channels(const tensor::Tensor& s, std::int64_t caps_dim,
+                               float eps) {
+  QCAPS_CHECK_MSG(s.ndim() == 4, "squash_channels expects [B, T*D, H, W]");
+  const std::int64_t b = s.dim(0), c = s.dim(1), h = s.dim(2), w = s.dim(3);
+  QCAPS_CHECK_MSG(c % caps_dim == 0, "channels " << c << " not divisible by D="
+                                                 << caps_dim);
+  const std::int64_t types = c / caps_dim;
+  const std::int64_t plane = h * w;
+  tensor::Tensor v(s.shape());
+  const float* ps = s.data();
+  float* pv = v.data();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t t = 0; t < types; ++t) {
+      const std::int64_t base = (bi * c + t * caps_dim) * plane;
+      for (std::int64_t px = 0; px < plane; ++px)
+        squash_vec(ps + base + px, pv + base + px, caps_dim, plane, eps);
+    }
+  }
+  return v;
+}
+
+tensor::Tensor squash_channels_backward(const tensor::Tensor& s,
+                                        const tensor::Tensor& grad_v,
+                                        std::int64_t caps_dim, float eps) {
+  QCAPS_CHECK(s.same_shape(grad_v));
+  const std::int64_t b = s.dim(0), c = s.dim(1), h = s.dim(2), w = s.dim(3);
+  const std::int64_t types = c / caps_dim;
+  const std::int64_t plane = h * w;
+  tensor::Tensor gs(s.shape());
+  const float* ps = s.data();
+  const float* pg = grad_v.data();
+  float* pgs = gs.data();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t t = 0; t < types; ++t) {
+      const std::int64_t base = (bi * c + t * caps_dim) * plane;
+      for (std::int64_t px = 0; px < plane; ++px)
+        squash_vec_backward(ps + base + px, pg + base + px, pgs + base + px,
+                            caps_dim, plane, eps);
+    }
+  }
+  return gs;
+}
+
+tensor::Tensor caps_lengths(const tensor::Tensor& v) {
+  QCAPS_CHECK_MSG(v.ndim() == 3, "caps_lengths expects [B, N, D]");
+  return tensor::l2_norm_last(v);
+}
+
+}  // namespace qcaps::nn

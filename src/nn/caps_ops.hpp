@@ -1,0 +1,33 @@
+// Capsule-specific math: the squash nonlinearity (paper Eq. 2) with exact
+// backward passes, over either the last axis or a channel-grouped layout.
+//
+//   squash(s) = (||s||^2 / (1 + ||s||^2)) * s / ||s||  =  s * f(n),
+//   with n = ||s|| and f(n) = n / (1 + n^2).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+/// squash over the last axis: [..., D] -> [..., D].
+tensor::Tensor squash_last(const tensor::Tensor& s, float eps = 1e-8f);
+
+/// Backward: given the pre-activation s and dL/dv, return dL/ds.
+tensor::Tensor squash_last_backward(const tensor::Tensor& s,
+                                    const tensor::Tensor& grad_v,
+                                    float eps = 1e-8f);
+
+/// squash on a capsule feature map [B, T*D, H, W], where channels group into
+/// T capsule types of dimension D; each (b, t, y, x) vector is squashed.
+tensor::Tensor squash_channels(const tensor::Tensor& s, std::int64_t caps_dim,
+                               float eps = 1e-8f);
+
+tensor::Tensor squash_channels_backward(const tensor::Tensor& s,
+                                        const tensor::Tensor& grad_v,
+                                        std::int64_t caps_dim,
+                                        float eps = 1e-8f);
+
+/// Capsule lengths of [B, N, D] -> [B, N].
+tensor::Tensor caps_lengths(const tensor::Tensor& v);
+
+}  // namespace qcaps::nn

@@ -1,0 +1,53 @@
+#include "nn/conv2d_layer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+Conv2dLayer::Conv2dLayer(std::string name, std::int64_t in_channels,
+                         std::int64_t out_channels, std::int64_t kernel,
+                         std::int64_t stride, std::int64_t pad, bool bias,
+                         common::Rng& rng)
+    : WeightedLayer(std::move(name)),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  // He initialization for conv weights.
+  const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float sd = std::sqrt(2.0f / fan_in);
+  weight_ = tensor::Tensor::randn({out_channels, in_channels, kernel, kernel},
+                                  rng, 0.0f, sd);
+  grad_weight_ = tensor::Tensor(weight_.shape());
+  if (bias) {
+    bias_ = tensor::Tensor({out_channels});
+    grad_bias_ = tensor::Tensor(bias_.shape());
+  }
+}
+
+tensor::Tensor Conv2dLayer::forward(const tensor::Tensor& x, Phase phase) {
+  if (phase == Phase::kTrain) cached_input_ = x;
+  const std::int64_t batch = x.dim(0);
+  tensor::Tensor out = tensor::conv2d_forward(x, effective_weight(),
+                                              effective_bias(), stride_, pad_);
+  // MACs = output elems * (Cin * K * K) per sample.
+  set_macs_per_sample(out.numel() / batch * in_channels_ * kernel_ * kernel_);
+  return finish_forward(std::move(out), batch);
+}
+
+tensor::Tensor Conv2dLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!cached_input_.empty(),
+                  "backward without a preceding train-phase forward");
+  auto grads = tensor::conv2d_backward(cached_input_, weight_, grad_out,
+                                       stride_, pad_, !bias_.empty());
+  tensor::axpy(grad_weight_, 1.0f, grads.grad_weight);
+  if (!bias_.empty()) tensor::axpy(grad_bias_, 1.0f, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+}  // namespace qcaps::nn

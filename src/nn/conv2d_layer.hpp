@@ -1,0 +1,30 @@
+// Standard 2-D convolution layer (NCHW).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class Conv2dLayer : public WeightedLayer {
+ public:
+  Conv2dLayer(std::string name, std::int64_t in_channels,
+              std::int64_t out_channels, std::int64_t kernel,
+              std::int64_t stride, std::int64_t pad, bool bias,
+              common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,99 @@
+// Convolutional capsule layers (DeepCaps, paper Fig. 7):
+//
+//  * ConvCapsLayer      — 2-D convolution over a capsule feature map
+//                         [B, Tin*Din, H, W] -> [B, Tout*Dout, H', W'] with a
+//                         per-capsule squash (the non-routed ConvCaps2D).
+//  * RoutedConvCapsLayer — the ConvCaps3D analog: each input capsule type
+//                         casts votes for every output capsule at every
+//                         position via its own convolution; dynamic routing
+//                         runs per spatial position across the input types.
+//  * CapsBlockLayer     — the DeepCaps residual cell: three sequential
+//                         ConvCaps (first one strided) plus one parallel
+//                         ConvCaps from the strided output, summed. This is
+//                         the per-block quantization unit (B2..B5 of Fig.12).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/layer.hpp"
+#include "nn/routing.hpp"
+
+namespace qcaps::nn {
+
+class ConvCapsLayer : public WeightedLayer {
+ public:
+  /// batch_norm normalizes the pre-squash activations (as in DeepCaps);
+  /// without it, stacked squashes collapse small capsule norms to zero.
+  ConvCapsLayer(std::string name, std::int64_t in_types, std::int64_t in_dim,
+                std::int64_t out_types, std::int64_t out_dim,
+                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                common::Rng& rng, bool batch_norm = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::vector<tensor::Tensor*> params() override;
+  std::vector<tensor::Tensor*> grads() override;
+  std::vector<tensor::Tensor*> state() override;
+
+  std::int64_t out_types() const { return out_types_; }
+  std::int64_t out_dim() const { return out_dim_; }
+
+ private:
+  std::int64_t in_types_, in_dim_, out_types_, out_dim_, kernel_, stride_, pad_;
+  std::unique_ptr<BatchNorm2d> bn_;  // null when batch_norm = false
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_pre_squash_;  // post-BN, pre-squash
+};
+
+class RoutedConvCapsLayer : public WeightedLayer {
+ public:
+  RoutedConvCapsLayer(std::string name, std::int64_t in_types,
+                      std::int64_t in_dim, std::int64_t out_types,
+                      std::int64_t out_dim, std::int64_t kernel,
+                      std::int64_t stride, std::int64_t pad, int iterations,
+                      common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  bool has_routing() const override { return true; }
+
+ private:
+  tensor::Tensor weight_slice(std::int64_t type) const;
+
+  std::int64_t in_types_, in_dim_, out_types_, out_dim_, kernel_, stride_, pad_;
+  int iters_;
+  DynamicRouting routing_;
+  std::vector<tensor::Tensor> cached_slices_;  // per-type input slices
+  std::int64_t out_h_ = 0, out_w_ = 0, batch_ = 0;
+};
+
+class CapsBlockLayer : public Layer {
+ public:
+  /// routed_skip selects the dynamic-routing parallel layer (last block).
+  CapsBlockLayer(std::string name, std::int64_t in_types, std::int64_t in_dim,
+                 std::int64_t out_types, std::int64_t out_dim,
+                 std::int64_t kernel, bool routed_skip, int iterations,
+                 common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::vector<tensor::Tensor*> params() override;
+  std::vector<tensor::Tensor*> grads() override;
+  std::vector<tensor::Tensor*> state() override;
+  bool has_routing() const override { return routed_skip_; }
+
+ private:
+  void sync_quant();
+
+  bool routed_skip_;
+  std::unique_ptr<ConvCapsLayer> conv1_, conv2_, conv3_;
+  std::unique_ptr<Layer> skip_;
+  std::uint64_t synced_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace qcaps::nn

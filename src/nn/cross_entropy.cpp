@@ -1,0 +1,48 @@
+#include "nn/cross_entropy.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+float CrossEntropyLoss::forward(const tensor::Tensor& logits,
+                                const std::vector<int>& labels) {
+  QCAPS_CHECK_MSG(logits.ndim() == 2, "cross-entropy expects [B, Ncls]");
+  const std::int64_t b = logits.dim(0), ncls = logits.dim(1);
+  QCAPS_CHECK(static_cast<std::int64_t>(labels.size()) == b);
+  cached_probs_ = tensor::softmax_last(logits);
+  cached_labels_ = labels;
+  double nll = 0.0;
+  const float* p = cached_probs_.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    QCAPS_CHECK(y >= 0 && y < static_cast<int>(ncls));
+    nll -= std::log(std::max(p[i * ncls + y], 1e-12f));
+  }
+  return static_cast<float>(nll / static_cast<double>(b));
+}
+
+tensor::Tensor CrossEntropyLoss::backward() const {
+  QCAPS_CHECK_MSG(!cached_probs_.empty(), "cross-entropy backward before forward");
+  const std::int64_t b = cached_probs_.dim(0), ncls = cached_probs_.dim(1);
+  tensor::Tensor grad = cached_probs_;
+  float* g = grad.data();
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (std::int64_t i = 0; i < b; ++i) {
+    g[i * ncls + cached_labels_[static_cast<std::size_t>(i)]] -= 1.0f;
+    for (std::int64_t k = 0; k < ncls; ++k) g[i * ncls + k] *= inv_b;
+  }
+  return grad;
+}
+
+std::vector<int> predict_logits(const tensor::Tensor& logits) {
+  const auto idx = tensor::argmax_rows(logits);
+  std::vector<int> out;
+  out.reserve(idx.size());
+  for (const auto i : idx) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+}  // namespace qcaps::nn

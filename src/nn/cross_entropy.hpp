@@ -1,0 +1,25 @@
+// Softmax cross-entropy on logits (for conventional CNN baselines).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+class CrossEntropyLoss {
+ public:
+  /// logits: [B, Ncls]; labels: size B. Returns mean NLL.
+  float forward(const tensor::Tensor& logits, const std::vector<int>& labels);
+  /// dL/dlogits for the last forward call.
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor cached_probs_;
+  std::vector<int> cached_labels_;
+};
+
+/// Row-wise argmax prediction on [B, Ncls] logits.
+std::vector<int> predict_logits(const tensor::Tensor& logits);
+
+}  // namespace qcaps::nn

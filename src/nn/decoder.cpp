@@ -1,0 +1,146 @@
+#include "nn/decoder.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/caps_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+CapsDecoder::CapsDecoder(std::int64_t num_caps, std::int64_t caps_dim,
+                         std::int64_t hidden1, std::int64_t hidden2,
+                         std::int64_t out_pixels, common::Rng& rng)
+    : num_caps_(num_caps),
+      caps_dim_(caps_dim),
+      out_pixels_(out_pixels),
+      fc1_("decoder/fc1", num_caps * caps_dim, hidden1, true, rng),
+      fc2_("decoder/fc2", hidden1, hidden2, true, rng),
+      fc3_("decoder/fc3", hidden2, out_pixels, true, rng) {}
+
+tensor::Tensor CapsDecoder::forward(const tensor::Tensor& caps,
+                                    const std::vector<int>& labels,
+                                    Phase phase) {
+  QCAPS_CHECK_MSG(caps.ndim() == 3 && caps.dim(1) == num_caps_ &&
+                      caps.dim(2) == caps_dim_,
+                  "decoder expects [B, " << num_caps_ << ", " << caps_dim_
+                                         << "]");
+  const std::int64_t b = caps.dim(0);
+  caps_shape_ = caps.shape();
+
+  // Select the surviving capsule per sample.
+  cached_selection_.resize(static_cast<std::size_t>(b));
+  if (phase == Phase::kTrain) {
+    QCAPS_CHECK_MSG(static_cast<std::int64_t>(labels.size()) == b,
+                    "decoder training needs one label per sample");
+    for (std::int64_t i = 0; i < b; ++i) {
+      const int y = labels[static_cast<std::size_t>(i)];
+      QCAPS_CHECK(y >= 0 && y < static_cast<int>(num_caps_));
+      cached_selection_[static_cast<std::size_t>(i)] = y;
+    }
+  } else {
+    const tensor::Tensor lengths = caps_lengths(caps);
+    const auto arg = tensor::argmax_rows(lengths);
+    for (std::int64_t i = 0; i < b; ++i)
+      cached_selection_[static_cast<std::size_t>(i)] = static_cast<int>(arg[static_cast<std::size_t>(i)]);
+  }
+
+  // Masked flatten: zero all but the selected capsule's vector.
+  tensor::Tensor masked({b, num_caps_ * caps_dim_});
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t k = cached_selection_[static_cast<std::size_t>(i)];
+    for (std::int64_t d = 0; d < caps_dim_; ++d)
+      masked[i * num_caps_ * caps_dim_ + k * caps_dim_ + d] =
+          caps[(i * num_caps_ + k) * caps_dim_ + d];
+  }
+
+  auto relu = [&](tensor::Tensor t, tensor::Tensor* mask) {
+    if (phase == Phase::kTrain) *mask = tensor::Tensor(t.shape());
+    float* p = t.data();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      if (p[i] > 0.0f) {
+        if (phase == Phase::kTrain) (*mask)[i] = 1.0f;
+      } else {
+        p[i] = 0.0f;
+      }
+    }
+    return t;
+  };
+
+  tensor::Tensor h1 = relu(fc1_.forward(masked, phase), &relu1_mask_);
+  tensor::Tensor h2 = relu(fc2_.forward(h1, phase), &relu2_mask_);
+  tensor::Tensor out = fc3_.forward(h2, phase);
+  // Sigmoid output keeps reconstructions in (0, 1) like the input pixels.
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    p[i] = 1.0f / (1.0f + std::exp(-p[i]));
+  if (phase == Phase::kTrain) sigmoid_out_ = out;
+  return out;
+}
+
+tensor::Tensor CapsDecoder::backward(const tensor::Tensor& grad_recon) {
+  QCAPS_CHECK_MSG(!sigmoid_out_.empty(),
+                  "decoder backward without a train-phase forward");
+  // Through the sigmoid: g * y * (1 - y).
+  tensor::Tensor g = grad_recon;
+  {
+    float* pg = g.data();
+    const float* py = sigmoid_out_.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      pg[i] *= py[i] * (1.0f - py[i]);
+  }
+  tensor::Tensor g2 = fc3_.backward(g);
+  g2 = tensor::mul(g2, relu2_mask_);
+  tensor::Tensor g1 = fc2_.backward(g2);
+  g1 = tensor::mul(g1, relu1_mask_);
+  tensor::Tensor gm = fc1_.backward(g1);
+
+  // Unmask: gradient reaches only the selected capsule per sample.
+  const std::int64_t b = caps_shape_[0];
+  tensor::Tensor gcaps(caps_shape_);
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t k = cached_selection_[static_cast<std::size_t>(i)];
+    for (std::int64_t d = 0; d < caps_dim_; ++d)
+      gcaps[(i * num_caps_ + k) * caps_dim_ + d] =
+          gm[i * num_caps_ * caps_dim_ + k * caps_dim_ + d];
+  }
+  return gcaps;
+}
+
+std::vector<tensor::Tensor*> CapsDecoder::params() {
+  std::vector<tensor::Tensor*> out;
+  for (auto* layer : {&fc1_, &fc2_, &fc3_}) {
+    const auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor*> CapsDecoder::grads() {
+  std::vector<tensor::Tensor*> out;
+  for (auto* layer : {&fc1_, &fc2_, &fc3_}) {
+    const auto g = layer->grads();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+float ReconstructionLoss::forward(const tensor::Tensor& recon,
+                                  const tensor::Tensor& target) {
+  QCAPS_CHECK_MSG(recon.same_shape(target), "reconstruction shape mismatch");
+  cached_diff_ = tensor::sub(recon, target);
+  const std::int64_t b = recon.dim(0);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < cached_diff_.numel(); ++i)
+    acc += static_cast<double>(cached_diff_[i]) * cached_diff_[i];
+  return static_cast<float>(acc / static_cast<double>(b));
+}
+
+tensor::Tensor ReconstructionLoss::backward() const {
+  QCAPS_CHECK(!cached_diff_.empty());
+  tensor::Tensor g = cached_diff_;
+  tensor::scale(g, 2.0f / static_cast<float>(g.dim(0)));
+  return g;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,61 @@
+// CapsNet reconstruction decoder (Sabour et al. [21] Sec. 4.1).
+//
+// The class-capsule output [B, N, D] is masked so that only the target
+// capsule (training) or the longest capsule (inference) survives, flattened,
+// and decoded by a three-layer MLP (ReLU, ReLU, sigmoid) back to pixels.
+// Used as a regularizer: total loss = margin + alpha * reconstruction SSE.
+//
+// The Q-CapsNets paper (footnote 3) omits the decoder because it studies
+// inference-time quantization; it is provided here as the training-side
+// substrate of the original architecture, with a runnable demo in
+// examples/reconstruction_demo.cpp.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/dense_layer.hpp"
+
+namespace qcaps::nn {
+
+class CapsDecoder {
+ public:
+  CapsDecoder(std::int64_t num_caps, std::int64_t caps_dim,
+              std::int64_t hidden1, std::int64_t hidden2,
+              std::int64_t out_pixels, common::Rng& rng);
+
+  /// caps: [B, N, D]. In train phase, `labels` selects the surviving capsule
+  /// per sample; in eval the longest capsule is used (labels ignored, may be
+  /// empty). Returns reconstructed pixels in (0, 1): [B, out_pixels].
+  tensor::Tensor forward(const tensor::Tensor& caps,
+                         const std::vector<int>& labels, Phase phase);
+
+  /// dL/dcaps for the last train-phase forward.
+  tensor::Tensor backward(const tensor::Tensor& grad_recon);
+
+  std::vector<tensor::Tensor*> params();
+  std::vector<tensor::Tensor*> grads();
+
+  std::int64_t out_pixels() const { return out_pixels_; }
+
+ private:
+  std::int64_t num_caps_, caps_dim_, out_pixels_;
+  DenseLayer fc1_, fc2_, fc3_;
+  tensor::Tensor relu1_mask_, relu2_mask_;
+  tensor::Tensor sigmoid_out_;
+  std::vector<int> cached_selection_;
+  tensor::Shape caps_shape_;
+};
+
+/// Mean (over batch) summed squared error reconstruction loss.
+class ReconstructionLoss {
+ public:
+  /// recon, target: [B, P]. Returns the loss value.
+  float forward(const tensor::Tensor& recon, const tensor::Tensor& target);
+  tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor cached_diff_;  // recon - target
+};
+
+}  // namespace qcaps::nn

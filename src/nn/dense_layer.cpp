@@ -1,0 +1,57 @@
+#include "nn/dense_layer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+DenseLayer::DenseLayer(std::string name, std::int64_t in_features,
+                       std::int64_t out_features, bool bias, common::Rng& rng)
+    : WeightedLayer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {
+  const float sd = std::sqrt(2.0f / static_cast<float>(in_features));
+  weight_ = tensor::Tensor::randn({in_features, out_features}, rng, 0.0f, sd);
+  grad_weight_ = tensor::Tensor(weight_.shape());
+  if (bias) {
+    bias_ = tensor::Tensor({out_features});
+    grad_bias_ = tensor::Tensor(bias_.shape());
+  }
+}
+
+tensor::Tensor DenseLayer::forward(const tensor::Tensor& x, Phase phase) {
+  const std::int64_t batch = x.dim(0);
+  QCAPS_CHECK_MSG(x.numel() / batch == in_features_,
+                  name() << ": expected " << in_features_ << " features, got "
+                         << x.numel() / batch);
+  tensor::Tensor flat = x.reshaped({batch, in_features_});
+  if (phase == Phase::kTrain) {
+    cached_input_ = flat;
+    input_shape_ = x.shape();
+  }
+  tensor::Tensor out = tensor::matmul(flat, effective_weight());
+  if (!bias_.empty()) tensor::add_row_bias(out, effective_bias());
+  set_macs_per_sample(in_features_ * out_features_);
+  return finish_forward(std::move(out), batch);
+}
+
+tensor::Tensor DenseLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!cached_input_.empty(),
+                  "backward without a preceding train-phase forward");
+  // dW = x^T g ; dx = g W^T ; db = column sums of g.
+  tensor::axpy(grad_weight_, 1.0f, tensor::matmul_tn(cached_input_, grad_out));
+  if (!bias_.empty()) {
+    const std::int64_t batch = grad_out.dim(0);
+    const float* g = grad_out.data();
+    for (std::int64_t b = 0; b < batch; ++b)
+      for (std::int64_t j = 0; j < out_features_; ++j)
+        grad_bias_[j] += g[b * out_features_ + j];
+  }
+  tensor::Tensor gx = tensor::matmul_nt(grad_out, weight_);
+  gx.reshape(input_shape_);
+  return gx;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,26 @@
+// Fully-connected layer on flattened inputs (used by the LeNet baseline).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class DenseLayer : public WeightedLayer {
+ public:
+  DenseLayer(std::string name, std::int64_t in_features,
+             std::int64_t out_features, bool bias, common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  tensor::Tensor cached_input_;  // flattened [B, in]
+  tensor::Shape input_shape_;
+};
+
+}  // namespace qcaps::nn

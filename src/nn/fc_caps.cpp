@@ -1,0 +1,114 @@
+#include "nn/fc_caps.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+FCCapsLayer::FCCapsLayer(std::string name, std::int64_t num_in,
+                         std::int64_t dim_in, std::int64_t num_out,
+                         std::int64_t dim_out, int iterations, common::Rng& rng)
+    : WeightedLayer(std::move(name)),
+      num_in_(num_in),
+      dim_in_(dim_in),
+      num_out_(num_out),
+      dim_out_(dim_out),
+      iters_(iterations) {
+  // Xavier-style init keeps the transformation-matrix entries well inside
+  // the unit interval, which both stabilizes routing early in training and
+  // matches the paper's 1-integer-bit weight format.
+  const float sd = std::sqrt(2.0f / static_cast<float>(dim_in + dim_out));
+  weight_ = tensor::Tensor::randn({num_in, num_out, dim_out, dim_in}, rng,
+                                  0.0f, sd);
+  grad_weight_ = tensor::Tensor(weight_.shape());
+}
+
+tensor::Tensor FCCapsLayer::compute_votes(const tensor::Tensor& x,
+                                          const tensor::Tensor& w) const {
+  const std::int64_t batch = x.dim(0);
+  tensor::Tensor votes({batch, num_in_, num_out_, dim_out_});
+  const float* pw = w.data();
+  const float* px = x.data();
+  float* pv = votes.data();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t i = 0; i < num_in_; ++i) {
+      const float* u = px + (b * num_in_ + i) * dim_in_;
+      const float* wrow = pw + i * num_out_ * dim_out_ * dim_in_;
+      float* vrow = pv + (b * num_in_ + i) * num_out_ * dim_out_;
+      for (std::int64_t jd = 0; jd < num_out_ * dim_out_; ++jd) {
+        const float* wv = wrow + jd * dim_in_;
+        float acc = 0.0f;
+        for (std::int64_t k = 0; k < dim_in_; ++k) acc += wv[k] * u[k];
+        vrow[jd] = acc;
+      }
+    }
+  }
+  return votes;
+}
+
+tensor::Tensor FCCapsLayer::forward(const tensor::Tensor& x, Phase phase) {
+  QCAPS_CHECK_MSG(x.ndim() == 3 && x.dim(1) == num_in_ && x.dim(2) == dim_in_,
+                  name() << ": expected [B, " << num_in_ << ", " << dim_in_
+                         << "], got " << tensor::shape_to_string(x.shape()));
+  const std::int64_t batch = x.dim(0);
+  if (phase == Phase::kTrain) cached_input_ = x;
+
+  // Votes use the quantized weights; û itself carries the activation format.
+  tensor::Tensor votes = compute_votes(x, effective_weight());
+  if (quant_.activations) quant_.activations->apply(votes);
+
+  RoutingQuantPoints qp;
+  qp.activations = quant_.activations ? &*quant_.activations : nullptr;
+  qp.routing = quant_.routing ? &*quant_.routing : nullptr;
+  tensor::Tensor v = routing_.forward(votes, iters_, phase == Phase::kTrain, qp);
+
+  // Vote MACs + routing MACs (s-accumulation and agreement per iteration).
+  const std::int64_t vote_macs = num_in_ * num_out_ * dim_out_ * dim_in_;
+  const std::int64_t routing_macs =
+      static_cast<std::int64_t>(iters_) * 2 * num_in_ * num_out_ * dim_out_;
+  set_macs_per_sample(vote_macs + routing_macs);
+  return finish_forward(std::move(v), batch);
+}
+
+tensor::Tensor FCCapsLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!cached_input_.empty(),
+                  "backward without a preceding train-phase forward");
+  tensor::Tensor grad_votes = routing_.backward(grad_out);
+  const std::int64_t batch = cached_input_.dim(0);
+
+  // gW[i, jd, k] += Σ_b gvotes[b, i, jd] * u[b, i, k]
+  // gx[b, i, k]  = Σ_jd gvotes[b, i, jd] * W[i, jd, k]
+  tensor::Tensor gx(cached_input_.shape());
+  const float* pgv = grad_votes.data();
+  const float* px = cached_input_.data();
+  const float* pw = weight_.data();
+  float* pgw = grad_weight_.data();
+  float* pgx = gx.data();
+  const std::int64_t jd_count = num_out_ * dim_out_;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < num_in_; ++i) {
+    const float* wrow = pw + i * jd_count * dim_in_;
+    float* gwrow = pgw + i * jd_count * dim_in_;
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* u = px + (b * num_in_ + i) * dim_in_;
+      const float* gv = pgv + (b * num_in_ + i) * jd_count;
+      float* gu = pgx + (b * num_in_ + i) * dim_in_;
+      for (std::int64_t jd = 0; jd < jd_count; ++jd) {
+        const float g = gv[jd];
+        if (g == 0.0f) continue;
+        const float* wv = wrow + jd * dim_in_;
+        float* gwv = gwrow + jd * dim_in_;
+        for (std::int64_t k = 0; k < dim_in_; ++k) {
+          gwv[k] += g * u[k];
+          gu[k] += g * wv[k];
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace qcaps::nn

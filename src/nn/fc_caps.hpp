@@ -1,0 +1,45 @@
+// Fully-connected capsule layer with dynamic routing (DigitCaps / L3 of
+// ShallowCaps, L6 of DeepCaps).
+//
+// Input  : [B, Nin, Din] capsule list.
+// Votes  : û[b, i, j, :] = W[i, j, :, :] × u[b, i, :]   (paper step 1)
+// Output : [B, Nout, Dout] after `iterations` rounds of dynamic routing.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+#include "nn/routing.hpp"
+
+namespace qcaps::nn {
+
+class FCCapsLayer : public WeightedLayer {
+ public:
+  FCCapsLayer(std::string name, std::int64_t num_in, std::int64_t dim_in,
+              std::int64_t num_out, std::int64_t dim_out, int iterations,
+              common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  bool has_routing() const override { return true; }
+
+  std::int64_t num_in() const { return num_in_; }
+  std::int64_t dim_in() const { return dim_in_; }
+  std::int64_t num_out() const { return num_out_; }
+  std::int64_t dim_out() const { return dim_out_; }
+  int iterations() const { return iters_; }
+
+  /// Final-iteration coupling coefficients (tests/inspection).
+  const tensor::Tensor& last_coupling() const { return routing_.last_coupling(); }
+
+ private:
+  tensor::Tensor compute_votes(const tensor::Tensor& x,
+                               const tensor::Tensor& w) const;
+
+  std::int64_t num_in_, dim_in_, num_out_, dim_out_;
+  int iters_;
+  DynamicRouting routing_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,51 @@
+#include "nn/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+std::int64_t Layer::param_count() {
+  std::int64_t n = 0;
+  for (const auto* p : params()) n += p->numel();
+  return n;
+}
+
+tensor::Tensor Layer::finish_forward(tensor::Tensor out, std::int64_t batch) {
+  QCAPS_CHECK(batch > 0);
+  act_elems_ = out.numel() / batch;
+  act_abs_max_ = out.abs_max();
+  if (quant_.activations) quant_.activations->apply(out);
+  return out;
+}
+
+std::vector<tensor::Tensor*> WeightedLayer::params() {
+  std::vector<tensor::Tensor*> out{&weight_};
+  if (!bias_.empty()) out.push_back(&bias_);
+  return out;
+}
+
+std::vector<tensor::Tensor*> WeightedLayer::grads() {
+  std::vector<tensor::Tensor*> out{&grad_weight_};
+  if (!bias_.empty()) out.push_back(&grad_bias_);
+  return out;
+}
+
+void WeightedLayer::refresh_cache() {
+  qweight_cache_ = quant_.weights->quantized(weight_);
+  if (!bias_.empty()) qbias_cache_ = quant_.weights->quantized(bias_);
+  cache_version_ = quant_.version;
+}
+
+const tensor::Tensor& WeightedLayer::effective_weight() {
+  if (!quant_.weights) return weight_;
+  if (cache_version_ != quant_.version) refresh_cache();
+  return qweight_cache_;
+}
+
+const tensor::Tensor& WeightedLayer::effective_bias() {
+  if (bias_.empty() || !quant_.weights) return bias_;
+  if (cache_version_ != quant_.version) refresh_cache();
+  return qbias_cache_;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,105 @@
+// Layer interface for the from-scratch training/inference engine.
+//
+// Layers cache whatever they need on forward() and consume it on the next
+// backward() — standard tape-less manual backprop. Quantization hooks (see
+// quant_hooks.hpp) only affect forward() and only in eval; gradients are
+// always FP32, matching the paper's post-training quantization flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/quant_hooks.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+enum class Phase { kTrain, kEval };
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual tensor::Tensor forward(const tensor::Tensor& x, Phase phase) = 0;
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out) = 0;
+
+  /// Trainable parameters and their gradient buffers (paired by position).
+  virtual std::vector<tensor::Tensor*> params() { return {}; }
+  virtual std::vector<tensor::Tensor*> grads() { return {}; }
+
+  /// Non-trainable state tensors (e.g. batch-norm running statistics) that
+  /// must be saved/loaded with the model but never touched by the optimizer.
+  virtual std::vector<tensor::Tensor*> state() { return {}; }
+
+  /// Whether this layer runs dynamic routing (targets of paper Step 4A).
+  virtual bool has_routing() const { return false; }
+
+  std::int64_t param_count();
+  bool has_weights() { return param_count() > 0; }
+
+  LayerQuant& quant() { return quant_; }
+  const LayerQuant& quant() const { return quant_; }
+
+  /// Output elements per sample, recorded by the last forward pass — the
+  /// "A mem" bookkeeping of the paper's activation-memory reductions.
+  std::int64_t activation_elems_per_sample() const { return act_elems_; }
+  /// Multiply-accumulate operations per sample in the last forward pass.
+  std::int64_t macs_per_sample() const { return macs_per_sample_; }
+
+  /// Largest |activation| seen in the last forward pass (pre-quantization) —
+  /// used by the framework to calibrate integer bits.
+  float last_activation_abs_max() const { return act_abs_max_; }
+
+ protected:
+  /// Record activation stats and apply the activation quantization hook.
+  tensor::Tensor finish_forward(tensor::Tensor out, std::int64_t batch);
+
+  void set_macs_per_sample(std::int64_t macs) { macs_per_sample_ = macs; }
+
+  LayerQuant quant_;
+
+ private:
+  std::string name_;
+  std::int64_t act_elems_ = 0;
+  std::int64_t macs_per_sample_ = 0;
+  float act_abs_max_ = 0.0f;
+};
+
+/// Helper base for layers with a weight (+ optional bias): owns the FP32
+/// master copies, gradient buffers, and a lazily refreshed quantized cache.
+class WeightedLayer : public Layer {
+ public:
+  using Layer::Layer;
+
+  std::vector<tensor::Tensor*> params() override;
+  std::vector<tensor::Tensor*> grads() override;
+
+  const tensor::Tensor& master_weight() const { return weight_; }
+  const tensor::Tensor& master_bias() const { return bias_; }
+
+ protected:
+  /// Weight (and bias) to use in forward: FP32 masters, or the quantized
+  /// cache when a weight hook is installed.
+  const tensor::Tensor& effective_weight();
+  const tensor::Tensor& effective_bias();
+
+  tensor::Tensor weight_;
+  tensor::Tensor bias_;  // empty if the layer has no bias
+  tensor::Tensor grad_weight_;
+  tensor::Tensor grad_bias_;
+
+ private:
+  void refresh_cache();
+
+  tensor::Tensor qweight_cache_;
+  tensor::Tensor qbias_cache_;
+  std::uint64_t cache_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace qcaps::nn

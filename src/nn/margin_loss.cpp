@@ -1,0 +1,66 @@
+#include "nn/margin_loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+float MarginLoss::forward(const tensor::Tensor& v,
+                          const std::vector<int>& labels) {
+  QCAPS_CHECK_MSG(v.ndim() == 3, "margin loss expects [B, Ncls, D]");
+  const std::int64_t b = v.dim(0), ncls = v.dim(1), d = v.dim(2);
+  QCAPS_CHECK(static_cast<std::int64_t>(labels.size()) == b);
+  cached_v_ = v;
+  cached_labels_ = labels;
+  const float* pv = v.data();
+  double total = 0.0;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t k = 0; k < ncls; ++k) {
+      const float* vk = pv + (bi * ncls + k) * d;
+      float nsq = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j) nsq += vk[j] * vk[j];
+      const float len = std::sqrt(nsq);
+      if (labels[static_cast<std::size_t>(bi)] == static_cast<int>(k)) {
+        const float gap = std::max(0.0f, cfg_.m_plus - len);
+        total += gap * gap;
+      } else {
+        const float gap = std::max(0.0f, len - cfg_.m_minus);
+        total += cfg_.lambda * gap * gap;
+      }
+    }
+  }
+  return static_cast<float>(total / static_cast<double>(b));
+}
+
+tensor::Tensor MarginLoss::backward() const {
+  QCAPS_CHECK_MSG(!cached_v_.empty(), "margin-loss backward before forward");
+  const std::int64_t b = cached_v_.dim(0), ncls = cached_v_.dim(1),
+                     d = cached_v_.dim(2);
+  tensor::Tensor grad(cached_v_.shape());
+  const float* pv = cached_v_.data();
+  float* pg = grad.data();
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t k = 0; k < ncls; ++k) {
+      const float* vk = pv + (bi * ncls + k) * d;
+      float* gk = pg + (bi * ncls + k) * d;
+      float nsq = 0.0f;
+      for (std::int64_t j = 0; j < d; ++j) nsq += vk[j] * vk[j];
+      const float len = std::sqrt(nsq + 1e-12f);
+      float dldlen = 0.0f;
+      if (cached_labels_[static_cast<std::size_t>(bi)] == static_cast<int>(k)) {
+        const float gap = cfg_.m_plus - len;
+        if (gap > 0.0f) dldlen = -2.0f * gap;
+      } else {
+        const float gap = len - cfg_.m_minus;
+        if (gap > 0.0f) dldlen = 2.0f * cfg_.lambda * gap;
+      }
+      const float coeff = dldlen * inv_b / len;
+      for (std::int64_t j = 0; j < d; ++j) gk[j] = coeff * vk[j];
+    }
+  }
+  return grad;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,34 @@
+// Margin loss over capsule lengths (Sabour et al. [21], Eq. 4):
+//   L_k = T_k max(0, m+ − ||v_k||)^2 + λ (1 − T_k) max(0, ||v_k|| − m−)^2
+// Total loss is the mean over the batch of the per-sample class sums.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+struct MarginLossConfig {
+  float m_plus = 0.9f;
+  float m_minus = 0.1f;
+  float lambda = 0.5f;
+};
+
+class MarginLoss {
+ public:
+  explicit MarginLoss(MarginLossConfig cfg = {}) : cfg_(cfg) {}
+
+  /// v: [B, Ncls, D] capsule outputs; labels: size B.
+  float forward(const tensor::Tensor& v, const std::vector<int>& labels);
+
+  /// dL/dv, matching the last forward call.
+  tensor::Tensor backward() const;
+
+ private:
+  MarginLossConfig cfg_;
+  tensor::Tensor cached_v_;
+  std::vector<int> cached_labels_;
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,76 @@
+#include "nn/network.hpp"
+
+#include "common/error.hpp"
+#include "nn/caps_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+std::vector<std::size_t> Network::weighted_layers() {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    if (layers_[i]->has_weights()) out.push_back(i);
+  return out;
+}
+
+tensor::Tensor Network::forward(const tensor::Tensor& x, Phase phase) {
+  QCAPS_CHECK_MSG(!layers_.empty(), "forward on an empty network");
+  tensor::Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, phase);
+  return cur;
+}
+
+void Network::backward(const tensor::Tensor& grad_out) {
+  tensor::Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+}
+
+std::vector<tensor::Tensor*> Network::params() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) {
+    const auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor*> Network::grads() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) {
+    const auto g = layer->grads();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor*> Network::state() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) {
+    const auto s = layer->state();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+std::int64_t Network::param_count() {
+  std::int64_t n = 0;
+  for (auto& layer : layers_) n += layer->param_count();
+  return n;
+}
+
+void Network::clear_quantization() {
+  for (auto& layer : layers_) layer->quant().clear();
+}
+
+std::vector<int> Network::predict(const tensor::Tensor& output) {
+  QCAPS_CHECK_MSG(output.ndim() == 3, "predict expects [B, Ncls, D]");
+  const tensor::Tensor lengths = caps_lengths(output);
+  const auto idx = tensor::argmax_rows(lengths);
+  std::vector<int> out;
+  out.reserve(idx.size());
+  for (const auto i : idx) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,64 @@
+// Sequential network container.
+//
+// Owns the layer stack, chains forward/backward, and exposes the per-layer
+// views the Q-CapsNets framework needs: the list of weighted layers (the
+// paper's quantization granularity — e.g. L1/L2/L3 for ShallowCaps,
+// L1/B2..B5/L6 for DeepCaps) and activation/parameter statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Construct and append a layer; returns a reference to it.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Indices of layers with trainable parameters, in forward order. This is
+  /// the layer indexing used throughout the quantization framework ("layer l"
+  /// in Eq. 6 and Algorithms 2-3).
+  std::vector<std::size_t> weighted_layers();
+
+  /// Final output, shape [B, Ncls, D].
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase);
+  /// Backpropagate from the loss gradient; accumulates parameter grads.
+  void backward(const tensor::Tensor& grad_out);
+
+  std::vector<tensor::Tensor*> params();
+  std::vector<tensor::Tensor*> grads();
+  /// Non-trainable buffers (batch-norm running stats) — persisted with the
+  /// parameters, skipped by the optimizer.
+  std::vector<tensor::Tensor*> state();
+  std::int64_t param_count();
+
+  /// Remove every quantization hook (restores exact FP32 behaviour).
+  void clear_quantization();
+
+  /// Predicted class = argmax over capsule lengths of a [B, Ncls, D] output.
+  static std::vector<int> predict(const tensor::Tensor& output);
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,46 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+float ExponentialDecay::at(std::int64_t step) const {
+  return initial * std::pow(decay_rate, static_cast<float>(step) /
+                                            static_cast<float>(decay_steps));
+}
+
+void AdamOptimizer::step(const std::vector<tensor::Tensor*>& params,
+                         const std::vector<tensor::Tensor*>& grads, float lr) {
+  QCAPS_CHECK(params.size() == grads.size());
+  if (m_.empty()) {
+    for (const auto* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  QCAPS_CHECK_MSG(m_.size() == params.size(),
+                  "optimizer bound to a different parameter set");
+  ++t_;
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    float* p = params[k]->data();
+    float* g = grads[k]->data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    const std::int64_t n = params[k]->numel();
+    QCAPS_CHECK(grads[k]->numel() == n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      m[i] = cfg_.beta1 * m[i] + (1.0f - cfg_.beta1) * g[i];
+      v[i] = cfg_.beta2 * v[i] + (1.0f - cfg_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p[i] -= lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+      g[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace qcaps::nn

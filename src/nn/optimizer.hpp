@@ -1,0 +1,46 @@
+// Optimizers and the paper's exponential-decay learning-rate policy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+/// lr = initial * decay_rate ^ (step / decay_steps), the policy used for
+/// ShallowCaps training in Sec. IV-B.
+struct ExponentialDecay {
+  float initial = 1e-3f;
+  float decay_rate = 0.96f;
+  std::int64_t decay_steps = 2000;
+
+  float at(std::int64_t step) const;
+};
+
+class AdamOptimizer {
+ public:
+  struct Config {
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+  };
+
+  explicit AdamOptimizer() : cfg_(Config{}) {}
+  explicit AdamOptimizer(Config cfg) : cfg_(cfg) {}
+
+  /// Apply one update; params/grads are paired by position. Gradients are
+  /// zeroed after the step.
+  void step(const std::vector<tensor::Tensor*>& params,
+            const std::vector<tensor::Tensor*>& grads, float lr);
+
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  Config cfg_;
+  std::int64_t t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+}  // namespace qcaps::nn

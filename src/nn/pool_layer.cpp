@@ -1,0 +1,65 @@
+#include "nn/pool_layer.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+MaxPool2dLayer::MaxPool2dLayer(std::string name, std::int64_t window,
+                               std::int64_t stride)
+    : Layer(std::move(name)), window_(window), stride_(stride) {
+  QCAPS_CHECK(window_ >= 1 && stride_ >= 1);
+}
+
+tensor::Tensor MaxPool2dLayer::forward(const tensor::Tensor& x, Phase phase) {
+  QCAPS_CHECK_MSG(x.ndim() == 4, name() << ": expected [B,C,H,W]");
+  const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = (h - window_) / stride_ + 1;
+  const std::int64_t ow = (w - window_) / stride_ + 1;
+  QCAPS_CHECK(oh > 0 && ow > 0);
+  tensor::Tensor out({b, c, oh, ow});
+  const bool keep = phase == Phase::kTrain;
+  if (keep) {
+    input_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  }
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t bc = 0; bc < b * c; ++bc) {
+    const float* plane = px + bc * h * w;
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::int64_t best_idx = 0;
+        for (std::int64_t ky = 0; ky < window_; ++ky) {
+          for (std::int64_t kx = 0; kx < window_; ++kx) {
+            const std::int64_t iy = oy * stride_ + ky;
+            const std::int64_t ix = ox * stride_ + kx;
+            const float v = plane[iy * w + ix];
+            if (v > best) {
+              best = v;
+              best_idx = bc * h * w + iy * w + ix;
+            }
+          }
+        }
+        const std::int64_t oidx = (bc * oh + oy) * ow + ox;
+        po[oidx] = best;
+        if (keep) argmax_[static_cast<std::size_t>(oidx)] = best_idx;
+      }
+    }
+  }
+  return finish_forward(std::move(out), b);
+}
+
+tensor::Tensor MaxPool2dLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!input_shape_.empty(), "backward without a train-phase forward");
+  tensor::Tensor gx(input_shape_);
+  float* pg = gx.data();
+  const float* po = grad_out.data();
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i)
+    pg[argmax_[static_cast<std::size_t>(i)]] += po[i];
+  return gx;
+}
+
+}  // namespace qcaps::nn

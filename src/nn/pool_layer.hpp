@@ -1,0 +1,21 @@
+// 2-D max pooling (used by the LeNet baseline).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class MaxPool2dLayer : public Layer {
+ public:
+  MaxPool2dLayer(std::string name, std::int64_t window, std::int64_t stride);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+ private:
+  std::int64_t window_, stride_;
+  tensor::Shape input_shape_;
+  std::vector<std::int64_t> argmax_;  // winning flat input index per output
+};
+
+}  // namespace qcaps::nn

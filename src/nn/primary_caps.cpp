@@ -1,0 +1,103 @@
+#include "nn/primary_caps.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/caps_ops.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+namespace {
+/// [B, T*D, H, W] -> [B, T*H*W, D]
+tensor::Tensor to_caps_list(const tensor::Tensor& fmap, std::int64_t caps_dim) {
+  const std::int64_t b = fmap.dim(0), c = fmap.dim(1), h = fmap.dim(2),
+                     w = fmap.dim(3);
+  const std::int64_t types = c / caps_dim;
+  const std::int64_t plane = h * w;
+  tensor::Tensor out({b, types * plane, caps_dim});
+  const float* px = fmap.data();
+  float* po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t dd = 0; dd < caps_dim; ++dd)
+        for (std::int64_t p = 0; p < plane; ++p)
+          po[((bi * types + t) * plane + p) * caps_dim + dd] =
+              px[((bi * c) + t * caps_dim + dd) * plane + p];
+  return out;
+}
+
+/// Inverse of to_caps_list.
+tensor::Tensor to_feature_map(const tensor::Tensor& caps, std::int64_t types,
+                              std::int64_t caps_dim, std::int64_t h,
+                              std::int64_t w) {
+  const std::int64_t b = caps.dim(0);
+  const std::int64_t plane = h * w;
+  tensor::Tensor out({b, types * caps_dim, h, w});
+  const float* px = caps.data();
+  float* po = out.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t dd = 0; dd < caps_dim; ++dd)
+        for (std::int64_t p = 0; p < plane; ++p)
+          po[((bi * types * caps_dim) + t * caps_dim + dd) * plane + p] =
+              px[((bi * types + t) * plane + p) * caps_dim + dd];
+  return out;
+}
+}  // namespace
+
+PrimaryCapsLayer::PrimaryCapsLayer(std::string name, std::int64_t in_channels,
+                                   std::int64_t caps_types,
+                                   std::int64_t caps_dim, std::int64_t kernel,
+                                   std::int64_t stride, common::Rng& rng)
+    : WeightedLayer(std::move(name)),
+      in_channels_(in_channels),
+      caps_types_(caps_types),
+      caps_dim_(caps_dim),
+      kernel_(kernel),
+      stride_(stride) {
+  const std::int64_t out_c = caps_types * caps_dim;
+  const float fan_in = static_cast<float>(in_channels * kernel * kernel);
+  const float sd = std::sqrt(2.0f / fan_in);
+  weight_ = tensor::Tensor::randn({out_c, in_channels, kernel, kernel}, rng,
+                                  0.0f, sd);
+  grad_weight_ = tensor::Tensor(weight_.shape());
+  bias_ = tensor::Tensor({out_c});
+  grad_bias_ = tensor::Tensor(bias_.shape());
+}
+
+std::int64_t PrimaryCapsLayer::num_caps(std::int64_t in_h, std::int64_t in_w) const {
+  const std::int64_t oh = (in_h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (in_w - kernel_) / stride_ + 1;
+  return caps_types_ * oh * ow;
+}
+
+tensor::Tensor PrimaryCapsLayer::forward(const tensor::Tensor& x, Phase phase) {
+  const std::int64_t batch = x.dim(0);
+  if (phase == Phase::kTrain) cached_input_ = x;
+  tensor::Tensor fmap = tensor::conv2d_forward(x, effective_weight(),
+                                               effective_bias(), stride_, 0);
+  out_h_ = fmap.dim(2);
+  out_w_ = fmap.dim(3);
+  set_macs_per_sample(fmap.numel() / batch * in_channels_ * kernel_ * kernel_);
+  tensor::Tensor pre = to_caps_list(fmap, caps_dim_);
+  if (phase == Phase::kTrain) cached_pre_squash_ = pre;
+  tensor::Tensor v = squash_last(pre);
+  return finish_forward(std::move(v), batch);
+}
+
+tensor::Tensor PrimaryCapsLayer::backward(const tensor::Tensor& grad_out) {
+  QCAPS_CHECK_MSG(!cached_input_.empty(),
+                  "backward without a preceding train-phase forward");
+  tensor::Tensor g_pre = squash_last_backward(cached_pre_squash_, grad_out);
+  tensor::Tensor g_fmap = to_feature_map(g_pre, caps_types_, caps_dim_, out_h_,
+                                         out_w_);
+  auto grads = tensor::conv2d_backward(cached_input_, weight_, g_fmap, stride_,
+                                       0, /*has_bias=*/true);
+  tensor::axpy(grad_weight_, 1.0f, grads.grad_weight);
+  tensor::axpy(grad_bias_, 1.0f, grads.grad_bias);
+  return std::move(grads.grad_input);
+}
+
+}  // namespace qcaps::nn

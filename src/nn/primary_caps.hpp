@@ -1,0 +1,35 @@
+// PrimaryCaps layer (paper Sec. II-A, L2 of ShallowCaps): a convolution whose
+// output channels are grouped into capsule vectors, followed by squash.
+// Input  : [B, C, H, W] feature map.
+// Output : [B, N, D] capsule list, N = types * outH * outW.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace qcaps::nn {
+
+class PrimaryCapsLayer : public WeightedLayer {
+ public:
+  PrimaryCapsLayer(std::string name, std::int64_t in_channels,
+                   std::int64_t caps_types, std::int64_t caps_dim,
+                   std::int64_t kernel, std::int64_t stride, common::Rng& rng);
+
+  tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out) override;
+
+  std::int64_t caps_types() const { return caps_types_; }
+  std::int64_t caps_dim() const { return caps_dim_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  /// Capsule count for a given input height/width.
+  std::int64_t num_caps(std::int64_t in_h, std::int64_t in_w) const;
+
+ private:
+  std::int64_t in_channels_, caps_types_, caps_dim_, kernel_, stride_;
+  tensor::Tensor cached_input_;
+  tensor::Tensor cached_pre_squash_;  // [B, N, D] before squash
+  std::int64_t out_h_ = 0, out_w_ = 0;
+};
+
+}  // namespace qcaps::nn

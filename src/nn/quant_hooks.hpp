@@ -1,0 +1,47 @@
+// Per-layer quantization hooks.
+//
+// Training always runs in FP32 with all hooks disabled (the paper quantizes
+// post-training). The Q-CapsNets framework (src/core) installs hooks per
+// layer; during evaluation each layer then:
+//   * replaces its weights by a cached fixed-point-grid copy (weight hook),
+//   * quantizes its output activations (activation hook),
+//   * quantizes the dynamic-routing arrays û, b, c, s, v, a at the points
+//     shown in paper Fig. 9 (routing hook, layers with routing only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fixed/quantizer.hpp"
+
+namespace qcaps::nn {
+
+struct LayerQuant {
+  std::optional<fixed::Quantizer> weights;
+  std::optional<fixed::Quantizer> activations;
+  std::optional<fixed::Quantizer> routing;
+
+  /// Bumped on every change so layers can invalidate cached quantized weights.
+  std::uint64_t version = 0;
+
+  void clear() {
+    weights.reset();
+    activations.reset();
+    routing.reset();
+    ++version;
+  }
+  void set_weights(std::optional<fixed::Quantizer> q) {
+    weights = std::move(q);
+    ++version;
+  }
+  void set_activations(std::optional<fixed::Quantizer> q) {
+    activations = std::move(q);
+    ++version;
+  }
+  void set_routing(std::optional<fixed::Quantizer> q) {
+    routing = std::move(q);
+    ++version;
+  }
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,184 @@
+#include "nn/routing.hpp"
+
+#include "common/error.hpp"
+#include "nn/caps_ops.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::nn {
+
+tensor::Tensor DynamicRouting::forward(const tensor::Tensor& votes,
+                                       int iterations, bool keep_tape,
+                                       const RoutingQuantPoints& quant) {
+  QCAPS_CHECK_MSG(votes.ndim() == 4, "routing votes must be [R, Nin, Nout, D]");
+  QCAPS_CHECK(iterations >= 1);
+  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
+                     nout = votes.dim(2), d = votes.dim(3);
+  iters_ = iterations;
+  c_tape_.clear();
+  s_tape_.clear();
+  v_tape_.clear();
+  if (keep_tape) votes_ = votes;
+
+  tensor::Tensor b({r_count, nin, nout});
+  tensor::Tensor v;
+  const float* u = votes.data();
+
+  for (int it = 0; it < iterations; ++it) {
+    // Logits are quantized with QDR right before the softmax (Fig. 9).
+    if (quant.routing) quant.routing->apply(b);
+    tensor::Tensor c = tensor::softmax_last(b);
+    if (quant.activations) quant.activations->apply(c);
+
+    // s[r, j, :] = sum_i c[r, i, j] * û[r, i, j, :]
+    tensor::Tensor s({r_count, nout, d});
+    {
+      const float* pc = c.data();
+      float* ps = s.data();
+#pragma omp parallel for schedule(static) if (r_count > 16)
+      for (std::int64_t r = 0; r < r_count; ++r) {
+        float* srow = ps + r * nout * d;
+        const float* crow = pc + r * nin * nout;
+        const float* urow = u + r * nin * nout * d;
+        for (std::int64_t i = 0; i < nin; ++i) {
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float cij = crow[i * nout + j];
+            const float* uv = urow + (i * nout + j) * d;
+            float* sv = srow + j * d;
+            for (std::int64_t k = 0; k < d; ++k) sv[k] += cij * uv[k];
+          }
+        }
+      }
+    }
+    // Preactivations quantized with QDR right before the squash (Fig. 9).
+    if (quant.routing) quant.routing->apply(s);
+    v = squash_last(s);
+    if (quant.activations) quant.activations->apply(v);
+
+    if (keep_tape) {
+      c_tape_.push_back(c);
+      s_tape_.push_back(s);
+      v_tape_.push_back(v);
+    }
+    if (it + 1 == iterations) {
+      last_c_ = std::move(c);
+      break;
+    }
+
+    // Agreement a[r, i, j] = v[r, j, :] · û[r, i, j, :]; b += a.
+    tensor::Tensor a({r_count, nin, nout});
+    {
+      const float* pv = v.data();
+      float* pa = a.data();
+#pragma omp parallel for schedule(static) if (r_count > 16)
+      for (std::int64_t r = 0; r < r_count; ++r) {
+        const float* vrow = pv + r * nout * d;
+        const float* urow = u + r * nin * nout * d;
+        float* arow = pa + r * nin * nout;
+        for (std::int64_t i = 0; i < nin; ++i) {
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float* uv = urow + (i * nout + j) * d;
+            const float* vv = vrow + j * d;
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vv[k];
+            arow[i * nout + j] = acc;
+          }
+        }
+      }
+    }
+    if (quant.activations) quant.activations->apply(a);
+    tensor::axpy(b, 1.0f, a);
+  }
+  return v;
+}
+
+tensor::Tensor DynamicRouting::backward(const tensor::Tensor& grad_v) {
+  QCAPS_CHECK_MSG(!votes_.empty() && !v_tape_.empty(),
+                  "routing backward without a keep_tape forward");
+  const std::int64_t r_count = votes_.dim(0), nin = votes_.dim(1),
+                     nout = votes_.dim(2), d = votes_.dim(3);
+  QCAPS_CHECK(grad_v.ndim() == 3 && grad_v.dim(0) == r_count &&
+              grad_v.dim(1) == nout && grad_v.dim(2) == d);
+
+  tensor::Tensor grad_votes(votes_.shape());
+  tensor::Tensor gv = grad_v;                       // dL/dv_r for current r
+  tensor::Tensor gb({r_count, nin, nout});          // dL/db_r accumulator
+  const float* u = votes_.data();
+
+  for (int it = iters_ - 1; it >= 0; --it) {
+    const tensor::Tensor& c = c_tape_[static_cast<std::size_t>(it)];
+    const tensor::Tensor& s = s_tape_[static_cast<std::size_t>(it)];
+    // v = squash(s)
+    tensor::Tensor gs = squash_last_backward(s, gv);
+    // s = Σ_i c ⊙ û :  gc[i,j] = û[i,j]·gs[j] ;  gU[i,j] += c[i,j] * gs[j]
+    tensor::Tensor gc({r_count, nin, nout});
+    {
+      const float* pc = c.data();
+      const float* pgs = gs.data();
+      float* pgc = gc.data();
+      float* pgu = grad_votes.data();
+#pragma omp parallel for schedule(static) if (r_count > 16)
+      for (std::int64_t r = 0; r < r_count; ++r) {
+        const float* crow = pc + r * nin * nout;
+        const float* gsrow = pgs + r * nout * d;
+        float* gcrow = pgc + r * nin * nout;
+        float* gurow = pgu + r * nin * nout * d;
+        const float* urow = u + r * nin * nout * d;
+        for (std::int64_t i = 0; i < nin; ++i) {
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float* uv = urow + (i * nout + j) * d;
+            const float* gsv = gsrow + j * d;
+            float* guv = gurow + (i * nout + j) * d;
+            const float cij = crow[i * nout + j];
+            float dot = 0.0f;
+            for (std::int64_t k = 0; k < d; ++k) {
+              dot += uv[k] * gsv[k];
+              guv[k] += cij * gsv[k];
+            }
+            gcrow[i * nout + j] = dot;
+          }
+        }
+      }
+    }
+    // c = softmax(b) over the Nout axis (the last axis of [R, Nin, Nout]).
+    tensor::axpy(gb, 1.0f, tensor::softmax_last_backward(c, gc));
+
+    if (it == 0) break;
+
+    // b_it = b_{it-1} + a_{it-1},  a_{it-1}[i,j] = v_{it-1}[j] · û[i,j].
+    // gb passes through to b_{it-1} unchanged; additionally:
+    //   gv_{it-1}[j] += Σ_i gb[i,j] û[i,j] ;  gU[i,j] += gb[i,j] * v_{it-1}[j]
+    const tensor::Tensor& v_prev = v_tape_[static_cast<std::size_t>(it - 1)];
+    tensor::Tensor gv_prev({r_count, nout, d});
+    {
+      const float* pgb = gb.data();
+      const float* pvp = v_prev.data();
+      float* pgvp = gv_prev.data();
+      float* pgu = grad_votes.data();
+#pragma omp parallel for schedule(static) if (r_count > 16)
+      for (std::int64_t r = 0; r < r_count; ++r) {
+        const float* gbrow = pgb + r * nin * nout;
+        const float* vrow = pvp + r * nout * d;
+        float* gvrow = pgvp + r * nout * d;
+        float* gurow = pgu + r * nin * nout * d;
+        const float* urow = u + r * nin * nout * d;
+        for (std::int64_t i = 0; i < nin; ++i) {
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float gij = gbrow[i * nout + j];
+            const float* uv = urow + (i * nout + j) * d;
+            const float* vv = vrow + j * d;
+            float* gvv = gvrow + j * d;
+            float* guv = gurow + (i * nout + j) * d;
+            for (std::int64_t k = 0; k < d; ++k) {
+              gvv[k] += gij * uv[k];
+              guv[k] += gij * vv[k];
+            }
+          }
+        }
+      }
+    }
+    gv = std::move(gv_prev);
+  }
+  return grad_votes;
+}
+
+}  // namespace qcaps::nn

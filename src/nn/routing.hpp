@@ -1,0 +1,56 @@
+// Dynamic routing-by-agreement (paper Sec. II-A, Fig. 6).
+//
+// Operates on a vote tensor û of shape [R, Nin, Nout, D], where R collapses
+// the batch (and, for convolutional capsule layers, the spatial positions).
+// Per routing iteration:
+//     c  = softmax over Nout of b          (coupling coefficients, Eq. 1)
+//     s_j = Σ_i c_ij û_j|i                 (preactivation)
+//     v_j = squash(s_j)                    (Eq. 2)
+//     a_ij = v_j · û_j|i ;  b += a         (agreement, skipped after last)
+//
+// Quantization points follow paper Fig. 9: û, c, v, a carry the activation
+// format Qa; b (before softmax) and s (before squash) are quantized harder
+// with the dedicated routing format QDR — precision is lowered right before
+// the compute-intensive nonlinear functions.
+//
+// backward() replays the full unrolled iteration tape — gradients flow
+// through softmax, squash, agreement and logit updates of every iteration
+// (no stop-gradient approximation).
+#pragma once
+
+#include <vector>
+
+#include "fixed/quantizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::nn {
+
+struct RoutingQuantPoints {
+  const fixed::Quantizer* activations = nullptr;  ///< Qa: û, c, v, a
+  const fixed::Quantizer* routing = nullptr;      ///< QDR: b, s
+};
+
+class DynamicRouting {
+ public:
+  /// Route votes [R, Nin, Nout, D] for `iterations` rounds; returns
+  /// v [R, Nout, D]. With keep_tape the per-iteration intermediates are
+  /// retained for backward().
+  tensor::Tensor forward(const tensor::Tensor& votes, int iterations,
+                         bool keep_tape, const RoutingQuantPoints& quant);
+
+  /// Gradient wrt the votes; requires a keep_tape forward first.
+  tensor::Tensor backward(const tensor::Tensor& grad_v);
+
+  /// Coupling coefficients of the final iteration (for tests/inspection).
+  const tensor::Tensor& last_coupling() const { return last_c_; }
+
+ private:
+  int iters_ = 0;
+  tensor::Tensor votes_;
+  tensor::Tensor last_c_;
+  std::vector<tensor::Tensor> c_tape_;  // post-softmax (quantized) couplings
+  std::vector<tensor::Tensor> s_tape_;  // pre-squash inputs (quantized)
+  std::vector<tensor::Tensor> v_tape_;  // post-squash outputs (quantized)
+};
+
+}  // namespace qcaps::nn

@@ -1,0 +1,77 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace qcaps::nn {
+
+namespace {
+// Version 2: parameters followed by non-trainable state tensors (batch-norm
+// running statistics). Version-1 files (params only) are rejected — they
+// produce silently wrong eval behaviour for models with batch norm.
+constexpr std::uint64_t kMagic = 0x51434150534e4532ULL;  // "QCAPSNE2"
+
+void write_tensor_group(std::ofstream& out,
+                        const std::vector<tensor::Tensor*>& tensors) {
+  const std::uint64_t count = tensors.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto* t : tensors) {
+    const std::uint64_t rank = t->shape().size();
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (const auto d : t->shape()) {
+      const std::int64_t dd = d;
+      out.write(reinterpret_cast<const char*>(&dd), sizeof(dd));
+    }
+    out.write(reinterpret_cast<const char*>(t->data()),
+              static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+}
+
+void read_tensor_group(std::ifstream& in, const std::string& path,
+                       const std::vector<tensor::Tensor*>& tensors) {
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  QCAPS_CHECK_MSG(count == tensors.size(),
+                  path << ": tensor count mismatch (file " << count
+                       << ", network " << tensors.size() << ")");
+  for (auto* t : tensors) {
+    std::uint64_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    QCAPS_CHECK_MSG(rank == t->shape().size(), path << ": rank mismatch");
+    for (const auto d : t->shape()) {
+      std::int64_t dd = 0;
+      in.read(reinterpret_cast<char*>(&dd), sizeof(dd));
+      QCAPS_CHECK_MSG(dd == d, path << ": shape mismatch");
+    }
+    in.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+}
+}  // namespace
+
+void save_params(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  QCAPS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  write_tensor_group(out, net.params());
+  write_tensor_group(out, net.state());
+  QCAPS_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+bool load_params(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  QCAPS_CHECK_MSG(magic == kMagic,
+                  path << " is not a current qcaps parameter file "
+                          "(delete stale caches and retrain)");
+  read_tensor_group(in, path, net.params());
+  read_tensor_group(in, path, net.state());
+  QCAPS_CHECK_MSG(in.good(), "read failure on " << path);
+  return true;
+}
+
+}  // namespace qcaps::nn

@@ -1,0 +1,18 @@
+// Binary save/load of a network's parameters (for caching trained models
+// across benches/examples so each binary does not retrain from scratch).
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace qcaps::nn {
+
+/// Write all parameters (shapes + data) to `path`. Throws on I/O failure.
+void save_params(Network& net, const std::string& path);
+
+/// Load parameters written by save_params; shapes must match exactly.
+/// Returns false if the file does not exist; throws on shape mismatch.
+bool load_params(Network& net, const std::string& path);
+
+}  // namespace qcaps::nn

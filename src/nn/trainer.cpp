@@ -1,0 +1,69 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "data/loader.hpp"
+
+namespace qcaps::nn {
+
+float evaluate(Network& net, const data::Dataset& ds, std::int64_t batch_size,
+               std::int64_t max_samples) {
+  const std::int64_t total =
+      max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
+  std::int64_t correct = 0, seen = 0;
+  for (std::int64_t lo = 0; lo < total; lo += batch_size) {
+    const std::int64_t hi = std::min(lo + batch_size, total);
+    std::vector<std::int64_t> idx;
+    idx.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int64_t i = lo; i < hi; ++i) idx.push_back(i);
+    const tensor::Tensor out = net.forward(ds.batch(idx), Phase::kEval);
+    const auto pred = Network::predict(out);
+    for (std::size_t k = 0; k < pred.size(); ++k)
+      if (pred[k] == ds.labels[static_cast<std::size_t>(idx[k])]) ++correct;
+    seen += hi - lo;
+  }
+  return seen > 0 ? static_cast<float>(correct) / static_cast<float>(seen) : 0.0f;
+}
+
+TrainResult train(Network& net, const data::Dataset& train_set,
+                  const data::Dataset& test_set, const TrainConfig& cfg) {
+  data::BatchLoader loader(train_set, cfg.batch_size, /*shuffle=*/true,
+                           cfg.seed);
+  MarginLoss loss(cfg.loss);
+  AdamOptimizer opt;
+  common::Rng aug_rng(cfg.seed ^ 0xa06);
+  TrainResult result;
+  common::Timer timer;
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    loader.start_epoch();
+    double epoch_loss = 0.0;
+    const std::int64_t nb = loader.num_batches();
+    for (std::int64_t b = 0; b < nb; ++b) {
+      data::Batch batch = loader.batch(b);
+      tensor::Tensor images = augment_batch(batch.images, cfg.augment, aug_rng);
+      const tensor::Tensor out = net.forward(images, Phase::kTrain);
+      const float l = loss.forward(out, batch.labels);
+      epoch_loss += l;
+      net.backward(loss.backward());
+      opt.step(net.params(), net.grads(), cfg.lr.at(opt.step_count()));
+      ++result.steps;
+    }
+    result.final_train_loss = static_cast<float>(epoch_loss / static_cast<double>(nb));
+    if (cfg.verbose) {
+      QCAPS_INFO << net.name() << " epoch " << (epoch + 1) << "/" << cfg.epochs
+                 << " loss=" << result.final_train_loss << " ("
+                 << static_cast<int>(timer.seconds()) << "s)";
+    }
+  }
+  result.test_accuracy = evaluate(net, test_set);
+  if (cfg.verbose) {
+    QCAPS_INFO << net.name() << " FP32 test accuracy "
+               << result.test_accuracy * 100.0f << "%";
+  }
+  return result;
+}
+
+}  // namespace qcaps::nn

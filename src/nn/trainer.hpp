@@ -1,0 +1,40 @@
+// Training and evaluation driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "nn/margin_loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace qcaps::nn {
+
+struct TrainConfig {
+  int epochs = 8;
+  std::int64_t batch_size = 32;
+  ExponentialDecay lr;
+  data::AugmentPolicy augment = data::AugmentPolicy::none();
+  MarginLossConfig loss;
+  std::uint64_t seed = 42;
+  bool verbose = true;
+};
+
+struct TrainResult {
+  float final_train_loss = 0.0f;
+  float test_accuracy = 0.0f;   ///< accFP32 of the paper
+  std::int64_t steps = 0;
+};
+
+/// Accuracy of `net` on `ds`, evaluated in kEval phase (quantization hooks
+/// honoured). `max_samples` <= 0 means the full set.
+float evaluate(Network& net, const data::Dataset& ds,
+               std::int64_t batch_size = 64, std::int64_t max_samples = -1);
+
+/// FP32 training with the paper's margin loss + Adam + exponential decay.
+TrainResult train(Network& net, const data::Dataset& train_set,
+                  const data::Dataset& test_set, const TrainConfig& cfg);
+
+}  // namespace qcaps::nn

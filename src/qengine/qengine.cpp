@@ -1,0 +1,184 @@
+#include "qengine/qengine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "hwmodel/units.hpp"
+
+namespace qcaps::qengine {
+
+QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
+               std::int64_t stride, std::int64_t pad,
+               fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme) {
+  QCAPS_CHECK_MSG(x.shape.size() == 4 && w.shape.size() == 4,
+                  "qengine conv2d expects [B,C,H,W] x [F,C,K,K]");
+  const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t f = w.dim(0), k = w.dim(2);
+  QCAPS_CHECK(w.dim(1) == c && w.dim(3) == k);
+  const std::int64_t oh = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t ow = (wd + 2 * pad - k) / stride + 1;
+  QCAPS_CHECK(oh > 0 && ow > 0);
+  // Accumulator guard: fan-in * 2^(wl_x + wl_w) must fit in int64.
+  QCAPS_CHECK_MSG(x.fmt.wordlength() + w.fmt.wordlength() +
+                          static_cast<int>(std::ceil(std::log2(
+                              static_cast<double>(c * k * k + 1)))) <=
+                      62,
+                  "conv accumulator would overflow for these formats");
+  const int acc_qf = x.fmt.qf + w.fmt.qf;
+  const bool has_bias = !bias.raw.empty();
+
+  QTensor out({b, f, oh, ow}, out_fmt);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t fi = 0; fi < f; ++fi) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xx = 0; xx < ow; ++xx) {
+          std::int64_t acc = 0;
+          for (std::int64_t ci = 0; ci < c; ++ci) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              const std::int64_t iy = y * stride + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t ix = xx * stride + kx - pad;
+                if (ix < 0 || ix >= wd) continue;
+                acc += x.raw[static_cast<std::size_t>(((bi * c + ci) * h + iy) * wd + ix)] *
+                       w.raw[static_cast<std::size_t>(((fi * c + ci) * k + ky) * k + kx)];
+              }
+            }
+          }
+          if (has_bias) {
+            // Align the bias (weight fmt) to the accumulator's frac width.
+            acc += bias.raw[static_cast<std::size_t>(fi)] << (acc_qf - bias.fmt.qf);
+          }
+          out.raw[static_cast<std::size_t>(((bi * f + fi) * oh + y) * ow + xx)] =
+              hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void relu(QTensor& x) {
+  for (auto& v : x.raw)
+    if (v < 0) v = 0;
+}
+
+QTensor rescale(const QTensor& x, fixed::FixedFormat out_fmt,
+                fixed::RoundingScheme scheme) {
+  QTensor out(x.shape, out_fmt);
+  for (std::size_t i = 0; i < x.raw.size(); ++i)
+    out.raw[i] = hwmodel::rescale_raw(x.raw[i], x.fmt.qf, out_fmt, scheme);
+  return out;
+}
+
+QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt) {
+  QCAPS_CHECK(!s.shape.empty());
+  const std::int64_t d = s.dim(-1);
+  const std::int64_t rows = s.numel() / d;
+  const hwmodel::SquashUnit unit(s.fmt);
+  QTensor out(s.shape, out_fmt);
+#pragma omp parallel for schedule(static) if (rows > 64)
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::vector<hwmodel::FixedNum> vec(static_cast<std::size_t>(d));
+    for (std::int64_t j = 0; j < d; ++j)
+      vec[static_cast<std::size_t>(j)] = {s.raw[static_cast<std::size_t>(r * d + j)], s.fmt};
+    const auto v = unit.apply(vec, out_fmt);
+    for (std::int64_t j = 0; j < d; ++j)
+      out.raw[static_cast<std::size_t>(r * d + j)] = v[static_cast<std::size_t>(j)].raw;
+  }
+  return out;
+}
+
+QTensor dynamic_routing(const QTensor& votes, int iterations,
+                        fixed::FixedFormat act_fmt, fixed::FixedFormat dr_fmt) {
+  QCAPS_CHECK_MSG(votes.shape.size() == 4, "votes must be [R, Nin, Nout, D]");
+  QCAPS_CHECK(iterations >= 1);
+  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
+                     nout = votes.dim(2), d = votes.dim(3);
+  QCAPS_CHECK(votes.fmt == act_fmt);
+
+  const hwmodel::SoftmaxUnit softmax(dr_fmt);
+  const hwmodel::SquashUnit squash(dr_fmt);
+  QTensor v_out({r_count, nout, d}, act_fmt);
+
+#pragma omp parallel for schedule(static) if (r_count > 4)
+  for (std::int64_t r = 0; r < r_count; ++r) {
+    // Per-row state: logits b (dr fmt), couplings c (act fmt).
+    std::vector<std::int64_t> b_raw(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int64_t> c_raw(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int64_t> s_raw(static_cast<std::size_t>(nout * d), 0);
+    std::vector<std::int64_t> v_raw(static_cast<std::size_t>(nout * d), 0);
+    const std::int64_t* u = votes.raw.data() + r * nin * nout * d;
+
+    for (int it = 0; it < iterations; ++it) {
+      // c_i* = softmax over Nout of b_i* — logits carry the QDR format but
+      // the couplings come out at activation precision (Fig. 9: the cheap
+      // data is what feeds the unit, not what leaves it).
+      for (std::int64_t i = 0; i < nin; ++i) {
+        std::vector<hwmodel::FixedNum> logits(static_cast<std::size_t>(nout));
+        for (std::int64_t j = 0; j < nout; ++j)
+          logits[static_cast<std::size_t>(j)] = {b_raw[static_cast<std::size_t>(i * nout + j)], dr_fmt};
+        const auto c = softmax.apply(logits, act_fmt);
+        for (std::int64_t j = 0; j < nout; ++j)
+          c_raw[static_cast<std::size_t>(i * nout + j)] = c[static_cast<std::size_t>(j)].raw;
+      }
+      // s_j = Σ_i c_ij û_ij, accumulated wide, rescaled into dr fmt
+      // (precision lowered before the squash, Fig. 9).
+      const int acc_qf = act_fmt.qf + act_fmt.qf;
+      std::fill(s_raw.begin(), s_raw.end(), 0);
+      for (std::int64_t j = 0; j < nout; ++j) {
+        for (std::int64_t k = 0; k < d; ++k) {
+          std::int64_t acc = 0;
+          for (std::int64_t i = 0; i < nin; ++i)
+            acc += c_raw[static_cast<std::size_t>(i * nout + j)] *
+                   u[(i * nout + j) * d + k];
+          s_raw[static_cast<std::size_t>(j * d + k)] =
+              hwmodel::rescale_raw(acc, acc_qf, dr_fmt);
+        }
+      }
+      // v_j = squash(s_j): QDR input, activation-precision output.
+      for (std::int64_t j = 0; j < nout; ++j) {
+        std::vector<hwmodel::FixedNum> sv(static_cast<std::size_t>(d));
+        for (std::int64_t k = 0; k < d; ++k)
+          sv[static_cast<std::size_t>(k)] = {s_raw[static_cast<std::size_t>(j * d + k)], dr_fmt};
+        const auto vq = squash.apply(sv, act_fmt);
+        for (std::int64_t k = 0; k < d; ++k)
+          v_raw[static_cast<std::size_t>(j * d + k)] = vq[static_cast<std::size_t>(k)].raw;
+      }
+      if (it + 1 == iterations) break;
+      // b_ij += a_ij = v_j · û_ij (wide dot, rescaled into dr fmt).
+      for (std::int64_t i = 0; i < nin; ++i) {
+        for (std::int64_t j = 0; j < nout; ++j) {
+          std::int64_t acc = 0;
+          for (std::int64_t k = 0; k < d; ++k)
+            acc += v_raw[static_cast<std::size_t>(j * d + k)] *
+                   u[(i * nout + j) * d + k];
+          const std::int64_t a =
+              hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
+          b_raw[static_cast<std::size_t>(i * nout + j)] = hwmodel::saturate_raw(
+              b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+        }
+      }
+    }
+    std::copy(v_raw.begin(), v_raw.end(),
+              v_out.raw.begin() + r * nout * d);
+  }
+  return v_out;
+}
+
+tensor::Tensor lengths(const QTensor& caps) {
+  QCAPS_CHECK(caps.shape.size() == 3);
+  const tensor::Tensor f = caps.to_float();
+  const std::int64_t b = caps.dim(0), n = caps.dim(1), d = caps.dim(2);
+  tensor::Tensor out({b, n});
+  for (std::int64_t i = 0; i < b * n; ++i) {
+    float acc = 0.0f;
+    for (std::int64_t k = 0; k < d; ++k) acc += f[i * d + k] * f[i * d + k];
+    out[i] = std::sqrt(acc);
+  }
+  return out;
+}
+
+}  // namespace qcaps::qengine

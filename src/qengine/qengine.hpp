@@ -1,0 +1,43 @@
+// Integer-arithmetic CapsNet operators.
+//
+// Every operator follows the standard accelerator organization: widening
+// multiplies into a 64-bit accumulator (frac width = sum of operand frac
+// widths), one rescale-with-rounding into the destination format, saturation
+// at the destination range. The squash and softmax use the bit-accurate unit
+// datapaths from src/hwmodel (Newton-Raphson inverse sqrt, exp LUT).
+#pragma once
+
+#include "qengine/qtensor.hpp"
+
+namespace qcaps::qengine {
+
+/// Integer conv2d: x [B, C, H, W] (act fmt) * w [F, C, K, K] (weight fmt)
+/// + bias [F] (weight fmt) -> [B, F, H', W'] in out_fmt.
+QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
+               std::int64_t stride, std::int64_t pad,
+               fixed::FixedFormat out_fmt,
+               fixed::RoundingScheme scheme =
+                   fixed::RoundingScheme::kRoundToNearest);
+
+/// In-place ReLU on raw values.
+void relu(QTensor& x);
+
+/// Rescale every element into a new format (the inter-layer width change).
+QTensor rescale(const QTensor& x, fixed::FixedFormat out_fmt,
+                fixed::RoundingScheme scheme =
+                    fixed::RoundingScheme::kRoundToNearest);
+
+/// squash over the last axis of [..., D] via the SquashUnit datapath;
+/// output has out_fmt.
+QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt);
+
+/// Integer dynamic routing. votes: [R, Nin, Nout, D] in act fmt.
+/// Logits/pre-activations use dr_fmt (the QDR width, paper Fig. 9);
+/// couplings and outputs use act_fmt. Returns v [R, Nout, D] in act fmt.
+QTensor dynamic_routing(const QTensor& votes, int iterations,
+                        fixed::FixedFormat act_fmt, fixed::FixedFormat dr_fmt);
+
+/// Capsule lengths (float; classification head only): [B, N, D] -> [B, N].
+tensor::Tensor lengths(const QTensor& caps);
+
+}  // namespace qcaps::qengine

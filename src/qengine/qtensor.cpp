@@ -1,0 +1,32 @@
+#include "qengine/qtensor.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::qengine {
+
+QTensor::QTensor(tensor::Shape s, fixed::FixedFormat f) : fmt(f), shape(std::move(s)) {
+  raw.assign(static_cast<std::size_t>(tensor::shape_numel(shape)), 0);
+}
+
+std::int64_t QTensor::dim(std::int64_t i) const {
+  if (i < 0) i += static_cast<std::int64_t>(shape.size());
+  QCAPS_CHECK(i >= 0 && i < static_cast<std::int64_t>(shape.size()));
+  return shape[static_cast<std::size_t>(i)];
+}
+
+QTensor QTensor::from_float(const tensor::Tensor& t, fixed::FixedFormat fmt,
+                            fixed::RoundingScheme scheme) {
+  QTensor q(t.shape(), fmt);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    q.raw[static_cast<std::size_t>(i)] = fixed::to_raw(t[i], fmt, scheme);
+  return q;
+}
+
+tensor::Tensor QTensor::to_float() const {
+  tensor::Tensor t(shape);
+  for (std::int64_t i = 0; i < numel(); ++i)
+    t[i] = static_cast<float>(fixed::from_raw(raw[static_cast<std::size_t>(i)], fmt));
+  return t;
+}
+
+}  // namespace qcaps::qengine

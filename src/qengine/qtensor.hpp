@@ -1,0 +1,38 @@
+// Integer tensor for the fixed-point inference engine.
+//
+// Unlike the fake quantizer (float values on a grid), a QTensor stores raw
+// two's-complement integers plus their ⟨QI.QF⟩ format — what an accelerator
+// actually moves through its datapath. src/qengine runs entire CapsNet
+// forward passes on QTensors, validating at network scale that the grid
+// simulation used by the search framework matches true integer execution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/rounding.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::qengine {
+
+struct QTensor {
+  std::vector<std::int64_t> raw;
+  fixed::FixedFormat fmt{1, 15};
+  tensor::Shape shape;
+
+  QTensor() = default;
+  QTensor(tensor::Shape s, fixed::FixedFormat f);
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(raw.size()); }
+  std::int64_t dim(std::int64_t i) const;
+
+  /// Quantize a float tensor into raw integers.
+  static QTensor from_float(const tensor::Tensor& t, fixed::FixedFormat fmt,
+                            fixed::RoundingScheme scheme =
+                                fixed::RoundingScheme::kRoundToNearest);
+
+  /// Back-convert to float (exact: every raw value is representable).
+  tensor::Tensor to_float() const;
+};
+
+}  // namespace qcaps::qengine

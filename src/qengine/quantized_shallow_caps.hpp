@@ -1,0 +1,53 @@
+// Integer-only deployment of a trained ShallowCaps under a Q-CapsNets spec.
+//
+// Built from the trained FP32 network and a (calibrated) NetworkQuantSpec,
+// this re-expresses every weight as raw integers and executes the complete
+// forward pass — conv, ReLU, primary capsules, squash, dynamic routing —
+// with the integer operators of src/qengine. It is the "deployment" answer
+// to the framework's "search" question, and the network-scale validation
+// that the fake-quantized accuracy numbers are achievable on real hardware.
+#pragma once
+
+#include <vector>
+
+#include "core/quant_spec.hpp"
+#include "qengine/qengine.hpp"
+
+namespace qcaps::qengine {
+
+class QuantizedShallowCaps {
+ public:
+  /// `net` must be the ShallowCaps layout built by build_shallow_caps();
+  /// `spec` must cover its three weighted layers, with integer bits already
+  /// calibrated (core::Evaluator::calibrate_spec).
+  QuantizedShallowCaps(nn::Network& net, const core::NetworkQuantSpec& spec);
+
+  /// Integer forward pass: images [B, C, H, W] in [0, 1] -> class capsules
+  /// [B, Ncls, D] (in the L3 activation format).
+  QTensor forward(const tensor::Tensor& images) const;
+
+  /// Argmax-of-length classification.
+  std::vector<int> predict(const tensor::Tensor& images) const;
+
+  /// Total weight bits of the deployed model (storage check).
+  std::int64_t weight_bits() const;
+
+ private:
+  // L1 conv
+  QTensor w1_, b1_;
+  std::int64_t stride1_, pad1_;
+  fixed::FixedFormat act1_;
+  // L2 primary caps
+  QTensor w2_, b2_;
+  std::int64_t stride2_;
+  std::int64_t caps_types_, caps_dim_;
+  fixed::FixedFormat act2_;
+  // L3 digit caps
+  QTensor w3_;  // [Nin, Nout, Dout, Din]
+  std::int64_t num_in_, dim_in_, num_out_, dim_out_;
+  int iterations_;
+  fixed::FixedFormat act3_, dr3_;
+  fixed::FixedFormat input_fmt_;
+};
+
+}  // namespace qcaps::qengine

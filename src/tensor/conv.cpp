@@ -1,0 +1,278 @@
+#include "tensor/conv.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::tensor {
+
+void im2col(const float* img, const Conv2dGeom& g, float* cols) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+  const std::int64_t ncols = oh * ow;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+        const std::int64_t prow = (c * g.kernel + ky) * g.kernel + kx;
+        float* dst = cols + prow * ncols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(dst + y * ow, 0, static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src = img + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            dst[y * ow + x] = (ix >= 0 && ix < g.in_w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+  (void)patch;
+}
+
+void col2im(const float* cols, const Conv2dGeom& g, float* img) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ncols = oh * ow;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+        const std::int64_t prow = (c * g.kernel + ky) * g.kernel + kx;
+        const float* src = cols + prow * ncols;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst = img + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < g.in_w) dst[ix] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+Conv2dGeom geom_from(const Tensor& input, const Tensor& weight,
+                     std::int64_t stride, std::int64_t pad) {
+  QCAPS_CHECK_MSG(input.ndim() == 4, "conv2d input must be [B,C,H,W], got "
+                                         << shape_to_string(input.shape()));
+  QCAPS_CHECK_MSG(weight.ndim() == 4, "conv2d weight must be [F,C,K,K], got "
+                                          << shape_to_string(weight.shape()));
+  QCAPS_CHECK_MSG(weight.dim(2) == weight.dim(3), "only square kernels supported");
+  QCAPS_CHECK_MSG(input.dim(1) == weight.dim(1),
+                  "channel mismatch: input C=" << input.dim(1) << " weight C="
+                                               << weight.dim(1));
+  Conv2dGeom g;
+  g.in_c = input.dim(1);
+  g.in_h = input.dim(2);
+  g.in_w = input.dim(3);
+  g.out_c = weight.dim(0);
+  g.kernel = weight.dim(2);
+  g.stride = stride;
+  g.pad = pad;
+  QCAPS_CHECK_MSG(g.out_h() > 0 && g.out_w() > 0,
+                  "conv2d produces empty output for input "
+                      << shape_to_string(input.shape()));
+  return g;
+}
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor& bias, std::int64_t stride, std::int64_t pad) {
+  const Conv2dGeom g = geom_from(input, weight, stride, pad);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+  const std::int64_t ncols = oh * ow;
+  const bool has_bias = !bias.empty();
+  if (has_bias) QCAPS_CHECK_MSG(bias.dim(0) == g.out_c, "bias size mismatch");
+
+  Tensor output({batch, g.out_c, oh, ow});
+  const std::int64_t img_in = g.in_c * g.in_h * g.in_w;
+  const std::int64_t img_out = g.out_c * oh * ow;
+
+#pragma omp parallel
+  {
+    std::vector<float> cols(static_cast<std::size_t>(patch * ncols));
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < batch; ++b) {
+      im2col(input.data() + b * img_in, g, cols.data());
+      // out[F, ncols] = W[F, patch] * cols[patch, ncols]
+      gemm(weight.data(), cols.data(), output.data() + b * img_out, g.out_c,
+           patch, ncols, /*accumulate=*/false);
+      if (has_bias) {
+        float* out = output.data() + b * img_out;
+        for (std::int64_t f = 0; f < g.out_c; ++f) {
+          const float bv = bias[f];
+          float* plane = out + f * ncols;
+          for (std::int64_t i = 0; i < ncols; ++i) plane[i] += bv;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& grad_output, std::int64_t stride,
+                            std::int64_t pad, bool has_bias) {
+  const Conv2dGeom g = geom_from(input, weight, stride, pad);
+  const std::int64_t batch = input.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  QCAPS_CHECK_MSG(grad_output.ndim() == 4 && grad_output.dim(0) == batch &&
+                      grad_output.dim(1) == g.out_c && grad_output.dim(2) == oh &&
+                      grad_output.dim(3) == ow,
+                  "grad_output shape mismatch: " << shape_to_string(grad_output.shape()));
+
+  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+  const std::int64_t ncols = oh * ow;
+  const std::int64_t img_in = g.in_c * g.in_h * g.in_w;
+  const std::int64_t img_out = g.out_c * ncols;
+
+  Conv2dGrads grads;
+  grads.grad_input = Tensor(input.shape());
+  grads.grad_weight = Tensor(weight.shape());
+  if (has_bias) grads.grad_bias = Tensor({g.out_c});
+
+  // Weight layout viewed as [F, patch]; transpose once for input gradients.
+  const Tensor w2d = weight.reshaped({g.out_c, patch});
+  const Tensor w2d_t = transpose2d(w2d);  // [patch, F]
+
+#pragma omp parallel
+  {
+    std::vector<float> cols(static_cast<std::size_t>(patch * ncols));
+    std::vector<float> gcols(static_cast<std::size_t>(patch * ncols));
+    Tensor local_gw(weight.shape());
+    Tensor local_gb = has_bias ? Tensor({g.out_c}) : Tensor();
+#pragma omp for schedule(static) nowait
+    for (std::int64_t b = 0; b < batch; ++b) {
+      const float* go = grad_output.data() + b * img_out;
+      // grad_weight += gO[F, ncols] * cols[patch, ncols]^T
+      im2col(input.data() + b * img_in, g, cols.data());
+      for (std::int64_t f = 0; f < g.out_c; ++f) {
+        const float* gorow = go + f * ncols;
+        float* gwrow = local_gw.data() + f * patch;
+        for (std::int64_t p = 0; p < patch; ++p) {
+          const float* crow = cols.data() + p * ncols;
+          float acc = 0.0f;
+          for (std::int64_t i = 0; i < ncols; ++i) acc += gorow[i] * crow[i];
+          gwrow[p] += acc;
+        }
+      }
+      // grad_cols[patch, ncols] = W^T[patch, F] * gO[F, ncols]
+      gemm(w2d_t.data(), go, gcols.data(), patch, g.out_c, ncols,
+           /*accumulate=*/false);
+      col2im(gcols.data(), g, grads.grad_input.data() + b * img_in);
+      if (has_bias) {
+        for (std::int64_t f = 0; f < g.out_c; ++f) {
+          const float* gorow = go + f * ncols;
+          float acc = 0.0f;
+          for (std::int64_t i = 0; i < ncols; ++i) acc += gorow[i];
+          local_gb[f] += acc;
+        }
+      }
+    }
+#pragma omp critical
+    {
+      axpy(grads.grad_weight, 1.0f, local_gw);
+      if (has_bias) axpy(grads.grad_bias, 1.0f, local_gb);
+    }
+  }
+  return grads;
+}
+
+namespace {
+/// Copy a channel slice [lo, hi) of every image in a [B, C, H, W] tensor.
+Tensor channel_slice(const Tensor& x, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t b = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  Tensor out({b, hi - lo, x.dim(2), x.dim(3)});
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    std::memcpy(out.data() + bi * (hi - lo) * plane,
+                x.data() + (bi * c + lo) * plane,
+                static_cast<std::size_t>((hi - lo) * plane) * sizeof(float));
+  return out;
+}
+
+/// Write a [B, Cg, H, W] slice back into channels [lo, lo+Cg) of dst.
+void channel_unslice(const Tensor& src, Tensor& dst, std::int64_t lo) {
+  const std::int64_t b = src.dim(0), cg = src.dim(1),
+                     plane = src.dim(2) * src.dim(3);
+  const std::int64_t c = dst.dim(1);
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    std::memcpy(dst.data() + (bi * c + lo) * plane,
+                src.data() + bi * cg * plane,
+                static_cast<std::size_t>(cg * plane) * sizeof(float));
+}
+
+/// Row slice [lo, hi) of a [F, ...] weight-like tensor.
+Tensor filter_slice(const Tensor& w, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t per = w.numel() / w.dim(0);
+  Shape shape = w.shape();
+  shape[0] = hi - lo;
+  Tensor out(shape);
+  std::memcpy(out.data(), w.data() + lo * per,
+              static_cast<std::size_t>((hi - lo) * per) * sizeof(float));
+  return out;
+}
+}  // namespace
+
+Tensor conv2d_grouped_forward(const Tensor& input, const Tensor& weight,
+                              const Tensor& bias, std::int64_t stride,
+                              std::int64_t pad, std::int64_t groups) {
+  QCAPS_CHECK(groups >= 1);
+  if (groups == 1) return conv2d_forward(input, weight, bias, stride, pad);
+  QCAPS_CHECK_MSG(input.dim(1) % groups == 0 && weight.dim(0) % groups == 0,
+                  "channels/filters not divisible by groups=" << groups);
+  const std::int64_t cg = input.dim(1) / groups;
+  const std::int64_t fg = weight.dim(0) / groups;
+  QCAPS_CHECK_MSG(weight.dim(1) == cg, "grouped weight expects C/groups = "
+                                           << cg << ", got " << weight.dim(1));
+  Tensor out;
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const Tensor xg = channel_slice(input, g * cg, (g + 1) * cg);
+    const Tensor wg = filter_slice(weight, g * fg, (g + 1) * fg);
+    const Tensor bg = bias.empty() ? Tensor() : filter_slice(bias, g * fg, (g + 1) * fg);
+    const Tensor og = conv2d_forward(xg, wg, bg, stride, pad);
+    if (g == 0)
+      out = Tensor({input.dim(0), weight.dim(0), og.dim(2), og.dim(3)});
+    channel_unslice(og, out, g * fg);
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_grouped_backward(const Tensor& input, const Tensor& weight,
+                                    const Tensor& grad_output,
+                                    std::int64_t stride, std::int64_t pad,
+                                    bool has_bias, std::int64_t groups) {
+  QCAPS_CHECK(groups >= 1);
+  if (groups == 1)
+    return conv2d_backward(input, weight, grad_output, stride, pad, has_bias);
+  const std::int64_t cg = input.dim(1) / groups;
+  const std::int64_t fg = weight.dim(0) / groups;
+  Conv2dGrads grads;
+  grads.grad_input = Tensor(input.shape());
+  grads.grad_weight = Tensor(weight.shape());
+  if (has_bias) grads.grad_bias = Tensor({weight.dim(0)});
+  const std::int64_t wper = weight.numel() / weight.dim(0);
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const Tensor xg = channel_slice(input, g * cg, (g + 1) * cg);
+    const Tensor wg = filter_slice(weight, g * fg, (g + 1) * fg);
+    const Tensor gg = channel_slice(grad_output, g * fg, (g + 1) * fg);
+    auto sub = conv2d_backward(xg, wg, gg, stride, pad, has_bias);
+    channel_unslice(sub.grad_input, grads.grad_input, g * cg);
+    std::memcpy(grads.grad_weight.data() + g * fg * wper,
+                sub.grad_weight.data(),
+                static_cast<std::size_t>(fg * wper) * sizeof(float));
+    if (has_bias)
+      std::memcpy(grads.grad_bias.data() + g * fg, sub.grad_bias.data(),
+                  static_cast<std::size_t>(fg) * sizeof(float));
+  }
+  return grads;
+}
+
+}  // namespace qcaps::tensor

@@ -1,0 +1,254 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qcaps::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  QCAPS_CHECK_MSG(a.same_shape(b), op << ": shape mismatch "
+                                      << shape_to_string(a.shape()) << " vs "
+                                      << shape_to_string(b.shape()));
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] += pb[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] -= pb[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out = a;
+  float* o = out.data();
+  const float* pb = b.data();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) o[i] *= pb[i];
+  return out;
+}
+
+void axpy(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b, "axpy");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+void scale(Tensor& a, float alpha) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] *= alpha;
+}
+
+void clamp(Tensor& a, float lo, float hi) {
+  float* pa = a.data();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] = std::clamp(pa[i], lo, hi);
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  // i-k-j loop order: the inner j loop is contiguous over B and C rows and
+  // auto-vectorizes. Parallelize over output rows when the work is large.
+  const std::int64_t work = m * k * n;
+#pragma omp parallel for schedule(static) if (work > (1 << 16))
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  QCAPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul expects rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  QCAPS_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << k << " vs " << b.dim(0));
+  Tensor c({m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  QCAPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul_tn expects rank-2 tensors");
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  QCAPS_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dims: " << k << " vs " << b.dim(0));
+  Tensor c({m, n});
+  float* pc = c.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+#pragma omp parallel for schedule(static) if (m * k * n > (1 << 16))
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    std::fill(crow, crow + n, 0.0f);
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = pa[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = pb + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  QCAPS_CHECK_MSG(a.ndim() == 2 && b.ndim() == 2, "matmul_nt expects rank-2 tensors");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  QCAPS_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dims: " << k << " vs " << b.dim(1));
+  Tensor c({m, n});
+  float* pc = c.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+#pragma omp parallel for schedule(static) if (m * k * n > (1 << 16))
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  QCAPS_CHECK_MSG(a.ndim() == 2, "transpose2d expects a rank-2 tensor");
+  const std::int64_t m = a.dim(0), n = a.dim(1);
+  Tensor t({n, m});
+  const float* pa = a.data();
+  float* pt = t.data();
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) pt[j * m + i] = pa[i * n + j];
+  return t;
+}
+
+Tensor reduce_sum_last(const Tensor& a) {
+  QCAPS_CHECK_MSG(a.ndim() >= 1, "reduce_sum_last needs rank >= 1");
+  const std::int64_t d = a.dim(-1);
+  const std::int64_t rows = a.numel() / d;
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  if (out_shape.empty()) out_shape = {1};
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    const float* row = pa + r * d;
+    for (std::int64_t j = 0; j < d; ++j) acc += row[j];
+    po[r] = acc;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  QCAPS_CHECK_MSG(a.ndim() == 2, "argmax_rows expects a rank-2 tensor");
+  const std::int64_t rows = a.dim(0), cols = a.dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const float* pa = a.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * cols;
+    out[static_cast<std::size_t>(r)] =
+        std::max_element(row, row + cols) - row;
+  }
+  return out;
+}
+
+Tensor softmax_last(const Tensor& a) {
+  const std::int64_t d = a.dim(-1);
+  const std::int64_t rows = a.numel() / d;
+  Tensor out = a;
+  float* po = out.data();
+#pragma omp parallel for schedule(static) if (rows * d > (1 << 14))
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = po + r * d;
+    const float mx = *std::max_element(row, row + d);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_last_backward(const Tensor& y, const Tensor& grad_y) {
+  check_same_shape(y, grad_y, "softmax_last_backward");
+  const std::int64_t d = y.dim(-1);
+  const std::int64_t rows = y.numel() / d;
+  Tensor grad_x = y;  // reuse as output buffer
+  float* gx = grad_x.data();
+  const float* py = y.data();
+  const float* gy = grad_y.data();
+#pragma omp parallel for schedule(static) if (rows * d > (1 << 14))
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* yr = py + r * d;
+    const float* gr = gy + r * d;
+    float dot = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) dot += yr[j] * gr[j];
+    float* out = gx + r * d;
+    for (std::int64_t j = 0; j < d; ++j) out[j] = yr[j] * (gr[j] - dot);
+  }
+  return grad_x;
+}
+
+Tensor l2_norm_last(const Tensor& a, float eps) {
+  const std::int64_t d = a.dim(-1);
+  const std::int64_t rows = a.numel() / d;
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  if (out_shape.empty()) out_shape = {1};
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = pa + r * d;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) acc += row[j] * row[j];
+    po[r] = std::sqrt(acc + eps);
+  }
+  return out;
+}
+
+void add_row_bias(Tensor& a, const Tensor& bias) {
+  QCAPS_CHECK_MSG(a.ndim() >= 1 && bias.ndim() == 1, "add_row_bias rank mismatch");
+  const std::int64_t c = bias.dim(0);
+  QCAPS_CHECK_MSG(a.dim(-1) == c, "add_row_bias: last dim " << a.dim(-1)
+                                                            << " vs bias " << c);
+  const std::int64_t rows = a.numel() / c;
+  float* pa = a.data();
+  const float* pb = bias.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = pa + r * c;
+    for (std::int64_t j = 0; j < c; ++j) row[j] += pb[j];
+  }
+}
+
+}  // namespace qcaps::tensor

@@ -1,0 +1,164 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qcaps::tensor {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const auto d : shape) {
+    QCAPS_CHECK_MSG(d >= 0, "negative dimension in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), fill);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  QCAPS_CHECK_MSG(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+                  "value count " << data_.size() << " does not match shape "
+                                 << shape_to_string(shape_));
+}
+
+Tensor Tensor::arange(Shape shape) {
+  Tensor t(std::move(shape));
+  std::iota(t.data_.begin(), t.data_.end(), 0.0f);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, common::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, common::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.uniform(lo, hi);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  QCAPS_CHECK_MSG(i >= 0 && i < ndim(), "dim index " << i << " out of range for "
+                                                     << shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t Tensor::flat_index(std::initializer_list<std::int64_t> idx) const {
+  QCAPS_CHECK_MSG(static_cast<std::int64_t>(idx.size()) == ndim(),
+                  "index rank " << idx.size() << " vs tensor rank " << ndim());
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (const auto i : idx) {
+    QCAPS_CHECK_MSG(i >= 0 && i < shape_[d], "index " << i << " out of bounds for dim "
+                                                      << d << " of "
+                                                      << shape_to_string(shape_));
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_[static_cast<std::size_t>(flat_index(idx))];
+}
+
+void Tensor::reshape(Shape shape) {
+  // Resolve a single -1 wildcard dimension.
+  std::int64_t known = 1;
+  std::int64_t wildcard = -1;
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      QCAPS_CHECK_MSG(wildcard == -1, "multiple -1 dims in reshape target");
+      wildcard = static_cast<std::int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (wildcard >= 0) {
+    QCAPS_CHECK_MSG(known > 0 && numel() % known == 0,
+                    "cannot infer -1 dim reshaping " << shape_to_string(shape_)
+                                                     << " to " << shape_to_string(shape));
+    shape[static_cast<std::size_t>(wildcard)] = numel() / known;
+  }
+  QCAPS_CHECK_MSG(shape_numel(shape) == numel(),
+                  "reshape " << shape_to_string(shape_) << " -> "
+                             << shape_to_string(shape) << " changes element count");
+  shape_ = std::move(shape);
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(shape));
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (const auto v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::mean() const { return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size()); }
+
+float Tensor::min() const {
+  QCAPS_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  QCAPS_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const auto v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Tensor::to_string(std::int64_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::int64_t n = std::min<std::int64_t>(numel(), max_elems);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[static_cast<std::size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace qcaps::tensor

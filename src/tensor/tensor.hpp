@@ -1,0 +1,87 @@
+// Dense row-major N-dimensional float tensor.
+//
+// Value semantics (copyable, movable); kernels operate on raw float pointers.
+// reshape() is an O(1) metadata change — the element count must be preserved.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qcaps::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements implied by a shape (empty shape = scalar-free 0 tensor).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable form, e.g. "[2, 3, 4]".
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// Values 0, 1, 2, ... in row-major order.
+  static Tensor arange(Shape shape);
+  /// I.i.d. normal(mean, stddev) entries drawn from rng.
+  static Tensor randn(Shape shape, common::Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// I.i.d. uniform [lo, hi) entries drawn from rng.
+  static Tensor uniform(Shape shape, common::Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t dim(std::int64_t i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// Multi-index access (slow path; for tests and setup code).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// O(1) metadata reshape; the element count must match. One dimension may
+  /// be -1 and is inferred.
+  void reshape(Shape shape);
+  /// Copy of this tensor with a new shape.
+  Tensor reshaped(Shape shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Sum / mean / min / max over all elements.
+  double sum() const;
+  double mean() const;
+  float min() const;
+  float max() const;
+  /// Largest |x|.
+  float abs_max() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::string to_string(std::int64_t max_elems = 16) const;
+
+ private:
+  std::int64_t flat_index(std::initializer_list<std::int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace qcaps::tensor

@@ -1,0 +1,128 @@
+// Tests for the systolic-array accelerator timing/energy model.
+#include <gtest/gtest.h>
+
+#include "accel/systolic.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synth.hpp"
+#include "models/shallow_caps.hpp"
+
+namespace qcaps::accel {
+namespace {
+
+LayerWorkload simple_workload(int weight_bits = 8, int act_bits = 8) {
+  LayerWorkload wl;
+  wl.name = "conv";
+  wl.macs = 1 << 20;
+  wl.weight_elems = 10000;
+  wl.in_act_elems = 4096;
+  wl.out_act_elems = 2048;
+  wl.weight_bits = weight_bits;
+  wl.act_bits = act_bits;
+  return wl;
+}
+
+TEST(Systolic, ComputeCyclesBoundedByArrayThroughput) {
+  SystolicConfig cfg;
+  const LayerTiming t = simulate_layer(cfg, simple_workload());
+  // At 256 MACs/cycle, 2^20 MACs need at least 4096 cycles.
+  EXPECT_GE(t.cycles, (1 << 20) / cfg.macs_per_cycle());
+  EXPECT_GT(t.utilization, 0.5);
+  EXPECT_LE(t.utilization, 1.0);
+}
+
+TEST(Systolic, SinglePassWhenWeightsFitSram) {
+  SystolicConfig cfg;
+  const LayerTiming t = simulate_layer(cfg, simple_workload());
+  EXPECT_EQ(t.passes, 1);
+}
+
+TEST(Systolic, MultiplePassesWhenWeightsExceedSram) {
+  SystolicConfig cfg;
+  cfg.sram_bits = 10000;  // tiny buffer
+  LayerWorkload wl = simple_workload(8, 8);
+  const LayerTiming t = simulate_layer(cfg, wl);
+  EXPECT_EQ(t.passes, (10000 * 8 + 9999) / 10000);
+  // Extra passes cost extra DRAM energy vs the single-pass case.
+  SystolicConfig big = cfg;
+  big.sram_bits = 1 << 24;
+  EXPECT_GT(t.dram_pj, simulate_layer(big, wl).dram_pj);
+}
+
+TEST(Systolic, QuantizationReducesEnergy) {
+  SystolicConfig cfg;
+  const LayerTiming wide = simulate_layer(cfg, simple_workload(32, 32));
+  const LayerTiming narrow = simulate_layer(cfg, simple_workload(6, 6));
+  EXPECT_LT(narrow.compute_pj, wide.compute_pj / 8.0);
+  EXPECT_LT(narrow.dram_pj, wide.dram_pj / 4.0);
+  EXPECT_LT(narrow.total_pj(), wide.total_pj() / 4.0);
+}
+
+TEST(Systolic, BiggerArrayIsFasterButNotFreeEnergy) {
+  SystolicConfig small;
+  SystolicConfig big;
+  big.rows = 64;
+  big.cols = 64;
+  const LayerWorkload wl = simple_workload();
+  EXPECT_LT(simulate_layer(big, wl).cycles, simulate_layer(small, wl).cycles);
+  // Compute energy is workload-, not array-, dependent in this model.
+  EXPECT_DOUBLE_EQ(simulate_layer(big, wl).compute_pj,
+                   simulate_layer(small, wl).compute_pj);
+}
+
+TEST(Systolic, NetworkTotalsAreLayerSums) {
+  SystolicConfig cfg;
+  const std::vector<LayerWorkload> layers = {simple_workload(8, 8),
+                                             simple_workload(6, 6)};
+  const InferenceTiming t = simulate_network(cfg, layers);
+  ASSERT_EQ(t.layers.size(), 2u);
+  EXPECT_EQ(t.total_cycles, t.layers[0].cycles + t.layers[1].cycles);
+  EXPECT_DOUBLE_EQ(t.total_pj,
+                   t.layers[0].total_pj() + t.layers[1].total_pj());
+  EXPECT_GT(t.latency_us(cfg), 0.0);
+}
+
+TEST(Systolic, WorkloadsFromArchChainActivations) {
+  const auto arch = models::shallow_caps_desc();
+  const auto wls = workloads_from_arch(arch, 8, 8);
+  ASSERT_EQ(wls.size(), arch.layers.size());
+  EXPECT_EQ(wls[0].in_act_elems, 0);
+  EXPECT_EQ(wls[1].in_act_elems, arch.layers[0].activations);
+  EXPECT_EQ(wls[2].weight_elems, arch.layers[2].params);
+}
+
+TEST(Systolic, WorkloadsFromSpecUsePerLayerWordlengths) {
+  // Live network path: capture -> spec -> workloads.
+  auto cfg = models::ShallowCapsConfig::experiment();
+  cfg.conv_channels = 8;
+  cfg.primary_types = 1;
+  common::Rng rng(1);
+  auto net = models::build_shallow_caps(cfg, rng);
+  net->forward(tensor::Tensor({1, 1, 28, 28}), nn::Phase::kEval);
+  const auto mem = core::MemoryModel::capture(*net);
+  auto spec = core::NetworkQuantSpec::uniform(3, 7, fixed::RoundingScheme::kTruncation);
+  spec.layers[2].qw_frac = 3;
+  const auto wls = workloads_from_spec(mem, spec, 28 * 28);
+  ASSERT_EQ(wls.size(), 3u);
+  EXPECT_EQ(wls[0].weight_bits, 8);
+  EXPECT_EQ(wls[2].weight_bits, 4);
+  EXPECT_EQ(wls[0].in_act_elems, 28 * 28);
+  EXPECT_GT(wls[1].macs, 0);
+}
+
+TEST(Systolic, TableRenders) {
+  SystolicConfig cfg;
+  const InferenceTiming t = simulate_network(cfg, {simple_workload()});
+  const std::string table = to_table(cfg, t);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  EXPECT_NE(table.find("latency"), std::string::npos);
+}
+
+TEST(Systolic, RejectsInvalidConfig) {
+  SystolicConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(simulate_layer(cfg, simple_workload()), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::accel

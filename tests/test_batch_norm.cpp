@@ -1,0 +1,136 @@
+// Tests for the BatchNorm2d substrate used inside the ConvCaps cells.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/batch_norm.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::nn {
+namespace {
+
+TEST(BatchNorm, TrainingOutputIsNormalizedPerChannel) {
+  common::Rng rng(1);
+  BatchNorm2d bn(3);
+  const tensor::Tensor x = tensor::Tensor::randn({4, 3, 5, 5}, rng, 2.0f, 3.0f);
+  const tensor::Tensor y = bn.forward(x, /*training=*/true);
+  const std::int64_t plane = 25, b = 4;
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sumsq = 0.0;
+    for (std::int64_t bi = 0; bi < b; ++bi)
+      for (std::int64_t p = 0; p < plane; ++p) {
+        const float v = y.at({bi, c, p / 5, p % 5});
+        sum += v;
+        sumsq += static_cast<double>(v) * v;
+      }
+    const double n = static_cast<double>(b * plane);
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sumsq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, AffineParametersScaleAndShift) {
+  common::Rng rng(2);
+  BatchNorm2d bn(2);
+  bn.gamma()[0] = 2.0f;
+  bn.beta()[0] = 5.0f;
+  const tensor::Tensor x = tensor::Tensor::randn({8, 2, 3, 3}, rng);
+  const tensor::Tensor y = bn.forward(x, /*training=*/true);
+  double sum = 0.0, sumsq = 0.0;
+  for (std::int64_t bi = 0; bi < 8; ++bi)
+    for (std::int64_t p = 0; p < 9; ++p) {
+      const float v = y.at({bi, 0, p / 3, p % 3});
+      sum += v;
+      sumsq += static_cast<double>(v) * v;
+    }
+  const double n = 72.0;
+  EXPECT_NEAR(sum / n, 5.0, 1e-3);
+  EXPECT_NEAR(sumsq / n - 25.0, 4.0, 0.1);  // variance = gamma^2
+}
+
+TEST(BatchNorm, EvalUsesRunningStatistics) {
+  common::Rng rng(3);
+  BatchNorm2d bn(1, /*momentum=*/1.0f);  // running stats = last batch stats
+  const tensor::Tensor x = tensor::Tensor::randn({16, 1, 4, 4}, rng, 3.0f, 2.0f);
+  bn.forward(x, /*training=*/true);
+  // Eval on the SAME data must now normalize with those stats.
+  const tensor::Tensor y = bn.forward(x, /*training=*/false);
+  EXPECT_NEAR(y.mean(), 0.0, 0.05);
+}
+
+TEST(BatchNorm, EvalBeforeTrainingIsIdentityLike) {
+  // Fresh running stats are mean 0 / var 1: eval output equals input (up to
+  // the eps in the denominator).
+  common::Rng rng(4);
+  BatchNorm2d bn(2);
+  const tensor::Tensor x = tensor::Tensor::randn({2, 2, 3, 3}, rng);
+  const tensor::Tensor y = bn.forward(x, /*training=*/false);
+  testutil::expect_tensor_near(y, x, 1e-3f, "identity eval");
+}
+
+TEST(BatchNorm, BackwardMatchesFiniteDifference) {
+  common::Rng rng(5);
+  BatchNorm2d bn(2);
+  bn.gamma()[0] = 1.5f;
+  bn.beta()[1] = -0.3f;
+  const tensor::Tensor x = tensor::Tensor::randn({3, 2, 3, 3}, rng);
+  const tensor::Tensor y = bn.forward(x, /*training=*/true);
+  const testutil::WeightedSum head(y.shape());
+  const tensor::Tensor gx = bn.backward(head.grad());
+  auto loss = [&](const tensor::Tensor& in) {
+    BatchNorm2d probe(2);
+    probe.gamma() = bn.gamma();
+    probe.beta() = bn.beta();
+    return head(probe.forward(in, /*training=*/true));
+  };
+  testutil::check_gradient(x, loss, gx, 1e-3f, 3e-2f, 3e-3f);
+}
+
+TEST(BatchNorm, GammaBetaGradients) {
+  common::Rng rng(6);
+  BatchNorm2d bn(2);
+  const tensor::Tensor x = tensor::Tensor::randn({3, 2, 3, 3}, rng);
+  const tensor::Tensor y = bn.forward(x, /*training=*/true);
+  const testutil::WeightedSum head(y.shape());
+  bn.backward(head.grad());
+  // dL/dbeta_c = sum of grad over channel c.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double expect = 0.0;
+    for (std::int64_t bi = 0; bi < 3; ++bi)
+      for (std::int64_t p = 0; p < 9; ++p)
+        expect += head.w.at({bi, c, p / 3, p % 3});
+    EXPECT_NEAR(bn.grad_beta()[c], expect, 1e-3);
+  }
+  // Gamma gradient finite-difference check on one element.
+  const float eps = 1e-2f;
+  auto loss_at_gamma = [&](float g0) {
+    BatchNorm2d probe(2);
+    probe.gamma()[0] = g0;
+    return head(probe.forward(x, true));
+  };
+  const double num = (loss_at_gamma(1.0f + eps) - loss_at_gamma(1.0f - eps)) /
+                     (2.0 * eps);
+  EXPECT_NEAR(bn.grad_gamma()[0], num, 5e-2 * std::max(1.0, std::fabs(num)));
+}
+
+TEST(BatchNorm, RejectsWrongShapes) {
+  BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(tensor::Tensor({2, 4, 3, 3}), true), qcaps::Error);
+  EXPECT_THROW(bn.backward(tensor::Tensor({2, 3, 3, 3})), qcaps::Error);
+}
+
+TEST(BatchNorm, ConstantChannelIsStable) {
+  // Zero variance must not produce NaNs (eps guard).
+  BatchNorm2d bn(1);
+  const tensor::Tensor x({2, 1, 2, 2}, 3.0f);
+  const tensor::Tensor y = bn.forward(x, true);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(y[i]));
+    EXPECT_NEAR(y[i], 0.0f, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace qcaps::nn

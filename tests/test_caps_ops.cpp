@@ -1,0 +1,128 @@
+// Tests for the squash nonlinearity (paper Eq. 2): value properties,
+// layout variants and exact gradients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/caps_ops.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::nn {
+namespace {
+
+TEST(Squash, OutputNormStrictlyBelowOne) {
+  common::Rng rng(1);
+  const tensor::Tensor s = tensor::Tensor::randn({50, 8}, rng, 0.0f, 3.0f);
+  const tensor::Tensor v = squash_last(s);
+  const tensor::Tensor norms = tensor::l2_norm_last(v, 0.0f);
+  for (std::int64_t i = 0; i < norms.numel(); ++i) {
+    EXPECT_LT(norms[i], 1.0f);
+    EXPECT_GE(norms[i], 0.0f);
+  }
+}
+
+TEST(Squash, PreservesDirection) {
+  tensor::Tensor s({1, 3}, {3.0f, 4.0f, 0.0f});
+  const tensor::Tensor v = squash_last(s);
+  // v must be a positive multiple of s.
+  const float ratio = v[0] / s[0];
+  EXPECT_GT(ratio, 0.0f);
+  EXPECT_NEAR(v[1] / s[1], ratio, 1e-6f);
+  EXPECT_NEAR(v[2], 0.0f, 1e-7f);
+}
+
+TEST(Squash, MatchesClosedForm) {
+  // ||s|| = 5: gain = (25/26)/5.
+  tensor::Tensor s({1, 2}, {3.0f, 4.0f});
+  const tensor::Tensor v = squash_last(s);
+  const float gain = (25.0f / 26.0f) / 5.0f;
+  EXPECT_NEAR(v[0], 3.0f * gain, 1e-5f);
+  EXPECT_NEAR(v[1], 4.0f * gain, 1e-5f);
+}
+
+TEST(Squash, SmallVectorsShrinkQuadratically) {
+  tensor::Tensor s({1, 1}, {0.1f});
+  const tensor::Tensor v = squash_last(s);
+  // gain ≈ n/(1+n^2) ≈ 0.1/1.01 -> v ≈ 0.0099
+  EXPECT_NEAR(v[0], 0.0099f, 2e-4f);
+}
+
+TEST(Squash, LargeVectorsApproachUnitNorm) {
+  tensor::Tensor s({1, 2}, {30.0f, 40.0f});
+  const tensor::Tensor v = squash_last(s);
+  const float norm = std::hypot(v[0], v[1]);
+  EXPECT_GT(norm, 0.99f);
+  EXPECT_LT(norm, 1.0f);
+}
+
+TEST(Squash, ZeroVectorIsStable) {
+  tensor::Tensor s({1, 4});
+  const tensor::Tensor v = squash_last(s);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_NEAR(v[i], 0.0f, 1e-6f);
+}
+
+TEST(Squash, BackwardMatchesFiniteDifference) {
+  common::Rng rng(2);
+  const tensor::Tensor s = tensor::Tensor::randn({4, 6}, rng);
+  const testutil::WeightedSum head(s.shape());
+  auto loss = [&](const tensor::Tensor& in) { return head(squash_last(in)); };
+  const tensor::Tensor analytic = squash_last_backward(s, head.grad());
+  testutil::check_gradient(s, loss, analytic);
+}
+
+TEST(Squash, BackwardStableNearZero) {
+  tensor::Tensor s({1, 3}, {1e-5f, -1e-5f, 0.0f});
+  tensor::Tensor g({1, 3}, {1.0f, 1.0f, 1.0f});
+  const tensor::Tensor gs = squash_last_backward(s, g);
+  for (std::int64_t i = 0; i < 3; ++i) ASSERT_TRUE(std::isfinite(gs[i]));
+}
+
+TEST(SquashChannels, AgreesWithLastAxisVariant) {
+  // [B, T*D, H, W] channel squash must equal reshuffling to [.., D] and
+  // squashing the last axis.
+  common::Rng rng(3);
+  const std::int64_t b = 2, t = 3, d = 4, h = 5, w = 5;
+  const tensor::Tensor fmap = tensor::Tensor::randn({b, t * d, h, w}, rng);
+  const tensor::Tensor v = squash_channels(fmap, d);
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t ti = 0; ti < t; ++ti)
+      for (std::int64_t y = 0; y < h; ++y)
+        for (std::int64_t x = 0; x < w; ++x) {
+          tensor::Tensor vec({1, d});
+          for (std::int64_t k = 0; k < d; ++k)
+            vec[k] = fmap.at({bi, ti * d + k, y, x});
+          const tensor::Tensor ref = squash_last(vec);
+          for (std::int64_t k = 0; k < d; ++k)
+            ASSERT_NEAR((v.at({bi, ti * d + k, y, x})), ref[k], 1e-5f);
+        }
+}
+
+TEST(SquashChannels, BackwardMatchesFiniteDifference) {
+  common::Rng rng(4);
+  const tensor::Tensor s = tensor::Tensor::randn({1, 6, 3, 3}, rng);
+  const testutil::WeightedSum head(s.shape());
+  auto loss = [&](const tensor::Tensor& in) {
+    return head(squash_channels(in, 3));
+  };
+  const tensor::Tensor analytic = squash_channels_backward(s, head.grad(), 3);
+  testutil::check_gradient(s, loss, analytic);
+}
+
+TEST(SquashChannels, RejectsIndivisibleChannels) {
+  const tensor::Tensor fmap({1, 7, 2, 2});
+  EXPECT_THROW(squash_channels(fmap, 4), qcaps::Error);
+}
+
+TEST(CapsLengths, ComputesEuclideanNorms) {
+  tensor::Tensor v({1, 2, 2}, {3.0f, 4.0f, 0.0f, 1.0f});
+  const tensor::Tensor len = caps_lengths(v);
+  EXPECT_NEAR(len[0], 5.0f, 1e-5f);
+  EXPECT_NEAR(len[1], 1.0f, 1e-4f);
+  EXPECT_THROW(caps_lengths(tensor::Tensor({2, 2})), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::nn

@@ -1,0 +1,229 @@
+// Tests for the synthetic dataset substrate, augmentation and batching.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "data/augment.hpp"
+#include "data/loader.hpp"
+#include "data/synth.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::data {
+namespace {
+
+struct GeneratorCase {
+  const char* name;
+  Dataset (*make)(std::int64_t, std::uint64_t);
+  std::int64_t channels;
+  std::int64_t size;
+};
+
+class Generators : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(Generators, ShapesAndRanges) {
+  const auto& gc = GetParam();
+  const Dataset ds = gc.make(50, 1);
+  EXPECT_EQ(ds.size(), 50);
+  EXPECT_EQ(ds.channels(), gc.channels);
+  EXPECT_EQ(ds.height(), gc.size);
+  EXPECT_EQ(ds.width(), gc.size);
+  EXPECT_EQ(ds.num_classes, 10);
+  EXPECT_GE(ds.images.min(), 0.0f);
+  EXPECT_LE(ds.images.max(), 1.0f);
+}
+
+TEST_P(Generators, LabelsBalancedAndInRange) {
+  const Dataset ds = GetParam().make(100, 2);
+  std::array<int, 10> counts{};
+  for (const auto l : ds.labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    ++counts[static_cast<std::size_t>(l)];
+  }
+  for (const auto c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST_P(Generators, DeterministicForSeed) {
+  const Dataset a = GetParam().make(20, 7);
+  const Dataset b = GetParam().make(20, 7);
+  testutil::expect_tensor_near(a.images, b.images, 0.0f, "determinism");
+}
+
+TEST_P(Generators, SeedChangesImages) {
+  const Dataset a = GetParam().make(20, 7);
+  const Dataset b = GetParam().make(20, 8);
+  int diffs = 0;
+  for (std::int64_t i = 0; i < a.images.numel(); ++i)
+    if (a.images[i] != b.images[i]) ++diffs;
+  EXPECT_GT(diffs, a.images.numel() / 10);
+}
+
+TEST_P(Generators, SamplesOfSameClassVary) {
+  const Dataset ds = GetParam().make(30, 3);
+  // Samples 0 and 10 share a class but must not be identical images.
+  const auto img0 = ds.image(0);
+  const auto img10 = ds.image(10);
+  ASSERT_EQ(ds.labels[0], ds.labels[10]);
+  float maxdiff = 0.0f;
+  for (std::int64_t i = 0; i < img0.numel(); ++i)
+    maxdiff = std::max(maxdiff, std::fabs(img0[i] - img10[i]));
+  EXPECT_GT(maxdiff, 0.05f);
+}
+
+/// Nearest-class-centroid accuracy: classes must be learnable (far above the
+/// 10% chance level) for the quantization experiments to be meaningful.
+TEST_P(Generators, ClassesSeparableByCentroids) {
+  const auto& gc = GetParam();
+  const Dataset train = gc.make(400, 11);
+  const Dataset test = gc.make(100, 12);
+  const std::int64_t d = train.channels() * train.height() * train.width();
+  std::vector<std::vector<double>> centroid(
+      10, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  std::array<int, 10> n{};
+  for (std::int64_t i = 0; i < train.size(); ++i) {
+    const int c = train.labels[static_cast<std::size_t>(i)];
+    ++n[static_cast<std::size_t>(c)];
+    for (std::int64_t j = 0; j < d; ++j)
+      centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)] +=
+          train.images[i * d + j];
+  }
+  for (int c = 0; c < 10; ++c)
+    for (auto& v : centroid[static_cast<std::size_t>(c)])
+      v /= std::max(1, n[static_cast<std::size_t>(c)]);
+  int correct = 0;
+  for (std::int64_t i = 0; i < test.size(); ++i) {
+    double best = 1e18;
+    int arg = -1;
+    for (int c = 0; c < 10; ++c) {
+      double dist = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const double diff =
+            test.images[i * d + j] -
+            centroid[static_cast<std::size_t>(c)][static_cast<std::size_t>(j)];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        arg = c;
+      }
+    }
+    if (arg == test.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / static_cast<double>(test.size());
+  EXPECT_GT(acc, 0.5) << gc.name << " centroid accuracy " << acc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, Generators,
+    ::testing::Values(GeneratorCase{"digits", &make_synth_digits, 1, 28},
+                      GeneratorCase{"fashion", &make_synth_fashion, 1, 28},
+                      GeneratorCase{"cifar", &make_synth_cifar, 3, 32}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Splits, TrainAndTestDisjointSeeds) {
+  SynthConfig cfg;
+  cfg.train_size = 30;
+  cfg.test_size = 30;
+  const DataSplit split = make_digits_split(cfg);
+  EXPECT_EQ(split.train.size(), 30);
+  EXPECT_EQ(split.test.size(), 30);
+  // Same index, same class, but different renderings.
+  float maxdiff = 0.0f;
+  for (std::int64_t i = 0; i < split.train.images.numel(); ++i)
+    maxdiff = std::max(maxdiff,
+                       std::fabs(split.train.images[i] - split.test.images[i]));
+  EXPECT_GT(maxdiff, 0.05f);
+}
+
+TEST(Dataset, ImageAndBatchExtraction) {
+  const Dataset ds = make_synth_digits(10, 1);
+  const auto img = ds.image(3);
+  EXPECT_EQ(img.shape(), (tensor::Shape{1, 1, 28, 28}));
+  const auto b = ds.batch({1, 4, 7});
+  EXPECT_EQ(b.dim(0), 3);
+  for (std::int64_t j = 0; j < 28 * 28; ++j)
+    EXPECT_EQ(b[28 * 28 + j], ds.images[4 * 28 * 28 + j]);
+  EXPECT_THROW(ds.image(10), qcaps::Error);
+  EXPECT_THROW(ds.batch({11}), qcaps::Error);
+}
+
+TEST(Augment, NonePolicyIsAlmostIdentity) {
+  const Dataset ds = make_synth_digits(4, 2);
+  common::Rng rng(1);
+  const auto out = augment_batch(ds.images, AugmentPolicy::none(), rng);
+  testutil::expect_tensor_near(out, ds.images, 1e-5f, "identity augment");
+}
+
+TEST(Augment, FlipIsExactMirror) {
+  tensor::Tensor img({1, 1, 2, 4});
+  for (std::int64_t i = 0; i < 8; ++i) img[i] = static_cast<float>(i);
+  AugmentPolicy policy;
+  policy.hflip_prob = 1.0f;
+  common::Rng rng(3);
+  const auto out = augment_batch(img, policy, rng);
+  EXPECT_FLOAT_EQ((out.at({0, 0, 0, 0})), 3.0f);
+  EXPECT_FLOAT_EQ((out.at({0, 0, 0, 3})), 0.0f);
+  EXPECT_FLOAT_EQ((out.at({0, 0, 1, 1})), 6.0f);
+}
+
+TEST(Augment, ShiftMovesMass) {
+  // A single bright pixel at the center must move under a forced shift.
+  tensor::Tensor img({1, 1, 9, 9});
+  img.at({0, 0, 4, 4}) = 1.0f;
+  AugmentPolicy policy;
+  policy.max_shift_px = 3.0f;
+  common::Rng rng(5);
+  const auto out = augment_batch(img, policy, rng);
+  // Total mass is conserved up to interpolation loss at borders.
+  EXPECT_NEAR(out.sum(), 1.0, 0.2);
+  EXPECT_LT((out.at({0, 0, 4, 4})), 1.0f);
+}
+
+TEST(Augment, PreservesShapeAndStaysFinite) {
+  const Dataset ds = make_synth_cifar(6, 4);
+  common::Rng rng(6);
+  const auto out = augment_batch(ds.images, AugmentPolicy::cifar10(), rng);
+  EXPECT_TRUE(out.same_shape(ds.images));
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(out[i]));
+}
+
+TEST(Loader, CoversEverySampleOncePerEpoch) {
+  const Dataset ds = make_synth_digits(23, 5);
+  BatchLoader loader(ds, 5, /*shuffle=*/true, 9);
+  EXPECT_EQ(loader.num_batches(), 5);  // 4 full + 1 partial
+  std::multiset<float> seen;
+  std::int64_t total = 0;
+  for (std::int64_t b = 0; b < loader.num_batches(); ++b) {
+    const Batch batch = loader.batch(b);
+    total += batch.images.dim(0);
+    EXPECT_EQ(static_cast<std::int64_t>(batch.labels.size()), batch.images.dim(0));
+  }
+  EXPECT_EQ(total, 23);
+}
+
+TEST(Loader, ShuffleChangesOrderAcrossEpochs) {
+  const Dataset ds = make_synth_digits(40, 6);
+  BatchLoader loader(ds, 40, /*shuffle=*/true, 10);
+  const Batch first = loader.batch(0);
+  loader.start_epoch();
+  const Batch second = loader.batch(0);
+  bool same = true;
+  for (std::size_t i = 0; i < first.labels.size(); ++i)
+    if (first.labels[i] != second.labels[i]) same = false;
+  EXPECT_FALSE(same);
+}
+
+TEST(Loader, NoShufflePreservesOrder) {
+  const Dataset ds = make_synth_digits(12, 7);
+  BatchLoader loader(ds, 4, /*shuffle=*/false);
+  const Batch b2 = loader.batch(2);
+  EXPECT_EQ(b2.labels[0], ds.labels[8]);
+  EXPECT_THROW(loader.batch(3), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::data

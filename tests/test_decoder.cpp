@@ -1,0 +1,127 @@
+// Tests for the CapsNet reconstruction decoder and its loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/decoder.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::nn {
+namespace {
+
+TEST(Decoder, OutputShapeAndRange) {
+  common::Rng rng(1);
+  CapsDecoder dec(10, 16, 64, 128, 784, rng);
+  const tensor::Tensor caps = tensor::Tensor::randn({3, 10, 16}, rng, 0.0f, 0.3f);
+  const tensor::Tensor recon = dec.forward(caps, {1, 2, 3}, Phase::kTrain);
+  EXPECT_EQ(recon.shape(), (tensor::Shape{3, 784}));
+  for (std::int64_t i = 0; i < recon.numel(); ++i) {
+    EXPECT_GT(recon[i], 0.0f);
+    EXPECT_LT(recon[i], 1.0f);
+  }
+}
+
+TEST(Decoder, MaskSelectsLabelCapsuleInTraining) {
+  common::Rng rng(2);
+  CapsDecoder dec(4, 2, 8, 8, 16, rng);
+  // Two inputs identical except in capsule 3 — selecting capsule 1 must give
+  // identical reconstructions.
+  tensor::Tensor a = tensor::Tensor::randn({1, 4, 2}, rng);
+  tensor::Tensor b = a;
+  b.at({0, 3, 0}) += 5.0f;
+  const tensor::Tensor ra = dec.forward(a, {1}, Phase::kTrain);
+  const tensor::Tensor rb = dec.forward(b, {1}, Phase::kTrain);
+  testutil::expect_tensor_near(ra, rb, 0.0f, "mask isolates capsule");
+}
+
+TEST(Decoder, EvalSelectsLongestCapsule) {
+  common::Rng rng(3);
+  CapsDecoder dec(3, 2, 8, 8, 9, rng);
+  tensor::Tensor caps({1, 3, 2});
+  caps.at({0, 2, 0}) = 0.9f;  // longest capsule = 2
+  const tensor::Tensor r_eval = dec.forward(caps, {}, Phase::kEval);
+  const tensor::Tensor r_forced = dec.forward(caps, {2}, Phase::kTrain);
+  testutil::expect_tensor_near(r_eval, r_forced, 0.0f, "argmax selection");
+}
+
+TEST(Decoder, GradientThroughMaskAndMlp) {
+  common::Rng rng(4);
+  CapsDecoder dec(3, 2, 6, 6, 8, rng);
+  const tensor::Tensor caps = tensor::Tensor::randn({2, 3, 2}, rng, 0.0f, 0.5f);
+  const std::vector<int> labels = {0, 2};
+  const tensor::Tensor recon = dec.forward(caps, labels, Phase::kTrain);
+  const testutil::WeightedSum head(recon.shape());
+  const tensor::Tensor gcaps = dec.backward(head.grad());
+  auto loss = [&](const tensor::Tensor& in) {
+    common::Rng rng2(4);
+    CapsDecoder probe(3, 2, 6, 6, 8, rng2);  // same seed -> same weights
+    return head(probe.forward(in, labels, Phase::kTrain));
+  };
+  testutil::check_gradient(caps, loss, gcaps);
+}
+
+TEST(Decoder, GradientZeroForUnselectedCapsules) {
+  common::Rng rng(5);
+  CapsDecoder dec(4, 3, 8, 8, 10, rng);
+  const tensor::Tensor caps = tensor::Tensor::randn({1, 4, 3}, rng);
+  dec.forward(caps, {1}, Phase::kTrain);
+  const tensor::Tensor g = dec.backward(tensor::Tensor({1, 10}, 1.0f));
+  for (std::int64_t k = 0; k < 4; ++k) {
+    for (std::int64_t d = 0; d < 3; ++d) {
+      if (k == 1) continue;
+      EXPECT_EQ((g.at({0, k, d})), 0.0f) << "capsule " << k;
+    }
+  }
+}
+
+TEST(Decoder, ParamsCoverThreeDenseLayers) {
+  common::Rng rng(6);
+  CapsDecoder dec(10, 16, 512, 1024, 784, rng);
+  EXPECT_EQ(dec.params().size(), 6u);  // 3 x (weight + bias)
+  EXPECT_EQ(dec.grads().size(), 6u);
+}
+
+TEST(Decoder, RejectsBadInputs) {
+  common::Rng rng(7);
+  CapsDecoder dec(3, 2, 4, 4, 8, rng);
+  EXPECT_THROW(dec.forward(tensor::Tensor({1, 4, 2}), {0}, Phase::kTrain),
+               qcaps::Error);
+  EXPECT_THROW(dec.forward(tensor::Tensor({2, 3, 2}), {0}, Phase::kTrain),
+               qcaps::Error);  // label count mismatch
+  EXPECT_THROW(dec.forward(tensor::Tensor({1, 3, 2}), {9}, Phase::kTrain),
+               qcaps::Error);  // label out of range
+}
+
+TEST(ReconLoss, ZeroForPerfectReconstruction) {
+  common::Rng rng(8);
+  ReconstructionLoss loss;
+  const tensor::Tensor x = tensor::Tensor::uniform({2, 5}, rng);
+  EXPECT_FLOAT_EQ(loss.forward(x, x), 0.0f);
+}
+
+TEST(ReconLoss, MatchesHandComputedSse) {
+  ReconstructionLoss loss;
+  tensor::Tensor recon({2, 2}, {1.0f, 0.0f, 0.5f, 0.5f});
+  tensor::Tensor target({2, 2}, {0.0f, 0.0f, 0.5f, 0.0f});
+  // Sample 0: 1.0; sample 1: 0.25 -> mean over batch = 0.625.
+  EXPECT_NEAR(loss.forward(recon, target), 0.625f, 1e-6f);
+}
+
+TEST(ReconLoss, GradientMatchesFiniteDifference) {
+  common::Rng rng(9);
+  const tensor::Tensor target = tensor::Tensor::uniform({3, 7}, rng);
+  const tensor::Tensor recon = tensor::Tensor::uniform({3, 7}, rng);
+  ReconstructionLoss loss;
+  loss.forward(recon, target);
+  const tensor::Tensor analytic = loss.backward();
+  auto f = [&](const tensor::Tensor& in) {
+    ReconstructionLoss probe;
+    return probe.forward(in, target);
+  };
+  testutil::check_gradient(recon, f, analytic);
+}
+
+}  // namespace
+}  // namespace qcaps::nn

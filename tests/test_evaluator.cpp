@@ -1,0 +1,114 @@
+// Tests for core::Evaluator: calibration behaviour, evaluation bookkeeping,
+// and interaction with multi-routing-layer networks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "data/synth.hpp"
+#include "models/deep_caps.hpp"
+#include "models/shallow_caps.hpp"
+
+namespace qcaps::core {
+namespace {
+
+std::unique_ptr<nn::Network> tiny_shallow(std::uint64_t seed = 1) {
+  auto cfg = models::ShallowCapsConfig::experiment();
+  cfg.conv_channels = 8;
+  cfg.primary_types = 1;
+  common::Rng rng(seed);
+  return models::build_shallow_caps(cfg, rng);
+}
+
+TEST(Evaluator, EvalSamplesClampedToTestSize) {
+  const data::Dataset test = data::make_synth_digits(30, 2);
+  data::DataSplit split{data::make_synth_digits(10, 1), test};
+  auto net = tiny_shallow();
+  Evaluator eval(*net, split.test, 1000);
+  EXPECT_EQ(eval.eval_samples(), 30);
+  Evaluator full(*net, split.test, -1);
+  EXPECT_EQ(full.eval_samples(), 30);
+  Evaluator capped(*net, split.test, 10);
+  EXPECT_EQ(capped.eval_samples(), 10);
+}
+
+TEST(Evaluator, CountsBothFp32AndQuantizedEvaluations) {
+  const data::Dataset test = data::make_synth_digits(20, 3);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 20);
+  EXPECT_EQ(eval.num_evaluations(), 0);
+  eval.evaluate_fp32();
+  eval.evaluate(NetworkQuantSpec::uniform(3, 8, fixed::RoundingScheme::kTruncation));
+  eval.evaluate(NetworkQuantSpec::uniform(3, 6, fixed::RoundingScheme::kTruncation));
+  EXPECT_EQ(eval.num_evaluations(), 3);
+}
+
+TEST(Evaluator, MemoryModelAvailableAtConstruction) {
+  const data::Dataset test = data::make_synth_digits(20, 4);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 20);
+  EXPECT_EQ(eval.memory().num_layers(), 3u);
+  EXPECT_EQ(eval.memory().total_params(), net->param_count());
+  for (const auto& l : eval.memory().layers()) EXPECT_GT(l.macs, 0);
+}
+
+TEST(Evaluator, EvaluationIsDeterministicForDeterministicSchemes) {
+  const data::Dataset test = data::make_synth_digits(40, 5);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 40);
+  const auto spec =
+      NetworkQuantSpec::uniform(3, 5, fixed::RoundingScheme::kRoundToNearest);
+  EXPECT_FLOAT_EQ(eval.evaluate(spec), eval.evaluate(spec));
+}
+
+TEST(Evaluator, StochasticRoundingAlsoDeterministicViaCounterStream) {
+  const data::Dataset test = data::make_synth_digits(40, 6);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 40);
+  const auto spec =
+      NetworkQuantSpec::uniform(3, 5, fixed::RoundingScheme::kStochastic);
+  EXPECT_FLOAT_EQ(eval.evaluate(spec), eval.evaluate(spec));
+}
+
+TEST(Evaluator, HooksClearedAfterEvaluate) {
+  const data::Dataset test = data::make_synth_digits(20, 7);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 20);
+  eval.evaluate(NetworkQuantSpec::uniform(3, 4, fixed::RoundingScheme::kTruncation));
+  for (const auto i : net->weighted_layers()) {
+    EXPECT_FALSE(net->layer(i).quant().weights.has_value());
+    EXPECT_FALSE(net->layer(i).quant().activations.has_value());
+  }
+}
+
+TEST(Evaluator, CalibratesEveryRoutingLayerOfDeepCaps) {
+  auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  cfg.conv_channels = 8;
+  cfg.block_types = 2;
+  cfg.block_dims = {2, 2, 2, 2};
+  cfg.out_caps_dim = 4;
+  common::Rng rng(8);
+  auto net = models::build_deep_caps(cfg, rng);
+  const data::Dataset test = data::make_synth_digits(16, 9);
+  Evaluator eval(*net, test, 16);
+  auto spec = NetworkQuantSpec::uniform(eval.memory().num_layers(), 8,
+                                        fixed::RoundingScheme::kRoundToNearest);
+  eval.calibrate_spec(spec);
+  // Six weighted layers; B5 and L6 route and must get DR headroom.
+  ASSERT_EQ(spec.layers.size(), 6u);
+  for (const auto& l : spec.layers) {
+    EXPECT_GE(l.qa_int, 1);
+    EXPECT_GE(l.qdr_int, l.qa_int);
+  }
+}
+
+TEST(Evaluator, SpecSizeMismatchThrows) {
+  const data::Dataset test = data::make_synth_digits(16, 10);
+  auto net = tiny_shallow();
+  Evaluator eval(*net, test, 16);
+  auto bad = NetworkQuantSpec::uniform(5, 8, fixed::RoundingScheme::kTruncation);
+  EXPECT_THROW(eval.calibrate_spec(bad), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::core

@@ -1,0 +1,112 @@
+// Tests for the extension substrates: the IDX dataset loader and the
+// entropy / Huffman analysis of quantized tensors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/idx_loader.hpp"
+#include "data/synth.hpp"
+#include "fixed/entropy.hpp"
+#include "test_util.hpp"
+
+namespace qcaps {
+namespace {
+
+TEST(IdxLoader, RoundTripPreservesDataset) {
+  const data::Dataset ds = data::make_synth_digits(20, 3);
+  data::save_idx_dataset(ds, "t_images.idx", "t_labels.idx");
+  const data::Dataset back =
+      data::load_idx_dataset("t_images.idx", "t_labels.idx");
+  EXPECT_EQ(back.size(), 20);
+  EXPECT_EQ(back.height(), 28);
+  EXPECT_EQ(back.width(), 28);
+  EXPECT_EQ(back.labels, ds.labels);
+  // Pixels survive up to the 8-bit ubyte quantization of the format.
+  for (std::int64_t i = 0; i < ds.images.numel(); ++i)
+    ASSERT_NEAR(back.images[i], ds.images[i], 1.0f / 255.0f + 1e-6f);
+  std::filesystem::remove("t_images.idx");
+  std::filesystem::remove("t_labels.idx");
+}
+
+TEST(IdxLoader, LimitTruncates) {
+  const data::Dataset ds = data::make_synth_digits(10, 4);
+  data::save_idx_dataset(ds, "t2_images.idx", "t2_labels.idx");
+  const data::Dataset back =
+      data::load_idx_dataset("t2_images.idx", "t2_labels.idx", 4);
+  EXPECT_EQ(back.size(), 4);
+  std::filesystem::remove("t2_images.idx");
+  std::filesystem::remove("t2_labels.idx");
+}
+
+TEST(IdxLoader, RejectsMissingAndMalformedFiles) {
+  EXPECT_THROW(data::load_idx_dataset("nope.idx", "nope2.idx"), qcaps::Error);
+  // A labels file used as images has the wrong magic.
+  const data::Dataset ds = data::make_synth_digits(5, 5);
+  data::save_idx_dataset(ds, "t3_images.idx", "t3_labels.idx");
+  EXPECT_THROW(data::load_idx_dataset("t3_labels.idx", "t3_images.idx"),
+               qcaps::Error);
+  std::filesystem::remove("t3_images.idx");
+  std::filesystem::remove("t3_labels.idx");
+}
+
+TEST(IdxLoader, RejectsMultiChannelSave) {
+  const data::Dataset ds = data::make_synth_cifar(3, 1);
+  EXPECT_THROW(data::save_idx_dataset(ds, "x.idx", "y.idx"), qcaps::Error);
+}
+
+TEST(Entropy, UniformSymbolsReachWordlength) {
+  // A tensor covering all 2^N grid values equally has entropy = N bits and
+  // Huffman cannot beat fixed-length storage.
+  const fixed::FixedFormat fmt(1, 3);  // 16 levels
+  tensor::Tensor t({16 * 8});
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(fixed::from_raw(fmt.raw_min() + (i % 16), fmt));
+  const auto stats = fixed::analyze_quantized(t, fmt);
+  EXPECT_EQ(stats.distinct_symbols, 16);
+  EXPECT_NEAR(stats.entropy_bits, 4.0, 1e-9);
+  EXPECT_NEAR(stats.huffman_bits, 4.0, 1e-9);
+  EXPECT_NEAR(stats.huffman_gain(), 1.0, 1e-9);
+}
+
+TEST(Entropy, ConstantTensorCompressesMaximally) {
+  const fixed::FixedFormat fmt(1, 7);
+  tensor::Tensor t({100}, 0.5f);
+  const auto stats = fixed::analyze_quantized(t, fmt);
+  EXPECT_EQ(stats.distinct_symbols, 1);
+  EXPECT_NEAR(stats.entropy_bits, 0.0, 1e-12);
+  EXPECT_NEAR(stats.huffman_bits, 1.0, 1e-9);  // 1 bit floor per symbol
+}
+
+TEST(Entropy, HuffmanAtLeastEntropyAtMostEntropyPlusOne) {
+  common::Rng rng(1);
+  const tensor::Tensor t = tensor::Tensor::randn({20000}, rng, 0.0f, 0.15f);
+  for (const int qf : {3, 5, 7}) {
+    const auto stats = fixed::quantize_and_analyze(
+        t, fixed::FixedFormat(1, qf), fixed::RoundingScheme::kRoundToNearest);
+    EXPECT_GE(stats.huffman_bits, stats.entropy_bits - 1e-9) << "qf=" << qf;
+    EXPECT_LE(stats.huffman_bits, stats.entropy_bits + 1.0) << "qf=" << qf;
+  }
+}
+
+TEST(Entropy, PeakedWeightsCompressBelowWordlength) {
+  // Trained-weight-like distribution (narrow Gaussian): Huffman buys a
+  // sizable factor over the fixed wordlength — the Deep Compression effect.
+  common::Rng rng(2);
+  const tensor::Tensor t = tensor::Tensor::randn({30000}, rng, 0.0f, 0.05f);
+  const auto stats = fixed::quantize_and_analyze(
+      t, fixed::FixedFormat(1, 7), fixed::RoundingScheme::kRoundToNearest);
+  EXPECT_LT(stats.huffman_bits, 6.0);  // well under the 8-bit wordlength
+  EXPECT_GT(stats.huffman_gain(), 1.3);
+}
+
+TEST(Entropy, RejectsOffGridValues) {
+  tensor::Tensor t({2}, {0.1234f, 0.5f});
+  EXPECT_THROW(fixed::analyze_quantized(t, fixed::FixedFormat(1, 3)),
+               qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps

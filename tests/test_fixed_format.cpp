@@ -1,0 +1,69 @@
+// Tests for the fixed-point format arithmetic of paper Sec. II-B.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fixed/format.hpp"
+
+namespace qcaps::fixed {
+namespace {
+
+TEST(Format, WordlengthIsSum) {
+  const FixedFormat f(3, 5);
+  EXPECT_EQ(f.wordlength(), 8);
+}
+
+TEST(Format, PrecisionIsTwoToMinusQf) {
+  EXPECT_DOUBLE_EQ(FixedFormat(1, 4).precision(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(FixedFormat(1, 0).precision(), 1.0);
+}
+
+TEST(Format, PaperRangeFormula) {
+  // Range [-2^(QI-1), 2^(QI-1) - 2^-QF] from Sec. II-B.
+  const FixedFormat f(2, 3);
+  EXPECT_DOUBLE_EQ(f.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 2.0 - 0.125);
+}
+
+TEST(Format, OneIntegerBitCoversUnitInterval) {
+  const FixedFormat f = paper_format(7);
+  EXPECT_EQ(f.qi, 1);
+  EXPECT_DOUBLE_EQ(f.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 1.0 - 1.0 / 128.0);
+}
+
+TEST(Format, LevelsIsTwoToWordlength) {
+  EXPECT_EQ(FixedFormat(1, 7).levels(), 256);
+  EXPECT_EQ(FixedFormat(2, 2).levels(), 16);
+}
+
+TEST(Format, RawBoundsAreTwosComplement) {
+  const FixedFormat f(1, 3);  // 4-bit word
+  EXPECT_EQ(f.raw_min(), -8);
+  EXPECT_EQ(f.raw_max(), 7);
+}
+
+TEST(Format, Validity) {
+  EXPECT_TRUE(FixedFormat(1, 0).valid());
+  EXPECT_TRUE(FixedFormat(1, 31).valid());
+  EXPECT_FALSE(FixedFormat(0, 4).valid());
+  EXPECT_FALSE(FixedFormat(1, -1).valid());
+  EXPECT_FALSE(FixedFormat(32, 32).valid());
+}
+
+TEST(Format, ToStringAndEquality) {
+  EXPECT_EQ(FixedFormat(1, 5).to_string(), "<1.5>");
+  EXPECT_EQ(FixedFormat(1, 5), FixedFormat(1, 5));
+  EXPECT_NE(FixedFormat(1, 5), FixedFormat(2, 5));
+}
+
+TEST(Format, RangeScalesWithIntegerBits) {
+  for (int qi = 1; qi <= 8; ++qi) {
+    const FixedFormat f(qi, 4);
+    EXPECT_DOUBLE_EQ(f.min_value(), -std::ldexp(1.0, qi - 1));
+    EXPECT_GT(f.max_value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace qcaps::fixed

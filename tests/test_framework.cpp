@@ -1,0 +1,190 @@
+// End-to-end tests for the Q-CapsNets framework (Algorithm 1): Path A,
+// Path B, rounding-scheme selection, and reporting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/framework.hpp"
+#include "data/synth.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/trainer.hpp"
+
+namespace qcaps::core {
+namespace {
+
+class FrameworkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthConfig dcfg;
+    dcfg.train_size = 600;
+    dcfg.test_size = 128;
+    split_ = new data::DataSplit(data::make_digits_split(dcfg));
+    auto mcfg = models::ShallowCapsConfig::experiment();
+    mcfg.conv_channels = 16;
+    mcfg.primary_types = 2;
+    common::Rng rng(33);
+    net_ = models::build_shallow_caps(mcfg, rng).release();
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.verbose = false;
+    nn::train(*net_, split_->train, split_->test, tcfg);
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete split_;
+    net_ = nullptr;
+    split_ = nullptr;
+  }
+
+  std::int64_t fp32_weight_bits() {
+    Evaluator eval(*net_, split_->test, 64);
+    return eval.memory().weight_bits_fp32();
+  }
+
+  FrameworkConfig base_config() {
+    FrameworkConfig cfg;
+    cfg.eval_samples = 128;
+    cfg.verbose = false;
+    cfg.acc_tolerance = 0.01;
+    return cfg;
+  }
+
+  static data::DataSplit* split_;
+  static nn::Network* net_;
+};
+
+data::DataSplit* FrameworkTest::split_ = nullptr;
+nn::Network* FrameworkTest::net_ = nullptr;
+
+TEST_F(FrameworkTest, PathAWithGenerousBudget) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;  // 4x reduction target
+  cfg.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+
+  EXPECT_EQ(res.path, ExitPath::kSatisfied);
+  ASSERT_TRUE(res.model_satisfied.has_value());
+  const auto& m = *res.model_satisfied;
+  // Budget respected and accuracy above target.
+  EXPECT_LE(m.weight_bits, cfg.memory_budget_bits);
+  EXPECT_GE(m.accuracy, res.acc_target);
+  EXPECT_GE(m.weight_reduction, 4.0);
+  // Dynamic-routing width must be set for the DigitCaps layer and be no
+  // wider than its activation width (the paper's Step 4A claim).
+  const auto& l3 = m.spec.layers.back();
+  EXPECT_GE(l3.qdr_frac, 0);
+  EXPECT_LE(l3.qdr_frac, l3.qa_frac);
+}
+
+TEST_F(FrameworkTest, PathAMemoryModelAlsoReturned) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;
+  cfg.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+  ASSERT_TRUE(res.model_memory.has_value());
+  EXPECT_LE(res.model_memory->weight_bits, cfg.memory_budget_bits);
+}
+
+TEST_F(FrameworkTest, PathBWithImpossibleBudget) {
+  // A near-floor budget forces Eq. 6 into 1-2 bit weights: accuracy collapses
+  // below target and the framework must return the two fallback models.
+  FrameworkConfig cfg = base_config();
+  cfg.acc_tolerance = 0.002;
+  cfg.memory_budget_bits = fp32_weight_bits() / 16;
+  cfg.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+
+  EXPECT_EQ(res.path, ExitPath::kFallback);
+  EXPECT_FALSE(res.model_satisfied.has_value());
+  ASSERT_TRUE(res.model_memory.has_value());
+  ASSERT_TRUE(res.model_accuracy.has_value());
+  // model_memory: meets the budget (accuracy may be arbitrarily low).
+  EXPECT_LE(res.model_memory->weight_bits, cfg.memory_budget_bits);
+  // model_accuracy: meets the accuracy target (memory may exceed budget).
+  EXPECT_GE(res.model_accuracy->accuracy, res.acc_target);
+  EXPECT_GT(res.model_accuracy->weight_bits, cfg.memory_budget_bits);
+}
+
+TEST_F(FrameworkTest, SchemeSelectionPrefersPathA) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+  ASSERT_EQ(res.per_scheme.size(), 3u);
+  if (res.path == ExitPath::kSatisfied) {
+    // The selected scheme must be one that exited via Path A, with minimal
+    // weight memory among those.
+    std::int64_t best_bits = std::numeric_limits<std::int64_t>::max();
+    for (const auto& sr : res.per_scheme)
+      if (sr.path == ExitPath::kSatisfied)
+        best_bits = std::min(best_bits, sr.satisfied->weight_bits);
+    EXPECT_EQ(res.model_satisfied->weight_bits, best_bits);
+  }
+}
+
+TEST_F(FrameworkTest, NetworkLeftUnquantizedAfterRun) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;
+  cfg.schemes = {fixed::RoundingScheme::kTruncation};
+  run_qcapsnets(*net_, split_->test, cfg);
+  for (const auto i : net_->weighted_layers())
+    EXPECT_FALSE(net_->layer(i).quant().weights.has_value());
+}
+
+TEST_F(FrameworkTest, ResultSpecIsReappliable) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;
+  cfg.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+  ASSERT_TRUE(res.model_satisfied.has_value());
+  // Re-applying the winning spec reproduces the reported accuracy exactly
+  // (deterministic schemes + deterministic evaluation subset).
+  Evaluator eval(*net_, split_->test, 128);
+  const float acc = eval.evaluate(res.model_satisfied->spec);
+  EXPECT_FLOAT_EQ(acc, res.model_satisfied->accuracy);
+}
+
+TEST_F(FrameworkTest, ReportContainsPerLayerTable) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = fp32_weight_bits() / 4;
+  cfg.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  const FrameworkResult res = run_qcapsnets(*net_, split_->test, cfg);
+  Evaluator eval(*net_, split_->test, 128);
+  const std::string text = report(res, eval.memory());
+  EXPECT_NE(text.find("accFP32"), std::string::npos);
+  EXPECT_NE(text.find("L1-conv"), std::string::npos);
+  EXPECT_NE(text.find("L3-digitcaps"), std::string::npos);
+  EXPECT_NE(text.find("W-mem"), std::string::npos);
+}
+
+TEST_F(FrameworkTest, InvalidConfigRejected) {
+  FrameworkConfig cfg = base_config();
+  cfg.memory_budget_bits = 0;
+  EXPECT_THROW(run_qcapsnets(*net_, split_->test, cfg), qcaps::Error);
+  cfg.memory_budget_bits = 1000;
+  cfg.schemes.clear();
+  EXPECT_THROW(run_qcapsnets(*net_, split_->test, cfg), qcaps::Error);
+}
+
+TEST_F(FrameworkTest, TighterToleranceNeverIncreasesReduction) {
+  FrameworkConfig loose = base_config();
+  loose.memory_budget_bits = fp32_weight_bits() / 3;
+  loose.schemes = {fixed::RoundingScheme::kRoundToNearest};
+  loose.acc_tolerance = 0.02;
+  FrameworkConfig tight = loose;
+  tight.acc_tolerance = 0.001;
+  const FrameworkResult r_loose = run_qcapsnets(*net_, split_->test, loose);
+  const FrameworkResult r_tight = run_qcapsnets(*net_, split_->test, tight);
+  // Both runs share Step 2's Eq.6 weight assignment (same budget), so compare
+  // total activation bits: a tighter tolerance cannot quantize activations
+  // more aggressively than a looser one.
+  if (r_loose.path == ExitPath::kSatisfied &&
+      r_tight.path == ExitPath::kSatisfied) {
+    EXPECT_LE(r_loose.model_satisfied->activation_bits,
+              r_tight.model_satisfied->activation_bits);
+  }
+}
+
+}  // namespace
+}  // namespace qcaps::core

@@ -1,0 +1,281 @@
+// Tests for the hardware cost models (paper Figs. 2-3 calibration) and the
+// bit-accurate MAC / squash / softmax unit simulations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "hwmodel/units.hpp"
+
+namespace qcaps::hwmodel {
+namespace {
+
+// ---- cost models -------------------------------------------------------------
+
+TEST(MacCost, CalibratedToPaperEndpoints) {
+  // Fig. 2: a 32-bit MAC is ~1.4 pJ and ~10800 µm² in UMC 65 nm.
+  const auto c32 = MacUnitModel{}.cost(32);
+  EXPECT_NEAR(c32.energy_pj, 1.4, 0.15);
+  EXPECT_NEAR(c32.area_um2, 10800.0, 800.0);
+  // 4-bit MAC is over an order of magnitude cheaper.
+  const auto c4 = MacUnitModel{}.cost(4);
+  EXPECT_LT(c4.energy_pj, c32.energy_pj / 15.0);
+}
+
+TEST(MacCost, QuadraticGrowth) {
+  // Doubling the wordlength should roughly quadruple energy (Fig. 2 trend).
+  const auto c8 = MacUnitModel{}.cost(8);
+  const auto c16 = MacUnitModel{}.cost(16);
+  const auto c32 = MacUnitModel{}.cost(32);
+  EXPECT_NEAR(c16.energy_pj / c8.energy_pj, 4.0, 1.2);
+  EXPECT_NEAR(c32.energy_pj / c16.energy_pj, 4.0, 1.2);
+}
+
+TEST(MacCost, MonotonicInWordlength) {
+  double prev_e = 0.0, prev_a = 0.0;
+  for (int bits = 4; bits <= 32; bits += 4) {
+    const auto c = MacUnitModel{}.cost(bits);
+    EXPECT_GT(c.energy_pj, prev_e);
+    EXPECT_GT(c.area_um2, prev_a);
+    prev_e = c.energy_pj;
+    prev_a = c.area_um2;
+  }
+}
+
+TEST(MacCost, RejectsOutOfRange) {
+  EXPECT_THROW(MacUnitModel{}.cost(0), qcaps::Error);
+  EXPECT_THROW(MacUnitModel{}.cost(65), qcaps::Error);
+}
+
+TEST(SquashSoftmaxCost, CalibratedToPaperEndpoints) {
+  // Fig. 3: at 8 fractional bits both units are in the multi-pJ / ~7000 µm²
+  // regime and far costlier than a MAC at comparable width.
+  const auto sq = SquashUnitModel{}.cost(8);
+  const auto sm = SoftmaxUnitModel{}.cost(8);
+  EXPECT_NEAR(sq.energy_pj, 4.5, 1.0);
+  EXPECT_NEAR(sq.area_um2, 7000.0, 800.0);
+  EXPECT_NEAR(sm.energy_pj, 4.2, 1.0);
+  const auto mac9 = MacUnitModel{}.cost(9);
+  EXPECT_GT(sq.energy_pj, 3.0 * mac9.energy_pj);
+}
+
+TEST(SquashSoftmaxCost, QuadraticInFractionalBits) {
+  const auto s2 = SquashUnitModel{}.cost(2);
+  const auto s4 = SquashUnitModel{}.cost(4);
+  const auto s8 = SquashUnitModel{}.cost(8);
+  EXPECT_NEAR(s4.energy_pj / s2.energy_pj, 4.0, 0.5);
+  EXPECT_NEAR(s8.energy_pj / s4.energy_pj, 4.0, 0.5);
+}
+
+TEST(InferenceEnergy, RollupSumsComponents) {
+  const auto e = inference_energy(1000000, 8, 1000, 10, 6);
+  EXPECT_GT(e.mac_pj, 0.0);
+  EXPECT_GT(e.squash_pj, 0.0);
+  EXPECT_GT(e.softmax_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.mac_pj + e.squash_pj + e.softmax_pj);
+}
+
+TEST(InferenceEnergy, FewerBitsCheaper) {
+  const auto wide = inference_energy(1000000, 16, 1000, 10, 8);
+  const auto narrow = inference_energy(1000000, 6, 1000, 10, 4);
+  EXPECT_LT(narrow.total_pj(), wide.total_pj() / 2.0);
+}
+
+// ---- raw fixed-point helpers -------------------------------------------------
+
+TEST(RescaleRaw, TruncationShiftsRight) {
+  const fixed::FixedFormat out(2, 2);
+  // 0b0110 (1.5 at qf=2) from qf=4 value 0b011000 (1.5).
+  EXPECT_EQ(rescale_raw(24, 4, out, fixed::RoundingScheme::kTruncation), 6);
+  // Negative values floor (arithmetic shift).
+  EXPECT_EQ(rescale_raw(-25, 4, out, fixed::RoundingScheme::kTruncation), -7);
+}
+
+TEST(RescaleRaw, RoundToNearestAddsHalf) {
+  const fixed::FixedFormat out(2, 2);
+  EXPECT_EQ(rescale_raw(26, 4, out, fixed::RoundingScheme::kRoundToNearest), 7);
+  EXPECT_EQ(rescale_raw(25, 4, out, fixed::RoundingScheme::kRoundToNearest), 6);
+}
+
+TEST(RescaleRaw, UpshiftWhenTargetFiner) {
+  const fixed::FixedFormat out(2, 6);
+  EXPECT_EQ(rescale_raw(3, 2, out), 48);
+}
+
+TEST(RescaleRaw, Saturates) {
+  const fixed::FixedFormat out(1, 2);  // raw range [-4, 3]
+  EXPECT_EQ(rescale_raw(1000, 2, out), 3);
+  EXPECT_EQ(rescale_raw(-1000, 2, out), -4);
+}
+
+TEST(FixedMulAdd, MatchDoubleReference) {
+  const fixed::FixedFormat fmt(3, 8);
+  common::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-1.8f, 1.8f);
+    const double y = rng.uniform(-1.8f, 1.8f);
+    const auto fx = FixedNum::from_double(x, fmt);
+    const auto fy = FixedNum::from_double(y, fmt);
+    const auto prod = fixed_mul(fx, fy, fmt);
+    EXPECT_NEAR(prod.to_double(), fx.to_double() * fy.to_double(),
+                fmt.precision());
+    const auto sum = fixed_add(fx, fy, fmt);
+    EXPECT_NEAR(sum.to_double(), fx.to_double() + fy.to_double(),
+                fmt.precision());
+  }
+}
+
+TEST(FixedAdd, AlignsMixedFormats) {
+  const fixed::FixedFormat coarse(3, 2), fine(3, 6), out(4, 6);
+  const auto a = FixedNum::from_double(1.25, coarse);
+  const auto b = FixedNum::from_double(0.515625, fine);
+  EXPECT_NEAR(fixed_add(a, b, out).to_double(), 1.765625, 1e-9);
+}
+
+// ---- MAC unit ----------------------------------------------------------------
+
+TEST(MacUnit, DotProductMatchesFloat) {
+  const fixed::FixedFormat op(2, 10), res(4, 10);
+  MacUnit mac(op, res);
+  common::Rng rng(2);
+  double ref = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = FixedNum::from_double(rng.uniform(-1.0f, 1.0f), op);
+    const auto b = FixedNum::from_double(rng.uniform(-1.0f, 1.0f), op);
+    mac.mac(a, b);
+    ref += a.to_double() * b.to_double();
+  }
+  // Wide accumulator: single rounding at the end.
+  EXPECT_NEAR(mac.result().to_double(), ref, res.precision());
+}
+
+TEST(MacUnit, ClearResets) {
+  const fixed::FixedFormat op(2, 8), res(4, 8);
+  MacUnit mac(op, res);
+  mac.mac(FixedNum::from_double(1.0, op), FixedNum::from_double(1.0, op));
+  mac.clear();
+  EXPECT_DOUBLE_EQ(mac.result().to_double(), 0.0);
+}
+
+TEST(MacUnit, OperandFormatEnforced) {
+  const fixed::FixedFormat op(2, 8), res(4, 8), other(1, 4);
+  MacUnit mac(op, res);
+  EXPECT_THROW(mac.mac(FixedNum::from_double(0.5, other),
+                       FixedNum::from_double(0.5, op)),
+               qcaps::Error);
+}
+
+// ---- squash unit --------------------------------------------------------------
+
+double ref_squash_gain(const std::vector<double>& s) {
+  double nsq = 0.0;
+  for (const auto x : s) nsq += x * x;
+  const double n = std::sqrt(nsq);
+  return n > 0.0 ? (nsq / (1.0 + nsq)) / n : 0.0;
+}
+
+class SquashUnitWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquashUnitWidths, MatchesFloatReferenceWithinPrecision) {
+  const int qf = GetParam();
+  const fixed::FixedFormat io(2, qf);
+  SquashUnit unit(io);
+  common::Rng rng(static_cast<std::uint64_t>(qf));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<FixedNum> s;
+    std::vector<double> ref;
+    for (int i = 0; i < 8; ++i) {
+      const double x = rng.uniform(-1.2f, 1.2f);
+      s.push_back(FixedNum::from_double(x, io));
+      ref.push_back(s.back().to_double());
+    }
+    const auto v = unit.apply(s);
+    const double gain = ref_squash_gain(ref);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_NEAR(v[static_cast<std::size_t>(i)].to_double(), gain * ref[static_cast<std::size_t>(i)],
+                  6.0 * io.precision())
+          << "qf=" << qf << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthSweep, SquashUnitWidths, ::testing::Range(6, 15));
+
+TEST(SquashUnit, ZeroVectorMapsToZero) {
+  const fixed::FixedFormat io(2, 8);
+  SquashUnit unit(io);
+  const std::vector<FixedNum> zeros(4, FixedNum{0, io});
+  for (const auto& v : unit.apply(zeros)) EXPECT_EQ(v.raw, 0);
+}
+
+TEST(SquashUnit, OutputNormBelowOne) {
+  const fixed::FixedFormat io(3, 10);
+  SquashUnit unit(io);
+  common::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<FixedNum> s;
+    for (int i = 0; i < 6; ++i)
+      s.push_back(FixedNum::from_double(rng.uniform(-3.0f, 3.0f), io));
+    double nsq = 0.0;
+    for (const auto& v : unit.apply(s)) nsq += v.to_double() * v.to_double();
+    EXPECT_LT(std::sqrt(nsq), 1.0 + 0.05);
+  }
+}
+
+// ---- softmax unit --------------------------------------------------------------
+
+TEST(SoftmaxUnit, OutputsSumToApproximatelyOne) {
+  const fixed::FixedFormat io(3, 10);
+  SoftmaxUnit unit(io);
+  common::Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<FixedNum> logits;
+    for (int i = 0; i < 10; ++i)
+      logits.push_back(FixedNum::from_double(rng.uniform(-3.0f, 3.0f), io));
+    double sum = 0.0;
+    for (const auto& p : unit.apply(logits)) sum += p.to_double();
+    EXPECT_NEAR(sum, 1.0, 0.03);
+  }
+}
+
+TEST(SoftmaxUnit, MatchesFloatReference) {
+  const fixed::FixedFormat io(3, 12);
+  SoftmaxUnit unit(io, /*lut_addr_bits=*/12);
+  const std::vector<double> in = {0.5, -1.0, 2.0, 0.0};
+  std::vector<FixedNum> logits;
+  for (const auto x : in) logits.push_back(FixedNum::from_double(x, io));
+  // Float reference.
+  double mx = in[0];
+  for (const auto x : in) mx = std::max(mx, x);
+  double z = 0.0;
+  std::vector<double> ref;
+  for (const auto x : in) {
+    ref.push_back(std::exp(x - mx));
+    z += ref.back();
+  }
+  const auto got = unit.apply(logits);
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_NEAR(got[i].to_double(), ref[i] / z, 0.01);
+}
+
+TEST(SoftmaxUnit, UniformLogitsGiveUniformProbs) {
+  const fixed::FixedFormat io(2, 10);
+  SoftmaxUnit unit(io);
+  const std::vector<FixedNum> logits(8, FixedNum::from_double(0.7, io));
+  for (const auto& p : unit.apply(logits))
+    EXPECT_NEAR(p.to_double(), 0.125, 0.01);
+}
+
+TEST(SoftmaxUnit, WinnerTakesMostMass) {
+  const fixed::FixedFormat io(3, 10);
+  SoftmaxUnit unit(io);
+  std::vector<FixedNum> logits(5, FixedNum::from_double(-2.0, io));
+  logits[2] = FixedNum::from_double(3.0, io);
+  const auto p = unit.apply(logits);
+  EXPECT_GT(p[2].to_double(), 0.9);
+}
+
+}  // namespace
+}  // namespace qcaps::hwmodel

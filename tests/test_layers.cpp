@@ -1,0 +1,198 @@
+// Tests for the conventional layers: Conv2d, Dense, ReLU, MaxPool,
+// FlattenCaps — shapes, gradients, quantization hooks.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/activation_layers.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/dense_layer.hpp"
+#include "nn/pool_layer.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::nn {
+namespace {
+
+TEST(Conv2dLayer, OutputShapeAndStats) {
+  common::Rng rng(1);
+  Conv2dLayer layer("c", 3, 8, 3, 1, 1, true, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({2, 3, 10, 10}, rng);
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 8, 10, 10}));
+  EXPECT_EQ(layer.activation_elems_per_sample(), 8 * 10 * 10);
+  EXPECT_EQ(layer.macs_per_sample(), 8 * 10 * 10 * 3 * 3 * 3);
+  EXPECT_EQ(layer.param_count(), 8 * 3 * 3 * 3 + 8);
+  EXPECT_TRUE(layer.has_weights());
+  EXPECT_FALSE(layer.has_routing());
+}
+
+TEST(Conv2dLayer, GradientsThroughLayerInterface) {
+  common::Rng rng(2);
+  Conv2dLayer layer("c", 2, 3, 3, 1, 0, true, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({1, 2, 6, 6}, rng);
+  const tensor::Tensor y = layer.forward(x, Phase::kTrain);
+  const testutil::WeightedSum head(y.shape());
+  const tensor::Tensor gx = layer.backward(head.grad());
+  auto loss = [&](const tensor::Tensor& in) {
+    Conv2dLayer probe("p", 2, 3, 3, 1, 0, true, rng);
+    // Copy trained weights into the probe so loss() is a pure function of in.
+    *probe.params()[0] = *layer.params()[0];
+    *probe.params()[1] = *layer.params()[1];
+    return head(probe.forward(in, Phase::kEval));
+  };
+  testutil::check_gradient(x, loss, gx);
+}
+
+TEST(Conv2dLayer, BackwardRequiresTrainForward) {
+  common::Rng rng(3);
+  Conv2dLayer layer("c", 1, 1, 3, 1, 0, false, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({1, 1, 5, 5}, rng);
+  layer.forward(x, Phase::kEval);
+  EXPECT_THROW(layer.backward(tensor::Tensor({1, 1, 3, 3})), qcaps::Error);
+}
+
+TEST(Conv2dLayer, WeightQuantizationHookApplies) {
+  common::Rng rng(4);
+  Conv2dLayer layer("c", 1, 4, 3, 1, 0, false, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({1, 1, 8, 8}, rng);
+  const tensor::Tensor y_fp = layer.forward(x, Phase::kEval);
+  layer.quant().set_weights(fixed::Quantizer(fixed::FixedFormat(1, 2),
+                                             fixed::RoundingScheme::kRoundToNearest));
+  const tensor::Tensor y_q = layer.forward(x, Phase::kEval);
+  // Coarse weights must change the output; master weights must be intact.
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < y_fp.numel(); ++i)
+    diff = std::max(diff, std::abs(y_fp[i] - y_q[i]));
+  EXPECT_GT(diff, 1e-4f);
+  layer.quant().clear();
+  const tensor::Tensor y_back = layer.forward(x, Phase::kEval);
+  testutil::expect_tensor_near(y_back, y_fp, 0.0f, "master weights restored");
+}
+
+TEST(Conv2dLayer, ActivationQuantizationHookApplies) {
+  common::Rng rng(5);
+  Conv2dLayer layer("c", 1, 2, 3, 1, 0, false, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({1, 1, 6, 6}, rng);
+  layer.quant().set_activations(fixed::Quantizer(
+      fixed::FixedFormat(2, 3), fixed::RoundingScheme::kRoundToNearest));
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  const double eps = fixed::FixedFormat(2, 3).precision();
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    const double scaled = y[i] / eps;
+    ASSERT_NEAR(scaled, std::round(scaled), 1e-5);
+  }
+}
+
+TEST(DenseLayer, ForwardMatchesManualGemm) {
+  common::Rng rng(6);
+  DenseLayer layer("d", 4, 3, true, rng);
+  tensor::Tensor x({2, 4}, {1.0f, 0.0f, 0.0f, 0.0f, 0.0f, 1.0f, 0.0f, 0.0f});
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  // Row 0 = weight row 0 + bias; row 1 = weight row 1 + bias.
+  const tensor::Tensor& w = layer.master_weight();
+  const tensor::Tensor& b = layer.master_bias();
+  for (std::int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR((y.at({0, j})), (w.at({0, j})) + b[j], 1e-6f);
+    EXPECT_NEAR((y.at({1, j})), (w.at({1, j})) + b[j], 1e-6f);
+  }
+}
+
+TEST(DenseLayer, AcceptsSpatialInputByFlattening) {
+  common::Rng rng(7);
+  DenseLayer layer("d", 2 * 3 * 3, 5, false, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({4, 2, 3, 3}, rng);
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{4, 5}));
+  EXPECT_THROW(layer.forward(tensor::Tensor({4, 7}), Phase::kEval), qcaps::Error);
+}
+
+TEST(DenseLayer, GradientsCorrect) {
+  common::Rng rng(8);
+  DenseLayer layer("d", 5, 4, true, rng);
+  const tensor::Tensor x = tensor::Tensor::randn({3, 5}, rng);
+  const tensor::Tensor y = layer.forward(x, Phase::kTrain);
+  const testutil::WeightedSum head(y.shape());
+  const tensor::Tensor gx = layer.backward(head.grad());
+  auto loss = [&](const tensor::Tensor& in) {
+    DenseLayer probe("p", 5, 4, true, rng);
+    *probe.params()[0] = *layer.params()[0];
+    *probe.params()[1] = *layer.params()[1];
+    return head(probe.forward(in, Phase::kEval));
+  };
+  testutil::check_gradient(x, loss, gx);
+  // Weight gradient spot-check: dL/dW = x^T g.
+  const tensor::Tensor& gw = *layer.grads()[0];
+  double expect00 = 0.0;
+  for (std::int64_t b = 0; b < 3; ++b)
+    expect00 += static_cast<double>(x.at({b, 0})) * head.w.at({b, 0});
+  EXPECT_NEAR((gw.at({0, 0})), expect00, 1e-4);
+}
+
+TEST(ReluLayer, ForwardZeroesNegatives) {
+  ReluLayer layer("r");
+  tensor::Tensor x({1, 4}, {-1.0f, 2.0f, -3.0f, 0.5f});
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.5f);
+}
+
+TEST(ReluLayer, BackwardMasksGradient) {
+  ReluLayer layer("r");
+  tensor::Tensor x({1, 3}, {-1.0f, 2.0f, 3.0f});
+  layer.forward(x, Phase::kTrain);
+  tensor::Tensor g({1, 3}, {5.0f, 6.0f, 7.0f});
+  const tensor::Tensor gx = layer.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 6.0f);
+  EXPECT_FLOAT_EQ(gx[2], 7.0f);
+}
+
+TEST(MaxPool, ForwardPicksWindowMaxima) {
+  MaxPool2dLayer layer("p", 2, 2);
+  tensor::Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ((y.at({0, 0, 0, 0})), 5.0f);
+  EXPECT_FLOAT_EQ((y.at({0, 0, 1, 1})), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2dLayer layer("p", 2, 2);
+  tensor::Tensor x({1, 1, 2, 2}, {1.0f, 9.0f, 3.0f, 4.0f});
+  layer.forward(x, Phase::kTrain);
+  tensor::Tensor g({1, 1, 1, 1}, {2.0f});
+  const tensor::Tensor gx = layer.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 2.0f);
+  EXPECT_FLOAT_EQ(gx[2], 0.0f);
+}
+
+TEST(FlattenCaps, RoundTripWithBackward) {
+  common::Rng rng(9);
+  FlattenCapsLayer layer("f", 4);
+  const tensor::Tensor x = tensor::Tensor::randn({2, 12, 3, 3}, rng);
+  const tensor::Tensor y = layer.forward(x, Phase::kTrain);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 3 * 9, 4}));
+  // backward(forward output as gradient) inverts the permutation.
+  const tensor::Tensor gx = layer.backward(y);
+  testutil::expect_tensor_near(gx, x, 0.0f, "flatten roundtrip");
+}
+
+TEST(FlattenCaps, CapsuleVectorsKeptIntact) {
+  // Channel group (t*D..t*D+D) at position p must become one capsule row.
+  FlattenCapsLayer layer("f", 2);
+  tensor::Tensor x({1, 4, 2, 2});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const tensor::Tensor y = layer.forward(x, Phase::kEval);
+  // Type 0, position (0,0): channels 0 and 1 at that position = 0 and 4.
+  EXPECT_FLOAT_EQ((y.at({0, 0, 0})), 0.0f);
+  EXPECT_FLOAT_EQ((y.at({0, 0, 1})), 4.0f);
+  // Type 1, position (1,1): channels 2,3 at (1,1) = 11 and 15.
+  EXPECT_FLOAT_EQ((y.at({0, 7, 0})), 11.0f);
+  EXPECT_FLOAT_EQ((y.at({0, 7, 1})), 15.0f);
+}
+
+}  // namespace
+}  // namespace qcaps::nn

@@ -1,0 +1,134 @@
+// Tests for the margin loss (paper [21]) and cross-entropy baseline loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/cross_entropy.hpp"
+#include "nn/margin_loss.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::nn {
+namespace {
+
+TEST(MarginLoss, PerfectPredictionGivesZeroLoss) {
+  // Correct capsule at length >= m+, others at length <= m-.
+  tensor::Tensor v({1, 2, 2});
+  v.at({0, 0, 0}) = 0.95f;  // correct class 0, length 0.95 > 0.9
+  v.at({0, 1, 0}) = 0.05f;  // wrong class, length 0.05 < 0.1
+  MarginLoss loss;
+  EXPECT_FLOAT_EQ(loss.forward(v, {0}), 0.0f);
+}
+
+TEST(MarginLoss, HandComputedValue) {
+  // Correct capsule length 0.5: (0.9-0.5)^2 = 0.16.
+  // Wrong capsule length 0.3: 0.5*(0.3-0.1)^2 = 0.02. Total 0.18.
+  tensor::Tensor v({1, 2, 1});
+  v.at({0, 0, 0}) = 0.5f;
+  v.at({0, 1, 0}) = 0.3f;
+  MarginLoss loss;
+  EXPECT_NEAR(loss.forward(v, {0}), 0.18f, 1e-6f);
+}
+
+TEST(MarginLoss, MeanOverBatch) {
+  tensor::Tensor v({2, 1, 1});
+  v.at({0, 0, 0}) = 0.5f;  // (0.9-0.5)^2 = 0.16
+  v.at({1, 0, 0}) = 0.9f;  // 0
+  MarginLoss loss;
+  EXPECT_NEAR(loss.forward(v, {0, 0}), 0.08f, 1e-6f);
+}
+
+TEST(MarginLoss, LambdaDownWeightsAbsentClasses) {
+  tensor::Tensor v({1, 2, 1});
+  v.at({0, 0, 0}) = 0.9f;
+  v.at({0, 1, 0}) = 0.6f;
+  MarginLossConfig cfg;
+  cfg.lambda = 0.25f;
+  MarginLoss loss(cfg);
+  EXPECT_NEAR(loss.forward(v, {0}), 0.25f * 0.25f, 1e-6f);
+}
+
+TEST(MarginLoss, GradientMatchesFiniteDifference) {
+  common::Rng rng(1);
+  const tensor::Tensor v = tensor::Tensor::uniform({3, 4, 5}, rng, -0.4f, 0.4f);
+  const std::vector<int> labels = {1, 3, 0};
+  MarginLoss loss;
+  loss.forward(v, labels);
+  const tensor::Tensor analytic = loss.backward();
+  auto f = [&](const tensor::Tensor& in) {
+    MarginLoss probe;
+    return probe.forward(in, labels);
+  };
+  testutil::check_gradient(v, f, analytic);
+}
+
+TEST(MarginLoss, GradientZeroInsideMargins) {
+  tensor::Tensor v({1, 2, 1});
+  v.at({0, 0, 0}) = 0.95f;
+  v.at({0, 1, 0}) = 0.05f;
+  MarginLoss loss;
+  loss.forward(v, {0});
+  const tensor::Tensor g = loss.backward();
+  for (std::int64_t i = 0; i < g.numel(); ++i) EXPECT_FLOAT_EQ(g[i], 0.0f);
+}
+
+TEST(MarginLoss, ValidatesShapes) {
+  MarginLoss loss;
+  EXPECT_THROW(loss.forward(tensor::Tensor({2, 3}), {0, 1}), qcaps::Error);
+  EXPECT_THROW(loss.forward(tensor::Tensor({2, 3, 4}), {0}), qcaps::Error);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogN) {
+  tensor::Tensor logits({1, 4});
+  CrossEntropyLoss loss;
+  EXPECT_NEAR(loss.forward(logits, {2}), std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionNearZero) {
+  tensor::Tensor logits({1, 3}, {10.0f, -10.0f, -10.0f});
+  CrossEntropyLoss loss;
+  EXPECT_LT(loss.forward(logits, {0}), 1e-4f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  common::Rng rng(2);
+  const tensor::Tensor logits = tensor::Tensor::randn({4, 5}, rng);
+  const std::vector<int> labels = {0, 2, 4, 1};
+  CrossEntropyLoss loss;
+  loss.forward(logits, labels);
+  const tensor::Tensor analytic = loss.backward();
+  auto f = [&](const tensor::Tensor& in) {
+    CrossEntropyLoss probe;
+    return probe.forward(in, labels);
+  };
+  testutil::check_gradient(logits, f, analytic);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  common::Rng rng(3);
+  const tensor::Tensor logits = tensor::Tensor::randn({3, 6}, rng);
+  CrossEntropyLoss loss;
+  loss.forward(logits, {1, 2, 3});
+  const tensor::Tensor g = loss.backward();
+  for (std::int64_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < 6; ++j) sum += g.at({r, j});
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(CrossEntropy, PredictLogitsArgmax) {
+  tensor::Tensor logits({2, 3}, {0.1f, 0.9f, 0.2f, 2.0f, -1.0f, 0.0f});
+  const auto pred = predict_logits(logits);
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 0);
+}
+
+TEST(CrossEntropy, LabelRangeChecked) {
+  CrossEntropyLoss loss;
+  EXPECT_THROW(loss.forward(tensor::Tensor({1, 3}), {5}), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::nn

@@ -1,0 +1,115 @@
+// Tests for the memory model and the Eq. 6 memory-fulfillment solver.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/memory_model.hpp"
+#include "models/shallow_caps.hpp"
+
+namespace qcaps::core {
+namespace {
+
+class MemoryModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cfg = models::ShallowCapsConfig::experiment();
+    cfg.conv_channels = 8;
+    cfg.primary_types = 1;
+    common::Rng rng(1);
+    net_ = models::build_shallow_caps(cfg, rng);
+    net_->forward(tensor::Tensor({1, 1, 28, 28}), nn::Phase::kEval);
+    mem_ = MemoryModel::capture(*net_);
+  }
+
+  std::unique_ptr<nn::Network> net_;
+  MemoryModel mem_;
+};
+
+TEST_F(MemoryModelTest, CapturesThreeWeightedLayers) {
+  ASSERT_EQ(mem_.num_layers(), 3u);
+  EXPECT_EQ(mem_.layers()[0].name, "L1-conv");
+  EXPECT_EQ(mem_.layers()[2].name, "L3-digitcaps");
+  EXPECT_FALSE(mem_.layers()[0].has_routing);
+  EXPECT_TRUE(mem_.layers()[2].has_routing);
+  EXPECT_EQ(mem_.total_params(), net_->param_count());
+  for (const auto& l : mem_.layers()) EXPECT_GT(l.activations, 0);
+}
+
+TEST_F(MemoryModelTest, Fp32BaselineIs32BitsPerValue) {
+  EXPECT_EQ(mem_.weight_bits_fp32(), mem_.total_params() * 32);
+  std::int64_t act = 0;
+  for (const auto& l : mem_.layers()) act += l.activations;
+  EXPECT_EQ(mem_.activation_bits_fp32(), act * 32);
+}
+
+TEST_F(MemoryModelTest, WeightBitsFollowSpec) {
+  auto spec = NetworkQuantSpec::uniform(3, 7, fixed::RoundingScheme::kTruncation);
+  // Wordlength = 1 + 7 = 8 bits per weight.
+  EXPECT_EQ(mem_.weight_bits(spec), mem_.total_params() * 8);
+  EXPECT_DOUBLE_EQ(mem_.weight_reduction(spec), 4.0);
+  spec.layers[1].qw_frac = 3;  // layer 1 drops to 4-bit words
+  const std::int64_t expected =
+      (mem_.layers()[0].params + mem_.layers()[2].params) * 8 +
+      mem_.layers()[1].params * 4;
+  EXPECT_EQ(mem_.weight_bits(spec), expected);
+}
+
+TEST_F(MemoryModelTest, ActivationBitsFollowSpec) {
+  auto spec = NetworkQuantSpec::uniform(3, 5, fixed::RoundingScheme::kTruncation);
+  spec.layers[0].qa_int = 3;  // calibrated integer bits count toward storage
+  std::int64_t expected = 0;
+  expected += mem_.layers()[0].activations * 8;
+  expected += mem_.layers()[1].activations * 6;
+  expected += mem_.layers()[2].activations * 6;
+  EXPECT_EQ(mem_.activation_bits(spec), expected);
+}
+
+TEST_F(MemoryModelTest, Eq6SolverSatisfiesBudgetMaximally) {
+  const std::int64_t budget = mem_.total_params() * 9;  // ~9 bits average
+  const auto wl = solve_memory_fulfillment(mem_, budget);
+  ASSERT_EQ(wl.size(), 3u);
+  // Descending by exactly one per layer (the paper's (Qw)l+1 = (Qw)l - 1).
+  EXPECT_EQ(wl[0] - 1, wl[1]);
+  EXPECT_EQ(wl[1] - 1, wl[2]);
+  // Budget satisfied.
+  std::int64_t bits = 0;
+  for (std::size_t l = 0; l < 3; ++l) bits += mem_.layers()[l].params * wl[l];
+  EXPECT_LE(bits, budget);
+  // Maximality: one more bit everywhere must exceed the budget.
+  std::int64_t bits_plus = 0;
+  for (std::size_t l = 0; l < 3; ++l)
+    bits_plus += mem_.layers()[l].params * (wl[l] + 1);
+  EXPECT_GT(bits_plus, budget);
+}
+
+TEST_F(MemoryModelTest, Eq6SolverClampsAtMinimum) {
+  // A budget just above the absolute floor forces 1-bit layers.
+  const std::int64_t floor_bits = mem_.total_params();
+  const auto wl = solve_memory_fulfillment(mem_, floor_bits + 10);
+  for (const auto n : wl) EXPECT_GE(n, 1);
+  std::int64_t bits = 0;
+  for (std::size_t l = 0; l < 3; ++l) bits += mem_.layers()[l].params * wl[l];
+  EXPECT_LE(bits, floor_bits + 10);
+}
+
+TEST_F(MemoryModelTest, Eq6SolverClampsAtMaximum) {
+  // An enormous budget caps at the max wordlength.
+  const auto wl = solve_memory_fulfillment(mem_, std::int64_t{1} << 60);
+  EXPECT_EQ(wl[0], 32);
+}
+
+TEST_F(MemoryModelTest, Eq6SolverRejectsImpossibleBudget) {
+  EXPECT_THROW(solve_memory_fulfillment(mem_, mem_.total_params() - 1),
+               qcaps::Error);
+}
+
+TEST(MemoryModelErrors, CaptureRequiresForwardPass) {
+  auto cfg = models::ShallowCapsConfig::experiment();
+  cfg.conv_channels = 8;
+  cfg.primary_types = 1;
+  common::Rng rng(2);
+  auto net = models::build_shallow_caps(cfg, rng);
+  EXPECT_THROW(MemoryModel::capture(*net), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::core

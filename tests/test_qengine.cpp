@@ -1,0 +1,212 @@
+// Tests for the integer-only inference engine: operator-level agreement with
+// the float/fake-quant reference, and network-scale prediction agreement
+// between a fake-quantized CapsNet and its integer deployment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "data/synth.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/caps_ops.hpp"
+#include "nn/routing.hpp"
+#include "nn/trainer.hpp"
+#include "qengine/qengine.hpp"
+#include "qengine/quantized_shallow_caps.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+
+namespace qcaps::qengine {
+namespace {
+
+TEST(QTensor, FloatRoundTripIsExactOnGrid) {
+  common::Rng rng(1);
+  const fixed::FixedFormat fmt(2, 6);
+  const fixed::Quantizer q(fmt, fixed::RoundingScheme::kRoundToNearest);
+  const tensor::Tensor t = q.quantized(tensor::Tensor::randn({100}, rng));
+  const QTensor qt = QTensor::from_float(t, fmt);
+  const tensor::Tensor back = qt.to_float();
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(QTensor, FromFloatSaturates) {
+  tensor::Tensor t({2}, {100.0f, -100.0f});
+  const fixed::FixedFormat fmt(1, 3);
+  const QTensor q = QTensor::from_float(t, fmt);
+  EXPECT_EQ(q.raw[0], fmt.raw_max());
+  EXPECT_EQ(q.raw[1], fmt.raw_min());
+}
+
+TEST(QEngineConv, MatchesFloatConvOnGridInputs) {
+  // With inputs/weights already on the grid and a wide output format, the
+  // integer conv must match float convolution to within one output ULP.
+  common::Rng rng(2);
+  const fixed::FixedFormat xf(2, 8), wf(1, 8), of(6, 12);
+  const fixed::Quantizer qx(xf, fixed::RoundingScheme::kRoundToNearest);
+  const fixed::Quantizer qw(wf, fixed::RoundingScheme::kRoundToNearest);
+  const tensor::Tensor x = qx.quantized(tensor::Tensor::randn({2, 3, 8, 8}, rng, 0.0f, 0.5f));
+  const tensor::Tensor w = qw.quantized(tensor::Tensor::randn({4, 3, 3, 3}, rng, 0.0f, 0.3f));
+  const tensor::Tensor b = qw.quantized(tensor::Tensor::randn({4}, rng, 0.0f, 0.3f));
+  const tensor::Tensor ref = tensor::conv2d_forward(x, w, b, 1, 1);
+  const QTensor got = conv2d(QTensor::from_float(x, xf), QTensor::from_float(w, wf),
+                             QTensor::from_float(b, wf), 1, 1, of);
+  const tensor::Tensor gotf = got.to_float();
+  for (std::int64_t i = 0; i < ref.numel(); ++i)
+    ASSERT_NEAR(gotf[i], ref[i], 2.0f * static_cast<float>(of.precision()));
+}
+
+TEST(QEngineConv, NarrowOutputFormatSaturates) {
+  // A big positive sum into a 1-integer-bit output must clip at max_value.
+  tensor::Tensor x({1, 1, 2, 2}, 0.9f);
+  tensor::Tensor w({1, 1, 2, 2}, 0.9f);
+  const fixed::FixedFormat f(1, 6);
+  const QTensor out = conv2d(QTensor::from_float(x, f), QTensor::from_float(w, f),
+                             QTensor(), 1, 0, f);
+  EXPECT_EQ(out.raw[0], f.raw_max());
+}
+
+TEST(QEngineRelu, ZeroesNegativeRaw) {
+  tensor::Tensor t({3}, {-0.5f, 0.25f, -0.125f});
+  QTensor q = QTensor::from_float(t, fixed::FixedFormat(1, 4));
+  relu(q);
+  EXPECT_EQ(q.raw[0], 0);
+  EXPECT_GT(q.raw[1], 0);
+  EXPECT_EQ(q.raw[2], 0);
+}
+
+TEST(QEngineRescale, WidthReductionRoundsCorrectly) {
+  tensor::Tensor t({1}, {0.34375f});  // 0.01011 in binary
+  const QTensor fine = QTensor::from_float(t, fixed::FixedFormat(1, 5));
+  const QTensor coarse = rescale(fine, fixed::FixedFormat(1, 2));
+  // 0.34375 -> nearest multiple of 0.25 (half-up) = 0.25.
+  EXPECT_FLOAT_EQ(coarse.to_float()[0], 0.25f);
+}
+
+TEST(QEngineSquash, TracksFloatSquashWithinPrecision) {
+  common::Rng rng(3);
+  const fixed::FixedFormat fmt(2, 10);
+  const fixed::Quantizer q(fmt, fixed::RoundingScheme::kRoundToNearest);
+  const tensor::Tensor s = q.quantized(tensor::Tensor::randn({6, 8}, rng, 0.0f, 0.6f));
+  const QTensor got = squash_last(QTensor::from_float(s, fmt), fmt);
+  const tensor::Tensor ref = nn::squash_last(s);
+  const tensor::Tensor gotf = got.to_float();
+  for (std::int64_t i = 0; i < ref.numel(); ++i)
+    ASSERT_NEAR(gotf[i], ref[i], 8.0f * static_cast<float>(fmt.precision()));
+}
+
+TEST(QEngineRouting, ShapesAndCapsuleNormBound) {
+  common::Rng rng(4);
+  const fixed::FixedFormat act(2, 10), dr(3, 8);
+  const fixed::Quantizer q(act, fixed::RoundingScheme::kRoundToNearest);
+  const tensor::Tensor votes = q.quantized(
+      tensor::Tensor::randn({3, 6, 4, 4}, rng, 0.0f, 0.4f));
+  const QTensor v = dynamic_routing(QTensor::from_float(votes, act), 3, act, dr);
+  EXPECT_EQ(v.shape, (tensor::Shape{3, 4, 4}));
+  const tensor::Tensor len = lengths(v);
+  for (std::int64_t i = 0; i < len.numel(); ++i) EXPECT_LT(len[i], 1.1f);
+}
+
+TEST(QEngineRouting, AgreementSelectsSameWinnerAsFloat) {
+  // Decisive vote pattern: float routing and integer routing must agree on
+  // the winning output capsule.
+  const std::int64_t nin = 8, nout = 4, d = 4;
+  common::Rng rng(5);
+  tensor::Tensor votes({1, nin, nout, d});
+  for (std::int64_t i = 0; i < votes.numel(); ++i)
+    votes[i] = rng.normal(0.0f, 0.08f);
+  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, i, 1, 0}) = 0.8f;
+  const fixed::FixedFormat act(2, 10), dr(3, 6);
+  const fixed::Quantizer q(act, fixed::RoundingScheme::kRoundToNearest);
+  const tensor::Tensor votes_q = q.quantized(votes);
+
+  nn::DynamicRouting ref;
+  const tensor::Tensor v_ref =
+      ref.forward(votes_q, 3, false, nn::RoutingQuantPoints{});
+  const QTensor v_int = dynamic_routing(QTensor::from_float(votes_q, act), 3,
+                                        act, dr);
+  const auto arg_ref =
+      tensor::argmax_rows(tensor::l2_norm_last(v_ref, 0.0f).reshaped({1, nout}));
+  const auto arg_int = tensor::argmax_rows(lengths(v_int).reshaped({1, nout}));
+  EXPECT_EQ(arg_ref[0], 1);
+  EXPECT_EQ(arg_int[0], 1);
+}
+
+// ---- network-scale validation ------------------------------------------------
+
+class QuantizedNetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthConfig dcfg;
+    dcfg.train_size = 600;
+    dcfg.test_size = 128;
+    split_ = new data::DataSplit(data::make_digits_split(dcfg));
+    auto mcfg = models::ShallowCapsConfig::experiment();
+    mcfg.conv_channels = 16;
+    mcfg.primary_types = 2;
+    common::Rng rng(77);
+    net_ = models::build_shallow_caps(mcfg, rng).release();
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 5;
+    tcfg.verbose = false;
+    nn::train(*net_, split_->train, split_->test, tcfg);
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete split_;
+    net_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static data::DataSplit* split_;
+  static nn::Network* net_;
+};
+
+data::DataSplit* QuantizedNetTest::split_ = nullptr;
+nn::Network* QuantizedNetTest::net_ = nullptr;
+
+TEST_F(QuantizedNetTest, IntegerEngineMatchesFakeQuantAccuracy) {
+  core::Evaluator eval(*net_, split_->test, 128);
+  const float acc_fp32 = eval.evaluate_fp32();
+  ASSERT_GT(acc_fp32, 0.85f);
+
+  auto spec = core::NetworkQuantSpec::uniform(
+      3, 8, fixed::RoundingScheme::kRoundToNearest);
+  spec.layers[2].qdr_frac = 5;
+  eval.calibrate_spec(spec);
+  const float acc_fake = eval.evaluate(spec);
+
+  const QuantizedShallowCaps deployed(*net_, spec);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < split_->test.size(); ++i) idx.push_back(i);
+  const auto pred = deployed.predict(split_->test.batch(idx));
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == split_->test.labels[i]) ++correct;
+  const float acc_int = static_cast<float>(correct) / static_cast<float>(pred.size());
+  // Integer execution differs from fake quantization only in accumulation
+  // order/rescale points: accuracies must be close.
+  EXPECT_NEAR(acc_int, acc_fake, 0.05f)
+      << "fake-quant " << acc_fake << " vs integer " << acc_int;
+  EXPECT_GT(acc_int, acc_fp32 - 0.08f);
+}
+
+TEST_F(QuantizedNetTest, WeightBitsMatchMemoryModel) {
+  core::Evaluator eval(*net_, split_->test, 64);
+  auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  eval.calibrate_spec(spec);
+  const QuantizedShallowCaps deployed(*net_, spec);
+  EXPECT_EQ(deployed.weight_bits(), eval.memory().weight_bits(spec));
+}
+
+TEST_F(QuantizedNetTest, RejectsWrongNetworkLayout) {
+  auto spec = core::NetworkQuantSpec::uniform(
+      2, 6, fixed::RoundingScheme::kRoundToNearest);
+  EXPECT_THROW(QuantizedShallowCaps(*net_, spec), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::qengine

@@ -1,0 +1,134 @@
+// Tests for NetworkQuantSpec and hook installation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/quant_spec.hpp"
+#include "models/shallow_caps.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::core {
+namespace {
+
+std::unique_ptr<nn::Network> tiny_net(std::uint64_t seed = 1) {
+  auto cfg = models::ShallowCapsConfig::experiment();
+  cfg.conv_channels = 8;
+  cfg.primary_types = 1;
+  common::Rng rng(seed);
+  return models::build_shallow_caps(cfg, rng);
+}
+
+TEST(QuantSpec, UniformFactory) {
+  const auto spec = NetworkQuantSpec::uniform(3, 7, fixed::RoundingScheme::kStochastic);
+  ASSERT_EQ(spec.layers.size(), 3u);
+  for (const auto& l : spec.layers) {
+    EXPECT_EQ(l.qw_frac, 7);
+    EXPECT_EQ(l.qa_frac, 7);
+    EXPECT_EQ(l.qdr_frac, -1);
+  }
+  EXPECT_EQ(spec.scheme, fixed::RoundingScheme::kStochastic);
+}
+
+TEST(QuantSpec, WordlengthsIncludeIntegerBits) {
+  LayerQuantSpec l;
+  l.qw_frac = 5;
+  l.qw_int = 2;
+  l.qa_frac = 3;
+  l.qa_int = 1;
+  EXPECT_EQ(l.weight_wordlength(), 7);
+  EXPECT_EQ(l.act_wordlength(), 4);
+}
+
+TEST(QuantSpec, ToStringListsLayers) {
+  auto spec = NetworkQuantSpec::uniform(2, 4, fixed::RoundingScheme::kTruncation);
+  spec.layers[1].qdr_frac = 2;
+  const std::string s = spec.to_string();
+  EXPECT_NE(s.find("TRN"), std::string::npos);
+  EXPECT_NE(s.find("W<1.4>"), std::string::npos);
+  EXPECT_NE(s.find("DR<1.2>"), std::string::npos);
+}
+
+TEST(ApplySpec, InstallsHooksOnWeightedLayersOnly) {
+  auto net = tiny_net();
+  const auto spec = NetworkQuantSpec::uniform(3, 6, fixed::RoundingScheme::kRoundToNearest);
+  apply_spec(*net, spec);
+  const auto widx = net->weighted_layers();
+  for (const auto i : widx) {
+    EXPECT_TRUE(net->layer(i).quant().weights.has_value());
+    EXPECT_TRUE(net->layer(i).quant().activations.has_value());
+  }
+  // The ReLU layer (index 1) carries no hooks.
+  EXPECT_FALSE(net->layer(1).quant().weights.has_value());
+}
+
+TEST(ApplySpec, RoutingHookOnlyWhereRequested) {
+  auto net = tiny_net();
+  auto spec = NetworkQuantSpec::uniform(3, 6, fixed::RoundingScheme::kRoundToNearest);
+  apply_spec(*net, spec);
+  const auto widx = net->weighted_layers();
+  // No qdr_frac set: no routing hooks anywhere.
+  for (const auto i : widx)
+    EXPECT_FALSE(net->layer(i).quant().routing.has_value());
+  // Set QDR on the DigitCaps layer (the only routing layer, index 2).
+  spec.layers[2].qdr_frac = 3;
+  apply_spec(*net, spec);
+  EXPECT_TRUE(net->layer(widx[2]).quant().routing.has_value());
+  EXPECT_EQ(net->layer(widx[2]).quant().routing->format().qf, 3);
+}
+
+TEST(ApplySpec, SelectiveTargetsHonoured) {
+  auto net = tiny_net();
+  auto spec = NetworkQuantSpec::uniform(3, 6, fixed::RoundingScheme::kRoundToNearest);
+  spec.quantize_activations = false;
+  apply_spec(*net, spec);
+  for (const auto i : net->weighted_layers()) {
+    EXPECT_TRUE(net->layer(i).quant().weights.has_value());
+    EXPECT_FALSE(net->layer(i).quant().activations.has_value());
+  }
+}
+
+TEST(ApplySpec, LayerCountMismatchThrows) {
+  auto net = tiny_net();
+  const auto spec = NetworkQuantSpec::uniform(2, 6, fixed::RoundingScheme::kRoundToNearest);
+  EXPECT_THROW(apply_spec(*net, spec), qcaps::Error);
+}
+
+TEST(ApplySpec, QuantizationChangesOutputsAndClearRestores) {
+  auto net = tiny_net();
+  common::Rng rng(9);
+  const tensor::Tensor x = tensor::Tensor::randn({2, 1, 28, 28}, rng, 0.5f, 0.25f);
+  const tensor::Tensor y_fp = net->forward(x, nn::Phase::kEval);
+  auto spec = NetworkQuantSpec::uniform(3, 3, fixed::RoundingScheme::kRoundToNearest);
+  apply_spec(*net, spec);
+  const tensor::Tensor y_q = net->forward(x, nn::Phase::kEval);
+  float diff = 0.0f;
+  for (std::int64_t i = 0; i < y_fp.numel(); ++i)
+    diff = std::max(diff, std::abs(y_fp[i] - y_q[i]));
+  EXPECT_GT(diff, 1e-5f);
+  net->clear_quantization();
+  const tensor::Tensor y_back = net->forward(x, nn::Phase::kEval);
+  testutil::expect_tensor_near(y_back, y_fp, 0.0f, "cleared hooks");
+}
+
+TEST(ApplySpec, StochasticStreamsDifferAcrossLayers) {
+  auto net = tiny_net();
+  const auto spec = NetworkQuantSpec::uniform(3, 8, fixed::RoundingScheme::kStochastic);
+  apply_spec(*net, spec);
+  const auto widx = net->weighted_layers();
+  // Different layers must get different SR seeds (streams decorrelated); we
+  // can at least assert the quantizers exist and share format but the seeds
+  // produce different noise for the same element index.
+  auto& q0 = *net->layer(widx[0]).quant().weights;
+  auto& q1 = *net->layer(widx[1]).quant().weights;
+  tensor::Tensor probe({64});
+  for (std::int64_t i = 0; i < 64; ++i)
+    probe[i] = 0.5f * static_cast<float>(i) / 64.0f + 1e-3f;
+  const tensor::Tensor a = q0.quantized(probe);
+  const tensor::Tensor b = q1.quantized(probe);
+  int diffs = 0;
+  for (std::int64_t i = 0; i < 64; ++i)
+    if (a[i] != b[i]) ++diffs;
+  EXPECT_GT(diffs, 0);
+}
+
+}  // namespace
+}  // namespace qcaps::core

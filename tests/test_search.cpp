@@ -1,0 +1,176 @@
+// Tests for the Algorithm 1 search primitives (binary search, Algorithm 2,
+// Algorithm 3) against a small trained CapsNet.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/search.hpp"
+#include "data/synth.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/trainer.hpp"
+
+namespace qcaps::core {
+namespace {
+
+/// Shared trained model: training happens once per test binary.
+class SearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SynthConfig dcfg;
+    dcfg.train_size = 600;
+    dcfg.test_size = 128;
+    split_ = new data::DataSplit(data::make_digits_split(dcfg));
+    auto mcfg = models::ShallowCapsConfig::experiment();
+    mcfg.conv_channels = 16;
+    mcfg.primary_types = 2;
+    common::Rng rng(21);
+    net_ = models::build_shallow_caps(mcfg, rng).release();
+    nn::TrainConfig tcfg;
+    tcfg.epochs = 6;
+    tcfg.verbose = false;
+    nn::train(*net_, split_->train, split_->test, tcfg);
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete split_;
+    net_ = nullptr;
+    split_ = nullptr;
+  }
+
+  void SetUp() override {
+    eval_ = std::make_unique<Evaluator>(*net_, split_->test, 128);
+    acc_fp32_ = eval_->evaluate_fp32();
+    ASSERT_GT(acc_fp32_, 0.8f) << "fixture model failed to train";
+  }
+
+  static data::DataSplit* split_;
+  static nn::Network* net_;
+  std::unique_ptr<Evaluator> eval_;
+  float acc_fp32_ = 0.0f;
+};
+
+data::DataSplit* SearchTest::split_ = nullptr;
+nn::Network* SearchTest::net_ = nullptr;
+
+TEST_F(SearchTest, EvaluatorFp32MatchesDirectEvaluate) {
+  const float direct = nn::evaluate(*net_, split_->test, 64, 128);
+  EXPECT_FLOAT_EQ(acc_fp32_, direct);
+}
+
+TEST_F(SearchTest, EvaluatorCountsEvaluations) {
+  const auto before = eval_->num_evaluations();
+  eval_->evaluate(NetworkQuantSpec::uniform(3, 8, fixed::RoundingScheme::kRoundToNearest));
+  EXPECT_EQ(eval_->num_evaluations(), before + 1);
+}
+
+TEST_F(SearchTest, HighPrecisionQuantizationIsAccuracyNeutral) {
+  const float acc = eval_->evaluate(
+      NetworkQuantSpec::uniform(3, 20, fixed::RoundingScheme::kRoundToNearest));
+  EXPECT_NEAR(acc, acc_fp32_, 0.01f);
+}
+
+TEST_F(SearchTest, OneBitQuantizationDestroysAccuracy) {
+  const float acc = eval_->evaluate(
+      NetworkQuantSpec::uniform(3, 0, fixed::RoundingScheme::kRoundToNearest));
+  EXPECT_LT(acc, 0.6f);
+}
+
+TEST_F(SearchTest, CalibrationAssignsSaneIntegerBits) {
+  auto spec = NetworkQuantSpec::uniform(3, 8, fixed::RoundingScheme::kRoundToNearest);
+  eval_->calibrate_spec(spec);
+  for (const auto& l : spec.layers) {
+    EXPECT_GE(l.qa_int, 1);
+    EXPECT_LE(l.qa_int, 8);
+    EXPECT_GE(l.qw_int, 1);  // 1 integer bit unless trained weights exceed ±1
+    EXPECT_LE(l.qw_int, 8);
+    EXPECT_GE(l.qdr_int, l.qa_int);
+  }
+}
+
+TEST_F(SearchTest, BinarySearchFindsSatisfyingWidth) {
+  const float floor = acc_fp32_ * 0.999f;
+  const auto base = NetworkQuantSpec::uniform(3, 31, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = binary_search_uniform(*eval_, base,
+                                         Target::kWeightsAndActivations, 31, 1,
+                                         floor);
+  EXPECT_GE(res.accuracy, floor);
+  EXPECT_LT(res.frac_bits, 31);  // must actually compress
+  EXPECT_GE(res.frac_bits, 1);
+  // All layers set uniformly.
+  for (const auto& l : res.spec.layers) {
+    EXPECT_EQ(l.qw_frac, res.frac_bits);
+    EXPECT_EQ(l.qa_frac, res.frac_bits);
+  }
+}
+
+TEST_F(SearchTest, BinarySearchResultIsMinimalOrNearMinimal) {
+  // One fractional bit fewer than the found width must violate the floor —
+  // up to SR-free monotonic noise; we verify with the same deterministic
+  // scheme the search used.
+  const float floor = acc_fp32_ * 0.999f;
+  const auto base = NetworkQuantSpec::uniform(3, 31, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = binary_search_uniform(*eval_, base,
+                                         Target::kWeightsAndActivations, 31, 1,
+                                         floor);
+  if (res.frac_bits > 1) {
+    auto below = res.spec;
+    for (auto& l : below.layers) {
+      l.qw_frac = res.frac_bits - 1;
+      l.qa_frac = res.frac_bits - 1;
+    }
+    EXPECT_LT(eval_->evaluate(below), floor);
+  }
+}
+
+TEST_F(SearchTest, BinarySearchWeightsOnlyLeavesActivationsUntouched) {
+  auto base = NetworkQuantSpec::uniform(3, 12, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = binary_search_uniform(*eval_, base, Target::kWeights, 12, 1,
+                                         acc_fp32_ * 0.99f);
+  for (const auto& l : res.spec.layers) EXPECT_EQ(l.qa_frac, 12);
+}
+
+TEST_F(SearchTest, LayerWiseNeverTouchesFirstLayer) {
+  const auto base = NetworkQuantSpec::uniform(3, 10, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = layer_wise_quantization(*eval_, base, Target::kActivations,
+                                           acc_fp32_ * 0.98f);
+  EXPECT_EQ(res.spec.layers[0].qa_frac, 10);  // Algorithm 2 starts at l = 1
+}
+
+TEST_F(SearchTest, LayerWiseProducesMonotoneDeeperReduction) {
+  // Later layers see strictly more reduction rounds, so widths must be
+  // non-increasing from layer 1 onward.
+  const auto base = NetworkQuantSpec::uniform(3, 10, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = layer_wise_quantization(*eval_, base, Target::kActivations,
+                                           acc_fp32_ * 0.98f);
+  EXPECT_GE(res.spec.layers[1].qa_frac, res.spec.layers[2].qa_frac);
+  EXPECT_GE(res.accuracy, acc_fp32_ * 0.98f);
+}
+
+TEST_F(SearchTest, LayerWiseOnWeightsRespectsFloor) {
+  const auto base = NetworkQuantSpec::uniform(3, 10, fixed::RoundingScheme::kRoundToNearest);
+  const auto res = layer_wise_quantization(*eval_, base, Target::kWeights,
+                                           acc_fp32_ * 0.99f);
+  EXPECT_GE(res.accuracy, acc_fp32_ * 0.99f);
+  // Weights reduced below the start for at least one deep layer.
+  EXPECT_LE(res.spec.layers[2].qw_frac, 10);
+}
+
+TEST_F(SearchTest, DrQuantReducesBelowActivationWidth) {
+  // The paper's central claim: QDR < Qa with bounded accuracy loss.
+  auto base = NetworkQuantSpec::uniform(3, 10, fixed::RoundingScheme::kRoundToNearest);
+  base.layers[2].qa_frac = 8;
+  const auto res = dr_quantization(*eval_, base, 2, 8, acc_fp32_ * 0.98f);
+  EXPECT_LE(res.qdr_frac, 8);
+  EXPECT_GE(res.accuracy, acc_fp32_ * 0.98f);
+  EXPECT_EQ(res.spec.layers[2].qdr_frac, res.qdr_frac);
+}
+
+TEST_F(SearchTest, DrQuantRejectsNonexistentLayer) {
+  const auto base = NetworkQuantSpec::uniform(3, 8, fixed::RoundingScheme::kRoundToNearest);
+  EXPECT_THROW(dr_quantization(*eval_, base, 7, 8, 0.5f), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::core

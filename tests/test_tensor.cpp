@@ -1,0 +1,139 @@
+// Tests for tensor::Tensor construction, shape handling and scalar stats.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::tensor {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({5}), 5);
+  EXPECT_EQ(shape_numel({}), 0);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Shape, ZeroDimensionGivesZeroNumel) { EXPECT_EQ(shape_numel({4, 0, 2}), 0); }
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ((t.at({1, 0})), 3.0f);
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.0f}), qcaps::Error);
+}
+
+TEST(Tensor, ArangeRowMajor) {
+  Tensor t = Tensor::arange({2, 3});
+  EXPECT_EQ((t.at({0, 0})), 0.0f);
+  EXPECT_EQ((t.at({0, 2})), 2.0f);
+  EXPECT_EQ((t.at({1, 0})), 3.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW((t.at({2, 0})), qcaps::Error);
+  EXPECT_THROW((t.at({0, 3})), qcaps::Error);
+  EXPECT_THROW((t.at({0})), qcaps::Error);  // wrong rank
+}
+
+TEST(Tensor, DimNegativeIndexing) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), qcaps::Error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::arange({2, 6});
+  t.reshape({3, 4});
+  EXPECT_EQ((t.at({2, 3})), 11.0f);
+}
+
+TEST(Tensor, ReshapeInfersWildcard) {
+  Tensor t({4, 6});
+  t.reshape({2, -1});
+  EXPECT_EQ(t.dim(1), 12);
+  t.reshape({-1});
+  EXPECT_EQ(t.dim(0), 24);
+}
+
+TEST(Tensor, ReshapeRejectsBadTargets) {
+  Tensor t({4, 6});
+  EXPECT_THROW(t.reshape({5, 5}), qcaps::Error);
+  EXPECT_THROW(t.reshape({-1, -1}), qcaps::Error);
+  EXPECT_THROW(t.reshape({-1, 7}), qcaps::Error);
+}
+
+TEST(Tensor, ReshapedReturnsCopy) {
+  Tensor t = Tensor::arange({6});
+  Tensor r = t.reshaped({2, 3});
+  r[0] = 99.0f;
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, SumMeanMinMax) {
+  Tensor t({4}, {1.0f, -2.0f, 3.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(t.sum(), 2.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 0.5);
+  EXPECT_EQ(t.min(), -2.0f);
+  EXPECT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.abs_max(), 3.0f);
+}
+
+TEST(Tensor, RandnStats) {
+  common::Rng rng(3);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.mean(), 1.0, 0.1);
+  double var = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const double d = t[i] - t.mean();
+    var += d * d;
+  }
+  EXPECT_NEAR(var / t.numel(), 4.0, 0.25);
+}
+
+TEST(Tensor, UniformBounds) {
+  common::Rng rng(5);
+  Tensor t = Tensor::uniform({1000}, rng, -2.0f, 2.0f);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 2.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3}, 1.0f);
+  t.fill(7.0f);
+  EXPECT_EQ(t[2], 7.0f);
+  t.zero();
+  EXPECT_EQ(t[0], 0.0f);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t = Tensor::arange({100});
+  const std::string s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+  EXPECT_NE(s.find("[100]"), std::string::npos);
+}
+
+TEST(Tensor, NegativeShapeRejected) {
+  EXPECT_THROW(Tensor({2, -3}), qcaps::Error);
+}
+
+}  // namespace
+}  // namespace qcaps::tensor

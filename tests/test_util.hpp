@@ -1,0 +1,69 @@
+// Shared helpers for the qcaps test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::testutil {
+
+/// Elementwise comparison with absolute tolerance.
+inline void expect_tensor_near(const tensor::Tensor& a, const tensor::Tensor& b,
+                               float tol, const char* what = "") {
+  ASSERT_TRUE(a.same_shape(b)) << what << ": shape mismatch "
+                               << tensor::shape_to_string(a.shape()) << " vs "
+                               << tensor::shape_to_string(b.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_NEAR(a[i], b[i], tol) << what << " at flat index " << i;
+}
+
+/// Central-difference gradient check.
+///
+/// `loss` must evaluate a scalar from the input tensor (it is called many
+/// times with perturbed copies). `analytic` is dL/dx from the backward pass.
+/// Uses a relative-or-absolute criterion suitable for float32 kernels.
+inline void check_gradient(const tensor::Tensor& x,
+                           const std::function<double(const tensor::Tensor&)>& loss,
+                           const tensor::Tensor& analytic, float eps = 1e-3f,
+                           float rel_tol = 2e-2f, float abs_tol = 2e-3f) {
+  ASSERT_TRUE(x.same_shape(analytic));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    tensor::Tensor xp = x;
+    tensor::Tensor xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double num = (loss(xp) - loss(xm)) / (2.0 * eps);
+    const double ana = analytic[i];
+    const double err = std::fabs(num - ana);
+    const double scale = std::max(std::fabs(num), std::fabs(ana));
+    ASSERT_TRUE(err <= abs_tol || err <= rel_tol * scale)
+        << "gradient mismatch at " << i << ": numeric " << num << " analytic "
+        << ana;
+  }
+}
+
+/// Deterministic weighted-sum "loss head" for gradient checks: L = Σ w ⊙ y.
+struct WeightedSum {
+  tensor::Tensor w;
+
+  explicit WeightedSum(const tensor::Shape& shape, std::uint64_t seed = 99) {
+    common::Rng rng(seed);
+    w = tensor::Tensor::uniform(shape, rng, -1.0f, 1.0f);
+  }
+
+  double operator()(const tensor::Tensor& y) const {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.numel(); ++i)
+      acc += static_cast<double>(w[i]) * static_cast<double>(y[i]);
+    return acc;
+  }
+
+  /// dL/dy for the backward pass entry point.
+  tensor::Tensor grad() const { return w; }
+};
+
+}  // namespace qcaps::testutil
