@@ -4,16 +4,22 @@
 // hardware unit simulations.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "fixed/quantizer.hpp"
 #include "hwmodel/units.hpp"
 #include "nn/routing.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
 
 using namespace qcaps;
+
+// items_per_second on every dense kernel counts multiply-accumulates, so the
+// reported rate reads directly as MAC/s (2x for FLOP/s).
 
 void BM_Matmul(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -27,6 +33,56 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
 
+// The seed repo's i-k-j GEMM loop, kept verbatim as the fixed baseline the
+// packed backend is measured against (acceptance: BM_Matmul >= 3x this at
+// n=256, single thread).
+void seed_gemm_ikj(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  std::fill(c, c + m * n, 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void BM_MatmulSeedRef(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  common::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn({n, n}, rng);
+  const tensor::Tensor b = tensor::Tensor::randn({n, n}, rng);
+  tensor::Tensor c({n, n});
+  for (auto _ : state) {
+    seed_gemm_ikj(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulSeedRef)->Arg(64)->Arg(128)->Arg(256);
+
+// DeepCaps L6 vote transform: 512 input capsules of dim 8 voting for 10
+// class capsules of dim 32, batch 16 — one strided GEMM per input capsule.
+void BM_GemmBatchDeepCapsVotes(benchmark::State& state) {
+  const std::int64_t bsz = 16, nin = 512, din = 8, jd = 10 * 32;
+  common::Rng rng(9);
+  const tensor::Tensor x = tensor::Tensor::randn({bsz, nin, din}, rng);
+  const tensor::Tensor w = tensor::Tensor::randn({nin, jd, din}, rng);
+  tensor::Tensor votes({bsz, nin, jd});
+  for (auto _ : state) {
+    tensor::gemm_batch(tensor::Trans::kN, tensor::Trans::kT, bsz, jd, din,
+                       x.data(), nin * din, din, w.data(), din, jd * din,
+                       votes.data(), nin * jd, jd, nin, /*accumulate=*/false);
+    benchmark::DoNotOptimize(votes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bsz * nin * jd * din);
+}
+BENCHMARK(BM_GemmBatchDeepCapsVotes);
+
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t c = state.range(0);
   common::Rng rng(2);
@@ -36,8 +92,16 @@ void BM_Conv2d(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::conv2d_forward(input, weight, bias, 1, 1));
   }
+  // batch * F * outH * outW * C * K * K multiply-accumulates per call.
+  state.SetItemsProcessed(state.iterations() * 8 * c * 20 * 20 * c * 3 * 3);
 }
 BENCHMARK(BM_Conv2d)->Arg(16)->Arg(32)->Arg(64);
+
+// MACs per routing iteration: s-accumulation + agreement, each R*Nin*Nout*D.
+std::int64_t routing_macs(std::int64_t r, std::int64_t nin, std::int64_t nout,
+                          std::int64_t d, int iters) {
+  return static_cast<std::int64_t>(iters) * 2 * r * nin * nout * d;
+}
 
 void BM_RoutingFp32(benchmark::State& state) {
   const std::int64_t nin = state.range(0);
@@ -48,6 +112,7 @@ void BM_RoutingFp32(benchmark::State& state) {
     benchmark::DoNotOptimize(
         routing.forward(votes, 3, false, nn::RoutingQuantPoints{}));
   }
+  state.SetItemsProcessed(state.iterations() * routing_macs(32, nin, 10, 16, 3));
 }
 BENCHMARK(BM_RoutingFp32)->Arg(72)->Arg(144)->Arg(288);
 
@@ -66,6 +131,7 @@ void BM_RoutingQuantized(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(routing.forward(votes, 3, false, qp));
   }
+  state.SetItemsProcessed(state.iterations() * routing_macs(32, nin, 10, 16, 3));
 }
 BENCHMARK(BM_RoutingQuantized)->Arg(72)->Arg(144)->Arg(288);
 

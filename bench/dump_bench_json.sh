@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Run the kernel microbenchmarks and write the results as JSON so the perf
+# trajectory is tracked in-tree from PR to PR.
+#
+# Usage: dump_bench_json.sh [path/to/bench_kernels] [output.json]
+# Defaults assume a ./build tree and write BENCH_kernels.json in the repo
+# root. Also available as the `bench_json` CMake target.
+set -eu
+
+BIN=${1:-build/bench_kernels}
+OUT=${2:-BENCH_kernels.json}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not found or not executable (build with: cmake --build build)" >&2
+  exit 1
+fi
+
+# Extra args (e.g. --benchmark_filter=...) pass through to the binary.
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+echo "wrote $OUT"

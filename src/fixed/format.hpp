@@ -37,8 +37,16 @@ struct FixedFormat {
   std::int64_t raw_min() const { return -(std::int64_t{1} << (wordlength() - 1)); }
   std::int64_t raw_max() const { return (std::int64_t{1} << (wordlength() - 1)) - 1; }
 
+  // Built by append rather than operator+ chaining: GCC 12 at -O3 emits
+  // -Wrestrict false positives (PR105651) on the chained form.
   std::string to_string() const {
-    return "<" + std::to_string(qi) + "." + std::to_string(qf) + ">";
+    std::string s;
+    s += '<';
+    s += std::to_string(qi);
+    s += '.';
+    s += std::to_string(qf);
+    s += '>';
+    return s;
   }
 
   friend bool operator==(const FixedFormat&, const FixedFormat&) = default;

@@ -51,7 +51,11 @@ std::unique_ptr<nn::Network> build_deep_caps(const DeepCapsConfig& cfg,
   std::int64_t prev_dim = cfg.l1_caps_dim;
   for (int b = 0; b < 4; ++b) {
     const bool last = b == 3;
-    net->add<nn::CapsBlockLayer>("B" + std::to_string(b + 2), prev_types,
+    // Append instead of "B" + to_string(...): avoids a GCC 12 -Wrestrict
+    // false positive (PR105651) at -O3.
+    std::string block_name("B");
+    block_name += std::to_string(b + 2);
+    net->add<nn::CapsBlockLayer>(std::move(block_name), prev_types,
                                  prev_dim, types, cfg.block_dims[static_cast<std::size_t>(b)],
                                  cfg.kernel, /*routed_skip=*/last,
                                  cfg.routing_iterations, rng);

@@ -3,9 +3,14 @@
 #include <cmath>
 #include <cstring>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/error.hpp"
 #include "nn/caps_ops.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace qcaps::nn {
@@ -134,42 +139,74 @@ tensor::Tensor RoutedConvCapsLayer::forward(const tensor::Tensor& x,
   const std::int64_t plane = h * w;
   batch_ = batch;
 
-  // Quantized weights are read slice-by-slice from a local copy.
   const tensor::Tensor& wq = effective_weight();
   const std::int64_t votes_c = out_types_ * out_dim_;
-  const std::int64_t wslice = votes_c * in_dim_ * kernel_ * kernel_;
+  const std::int64_t patch_t = in_dim_ * kernel_ * kernel_;
+  const std::int64_t wslice = votes_c * patch_t;
 
-  cached_slices_.clear();
-  tensor::Tensor votes;  // [R, Tin, Tout, Dout], filled per type below
-  const tensor::Tensor empty_bias;
-  for (std::int64_t t = 0; t < in_types_; ++t) {
-    // Input slice [B, Din, H, W] for capsule type t.
-    tensor::Tensor xs({batch, in_dim_, h, w});
-    for (std::int64_t b = 0; b < batch; ++b)
-      std::memcpy(xs.data() + b * in_dim_ * plane,
-                  x.data() + (b * in_types_ * in_dim_ + t * in_dim_) * plane,
-                  static_cast<std::size_t>(in_dim_ * plane) * sizeof(float));
-    tensor::Tensor wt({votes_c, in_dim_, kernel_, kernel_});
-    std::memcpy(wt.data(), wq.data() + t * wslice,
-                static_cast<std::size_t>(wslice) * sizeof(float));
-    tensor::Tensor vt =
-        tensor::conv2d_forward(xs, wt, empty_bias, stride_, pad_);
-    if (phase == Phase::kTrain) cached_slices_.push_back(xs);
-    if (t == 0) {
-      out_h_ = vt.dim(2);
-      out_w_ = vt.dim(3);
-      votes = tensor::Tensor({batch * out_h_ * out_w_, in_types_, out_types_,
-                              out_dim_});
+  // One im2col of the full input per image; capsule type t's patch rows are
+  // the contiguous block [t*patch_t, (t+1)*patch_t), so the per-type vote
+  // convolutions collapse into one strided GEMM batch over types.
+  tensor::Conv2dGeom g;
+  g.in_c = in_types_ * in_dim_;
+  g.in_h = h;
+  g.in_w = w;
+  g.out_c = votes_c;
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  out_h_ = g.out_h();
+  out_w_ = g.out_w();
+  QCAPS_CHECK_MSG(out_h_ > 0 && out_w_ > 0,
+                  name() << ": vote conv produces empty output for input "
+                         << tensor::shape_to_string(x.shape()));
+  const std::int64_t oplane = out_h_ * out_w_;
+  const std::int64_t ncols = oplane;
+  const std::int64_t patch_full = g.in_c * kernel_ * kernel_;
+
+  tensor::Tensor votes({batch * oplane, in_types_, out_types_, out_dim_});
+  float* pvotes = votes.data();
+  // Parallelize across images (per-thread scratch below) only when the batch
+  // can occupy every thread; otherwise stay serial here so the inner GEMM
+  // batch can parallelize over types/tiles.
+#ifdef _OPENMP
+  const bool split_batch = batch >= omp_get_max_threads();
+#pragma omp parallel if (split_batch)
+#endif
+  {
+    std::vector<float> cols(static_cast<std::size_t>(patch_full * ncols));
+    std::vector<float> vbuf(static_cast<std::size_t>(in_types_ * votes_c * ncols));
+#pragma omp for schedule(static)
+    for (std::int64_t b = 0; b < batch; ++b) {
+      tensor::im2col(x.data() + b * g.in_c * plane, g, cols.data());
+      // vbuf[t][jd, p] = W_t[jd, patch_t] * cols[t*patch_t:, p]
+      tensor::gemm_batch(tensor::Trans::kN, tensor::Trans::kN, votes_c, ncols,
+                         patch_t, wq.data(), patch_t, wslice, cols.data(),
+                         ncols, patch_t * ncols, vbuf.data(), ncols,
+                         votes_c * ncols, in_types_, /*accumulate=*/false);
+      // Scatter vbuf[t][jd, p] -> votes[(b, p), t, jd].
+      for (std::int64_t t = 0; t < in_types_; ++t) {
+        const float* pv = vbuf.data() + t * votes_c * ncols;
+        for (std::int64_t jd = 0; jd < votes_c; ++jd)
+          for (std::int64_t p = 0; p < oplane; ++p)
+            pvotes[((b * oplane + p) * in_types_ + t) * votes_c + jd] =
+                pv[jd * oplane + p];
+      }
     }
-    // Scatter vt[b, j*Dout+dd, y, x] -> votes[(b, y, x), t, j, dd].
-    const std::int64_t oplane = out_h_ * out_w_;
-    const float* pv = vt.data();
-    float* pvotes = votes.data();
-    for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t jd = 0; jd < votes_c; ++jd)
-        for (std::int64_t p = 0; p < oplane; ++p)
-          pvotes[((b * oplane + p) * in_types_ + t) * votes_c + jd] =
-              pv[(b * votes_c + jd) * oplane + p];
+  }
+
+  // The backward pass re-convolves per type, so keep the per-type input
+  // slices on the training tape.
+  cached_slices_.clear();
+  if (phase == Phase::kTrain) {
+    for (std::int64_t t = 0; t < in_types_; ++t) {
+      tensor::Tensor xs({batch, in_dim_, h, w});
+      for (std::int64_t b = 0; b < batch; ++b)
+        std::memcpy(xs.data() + b * in_dim_ * plane,
+                    x.data() + (b * in_types_ * in_dim_ + t * in_dim_) * plane,
+                    static_cast<std::size_t>(in_dim_ * plane) * sizeof(float));
+      cached_slices_.push_back(std::move(xs));
+    }
   }
 
   if (quant_.activations) quant_.activations->apply(votes);
@@ -179,7 +216,6 @@ tensor::Tensor RoutedConvCapsLayer::forward(const tensor::Tensor& x,
   tensor::Tensor v = routing_.forward(votes, iters_, phase == Phase::kTrain, qp);
 
   // Gather v[(b, y, x), j, dd] -> out[b, j*Dout+dd, y, x].
-  const std::int64_t oplane = out_h_ * out_w_;
   tensor::Tensor out({batch, votes_c, out_h_, out_w_});
   const float* pvv = v.data();
   float* po = out.data();

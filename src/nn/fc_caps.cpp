@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace qcaps::nn {
@@ -27,25 +28,16 @@ FCCapsLayer::FCCapsLayer(std::string name, std::int64_t num_in,
 
 tensor::Tensor FCCapsLayer::compute_votes(const tensor::Tensor& x,
                                           const tensor::Tensor& w) const {
+  // votes[b, i, (j, d)] = W[i, (j, d), :] . u[b, i, :] — one GEMM per input
+  // capsule i over the batch, expressed as a strided batch on the
+  // interleaved [B, Nin, ...] layouts.
   const std::int64_t batch = x.dim(0);
+  const std::int64_t jd = num_out_ * dim_out_;
   tensor::Tensor votes({batch, num_in_, num_out_, dim_out_});
-  const float* pw = w.data();
-  const float* px = x.data();
-  float* pv = votes.data();
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t i = 0; i < num_in_; ++i) {
-      const float* u = px + (b * num_in_ + i) * dim_in_;
-      const float* wrow = pw + i * num_out_ * dim_out_ * dim_in_;
-      float* vrow = pv + (b * num_in_ + i) * num_out_ * dim_out_;
-      for (std::int64_t jd = 0; jd < num_out_ * dim_out_; ++jd) {
-        const float* wv = wrow + jd * dim_in_;
-        float acc = 0.0f;
-        for (std::int64_t k = 0; k < dim_in_; ++k) acc += wv[k] * u[k];
-        vrow[jd] = acc;
-      }
-    }
-  }
+  tensor::gemm_batch(tensor::Trans::kN, tensor::Trans::kT, batch, jd, dim_in_,
+                     x.data(), num_in_ * dim_in_, dim_in_, w.data(), dim_in_,
+                     jd * dim_in_, votes.data(), num_in_ * jd, jd, num_in_,
+                     /*accumulate=*/false);
   return votes;
 }
 
@@ -79,35 +71,19 @@ tensor::Tensor FCCapsLayer::backward(const tensor::Tensor& grad_out) {
   tensor::Tensor grad_votes = routing_.backward(grad_out);
   const std::int64_t batch = cached_input_.dim(0);
 
-  // gW[i, jd, k] += Σ_b gvotes[b, i, jd] * u[b, i, k]
-  // gx[b, i, k]  = Σ_jd gvotes[b, i, jd] * W[i, jd, k]
+  // Both gradient contractions are strided GEMM batches over input capsule i:
+  //   gW[i, jd, k] += Σ_b gvotes[b, i, jd] * u[b, i, k]
+  //   gx[b, i, k]  = Σ_jd gvotes[b, i, jd] * W[i, jd, k]
   tensor::Tensor gx(cached_input_.shape());
-  const float* pgv = grad_votes.data();
-  const float* px = cached_input_.data();
-  const float* pw = weight_.data();
-  float* pgw = grad_weight_.data();
-  float* pgx = gx.data();
-  const std::int64_t jd_count = num_out_ * dim_out_;
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < num_in_; ++i) {
-    const float* wrow = pw + i * jd_count * dim_in_;
-    float* gwrow = pgw + i * jd_count * dim_in_;
-    for (std::int64_t b = 0; b < batch; ++b) {
-      const float* u = px + (b * num_in_ + i) * dim_in_;
-      const float* gv = pgv + (b * num_in_ + i) * jd_count;
-      float* gu = pgx + (b * num_in_ + i) * dim_in_;
-      for (std::int64_t jd = 0; jd < jd_count; ++jd) {
-        const float g = gv[jd];
-        if (g == 0.0f) continue;
-        const float* wv = wrow + jd * dim_in_;
-        float* gwv = gwrow + jd * dim_in_;
-        for (std::int64_t k = 0; k < dim_in_; ++k) {
-          gwv[k] += g * u[k];
-          gu[k] += g * wv[k];
-        }
-      }
-    }
-  }
+  const std::int64_t jd = num_out_ * dim_out_;
+  tensor::gemm_batch(tensor::Trans::kT, tensor::Trans::kN, jd, dim_in_, batch,
+                     grad_votes.data(), num_in_ * jd, jd, cached_input_.data(),
+                     num_in_ * dim_in_, dim_in_, grad_weight_.data(), dim_in_,
+                     jd * dim_in_, num_in_, /*accumulate=*/true);
+  tensor::gemm_batch(tensor::Trans::kN, tensor::Trans::kN, batch, dim_in_, jd,
+                     grad_votes.data(), num_in_ * jd, jd, weight_.data(),
+                     dim_in_, jd * dim_in_, gx.data(), num_in_ * dim_in_,
+                     dim_in_, num_in_, /*accumulate=*/false);
   return gx;
 }
 

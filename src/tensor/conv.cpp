@@ -1,15 +1,20 @@
 #include "tensor/conv.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/error.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace qcaps::tensor {
 
 void im2col(const float* img, const Conv2dGeom& g, float* cols) {
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  const std::int64_t patch = g.in_c * g.kernel * g.kernel;
   const std::int64_t ncols = oh * ow;
   for (std::int64_t c = 0; c < g.in_c; ++c) {
     for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
@@ -31,7 +36,6 @@ void im2col(const float* img, const Conv2dGeom& g, float* cols) {
       }
     }
   }
-  (void)patch;
 }
 
 void col2im(const float* cols, const Conv2dGeom& g, float* img) {
@@ -57,6 +61,45 @@ void col2im(const float* cols, const Conv2dGeom& g, float* img) {
 }
 
 namespace {
+// Fused im2col + B-pack: writes the patch data of one image directly into
+// the GEMM backend's packed-B panel layout (see PackBFn in tensor/gemm.hpp)
+// for the block [k0, k0+kc) x [n0, n0+nc) of the virtual [patch, outH*outW]
+// column matrix. The forward conv never materializes that matrix.
+void im2col_pack_block(const float* img, const Conv2dGeom& g, std::int64_t k0,
+                       std::int64_t kc, std::int64_t n0, std::int64_t nc,
+                       float* out) {
+  const std::int64_t ow = g.out_w();
+  for (std::int64_t jb = 0; jb < nc; jb += kGemmNR) {
+    const std::int64_t nr = std::min(kGemmNR, nc - jb);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int64_t prow = k0 + p;
+      const std::int64_t kx = prow % g.kernel;
+      const std::int64_t ky = (prow / g.kernel) % g.kernel;
+      const std::int64_t ch = prow / (g.kernel * g.kernel);
+      const float* plane = img + ch * g.in_h * g.in_w;
+      float* dst = out + p * kGemmNR;
+      std::int64_t y = (n0 + jb) / ow;
+      std::int64_t x = (n0 + jb) % ow;
+      std::int64_t iy = y * g.stride + ky - g.pad;
+      std::int64_t ix = x * g.stride + kx - g.pad;
+      for (std::int64_t j = 0; j < nr; ++j) {
+        dst[j] = (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                     ? plane[iy * g.in_w + ix]
+                     : 0.0f;
+        if (++x == ow) {
+          x = 0;
+          ix = kx - g.pad;
+          iy += g.stride;
+        } else {
+          ix += g.stride;
+        }
+      }
+      for (std::int64_t j = nr; j < kGemmNR; ++j) dst[j] = 0.0f;
+    }
+    out += kc * kGemmNR;
+  }
+}
+
 Conv2dGeom geom_from(const Tensor& input, const Tensor& weight,
                      std::int64_t stride, std::int64_t pad) {
   QCAPS_CHECK_MSG(input.ndim() == 4, "conv2d input must be [B,C,H,W], got "
@@ -96,22 +139,29 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
   const std::int64_t img_in = g.in_c * g.in_h * g.in_w;
   const std::int64_t img_out = g.out_c * oh * ow;
 
-#pragma omp parallel
-  {
-    std::vector<float> cols(static_cast<std::size_t>(patch * ncols));
-#pragma omp for schedule(static)
-    for (std::int64_t b = 0; b < batch; ++b) {
-      im2col(input.data() + b * img_in, g, cols.data());
-      // out[F, ncols] = W[F, patch] * cols[patch, ncols]
-      gemm(weight.data(), cols.data(), output.data() + b * img_out, g.out_c,
-           patch, ncols, /*accumulate=*/false);
-      if (has_bias) {
-        float* out = output.data() + b * img_out;
-        for (std::int64_t f = 0; f < g.out_c; ++f) {
-          const float bv = bias[f];
-          float* plane = out + f * ncols;
-          for (std::int64_t i = 0; i < ncols; ++i) plane[i] += bv;
-        }
+  // Parallelize across images only when the batch can occupy every thread;
+  // otherwise stay serial here so the GEMM backend parallelizes internally
+  // over output tiles.
+#ifdef _OPENMP
+  const bool split_batch = batch >= omp_get_max_threads();
+#pragma omp parallel for schedule(static) if (split_batch)
+#endif
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* img = input.data() + b * img_in;
+    // out[F, ncols] = W[F, patch] * cols[patch, ncols], with the column
+    // matrix produced block-by-block straight into packed panels.
+    gemm_pack_b(g.out_c, ncols, patch, weight.data(), patch,
+                [img, &g](std::int64_t k0, std::int64_t kc, std::int64_t n0,
+                          std::int64_t nc, float* packed) {
+                  im2col_pack_block(img, g, k0, kc, n0, nc, packed);
+                },
+                output.data() + b * img_out, ncols, /*accumulate=*/false);
+    if (has_bias) {
+      float* out = output.data() + b * img_out;
+      for (std::int64_t f = 0; f < g.out_c; ++f) {
+        const float bv = bias[f];
+        float* plane = out + f * ncols;
+        for (std::int64_t i = 0; i < ncols; ++i) plane[i] += bv;
       }
     }
   }
@@ -139,10 +189,6 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
   grads.grad_weight = Tensor(weight.shape());
   if (has_bias) grads.grad_bias = Tensor({g.out_c});
 
-  // Weight layout viewed as [F, patch]; transpose once for input gradients.
-  const Tensor w2d = weight.reshaped({g.out_c, patch});
-  const Tensor w2d_t = transpose2d(w2d);  // [patch, F]
-
 #pragma omp parallel
   {
     std::vector<float> cols(static_cast<std::size_t>(patch * ncols));
@@ -152,21 +198,13 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
 #pragma omp for schedule(static) nowait
     for (std::int64_t b = 0; b < batch; ++b) {
       const float* go = grad_output.data() + b * img_out;
-      // grad_weight += gO[F, ncols] * cols[patch, ncols]^T
+      // grad_weight[F, patch] += gO[F, ncols] * cols[patch, ncols]^T
       im2col(input.data() + b * img_in, g, cols.data());
-      for (std::int64_t f = 0; f < g.out_c; ++f) {
-        const float* gorow = go + f * ncols;
-        float* gwrow = local_gw.data() + f * patch;
-        for (std::int64_t p = 0; p < patch; ++p) {
-          const float* crow = cols.data() + p * ncols;
-          float acc = 0.0f;
-          for (std::int64_t i = 0; i < ncols; ++i) acc += gorow[i] * crow[i];
-          gwrow[p] += acc;
-        }
-      }
-      // grad_cols[patch, ncols] = W^T[patch, F] * gO[F, ncols]
-      gemm(w2d_t.data(), go, gcols.data(), patch, g.out_c, ncols,
-           /*accumulate=*/false);
+      gemm_ex(Trans::kN, Trans::kT, g.out_c, patch, ncols, go, ncols,
+              cols.data(), ncols, local_gw.data(), patch, /*accumulate=*/true);
+      // grad_cols[patch, ncols] = W[F, patch]^T * gO[F, ncols]
+      gemm_ex(Trans::kT, Trans::kN, patch, ncols, g.out_c, weight.data(),
+              patch, go, ncols, gcols.data(), ncols, /*accumulate=*/false);
       col2im(gcols.data(), g, grads.grad_input.data() + b * img_in);
       if (has_bias) {
         for (std::int64_t f = 0; f < g.out_c; ++f) {

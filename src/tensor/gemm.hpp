@@ -1,0 +1,79 @@
+// Blocked, packed, register-tiled float32 GEMM backend.
+//
+// All dense matrix products in the framework (matmul variants, im2col
+// convolution, capsule vote transforms) route through this file. The kernel
+// follows the classic GotoBLAS/BLIS decomposition:
+//
+//   - loop over N in blocks of kGemmNC, K in blocks of kGemmKC, M in blocks
+//     of kGemmMC so every operand block lives in a known cache level;
+//   - pack the current A block into row panels of kGemmMR and the current B
+//     block into column panels of kGemmNR so the innermost loops read
+//     contiguous memory regardless of transposition or leading dimension;
+//   - compute each kGemmMR x kGemmNR output tile with a register-resident
+//     microkernel. On x86 a runtime-dispatched AVX2+FMA microkernel is used
+//     when the CPU supports it (disable with QCAPS_GEMM_NATIVE=0 in the
+//     environment or -DQCAPS_GEMM_NATIVE=OFF at configure time); everywhere
+//     else a portable auto-vectorizable scalar microkernel runs.
+//
+// Matrices are row-major. `lda/ldb/ldc` are leading dimensions (row strides)
+// of the *stored* matrices, which lets callers run GEMM on strided
+// sub-matrices without copying. Results are identical for any thread count:
+// every output element accumulates in the same order regardless of how the
+// M/N loops are split across OpenMP threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace qcaps::tensor {
+
+/// Operand transposition: kN uses the matrix as stored, kT uses its transpose.
+enum class Trans { kN, kT };
+
+// Register tile of the microkernel. Exposed because fused producers (the
+// im2col pack in conv.cpp) write the packed-B panel layout directly.
+inline constexpr std::int64_t kGemmMR = 6;
+inline constexpr std::int64_t kGemmNR = 16;
+
+/// C[m,n] (+)= op(A)[m,k] * op(B)[k,n].
+///
+/// op(A) is A when ta == kN (stored [m,k], leading dim lda) and A^T when
+/// ta == kT (stored [k,m], leading dim lda); likewise for B. accumulate=false
+/// overwrites C, accumulate=true adds into it.
+void gemm_ex(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc, bool accumulate);
+
+/// Strided batch of GEMMs: for i in [0, batch):
+///   C_i (+)= op(A_i) * op(B_i)
+/// with A_i = a + i*stride_a etc. Strides are in elements and may interleave
+/// (stride smaller than the matrix extent), which is how the capsule layers
+/// express per-input-type vote products over [B, Nin, ...] tensors.
+void gemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const float* a, std::int64_t lda,
+                std::int64_t stride_a, const float* b, std::int64_t ldb,
+                std::int64_t stride_b, float* c, std::int64_t ldc,
+                std::int64_t stride_c, std::int64_t batch, bool accumulate);
+
+/// Fills `packed` with the panel layout of the B block
+/// [k0, k0+kc) x [n0, n0+nc): ceil(nc/kGemmNR) column strips, strip s holding
+/// kc*kGemmNR floats with element (p, j) at
+///   packed[s*(kc*kGemmNR) + p*kGemmNR + (j - s*kGemmNR)],  s = j / kGemmNR.
+/// Columns past nc inside the last strip must be written as zeros.
+using PackBFn = std::function<void(std::int64_t k0, std::int64_t kc,
+                                   std::int64_t n0, std::int64_t nc,
+                                   float* packed)>;
+
+/// GEMM with a virtual B operand: C[m,n] (+)= A[m,k] * B[k,n] where B is
+/// produced block-by-block by `pack_b` instead of being materialized. This is
+/// the fused im2col path: convolution packs patch data straight into B panels
+/// and never allocates the [patch, out_pixels] column matrix. A is used as
+/// stored (no transposition).
+void gemm_pack_b(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+                 std::int64_t lda, const PackBFn& pack_b, float* c,
+                 std::int64_t ldc, bool accumulate);
+
+/// True when the runtime-dispatched native (AVX2+FMA) microkernel is active.
+bool gemm_native_active();
+
+}  // namespace qcaps::tensor

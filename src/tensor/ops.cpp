@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "common/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace qcaps::tensor {
 
@@ -68,21 +68,7 @@ void clamp(Tensor& a, float lo, float hi) {
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  // i-k-j loop order: the inner j loop is contiguous over B and C rows and
-  // auto-vectorizes. Parallelize over output rows when the work is large.
-  const std::int64_t work = m * k * n;
-#pragma omp parallel for schedule(static) if (work > (1 << 16))
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = c + i * n;
-    const float* arow = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_ex(Trans::kN, Trans::kN, m, n, k, a, k, b, n, c, n, accumulate);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -90,7 +76,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   QCAPS_CHECK_MSG(b.dim(0) == k, "matmul inner dims: " << k << " vs " << b.dim(0));
   Tensor c({m, n});
-  gemm(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/false);
+  gemm_ex(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n, c.data(), n,
+          /*accumulate=*/false);
   return c;
 }
 
@@ -99,20 +86,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
   QCAPS_CHECK_MSG(b.dim(0) == k, "matmul_tn inner dims: " << k << " vs " << b.dim(0));
   Tensor c({m, n});
-  float* pc = c.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-#pragma omp parallel for schedule(static) if (m * k * n > (1 << 16))
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    std::fill(crow, crow + n, 0.0f);
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = pa[p * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = pb + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_ex(Trans::kT, Trans::kN, m, n, k, a.data(), m, b.data(), n, c.data(), n,
+          /*accumulate=*/false);
   return c;
 }
 
@@ -121,20 +96,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   QCAPS_CHECK_MSG(b.dim(1) == k, "matmul_nt inner dims: " << k << " vs " << b.dim(1));
   Tensor c({m, n});
-  float* pc = c.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-#pragma omp parallel for schedule(static) if (m * k * n > (1 << 16))
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  gemm_ex(Trans::kN, Trans::kT, m, n, k, a.data(), k, b.data(), k, c.data(), n,
+          /*accumulate=*/false);
   return c;
 }
 
@@ -153,8 +116,9 @@ Tensor reduce_sum_last(const Tensor& a) {
   QCAPS_CHECK_MSG(a.ndim() >= 1, "reduce_sum_last needs rank >= 1");
   const std::int64_t d = a.dim(-1);
   const std::int64_t rows = a.numel() / d;
-  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
-  if (out_shape.empty()) out_shape = {1};
+  Shape out_shape = a.shape();
+  out_shape.pop_back();
+  if (out_shape.empty()) out_shape.push_back(1);
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();
@@ -223,8 +187,9 @@ Tensor softmax_last_backward(const Tensor& y, const Tensor& grad_y) {
 Tensor l2_norm_last(const Tensor& a, float eps) {
   const std::int64_t d = a.dim(-1);
   const std::int64_t rows = a.numel() / d;
-  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
-  if (out_shape.empty()) out_shape = {1};
+  Shape out_shape = a.shape();
+  out_shape.pop_back();
+  if (out_shape.empty()) out_shape.push_back(1);
   Tensor out(out_shape);
   const float* pa = a.data();
   float* po = out.data();

@@ -25,6 +25,9 @@ void scale(Tensor& a, float alpha);
 void clamp(Tensor& a, float lo, float hi);
 
 // ---- GEMM ------------------------------------------------------------------
+//
+// All products run on the packed, blocked backend in tensor/gemm.hpp; use
+// gemm_ex / gemm_batch from there directly for strided or batched operands.
 
 /// C[M,N] = A[M,K] * B[K,N]
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -33,7 +36,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b);
 /// C[M,N] = A[M,K] * B[N,K]^T
 Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
-/// Raw GEMM on pointers: C[M,N] (+)= A[M,K] * B[K,N]; accumulate=false zeroes C.
+/// Raw GEMM on contiguous pointers: C[M,N] (+)= A[M,K] * B[K,N];
+/// accumulate=false overwrites C.
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t k, std::int64_t n, bool accumulate);
 

@@ -13,19 +13,7 @@ namespace qcaps::tensor {
 namespace {
 
 using testutil::expect_tensor_near;
-
-Tensor naive_matmul(const Tensor& a, const Tensor& b) {
-  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
-  for (std::int64_t i = 0; i < m; ++i)
-    for (std::int64_t j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (std::int64_t p = 0; p < k; ++p)
-        acc += static_cast<double>(a.at({i, p})) * b.at({p, j});
-      c.at({i, j}) = static_cast<float>(acc);
-    }
-  return c;
-}
+using testutil::gemm_naive;
 
 TEST(Elementwise, AddSubMul) {
   Tensor a({3}, {1.0f, 2.0f, 3.0f});
@@ -61,14 +49,14 @@ TEST(Gemm, MatchesNaiveReference) {
   common::Rng rng(1);
   const Tensor a = Tensor::randn({7, 13}, rng);
   const Tensor b = Tensor::randn({13, 9}, rng);
-  expect_tensor_near(matmul(a, b), naive_matmul(a, b), 1e-4f, "matmul");
+  expect_tensor_near(matmul(a, b), gemm_naive(a, b), 1e-4f, "matmul");
 }
 
 TEST(Gemm, LargeEnoughToTriggerParallelPath) {
   common::Rng rng(2);
   const Tensor a = Tensor::randn({64, 96}, rng);
   const Tensor b = Tensor::randn({96, 80}, rng);
-  expect_tensor_near(matmul(a, b), naive_matmul(a, b), 5e-4f, "parallel matmul");
+  expect_tensor_near(matmul(a, b), gemm_naive(a, b), 5e-4f, "parallel matmul");
 }
 
 TEST(Gemm, InnerDimMismatchThrows) {
@@ -80,7 +68,7 @@ TEST(Gemm, TransposedAVariant) {
   common::Rng rng(3);
   const Tensor a = Tensor::randn({11, 6}, rng);  // [K, M]
   const Tensor b = Tensor::randn({11, 8}, rng);  // [K, N]
-  expect_tensor_near(matmul_tn(a, b), naive_matmul(transpose2d(a), b), 1e-4f,
+  expect_tensor_near(matmul_tn(a, b), gemm_naive(transpose2d(a), b), 1e-4f,
                      "matmul_tn");
 }
 
@@ -88,7 +76,7 @@ TEST(Gemm, TransposedBVariant) {
   common::Rng rng(4);
   const Tensor a = Tensor::randn({6, 11}, rng);  // [M, K]
   const Tensor b = Tensor::randn({8, 11}, rng);  // [N, K]
-  expect_tensor_near(matmul_nt(a, b), naive_matmul(a, transpose2d(b)), 1e-4f,
+  expect_tensor_near(matmul_nt(a, b), gemm_naive(a, transpose2d(b)), 1e-4f,
                      "matmul_nt");
 }
 

@@ -46,6 +46,23 @@ inline void check_gradient(const tensor::Tensor& x,
   }
 }
 
+/// Reference GEMM oracle: C[M,N] = A[M,K] * B[K,N] with double accumulation.
+/// Deliberately the simplest possible triple loop — every fast path in the
+/// packed backend is tested against this.
+inline tensor::Tensor gemm_naive(const tensor::Tensor& a,
+                                 const tensor::Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  tensor::Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at({i, p})) * b.at({p, j});
+      c.at({i, j}) = static_cast<float>(acc);
+    }
+  return c;
+}
+
 /// Deterministic weighted-sum "loss head" for gradient checks: L = Σ w ⊙ y.
 struct WeightedSum {
   tensor::Tensor w;
