@@ -6,6 +6,9 @@
 
 #include <algorithm>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "fixed/quantizer.hpp"
 #include "hwmodel/units.hpp"
@@ -13,6 +16,7 @@
 #include "tensor/conv.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace {
 
@@ -64,6 +68,86 @@ void BM_MatmulSeedRef(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatmulSeedRef)->Arg(64)->Arg(128)->Arg(256);
+
+// Quantized counterpart of BM_Matmul: int8 operands, exact int32
+// accumulation, fused requantization back to an int8-range grid. Reported
+// items_per_second is int8 MAC/s, directly comparable to BM_Matmul's fp32
+// MAC/s (acceptance: >= 2x at n = 256).
+void BM_QGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  common::Rng rng(1);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(256)) - 128);
+  for (auto& v : b)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(256)) - 128);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n * n));
+  tensor::QGemmRequant rq;
+  rq.shift = 8;
+  rq.qmin = -128;
+  rq.qmax = 127;
+  for (auto _ : state) {
+    tensor::qgemm(tensor::Trans::kN, tensor::Trans::kN, n, n, n, a.data(), n,
+                  b.data(), n, c.data(), n, rq);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(tensor::qgemm_kernel_name());
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_QGemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The int16 tier that carries wide fixed-point formats (e.g. Q8.8
+// activations) through the same microkernel.
+void BM_QGemm16(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  common::Rng rng(2);
+  std::vector<std::int16_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int16_t> b(static_cast<std::size_t>(n * n));
+  for (auto& v : a)
+    v = static_cast<std::int16_t>(static_cast<int>(rng.uniform_index(4096)) - 2048);
+  for (auto& v : b)
+    v = static_cast<std::int16_t>(static_cast<int>(rng.uniform_index(4096)) - 2048);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n * n));
+  tensor::QGemmRequant rq;
+  rq.shift = 8;
+  rq.qmin = -32768;
+  rq.qmax = 32767;
+  for (auto _ : state) {
+    tensor::qgemm(tensor::Trans::kN, tensor::Trans::kN, n, n, n, a.data(), n,
+                  b.data(), n, c.data(), n, rq);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetLabel(tensor::qgemm_kernel_name());
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_QGemm16)->Arg(256);
+
+// ShallowCaps L3 vote product as the quantized engine now runs it: one
+// strided int8 qgemm_batch over the input types.
+void BM_QGemmBatchVotes(benchmark::State& state) {
+  const std::int64_t bsz = 16, nin = 512, din = 8, jd = 10 * 16;
+  common::Rng rng(3);
+  std::vector<std::int8_t> u(static_cast<std::size_t>(bsz * nin * din));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(nin * jd * din));
+  for (auto& v : u)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(256)) - 128);
+  for (auto& v : w)
+    v = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(256)) - 128);
+  std::vector<std::int32_t> votes(static_cast<std::size_t>(bsz * nin * jd));
+  tensor::QGemmRequant rq;
+  rq.shift = 6;
+  rq.qmin = -2048;
+  rq.qmax = 2047;
+  for (auto _ : state) {
+    tensor::qgemm_batch(tensor::Trans::kN, tensor::Trans::kT, bsz, jd, din,
+                        u.data(), nin * din, din, w.data(), din, jd * din,
+                        votes.data(), nin * jd, jd, nin, rq);
+    benchmark::DoNotOptimize(votes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bsz * nin * jd * din);
+}
+BENCHMARK(BM_QGemmBatchVotes);
 
 // DeepCaps L6 vote transform: 512 input capsules of dim 8 voting for 10
 // class capsules of dim 32, batch 16 — one strided GEMM per input capsule.

@@ -1,12 +1,112 @@
 #include "qengine/qengine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "hwmodel/units.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace qcaps::qengine {
+namespace {
+
+int ceil_log2(std::int64_t v) {
+  return v <= 1 ? 0
+               : std::bit_width(static_cast<std::uint64_t>(v - 1));
+}
+
+// qgemm storage tiers for a pair of operands (by actual raw range, not
+// format): 0 = no exact-int32 fast path, 1 = packed int8, 2 = packed int16.
+int qgemm_tier(std::int64_t maxabs_a, std::int64_t maxabs_b, std::int64_t k) {
+  if (maxabs_a > 32767 || maxabs_b > 32767) return 0;
+  // sum_k |a||b| <= k * 2^ba * 2^bb must stay below 2^31.
+  const int ba = std::bit_width(static_cast<std::uint64_t>(maxabs_a));
+  const int bb = std::bit_width(static_cast<std::uint64_t>(maxabs_b));
+  if (ba + bb + ceil_log2(k) > 30) return 0;
+  return (maxabs_a <= 127 && maxabs_b <= 127) ? 1 : 2;
+}
+
+// The int64 scalar fallbacks are exact only while k * |a| * |b| cannot wrap
+// int64; FixedFormat allows wordlengths up to 62, so this must be checked.
+void check_i64_acc(const QTensor& a, const QTensor& b, std::int64_t k,
+                   const char* what) {
+  const int ba = std::bit_width(static_cast<std::uint64_t>(a.max_abs_raw()));
+  const int bb = std::bit_width(static_cast<std::uint64_t>(b.max_abs_raw()));
+  QCAPS_CHECK_MSG(ba + bb + ceil_log2(std::max<std::int64_t>(k, 1)) <= 62,
+                  what << " accumulator would overflow for these values");
+}
+
+// True when the accumulator -> out_fmt rescale is expressible as a qgemm
+// requant (round-to-nearest, int32 output grid, shift within range).
+bool requant_expressible(int acc_qf, const fixed::FixedFormat& out_fmt,
+                         fixed::RoundingScheme scheme) {
+  if (scheme != fixed::RoundingScheme::kRoundToNearest) return false;
+  if (out_fmt.wordlength() > 31) return false;
+  const int shift = acc_qf - out_fmt.qf;
+  return shift >= -30 && shift <= 31;
+}
+
+tensor::QGemmRequant make_requant(int acc_qf,
+                                  const fixed::FixedFormat& out_fmt) {
+  tensor::QGemmRequant rq;
+  rq.shift = acc_qf - out_fmt.qf;
+  rq.qmin = static_cast<std::int32_t>(out_fmt.raw_min());
+  rq.qmax = static_cast<std::int32_t>(out_fmt.raw_max());
+  return rq;
+}
+
+template <typename T>
+std::vector<T> packed_of(const QTensor& t) {
+  if constexpr (std::is_same_v<T, std::int8_t>)
+    return t.packed_i8();
+  else
+    return t.packed_i16();
+}
+
+template <typename T>
+const std::vector<T>& cached_container(const QGemmOperandCache& cache) {
+  if constexpr (std::is_same_v<T, std::int8_t>)
+    return cache.i8;
+  else
+    return cache.i16;
+}
+
+template <typename T>
+void run_qgemm_matmul(const QTensor& a, const QTensor& b, std::int64_t m,
+                      std::int64_t n, std::int64_t k,
+                      const tensor::QGemmRequant& rq, std::int32_t* c) {
+  const auto ap = packed_of<T>(a);
+  const auto bp = packed_of<T>(b);
+  tensor::qgemm(tensor::Trans::kN, tensor::Trans::kN, m, n, k, ap.data(), k,
+                bp.data(), n, c, n, rq);
+}
+
+// One strided GEMM per input type i:
+//   votes[:, i, :] [B x JD] = u[:, i, :] [B x Din] * w[i]^T [Din x JD]
+template <typename T>
+void run_qgemm_votes(const QTensor& u, const QTensor& w,
+                     const QGemmOperandCache* w_cache, std::int64_t b,
+                     std::int64_t nin, std::int64_t din, std::int64_t jd,
+                     const tensor::QGemmRequant& rq, std::int32_t* c) {
+  const auto up = packed_of<T>(u);
+  std::vector<T> wp_local;
+  const T* wp;
+  if (w_cache) {
+    wp = cached_container<T>(*w_cache).data();
+  } else {
+    wp_local = packed_of<T>(w);
+    wp = wp_local.data();
+  }
+  tensor::qgemm_batch(tensor::Trans::kN, tensor::Trans::kT, b, jd, din,
+                      up.data(), nin * din, din, wp, din, jd * din, c,
+                      nin * jd, jd, nin, rq);
+}
+
+}  // namespace
 
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
@@ -168,15 +268,126 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
   return v_out;
 }
 
+QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
+               fixed::RoundingScheme scheme) {
+  QCAPS_CHECK_MSG(a.shape.size() == 2 && b.shape.size() == 2,
+                  "qengine matmul expects 2-D operands");
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  QCAPS_CHECK(b.dim(0) == k);
+  const int acc_qf = a.fmt.qf + b.fmt.qf;
+  QTensor out({m, n}, out_fmt);
+  if (k == 0) return out;
+
+  if (requant_expressible(acc_qf, out_fmt, scheme)) {
+    const int tier = qgemm_tier(a.max_abs_raw(), b.max_abs_raw(), k);
+    if (tier != 0) {
+      const tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
+      std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+      if (tier == 1)
+        run_qgemm_matmul<std::int8_t>(a, b, m, n, k, rq, c.data());
+      else
+        run_qgemm_matmul<std::int16_t>(a, b, m, n, k, rq, c.data());
+      std::copy(c.begin(), c.end(), out.raw.begin());
+      return out;
+    }
+  }
+
+  // Exact int64 scalar path (wide operands or non-RTN schemes).
+  check_i64_acc(a, b, k, "qengine matmul");
+#pragma omp parallel for schedule(static) if (m * n * k > (1 << 16))
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += a.raw[static_cast<std::size_t>(i * k + p)] *
+               b.raw[static_cast<std::size_t>(p * n + j)];
+      out.raw[static_cast<std::size_t>(i * n + j)] =
+          hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+    }
+  }
+  return out;
+}
+
+QGemmOperandCache make_operand_cache(const QTensor& t) {
+  QGemmOperandCache cache;
+  cache.max_abs = t.max_abs_raw();
+  if (cache.max_abs <= 127) cache.i8 = t.packed_i8();
+  if (cache.max_abs <= 32767) cache.i16 = t.packed_i16();
+  return cache;
+}
+
+QTensor vote_transform(const QTensor& u, const QTensor& w,
+                       fixed::FixedFormat out_fmt,
+                       fixed::RoundingScheme scheme,
+                       const QGemmOperandCache* w_cache) {
+  QCAPS_CHECK_MSG(u.shape.size() == 3 && w.shape.size() == 4,
+                  "vote_transform expects u [B,Nin,Din], w [Nin,Nout,Dout,Din]");
+  const std::int64_t b = u.dim(0), nin = u.dim(1), din = u.dim(2);
+  const std::int64_t nout = w.dim(1), dout = w.dim(2);
+  QCAPS_CHECK(w.dim(0) == nin && w.dim(3) == din);
+  QCAPS_CHECK_MSG(!w_cache || w_cache->max_abs >= 0,
+                  "vote_transform weight cache was not built");
+  const std::int64_t jd = nout * dout;
+  const int acc_qf = u.fmt.qf + w.fmt.qf;
+  QTensor votes({b, nin, nout, dout}, out_fmt);
+  if (din == 0 || votes.numel() == 0) return votes;
+
+  if (requant_expressible(acc_qf, out_fmt, scheme)) {
+    const std::int64_t wmax = w_cache ? w_cache->max_abs : w.max_abs_raw();
+    const int tier = qgemm_tier(u.max_abs_raw(), wmax, din);
+    if (tier != 0) {
+      const tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
+      std::vector<std::int32_t> c(static_cast<std::size_t>(b * nin * jd));
+      if (tier == 1)
+        run_qgemm_votes<std::int8_t>(u, w, w_cache, b, nin, din, jd, rq,
+                                     c.data());
+      else
+        run_qgemm_votes<std::int16_t>(u, w, w_cache, b, nin, din, jd, rq,
+                                      c.data());
+      std::copy(c.begin(), c.end(), votes.raw.begin());
+      return votes;
+    }
+  }
+
+  // Exact int64 scalar path.
+  check_i64_acc(u, w, din, "qengine vote_transform");
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const std::int64_t* uv = u.raw.data() + (bi * nin + i) * din;
+      const std::int64_t* wrow = w.raw.data() + i * jd * din;
+      std::int64_t* vrow = votes.raw.data() + (bi * nin + i) * jd;
+      for (std::int64_t x = 0; x < jd; ++x) {
+        std::int64_t acc = 0;
+        for (std::int64_t p = 0; p < din; ++p)
+          acc += wrow[x * din + p] * uv[p];
+        vrow[x] = hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+      }
+    }
+  }
+  return votes;
+}
+
 tensor::Tensor lengths(const QTensor& caps) {
   QCAPS_CHECK(caps.shape.size() == 3);
-  const tensor::Tensor f = caps.to_float();
   const std::int64_t b = caps.dim(0), n = caps.dim(1), d = caps.dim(2);
+  // Accumulate the sum of squares exactly in raw integer space; only the
+  // final square root is floating point. (The previous float32 accumulator
+  // over dequantized values silently lost low-order contributions once the
+  // running sum passed 2^24 ULPs — locked by QEngineLengths tests.)
+  const std::int64_t maxabs = caps.max_abs_raw();
+  const int vb = std::bit_width(static_cast<std::uint64_t>(maxabs));
+  QCAPS_CHECK_MSG(2 * vb + ceil_log2(std::max<std::int64_t>(d, 1)) <= 62,
+                  "lengths accumulator would overflow for these values");
   tensor::Tensor out({b, n});
   for (std::int64_t i = 0; i < b * n; ++i) {
-    float acc = 0.0f;
-    for (std::int64_t k = 0; k < d; ++k) acc += f[i * d + k] * f[i * d + k];
-    out[i] = std::sqrt(acc);
+    std::int64_t acc = 0;
+    for (std::int64_t k = 0; k < d; ++k) {
+      const std::int64_t v = caps.raw[static_cast<std::size_t>(i * d + k)];
+      acc += v * v;
+    }
+    out[i] = static_cast<float>(
+        std::ldexp(std::sqrt(static_cast<double>(acc)), -caps.fmt.qf));
   }
   return out;
 }

@@ -37,7 +37,43 @@ QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt);
 QTensor dynamic_routing(const QTensor& votes, int iterations,
                         fixed::FixedFormat act_fmt, fixed::FixedFormat dr_fmt);
 
-/// Capsule lengths (float; classification head only): [B, N, D] -> [B, N].
+/// Integer matrix product a [M, K] * b [K, N] -> [M, N] in out_fmt.
+///
+/// Runs on the packed int8/int16 qgemm backend (tensor/qgemm.hpp) whenever
+/// the operands' actual raw ranges allow exact int32 accumulation and the
+/// scheme is round-to-nearest; otherwise falls back to the exact int64
+/// scalar path. Both paths produce bit-identical results: the qgemm
+/// requantization is the same round-half-up rescale as hwmodel::rescale_raw.
+QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
+               fixed::RoundingScheme scheme =
+                   fixed::RoundingScheme::kRoundToNearest);
+
+/// Reusable packed-container cache for a constant qgemm operand (weights):
+/// built once, it saves every subsequent vote_transform call the O(|w|)
+/// range scan and packed copy on the hot path.
+struct QGemmOperandCache {
+  std::int64_t max_abs = -1;      ///< -1 = not built
+  std::vector<std::int8_t> i8;    ///< filled when the values fit int8
+  std::vector<std::int16_t> i16;  ///< filled when the values fit int16
+};
+
+/// Eagerly build the packed cache for `t`.
+QGemmOperandCache make_operand_cache(const QTensor& t);
+
+/// Batched capsule vote product: u [B, Nin, Din] (activations) *
+/// w [Nin, Nout, Dout, Din] (weights) -> votes [B, Nin, Nout, Dout] in
+/// out_fmt. One strided qgemm_batch over the Nin input types on the fast
+/// path; exact int64 scalar fallback otherwise (bit-identical). Pass
+/// `w_cache` (built from `w`) to skip re-packing constant weights.
+QTensor vote_transform(const QTensor& u, const QTensor& w,
+                       fixed::FixedFormat out_fmt,
+                       fixed::RoundingScheme scheme =
+                           fixed::RoundingScheme::kRoundToNearest,
+                       const QGemmOperandCache* w_cache = nullptr);
+
+/// Capsule lengths (classification head): [B, N, D] -> [B, N]. The sum of
+/// squares accumulates exactly in int64 raw space; only the final square
+/// root is floating point.
 tensor::Tensor lengths(const QTensor& caps);
 
 }  // namespace qcaps::qengine

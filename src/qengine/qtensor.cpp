@@ -1,5 +1,7 @@
 #include "qengine/qtensor.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace qcaps::qengine {
@@ -27,6 +29,51 @@ tensor::Tensor QTensor::to_float() const {
   for (std::int64_t i = 0; i < numel(); ++i)
     t[i] = static_cast<float>(fixed::from_raw(raw[static_cast<std::size_t>(i)], fmt));
   return t;
+}
+
+std::int64_t QTensor::max_abs_raw() const {
+  std::int64_t m = 0;
+  for (const auto v : raw) m = std::max(m, v < 0 ? -v : v);
+  return m;
+}
+
+bool QTensor::fits_i8() const {
+  for (const auto v : raw)
+    if (v < -128 || v > 127) return false;
+  return true;
+}
+
+bool QTensor::fits_i16() const {
+  for (const auto v : raw)
+    if (v < -32768 || v > 32767) return false;
+  return true;
+}
+
+std::vector<std::int8_t> QTensor::packed_i8() const {
+  std::vector<std::int8_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    QCAPS_CHECK_MSG(raw[i] >= -128 && raw[i] <= 127,
+                    "QTensor value does not fit the packed int8 container");
+    out[i] = static_cast<std::int8_t>(raw[i]);
+  }
+  return out;
+}
+
+std::vector<std::int16_t> QTensor::packed_i16() const {
+  std::vector<std::int16_t> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    QCAPS_CHECK_MSG(raw[i] >= -32768 && raw[i] <= 32767,
+                    "QTensor value does not fit the packed int16 container");
+    out[i] = static_cast<std::int16_t>(raw[i]);
+  }
+  return out;
+}
+
+QTensor QTensor::from_packed_i8(const std::int8_t* data, tensor::Shape s,
+                                fixed::FixedFormat f) {
+  QTensor q(std::move(s), f);
+  for (std::size_t i = 0; i < q.raw.size(); ++i) q.raw[i] = data[i];
+  return q;
 }
 
 }  // namespace qcaps::qengine

@@ -33,6 +33,31 @@ struct QTensor {
 
   /// Back-convert to float (exact: every raw value is representable).
   tensor::Tensor to_float() const;
+
+  // ---- packed integer storage for the qgemm backend ----
+  //
+  // The fixed-point grid is symmetric two's complement: scale() = 2^-QF and
+  // zero_point() = 0 are the quantization metadata a packed container
+  // carries. Whether a tensor packs into 8 or 16 bits depends on its actual
+  // raw range, not just the format: a wide-format tensor whose values stayed
+  // small still packs narrow.
+
+  /// Largest |raw| value (0 when empty).
+  std::int64_t max_abs_raw() const;
+  /// True when every raw value fits the packed container.
+  bool fits_i8() const;
+  bool fits_i16() const;
+  /// Narrow the raw values into a packed container (requires fits_i8/i16).
+  std::vector<std::int8_t> packed_i8() const;
+  std::vector<std::int16_t> packed_i16() const;
+  /// Rebuild a QTensor from a packed int8 container and its metadata.
+  static QTensor from_packed_i8(const std::int8_t* data, tensor::Shape s,
+                                fixed::FixedFormat f);
+
+  /// Quantization step of the grid, 2^-QF.
+  double scale() const { return fmt.precision(); }
+  /// The grid is symmetric: raw 0 is real 0.
+  static constexpr std::int32_t zero_point() { return 0; }
 };
 
 }  // namespace qcaps::qengine

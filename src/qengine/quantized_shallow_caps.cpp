@@ -1,7 +1,6 @@
 #include "qengine/quantized_shallow_caps.hpp"
 
 #include "common/error.hpp"
-#include "hwmodel/units.hpp"
 #include "nn/conv2d_layer.hpp"
 #include "nn/fc_caps.hpp"
 #include "nn/primary_caps.hpp"
@@ -48,6 +47,7 @@ QuantizedShallowCaps::QuantizedShallowCaps(nn::Network& net,
                             l3.qdr_frac >= 0 ? l3.qdr_frac : l3.qa_frac);
   w3_ = QTensor::from_float(digit->master_weight(),
                             fixed::FixedFormat(l3.qw_int, l3.qw_frac), scheme);
+  w3_cache_ = make_operand_cache(w3_);
   num_in_ = digit->num_in();
   dim_in_ = digit->dim_in();
   num_out_ = digit->num_out();
@@ -88,26 +88,13 @@ QTensor QuantizedShallowCaps::forward(const tensor::Tensor& images) const {
                   p)];
   QTensor u = squash_last(caps, act2_);
 
-  // L3: votes û = W u (wide accumulate, act3 output), then routing.
+  // L3: votes û = W u on the packed integer GEMM backend (one strided
+  // qgemm_batch over the input types), then routing. The requantization into
+  // act3 is bit-identical to the per-element rescale_raw the scalar path
+  // applies.
   QCAPS_CHECK(u.dim(1) == num_in_ && u.dim(2) == dim_in_);
-  QTensor votes({b, num_in_, num_out_, dim_out_}, act3_);
-  const int acc_qf = u.fmt.qf + w3_.fmt.qf;
-#pragma omp parallel for collapse(2) schedule(static)
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t i = 0; i < num_in_; ++i) {
-      const std::int64_t* uv = u.raw.data() + (bi * num_in_ + i) * dim_in_;
-      const std::int64_t* wrow =
-          w3_.raw.data() + i * num_out_ * dim_out_ * dim_in_;
-      std::int64_t* vrow =
-          votes.raw.data() + (bi * num_in_ + i) * num_out_ * dim_out_;
-      for (std::int64_t jd = 0; jd < num_out_ * dim_out_; ++jd) {
-        std::int64_t acc = 0;
-        for (std::int64_t k = 0; k < dim_in_; ++k)
-          acc += wrow[jd * dim_in_ + k] * uv[k];
-        vrow[jd] = hwmodel::rescale_raw(acc, acc_qf, act3_);
-      }
-    }
-  }
+  const QTensor votes = vote_transform(
+      u, w3_, act3_, fixed::RoundingScheme::kRoundToNearest, &w3_cache_);
   return dynamic_routing(votes, iterations_, act3_, dr3_);
 }
 

@@ -44,6 +44,7 @@ class QuantizedShallowCaps {
   fixed::FixedFormat act2_;
   // L3 digit caps
   QTensor w3_;  // [Nin, Nout, Dout, Din]
+  QGemmOperandCache w3_cache_;  // packed once; forward() skips the re-pack
   std::int64_t num_in_, dim_in_, num_out_, dim_out_;
   int iterations_;
   fixed::FixedFormat act3_, dr3_;

@@ -1,0 +1,800 @@
+#include "tensor/qgemm.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(QCAPS_QGEMM_DISABLE_NATIVE)
+#define QCAPS_QGEMM_X86_NATIVE 1
+#include <immintrin.h>
+#endif
+
+namespace qcaps::tensor {
+namespace {
+
+constexpr std::int64_t MR = kQGemmMR;
+constexpr std::int64_t NR = kQGemmNR;
+// Cache blocking, same geometry as the float backend; panels hold int16, so
+// the packed A block (MC x KC) is 48 KB -> L2, each packed B strip (KC x NR)
+// is 8 KB -> L1, the packed B block (KC x NC) is 512 KB -> L3.
+constexpr std::int64_t MC = 96;
+constexpr std::int64_t KC = 256;  // even: K is packed in interleaved pairs
+constexpr std::int64_t NC = 1024;
+constexpr std::int64_t kParallelMinWork = std::int64_t{1} << 16;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Per-thread packing buffers, reused across calls.
+struct Scratch {
+  std::vector<std::int16_t> a;
+  std::vector<std::int16_t> b;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  if (s.a.empty()) {
+    s.a.resize(static_cast<std::size_t>(MC * KC));
+    s.b.resize(static_cast<std::size_t>(KC * NC));
+  }
+  return s;
+}
+
+// ---- packing ---------------------------------------------------------------
+//
+// Panels widen the operands to int16. With kc2 = ceil(kc/2) and
+// kcp = kc2 * 2 (K padded to even):
+//   A panel (per MR-row block): row-contiguous — (i, p) at out[i*kcp + p],
+//     so the no-transpose pack is a straight widening copy and the kernel
+//     broadcasts the (2p, 2p+1) pair with one 32-bit memory operand per row.
+//   B panel (per NR-col strip): pair-interleaved — (2*p2+q, j) at
+//     out[p2*NR*2 + j*2 + q], the operand shape vpmaddwd consumes.
+// Rows/columns past the edge and the odd-K tail are zero.
+
+template <typename SrcT>
+void pack_a_block(Trans ta, const SrcT* a, std::int64_t lda, std::int64_t i0,
+                  std::int64_t mc, std::int64_t p0, std::int64_t kc,
+                  std::int16_t* out) {
+  const std::int64_t kcp = 2 * ceil_div(kc, 2);
+  for (std::int64_t ib = 0; ib < mc; ib += MR) {
+    const std::int64_t mr = std::min(MR, mc - ib);
+    for (std::int64_t i = 0; i < MR; ++i) {
+      std::int16_t* dst = out + i * kcp;
+      if (i < mr) {
+        if (ta == Trans::kN) {
+          const SrcT* src = a + (i0 + ib + i) * lda + p0;
+          for (std::int64_t p = 0; p < kc; ++p)
+            dst[p] = static_cast<std::int16_t>(src[p]);
+        } else {
+          const SrcT* src = a + p0 * lda + i0 + ib + i;
+          for (std::int64_t p = 0; p < kc; ++p)
+            dst[p] = static_cast<std::int16_t>(src[p * lda]);
+        }
+        if (kc < kcp) dst[kc] = 0;
+      } else {
+        // Zero rows past the edge so edge tiles can run the full kernel.
+        std::fill(dst, dst + kcp, std::int16_t{0});
+      }
+    }
+    out += MR * kcp;
+  }
+}
+
+template <typename SrcT>
+void pack_b_block(Trans tb, const SrcT* b, std::int64_t ldb, std::int64_t p0,
+                  std::int64_t kc, std::int64_t j0, std::int64_t nc,
+                  std::int16_t* out) {
+  const std::int64_t kc2 = ceil_div(kc, 2);
+  const std::int64_t k2full = kc / 2;
+  for (std::int64_t jb = 0; jb < nc; jb += NR) {
+    const std::int64_t nr = std::min(NR, nc - jb);
+    if (tb == Trans::kN) {
+      for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+        const SrcT* lo = b + (p0 + 2 * p2) * ldb + j0 + jb;
+        const SrcT* hi = lo + ldb;
+        const bool has_hi = p2 < k2full;
+        std::int16_t* dst = out + p2 * NR * 2;
+        if (has_hi) {
+          for (std::int64_t j = 0; j < nr; ++j) {
+            dst[j * 2] = static_cast<std::int16_t>(lo[j]);
+            dst[j * 2 + 1] = static_cast<std::int16_t>(hi[j]);
+          }
+        } else {
+          for (std::int64_t j = 0; j < nr; ++j) {
+            dst[j * 2] = static_cast<std::int16_t>(lo[j]);
+            dst[j * 2 + 1] = 0;
+          }
+        }
+        for (std::int64_t j = nr; j < NR; ++j) {
+          dst[j * 2] = 0;
+          dst[j * 2 + 1] = 0;
+        }
+      }
+    } else {
+      for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+        const SrcT* src = b + (j0 + jb) * ldb + p0 + 2 * p2;
+        const bool has_hi = p2 < k2full;
+        std::int16_t* dst = out + p2 * NR * 2;
+        for (std::int64_t j = 0; j < nr; ++j) {
+          dst[j * 2] = static_cast<std::int16_t>(src[j * ldb]);
+          dst[j * 2 + 1] =
+              has_hi ? static_cast<std::int16_t>(src[j * ldb + 1])
+                     : std::int16_t{0};
+        }
+        for (std::int64_t j = nr; j < NR; ++j) {
+          dst[j * 2] = 0;
+          dst[j * 2 + 1] = 0;
+        }
+      }
+    }
+    out += kc2 * NR * 2;
+  }
+}
+
+// ---- microkernels ----------------------------------------------------------
+//
+// Each computes the MR x NR tile sum over kc2 packed pairs of
+// a(i, 2p)*b(2p, j) + a(i, 2p+1)*b(2p+1, j) with int32 accumulators and
+// merges the mr x nr valid region straight into C (overwriting or
+// accumulating). Exact as long as the caller's no-wrap bound holds (see
+// qgemm_max_k).
+
+void merge_tile(const std::int32_t* t, std::int32_t* c, std::int64_t ldc,
+                std::int64_t mr, std::int64_t nr, bool accumulate) {
+  for (std::int64_t i = 0; i < mr; ++i) {
+    std::int32_t* row = c + i * ldc;
+    const std::int32_t* src = t + i * NR;
+    if (accumulate) {
+      for (std::int64_t j = 0; j < nr; ++j) row[j] += src[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) row[j] = src[j];
+    }
+  }
+}
+
+void kernel_scalar_q(std::int64_t kc2, const std::int16_t* ap,
+                     const std::int16_t* bp, std::int32_t* c,
+                     std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                     bool accumulate) {
+  // Accumulate in int64 to keep the fallback free of signed-overflow UB even
+  // at the bound; the final value fits int32 under the caller's guarantee.
+  const std::int64_t kcp = kc2 * 2;
+  std::int64_t t[MR * NR] = {};
+  for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+    const std::int16_t* b = bp + p2 * NR * 2;
+    for (std::int64_t i = 0; i < MR; ++i) {
+      const std::int32_t a0 = ap[i * kcp + 2 * p2];
+      const std::int32_t a1 = ap[i * kcp + 2 * p2 + 1];
+      for (std::int64_t j = 0; j < NR; ++j)
+        t[i * NR + j] += a0 * b[j * 2] + a1 * b[j * 2 + 1];
+    }
+  }
+  std::int32_t t32[MR * NR];
+  for (std::int64_t i = 0; i < MR * NR; ++i)
+    t32[i] = static_cast<std::int32_t>(t[i]);
+  merge_tile(t32, c, ldc, mr, nr, accumulate);
+}
+
+#ifdef QCAPS_QGEMM_X86_NATIVE
+
+// Broadcast one packed (a_2p, a_2p+1) int16 pair into every 32-bit lane.
+inline std::int32_t load_pair(const std::int16_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx2"))) void kernel_avx2_q(
+    std::int64_t kc2, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* c, std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+    bool accumulate) {
+  // 6x16 int32 tile as 6 rows x 2 ymm accumulators; per packed K pair each
+  // row costs one broadcast + two vpmaddwd + two vpaddd.
+  const std::int64_t kcp = kc2 * 2;
+  const std::int16_t* a0 = ap;
+  const std::int16_t* a1 = ap + kcp;
+  const std::int16_t* a2 = ap + 2 * kcp;
+  const std::int16_t* a3 = ap + 3 * kcp;
+  const std::int16_t* a4 = ap + 4 * kcp;
+  const std::int16_t* a5 = ap + 5 * kcp;
+  __m256i r0a = _mm256_setzero_si256(), r0b = _mm256_setzero_si256();
+  __m256i r1a = _mm256_setzero_si256(), r1b = _mm256_setzero_si256();
+  __m256i r2a = _mm256_setzero_si256(), r2b = _mm256_setzero_si256();
+  __m256i r3a = _mm256_setzero_si256(), r3b = _mm256_setzero_si256();
+  __m256i r4a = _mm256_setzero_si256(), r4b = _mm256_setzero_si256();
+  __m256i r5a = _mm256_setzero_si256(), r5b = _mm256_setzero_si256();
+  for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+    const __m256i b0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p2 * NR * 2));
+    const __m256i b1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bp + p2 * NR * 2 + 16));
+    __m256i av = _mm256_set1_epi32(load_pair(a0 + 2 * p2));
+    r0a = _mm256_add_epi32(r0a, _mm256_madd_epi16(av, b0));
+    r0b = _mm256_add_epi32(r0b, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a1 + 2 * p2));
+    r1a = _mm256_add_epi32(r1a, _mm256_madd_epi16(av, b0));
+    r1b = _mm256_add_epi32(r1b, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a2 + 2 * p2));
+    r2a = _mm256_add_epi32(r2a, _mm256_madd_epi16(av, b0));
+    r2b = _mm256_add_epi32(r2b, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a3 + 2 * p2));
+    r3a = _mm256_add_epi32(r3a, _mm256_madd_epi16(av, b0));
+    r3b = _mm256_add_epi32(r3b, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a4 + 2 * p2));
+    r4a = _mm256_add_epi32(r4a, _mm256_madd_epi16(av, b0));
+    r4b = _mm256_add_epi32(r4b, _mm256_madd_epi16(av, b1));
+    av = _mm256_set1_epi32(load_pair(a5 + 2 * p2));
+    r5a = _mm256_add_epi32(r5a, _mm256_madd_epi16(av, b0));
+    r5b = _mm256_add_epi32(r5b, _mm256_madd_epi16(av, b1));
+  }
+  if (mr == MR && nr == NR) {
+    // Merge straight into C without a bounce buffer.
+#define QCAPS_QGEMM_MERGE_ROW(row, lo, hi)                                    \
+  do {                                                                        \
+    std::int32_t* r_ = (row);                                                 \
+    __m256i lo_ = (lo), hi_ = (hi);                                           \
+    if (accumulate) {                                                         \
+      lo_ = _mm256_add_epi32(                                                 \
+          lo_, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r_)));     \
+      hi_ = _mm256_add_epi32(                                                 \
+          hi_, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r_ + 8))); \
+    }                                                                         \
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r_), lo_);                 \
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r_ + 8), hi_);             \
+  } while (0)
+    QCAPS_QGEMM_MERGE_ROW(c + 0 * ldc, r0a, r0b);
+    QCAPS_QGEMM_MERGE_ROW(c + 1 * ldc, r1a, r1b);
+    QCAPS_QGEMM_MERGE_ROW(c + 2 * ldc, r2a, r2b);
+    QCAPS_QGEMM_MERGE_ROW(c + 3 * ldc, r3a, r3b);
+    QCAPS_QGEMM_MERGE_ROW(c + 4 * ldc, r4a, r4b);
+    QCAPS_QGEMM_MERGE_ROW(c + 5 * ldc, r5a, r5b);
+#undef QCAPS_QGEMM_MERGE_ROW
+    return;
+  }
+  std::int32_t t[MR * NR];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 0 * NR), r0a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 0 * NR + 8), r0b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 1 * NR), r1a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 1 * NR + 8), r1b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 2 * NR), r2a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 2 * NR + 8), r2b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 3 * NR), r3a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 3 * NR + 8), r3b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * NR), r4a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 4 * NR + 8), r4b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 5 * NR), r5a);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + 5 * NR + 8), r5b);
+  merge_tile(t, c, ldc, mr, nr, accumulate);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void kernel_avx512_q(
+    std::int64_t kc2, const std::int16_t* ap, const std::int16_t* bp,
+    std::int32_t* c, std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+    bool accumulate) {
+  // One zmm of 16 int32 lanes per tile row: per packed K pair each row is a
+  // single vpmaddwd + vpaddd against one 32-element B load. The merge into C
+  // is masked, so edge tiles take the same code path.
+  const std::int64_t kcp = kc2 * 2;
+  const std::int16_t* a0 = ap;
+  const std::int16_t* a1 = ap + kcp;
+  const std::int16_t* a2 = ap + 2 * kcp;
+  const std::int16_t* a3 = ap + 3 * kcp;
+  const std::int16_t* a4 = ap + 4 * kcp;
+  const std::int16_t* a5 = ap + 5 * kcp;
+  __m512i r0 = _mm512_setzero_si512();
+  __m512i r1 = _mm512_setzero_si512();
+  __m512i r2 = _mm512_setzero_si512();
+  __m512i r3 = _mm512_setzero_si512();
+  __m512i r4 = _mm512_setzero_si512();
+  __m512i r5 = _mm512_setzero_si512();
+  const std::int16_t* bq = bp;
+  std::int64_t p2 = 0;
+  for (; p2 + 2 <= kc2; p2 += 2) {  // 2x unroll to amortize loop overhead
+    const __m512i b0 = _mm512_loadu_si512(bq);
+    r0 = _mm512_add_epi32(r0, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a0 + p2 * 2)), b0));
+    r1 = _mm512_add_epi32(r1, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a1 + p2 * 2)), b0));
+    r2 = _mm512_add_epi32(r2, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a2 + p2 * 2)), b0));
+    r3 = _mm512_add_epi32(r3, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a3 + p2 * 2)), b0));
+    r4 = _mm512_add_epi32(r4, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a4 + p2 * 2)), b0));
+    r5 = _mm512_add_epi32(r5, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a5 + p2 * 2)), b0));
+    const __m512i b1 = _mm512_loadu_si512(bq + NR * 2);
+    r0 = _mm512_add_epi32(r0, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a0 + p2 * 2 + 2)), b1));
+    r1 = _mm512_add_epi32(r1, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a1 + p2 * 2 + 2)), b1));
+    r2 = _mm512_add_epi32(r2, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a2 + p2 * 2 + 2)), b1));
+    r3 = _mm512_add_epi32(r3, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a3 + p2 * 2 + 2)), b1));
+    r4 = _mm512_add_epi32(r4, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a4 + p2 * 2 + 2)), b1));
+    r5 = _mm512_add_epi32(r5, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a5 + p2 * 2 + 2)), b1));
+    bq += 2 * NR * 2;
+  }
+  if (p2 < kc2) {
+    const __m512i b = _mm512_loadu_si512(bq);
+    r0 = _mm512_add_epi32(r0, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a0 + p2 * 2)), b));
+    r1 = _mm512_add_epi32(r1, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a1 + p2 * 2)), b));
+    r2 = _mm512_add_epi32(r2, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a2 + p2 * 2)), b));
+    r3 = _mm512_add_epi32(r3, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a3 + p2 * 2)), b));
+    r4 = _mm512_add_epi32(r4, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a4 + p2 * 2)), b));
+    r5 = _mm512_add_epi32(r5, _mm512_madd_epi16(_mm512_set1_epi32(load_pair(a5 + p2 * 2)), b));
+  }
+  const __mmask16 mask =
+      static_cast<__mmask16>((std::uint32_t{1} << nr) - 1);
+#define QCAPS_QGEMM_MERGE_ROW512(i, reg)                                     \
+  do {                                                                       \
+    if ((i) < mr) {                                                          \
+      std::int32_t* row_ = c + (i)*ldc;                                      \
+      __m512i v_ = (reg);                                                    \
+      if (accumulate)                                                        \
+        v_ = _mm512_add_epi32(                                               \
+            v_, _mm512_maskz_loadu_epi32(mask, row_));                       \
+      _mm512_mask_storeu_epi32(row_, mask, v_);                              \
+    }                                                                        \
+  } while (0)
+  QCAPS_QGEMM_MERGE_ROW512(0, r0);
+  QCAPS_QGEMM_MERGE_ROW512(1, r1);
+  QCAPS_QGEMM_MERGE_ROW512(2, r2);
+  QCAPS_QGEMM_MERGE_ROW512(3, r3);
+  QCAPS_QGEMM_MERGE_ROW512(4, r4);
+  QCAPS_QGEMM_MERGE_ROW512(5, r5);
+#undef QCAPS_QGEMM_MERGE_ROW512
+}
+#endif  // QCAPS_QGEMM_X86_NATIVE
+
+using KernelFn = void (*)(std::int64_t kc2, const std::int16_t* ap,
+                          const std::int16_t* bp, std::int32_t* c,
+                          std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                          bool accumulate);
+
+struct KernelChoice {
+  KernelFn fn;
+  QGemmKernel tier;
+};
+
+bool tier_supported(QGemmKernel k) {
+  switch (k) {
+    case QGemmKernel::kScalar:
+      return true;
+#ifdef QCAPS_QGEMM_X86_NATIVE
+    case QGemmKernel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case QGemmKernel::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
+#else
+    case QGemmKernel::kAvx2:
+    case QGemmKernel::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelChoice make_choice(QGemmKernel k) {
+  switch (k) {
+#ifdef QCAPS_QGEMM_X86_NATIVE
+    case QGemmKernel::kAvx512:
+      return {kernel_avx512_q, QGemmKernel::kAvx512};
+    case QGemmKernel::kAvx2:
+      return {kernel_avx2_q, QGemmKernel::kAvx2};
+#else
+    case QGemmKernel::kAvx512:
+    case QGemmKernel::kAvx2:
+#endif
+    case QGemmKernel::kScalar:
+      break;
+  }
+  return {kernel_scalar_q, QGemmKernel::kScalar};
+}
+
+KernelChoice pick_default() {
+  QGemmKernel best = QGemmKernel::kScalar;
+  const char* env = std::getenv("QCAPS_QGEMM_NATIVE");
+  const bool env_off = env && std::strcmp(env, "0") == 0;
+  const bool cap_avx2 = env && std::strcmp(env, "avx2") == 0;
+  if (!env_off) {
+    if (!cap_avx2 && tier_supported(QGemmKernel::kAvx512))
+      best = QGemmKernel::kAvx512;
+    else if (tier_supported(QGemmKernel::kAvx2))
+      best = QGemmKernel::kAvx2;
+  }
+  return make_choice(best);
+}
+
+KernelChoice g_choice = pick_default();
+
+// Single-threaded blocked driver, structured exactly like gemm_serial in the
+// float backend. `pack_b(p0, kc, j0, nc, out)` fills the packed B panels for
+// the requested block in this call's own coordinate frame.
+template <typename SrcT, typename PackB>
+void qgemm_serial(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
+                  const SrcT* a, std::int64_t lda, const PackB& pack_b,
+                  std::int32_t* c, std::int64_t ldc, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate)
+      for (std::int64_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+    return;
+  }
+  Scratch& s = scratch();
+  std::int16_t* apack = s.a.data();
+  std::int16_t* bpack = s.b.data();
+  const KernelFn kernel = g_choice.fn;
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      const std::int64_t kc2 = ceil_div(kc, 2);
+      const bool acc_c = accumulate || pc > 0;
+      pack_b(pc, kc, jc, nc, bpack);
+      for (std::int64_t ic = 0; ic < m; ic += MC) {
+        const std::int64_t mc = std::min(MC, m - ic);
+        pack_a_block(ta, a, lda, ic, mc, pc, kc, apack);
+        for (std::int64_t jr = 0; jr < nc; jr += NR) {
+          const std::int64_t nr = std::min(NR, nc - jr);
+          const std::int16_t* bstrip = bpack + (jr / NR) * (kc2 * NR * 2);
+          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+            const std::int64_t mr = std::min(MR, mc - ir);
+            kernel(kc2, apack + (ir / MR) * (kc2 * MR * 2), bstrip,
+                   c + (ic + ir) * ldc + jc + jr, ldc, mr, nr, acc_c);
+          }
+        }
+      }
+    }
+  }
+}
+
+#ifdef _OPENMP
+bool want_parallel(std::int64_t work) {
+  return work > kParallelMinWork && omp_get_max_threads() > 1 &&
+         !omp_in_parallel();
+}
+#endif
+
+template <typename SrcT>
+void qgemm_i32_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const SrcT* a, std::int64_t lda,
+                    const SrcT* b, std::int64_t ldb, std::int32_t* c,
+                    std::int64_t ldc, bool accumulate) {
+#ifdef _OPENMP
+  if (want_parallel(m * n * k)) {
+    // Split the larger output dimension on tile boundaries. Integer
+    // accumulation is exact and associative, so any split is bit-identical.
+    const bool split_n = n >= m;
+    const std::int64_t tiles = split_n ? ceil_div(n, NR) : ceil_div(m, MR);
+#pragma omp parallel
+    {
+      const std::int64_t nt = omp_get_num_threads();
+      const std::int64_t t = omp_get_thread_num();
+      const std::int64_t per = ceil_div(tiles, nt);
+      const std::int64_t lo = std::min(t * per, tiles);
+      const std::int64_t hi = std::min(lo + per, tiles);
+      if (lo < hi) {
+        if (split_n) {
+          const std::int64_t j0 = lo * NR;
+          const std::int64_t j1 = std::min(n, hi * NR);
+          const SrcT* bsub = tb == Trans::kN ? b + j0 : b + j0 * ldb;
+          auto pb = [tb, bsub, ldb](std::int64_t p0, std::int64_t kc,
+                                    std::int64_t jj, std::int64_t nc,
+                                    std::int16_t* out) {
+            pack_b_block(tb, bsub, ldb, p0, kc, jj, nc, out);
+          };
+          qgemm_serial(ta, m, j1 - j0, k, a, lda, pb, c + j0, ldc, accumulate);
+        } else {
+          const std::int64_t i0 = lo * MR;
+          const std::int64_t i1 = std::min(m, hi * MR);
+          const SrcT* asub = ta == Trans::kN ? a + i0 * lda : a + i0;
+          auto pb = [tb, b, ldb](std::int64_t p0, std::int64_t kc,
+                                 std::int64_t jj, std::int64_t nc,
+                                 std::int16_t* out) {
+            pack_b_block(tb, b, ldb, p0, kc, jj, nc, out);
+          };
+          qgemm_serial(ta, i1 - i0, n, k, asub, lda, pb, c + i0 * ldc, ldc,
+                       accumulate);
+        }
+      }
+    }
+    return;
+  }
+#endif
+  auto pb = [tb, b, ldb](std::int64_t p0, std::int64_t kc, std::int64_t jj,
+                         std::int64_t nc, std::int16_t* out) {
+    pack_b_block(tb, b, ldb, p0, kc, jj, nc, out);
+  };
+  qgemm_serial(ta, m, n, k, a, lda, pb, c, ldc, accumulate);
+}
+
+// ---- requantization --------------------------------------------------------
+
+void check_requant(const QGemmRequant& rq) {
+  QCAPS_CHECK_MSG(rq.multiplier > 0, "qgemm requant multiplier must be > 0");
+  QCAPS_CHECK_MSG(rq.shift >= -30 && rq.shift <= 31,
+                  "qgemm requant shift out of [-30, 31]");
+  QCAPS_CHECK(rq.qmin <= rq.qmax);
+}
+
+// Validate the per-row overrides up front: requant_pass may run inside an
+// OpenMP parallel region (the batch loop), where a QCAPS throw would abort
+// the process instead of propagating.
+void check_requant_rows(const QGemmRequant& rq, std::int64_t m) {
+  if (!rq.row_multipliers && !rq.row_shifts) return;
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t mult =
+        rq.row_multipliers ? rq.row_multipliers[i] : rq.multiplier;
+    const int shift = rq.row_shifts ? rq.row_shifts[i] : rq.shift;
+    QCAPS_CHECK_MSG(mult > 0 && shift >= -30 && shift <= 31,
+                    "qgemm per-row requant parameters out of range");
+  }
+}
+
+inline std::int32_t requant_one(std::int64_t acc, std::int64_t multiplier,
+                                int shift, std::int32_t c_zero,
+                                std::int32_t qmin, std::int32_t qmax) {
+  const std::int64_t v = acc * multiplier;
+  const int total = 30 + shift;
+  std::int64_t r;
+  if (total > 0)
+    r = (v + (std::int64_t{1} << (total - 1))) >> total;  // round half-up
+  else if (total == 0)
+    r = v;
+  else
+    r = v << -total;
+  r += c_zero;
+  return static_cast<std::int32_t>(std::clamp<std::int64_t>(r, qmin, qmax));
+}
+
+template <typename SrcT>
+std::vector<std::int64_t> op_a_row_sums(Trans ta, std::int64_t m,
+                                        std::int64_t k, const SrcT* a,
+                                        std::int64_t lda) {
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(m), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t s = 0;
+    for (std::int64_t p = 0; p < k; ++p)
+      s += ta == Trans::kN ? a[i * lda + p] : a[p * lda + i];
+    sums[static_cast<std::size_t>(i)] = s;
+  }
+  return sums;
+}
+
+template <typename SrcT>
+std::vector<std::int64_t> op_b_col_sums(Trans tb, std::int64_t k,
+                                        std::int64_t n, const SrcT* b,
+                                        std::int64_t ldb) {
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(n), 0);
+  for (std::int64_t j = 0; j < n; ++j) {
+    std::int64_t s = 0;
+    for (std::int64_t p = 0; p < k; ++p)
+      s += tb == Trans::kN ? b[p * ldb + j] : b[j * ldb + p];
+    sums[static_cast<std::size_t>(j)] = s;
+  }
+  return sums;
+}
+
+#ifdef QCAPS_QGEMM_X86_NATIVE
+// Vectorized row requantization for the common case (no per-column
+// compensation): 8 accumulators per iteration through vpmuldq (the sign
+// behaviour matches the scalar requant_one exactly — the low 32 bits of the
+// sign-extended lane are the original accumulator, and arithmetic 64-bit
+// shift is the same floor division).
+//
+// GCC 12 emits -Wmaybe-uninitialized false positives from its own AVX-512
+// intrinsic headers here (PR105593).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx512f"))) void requant_row_avx512(
+    std::int32_t* row, std::int64_t n, std::int64_t base, std::int64_t mult,
+    int total, std::int32_t c_zero, std::int32_t qmin, std::int32_t qmax) {
+  const __m512i vbase = _mm512_set1_epi64(base);
+  const __m512i vmult = _mm512_set1_epi64(mult);
+  const __m512i vrnd =
+      _mm512_set1_epi64(total > 0 ? (std::int64_t{1} << (total - 1)) : 0);
+  const __m512i vzero = _mm512_set1_epi64(c_zero);
+  const __m512i vmin = _mm512_set1_epi64(qmin);
+  const __m512i vmax = _mm512_set1_epi64(qmax);
+  const __m128i vshr = _mm_cvtsi32_si128(total > 0 ? total : 0);
+  const __m128i vshl = _mm_cvtsi32_si128(total < 0 ? -total : 0);
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i acc = _mm512_add_epi64(
+        _mm512_cvtepi32_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + j))),
+        vbase);
+    // |acc| <= 2^31, so the low 32 bits of each lane hold the exact value
+    // vpmuldq needs.
+    __m512i v = _mm512_mul_epi32(acc, vmult);
+    v = _mm512_sra_epi64(_mm512_add_epi64(v, vrnd), vshr);
+    if (total < 0) v = _mm512_sll_epi64(v, vshl);
+    v = _mm512_add_epi64(v, vzero);
+    v = _mm512_min_epi64(_mm512_max_epi64(v, vmin), vmax);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + j),
+                        _mm512_cvtepi64_epi32(v));
+  }
+  for (; j < n; ++j)
+    row[j] = requant_one(row[j] + base, mult, total - 30, c_zero, qmin, qmax);
+}
+#pragma GCC diagnostic pop
+#endif  // QCAPS_QGEMM_X86_NATIVE
+
+// In-place requantization of the raw int32 accumulators in C, including the
+// zero-point compensation terms:
+//   (a - za)(b - zb) summed over k
+//     = acc - za*colsum_b[j] - zb*rowsum_a[i] + k*za*zb.
+void requant_pass(std::int32_t* c, std::int64_t ldc, std::int64_t m,
+                  std::int64_t n, std::int64_t k, const QGemmRequant& rq,
+                  const std::int64_t* rowsum, const std::int64_t* colsum) {
+  const std::int64_t zz =
+      static_cast<std::int64_t>(rq.a_zero) * rq.b_zero * k;
+#ifdef QCAPS_QGEMM_X86_NATIVE
+  // The vector path reads each compensated accumulator from the low 32 bits
+  // of its lane (vpmuldq), which is exact only while |acc + base| < 2^31.
+  // Without bias that follows from the caller's no-wrap bound on the
+  // effective (zero-point-adjusted) operands; an arbitrary int32 bias can
+  // push past it, so bias rows take the scalar path.
+  const bool vector_rows = colsum == nullptr && rq.bias == nullptr &&
+                           g_choice.tier == QGemmKernel::kAvx512;
+#endif
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (want_parallel(m * n))
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t mult =
+        rq.row_multipliers ? rq.row_multipliers[i] : rq.multiplier;
+    const int shift = rq.row_shifts ? rq.row_shifts[i] : rq.shift;
+    std::int64_t base = zz;
+    if (rq.bias) base += rq.bias[i];
+    if (rowsum) base -= static_cast<std::int64_t>(rq.b_zero) * rowsum[i];
+    std::int32_t* row = c + i * ldc;
+#ifdef QCAPS_QGEMM_X86_NATIVE
+    if (vector_rows) {
+      requant_row_avx512(row, n, base, mult, 30 + shift, rq.c_zero, rq.qmin,
+                         rq.qmax);
+      continue;
+    }
+#endif
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = row[j] + base;
+      if (colsum) acc -= static_cast<std::int64_t>(rq.a_zero) * colsum[j];
+      row[j] = requant_one(acc, mult, shift, rq.c_zero, rq.qmin, rq.qmax);
+    }
+  }
+}
+
+template <typename SrcT>
+void qgemm_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const SrcT* a, std::int64_t lda, const SrcT* b,
+                std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+                const QGemmRequant& rq) {
+  check_requant(rq);
+  check_requant_rows(rq, m);
+  qgemm_i32_impl(ta, tb, m, n, k, a, lda, b, ldb, c, ldc,
+                 /*accumulate=*/false);
+  std::vector<std::int64_t> rowsum, colsum;
+  if (rq.b_zero != 0) rowsum = op_a_row_sums(ta, m, k, a, lda);
+  if (rq.a_zero != 0) colsum = op_b_col_sums(tb, k, n, b, ldb);
+  requant_pass(c, ldc, m, n, k, rq, rowsum.empty() ? nullptr : rowsum.data(),
+               colsum.empty() ? nullptr : colsum.data());
+}
+
+template <typename SrcT>
+void qgemm_batch_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                      std::int64_t k, const SrcT* a, std::int64_t lda,
+                      std::int64_t stride_a, const SrcT* b, std::int64_t ldb,
+                      std::int64_t stride_b, std::int32_t* c, std::int64_t ldc,
+                      std::int64_t stride_c, std::int64_t batch,
+                      const QGemmRequant& rq) {
+  if (batch <= 0) return;
+  check_requant(rq);
+  check_requant_rows(rq, m);
+#ifdef _OPENMP
+  if (batch > 1 && want_parallel(batch * m * n * k)) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < batch; ++i)
+      qgemm_impl(ta, tb, m, n, k, a + i * stride_a, lda, b + i * stride_b,
+                 ldb, c + i * stride_c, ldc, rq);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < batch; ++i)
+    qgemm_impl(ta, tb, m, n, k, a + i * stride_a, lda, b + i * stride_b, ldb,
+               c + i * stride_c, ldc, rq);
+}
+
+void check_k_bound_s8(std::int64_t k, const QGemmRequant* rq) {
+  const int bits_a = 8 + (rq && rq->a_zero != 0 ? 1 : 0);
+  const int bits_b = 8 + (rq && rq->b_zero != 0 ? 1 : 0);
+  QCAPS_CHECK_MSG(k <= qgemm_max_k(bits_a, bits_b),
+                  "qgemm int8 K too large for exact int32 accumulation");
+}
+
+}  // namespace
+
+std::int32_t qgemm_requantize(std::int64_t acc, const QGemmRequant& rq) {
+  check_requant(rq);
+  return requant_one(acc, rq.multiplier, rq.shift, rq.c_zero, rq.qmin,
+                     rq.qmax);
+}
+
+std::int64_t qgemm_max_k(int bits_a, int bits_b) {
+  QCAPS_CHECK(bits_a >= 2 && bits_b >= 2 && bits_a + bits_b <= 33);
+  // |a| <= 2^(bits_a - 1), |b| <= 2^(bits_b - 1).
+  return ((std::int64_t{1} << 31) - 1) >> (bits_a + bits_b - 2);
+}
+
+void qgemm_i32(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int8_t* a, std::int64_t lda,
+               const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+               std::int64_t ldc, bool accumulate) {
+  check_k_bound_s8(k, nullptr);
+  qgemm_i32_impl(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void qgemm_i32(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int16_t* a, std::int64_t lda,
+               const std::int16_t* b, std::int64_t ldb, std::int32_t* c,
+               std::int64_t ldc, bool accumulate) {
+  qgemm_i32_impl(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+}
+
+void qgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+           const QGemmRequant& rq) {
+  check_k_bound_s8(k, &rq);
+  qgemm_impl(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, rq);
+}
+
+void qgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int16_t* a, std::int64_t lda, const std::int16_t* b,
+           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+           const QGemmRequant& rq) {
+  qgemm_impl(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, rq);
+}
+
+void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                 std::int64_t stride_a, const std::int8_t* b, std::int64_t ldb,
+                 std::int64_t stride_b, std::int32_t* c, std::int64_t ldc,
+                 std::int64_t stride_c, std::int64_t batch,
+                 const QGemmRequant& rq) {
+  check_k_bound_s8(k, &rq);
+  qgemm_batch_impl(ta, tb, m, n, k, a, lda, stride_a, b, ldb, stride_b, c,
+                   ldc, stride_c, batch, rq);
+}
+
+void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const std::int16_t* a, std::int64_t lda,
+                 std::int64_t stride_a, const std::int16_t* b,
+                 std::int64_t ldb, std::int64_t stride_b, std::int32_t* c,
+                 std::int64_t ldc, std::int64_t stride_c, std::int64_t batch,
+                 const QGemmRequant& rq) {
+  qgemm_batch_impl(ta, tb, m, n, k, a, lda, stride_a, b, ldb, stride_b, c,
+                   ldc, stride_c, batch, rq);
+}
+
+QGemmKernel qgemm_kernel() { return g_choice.tier; }
+
+const char* qgemm_kernel_name() {
+  switch (g_choice.tier) {
+    case QGemmKernel::kScalar: return "scalar";
+    case QGemmKernel::kAvx2: return "avx2";
+    case QGemmKernel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool qgemm_native_active() { return g_choice.tier != QGemmKernel::kScalar; }
+
+bool qgemm_force_kernel(QGemmKernel k) {
+  if (!tier_supported(k)) return false;
+  g_choice = make_choice(k);
+  return true;
+}
+
+void qgemm_reset_kernel() { g_choice = pick_default(); }
+
+}  // namespace qcaps::tensor

@@ -1,0 +1,144 @@
+// Blocked, packed, register-tiled integer GEMM backend for the quantized
+// engine: int8 (or int16) operands, exact int32 accumulation, and an optional
+// fused requantization stage.
+//
+// The kernel reuses the GotoBLAS/BLIS decomposition of the float backend in
+// gemm.{hpp,cpp}: N is walked in blocks of NC, K in blocks of KC, M in blocks
+// of MC; the current A block is packed into kQGemmMR-row panels and the
+// current B block into kQGemmNR-column panels; each MR x NR output tile is
+// produced by a register-resident microkernel. Both operands are widened to
+// int16 inside the packed panels with K laid out in interleaved pairs, so the
+// microkernel is a chain of pairwise multiply-add instructions
+// (vpmaddwd — the signed sibling of the maddubs path, exact for the full
+// int8 range including -128) into int32 accumulators:
+//
+//   - AVX-512BW tier: one zmm per tile row, 16 int32 lanes per vpmaddwd;
+//   - AVX2 tier: two ymm per tile row;
+//   - portable scalar fallback everywhere else.
+//
+// The tier is picked once at runtime from CPUID; QCAPS_QGEMM_NATIVE=0 in the
+// environment forces the scalar kernel and QCAPS_QGEMM_NATIVE=avx2 caps the
+// tier at AVX2.
+//
+// Accumulation is exact as long as the int32 accumulator cannot wrap:
+// sum_k |a_ik| * |b_kj| must stay below 2^31 for every output element. For
+// full-range int8 operands that holds for k <= qgemm_max_k(8, 8) = 131071
+// (checked); for the int16 entry points the caller must bound its operands
+// (see qgemm_max_k). Because integer addition is associative, results are
+// bit-identical for every kernel tier, blocking split, and thread count.
+//
+// Matrices are row-major with explicit leading dimensions, exactly like the
+// float backend.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm.hpp"  // Trans
+
+namespace qcaps::tensor {
+
+// Register tile of the integer microkernel (same shape as the float tile).
+inline constexpr std::int64_t kQGemmMR = 6;
+inline constexpr std::int64_t kQGemmNR = 16;
+
+/// The multiplier value that makes the requantization scale an exact power
+/// of two: with multiplier == kQGemmUnitMultiplier the rescale is
+/// out = round_half_up(acc / 2^shift), bit-identical to
+/// hwmodel::rescale_raw(acc, from_qf, out_fmt, kRoundToNearest) with
+/// shift = from_qf - out_fmt.qf.
+inline constexpr std::int32_t kQGemmUnitMultiplier = std::int32_t{1} << 30;
+
+/// Requantization of raw int32 accumulators onto a narrower integer grid.
+///
+/// Effective operand values are (stored - zero_point): a_zero/b_zero are
+/// subtracted via rowsum/colsum compensation outside the kernel, so the
+/// packed panels always hold the stored bytes. Per output element:
+///
+///   acc' = acc + comp(a_zero, b_zero) + bias[i]
+///   out  = clamp(round_half_up(acc' * M_i / 2^(30 + s_i)) + c_zero,
+///                qmin, qmax)
+///
+/// where M_i/s_i are `multiplier`/`shift`, or the per-row overrides when
+/// `row_multipliers`/`row_shifts` are set (per-channel weight scales).
+/// round_half_up is floor(x + 1/2) — the same convention as
+/// fixed::RoundingScheme::kRoundToNearest and hwmodel::rescale_raw, so for
+/// power-of-two scales the whole path is bit-identical to the fixed-point
+/// rescale applied to the exact int32 product.
+struct QGemmRequant {
+  std::int32_t multiplier = kQGemmUnitMultiplier;  ///< positive, Q2.30 scale
+  int shift = 0;              ///< extra right shift; negative shifts left
+  std::int32_t c_zero = 0;    ///< output zero point, added after scaling
+  std::int32_t a_zero = 0;    ///< input zero points: value = stored - zero
+  std::int32_t b_zero = 0;
+  std::int32_t qmin = INT32_MIN;  ///< saturation bounds of the output grid
+  std::int32_t qmax = INT32_MAX;
+  const std::int32_t* row_multipliers = nullptr;  ///< optional, length m
+  const int* row_shifts = nullptr;                ///< optional, length m
+  const std::int32_t* bias = nullptr;  ///< optional per-row int32 bias at
+                                       ///< accumulator scale, length m
+};
+
+/// Requantize a single raw accumulator with `rq` (using the per-tensor
+/// multiplier/shift) — the exact scalar applied to every output element.
+/// Zero-point compensation and bias are not included; pass them in `acc`.
+std::int32_t qgemm_requantize(std::int64_t acc, const QGemmRequant& rq);
+
+/// Largest K for which exact int32 accumulation of products of operands with
+/// the given significant bit widths (including sign) cannot wrap.
+std::int64_t qgemm_max_k(int bits_a, int bits_b);
+
+/// C[m,n] (+)= op(A)[m,k] * op(B)[k,n], raw int32 accumulation, no requant.
+/// accumulate=false overwrites C, accumulate=true adds into it.
+void qgemm_i32(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int8_t* a, std::int64_t lda,
+               const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+               std::int64_t ldc, bool accumulate);
+void qgemm_i32(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+               std::int64_t k, const std::int16_t* a, std::int64_t lda,
+               const std::int16_t* b, std::int64_t ldb, std::int32_t* c,
+               std::int64_t ldc, bool accumulate);
+
+/// C[m,n] = requant(op(A)[m,k] * op(B)[k,n]) per `rq`.
+void qgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+           const QGemmRequant& rq);
+void qgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           const std::int16_t* a, std::int64_t lda, const std::int16_t* b,
+           std::int64_t ldb, std::int32_t* c, std::int64_t ldc,
+           const QGemmRequant& rq);
+
+/// Strided batch of requantizing GEMMs: for i in [0, batch):
+///   C_i = requant(op(A_i) * op(B_i))
+/// with A_i = a + i*stride_a etc. Strides are in elements and may interleave,
+/// matching gemm_batch (the capsule vote-product layout).
+void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                 std::int64_t stride_a, const std::int8_t* b, std::int64_t ldb,
+                 std::int64_t stride_b, std::int32_t* c, std::int64_t ldc,
+                 std::int64_t stride_c, std::int64_t batch,
+                 const QGemmRequant& rq);
+void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                 std::int64_t k, const std::int16_t* a, std::int64_t lda,
+                 std::int64_t stride_a, const std::int16_t* b,
+                 std::int64_t ldb, std::int64_t stride_b, std::int32_t* c,
+                 std::int64_t ldc, std::int64_t stride_c, std::int64_t batch,
+                 const QGemmRequant& rq);
+
+/// Microkernel tiers, simplest first.
+enum class QGemmKernel { kScalar, kAvx2, kAvx512 };
+
+/// The active microkernel tier.
+QGemmKernel qgemm_kernel();
+/// Name of the active tier ("scalar", "avx2", "avx512").
+const char* qgemm_kernel_name();
+/// True when a vector (AVX2 or AVX-512) microkernel is active.
+bool qgemm_native_active();
+
+/// Test seam: force a specific tier. Returns false (and changes nothing)
+/// when that tier is unsupported on this CPU/build.
+bool qgemm_force_kernel(QGemmKernel k);
+/// Undo qgemm_force_kernel.
+void qgemm_reset_kernel();
+
+}  // namespace qcaps::tensor

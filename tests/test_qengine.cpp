@@ -13,6 +13,7 @@
 #include "nn/caps_ops.hpp"
 #include "nn/routing.hpp"
 #include "nn/trainer.hpp"
+#include "hwmodel/units.hpp"
 #include "qengine/qengine.hpp"
 #include "qengine/quantized_shallow_caps.hpp"
 #include "tensor/conv.hpp"
@@ -20,6 +21,58 @@
 
 namespace qcaps::qengine {
 namespace {
+
+// Random QTensor with on-grid values drawn from [-amp, amp].
+QTensor random_q(common::Rng& rng, tensor::Shape shape, fixed::FixedFormat fmt,
+                 float amp) {
+  const fixed::Quantizer q(fmt, fixed::RoundingScheme::kRoundToNearest);
+  return QTensor::from_float(
+      q.quantized(tensor::Tensor::uniform(std::move(shape), rng, -amp, amp)),
+      fmt);
+}
+
+// The pre-qgemm scalar matmul: int64 accumulate + per-element rescale_raw.
+QTensor matmul_ref(const QTensor& a, const QTensor& b,
+                   fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const int acc_qf = a.fmt.qf + b.fmt.qf;
+  QTensor out({m, n}, out_fmt);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += a.raw[static_cast<std::size_t>(i * k + p)] *
+               b.raw[static_cast<std::size_t>(p * n + j)];
+      out.raw[static_cast<std::size_t>(i * n + j)] =
+          hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+    }
+  return out;
+}
+
+// The legacy vote product exactly as QuantizedShallowCaps::forward computed
+// it before the qgemm rewire (PR 2): scalar int64 loops + rescale_raw. Kept
+// verbatim as the regression oracle for the new qgemm_batch path.
+QTensor legacy_vote_transform(const QTensor& u, const QTensor& w,
+                              fixed::FixedFormat out_fmt) {
+  const std::int64_t b = u.dim(0), nin = u.dim(1), din = u.dim(2);
+  const std::int64_t jd = w.dim(1) * w.dim(2);
+  QTensor votes({b, nin, w.dim(1), w.dim(2)}, out_fmt);
+  const int acc_qf = u.fmt.qf + w.fmt.qf;
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const std::int64_t* uv = u.raw.data() + (bi * nin + i) * din;
+      const std::int64_t* wrow = w.raw.data() + i * jd * din;
+      std::int64_t* vrow = votes.raw.data() + (bi * nin + i) * jd;
+      for (std::int64_t x = 0; x < jd; ++x) {
+        std::int64_t acc = 0;
+        for (std::int64_t p = 0; p < din; ++p)
+          acc += wrow[x * din + p] * uv[p];
+        vrow[x] = hwmodel::rescale_raw(acc, acc_qf, out_fmt);
+      }
+    }
+  }
+  return votes;
+}
 
 TEST(QTensor, FloatRoundTripIsExactOnGrid) {
   common::Rng rng(1);
@@ -133,6 +186,178 @@ TEST(QEngineRouting, AgreementSelectsSameWinnerAsFloat) {
   EXPECT_EQ(arg_int[0], 1);
 }
 
+// ---- qgemm-backed operators --------------------------------------------------
+
+TEST(QEngineMatmul, BitIdenticalToScalarReferenceOnInt8Tier) {
+  // Narrow formats: both operands fit the packed int8 container, so the
+  // qgemm fast path runs — and must equal the rescale_raw reference exactly.
+  common::Rng rng(30);
+  const fixed::FixedFormat fa(2, 6), fb(1, 7), out(4, 8);
+  const QTensor a = random_q(rng, {9, 11}, fa, 1.9f);
+  const QTensor b = random_q(rng, {11, 13}, fb, 0.9f);
+  const QTensor got = matmul(a, b, out);
+  const QTensor want =
+      matmul_ref(a, b, out, fixed::RoundingScheme::kRoundToNearest);
+  ASSERT_EQ(got.shape, want.shape);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QEngineMatmul, BitIdenticalOnInt16TierWideFormats) {
+  // Q8.8-style wide formats whose values exceed int8 raw range: the int16
+  // tier carries them, still bit-identical.
+  common::Rng rng(31);
+  const fixed::FixedFormat fa(8, 8), fb(8, 8), out(10, 6);
+  const QTensor a = random_q(rng, {7, 10}, fa, 60.0f);  // raw up to ~15360
+  const QTensor b = random_q(rng, {10, 8}, fb, 0.9f);
+  ASSERT_FALSE(a.fits_i8());  // really exercises the int16 tier
+  ASSERT_TRUE(a.fits_i16());
+  const QTensor got = matmul(a, b, out);
+  const QTensor want =
+      matmul_ref(a, b, out, fixed::RoundingScheme::kRoundToNearest);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QEngineMatmul, WideValuesFallBackExactly) {
+  // Values beyond the int16 container (25-bit raws) take the int64 scalar
+  // path; the result is still exact integer arithmetic.
+  common::Rng rng(32);
+  const fixed::FixedFormat wide(18, 7), fb(2, 7), out(20, 4);
+  QTensor a({3, 5}, wide);
+  for (auto& v : a.raw)
+    v = static_cast<std::int64_t>(rng.uniform_index(1 << 25)) - (1 << 24);
+  const QTensor b = random_q(rng, {5, 4}, fb, 1.5f);
+  const QTensor got = matmul(a, b, out);
+  const QTensor want =
+      matmul_ref(a, b, out, fixed::RoundingScheme::kRoundToNearest);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QEngineMatmul, RejectsValuesThatWouldWrapInt64) {
+  // The scalar fallback is exact only while k * |a| * |b| fits int64;
+  // oversized raws must throw instead of silently wrapping.
+  const fixed::FixedFormat huge(40, 10);
+  QTensor a({2, 4}, huge), b({4, 3}, huge);
+  for (auto& v : a.raw) v = std::int64_t{1} << 31;
+  for (auto& v : b.raw) v = std::int64_t{1} << 31;
+  EXPECT_THROW(matmul(a, b, fixed::FixedFormat(40, 4)), qcaps::Error);
+}
+
+TEST(QEngineVotes, WeightCacheMatchesUncachedPath) {
+  // The packed-weight cache QuantizedShallowCaps keeps must be a pure
+  // optimization: identical votes with and without it, on both tiers.
+  common::Rng rng(37);
+  const fixed::FixedFormat act8(1, 7), w8(1, 7), act16(4, 10), out(2, 8);
+  const QTensor u8 = random_q(rng, {2, 12, 8}, act8, 0.95f);
+  const QTensor w8t = random_q(rng, {12, 5, 4, 8}, w8, 0.95f);
+  const QTensor u16 = random_q(rng, {2, 12, 8}, act16, 7.5f);
+  const QTensor w16t = random_q(rng, {12, 5, 4, 8}, act16, 7.5f);
+  const auto check = [&out](const QTensor& u, const QTensor& w) {
+    const QGemmOperandCache cache = make_operand_cache(w);
+    const QTensor got = vote_transform(
+        u, w, out, fixed::RoundingScheme::kRoundToNearest, &cache);
+    const QTensor want = vote_transform(u, w, out);
+    for (std::size_t i = 0; i < got.raw.size(); ++i)
+      ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+  };
+  check(u8, w8t);
+  check(u16, w16t);
+}
+
+TEST(QEngineMatmul, TruncationSchemeUsesExactScalarPath) {
+  common::Rng rng(33);
+  const fixed::FixedFormat fa(2, 6), fb(2, 6), out(3, 4);
+  const QTensor a = random_q(rng, {6, 9}, fa, 1.8f);
+  const QTensor b = random_q(rng, {9, 7}, fb, 1.8f);
+  const QTensor got = matmul(a, b, out, fixed::RoundingScheme::kTruncation);
+  const QTensor want =
+      matmul_ref(a, b, out, fixed::RoundingScheme::kTruncation);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QEngineVotes, QGemmPathIdenticalToLegacyLoopAtQ88) {
+  // The regression lock the rewire rides on: at the paper's Q8.8-style
+  // wordlengths the qgemm_batch vote product must reproduce the legacy
+  // scalar path raw-for-raw, so downstream routing logits are *identical*.
+  common::Rng rng(34);
+  const fixed::FixedFormat act(8, 8), wf(8, 8), act3(2, 10), dr(3, 8);
+  const std::int64_t b = 3, nin = 24, din = 8, nout = 4, dout = 6;
+  const QTensor u = random_q(rng, {b, nin, din}, act, 0.95f);
+  const QTensor w = random_q(rng, {nin, nout, dout, din}, wf, 0.45f);
+  const QTensor votes = vote_transform(u, w, act3);
+  const QTensor want = legacy_vote_transform(u, w, act3);
+  ASSERT_EQ(votes.shape, (tensor::Shape{b, nin, nout, dout}));
+  for (std::size_t i = 0; i < votes.raw.size(); ++i)
+    ASSERT_EQ(votes.raw[i], want.raw[i]) << "flat " << i;
+
+  // And therefore identical logits after routing + classification head.
+  const QTensor v_new = dynamic_routing(votes, 3, act3, dr);
+  const QTensor v_old = dynamic_routing(want, 3, act3, dr);
+  const tensor::Tensor len_new = lengths(v_new);
+  const tensor::Tensor len_old = lengths(v_old);
+  for (std::int64_t i = 0; i < len_new.numel(); ++i)
+    ASSERT_EQ(len_new[i], len_old[i]) << "logit " << i;
+}
+
+TEST(QEngineVotes, Int8TierIdenticalToLegacyLoop) {
+  common::Rng rng(35);
+  const fixed::FixedFormat act(1, 7), wf(1, 7), act3(2, 8);
+  const QTensor u = random_q(rng, {2, 12, 8}, act, 0.95f);
+  const QTensor w = random_q(rng, {12, 5, 4, 8}, wf, 0.95f);
+  ASSERT_TRUE(u.fits_i8());
+  ASSERT_TRUE(w.fits_i8());
+  const QTensor votes = vote_transform(u, w, act3);
+  const QTensor want = legacy_vote_transform(u, w, act3);
+  for (std::size_t i = 0; i < votes.raw.size(); ++i)
+    ASSERT_EQ(votes.raw[i], want.raw[i]) << "flat " << i;
+}
+
+// ---- classification head precision ------------------------------------------
+
+TEST(QEngineLengths, IntegerAccumulationIsExactForLongCapsules) {
+  // One big component (raw 4096, squared = 2^24) followed by 2048 tiny ones
+  // (raw 1). The old float32 accumulator over dequantized values dropped
+  // every tiny contribution — float eps at 2^20 is 0.125, each term adds
+  // 0.0625 — reporting sqrt(2^20) = 1024 exactly. Exact integer accumulation
+  // keeps them.
+  const fixed::FixedFormat fmt(13, 2);
+  const std::int64_t d = 2049;
+  QTensor caps({1, 1, d}, fmt);
+  caps.raw[0] = 4096;
+  for (std::int64_t i = 1; i < d; ++i) caps.raw[static_cast<std::size_t>(i)] = 1;
+
+  const float got = lengths(caps)[0];
+  const double exact_raw_sq = 16777216.0 + 2048.0;  // 2^24 + 2048
+  const float want =
+      static_cast<float>(std::ldexp(std::sqrt(exact_raw_sq), -fmt.qf));
+  EXPECT_FLOAT_EQ(got, want);
+  EXPECT_NEAR(got, 1024.0625f, 1e-3f);
+
+  // Document the divergence of the old float-accumulation path.
+  float facc = 0.0f;
+  for (std::int64_t i = 0; i < d; ++i) {
+    const float v = static_cast<float>(
+        fixed::from_raw(caps.raw[static_cast<std::size_t>(i)], fmt));
+    facc += v * v;
+  }
+  const float old_path = std::sqrt(facc);
+  EXPECT_FLOAT_EQ(old_path, 1024.0f);   // the lost low bits
+  EXPECT_GT(got - old_path, 0.05f);     // measurable divergence, now fixed
+}
+
+TEST(QEngineLengths, MatchesFloatNormOnShortCapsules) {
+  common::Rng rng(36);
+  const fixed::FixedFormat fmt(2, 10);
+  const QTensor caps = random_q(rng, {4, 6, 8}, fmt, 0.8f);
+  const tensor::Tensor got = lengths(caps);
+  const tensor::Tensor want = tensor::l2_norm_last(caps.to_float(), 0.0f);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got[i], want[i], 1e-5f) << "flat " << i;
+}
+
 // ---- network-scale validation ------------------------------------------------
 
 class QuantizedNetTest : public ::testing::Test {
@@ -191,6 +416,45 @@ TEST_F(QuantizedNetTest, IntegerEngineMatchesFakeQuantAccuracy) {
   EXPECT_NEAR(acc_int, acc_fake, 0.05f)
       << "fake-quant " << acc_fake << " vs integer " << acc_int;
   EXPECT_GT(acc_int, acc_fp32 - 0.08f);
+}
+
+TEST_F(QuantizedNetTest, QuantizedForwardTracksFp32OnCachedInputs) {
+  // Accuracy-drift bound on cached inputs: the integer forward pass must
+  // track the fp32 model's class-capsule lengths within what the quantizer
+  // spec promises (8 fractional activation bits; the routing nonlinearity
+  // amplifies the grid error but the decision margin must survive).
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < 32; ++i) idx.push_back(i);
+  const tensor::Tensor batch = split_->test.batch(idx);
+  const tensor::Tensor caps_fp = net_->forward(batch, nn::Phase::kEval);
+  const tensor::Tensor len_fp = tensor::l2_norm_last(caps_fp, 0.0f);
+
+  auto spec = core::NetworkQuantSpec::uniform(
+      3, 8, fixed::RoundingScheme::kRoundToNearest);
+  spec.layers[2].qdr_frac = 5;
+  core::Evaluator eval(*net_, split_->test, 128);
+  eval.calibrate_spec(spec);
+  const QuantizedShallowCaps deployed(*net_, spec);
+  const QTensor v = deployed.forward(batch);
+  const tensor::Tensor len_q = lengths(v);
+  ASSERT_TRUE(len_q.same_shape(len_fp));
+
+  double mean_drift = 0.0, max_drift = 0.0;
+  for (std::int64_t i = 0; i < len_q.numel(); ++i) {
+    const double d = std::fabs(static_cast<double>(len_q[i]) - len_fp[i]);
+    mean_drift += d;
+    max_drift = std::max(max_drift, d);
+  }
+  mean_drift /= static_cast<double>(len_q.numel());
+  EXPECT_LT(mean_drift, 0.05) << "mean capsule-length drift vs fp32";
+  EXPECT_LT(max_drift, 0.30) << "worst capsule-length drift vs fp32";
+
+  const auto cls_fp = tensor::argmax_rows(len_fp);
+  const auto cls_q = tensor::argmax_rows(len_q);
+  int agree = 0;
+  for (std::size_t i = 0; i < cls_fp.size(); ++i)
+    if (cls_fp[i] == cls_q[i]) ++agree;
+  EXPECT_GE(agree, 29) << "of 32 cached inputs";
 }
 
 TEST_F(QuantizedNetTest, WeightBitsMatchMemoryModel) {

@@ -1,10 +1,16 @@
-// Tests for tensor-level fake quantization and error statistics.
+// Tests for tensor-level fake quantization and error statistics, and for the
+// agreement between the fake-quantized (float-grid) world and the packed
+// integer world: exact products of grid values, requantized with the qgemm
+// multiplier+shift path, must land on the same grid points the quantizer
+// produces.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/rng.hpp"
 #include "fixed/quantizer.hpp"
+#include "qengine/qtensor.hpp"
+#include "tensor/qgemm.hpp"
 #include "test_util.hpp"
 
 namespace qcaps::fixed {
@@ -132,6 +138,76 @@ TEST(ErrorStats, TruncationBiasNegativeOnTensors) {
   const auto err =
       quantization_error(t, FixedFormat(1, 4), RoundingScheme::kTruncation);
   EXPECT_LT(err.bias, 0.0);
+}
+
+// ---- fake-quantized grid vs packed integer execution ------------------------
+
+TEST(QuantizerVsQGemm, ExactProductRequantLandsOnQuantizerGrid) {
+  // For grid values x (fmt A) and y (fmt B), the exact product x*y is a raw
+  // integer with qf_a + qf_b fractional bits. Pushing that raw product
+  // through the qgemm requant (unit multiplier + shift) must match what the
+  // float-side definition — quantize_value of the real product — produces.
+  // This is the element-level statement of "fake quantization simulates the
+  // integer datapath exactly".
+  const FixedFormat fa(2, 6), fb(1, 7), out(3, 5);
+  common::Rng rng(11);
+  tensor::QGemmRequant rq;
+  rq.shift = fa.qf + fb.qf - out.qf;
+  rq.qmin = static_cast<std::int32_t>(out.raw_min());
+  rq.qmax = static_cast<std::int32_t>(out.raw_max());
+  const Quantizer qa(fa, RoundingScheme::kRoundToNearest);
+  const Quantizer qb(fb, RoundingScheme::kRoundToNearest);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = quantize_value(rng.uniform(-1.9f, 1.9f), fa,
+                                    RoundingScheme::kRoundToNearest);
+    const double y = quantize_value(rng.uniform(-0.99f, 0.99f), fb,
+                                    RoundingScheme::kRoundToNearest);
+    const std::int64_t rx = to_raw(x, fa, RoundingScheme::kRoundToNearest);
+    const std::int64_t ry = to_raw(y, fb, RoundingScheme::kRoundToNearest);
+    const std::int32_t got = tensor::qgemm_requantize(rx * ry, rq);
+    // x*y is exact in double (both factors have few mantissa bits).
+    const std::int64_t want =
+        to_raw(x * y, out, RoundingScheme::kRoundToNearest);
+    ASSERT_EQ(got, want) << "x=" << x << " y=" << y;
+  }
+}
+
+TEST(QuantizerVsQGemm, NegativeAndTieProductsBitIdentical) {
+  // Directed cases: negative operands and products landing exactly half-way
+  // between output grid points.
+  const FixedFormat fa(2, 4), fb(2, 4), out(3, 4);  // shift 4, ties at 8
+  tensor::QGemmRequant rq;
+  rq.shift = 4;
+  rq.qmin = static_cast<std::int32_t>(out.raw_min());
+  rq.qmax = static_cast<std::int32_t>(out.raw_max());
+  const std::pair<std::int64_t, std::int64_t> cases[] = {
+      {2, 4},  {-2, 4}, {2, -4}, {-2, -4}, {6, 4},   {-6, 4},
+      {3, 8},  {-3, 8}, {5, -8}, {-5, -8}, {24, 11}, {-24, 11}};
+  for (const auto& [ra, rb] : cases) {
+    const double x = from_raw(ra, fa), y = from_raw(rb, fb);
+    ASSERT_EQ(tensor::qgemm_requantize(ra * rb, rq),
+              to_raw(x * y, out, RoundingScheme::kRoundToNearest))
+        << "ra=" << ra << " rb=" << rb;
+  }
+}
+
+TEST(QuantizerVsQGemm, PackedContainerRoundTripsThroughInt8) {
+  // Quantizer grid -> QTensor raw -> packed int8 (+ scale/zero-point
+  // metadata) -> QTensor -> float must be the identity on the grid.
+  common::Rng rng(12);
+  const FixedFormat fmt(1, 7);
+  const Quantizer q(fmt, RoundingScheme::kRoundToNearest);
+  const tensor::Tensor t = q.quantized(tensor::Tensor::randn({512}, rng, 0.0f, 0.4f));
+  const qengine::QTensor qt = qengine::QTensor::from_float(t, fmt);
+  ASSERT_TRUE(qt.fits_i8());
+  EXPECT_EQ(qt.zero_point(), 0);
+  EXPECT_DOUBLE_EQ(qt.scale(), fmt.precision());
+  const auto packed = qt.packed_i8();
+  const qengine::QTensor back =
+      qengine::QTensor::from_packed_i8(packed.data(), qt.shape, fmt);
+  const tensor::Tensor tf = back.to_float();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    ASSERT_EQ(tf[i], t[i]) << "flat " << i;
 }
 
 }  // namespace

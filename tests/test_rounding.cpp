@@ -1,11 +1,14 @@
 // Tests for the rounding schemes (paper Sec. II-B): grid membership,
-// per-scheme semantics, bias properties and saturation.
+// per-scheme semantics, bias properties and saturation — plus proof that the
+// qgemm requantization (multiplier + shift) is bit-identical to the fixed
+// rounding applied to exact int32 products.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "common/rng.hpp"
 #include "fixed/rounding.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace qcaps::fixed {
 namespace {
@@ -163,6 +166,66 @@ TEST(Raw, SaturationClampsRaw) {
 TEST(Raw, InvalidFormatRejected) {
   EXPECT_THROW(to_raw(0.5, FixedFormat(0, 3), RoundingScheme::kTruncation),
                qcaps::Error);
+}
+
+// ---- qgemm requantization vs the fixed-point rounding definition -----------
+//
+// A raw int32 accumulator with acc_qf fractional bits represents the exact
+// real value acc * 2^-acc_qf. Requantizing it into out_fmt with the qgemm
+// multiplier+shift path (unit multiplier, shift = acc_qf - out_fmt.qf) must
+// land on exactly the raw value that fixed::to_raw produces for that real
+// value under round-to-nearest — for positives, negatives, and half-way ties.
+
+tensor::QGemmRequant shift_requant(int shift, const FixedFormat& out) {
+  tensor::QGemmRequant rq;
+  rq.shift = shift;
+  rq.qmin = static_cast<std::int32_t>(out.raw_min());
+  rq.qmax = static_cast<std::int32_t>(out.raw_max());
+  return rq;
+}
+
+TEST(RequantVsToRaw, ShiftPathBitIdenticalToRoundToNearest) {
+  const FixedFormat out(2, 3);
+  const int acc_qf = 9;  // shift 6
+  const auto rq = shift_requant(acc_qf - out.qf, out);
+  for (std::int64_t acc = -6000; acc <= 6000; ++acc) {
+    const double x = std::ldexp(static_cast<double>(acc), -acc_qf);
+    ASSERT_EQ(tensor::qgemm_requantize(acc, rq),
+              to_raw(x, out, RoundingScheme::kRoundToNearest))
+        << "acc=" << acc;
+  }
+}
+
+TEST(RequantVsToRaw, HalfWayTiesRoundHalfUpLikeEqThree) {
+  // Ties sit at acc = k*2^shift + 2^(shift-1); Eq. (3) rounds them up
+  // (toward +inf) on both sides of zero.
+  const FixedFormat out(4, 2);
+  const int shift = 6;
+  const auto rq = shift_requant(shift, out);
+  EXPECT_EQ(tensor::qgemm_requantize(32, rq), 1);    // +0.5 ulp -> up
+  EXPECT_EQ(tensor::qgemm_requantize(-32, rq), 0);   // -0.5 ulp -> up to 0
+  EXPECT_EQ(tensor::qgemm_requantize(96, rq), 2);    // +1.5 ulp -> 2
+  EXPECT_EQ(tensor::qgemm_requantize(-96, rq), -1);  // -1.5 ulp -> -1
+  for (std::int64_t k = -40; k <= 40; ++k) {
+    const std::int64_t acc = k * 64 + 32;
+    const double x = std::ldexp(static_cast<double>(acc), -(out.qf + shift));
+    ASSERT_EQ(tensor::qgemm_requantize(acc, rq),
+              to_raw(x, out, RoundingScheme::kRoundToNearest))
+        << "tie acc=" << acc;
+  }
+}
+
+TEST(RequantVsToRaw, SaturatesExactlyWhereToRawDoes) {
+  const FixedFormat out(1, 4);  // raw range [-16, 15]
+  const auto rq = shift_requant(4, out);
+  for (std::int64_t acc = -1024; acc <= 1024; acc += 3) {
+    const double x = std::ldexp(static_cast<double>(acc), -(out.qf + 4));
+    ASSERT_EQ(tensor::qgemm_requantize(acc, rq),
+              to_raw(x, out, RoundingScheme::kRoundToNearest))
+        << "acc=" << acc;
+  }
+  EXPECT_EQ(tensor::qgemm_requantize(1 << 20, rq), out.raw_max());
+  EXPECT_EQ(tensor::qgemm_requantize(-(1 << 20), rq), out.raw_min());
 }
 
 }  // namespace

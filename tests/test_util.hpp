@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "tensor/qgemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace qcaps::testutil {
@@ -61,6 +64,76 @@ inline tensor::Tensor gemm_naive(const tensor::Tensor& a,
       c.at({i, j}) = static_cast<float>(acc);
     }
   return c;
+}
+
+/// Reference integer-GEMM accumulation oracle: the simplest possible exact
+/// int64 triple loop over op(A)·op(B), with the input zero points applied
+/// directly to every operand element (the backend instead uses rowsum/colsum
+/// compensation — comparing the two is part of the point).
+template <typename T>
+inline std::vector<std::int64_t> qgemm_acc_naive(
+    tensor::Trans ta, tensor::Trans tb, std::int64_t m, std::int64_t n,
+    std::int64_t k, const T* a, std::int64_t lda, const T* b, std::int64_t ldb,
+    std::int64_t a_zero = 0, std::int64_t b_zero = 0) {
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(m * n), 0);
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t s = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const std::int64_t av =
+            ta == tensor::Trans::kN ? a[i * lda + p] : a[p * lda + i];
+        const std::int64_t bv =
+            tb == tensor::Trans::kN ? b[p * ldb + j] : b[j * ldb + p];
+        s += (av - a_zero) * (bv - b_zero);
+      }
+      acc[static_cast<std::size_t>(i * n + j)] = s;
+    }
+  return acc;
+}
+
+/// The documented qgemm requantization formula, spelled out longhand:
+///   clamp(round_half_up(acc * M / 2^(30+shift)) + c_zero, qmin, qmax).
+inline std::int32_t requant_naive(std::int64_t acc, std::int64_t multiplier,
+                                  int shift, std::int32_t c_zero,
+                                  std::int32_t qmin, std::int32_t qmax) {
+  const std::int64_t v = acc * multiplier;
+  const int total = 30 + shift;
+  std::int64_t r;
+  if (total > 0)
+    r = (v + (std::int64_t{1} << (total - 1))) >> total;
+  else if (total == 0)
+    r = v;
+  else
+    r = v << -total;
+  r += c_zero;
+  if (r < qmin) r = qmin;
+  if (r > qmax) r = qmax;
+  return static_cast<std::int32_t>(r);
+}
+
+/// Full integer-GEMM oracle: naive accumulation + naive requantization,
+/// honouring bias and the per-row multiplier/shift overrides. Every fast
+/// path of tensor/qgemm.{hpp,cpp} must match this bit for bit.
+template <typename T>
+inline std::vector<std::int32_t> qgemm_naive(
+    tensor::Trans ta, tensor::Trans tb, std::int64_t m, std::int64_t n,
+    std::int64_t k, const T* a, std::int64_t lda, const T* b, std::int64_t ldb,
+    const tensor::QGemmRequant& rq) {
+  const auto acc =
+      qgemm_acc_naive(ta, tb, m, n, k, a, lda, b, ldb, rq.a_zero, rq.b_zero);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t mult =
+        rq.row_multipliers ? rq.row_multipliers[i] : rq.multiplier;
+    const int shift = rq.row_shifts ? rq.row_shifts[i] : rq.shift;
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t s = acc[static_cast<std::size_t>(i * n + j)];
+      if (rq.bias) s += rq.bias[i];
+      out[static_cast<std::size_t>(i * n + j)] =
+          requant_naive(s, mult, shift, rq.c_zero, rq.qmin, rq.qmax);
+    }
+  }
+  return out;
 }
 
 /// Deterministic weighted-sum "loss head" for gradient checks: L = Σ w ⊙ y.
