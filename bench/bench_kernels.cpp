@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/quant_spec.hpp"
 #include "fixed/quantizer.hpp"
 #include "hwmodel/units.hpp"
+#include "models/shallow_caps.hpp"
 #include "nn/routing.hpp"
+#include "qengine/quantized_shallow_caps.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
@@ -166,6 +169,44 @@ void BM_GemmBatchDeepCapsVotes(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * bsz * nin * jd * din);
 }
 BENCHMARK(BM_GemmBatchDeepCapsVotes);
+
+// End-to-end batched classification on the experiment ShallowCaps — the
+// per-forward work the inference server's workers execute. The batch-1 row
+// is the no-batching baseline; larger batches show the served-throughput
+// gain from coalescing (items_per_second = images/sec). Random weights:
+// capsule-network forward cost does not depend on the trained values.
+void BM_PredictBatchFp32(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(20);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->predict_batch(images));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_PredictBatchFp32)->Arg(1)->Arg(4)->Arg(16);
+
+// Integer deployment counterpart (Q1.6 uniform spec: int8 qgemm tier for
+// conv and votes, packed weights cached across calls).
+void BM_PredictBatchInt8(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(21);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const qengine::QuantizedShallowCaps qmodel(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qmodel.predict_batch(images));
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_PredictBatchInt8)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t c = state.range(0);

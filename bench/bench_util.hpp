@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "core/framework.hpp"
@@ -15,39 +17,53 @@
 
 namespace qcaps::bench {
 
+/// True when QCAPS_BENCH_FAST is set to anything but "" or "0": every bench
+/// main shrinks its datasets, epochs and repetition counts so the whole
+/// suite finishes in CI-smoke time. The numbers lose statistical weight but
+/// every code path still executes.
+inline bool fast_mode() {
+  const char* env = std::getenv("QCAPS_BENCH_FAST");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// `full` normally, `fast` under QCAPS_BENCH_FAST.
+inline std::int64_t fast_or(std::int64_t full, std::int64_t fast) {
+  return fast_mode() ? fast : full;
+}
+
 /// Standard experiment datasets (DESIGN.md §3 substitution for MNIST /
 /// FashionMNIST / CIFAR10).
 inline data::DataSplit digits_split() {
   data::SynthConfig cfg;
-  cfg.train_size = 2000;
-  cfg.test_size = 512;
+  cfg.train_size = fast_or(2000, 256);
+  cfg.test_size = fast_or(512, 64);
   return data::make_digits_split(cfg);
 }
 
 inline data::DataSplit fashion_split() {
   data::SynthConfig cfg;
-  cfg.train_size = 2000;
-  cfg.test_size = 512;
+  cfg.train_size = fast_or(2000, 256);
+  cfg.test_size = fast_or(512, 64);
   return data::make_fashion_split(cfg);
 }
 
 inline data::DataSplit cifar_split() {
   data::SynthConfig cfg;
-  cfg.train_size = 1500;
-  cfg.test_size = 384;
+  cfg.train_size = fast_or(1500, 192);
+  cfg.test_size = fast_or(384, 48);
   return data::make_cifar_split(cfg);
 }
 
 inline nn::TrainConfig shallow_train_cfg(data::AugmentPolicy augment) {
   nn::TrainConfig cfg;
-  cfg.epochs = 3;
+  cfg.epochs = static_cast<int>(fast_or(3, 1));
   cfg.augment = augment;
   return cfg;
 }
 
 inline nn::TrainConfig deep_train_cfg(data::AugmentPolicy augment) {
   nn::TrainConfig cfg;
-  cfg.epochs = 6;
+  cfg.epochs = static_cast<int>(fast_or(6, 1));
   cfg.augment = augment;
   return cfg;
 }

@@ -17,6 +17,16 @@ if [ ! -x "$BIN" ]; then
   exit 1
 fi
 
+# QCAPS_BENCH_FAST=1 (the CI bench-smoke mode) caps repetitions and minimum
+# measurement time so the whole suite finishes quickly; the JSON keeps the
+# same shape, just with noisier numbers.
+FAST_ARGS=""
+if [ "${QCAPS_BENCH_FAST:-0}" != "0" ] && [ -n "${QCAPS_BENCH_FAST:-}" ]; then
+  # Unitless min_time: accepted by every google-benchmark version (newer
+  # ones also take a "0.05s" form, older ones only the bare double).
+  FAST_ARGS="--benchmark_min_time=0.05 --benchmark_repetitions=1"
+fi
+
 # Extra args (e.g. --benchmark_filter=...) pass through to the binary.
-"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json $FAST_ARGS "$@"
 echo "wrote $OUT"

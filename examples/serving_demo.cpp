@@ -1,0 +1,94 @@
+// Serving demo: train (or load) a ShallowCaps on the synthetic digits set,
+// stand up an InferenceServer hosting both the FP32 model and its Q1.6
+// integer deployment, fire concurrent clients at it, and print per-model
+// accuracy, latency and batching statistics.
+//
+// Usage: serving_demo [--train=512] [--test=128] [--epochs=1] [--requests=64]
+//                     [--clients=4] [--max-batch=8] [--frac=6]
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/quant_spec.hpp"
+#include "data/synth.hpp"
+#include "models/model_cache.hpp"
+#include "models/shallow_caps.hpp"
+#include "serve/client.hpp"
+#include "serve/model_backend.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcaps;
+  const common::CliArgs args(argc, argv);
+
+  // 1) Data + a trained FP32 ShallowCaps (cached in qcaps_model_cache/).
+  data::SynthConfig dcfg;
+  dcfg.train_size = args.get_int("train", 512);
+  dcfg.test_size = args.get_int("test", 128);
+  const data::DataSplit split = data::make_digits_split(dcfg);
+  nn::TrainConfig tcfg;
+  tcfg.epochs = args.get_int("epochs", 1);
+  tcfg.augment = data::AugmentPolicy::mnist();
+  auto trained = models::get_trained_shallow_caps(split, "serving-demo", tcfg);
+  const auto mcfg = models::ShallowCapsConfig::experiment();
+
+  // 2) The server hosts the FP32 network and its integer deployment
+  //    side by side, each with its own worker pool.
+  serve::ServerConfig scfg;
+  scfg.max_batch = args.get_int("max-batch", 8);
+  scfg.compute_batch = 8;
+  scfg.batch_window = std::chrono::microseconds(500);
+
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, args.get_int("frac", 6), fixed::RoundingScheme::kRoundToNearest);
+
+  serve::InferenceServer server;
+  server.add_model("fp32",
+                   std::make_unique<serve::NetworkBackend>(
+                       "fp32",
+                       [&mcfg, net = trained.net.get()] {
+                         return models::replicate_shallow_caps(mcfg, *net);
+                       }),
+                   scfg);
+  server.add_model("int8", std::make_unique<serve::QuantizedBackend>(
+                               "int8", *trained.net, spec),
+                   scfg);
+
+  // 3) Concurrent clients classify test images against both models.
+  const int requests = args.get_int("requests", 64);
+  const int num_clients = args.get_int("clients", 4);
+  for (const char* model : {"fp32", "int8"}) {
+    std::atomic<int> correct{0};
+    std::atomic<double> lat_sum{0.0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::InferenceClient client(server, model);
+        for (int i = c; i < requests; i += num_clients) {
+          const std::int64_t idx = i % split.test.size();
+          const serve::ClientResult res =
+              client.classify(split.test.image(idx));
+          if (res.prediction.label ==
+              split.test.labels[static_cast<std::size_t>(idx)])
+            correct.fetch_add(1);
+          double cur = lat_sum.load();
+          while (!lat_sum.compare_exchange_weak(cur, cur + res.latency_ms)) {
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const serve::ModelStats stats = server.stats(model);
+    std::printf(
+        "%-5s  accuracy %5.1f%%  mean latency %6.2f ms  batches %llu  "
+        "mean batch %.2f  max batch %lld\n",
+        model, 100.0 * correct.load() / requests,
+        lat_sum.load() / requests,
+        static_cast<unsigned long long>(stats.batches), stats.mean_batch,
+        static_cast<long long>(stats.max_batch_seen));
+  }
+  server.shutdown();
+  return 0;
+}

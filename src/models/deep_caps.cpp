@@ -5,6 +5,7 @@
 #include "nn/conv2d_layer.hpp"
 #include "nn/conv_caps.hpp"
 #include "nn/fc_caps.hpp"
+#include "nn/serialize.hpp"
 
 namespace qcaps::models {
 
@@ -67,6 +68,14 @@ std::unique_ptr<nn::Network> build_deep_caps(const DeepCapsConfig& cfg,
                             cfg.num_classes, cfg.out_caps_dim,
                             cfg.routing_iterations, rng);
   return net;
+}
+
+std::unique_ptr<nn::Network> replicate_deep_caps(const DeepCapsConfig& cfg,
+                                                 nn::Network& trained) {
+  common::Rng rng(1);  // init values are overwritten by the parameter copy
+  auto replica = build_deep_caps(cfg, rng);
+  nn::copy_parameters(*replica, trained);
+  return replica;
 }
 
 }  // namespace qcaps::models

@@ -46,4 +46,9 @@ struct DeepCapsConfig {
 std::unique_ptr<nn::Network> build_deep_caps(const DeepCapsConfig& cfg,
                                              common::Rng& rng);
 
+/// Fresh DeepCaps with `trained`'s parameters (and batch-norm running
+/// statistics) copied in — the per-worker replica for the inference server.
+std::unique_ptr<nn::Network> replicate_deep_caps(const DeepCapsConfig& cfg,
+                                                 nn::Network& trained);
+
 }  // namespace qcaps::models

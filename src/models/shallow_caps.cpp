@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "nn/activation_layers.hpp"
+#include "nn/serialize.hpp"
 #include "nn/conv2d_layer.hpp"
 #include "nn/fc_caps.hpp"
 #include "nn/primary_caps.hpp"
@@ -39,6 +40,14 @@ std::unique_ptr<nn::Network> build_shallow_caps(const ShallowCapsConfig& cfg,
                             cfg.primary_dim, cfg.num_classes, cfg.digit_dim,
                             cfg.routing_iterations, rng);
   return net;
+}
+
+std::unique_ptr<nn::Network> replicate_shallow_caps(
+    const ShallowCapsConfig& cfg, nn::Network& trained) {
+  common::Rng rng(1);  // init values are overwritten by the parameter copy
+  auto replica = build_shallow_caps(cfg, rng);
+  nn::copy_parameters(*replica, trained);
+  return replica;
 }
 
 }  // namespace qcaps::models

@@ -42,4 +42,10 @@ struct ShallowCapsConfig {
 std::unique_ptr<nn::Network> build_shallow_caps(const ShallowCapsConfig& cfg,
                                                 common::Rng& rng);
 
+/// Fresh ShallowCaps with `trained`'s parameters copied in — the per-worker
+/// model replica the inference server's worker pools run on (layers cache
+/// forward-pass state, so concurrent workers must not share one network).
+std::unique_ptr<nn::Network> replicate_shallow_caps(
+    const ShallowCapsConfig& cfg, nn::Network& trained);
+
 }  // namespace qcaps::models

@@ -63,14 +63,38 @@ void Network::clear_quantization() {
   for (auto& layer : layers_) layer->quant().clear();
 }
 
+std::vector<int> classify_lengths(const tensor::Tensor& lengths,
+                                  std::vector<float>* scores) {
+  QCAPS_CHECK_MSG(lengths.ndim() == 2,
+                  "classify_lengths expects a [B, Ncls] length matrix");
+  const auto idx = tensor::argmax_rows(lengths);
+  std::vector<int> labels;
+  labels.reserve(idx.size());
+  if (scores) {
+    scores->clear();
+    scores->reserve(idx.size());
+  }
+  const std::int64_t ncls = lengths.dim(1);
+  for (std::size_t b = 0; b < idx.size(); ++b) {
+    labels.push_back(static_cast<int>(idx[b]));
+    if (scores)
+      scores->push_back(
+          lengths[static_cast<std::int64_t>(b) * ncls + idx[b]]);
+  }
+  return labels;
+}
+
+std::vector<int> Network::predict_batch(const tensor::Tensor& images,
+                                        std::vector<float>* scores) {
+  const tensor::Tensor output = forward(images, Phase::kEval);
+  QCAPS_CHECK_MSG(output.ndim() == 3, "predict_batch expects a [B, Ncls, D] "
+                                      "network output");
+  return classify_lengths(caps_lengths(output), scores);
+}
+
 std::vector<int> Network::predict(const tensor::Tensor& output) {
   QCAPS_CHECK_MSG(output.ndim() == 3, "predict expects [B, Ncls, D]");
-  const tensor::Tensor lengths = caps_lengths(output);
-  const auto idx = tensor::argmax_rows(lengths);
-  std::vector<int> out;
-  out.reserve(idx.size());
-  for (const auto i : idx) out.push_back(static_cast<int>(i));
-  return out;
+  return classify_lengths(caps_lengths(output));
 }
 
 }  // namespace qcaps::nn

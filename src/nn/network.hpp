@@ -14,6 +14,13 @@
 
 namespace qcaps::nn {
 
+/// The classification head shared by every predict path (fp32 and integer):
+/// argmax per row of a [B, Ncls] capsule-length matrix. With `scores`, the
+/// winning length of each row is written out (serving reports it as the
+/// prediction confidence).
+std::vector<int> classify_lengths(const tensor::Tensor& lengths,
+                                  std::vector<float>* scores = nullptr);
+
 class Network {
  public:
   explicit Network(std::string name) : name_(std::move(name)) {}
@@ -55,6 +62,14 @@ class Network {
 
   /// Predicted class = argmax over capsule lengths of a [B, Ncls, D] output.
   static std::vector<int> predict(const tensor::Tensor& output);
+
+  /// Inference-phase forward over a [B, ...] input batch followed by the
+  /// argmax-of-length classification; one call serves the whole batch. With
+  /// `scores`, the winning capsule length of each sample is written out
+  /// (the serving layer reports it as the prediction confidence). The result
+  /// is bit-identical to running each sample through a batch-1 forward.
+  std::vector<int> predict_batch(const tensor::Tensor& images,
+                                 std::vector<float>* scores = nullptr);
 
  private:
   std::string name_;

@@ -74,4 +74,20 @@ bool load_params(Network& net, const std::string& path) {
   return true;
 }
 
+void copy_parameters(Network& dst, Network& src) {
+  const auto copy_group = [](const std::vector<tensor::Tensor*>& to,
+                             const std::vector<tensor::Tensor*>& from) {
+    QCAPS_CHECK_MSG(to.size() == from.size(),
+                    "copy_parameters: tensor count mismatch (" << to.size()
+                        << " vs " << from.size() << ")");
+    for (std::size_t i = 0; i < to.size(); ++i) {
+      QCAPS_CHECK_MSG(to[i]->same_shape(*from[i]),
+                      "copy_parameters: shape mismatch at tensor " << i);
+      *to[i] = *from[i];
+    }
+  };
+  copy_group(dst.params(), src.params());
+  copy_group(dst.state(), src.state());
+}
+
 }  // namespace qcaps::nn

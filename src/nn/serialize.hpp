@@ -15,4 +15,10 @@ void save_params(Network& net, const std::string& path);
 /// Returns false if the file does not exist; throws on shape mismatch.
 bool load_params(Network& net, const std::string& path);
 
+/// Copy every parameter and persistent state tensor from `src` into `dst`.
+/// The architectures must match (tensor counts and shapes are checked).
+/// This is how the serving worker pools build per-worker model replicas
+/// without round-tripping through the filesystem.
+void copy_parameters(Network& dst, Network& src);
+
 }  // namespace qcaps::nn

@@ -106,11 +106,113 @@ void run_qgemm_votes(const QTensor& u, const QTensor& w,
                       nin * jd, jd, nin, rq);
 }
 
+// Batched im2col + packed integer GEMM convolution. The whole [B, ...]
+// batch becomes ONE qgemm call: A = weights [F, C*K*K] (from the packed
+// cache when supplied), B = the images' im2col columns concatenated to
+// [C*K*K, B*OH*OW], bias folded into the fused requantization. Padding
+// contributes stored zeros, which are exact zeros on the symmetric grid.
+template <typename T>
+QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
+                     std::int64_t stride, std::int64_t pad,
+                     fixed::FixedFormat out_fmt, int acc_qf,
+                     const QGemmOperandCache* w_cache, std::int64_t b,
+                     std::int64_t c, std::int64_t h, std::int64_t wd,
+                     std::int64_t f, std::int64_t k, std::int64_t oh,
+                     std::int64_t ow) {
+  const std::int64_t kk = c * k * k;
+  const std::int64_t plane = oh * ow;
+
+  std::vector<T> w_local;
+  const T* wp;
+  if (w_cache) {
+    wp = cached_container<T>(*w_cache).data();
+  } else {
+    w_local = packed_of<T>(w);
+    wp = w_local.data();
+  }
+
+  std::vector<std::int32_t> bias32;
+  if (!bias.raw.empty()) {
+    const int bshift = acc_qf - bias.fmt.qf;
+    bias32.resize(static_cast<std::size_t>(f));
+    for (std::int64_t i = 0; i < f; ++i)
+      bias32[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          bias.raw[static_cast<std::size_t>(i)] << bshift);
+  }
+
+  tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
+  if (!bias32.empty()) rq.bias = bias32.data();
+
+  // Cache-block the batch: one GEMM per chunk of images, chunk sized so the
+  // im2col columns + int32 accumulators + int64 outputs stay L2-resident
+  // (~1 MB); the packed weight panels stay hot across every chunk. Large
+  // batches keep the per-call amortization without streaming multi-MB
+  // working sets through the cache. Chunking cannot change results: each
+  // output element's exact int32 accumulation is unaffected by which chunk
+  // computes it.
+  constexpr std::int64_t kConvWorkingSetBytes = std::int64_t{1} << 20;
+  const std::int64_t bytes_per_col =
+      kk * static_cast<std::int64_t>(sizeof(T)) + 12 * f;
+  const std::int64_t chunk_b = std::clamp<std::int64_t>(
+      kConvWorkingSetBytes / std::max<std::int64_t>(bytes_per_col * plane, 1),
+      1, b);
+
+  QTensor out({b, f, oh, ow}, out_fmt);
+  std::vector<T> cols;
+  std::vector<std::int32_t> c32;
+  for (std::int64_t b0 = 0; b0 < b; b0 += chunk_b) {
+    const std::int64_t bc = std::min<std::int64_t>(chunk_b, b - b0);
+    const std::int64_t n_chunk = bc * plane;
+    // With pad == 0 the im2col loop writes every element, so skip the
+    // zero-fill on that (hottest) path; padding needs the zeros.
+    if (pad > 0)
+      cols.assign(static_cast<std::size_t>(kk * n_chunk), T{0});
+    else
+      cols.resize(static_cast<std::size_t>(kk * n_chunk));
+#pragma omp parallel for schedule(static)
+    for (std::int64_t bi = 0; bi < bc; ++bi) {
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const std::int64_t* xplane =
+            x.raw.data() + ((b0 + bi) * c + ci) * h * wd;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            T* crow = cols.data() + ((ci * k + ky) * k + kx) * n_chunk +
+                      bi * plane;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * stride + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t xx = 0; xx < ow; ++xx) {
+                const std::int64_t ix = xx * stride + kx - pad;
+                if (ix < 0 || ix >= wd) continue;
+                crow[y * ow + xx] = static_cast<T>(xplane[iy * wd + ix]);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    c32.resize(static_cast<std::size_t>(f * n_chunk));
+    tensor::qgemm(tensor::Trans::kN, tensor::Trans::kN, f, n_chunk, kk, wp,
+                  kk, cols.data(), n_chunk, c32.data(), n_chunk, rq);
+
+    // Scatter [F, bc*plane] -> [b0.., F, plane].
+    for (std::int64_t fi = 0; fi < f; ++fi)
+      for (std::int64_t bi = 0; bi < bc; ++bi) {
+        const std::int32_t* src = c32.data() + fi * n_chunk + bi * plane;
+        std::int64_t* dst = out.raw.data() + ((b0 + bi) * f + fi) * plane;
+        for (std::int64_t p = 0; p < plane; ++p) dst[p] = src[p];
+      }
+  }
+  return out;
+}
+
 }  // namespace
 
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
-               fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme) {
+               fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme,
+               const QGemmOperandCache* w_cache) {
   QCAPS_CHECK_MSG(x.shape.size() == 4 && w.shape.size() == 4,
                   "qengine conv2d expects [B,C,H,W] x [F,C,K,K]");
   const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
@@ -127,6 +229,32 @@ QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                   "conv accumulator would overflow for these formats");
   const int acc_qf = x.fmt.qf + w.fmt.qf;
   const bool has_bias = !bias.raw.empty();
+  QCAPS_CHECK_MSG(!w_cache || w_cache->max_abs >= 0,
+                  "conv2d weight cache was not built");
+  QCAPS_CHECK_MSG(!has_bias || bias.fmt.qf <= acc_qf,
+                  "conv2d bias fractional width exceeds the accumulator's");
+  if (b == 0) return QTensor({b, f, oh, ow}, out_fmt);
+
+  // Packed-GEMM fast path (bit-identical; see header).
+  if (requant_expressible(acc_qf, out_fmt, scheme)) {
+    const std::int64_t wmax = w_cache ? w_cache->max_abs : w.max_abs_raw();
+    const int tier = qgemm_tier(x.max_abs_raw(), wmax, c * k * k);
+    bool bias_ok = true;
+    if (has_bias) {
+      const int bshift = acc_qf - bias.fmt.qf;
+      bias_ok = bshift >= 0 && bshift < 31 &&
+                bias.max_abs_raw() <= (INT32_MAX >> bshift);
+    }
+    if (tier != 0 && bias_ok) {
+      return tier == 1
+                 ? conv2d_qgemm<std::int8_t>(x, w, bias, stride, pad, out_fmt,
+                                             acc_qf, w_cache, b, c, h, wd, f,
+                                             k, oh, ow)
+                 : conv2d_qgemm<std::int16_t>(x, w, bias, stride, pad, out_fmt,
+                                              acc_qf, w_cache, b, c, h, wd, f,
+                                              k, oh, ow);
+    }
+  }
 
   QTensor out({b, f, oh, ow}, out_fmt);
 #pragma omp parallel for collapse(2) schedule(static)

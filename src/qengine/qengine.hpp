@@ -11,13 +11,36 @@
 
 namespace qcaps::qengine {
 
+/// Reusable packed-container cache for a constant qgemm operand (weights):
+/// built once, it saves every subsequent conv2d/vote_transform call the
+/// O(|w|) range scan and packed copy on the hot path — the serving stack
+/// builds one per weight tensor and reuses it across all requests.
+struct QGemmOperandCache {
+  std::int64_t max_abs = -1;      ///< -1 = not built
+  std::vector<std::int8_t> i8;    ///< filled when the values fit int8
+  std::vector<std::int16_t> i16;  ///< filled when the values fit int16
+};
+
+/// Eagerly build the packed cache for `t`.
+QGemmOperandCache make_operand_cache(const QTensor& t);
+
 /// Integer conv2d: x [B, C, H, W] (act fmt) * w [F, C, K, K] (weight fmt)
 /// + bias [F] (weight fmt) -> [B, F, H', W'] in out_fmt.
+///
+/// Fast path: when the operands' raw ranges admit exact int32 accumulation
+/// and the rescale is a qgemm requant (round-to-nearest, narrow output),
+/// the convolution runs as ONE packed integer GEMM over the whole batch —
+/// an im2col of every image concatenated along the output columns — with
+/// the bias folded into the fused requantization. Results are bit-identical
+/// to the scalar path (integer accumulation is order-exact and the requant
+/// is the same round-half-up rescale). Pass `w_cache` (built from `w`) to
+/// skip re-packing constant weights on every call.
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
                fixed::FixedFormat out_fmt,
                fixed::RoundingScheme scheme =
-                   fixed::RoundingScheme::kRoundToNearest);
+                   fixed::RoundingScheme::kRoundToNearest,
+               const QGemmOperandCache* w_cache = nullptr);
 
 /// In-place ReLU on raw values.
 void relu(QTensor& x);
@@ -47,18 +70,6 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
 QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
                fixed::RoundingScheme scheme =
                    fixed::RoundingScheme::kRoundToNearest);
-
-/// Reusable packed-container cache for a constant qgemm operand (weights):
-/// built once, it saves every subsequent vote_transform call the O(|w|)
-/// range scan and packed copy on the hot path.
-struct QGemmOperandCache {
-  std::int64_t max_abs = -1;      ///< -1 = not built
-  std::vector<std::int8_t> i8;    ///< filled when the values fit int8
-  std::vector<std::int16_t> i16;  ///< filled when the values fit int16
-};
-
-/// Eagerly build the packed cache for `t`.
-QGemmOperandCache make_operand_cache(const QTensor& t);
 
 /// Batched capsule vote product: u [B, Nin, Din] (activations) *
 /// w [Nin, Nout, Dout, Din] (weights) -> votes [B, Nin, Nout, Dout] in

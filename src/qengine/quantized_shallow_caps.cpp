@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "nn/conv2d_layer.hpp"
+#include "nn/network.hpp"
 #include "nn/fc_caps.hpp"
 #include "nn/primary_caps.hpp"
 #include "tensor/ops.hpp"
@@ -30,6 +31,7 @@ QuantizedShallowCaps::QuantizedShallowCaps(nn::Network& net,
                             fixed::FixedFormat(l1.qw_int, l1.qw_frac), scheme);
   b1_ = QTensor::from_float(conv->master_bias(),
                             fixed::FixedFormat(l1.qw_int, l1.qw_frac), scheme);
+  w1_cache_ = make_operand_cache(w1_);
   stride1_ = conv->stride();
   pad1_ = conv->pad();
 
@@ -38,6 +40,7 @@ QuantizedShallowCaps::QuantizedShallowCaps(nn::Network& net,
                             fixed::FixedFormat(l2.qw_int, l2.qw_frac), scheme);
   b2_ = QTensor::from_float(primary->master_bias(),
                             fixed::FixedFormat(l2.qw_int, l2.qw_frac), scheme);
+  w2_cache_ = make_operand_cache(w2_);
   stride2_ = primary->stride();
   caps_types_ = primary->caps_types();
   caps_dim_ = primary->caps_dim();
@@ -59,9 +62,10 @@ QTensor QuantizedShallowCaps::forward(const tensor::Tensor& images) const {
   QCAPS_CHECK_MSG(images.ndim() == 4, "expected [B, C, H, W] images");
   const std::int64_t b = images.dim(0);
 
-  // L1: conv + ReLU.
+  // L1: conv + ReLU (packed-GEMM fast path, weights pre-packed at build).
   const QTensor x0 = QTensor::from_float(images, input_fmt_);
-  QTensor x1 = conv2d(x0, w1_, b1_, stride1_, pad1_, act1_);
+  QTensor x1 = conv2d(x0, w1_, b1_, stride1_, pad1_, act1_,
+                      fixed::RoundingScheme::kRoundToNearest, &w1_cache_);
   relu(x1);
 
   // L2: primary caps = conv -> capsule grouping -> squash.
@@ -72,7 +76,8 @@ QTensor QuantizedShallowCaps::forward(const tensor::Tensor& images) const {
   // only the layer output — the pre-squash values stay in a wide
   // accumulator-like format; act2 applies after the squash.
   const fixed::FixedFormat pre_squash(8, std::min(20, act2_.qf + 8));
-  QTensor s2 = conv2d(x1, w2_, b2_, stride2_, 0, pre_squash);
+  QTensor s2 = conv2d(x1, w2_, b2_, stride2_, 0, pre_squash,
+                      fixed::RoundingScheme::kRoundToNearest, &w2_cache_);
   // [B, T*D, H', W'] -> capsule list [B, T*H'*W', D].
   const std::int64_t oh = s2.dim(2), ow = s2.dim(3);
   const std::int64_t plane = oh * ow;
@@ -99,13 +104,12 @@ QTensor QuantizedShallowCaps::forward(const tensor::Tensor& images) const {
 }
 
 std::vector<int> QuantizedShallowCaps::predict(const tensor::Tensor& images) const {
-  const QTensor v = forward(images);
-  const tensor::Tensor len = lengths(v);
-  const auto idx = tensor::argmax_rows(len);
-  std::vector<int> out;
-  out.reserve(idx.size());
-  for (const auto i : idx) out.push_back(static_cast<int>(i));
-  return out;
+  return predict_batch(images);
+}
+
+std::vector<int> QuantizedShallowCaps::predict_batch(
+    const tensor::Tensor& images, std::vector<float>* scores) const {
+  return nn::classify_lengths(lengths(forward(images)), scores);
 }
 
 std::int64_t QuantizedShallowCaps::weight_bits() const {

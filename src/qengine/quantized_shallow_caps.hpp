@@ -29,16 +29,27 @@ class QuantizedShallowCaps {
   /// Argmax-of-length classification.
   std::vector<int> predict(const tensor::Tensor& images) const;
 
+  /// Batched classification for the inference server: one integer forward
+  /// over the stacked [B, C, H, W] images (the L3 votes run as a single
+  /// strided qgemm_batch against the persistent packed-weight cache,
+  /// amortized across every request in the batch). Integer arithmetic is
+  /// order-exact, so results are bit-identical to B separate predict()
+  /// calls. With `scores`, the winning capsule length is written per sample.
+  std::vector<int> predict_batch(const tensor::Tensor& images,
+                                 std::vector<float>* scores = nullptr) const;
+
   /// Total weight bits of the deployed model (storage check).
   std::int64_t weight_bits() const;
 
  private:
   // L1 conv
   QTensor w1_, b1_;
+  QGemmOperandCache w1_cache_;  // packed once; conv2d skips the re-pack
   std::int64_t stride1_, pad1_;
   fixed::FixedFormat act1_;
   // L2 primary caps
   QTensor w2_, b2_;
+  QGemmOperandCache w2_cache_;
   std::int64_t stride2_;
   std::int64_t caps_types_, caps_dim_;
   fixed::FixedFormat act2_;

@@ -1,0 +1,54 @@
+#include "serve/batcher.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qcaps::serve {
+
+std::optional<Batch> Batcher::next() {
+  for (;;) {
+    std::vector<InferenceRequest> requests =
+        queue_.pop_batch(cfg_.max_batch, cfg_.batch_window);
+    if (requests.empty()) return std::nullopt;
+    Batch batch;
+    try {
+      batch.images = stack(requests);
+    } catch (...) {
+      // A batch that cannot be stacked (mixed image shapes) fails its own
+      // requests with the real error and must not escape into the worker
+      // thread — an uncaught exception there would terminate the process.
+      for (auto& req : requests)
+        req.result.set_exception(std::current_exception());
+      continue;
+    }
+    batch.requests = std::move(requests);
+    return batch;
+  }
+}
+
+tensor::Tensor Batcher::stack(const std::vector<InferenceRequest>& requests) {
+  QCAPS_CHECK(!requests.empty());
+  const tensor::Shape& per_image = requests.front().image.shape();
+  QCAPS_CHECK_MSG(!per_image.empty(), "request image must be non-empty");
+  for (const auto& r : requests)
+    QCAPS_CHECK_MSG(r.image.shape() == per_image,
+                    "all requests in a batch must share one image shape: "
+                        << tensor::shape_to_string(per_image) << " vs "
+                        << tensor::shape_to_string(r.image.shape()));
+
+  tensor::Shape stacked_shape;
+  stacked_shape.reserve(per_image.size() + 1);
+  stacked_shape.push_back(static_cast<std::int64_t>(requests.size()));
+  stacked_shape.insert(stacked_shape.end(), per_image.begin(), per_image.end());
+
+  tensor::Tensor stacked(stacked_shape);
+  const std::int64_t per_numel = requests.front().image.numel();
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    std::memcpy(stacked.data() + static_cast<std::int64_t>(i) * per_numel,
+                requests[i].image.data(),
+                sizeof(float) * static_cast<std::size_t>(per_numel));
+  return stacked;
+}
+
+}  // namespace qcaps::serve

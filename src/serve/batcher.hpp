@@ -1,0 +1,56 @@
+// Batcher — turns a stream of queued single-image requests into stacked
+// [B, C, H, W] batches ready for one batched forward pass.
+//
+// The batcher owns no threads; each inference worker drives one. next()
+// blocks on the queue, applies the configured batch cap and coalescing
+// window, and stacks the popped images into a single contiguous tensor.
+// Because every model forward in this codebase is bit-deterministic across
+// batch sizes (see tests/test_serve.cpp), coalescing never changes results —
+// only throughput.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace qcaps::serve {
+
+struct BatcherConfig {
+  std::int64_t max_batch = 16;
+  /// How long to hold the first request of a batch while more coalesce.
+  std::chrono::microseconds batch_window{200};
+};
+
+/// A coalesced batch: the stacked input plus the requests it came from
+/// (request i owns row i of `images`).
+struct Batch {
+  tensor::Tensor images;  ///< [B, C, H, W]
+  std::vector<InferenceRequest> requests;
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(requests.size());
+  }
+};
+
+class Batcher {
+ public:
+  Batcher(RequestQueue& queue, BatcherConfig cfg) : queue_(queue), cfg_(cfg) {}
+
+  /// Block for the next batch; nullopt when the queue is closed and drained.
+  /// A batch that cannot be stacked (mixed image shapes) fails its requests'
+  /// promises with the error and is skipped — next() only ever returns a
+  /// valid stacked batch.
+  std::optional<Batch> next();
+
+  /// Stack per-request images (all the same shape) into one [B, ...] tensor.
+  static tensor::Tensor stack(const std::vector<InferenceRequest>& requests);
+
+ private:
+  RequestQueue& queue_;
+  BatcherConfig cfg_;
+};
+
+}  // namespace qcaps::serve

@@ -1,0 +1,22 @@
+#include "serve/client.hpp"
+
+#include <chrono>
+
+namespace qcaps::serve {
+
+ClientResult InferenceClient::classify(const tensor::Tensor& image) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::future<InferenceResult> fut = server_.submit(model_, image);
+  const InferenceResult res = fut.get();  // rethrows a failed batch's error
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ClientResult out;
+  out.prediction = res.prediction;
+  out.batch_size = res.batch_size;
+  out.sequence = res.sequence;
+  out.latency_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace qcaps::serve

@@ -1,0 +1,44 @@
+// InferenceClient — synchronous facade over InferenceServer::submit.
+//
+// A client is bound to one model; classify() blocks until the request's
+// coalesced batch has been served and reports the end-to-end latency the
+// caller experienced (queueing + batching window + forward pass). Clients
+// are cheap, hold no server state, and any number may share one server from
+// different threads.
+#pragma once
+
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace qcaps::serve {
+
+/// classify()'s return: the prediction plus client-observed timing.
+struct ClientResult {
+  Prediction prediction;
+  std::int64_t batch_size = 0;    ///< how many requests shared the forward
+  std::uint64_t sequence = 0;     ///< FIFO position on the server
+  double latency_ms = 0.0;        ///< submit -> result, wall clock
+};
+
+class InferenceClient {
+ public:
+  InferenceClient(InferenceServer& server, std::string model)
+      : server_(server), model_(std::move(model)) {}
+
+  const std::string& model() const { return model_; }
+
+  /// Submit one [C, H, W] image and block for its result.
+  ClientResult classify(const tensor::Tensor& image);
+
+  /// Label-only shorthand.
+  int predict(const tensor::Tensor& image) {
+    return classify(image).prediction.label;
+  }
+
+ private:
+  InferenceServer& server_;
+  std::string model_;
+};
+
+}  // namespace qcaps::serve

@@ -1,0 +1,60 @@
+#include "serve/model_backend.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::serve {
+
+namespace {
+
+std::vector<Prediction> zip_predictions(const std::vector<int>& labels,
+                                        const std::vector<float>& scores) {
+  QCAPS_CHECK(labels.size() == scores.size());
+  std::vector<Prediction> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    out[i] = Prediction{labels[i], scores[i]};
+  return out;
+}
+
+}  // namespace
+
+NetworkBackend::NetworkBackend(std::string name, Replicator replicator)
+    : name_(std::move(name)), replicator_(std::move(replicator)) {
+  QCAPS_CHECK_MSG(replicator_ != nullptr, "NetworkBackend needs a replicator");
+  net_ = replicator_();
+  QCAPS_CHECK_MSG(net_ != nullptr, "replicator returned no network");
+}
+
+std::vector<Prediction> NetworkBackend::predict_batch(
+    const tensor::Tensor& images) {
+  std::vector<float> scores;
+  const std::vector<int> labels = net_->predict_batch(images, &scores);
+  return zip_predictions(labels, scores);
+}
+
+std::unique_ptr<ModelBackend> NetworkBackend::clone() const {
+  return std::make_unique<NetworkBackend>(name_, replicator_);
+}
+
+QuantizedBackend::QuantizedBackend(std::string name, nn::Network& net,
+                                   const core::NetworkQuantSpec& spec)
+    : name_(std::move(name)), model_(net, spec) {}
+
+QuantizedBackend::QuantizedBackend(std::string name,
+                                   qengine::QuantizedShallowCaps model)
+    : name_(std::move(name)), model_(std::move(model)) {}
+
+std::vector<Prediction> QuantizedBackend::predict_batch(
+    const tensor::Tensor& images) {
+  std::vector<float> scores;
+  const std::vector<int> labels = model_.predict_batch(images, &scores);
+  return zip_predictions(labels, scores);
+}
+
+std::unique_ptr<ModelBackend> QuantizedBackend::clone() const {
+  // QuantizedShallowCaps is a value type; the copy carries the packed
+  // weight cache, so replicas skip the range scan and re-pack entirely.
+  return std::unique_ptr<ModelBackend>(
+      new QuantizedBackend(name_, model_));
+}
+
+}  // namespace qcaps::serve

@@ -1,0 +1,80 @@
+// Model backends — what an inference worker actually runs a batch through.
+//
+// A backend wraps one deployable model behind a uniform batched-classify
+// interface. Workers never share a backend instance: layers cache per-forward
+// state, so the pool gives every worker thread its own replica via clone().
+//
+//   * NetworkBackend    — FP32 nn::Network (ShallowCaps, DeepCaps, or any
+//                         network whose output is [B, Ncls, D]). Replicas are
+//                         produced by a user-supplied replicator so the
+//                         backend stays architecture-agnostic.
+//   * QuantizedBackend  — the integer-only QuantizedShallowCaps deployment.
+//                         A value type: replicas are plain copies, and each
+//                         carries the packed qgemm weight cache so no request
+//                         ever re-packs weights.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "qengine/quantized_shallow_caps.hpp"
+#include "serve/request_queue.hpp"
+
+namespace qcaps::serve {
+
+class ModelBackend {
+ public:
+  virtual ~ModelBackend() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Classify a stacked [B, C, H, W] batch; returns one prediction per row.
+  virtual std::vector<Prediction> predict_batch(
+      const tensor::Tensor& images) = 0;
+
+  /// Independent replica for another worker thread.
+  virtual std::unique_ptr<ModelBackend> clone() const = 0;
+};
+
+/// FP32 network backend. The replicator returns a fresh network carrying the
+/// trained parameters (e.g. models::replicate_shallow_caps bound to the
+/// trained net); the backend calls it once per worker replica.
+class NetworkBackend final : public ModelBackend {
+ public:
+  using Replicator = std::function<std::unique_ptr<nn::Network>()>;
+
+  NetworkBackend(std::string name, Replicator replicator);
+
+  const std::string& name() const override { return name_; }
+  std::vector<Prediction> predict_batch(const tensor::Tensor& images) override;
+  std::unique_ptr<ModelBackend> clone() const override;
+
+ private:
+  std::string name_;
+  Replicator replicator_;
+  std::unique_ptr<nn::Network> net_;
+};
+
+/// Integer-only ShallowCaps backend (the Q-CapsNets deployment target).
+class QuantizedBackend final : public ModelBackend {
+ public:
+  /// See QuantizedShallowCaps: `net` is the trained ShallowCaps layout,
+  /// `spec` the calibrated quantization spec.
+  QuantizedBackend(std::string name, nn::Network& net,
+                   const core::NetworkQuantSpec& spec);
+
+  const std::string& name() const override { return name_; }
+  std::vector<Prediction> predict_batch(const tensor::Tensor& images) override;
+  std::unique_ptr<ModelBackend> clone() const override;
+
+ private:
+  QuantizedBackend(std::string name, qengine::QuantizedShallowCaps model);
+
+  std::string name_;
+  qengine::QuantizedShallowCaps model_;
+};
+
+}  // namespace qcaps::serve

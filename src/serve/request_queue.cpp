@@ -1,0 +1,86 @@
+#include "serve/request_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace qcaps::serve {
+
+std::future<InferenceResult> RequestQueue::push(tensor::Tensor image) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (capacity_ > 0)
+    not_full_.wait(lk, [&] { return queue_.size() < capacity_ || closed_; });
+  QCAPS_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+
+  InferenceRequest req;
+  req.image = std::move(image);
+  req.sequence = next_sequence_++;
+  req.enqueued_at = std::chrono::steady_clock::now();
+  std::future<InferenceResult> fut = req.result.get_future();
+  queue_.push_back(std::move(req));
+  lk.unlock();
+  not_empty_.notify_one();
+  return fut;
+}
+
+std::vector<InferenceRequest> RequestQueue::pop_batch(
+    std::int64_t max_batch, std::chrono::microseconds window) {
+  QCAPS_CHECK(max_batch >= 1);
+  std::vector<InferenceRequest> out;
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait(lk, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return out;  // closed and drained: worker exit signal
+
+  const auto take = [&] {
+    bool popped = false;
+    while (!queue_.empty() &&
+           static_cast<std::int64_t>(out.size()) < max_batch) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      popped = true;
+    }
+    // Wake blocked producers as soon as capacity frees up — they must not
+    // sit out the rest of the coalescing window.
+    if (popped && capacity_ > 0) not_full_.notify_all();
+  };
+  take();
+
+  // Batch window: trade a bounded sliver of latency for a fuller batch.
+  if (window.count() > 0) {
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    while (static_cast<std::int64_t>(out.size()) < max_batch && !closed_) {
+      if (!not_empty_.wait_until(lk, deadline, [&] {
+            return !queue_.empty() || closed_;
+          }))
+        break;  // window elapsed
+      take();
+    }
+  }
+  lk.unlock();
+  not_full_.notify_all();
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+std::uint64_t RequestQueue::total_pushed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_sequence_;
+}
+
+}  // namespace qcaps::serve

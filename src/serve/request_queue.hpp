@@ -1,0 +1,89 @@
+// Thread-safe FIFO request queue — the front door of the inference server.
+//
+// Producers (client threads) push single images and receive a future for the
+// classification; consumers (the per-model worker pool) pop *batches*: the
+// first request is waited for, then up to `window` is spent letting further
+// concurrent requests coalesce into the same batch so the capsule vote
+// products downstream run as one strided gemm_batch/qgemm_batch call instead
+// of N separate ones.
+//
+// Semantics:
+//   * strict FIFO — requests carry a monotone sequence number assigned under
+//     the queue lock, and pop_batch always drains from the front;
+//   * bounded or unbounded — a non-zero capacity makes push() block while
+//     the queue is full (backpressure), never dropping requests;
+//   * graceful shutdown — close() rejects new pushes but leaves everything
+//     already queued poppable; pop_batch returns an empty vector only when
+//     the queue is closed *and* drained, which is the workers' exit signal.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace qcaps::serve {
+
+/// One classification: argmax class and the winning capsule's length.
+struct Prediction {
+  int label = -1;
+  float score = 0.0f;
+};
+
+/// What a client's future resolves to.
+struct InferenceResult {
+  Prediction prediction;
+  std::uint64_t sequence = 0;    ///< FIFO position assigned at enqueue
+  std::int64_t batch_size = 0;   ///< size of the coalesced batch it rode in
+  double latency_ms = 0.0;       ///< enqueue -> fulfilment, worker-measured
+};
+
+/// One queued image plus the promise its client is waiting on.
+struct InferenceRequest {
+  tensor::Tensor image;  ///< [C, H, W]
+  std::promise<InferenceResult> result;
+  std::uint64_t sequence = 0;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+class RequestQueue {
+ public:
+  /// `capacity` == 0 means unbounded; otherwise push() blocks while full.
+  explicit RequestQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueue one image; returns the future the batch worker will fulfil.
+  /// Blocks while a bounded queue is full. Throws qcaps::Error when closed.
+  std::future<InferenceResult> push(tensor::Tensor image);
+
+  /// Pop 1..max_batch requests in FIFO order. Blocks until a request is
+  /// available; once the first is in hand, waits up to `window` for more to
+  /// coalesce (a zero window returns whatever is immediately available).
+  /// Returns an empty vector iff the queue is closed and fully drained.
+  std::vector<InferenceRequest> pop_batch(
+      std::int64_t max_batch,
+      std::chrono::microseconds window = std::chrono::microseconds{0});
+
+  /// Reject all future pushes and wake every waiter. Queued requests remain
+  /// poppable so workers can drain before exiting.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::uint64_t total_pushed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<InferenceRequest> queue_;
+  std::uint64_t next_sequence_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace qcaps::serve

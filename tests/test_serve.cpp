@@ -1,0 +1,520 @@
+// Tests for the batching inference server (src/serve): request-queue FIFO
+// and shutdown semantics, batcher stacking, bit-identical batched-vs-
+// sequential inference on both the fp32 and the integer deployment paths,
+// server end-to-end behaviour (coalescing, compute tiling, error isolation,
+// graceful drain), and a multi-threaded stress run with concurrent clients.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/quant_spec.hpp"
+#include "models/deep_caps.hpp"
+#include "models/shallow_caps.hpp"
+#include "nn/serialize.hpp"
+#include "qengine/quantized_shallow_caps.hpp"
+#include "serve/batcher.hpp"
+#include "serve/client.hpp"
+#include "serve/model_backend.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace qcaps;
+using namespace std::chrono_literals;
+
+tensor::Tensor tiny_image(float value) {
+  tensor::Tensor t({1, 2, 2});
+  t.fill(value);
+  return t;
+}
+
+tensor::Tensor image_row(const tensor::Tensor& batch, std::int64_t b) {
+  tensor::Shape shape(batch.shape().begin() + 1, batch.shape().end());
+  tensor::Tensor out(shape);
+  std::memcpy(out.data(), batch.data() + b * out.numel(),
+              sizeof(float) * static_cast<std::size_t>(out.numel()));
+  return out;
+}
+
+// Deterministic stub backend: label = round(100 * image[0]) % 10. Records
+// the size of every forward it runs; optional per-forward delay (to force
+// queue buildup) and a poison value that throws (error-isolation tests).
+class EchoBackend final : public serve::ModelBackend {
+ public:
+  explicit EchoBackend(std::chrono::milliseconds delay = 0ms,
+                       float poison = -1.0f)
+      : name_("echo"), delay_(delay), poison_(poison) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<serve::Prediction> predict_batch(
+      const tensor::Tensor& images) override {
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    const std::int64_t b = images.dim(0);
+    const std::int64_t per = images.numel() / b;
+    forwards.fetch_add(1);
+    std::int64_t prev = largest_forward.load();
+    while (b > prev && !largest_forward.compare_exchange_weak(prev, b)) {
+    }
+    std::vector<serve::Prediction> out;
+    for (std::int64_t i = 0; i < b; ++i) {
+      const float v = images[i * per];
+      if (v == poison_) throw qcaps::Error("poisoned request");
+      out.push_back(serve::Prediction{
+          static_cast<int>(std::lround(100.0f * v)) % 10, v});
+    }
+    return out;
+  }
+
+  std::unique_ptr<serve::ModelBackend> clone() const override {
+    return std::make_unique<EchoBackend>(delay_, poison_);
+  }
+
+  // Shared across clones so pool-wide totals are observable.
+  static inline std::atomic<std::int64_t> forwards{0};
+  static inline std::atomic<std::int64_t> largest_forward{0};
+
+ private:
+  std::string name_;
+  std::chrono::milliseconds delay_;
+  float poison_;
+};
+
+// ---- RequestQueue ----------------------------------------------------------
+
+TEST(RequestQueue, PopBatchPreservesFifoOrder) {
+  serve::RequestQueue queue;
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(queue.push(tiny_image(0.1f * static_cast<float>(i))));
+
+  auto batch = queue.pop_batch(3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(batch[static_cast<std::size_t>(i)].sequence,
+              static_cast<std::uint64_t>(i));
+    EXPECT_FLOAT_EQ(batch[static_cast<std::size_t>(i)].image[0],
+                    0.1f * static_cast<float>(i));
+  }
+  batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].sequence, 3u);
+  EXPECT_EQ(batch[1].sequence, 4u);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.total_pushed(), 5u);
+}
+
+TEST(RequestQueue, CoalescingWindowWaitsForLateArrivals) {
+  serve::RequestQueue queue;
+  queue.push(tiny_image(0.5f));
+  std::thread late([&] {
+    std::this_thread::sleep_for(20ms);
+    queue.push(tiny_image(0.7f));
+  });
+  // The window is generous so the late push coalesces into this batch.
+  auto batch = queue.pop_batch(2, std::chrono::microseconds(2'000'000));
+  late.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(RequestQueue, CloseRejectsPushesButDrainsPending) {
+  serve::RequestQueue queue;
+  auto fut = queue.push(tiny_image(0.5f));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_THROW(queue.push(tiny_image(0.1f)), qcaps::Error);
+
+  // Pending requests stay poppable after close ...
+  auto batch = queue.pop_batch(4);
+  ASSERT_EQ(batch.size(), 1u);
+  // ... and a drained closed queue returns empty (the worker exit signal).
+  EXPECT_TRUE(queue.pop_batch(4).empty());
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  serve::RequestQueue queue;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_TRUE(queue.pop_batch(4).empty());
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(returned.load());
+  queue.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(RequestQueue, BoundedCapacityBlocksProducerUntilPop) {
+  serve::RequestQueue queue(/*capacity=*/2);
+  queue.push(tiny_image(0.1f));
+  queue.push(tiny_image(0.2f));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    queue.push(tiny_image(0.3f));  // blocks until the consumer pops
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(queue.pop_batch(1).size(), 1u);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+// ---- Batcher ---------------------------------------------------------------
+
+TEST(Batcher, StackConcatenatesRowsInOrder) {
+  serve::RequestQueue queue;
+  for (int i = 0; i < 3; ++i)
+    queue.push(tiny_image(static_cast<float>(i) + 1.0f));
+  serve::Batcher batcher(queue, serve::BatcherConfig{8,
+                                                     std::chrono::microseconds{0}});
+  auto batch = batcher.next();
+  ASSERT_TRUE(batch.has_value());
+  ASSERT_EQ(batch->size(), 3);
+  EXPECT_EQ(batch->images.shape(), (tensor::Shape{3, 1, 2, 2}));
+  for (std::int64_t b = 0; b < 3; ++b)
+    for (std::int64_t j = 0; j < 4; ++j)
+      EXPECT_FLOAT_EQ(batch->images[b * 4 + j], static_cast<float>(b) + 1.0f);
+}
+
+TEST(Batcher, StackRejectsMixedShapes) {
+  std::vector<serve::InferenceRequest> reqs(2);
+  reqs[0].image = tensor::Tensor({1, 2, 2});
+  reqs[1].image = tensor::Tensor({1, 3, 3});
+  EXPECT_THROW(serve::Batcher::stack(reqs), qcaps::Error);
+}
+
+TEST(Batcher, MixedShapeBatchFailsItsRequestsAndNextKeepsGoing) {
+  serve::RequestQueue queue;
+  auto f1 = queue.push(tensor::Tensor({1, 2, 2}));
+  auto f2 = queue.push(tensor::Tensor({1, 3, 3}));
+  queue.close();
+  serve::Batcher batcher(queue, serve::BatcherConfig{8,
+                                                     std::chrono::microseconds{0}});
+  // The unstackable batch is skipped (its promises carry the error), and
+  // next() proceeds to the drained-queue exit instead of throwing.
+  EXPECT_FALSE(batcher.next().has_value());
+  EXPECT_THROW(f1.get(), qcaps::Error);
+  EXPECT_THROW(f2.get(), qcaps::Error);
+}
+
+// ---- Batched inference is bit-identical to sequential ----------------------
+
+TEST(BatchDeterminism, ShallowCapsFp32BatchedMatchesSequentialBitExact) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(11);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const std::int64_t b = 6;
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+
+  const tensor::Tensor batched = net->forward(images, nn::Phase::kEval);
+  std::vector<float> batched_scores;
+  const std::vector<int> batched_labels =
+      net->predict_batch(images, &batched_scores);
+
+  for (std::int64_t i = 0; i < b; ++i) {
+    tensor::Tensor one = image_row(images, i);
+    one.reshape({1, 1, 28, 28});
+    const tensor::Tensor single = net->forward(one, nn::Phase::kEval);
+    const std::int64_t per = single.numel();
+    for (std::int64_t j = 0; j < per; ++j)
+      ASSERT_EQ(batched[i * per + j], single[j])
+          << "fp32 batched forward diverges at sample " << i << " elem " << j;
+    std::vector<float> s1;
+    const std::vector<int> l1 = net->predict_batch(one, &s1);
+    EXPECT_EQ(batched_labels[static_cast<std::size_t>(i)], l1[0]);
+    EXPECT_EQ(batched_scores[static_cast<std::size_t>(i)], s1[0]);
+  }
+}
+
+TEST(BatchDeterminism, DeepCapsFp32BatchedMatchesSequentialBitExact) {
+  const auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  common::Rng rng(13);
+  auto net = models::build_deep_caps(cfg, rng);
+  const std::int64_t b = 3;
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+
+  const tensor::Tensor batched = net->forward(images, nn::Phase::kEval);
+  for (std::int64_t i = 0; i < b; ++i) {
+    tensor::Tensor one = image_row(images, i);
+    one.reshape({1, 1, 28, 28});
+    const tensor::Tensor single = net->forward(one, nn::Phase::kEval);
+    const std::int64_t per = single.numel();
+    for (std::int64_t j = 0; j < per; ++j)
+      ASSERT_EQ(batched[i * per + j], single[j])
+          << "DeepCaps batched forward diverges at sample " << i;
+  }
+}
+
+TEST(BatchDeterminism, QuantizedBatchedMatchesSequentialBitExact) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(17);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const qengine::QuantizedShallowCaps qmodel(*net, spec);
+
+  const std::int64_t b = 6;
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+
+  const qengine::QTensor batched = qmodel.forward(images);
+  std::vector<float> batched_scores;
+  const std::vector<int> batched_labels =
+      qmodel.predict_batch(images, &batched_scores);
+
+  for (std::int64_t i = 0; i < b; ++i) {
+    tensor::Tensor one = image_row(images, i);
+    one.reshape({1, 1, 28, 28});
+    const qengine::QTensor single = qmodel.forward(one);
+    const std::int64_t per = single.numel();
+    for (std::int64_t j = 0; j < per; ++j)
+      ASSERT_EQ(batched.raw[static_cast<std::size_t>(i * per + j)],
+                single.raw[static_cast<std::size_t>(j)])
+          << "integer batched forward diverges at sample " << i << " elem "
+          << j;
+    std::vector<float> s1;
+    const std::vector<int> l1 = qmodel.predict_batch(one, &s1);
+    EXPECT_EQ(batched_labels[static_cast<std::size_t>(i)], l1[0]);
+    EXPECT_EQ(batched_scores[static_cast<std::size_t>(i)], s1[0]);
+  }
+}
+
+// The wide-format (int16-tier) conv fast path must agree with the exact
+// int64 scalar path as well; lock one case where the tier differs from the
+// int8 default exercised above.
+TEST(BatchDeterminism, QuantizedWideFormatsMatchSequential) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(19);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 10, fixed::RoundingScheme::kRoundToNearest);  // Q1.10: int16 tier
+  const qengine::QuantizedShallowCaps qmodel(*net, spec);
+
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({4, 1, 28, 28}, rng, 0.0f, 1.0f);
+  const qengine::QTensor batched = qmodel.forward(images);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    tensor::Tensor one = image_row(images, i);
+    one.reshape({1, 1, 28, 28});
+    const qengine::QTensor single = qmodel.forward(one);
+    const std::int64_t per = single.numel();
+    for (std::int64_t j = 0; j < per; ++j)
+      ASSERT_EQ(batched.raw[static_cast<std::size_t>(i * per + j)],
+                single.raw[static_cast<std::size_t>(j)]);
+  }
+}
+
+// ---- Model replication -----------------------------------------------------
+
+TEST(Replication, ReplicaForwardIsBitIdentical) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(23);
+  auto net = models::build_shallow_caps(cfg, rng);
+  auto replica = models::replicate_shallow_caps(cfg, *net);
+
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  const tensor::Tensor a = net->forward(images, nn::Phase::kEval);
+  const tensor::Tensor b = replica->forward(images, nn::Phase::kEval);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Replication, CopyParametersRejectsMismatchedArchitectures) {
+  common::Rng rng(29);
+  auto a = models::build_shallow_caps(models::ShallowCapsConfig::experiment(),
+                                      rng);
+  models::ShallowCapsConfig other = models::ShallowCapsConfig::experiment();
+  other.conv_channels = 16;
+  auto b = models::build_shallow_caps(other, rng);
+  EXPECT_THROW(nn::copy_parameters(*b, *a), qcaps::Error);
+}
+
+// ---- InferenceServer end-to-end --------------------------------------------
+
+TEST(InferenceServer, ServesRequestsWithCorrectResultsAndFifoSequences) {
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>());
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 20; ++i)
+    futures.push_back(
+        server.submit("echo", tiny_image(0.01f * static_cast<float>(i))));
+  for (int i = 0; i < 20; ++i) {
+    const serve::InferenceResult res =
+        futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(res.prediction.label, i % 10);
+    EXPECT_EQ(res.sequence, static_cast<std::uint64_t>(i));
+    EXPECT_GE(res.batch_size, 1);
+  }
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_EQ(stats.requests, 20u);
+  EXPECT_EQ(stats.images, 20u);
+  EXPECT_GE(stats.batches, 1u);
+  server.shutdown();
+}
+
+TEST(InferenceServer, CoalescesConcurrentRequestsIntoBatches) {
+  EchoBackend::forwards = 0;
+  EchoBackend::largest_forward = 0;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 16;
+  cfg.batch_window = std::chrono::microseconds(2000);
+  serve::InferenceServer server;
+  // The 20 ms per-forward delay guarantees a queue builds up behind the
+  // first batch, so later batches must coalesce.
+  server.add_model("echo", std::make_unique<EchoBackend>(20ms), cfg);
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 24; ++i)
+    futures.push_back(server.submit("echo", tiny_image(0.05f)));
+  std::int64_t max_batch_size = 0;
+  for (auto& f : futures)
+    max_batch_size = std::max(max_batch_size, f.get().batch_size);
+  EXPECT_GT(max_batch_size, 1);
+  EXPECT_LT(EchoBackend::forwards.load(), 24);
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_EQ(stats.images, 24u);
+  EXPECT_GT(stats.mean_batch, 1.0);
+  EXPECT_EQ(stats.max_batch_seen, max_batch_size);
+  server.shutdown();
+}
+
+TEST(InferenceServer, ComputeBatchTilesLargeBatches) {
+  EchoBackend::forwards = 0;
+  EchoBackend::largest_forward = 0;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 16;
+  cfg.compute_batch = 4;
+  cfg.batch_window = std::chrono::microseconds(2000);
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(5ms), cfg);
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(
+        server.submit("echo", tiny_image(0.01f * static_cast<float>(i))));
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().prediction.label,
+              i % 10);
+  // Forwards never exceeded the compute tile even when coalescing beyond it.
+  EXPECT_LE(EchoBackend::largest_forward.load(), 4);
+  server.shutdown();
+}
+
+TEST(InferenceServer, FailedBatchFailsOnlyItsRequests) {
+  serve::ServerConfig cfg;
+  cfg.max_batch = 1;  // isolate the poisoned request in its own batch
+  serve::InferenceServer server;
+  server.add_model("echo",
+                   std::make_unique<EchoBackend>(0ms, /*poison=*/0.5f), cfg);
+  auto ok_before = server.submit("echo", tiny_image(0.2f));
+  auto poisoned = server.submit("echo", tiny_image(0.5f));
+  auto ok_after = server.submit("echo", tiny_image(0.3f));
+  EXPECT_EQ(ok_before.get().prediction.label, 0);  // 20 % 10
+  EXPECT_THROW(poisoned.get(), qcaps::Error);
+  EXPECT_EQ(ok_after.get().prediction.label, 0);  // 30 % 10
+  server.shutdown();
+}
+
+TEST(InferenceServer, ShutdownDrainsPendingRequests) {
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(5ms), cfg);
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 12; ++i)
+    futures.push_back(server.submit("echo", tiny_image(0.07f)));
+  server.shutdown();  // close + drain + join
+  for (auto& f : futures) EXPECT_EQ(f.get().prediction.label, 7);
+  EXPECT_EQ(server.stats("echo").images, 12u);
+}
+
+TEST(InferenceServer, RejectsUnknownModelAndDuplicateRegistration) {
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>());
+  EXPECT_THROW(server.submit("nope", tiny_image(0.1f)), qcaps::Error);
+  EXPECT_THROW(server.add_model("echo", std::make_unique<EchoBackend>()),
+               qcaps::Error);
+  server.shutdown();
+}
+
+TEST(InferenceServer, ServedFp32PredictionsMatchDirectModel) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(31);
+  auto net = models::build_shallow_caps(cfg, rng);
+
+  serve::ServerConfig scfg;
+  scfg.max_batch = 4;
+  serve::InferenceServer server;
+  server.add_model("shallow",
+                   std::make_unique<serve::NetworkBackend>(
+                       "shallow",
+                       [&cfg, src = net.get()] {
+                         return models::replicate_shallow_caps(cfg, *src);
+                       }),
+                   scfg);
+
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({5, 1, 28, 28}, rng, 0.0f, 1.0f);
+  std::vector<float> direct_scores;
+  const std::vector<int> direct = net->predict_batch(images, &direct_scores);
+
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (std::int64_t i = 0; i < 5; ++i)
+    futures.push_back(server.submit("shallow", image_row(images, i)));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const serve::InferenceResult res =
+        futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(res.prediction.label, direct[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(res.prediction.score,
+              direct_scores[static_cast<std::size_t>(i)]);
+  }
+  server.shutdown();
+}
+
+TEST(InferenceServerStress, ConcurrentClientsOnMultiWorkerPool) {
+  EchoBackend::forwards = 0;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.num_workers = 4;
+  cfg.batch_window = std::chrono::microseconds(200);
+  cfg.queue_capacity = 64;  // exercise producer backpressure too
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(1ms), cfg);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 50;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &wrong, c] {
+      serve::InferenceClient client(server, "echo");
+      for (int i = 0; i < kPerClient; ++i) {
+        const int code = (c * kPerClient + i) % 10;
+        const serve::ClientResult res =
+            client.classify(tiny_image(0.01f * static_cast<float>(code)));
+        if (res.prediction.label != code) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.images, static_cast<std::uint64_t>(kClients * kPerClient));
+  server.shutdown();
+}
+
+}  // namespace
