@@ -9,6 +9,7 @@
 
 #include "accel/systolic.hpp"
 #include "bench_util.hpp"
+#include "hwmodel/cost_model.hpp"
 
 int main() {
   using namespace qcaps;
@@ -16,6 +17,15 @@ int main() {
               "array ===\n\n");
   const auto arch = models::shallow_caps_desc();
   accel::SystolicConfig cfg;
+  // Anchor the simulated array's clock to this machine: 16x16 PEs sustaining
+  // the measured int8 qgemm G MAC/s from BENCH_kernels.json (the mapping is
+  // documented in docs/performance.md, "Cost-model calibration").
+  cfg.clock_ghz = hwmodel::calibrated_clock_ghz(
+      hwmodel::measured_host_rates().int8_gemm, cfg.macs_per_cycle());
+  std::printf("array clock calibrated to %.2f GHz (= measured %.1f G MAC/s "
+              "int8 qgemm / %lld MACs per cycle)\n\n",
+              cfg.clock_ghz, hwmodel::measured_host_rates().int8_gemm,
+              static_cast<long long>(cfg.macs_per_cycle()));
 
   std::printf("%10s %12s %14s %12s %10s\n", "bits", "cycles", "latency (us)",
               "energy (uJ)", "passes");

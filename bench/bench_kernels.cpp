@@ -19,6 +19,7 @@
 #include "tensor/conv.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/caps_kernels.hpp"
 #include "tensor/qgemm.hpp"
 
 namespace {
@@ -126,8 +127,10 @@ void BM_QGemm16(benchmark::State& state) {
 }
 BENCHMARK(BM_QGemm16)->Arg(256);
 
-// ShallowCaps L3 vote product as the quantized engine now runs it: one
-// strided int8 qgemm_batch over the input types.
+// ShallowCaps L3 vote product as the quantized engine runs it: one strided
+// int8 qgemm_batch over the input types (the i-major result is permuted to
+// the j-major routing layout inside the engine's int32 -> int64 widening
+// copy, which is not part of this kernel measurement).
 void BM_QGemmBatchVotes(benchmark::State& state) {
   const std::int64_t bsz = 16, nin = 512, din = 8, jd = 10 * 16;
   common::Rng rng(3);
@@ -231,12 +234,14 @@ std::int64_t routing_macs(std::int64_t r, std::int64_t nin, std::int64_t nout,
 void BM_RoutingFp32(benchmark::State& state) {
   const std::int64_t nin = state.range(0);
   common::Rng rng(3);
-  const tensor::Tensor votes = tensor::Tensor::randn({32, nin, 10, 16}, rng);
+  // j-major votes [R, Nout, Nin, D] — the layout the caps layers emit.
+  const tensor::Tensor votes = tensor::Tensor::randn({32, 10, nin, 16}, rng);
   nn::DynamicRouting routing;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         routing.forward(votes, 3, false, nn::RoutingQuantPoints{}));
   }
+  state.SetLabel(tensor::caps_kernel_name());
   state.SetItemsProcessed(state.iterations() * routing_macs(32, nin, 10, 16, 3));
 }
 BENCHMARK(BM_RoutingFp32)->Arg(72)->Arg(144)->Arg(288);
@@ -244,7 +249,7 @@ BENCHMARK(BM_RoutingFp32)->Arg(72)->Arg(144)->Arg(288);
 void BM_RoutingQuantized(benchmark::State& state) {
   const std::int64_t nin = state.range(0);
   common::Rng rng(4);
-  const tensor::Tensor votes = tensor::Tensor::randn({32, nin, 10, 16}, rng);
+  const tensor::Tensor votes = tensor::Tensor::randn({32, 10, nin, 16}, rng);
   const fixed::Quantizer act(fixed::FixedFormat(1, 6),
                              fixed::RoundingScheme::kRoundToNearest);
   const fixed::Quantizer dr(fixed::FixedFormat(2, 3),

@@ -5,6 +5,11 @@
 # Usage: dump_bench_json.sh [path/to/bench_kernels] [output.json]
 # Defaults assume a ./build tree and write BENCH_kernels.json in the repo
 # root. Also available as the `bench_json` CMake target.
+#
+# When refreshing the committed BENCH_kernels.json, also sync the
+# hwmodel::HostKernelRates constants in src/hwmodel/cost_model.hpp (the
+# bench -> constant mapping is documented in docs/performance.md,
+# "Cost-model calibration").
 set -eu
 
 BIN=${1:-build/bench_kernels}

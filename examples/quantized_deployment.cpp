@@ -8,6 +8,7 @@
 
 #include "accel/systolic.hpp"
 #include "common/cli.hpp"
+#include "hwmodel/cost_model.hpp"
 #include "core/framework.hpp"
 #include "data/synth.hpp"
 #include "models/model_cache.hpp"
@@ -64,8 +65,12 @@ int main(int argc, char** argv) {
               static_cast<double>(calib.memory().weight_bits_fp32()) /
                   static_cast<double>(deployed.weight_bits()));
 
-  // 3) Accelerator estimate for the deployed wordlengths.
+  // 3) Accelerator estimate for the deployed wordlengths. The array clock is
+  // calibrated so 16x16 PEs sustain this machine's measured int8 qgemm rate
+  // (BENCH_kernels.json) — latencies below read on the host's scale.
   accel::SystolicConfig acfg;
+  acfg.clock_ghz = hwmodel::calibrated_clock_ghz(
+      hwmodel::measured_host_rates().int8_gemm, acfg.macs_per_cycle());
   const auto wls = accel::workloads_from_spec(
       calib.memory(), spec, split.test.channels() * split.test.height() *
                                  split.test.width());

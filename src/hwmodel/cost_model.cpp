@@ -45,6 +45,22 @@ UnitCost SoftmaxUnitModel::cost(int fractional_bits) const {
   return {kSoftmaxEnergyQuad * f * f, kSoftmaxAreaQuad * f * f};
 }
 
+const HostKernelRates& measured_host_rates() {
+  static const HostKernelRates rates{};
+  return rates;
+}
+
+double host_seconds(std::int64_t macs, double gmacs) {
+  QCAPS_CHECK_MSG(gmacs > 0.0, "host rate must be positive");
+  return static_cast<double>(macs) / (gmacs * 1e9);
+}
+
+double calibrated_clock_ghz(double gmacs, std::int64_t macs_per_cycle) {
+  QCAPS_CHECK_MSG(gmacs > 0.0 && macs_per_cycle > 0,
+                  "calibration needs a positive rate and array size");
+  return gmacs / static_cast<double>(macs_per_cycle);
+}
+
 InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
                                  std::int64_t squash_ops,
                                  std::int64_t softmax_ops, int act_frac_bits) {

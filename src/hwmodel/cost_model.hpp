@@ -60,4 +60,33 @@ InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
                                  std::int64_t squash_ops,
                                  std::int64_t softmax_ops, int act_frac_bits);
 
+// ---- host calibration --------------------------------------------------
+//
+// Measured kernel throughputs of THIS repository's software backends on the
+// reference build machine, taken from the committed BENCH_kernels.json
+// (interleaved best-of-reps; see docs/performance.md "Cost-model
+// calibration" for the bench -> constant mapping). They anchor
+// paper-figure projections — e.g. a simulated systolic array's clock — to
+// real machine numbers instead of the placeholder 1 GHz defaults.
+
+/// Sustained multiply-accumulate rates in G MAC/s.
+struct HostKernelRates {
+  double fp32_gemm = 32.3;     ///< BM_Matmul/256 (packed fp32 backend)
+  double int8_gemm = 73.4;     ///< BM_QGemm/256 (qgemm int8 tier)
+  double conv_fp32 = 17.1;     ///< BM_Conv2d/64 (fused im2col conv)
+  double routing_fp32 = 8.3;   ///< BM_RoutingFp32/288 (caps kernels)
+  double routing_quant = 2.1;  ///< BM_RoutingQuantized/288 (fake-quant path)
+};
+
+/// The committed BENCH_kernels.json numbers.
+const HostKernelRates& measured_host_rates();
+
+/// Seconds the measured host needs for `macs` MACs at `gmacs` G MAC/s.
+double host_seconds(std::int64_t macs, double gmacs);
+
+/// Clock (GHz) at which an array retiring `macs_per_cycle` MACs each cycle
+/// sustains the measured rate — the mapping that puts simulated-accelerator
+/// latencies (accel::SystolicConfig::clock_ghz) on this machine's scale.
+double calibrated_clock_ghz(double gmacs, std::int64_t macs_per_cycle);
+
 }  // namespace qcaps::hwmodel

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/caps_kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace qcaps::nn {
@@ -48,11 +49,8 @@ tensor::Tensor squash_last(const tensor::Tensor& s, float eps) {
   const std::int64_t d = s.dim(-1);
   const std::int64_t rows = s.numel() / d;
   tensor::Tensor v(s.shape());
-  const float* ps = s.data();
-  float* pv = v.data();
-#pragma omp parallel for schedule(static) if (rows > 256)
-  for (std::int64_t r = 0; r < rows; ++r)
-    squash_vec(ps + r * d, pv + r * d, d, 1, eps);
+  // Contiguous rows run on the vectorized caps-kernel tier (routing-hot).
+  tensor::squash_rows(s.data(), v.data(), rows, d, eps);
   return v;
 }
 
@@ -62,12 +60,8 @@ tensor::Tensor squash_last_backward(const tensor::Tensor& s,
   const std::int64_t d = s.dim(-1);
   const std::int64_t rows = s.numel() / d;
   tensor::Tensor gs(s.shape());
-  const float* ps = s.data();
-  const float* pg = grad_v.data();
-  float* pgs = gs.data();
-#pragma omp parallel for schedule(static) if (rows > 256)
-  for (std::int64_t r = 0; r < rows; ++r)
-    squash_vec_backward(ps + r * d, pg + r * d, pgs + r * d, d, 1, eps);
+  tensor::squash_rows_backward(s.data(), grad_v.data(), gs.data(), rows, d,
+                               eps);
   return gs;
 }
 

@@ -164,7 +164,7 @@ tensor::Tensor RoutedConvCapsLayer::forward(const tensor::Tensor& x,
   const std::int64_t ncols = oplane;
   const std::int64_t patch_full = g.in_c * kernel_ * kernel_;
 
-  tensor::Tensor votes({batch * oplane, in_types_, out_types_, out_dim_});
+  tensor::Tensor votes({batch * oplane, out_types_, in_types_, out_dim_});
   float* pvotes = votes.data();
   // Parallelize across images (per-thread scratch below) only when the batch
   // can occupy every thread; otherwise stay serial here so the inner GEMM
@@ -184,13 +184,19 @@ tensor::Tensor RoutedConvCapsLayer::forward(const tensor::Tensor& x,
                          patch_t, wq.data(), patch_t, wslice, cols.data(),
                          ncols, patch_t * ncols, vbuf.data(), ncols,
                          votes_c * ncols, in_types_, /*accumulate=*/false);
-      // Scatter vbuf[t][jd, p] -> votes[(b, p), t, jd].
+      // Scatter vbuf[t][(j, dd), p] -> votes[(b, p), j, t, dd]: the j-major
+      // routing layout, emitted directly (this pass replaces the old i-major
+      // scatter — no extra transpose).
       for (std::int64_t t = 0; t < in_types_; ++t) {
         const float* pv = vbuf.data() + t * votes_c * ncols;
-        for (std::int64_t jd = 0; jd < votes_c; ++jd)
-          for (std::int64_t p = 0; p < oplane; ++p)
-            pvotes[((b * oplane + p) * in_types_ + t) * votes_c + jd] =
-                pv[jd * oplane + p];
+        for (std::int64_t j = 0; j < out_types_; ++j)
+          for (std::int64_t dd = 0; dd < out_dim_; ++dd) {
+            const float* src = pv + (j * out_dim_ + dd) * oplane;
+            for (std::int64_t p = 0; p < oplane; ++p)
+              pvotes[(((b * oplane + p) * out_types_ + j) * in_types_ + t) *
+                         out_dim_ +
+                     dd] = src[p];
+          }
       }
     }
   }
@@ -261,13 +267,16 @@ tensor::Tensor RoutedConvCapsLayer::backward(const tensor::Tensor& grad_out) {
   const std::int64_t wslice = votes_c * in_dim_ * kernel_ * kernel_;
   for (std::int64_t t = 0; t < in_types_; ++t) {
     tensor::Tensor gvt({batch, votes_c, out_h_, out_w_});
-    const float* pgv = grad_votes.data();
+    const float* pgv = grad_votes.data();  // j-major [R, Tout, Tin, Dout]
     float* pg = gvt.data();
     for (std::int64_t b = 0; b < batch; ++b)
-      for (std::int64_t jd = 0; jd < votes_c; ++jd)
-        for (std::int64_t p = 0; p < oplane; ++p)
-          pg[(b * votes_c + jd) * oplane + p] =
-              pgv[((b * oplane + p) * in_types_ + t) * votes_c + jd];
+      for (std::int64_t j = 0; j < out_types_; ++j)
+        for (std::int64_t dd = 0; dd < out_dim_; ++dd)
+          for (std::int64_t p = 0; p < oplane; ++p)
+            pg[(b * votes_c + j * out_dim_ + dd) * oplane + p] =
+                pgv[(((b * oplane + p) * out_types_ + j) * in_types_ + t) *
+                        out_dim_ +
+                    dd];
     tensor::Tensor wt = weight_slice(t);
     auto grads = tensor::conv2d_backward(cached_slices_[static_cast<std::size_t>(t)],
                                          wt, gvt, stride_, pad_,

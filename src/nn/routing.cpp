@@ -1,23 +1,116 @@
 #include "nn/routing.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/error.hpp"
 #include "nn/caps_ops.hpp"
+#include "tensor/caps_kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace qcaps::nn {
 
+// Quantizer-free fast path: the whole iteration sequence runs sample by
+// sample, so each [Nout, Nin, D] votes slab is streamed from memory once and
+// every later access (agreement, next iteration's weighted sum) hits cache.
+// Iteration 0 skips the softmax outright: b = 0 makes the couplings exactly
+// uniform (softmax of a constant row computes 1 * (1 / Nout) — the same
+// float value the fill produces).
+tensor::Tensor DynamicRouting::forward_fused(const tensor::Tensor& votes,
+                                             int iterations, bool keep_tape) {
+  const std::int64_t r_count = votes.dim(0), nout = votes.dim(1),
+                     nin = votes.dim(2), d = votes.dim(3);
+  const float* u = votes.data();
+  tensor::Tensor v_out({r_count, nout, d});
+  last_c_ = tensor::Tensor({r_count, nin, nout});
+  if (keep_tape) {
+    for (int it = 0; it < iterations; ++it) {
+      c_tape_.emplace_back(tensor::Shape{r_count, nin, nout});
+      s_tape_.emplace_back(tensor::Shape{r_count, nout, d});
+      v_tape_.emplace_back(tensor::Shape{r_count, nout, d});
+    }
+  }
+  const float uniform = 1.0f / static_cast<float>(nout);
+  const std::int64_t row_elems = nin * nout;
+  const std::int64_t caps_elems = nout * d;
+
+#ifdef _OPENMP
+  const bool par = r_count > 1 && !omp_in_parallel() &&
+                   iterations * r_count * row_elems * d > (std::int64_t{1} << 15);
+#pragma omp parallel if (par)
+#endif
+  {
+    // Per-thread scratch: the logits never outlive the forward pass, and
+    // without a tape neither do the per-iteration c/s/v.
+    std::vector<float> b_loc(static_cast<std::size_t>(row_elems));
+    std::vector<float> c_loc, s_loc, v_loc;
+    if (!keep_tape) {
+      c_loc.resize(static_cast<std::size_t>(row_elems));
+      s_loc.resize(static_cast<std::size_t>(caps_elems));
+      v_loc.resize(static_cast<std::size_t>(caps_elems));
+    }
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t r = 0; r < r_count; ++r) {
+      const std::int64_t coff = r * row_elems;
+      const std::int64_t soff = r * caps_elems;
+      const float* ur = u + r * nout * nin * d;
+      std::fill(b_loc.begin(), b_loc.end(), 0.0f);
+      for (int it = 0; it < iterations; ++it) {
+        const bool last = it + 1 == iterations;
+        float* c_ptr = keep_tape
+                           ? c_tape_[static_cast<std::size_t>(it)].data() + coff
+                           : (last ? last_c_.data() + coff : c_loc.data());
+        if (it == 0) {
+          std::fill(c_ptr, c_ptr + row_elems, uniform);
+        } else {
+          std::copy(b_loc.begin(), b_loc.end(), c_ptr);
+          tensor::softmax_rows(c_ptr, nin, nout);
+        }
+        float* s_ptr = keep_tape
+                           ? s_tape_[static_cast<std::size_t>(it)].data() + soff
+                           : s_loc.data();
+        float* v_ptr = keep_tape
+                           ? v_tape_[static_cast<std::size_t>(it)].data() + soff
+                           : (last ? v_out.data() + soff : v_loc.data());
+        if (last) {
+          tensor::routing_weighted_sum_squash(ur, c_ptr, s_ptr, v_ptr, 1, nin,
+                                              nout, d, 1e-8f);
+          if (keep_tape) {
+            std::copy(c_ptr, c_ptr + row_elems, last_c_.data() + coff);
+            std::copy(v_ptr, v_ptr + caps_elems, v_out.data() + soff);
+          }
+        } else {
+          tensor::routing_iteration_fused(ur, c_ptr, s_ptr, v_ptr,
+                                          b_loc.data(), 1, nin, nout, d,
+                                          1e-8f);
+        }
+      }
+    }
+  }
+  return v_out;
+}
+
 tensor::Tensor DynamicRouting::forward(const tensor::Tensor& votes,
                                        int iterations, bool keep_tape,
                                        const RoutingQuantPoints& quant) {
-  QCAPS_CHECK_MSG(votes.ndim() == 4, "routing votes must be [R, Nin, Nout, D]");
+  QCAPS_CHECK_MSG(votes.ndim() == 4, "routing votes must be [R, Nout, Nin, D]");
   QCAPS_CHECK(iterations >= 1);
-  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
-                     nout = votes.dim(2), d = votes.dim(3);
+  const std::int64_t r_count = votes.dim(0), nout = votes.dim(1),
+                     nin = votes.dim(2), d = votes.dim(3);
   iters_ = iterations;
   c_tape_.clear();
   s_tape_.clear();
   v_tape_.clear();
   if (keep_tape) votes_ = votes;
+
+  if (!quant.routing && !quant.activations)
+    return forward_fused(votes, iterations, keep_tape);
 
   tensor::Tensor b({r_count, nin, nout});
   tensor::Tensor v;
@@ -29,29 +122,20 @@ tensor::Tensor DynamicRouting::forward(const tensor::Tensor& votes,
     tensor::Tensor c = tensor::softmax_last(b);
     if (quant.activations) quant.activations->apply(c);
 
-    // s[r, j, :] = sum_i c[r, i, j] * û[r, i, j, :]
+    // s[r, j, :] = Σ_i c[r, i, j] û[r, j, i, :]; v = squash(s). Fig. 9's QDR
+    // point sits between the weighted sum and the squash; without it the two
+    // run fused while the s row is hot.
     tensor::Tensor s({r_count, nout, d});
-    {
-      const float* pc = c.data();
-      float* ps = s.data();
-#pragma omp parallel for schedule(static) if (r_count > 16)
-      for (std::int64_t r = 0; r < r_count; ++r) {
-        float* srow = ps + r * nout * d;
-        const float* crow = pc + r * nin * nout;
-        const float* urow = u + r * nin * nout * d;
-        for (std::int64_t i = 0; i < nin; ++i) {
-          for (std::int64_t j = 0; j < nout; ++j) {
-            const float cij = crow[i * nout + j];
-            const float* uv = urow + (i * nout + j) * d;
-            float* sv = srow + j * d;
-            for (std::int64_t k = 0; k < d; ++k) sv[k] += cij * uv[k];
-          }
-        }
-      }
+    if (quant.routing) {
+      tensor::routing_weighted_sum(u, c.data(), s.data(), r_count, nin, nout,
+                                   d);
+      quant.routing->apply(s);
+      v = squash_last(s);
+    } else {
+      v = tensor::Tensor({r_count, nout, d});
+      tensor::routing_weighted_sum_squash(u, c.data(), s.data(), v.data(),
+                                          r_count, nin, nout, d, 1e-8f);
     }
-    // Preactivations quantized with QDR right before the squash (Fig. 9).
-    if (quant.routing) quant.routing->apply(s);
-    v = squash_last(s);
     if (quant.activations) quant.activations->apply(v);
 
     if (keep_tape) {
@@ -64,29 +148,18 @@ tensor::Tensor DynamicRouting::forward(const tensor::Tensor& votes,
       break;
     }
 
-    // Agreement a[r, i, j] = v[r, j, :] · û[r, i, j, :]; b += a.
-    tensor::Tensor a({r_count, nin, nout});
-    {
-      const float* pv = v.data();
-      float* pa = a.data();
-#pragma omp parallel for schedule(static) if (r_count > 16)
-      for (std::int64_t r = 0; r < r_count; ++r) {
-        const float* vrow = pv + r * nout * d;
-        const float* urow = u + r * nin * nout * d;
-        float* arow = pa + r * nin * nout;
-        for (std::int64_t i = 0; i < nin; ++i) {
-          for (std::int64_t j = 0; j < nout; ++j) {
-            const float* uv = urow + (i * nout + j) * d;
-            const float* vv = vrow + j * d;
-            float acc = 0.0f;
-            for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vv[k];
-            arow[i * nout + j] = acc;
-          }
-        }
-      }
+    // Agreement a[r, i, j] = v[r, j, :] · û[r, j, i, :]; b += a. With no
+    // activation quantizer on a, the update fuses straight into b.
+    if (quant.activations) {
+      tensor::Tensor a({r_count, nin, nout});
+      tensor::routing_agreement(u, v.data(), a.data(), r_count, nin, nout, d,
+                                /*accumulate=*/false);
+      quant.activations->apply(a);
+      tensor::axpy(b, 1.0f, a);
+    } else {
+      tensor::routing_agreement(u, v.data(), b.data(), r_count, nin, nout, d,
+                                /*accumulate=*/true);
     }
-    if (quant.activations) quant.activations->apply(a);
-    tensor::axpy(b, 1.0f, a);
   }
   return v;
 }
@@ -94,8 +167,8 @@ tensor::Tensor DynamicRouting::forward(const tensor::Tensor& votes,
 tensor::Tensor DynamicRouting::backward(const tensor::Tensor& grad_v) {
   QCAPS_CHECK_MSG(!votes_.empty() && !v_tape_.empty(),
                   "routing backward without a keep_tape forward");
-  const std::int64_t r_count = votes_.dim(0), nin = votes_.dim(1),
-                     nout = votes_.dim(2), d = votes_.dim(3);
+  const std::int64_t r_count = votes_.dim(0), nout = votes_.dim(1),
+                     nin = votes_.dim(2), d = votes_.dim(3);
   QCAPS_CHECK(grad_v.ndim() == 3 && grad_v.dim(0) == r_count &&
               grad_v.dim(1) == nout && grad_v.dim(2) == d);
 
@@ -109,73 +182,24 @@ tensor::Tensor DynamicRouting::backward(const tensor::Tensor& grad_v) {
     const tensor::Tensor& s = s_tape_[static_cast<std::size_t>(it)];
     // v = squash(s)
     tensor::Tensor gs = squash_last_backward(s, gv);
-    // s = Σ_i c ⊙ û :  gc[i,j] = û[i,j]·gs[j] ;  gU[i,j] += c[i,j] * gs[j]
+    // s = Σ_i c ⊙ û :  gc[i,j] = û_j|i·gs[j] ;  gU[j,i,:] += c[i,j] * gs[j,:]
     tensor::Tensor gc({r_count, nin, nout});
-    {
-      const float* pc = c.data();
-      const float* pgs = gs.data();
-      float* pgc = gc.data();
-      float* pgu = grad_votes.data();
-#pragma omp parallel for schedule(static) if (r_count > 16)
-      for (std::int64_t r = 0; r < r_count; ++r) {
-        const float* crow = pc + r * nin * nout;
-        const float* gsrow = pgs + r * nout * d;
-        float* gcrow = pgc + r * nin * nout;
-        float* gurow = pgu + r * nin * nout * d;
-        const float* urow = u + r * nin * nout * d;
-        for (std::int64_t i = 0; i < nin; ++i) {
-          for (std::int64_t j = 0; j < nout; ++j) {
-            const float* uv = urow + (i * nout + j) * d;
-            const float* gsv = gsrow + j * d;
-            float* guv = gurow + (i * nout + j) * d;
-            const float cij = crow[i * nout + j];
-            float dot = 0.0f;
-            for (std::int64_t k = 0; k < d; ++k) {
-              dot += uv[k] * gsv[k];
-              guv[k] += cij * gsv[k];
-            }
-            gcrow[i * nout + j] = dot;
-          }
-        }
-      }
-    }
+    tensor::routing_weighted_sum_backward(u, c.data(), gs.data(), gc.data(),
+                                          grad_votes.data(), r_count, nin,
+                                          nout, d);
     // c = softmax(b) over the Nout axis (the last axis of [R, Nin, Nout]).
     tensor::axpy(gb, 1.0f, tensor::softmax_last_backward(c, gc));
 
     if (it == 0) break;
 
-    // b_it = b_{it-1} + a_{it-1},  a_{it-1}[i,j] = v_{it-1}[j] · û[i,j].
+    // b_it = b_{it-1} + a_{it-1},  a_{it-1}[i,j] = v_{it-1}[j] · û_j|i.
     // gb passes through to b_{it-1} unchanged; additionally:
-    //   gv_{it-1}[j] += Σ_i gb[i,j] û[i,j] ;  gU[i,j] += gb[i,j] * v_{it-1}[j]
+    //   gv_{it-1}[j,:] = Σ_i gb[i,j] û[j,i,:] ;  gU[j,i,:] += gb[i,j] v[j,:]
     const tensor::Tensor& v_prev = v_tape_[static_cast<std::size_t>(it - 1)];
     tensor::Tensor gv_prev({r_count, nout, d});
-    {
-      const float* pgb = gb.data();
-      const float* pvp = v_prev.data();
-      float* pgvp = gv_prev.data();
-      float* pgu = grad_votes.data();
-#pragma omp parallel for schedule(static) if (r_count > 16)
-      for (std::int64_t r = 0; r < r_count; ++r) {
-        const float* gbrow = pgb + r * nin * nout;
-        const float* vrow = pvp + r * nout * d;
-        float* gvrow = pgvp + r * nout * d;
-        float* gurow = pgu + r * nin * nout * d;
-        const float* urow = u + r * nin * nout * d;
-        for (std::int64_t i = 0; i < nin; ++i) {
-          for (std::int64_t j = 0; j < nout; ++j) {
-            const float gij = gbrow[i * nout + j];
-            const float* uv = urow + (i * nout + j) * d;
-            const float* vv = vrow + j * d;
-            float* gvv = gvrow + j * d;
-            float* guv = gurow + (i * nout + j) * d;
-            for (std::int64_t k = 0; k < d; ++k) {
-              gvv[k] += gij * uv[k];
-              guv[k] += gij * vv[k];
-            }
-          }
-        }
-      }
-    }
+    tensor::routing_agreement_backward(u, v_prev.data(), gb.data(),
+                                       gv_prev.data(), grad_votes.data(),
+                                       r_count, nin, nout, d);
     gv = std::move(gv_prev);
   }
   return grad_votes;

@@ -1,12 +1,18 @@
 // Dynamic routing-by-agreement (paper Sec. II-A, Fig. 6).
 //
-// Operates on a vote tensor û of shape [R, Nin, Nout, D], where R collapses
-// the batch (and, for convolutional capsule layers, the spatial positions).
-// Per routing iteration:
+// Operates on a vote tensor û of shape [R, Nout, Nin, D] — the j-major
+// layout of tensor/caps_kernels.hpp, where R collapses the batch (and, for
+// convolutional capsule layers, the spatial positions) and each (r, j) slab
+// û_j is a contiguous [Nin, D] matrix. Per routing iteration:
 //     c  = softmax over Nout of b          (coupling coefficients, Eq. 1)
 //     s_j = Σ_i c_ij û_j|i                 (preactivation)
 //     v_j = squash(s_j)                    (Eq. 2)
 //     a_ij = v_j · û_j|i ;  b += a         (agreement, skipped after last)
+// Logits/couplings stay i-major [R, Nin, Nout] (softmax normalizes over the
+// contiguous Nout axis). Both contractions run on the runtime-dispatched
+// batched kernels in tensor/caps_kernels.{hpp,cpp}; when no quantization
+// point sits in between, the weighted sum fuses with the squash and the
+// agreement with the logit update.
 //
 // Quantization points follow paper Fig. 9: û, c, v, a carry the activation
 // format Qa; b (before softmax) and s (before squash) are quantized harder
@@ -32,19 +38,26 @@ struct RoutingQuantPoints {
 
 class DynamicRouting {
  public:
-  /// Route votes [R, Nin, Nout, D] for `iterations` rounds; returns
+  /// Route j-major votes [R, Nout, Nin, D] for `iterations` rounds; returns
   /// v [R, Nout, D]. With keep_tape the per-iteration intermediates are
   /// retained for backward().
   tensor::Tensor forward(const tensor::Tensor& votes, int iterations,
                          bool keep_tape, const RoutingQuantPoints& quant);
 
-  /// Gradient wrt the votes; requires a keep_tape forward first.
+  /// Gradient wrt the votes (j-major, like the forward input); requires a
+  /// keep_tape forward first.
   tensor::Tensor backward(const tensor::Tensor& grad_v);
 
-  /// Coupling coefficients of the final iteration (for tests/inspection).
+  /// Coupling coefficients of the final iteration, [R, Nin, Nout]
+  /// (for tests/inspection).
   const tensor::Tensor& last_coupling() const { return last_c_; }
 
  private:
+  /// Quantizer-free forward: per-sample fusion keeps each votes slab
+  /// cache-resident across all iterations (one memory stream total).
+  tensor::Tensor forward_fused(const tensor::Tensor& votes, int iterations,
+                               bool keep_tape);
+
   int iters_ = 0;
   tensor::Tensor votes_;
   tensor::Tensor last_c_;

@@ -85,8 +85,13 @@ void run_qgemm_matmul(const QTensor& a, const QTensor& b, std::int64_t m,
                 bp.data(), n, c, n, rq);
 }
 
-// One strided GEMM per input type i:
-//   votes[:, i, :] [B x JD] = u[:, i, :] [B x Din] * w[i]^T [Din x JD]
+// One strided GEMM per input type i (the shape qgemm amortizes best):
+//   c[:, i, :] [B x JD] = u[:, i, :] [B x Din] * w[i]^T [Din x JD]
+// The i-major int32 result is permuted into the j-major votes layout by the
+// caller's int32 -> int64 widening copy — a pass that exists anyway, so the
+// routing layout costs no extra traversal (emitting j-major directly would
+// need one GEMM batch per output capsule: n = Dout-wide calls too small to
+// amortize packing, measured 3x slower on the ShallowCaps head).
 template <typename T>
 void run_qgemm_votes(const QTensor& u, const QTensor& w,
                      const QGemmOperandCache* w_cache, std::int64_t b,
@@ -104,6 +109,24 @@ void run_qgemm_votes(const QTensor& u, const QTensor& w,
   tensor::qgemm_batch(tensor::Trans::kN, tensor::Trans::kT, b, jd, din,
                       up.data(), nin * din, din, wp, din, jd * din, c,
                       nin * jd, jd, nin, rq);
+}
+
+// Widen the i-major int32 GEMM result [B, Nin, Nout*Dout] into the j-major
+// int64 votes [B, Nout, Nin, Dout] — the transpose rides on the widening
+// copy.
+void widen_to_jmajor(const std::int32_t* c, std::int64_t b, std::int64_t nin,
+                     std::int64_t nout, std::int64_t dout, std::int64_t* out) {
+  const std::int64_t jd = nout * dout;
+#pragma omp parallel for collapse(2) schedule(static) if (b * nin * jd > (1 << 16))
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t j = 0; j < nout; ++j) {
+      const std::int32_t* src = c + bi * nin * jd + j * dout;
+      std::int64_t* dst = out + (bi * nout + j) * nin * dout;
+      for (std::int64_t i = 0; i < nin; ++i)
+        for (std::int64_t k = 0; k < dout; ++k)
+          dst[i * dout + k] = src[i * jd + k];
+    }
+  }
 }
 
 // Batched im2col + packed integer GEMM convolution. The whole [B, ...]
@@ -321,24 +344,51 @@ QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt) {
 
 QTensor dynamic_routing(const QTensor& votes, int iterations,
                         fixed::FixedFormat act_fmt, fixed::FixedFormat dr_fmt) {
-  QCAPS_CHECK_MSG(votes.shape.size() == 4, "votes must be [R, Nin, Nout, D]");
+  QCAPS_CHECK_MSG(votes.shape.size() == 4, "votes must be [R, Nout, Nin, D]");
   QCAPS_CHECK(iterations >= 1);
-  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
-                     nout = votes.dim(2), d = votes.dim(3);
+  const std::int64_t r_count = votes.dim(0), nout = votes.dim(1),
+                     nin = votes.dim(2), d = votes.dim(3);
   QCAPS_CHECK(votes.fmt == act_fmt);
 
   const hwmodel::SoftmaxUnit softmax(dr_fmt);
   const hwmodel::SquashUnit squash(dr_fmt);
   QTensor v_out({r_count, nout, d}, act_fmt);
+  if (v_out.numel() == 0) return v_out;
+
+  // Integer fast path: with the j-major layout both contractions walk
+  // unit-stride int32 slabs, and exact int32 accumulation is admissible as
+  // long as Σ |c||u| (resp. Σ |v||u|) cannot wrap. Couplings and squashed
+  // outputs carry the activation format, so their raw magnitude is bounded
+  // by 2^(wl-1); the votes' actual range is scanned once. Integer addition
+  // is associative, so the int32 and int64 paths are bit-identical — the
+  // requant points (rescale into QDR before squash, per Fig. 9) are
+  // untouched.
+  const std::int64_t umax = votes.max_abs_raw();
+  const int bu = std::bit_width(static_cast<std::uint64_t>(umax));
+  const int bact = act_fmt.wordlength();  // |c|, |v| <= 2^(wl-1)
+  const bool i32_ok =
+      bu + bact + ceil_log2(std::max<std::int64_t>(std::max(nin, d), 1)) <= 30;
+  std::vector<std::int32_t> u32;
+  if (i32_ok) {
+    u32.resize(votes.raw.size());
+    for (std::size_t i = 0; i < votes.raw.size(); ++i)
+      u32[i] = static_cast<std::int32_t>(votes.raw[i]);
+  }
 
 #pragma omp parallel for schedule(static) if (r_count > 4)
   for (std::int64_t r = 0; r < r_count; ++r) {
     // Per-row state: logits b (dr fmt), couplings c (act fmt).
     std::vector<std::int64_t> b_raw(static_cast<std::size_t>(nin * nout), 0);
-    std::vector<std::int64_t> c_raw(static_cast<std::size_t>(nin * nout), 0);
     std::vector<std::int64_t> s_raw(static_cast<std::size_t>(nout * d), 0);
     std::vector<std::int64_t> v_raw(static_cast<std::size_t>(nout * d), 0);
-    const std::int64_t* u = votes.raw.data() + r * nin * nout * d;
+    std::vector<std::int32_t> c32(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int32_t> v32(static_cast<std::size_t>(nout * d), 0);
+    std::vector<std::int32_t> acc32(static_cast<std::size_t>(d), 0);
+    std::vector<std::int64_t> c_raw;
+    if (!i32_ok) c_raw.resize(static_cast<std::size_t>(nin * nout));
+    const std::int64_t* u = votes.raw.data() + r * nout * nin * d;
+    const std::int32_t* ur32 = i32_ok ? u32.data() + r * nout * nin * d
+                                      : nullptr;
 
     for (int it = 0; it < iterations; ++it) {
       // c_i* = softmax over Nout of b_i* — logits carry the QDR format but
@@ -347,46 +397,91 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
       for (std::int64_t i = 0; i < nin; ++i) {
         std::vector<hwmodel::FixedNum> logits(static_cast<std::size_t>(nout));
         for (std::int64_t j = 0; j < nout; ++j)
-          logits[static_cast<std::size_t>(j)] = {b_raw[static_cast<std::size_t>(i * nout + j)], dr_fmt};
+          logits[static_cast<std::size_t>(j)] = {
+              b_raw[static_cast<std::size_t>(i * nout + j)], dr_fmt};
         const auto c = softmax.apply(logits, act_fmt);
-        for (std::int64_t j = 0; j < nout; ++j)
-          c_raw[static_cast<std::size_t>(i * nout + j)] = c[static_cast<std::size_t>(j)].raw;
+        for (std::int64_t j = 0; j < nout; ++j) {
+          const std::int64_t raw = c[static_cast<std::size_t>(j)].raw;
+          if (i32_ok)
+            c32[static_cast<std::size_t>(i * nout + j)] =
+                static_cast<std::int32_t>(raw);
+          else
+            c_raw[static_cast<std::size_t>(i * nout + j)] = raw;
+        }
       }
-      // s_j = Σ_i c_ij û_ij, accumulated wide, rescaled into dr fmt
-      // (precision lowered before the squash, Fig. 9).
+      // s_j = Σ_i c_ij û_j|i, accumulated wide, rescaled into dr fmt
+      // (precision lowered before the squash, Fig. 9). Per (r, j) slab the
+      // votes rows are contiguous in k, so the int32 loop vectorizes.
       const int acc_qf = act_fmt.qf + act_fmt.qf;
-      std::fill(s_raw.begin(), s_raw.end(), 0);
       for (std::int64_t j = 0; j < nout; ++j) {
-        for (std::int64_t k = 0; k < d; ++k) {
-          std::int64_t acc = 0;
-          for (std::int64_t i = 0; i < nin; ++i)
-            acc += c_raw[static_cast<std::size_t>(i * nout + j)] *
-                   u[(i * nout + j) * d + k];
-          s_raw[static_cast<std::size_t>(j * d + k)] =
-              hwmodel::rescale_raw(acc, acc_qf, dr_fmt);
+        if (i32_ok) {
+          const std::int32_t* uj = ur32 + j * nin * d;
+          std::fill(acc32.begin(), acc32.end(), 0);
+          for (std::int64_t i = 0; i < nin; ++i) {
+            const std::int32_t cij = c32[static_cast<std::size_t>(i * nout + j)];
+            const std::int32_t* uv = uj + i * d;
+            for (std::int64_t k = 0; k < d; ++k)
+              acc32[static_cast<std::size_t>(k)] += cij * uv[k];
+          }
+          for (std::int64_t k = 0; k < d; ++k)
+            s_raw[static_cast<std::size_t>(j * d + k)] = hwmodel::rescale_raw(
+                acc32[static_cast<std::size_t>(k)], acc_qf, dr_fmt);
+        } else {
+          const std::int64_t* uj = u + j * nin * d;
+          for (std::int64_t k = 0; k < d; ++k) {
+            std::int64_t acc = 0;
+            for (std::int64_t i = 0; i < nin; ++i)
+              acc += c_raw[static_cast<std::size_t>(i * nout + j)] *
+                     uj[i * d + k];
+            s_raw[static_cast<std::size_t>(j * d + k)] =
+                hwmodel::rescale_raw(acc, acc_qf, dr_fmt);
+          }
         }
       }
       // v_j = squash(s_j): QDR input, activation-precision output.
       for (std::int64_t j = 0; j < nout; ++j) {
         std::vector<hwmodel::FixedNum> sv(static_cast<std::size_t>(d));
         for (std::int64_t k = 0; k < d; ++k)
-          sv[static_cast<std::size_t>(k)] = {s_raw[static_cast<std::size_t>(j * d + k)], dr_fmt};
+          sv[static_cast<std::size_t>(k)] = {
+              s_raw[static_cast<std::size_t>(j * d + k)], dr_fmt};
         const auto vq = squash.apply(sv, act_fmt);
-        for (std::int64_t k = 0; k < d; ++k)
-          v_raw[static_cast<std::size_t>(j * d + k)] = vq[static_cast<std::size_t>(k)].raw;
+        for (std::int64_t k = 0; k < d; ++k) {
+          const std::int64_t raw = vq[static_cast<std::size_t>(k)].raw;
+          v_raw[static_cast<std::size_t>(j * d + k)] = raw;
+          if (i32_ok)
+            v32[static_cast<std::size_t>(j * d + k)] =
+                static_cast<std::int32_t>(raw);
+        }
       }
       if (it + 1 == iterations) break;
-      // b_ij += a_ij = v_j · û_ij (wide dot, rescaled into dr fmt).
-      for (std::int64_t i = 0; i < nin; ++i) {
-        for (std::int64_t j = 0; j < nout; ++j) {
-          std::int64_t acc = 0;
-          for (std::int64_t k = 0; k < d; ++k)
-            acc += v_raw[static_cast<std::size_t>(j * d + k)] *
-                   u[(i * nout + j) * d + k];
-          const std::int64_t a =
-              hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
-          b_raw[static_cast<std::size_t>(i * nout + j)] = hwmodel::saturate_raw(
-              b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+      // b_ij += a_ij = v_j · û_j|i (wide dot, rescaled into dr fmt).
+      for (std::int64_t j = 0; j < nout; ++j) {
+        if (i32_ok) {
+          const std::int32_t* uj = ur32 + j * nin * d;
+          const std::int32_t* vj = v32.data() + j * d;
+          for (std::int64_t i = 0; i < nin; ++i) {
+            const std::int32_t* uv = uj + i * d;
+            std::int32_t acc = 0;
+            for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vj[k];
+            const std::int64_t a =
+                hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
+            b_raw[static_cast<std::size_t>(i * nout + j)] =
+                hwmodel::saturate_raw(
+                    b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+          }
+        } else {
+          const std::int64_t* uj = u + j * nin * d;
+          const std::int64_t* vj = v_raw.data() + j * d;
+          for (std::int64_t i = 0; i < nin; ++i) {
+            const std::int64_t* uv = uj + i * d;
+            std::int64_t acc = 0;
+            for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vj[k];
+            const std::int64_t a =
+                hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
+            b_raw[static_cast<std::size_t>(i * nout + j)] =
+                hwmodel::saturate_raw(
+                    b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+          }
         }
       }
     }
@@ -457,7 +552,7 @@ QTensor vote_transform(const QTensor& u, const QTensor& w,
                   "vote_transform weight cache was not built");
   const std::int64_t jd = nout * dout;
   const int acc_qf = u.fmt.qf + w.fmt.qf;
-  QTensor votes({b, nin, nout, dout}, out_fmt);
+  QTensor votes({b, nout, nin, dout}, out_fmt);
   if (din == 0 || votes.numel() == 0) return votes;
 
   if (requant_expressible(acc_qf, out_fmt, scheme)) {
@@ -472,24 +567,25 @@ QTensor vote_transform(const QTensor& u, const QTensor& w,
       else
         run_qgemm_votes<std::int16_t>(u, w, w_cache, b, nin, din, jd, rq,
                                       c.data());
-      std::copy(c.begin(), c.end(), votes.raw.begin());
+      widen_to_jmajor(c.data(), b, nin, nout, dout, votes.raw.data());
       return votes;
     }
   }
 
-  // Exact int64 scalar path.
+  // Exact int64 scalar path, writing the j-major layout directly.
   check_i64_acc(u, w, din, "qengine vote_transform");
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t i = 0; i < nin; ++i) {
       const std::int64_t* uv = u.raw.data() + (bi * nin + i) * din;
       const std::int64_t* wrow = w.raw.data() + i * jd * din;
-      std::int64_t* vrow = votes.raw.data() + (bi * nin + i) * jd;
       for (std::int64_t x = 0; x < jd; ++x) {
         std::int64_t acc = 0;
         for (std::int64_t p = 0; p < din; ++p)
           acc += wrow[x * din + p] * uv[p];
-        vrow[x] = hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+        votes.raw[static_cast<std::size_t>(
+            ((bi * nout + x / dout) * nin + i) * dout + x % dout)] =
+            hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
       }
     }
   }

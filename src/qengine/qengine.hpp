@@ -54,9 +54,14 @@ QTensor rescale(const QTensor& x, fixed::FixedFormat out_fmt,
 /// output has out_fmt.
 QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt);
 
-/// Integer dynamic routing. votes: [R, Nin, Nout, D] in act fmt.
-/// Logits/pre-activations use dr_fmt (the QDR width, paper Fig. 9);
-/// couplings and outputs use act_fmt. Returns v [R, Nout, D] in act fmt.
+/// Integer dynamic routing. votes: j-major [R, Nout, Nin, D] in act fmt
+/// (the layout vote_transform emits — per (r, j) slab the weighted sum and
+/// agreement walk unit-stride rows). Logits/pre-activations use dr_fmt (the
+/// QDR width, paper Fig. 9); couplings and outputs use act_fmt. Returns
+/// v [R, Nout, D] in act fmt. When the operands' actual raw ranges admit it,
+/// both contractions accumulate in vectorizable int32 — bit-identical to the
+/// exact int64 path (integer addition is associative; every rescale point is
+/// unchanged).
 QTensor dynamic_routing(const QTensor& votes, int iterations,
                         fixed::FixedFormat act_fmt, fixed::FixedFormat dr_fmt);
 
@@ -72,10 +77,13 @@ QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
                    fixed::RoundingScheme::kRoundToNearest);
 
 /// Batched capsule vote product: u [B, Nin, Din] (activations) *
-/// w [Nin, Nout, Dout, Din] (weights) -> votes [B, Nin, Nout, Dout] in
-/// out_fmt. One strided qgemm_batch over the Nin input types on the fast
-/// path; exact int64 scalar fallback otherwise (bit-identical). Pass
-/// `w_cache` (built from `w`) to skip re-packing constant weights.
+/// w [Nin, Nout, Dout, Din] (weights) -> j-major votes [B, Nout, Nin, Dout]
+/// in out_fmt — the layout dynamic_routing consumes. One strided qgemm_batch
+/// over the Nin input types on the fast path, with the j-major permutation
+/// folded into the int32 -> int64 widening copy that follows the GEMM anyway
+/// (no extra traversal); exact int64 scalar fallback otherwise
+/// (bit-identical values). Pass `w_cache` (built from `w`) to skip
+/// re-packing constant weights.
 QTensor vote_transform(const QTensor& u, const QTensor& w,
                        fixed::FixedFormat out_fmt,
                        fixed::RoundingScheme scheme =

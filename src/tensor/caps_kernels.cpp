@@ -1,0 +1,1371 @@
+#include "tensor/caps_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(QCAPS_CAPS_DISABLE_NATIVE)
+#define QCAPS_CAPS_X86_NATIVE 1
+#include <immintrin.h>
+#endif
+
+namespace qcaps::tensor {
+namespace {
+
+// Below this many multiply-adds the threading machinery costs more than it
+// saves (same threshold as the GEMM backends).
+constexpr std::int64_t kParallelMinWork = std::int64_t{1} << 15;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// Split [0, total) into per-thread ranges and run f(lo, hi) on each; every
+// index is processed by exactly one thread, so results are identical for any
+// thread count. Serial when the work is small or we are already inside a
+// parallel region.
+template <typename F>
+void run_ranges(std::int64_t total, std::int64_t work_per, const F& f) {
+  if (total <= 0) return;
+#ifdef _OPENMP
+  if (total > 1 && total * work_per > kParallelMinWork &&
+      omp_get_max_threads() > 1 && !omp_in_parallel()) {
+#pragma omp parallel
+    {
+      const std::int64_t nt = omp_get_num_threads();
+      const std::int64_t tid = omp_get_thread_num();
+      const std::int64_t per = ceil_div(total, nt);
+      const std::int64_t lo = std::min(tid * per, total);
+      const std::int64_t hi = std::min(lo + per, total);
+      if (lo < hi) f(lo, hi);
+    }
+    return;
+  }
+#endif
+  f(0, total);
+}
+
+// ---- shared exp polynomial -------------------------------------------------
+//
+// Cephes-style expf: clamp, split x = n*ln2 + r with r in [-ln2/2, ln2/2],
+// degree-5 polynomial for e^r, scale by 2^n through the float exponent
+// field. Max relative error ~2 ulp — far below every softmax tolerance in
+// the suite. The scalar tier evaluates the *same* polynomial so changing
+// tier never changes the pointwise math, only vector summation order.
+
+constexpr float kExpHi = 88.3762626647950f;
+constexpr float kExpLo = -87.3365478515625f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;
+constexpr float kExpC2 = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+inline float poly_expf(float x) {
+  x = std::min(kExpHi, std::max(kExpLo, x));
+  const float n = std::nearbyintf(x * kLog2e);
+  float r = x - n * kExpC1;
+  r = r - n * kExpC2;
+  float z = kExpP0;
+  z = z * r + kExpP1;
+  z = z * r + kExpP2;
+  z = z * r + kExpP3;
+  z = z * r + kExpP4;
+  z = z * r + kExpP5;
+  z = z * r * r + r + 1.0f;
+  const std::int32_t e = (static_cast<std::int32_t>(n) + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &e, sizeof(scale));
+  return z * scale;
+}
+
+// Squash gain for a row with squared norm nsq: f(n) = n / (1 + n^2) applied
+// to s/n, i.e. v = s * sqrt(nsq + eps) / (1 + nsq) — matches nn::squash_last.
+inline float squash_gain(float nsq, float eps) {
+  return std::sqrt(nsq + eps) / (1.0f + nsq);
+}
+
+// ---- scalar tier -----------------------------------------------------------
+//
+// Plain loops over the j-major slabs; the portable fallback every non-AVX
+// machine runs and the oracle the vector tiers are tested against.
+
+namespace scalar {
+
+inline void squash_row(const float* s, float* v, std::int64_t d, float eps) {
+  float nsq = 0.0f;
+  for (std::int64_t k = 0; k < d; ++k) nsq += s[k] * s[k];
+  const float f = squash_gain(nsq, eps);
+  for (std::int64_t k = 0; k < d; ++k) v[k] = f * s[k];
+}
+
+inline void ws_slab(const float* ur, const float* cs, float* srow,
+                    std::int64_t nin, std::int64_t nout, std::int64_t d) {
+  std::fill(srow, srow + d, 0.0f);
+  for (std::int64_t i = 0; i < nin; ++i) {
+    const float cij = cs[i * nout];
+    const float* uv = ur + i * d;
+    for (std::int64_t k = 0; k < d; ++k) srow[k] += cij * uv[k];
+  }
+}
+
+void ws(const float* u, const float* c, float* s, std::int64_t nin,
+        std::int64_t nout, std::int64_t d, std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
+            nin, nout, d);
+}
+
+void ws_squash(const float* u, const float* c, float* s, float* v,
+               std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
+               std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    float* srow = s + t * d;
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
+            nout, d);
+    squash_row(srow, v + t * d, d, eps);
+  }
+}
+
+inline void agree_slab(const float* ur, const float* vrow, float* os,
+                       std::int64_t nin, std::int64_t nout, std::int64_t d,
+                       bool accumulate) {
+  for (std::int64_t i = 0; i < nin; ++i) {
+    const float* uv = ur + i * d;
+    float acc = 0.0f;
+    for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vrow[k];
+    if (accumulate)
+      os[i * nout] += acc;
+    else
+      os[i * nout] = acc;
+  }
+}
+
+void agree(const float* u, const float* v, float* out, std::int64_t nin,
+           std::int64_t nout, std::int64_t d, bool accumulate, std::int64_t t0,
+           std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    agree_slab(u + t * nin * d, v + t * d,
+               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               accumulate);
+}
+
+void iter_fused(const float* u, const float* c, float* s, float* v, float* b,
+                std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
+                std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    float* srow = s + t * d;
+    float* vrow = v + t * d;
+    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    squash_row(srow, vrow, d, eps);
+    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+  }
+}
+
+void ws_bwd(const float* u, const float* c, const float* gs, float* gc,
+            float* gu, std::int64_t nin, std::int64_t nout, std::int64_t d,
+            std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* gsrow = gs + t * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const float* cs = c + cbase;
+    float* gcs = gc + cbase;
+    float* gur = gu + t * nin * d;
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const float* uv = ur + i * d;
+      float* guv = gur + i * d;
+      const float cij = cs[i * nout];
+      float dot = 0.0f;
+      for (std::int64_t k = 0; k < d; ++k) {
+        dot += uv[k] * gsrow[k];
+        guv[k] += cij * gsrow[k];
+      }
+      gcs[i * nout] = dot;
+    }
+  }
+}
+
+void agree_bwd(const float* u, const float* v, const float* gb, float* gv,
+               float* gu, std::int64_t nin, std::int64_t nout, std::int64_t d,
+               std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* vrow = v + t * d;
+    const float* gbs = gb + (t / nout) * nin * nout + t % nout;
+    float* gvrow = gv + t * d;
+    float* gur = gu + t * nin * d;
+    std::fill(gvrow, gvrow + d, 0.0f);
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const float gij = gbs[i * nout];
+      const float* uv = ur + i * d;
+      float* guv = gur + i * d;
+      for (std::int64_t k = 0; k < d; ++k) {
+        gvrow[k] += gij * uv[k];
+        guv[k] += gij * vrow[k];
+      }
+    }
+  }
+}
+
+void softmax(float* x, std::int64_t d, std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* row = x + r * d;
+    float mx = row[0];
+    for (std::int64_t j = 1; j < d; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      row[j] = poly_expf(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+}
+
+void squash(const float* s, float* v, std::int64_t d, float eps,
+            std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) squash_row(s + r * d, v + r * d, d, eps);
+}
+
+void squash_bwd(const float* s, const float* g, float* gs, std::int64_t d,
+                float eps, std::int64_t r0, std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const float* sr = s + r * d;
+    const float* gr = g + r * d;
+    float* out = gs + r * d;
+    float nsq = 0.0f, dot = 0.0f;
+    for (std::int64_t k = 0; k < d; ++k) {
+      nsq += sr[k] * sr[k];
+      dot += sr[k] * gr[k];
+    }
+    const float n = std::sqrt(nsq + eps);
+    const float denom = 1.0f + nsq;
+    const float f = n / denom;
+    const float coeff = (1.0f - nsq) / (denom * denom) / n * dot;
+    for (std::int64_t k = 0; k < d; ++k) out[k] = f * gr[k] + coeff * sr[k];
+  }
+}
+
+}  // namespace scalar
+
+#ifdef QCAPS_CAPS_X86_NATIVE
+
+// ---- AVX2+FMA tier ---------------------------------------------------------
+
+namespace avx2 {
+
+__attribute__((target("avx2,fma"))) inline float hsum8(__m256 x) {
+  const __m128 lo = _mm256_castps256_ps128(x);
+  const __m128 hi = _mm256_extractf128_ps(x, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+__attribute__((target("avx2,fma"))) inline __m256 exp8(__m256 x) {
+  x = _mm256_min_ps(_mm256_set1_ps(kExpHi), _mm256_max_ps(_mm256_set1_ps(kExpLo), x));
+  const __m256 n = _mm256_round_ps(_mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+                                   _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kExpC1), x);
+  r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kExpC2), r);
+  __m256 z = _mm256_set1_ps(kExpP0);
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpP1));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpP2));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpP3));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpP4));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpP5));
+  z = _mm256_fmadd_ps(_mm256_mul_ps(z, r), r,
+                      _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+  __m256i e = _mm256_cvtps_epi32(n);
+  e = _mm256_slli_epi32(_mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(z, _mm256_castsi256_ps(e));
+}
+
+__attribute__((target("avx2,fma"))) inline void squash_row(const float* s,
+                                                           float* v,
+                                                           std::int64_t d,
+                                                           float eps) {
+  float nsq = 0.0f;
+  std::int64_t k = 0;
+  if (d >= 8) {
+    __m256 acc = _mm256_setzero_ps();
+    for (; k + 8 <= d; k += 8) {
+      const __m256 x = _mm256_loadu_ps(s + k);
+      acc = _mm256_fmadd_ps(x, x, acc);
+    }
+    nsq = hsum8(acc);
+  }
+  for (; k < d; ++k) nsq += s[k] * s[k];
+  const float f = squash_gain(nsq, eps);
+  const __m256 fv = _mm256_set1_ps(f);
+  k = 0;
+  for (; k + 8 <= d; k += 8)
+    _mm256_storeu_ps(v + k, _mm256_mul_ps(fv, _mm256_loadu_ps(s + k)));
+  for (; k < d; ++k) v[k] = f * s[k];
+}
+
+__attribute__((target("avx2,fma"))) inline void ws_slab(
+    const float* ur, const float* cs, float* srow, std::int64_t nin,
+    std::int64_t nout, std::int64_t d) {
+  if (d == 16) {
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 2 <= nin; i += 2) {
+      const __m256 c0 = _mm256_broadcast_ss(cs + i * nout);
+      const __m256 c1 = _mm256_broadcast_ss(cs + (i + 1) * nout);
+      const float* u0 = ur + i * 16;
+      a0 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(u0), a0);
+      a1 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(u0 + 8), a1);
+      b0 = _mm256_fmadd_ps(c1, _mm256_loadu_ps(u0 + 16), b0);
+      b1 = _mm256_fmadd_ps(c1, _mm256_loadu_ps(u0 + 24), b1);
+    }
+    if (i < nin) {
+      const __m256 c0 = _mm256_broadcast_ss(cs + i * nout);
+      a0 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(ur + i * 16), a0);
+      a1 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(ur + i * 16 + 8), a1);
+    }
+    _mm256_storeu_ps(srow, _mm256_add_ps(a0, b0));
+    _mm256_storeu_ps(srow + 8, _mm256_add_ps(a1, b1));
+  } else if (d == 8) {
+    __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+    __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 4 <= nin; i += 4) {
+      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+                           _mm256_loadu_ps(ur + i * 8), a0);
+      a1 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 1) * nout),
+                           _mm256_loadu_ps(ur + i * 8 + 8), a1);
+      a2 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 2) * nout),
+                           _mm256_loadu_ps(ur + i * 8 + 16), a2);
+      a3 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 3) * nout),
+                           _mm256_loadu_ps(ur + i * 8 + 24), a3);
+    }
+    for (; i < nin; ++i)
+      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+                           _mm256_loadu_ps(ur + i * 8), a0);
+    _mm256_storeu_ps(srow,
+                     _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
+  } else {
+    std::fill(srow, srow + d, 0.0f);
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const float cij = cs[i * nout];
+      const __m256 cb = _mm256_set1_ps(cij);
+      const float* uv = ur + i * d;
+      std::int64_t k = 0;
+      for (; k + 8 <= d; k += 8)
+        _mm256_storeu_ps(srow + k, _mm256_fmadd_ps(cb, _mm256_loadu_ps(uv + k),
+                                                   _mm256_loadu_ps(srow + k)));
+      for (; k < d; ++k) srow[k] += cij * uv[k];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ws(const float* u, const float* c,
+                                            float* s, std::int64_t nin,
+                                            std::int64_t nout, std::int64_t d,
+                                            std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
+            nin, nout, d);
+}
+
+__attribute__((target("avx2,fma"))) void ws_squash(
+    const float* u, const float* c, float* s, float* v, std::int64_t nin,
+    std::int64_t nout, std::int64_t d, float eps, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    float* srow = s + t * d;
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
+            nout, d);
+    squash_row(srow, v + t * d, d, eps);
+  }
+}
+
+__attribute__((target("avx2,fma"))) inline void agree_slab(
+    const float* ur, const float* vrow, float* os, std::int64_t nin,
+    std::int64_t nout, std::int64_t d, bool accumulate) {
+  {
+    if (d == 16) {
+      const __m256 v0 = _mm256_loadu_ps(vrow);
+      const __m256 v1 = _mm256_loadu_ps(vrow + 8);
+      std::int64_t i = 0;
+      for (; i + 2 <= nin; i += 2) {
+        const float* u0 = ur + i * 16;
+        __m256 d0 = _mm256_mul_ps(_mm256_loadu_ps(u0), v0);
+        d0 = _mm256_fmadd_ps(_mm256_loadu_ps(u0 + 8), v1, d0);
+        __m256 d1 = _mm256_mul_ps(_mm256_loadu_ps(u0 + 16), v0);
+        d1 = _mm256_fmadd_ps(_mm256_loadu_ps(u0 + 24), v1, d1);
+        const float dot0 = hsum8(d0);
+        const float dot1 = hsum8(d1);
+        if (accumulate) {
+          os[i * nout] += dot0;
+          os[(i + 1) * nout] += dot1;
+        } else {
+          os[i * nout] = dot0;
+          os[(i + 1) * nout] = dot1;
+        }
+      }
+      if (i < nin) {
+        __m256 d0 = _mm256_mul_ps(_mm256_loadu_ps(ur + i * 16), v0);
+        d0 = _mm256_fmadd_ps(_mm256_loadu_ps(ur + i * 16 + 8), v1, d0);
+        const float dot = hsum8(d0);
+        if (accumulate)
+          os[i * nout] += dot;
+        else
+          os[i * nout] = dot;
+      }
+    } else if (d == 8) {
+      const __m256 v0 = _mm256_loadu_ps(vrow);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float dot = hsum8(_mm256_mul_ps(_mm256_loadu_ps(ur + i * 8), v0));
+        if (accumulate)
+          os[i * nout] += dot;
+        else
+          os[i * nout] = dot;
+      }
+    } else {
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * d;
+        float dot = 0.0f;
+        std::int64_t k = 0;
+        if (d >= 8) {
+          __m256 acc = _mm256_setzero_ps();
+          for (; k + 8 <= d; k += 8)
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(uv + k),
+                                  _mm256_loadu_ps(vrow + k), acc);
+          dot = hsum8(acc);
+        }
+        for (; k < d; ++k) dot += uv[k] * vrow[k];
+        if (accumulate)
+          os[i * nout] += dot;
+        else
+          os[i * nout] = dot;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void agree(const float* u, const float* v,
+                                               float* out, std::int64_t nin,
+                                               std::int64_t nout,
+                                               std::int64_t d, bool accumulate,
+                                               std::int64_t t0,
+                                               std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    agree_slab(u + t * nin * d, v + t * d,
+               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               accumulate);
+}
+
+__attribute__((target("avx2,fma"))) void iter_fused(
+    const float* u, const float* c, float* s, float* v, float* b,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
+    std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    float* srow = s + t * d;
+    float* vrow = v + t * d;
+    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    squash_row(srow, vrow, d, eps);
+    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ws_bwd(
+    const float* u, const float* c, const float* gs, float* gc, float* gu,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* gsrow = gs + t * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const float* cs = c + cbase;
+    float* gcs = gc + cbase;
+    float* gur = gu + t * nin * d;
+    if (d == 16) {
+      const __m256 g0 = _mm256_loadu_ps(gsrow);
+      const __m256 g1 = _mm256_loadu_ps(gsrow + 8);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * 16;
+        float* guv = gur + i * 16;
+        __m256 dv = _mm256_mul_ps(_mm256_loadu_ps(uv), g0);
+        dv = _mm256_fmadd_ps(_mm256_loadu_ps(uv + 8), g1, dv);
+        gcs[i * nout] = hsum8(dv);
+        const __m256 cb = _mm256_broadcast_ss(cs + i * nout);
+        _mm256_storeu_ps(guv, _mm256_fmadd_ps(cb, g0, _mm256_loadu_ps(guv)));
+        _mm256_storeu_ps(guv + 8,
+                         _mm256_fmadd_ps(cb, g1, _mm256_loadu_ps(guv + 8)));
+      }
+    } else if (d == 8) {
+      const __m256 g0 = _mm256_loadu_ps(gsrow);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * 8;
+        float* guv = gur + i * 8;
+        gcs[i * nout] = hsum8(_mm256_mul_ps(_mm256_loadu_ps(uv), g0));
+        const __m256 cb = _mm256_broadcast_ss(cs + i * nout);
+        _mm256_storeu_ps(guv, _mm256_fmadd_ps(cb, g0, _mm256_loadu_ps(guv)));
+      }
+    } else {
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * d;
+        float* guv = gur + i * d;
+        const float cij = cs[i * nout];
+        const __m256 cb = _mm256_set1_ps(cij);
+        float dot = 0.0f;
+        std::int64_t k = 0;
+        if (d >= 8) {
+          __m256 acc = _mm256_setzero_ps();
+          for (; k + 8 <= d; k += 8) {
+            const __m256 gk = _mm256_loadu_ps(gsrow + k);
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(uv + k), gk, acc);
+            _mm256_storeu_ps(guv + k,
+                             _mm256_fmadd_ps(cb, gk, _mm256_loadu_ps(guv + k)));
+          }
+          dot = hsum8(acc);
+        }
+        for (; k < d; ++k) {
+          dot += uv[k] * gsrow[k];
+          guv[k] += cij * gsrow[k];
+        }
+        gcs[i * nout] = dot;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void agree_bwd(
+    const float* u, const float* v, const float* gb, float* gv, float* gu,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* vrow = v + t * d;
+    const float* gbs = gb + (t / nout) * nin * nout + t % nout;
+    float* gvrow = gv + t * d;
+    float* gur = gu + t * nin * d;
+    if (d == 16) {
+      const __m256 v0 = _mm256_loadu_ps(vrow);
+      const __m256 v1 = _mm256_loadu_ps(vrow + 8);
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const __m256 g = _mm256_broadcast_ss(gbs + i * nout);
+        const float* uv = ur + i * 16;
+        float* guv = gur + i * 16;
+        acc0 = _mm256_fmadd_ps(g, _mm256_loadu_ps(uv), acc0);
+        acc1 = _mm256_fmadd_ps(g, _mm256_loadu_ps(uv + 8), acc1);
+        _mm256_storeu_ps(guv, _mm256_fmadd_ps(g, v0, _mm256_loadu_ps(guv)));
+        _mm256_storeu_ps(guv + 8,
+                         _mm256_fmadd_ps(g, v1, _mm256_loadu_ps(guv + 8)));
+      }
+      _mm256_storeu_ps(gvrow, acc0);
+      _mm256_storeu_ps(gvrow + 8, acc1);
+    } else if (d == 8) {
+      const __m256 v0 = _mm256_loadu_ps(vrow);
+      __m256 acc0 = _mm256_setzero_ps();
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const __m256 g = _mm256_broadcast_ss(gbs + i * nout);
+        const float* uv = ur + i * 8;
+        float* guv = gur + i * 8;
+        acc0 = _mm256_fmadd_ps(g, _mm256_loadu_ps(uv), acc0);
+        _mm256_storeu_ps(guv, _mm256_fmadd_ps(g, v0, _mm256_loadu_ps(guv)));
+      }
+      _mm256_storeu_ps(gvrow, acc0);
+    } else {
+      std::fill(gvrow, gvrow + d, 0.0f);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float gij = gbs[i * nout];
+        const __m256 g = _mm256_set1_ps(gij);
+        const float* uv = ur + i * d;
+        float* guv = gur + i * d;
+        std::int64_t k = 0;
+        for (; k + 8 <= d; k += 8) {
+          _mm256_storeu_ps(gvrow + k, _mm256_fmadd_ps(g, _mm256_loadu_ps(uv + k),
+                                                      _mm256_loadu_ps(gvrow + k)));
+          _mm256_storeu_ps(guv + k, _mm256_fmadd_ps(g, _mm256_loadu_ps(vrow + k),
+                                                    _mm256_loadu_ps(guv + k)));
+        }
+        for (; k < d; ++k) {
+          gvrow[k] += gij * uv[k];
+          guv[k] += gij * vrow[k];
+        }
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void softmax(float* x, std::int64_t d,
+                                                 std::int64_t r0,
+                                                 std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* row = x + r * d;
+    float mx;
+    std::int64_t j = 0;
+    if (d >= 8) {
+      __m256 mv = _mm256_loadu_ps(row);
+      for (j = 8; j + 8 <= d; j += 8)
+        mv = _mm256_max_ps(mv, _mm256_loadu_ps(row + j));
+      __m128 m4 = _mm_max_ps(_mm256_castps256_ps128(mv),
+                             _mm256_extractf128_ps(mv, 1));
+      m4 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+      m4 = _mm_max_ss(m4, _mm_movehdup_ps(m4));
+      mx = _mm_cvtss_f32(m4);
+    } else {
+      mx = row[0];
+      j = 1;
+    }
+    for (; j < d; ++j) mx = std::max(mx, row[j]);
+    const __m256 mxv = _mm256_set1_ps(mx);
+    float sum = 0.0f;
+    j = 0;
+    if (d >= 8) {
+      __m256 sv = _mm256_setzero_ps();
+      for (; j + 8 <= d; j += 8) {
+        const __m256 e = exp8(_mm256_sub_ps(_mm256_loadu_ps(row + j), mxv));
+        _mm256_storeu_ps(row + j, e);
+        sv = _mm256_add_ps(sv, e);
+      }
+      sum = hsum8(sv);
+    }
+    for (; j < d; ++j) {
+      row[j] = poly_expf(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    const __m256 iv = _mm256_set1_ps(inv);
+    j = 0;
+    for (; j + 8 <= d; j += 8)
+      _mm256_storeu_ps(row + j, _mm256_mul_ps(iv, _mm256_loadu_ps(row + j)));
+    for (; j < d; ++j) row[j] *= inv;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void squash(const float* s, float* v,
+                                                std::int64_t d, float eps,
+                                                std::int64_t r0,
+                                                std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) squash_row(s + r * d, v + r * d, d, eps);
+}
+
+__attribute__((target("avx2,fma"))) void squash_bwd(const float* s,
+                                                    const float* g, float* gs,
+                                                    std::int64_t d, float eps,
+                                                    std::int64_t r0,
+                                                    std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const float* sr = s + r * d;
+    const float* gr = g + r * d;
+    float* out = gs + r * d;
+    float nsq = 0.0f, dot = 0.0f;
+    std::int64_t k = 0;
+    if (d >= 8) {
+      __m256 na = _mm256_setzero_ps(), da = _mm256_setzero_ps();
+      for (; k + 8 <= d; k += 8) {
+        const __m256 sv = _mm256_loadu_ps(sr + k);
+        na = _mm256_fmadd_ps(sv, sv, na);
+        da = _mm256_fmadd_ps(sv, _mm256_loadu_ps(gr + k), da);
+      }
+      nsq = hsum8(na);
+      dot = hsum8(da);
+    }
+    for (; k < d; ++k) {
+      nsq += sr[k] * sr[k];
+      dot += sr[k] * gr[k];
+    }
+    const float n = std::sqrt(nsq + eps);
+    const float denom = 1.0f + nsq;
+    const float f = n / denom;
+    const float coeff = (1.0f - nsq) / (denom * denom) / n * dot;
+    const __m256 fv = _mm256_set1_ps(f);
+    const __m256 cv = _mm256_set1_ps(coeff);
+    k = 0;
+    for (; k + 8 <= d; k += 8)
+      _mm256_storeu_ps(out + k,
+                       _mm256_fmadd_ps(fv, _mm256_loadu_ps(gr + k),
+                                       _mm256_mul_ps(cv, _mm256_loadu_ps(sr + k))));
+    for (; k < d; ++k) out[k] = f * gr[k] + coeff * sr[k];
+  }
+}
+
+}  // namespace avx2
+
+// ---- AVX-512F tier ---------------------------------------------------------
+//
+// D = 16 (the DigitCaps dimension) is exactly one zmm: the weighted sum is a
+// broadcast-FMA chain with four independent accumulators, the agreement a
+// masked-free dot per input capsule. Other D use chunks of 16 with masked
+// tails. AVX-512F implies AVX2+FMA in the compiler's ISA sets, so the d == 8
+// rows reuse ymm code.
+
+namespace avx512 {
+
+// GCC 12's AVX-512 headers route lane extraction through
+// _mm512_extractf32x4_ps with an _mm_undefined_ps passthrough, which trips
+// -Wmaybe-uninitialized at every inlining site (same false positive the
+// qgemm backend suppresses).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+// Hand-rolled reductions: _mm512_reduce_add_ps/_mm512_reduce_max_ps expand
+// through _mm512_extractf64x4_pd, which additionally needs AVX-512DQ-free
+// handling; the shuffle ladder below stays within AVX-512F.
+__attribute__((target("avx512f"))) inline float hsum16(__m512 x) {
+  __m512 t = _mm512_add_ps(x, _mm512_shuffle_f32x4(x, x, _MM_SHUFFLE(1, 0, 3, 2)));
+  t = _mm512_add_ps(t, _mm512_shuffle_f32x4(t, t, _MM_SHUFFLE(2, 3, 0, 1)));
+  __m128 q = _mm512_castps512_ps128(t);
+  q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+  q = _mm_add_ss(q, _mm_movehdup_ps(q));
+  return _mm_cvtss_f32(q);
+}
+
+__attribute__((target("avx512f"))) inline float hmax16(__m512 x) {
+  __m512 t = _mm512_max_ps(x, _mm512_shuffle_f32x4(x, x, _MM_SHUFFLE(1, 0, 3, 2)));
+  t = _mm512_max_ps(t, _mm512_shuffle_f32x4(t, t, _MM_SHUFFLE(2, 3, 0, 1)));
+  __m128 q = _mm512_castps512_ps128(t);
+  q = _mm_max_ps(q, _mm_movehl_ps(q, q));
+  q = _mm_max_ss(q, _mm_movehdup_ps(q));
+  return _mm_cvtss_f32(q);
+}
+
+__attribute__((target("avx512f"))) inline __m512 exp16(__m512 x) {
+  x = _mm512_min_ps(_mm512_set1_ps(kExpHi), _mm512_max_ps(_mm512_set1_ps(kExpLo), x));
+  const __m512 n = _mm512_roundscale_ps(_mm512_mul_ps(x, _mm512_set1_ps(kLog2e)),
+                                        _MM_FROUND_TO_NEAREST_INT);
+  __m512 r = _mm512_fnmadd_ps(n, _mm512_set1_ps(kExpC1), x);
+  r = _mm512_fnmadd_ps(n, _mm512_set1_ps(kExpC2), r);
+  __m512 z = _mm512_set1_ps(kExpP0);
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpP1));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpP2));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpP3));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpP4));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpP5));
+  z = _mm512_fmadd_ps(_mm512_mul_ps(z, r), r,
+                      _mm512_add_ps(r, _mm512_set1_ps(1.0f)));
+  __m512i e = _mm512_cvtps_epi32(n);
+  e = _mm512_slli_epi32(_mm512_add_epi32(e, _mm512_set1_epi32(127)), 23);
+  return _mm512_mul_ps(z, _mm512_castsi512_ps(e));
+}
+
+__attribute__((target("avx512f"))) inline void squash_row(const float* s,
+                                                          float* v,
+                                                          std::int64_t d,
+                                                          float eps) {
+  if (d == 16) {
+    const __m512 x = _mm512_loadu_ps(s);
+    const float f = squash_gain(hsum16(_mm512_mul_ps(x, x)), eps);
+    _mm512_storeu_ps(v, _mm512_mul_ps(_mm512_set1_ps(f), x));
+    return;
+  }
+  float nsq = 0.0f;
+  std::int64_t k = 0;
+  __m512 acc = _mm512_setzero_ps();
+  for (; k + 16 <= d; k += 16) {
+    const __m512 x = _mm512_loadu_ps(s + k);
+    acc = _mm512_fmadd_ps(x, x, acc);
+  }
+  if (k < d) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+    const __m512 x = _mm512_maskz_loadu_ps(m, s + k);
+    acc = _mm512_fmadd_ps(x, x, acc);
+  }
+  nsq = hsum16(acc);
+  const float f = squash_gain(nsq, eps);
+  const __m512 fv = _mm512_set1_ps(f);
+  k = 0;
+  for (; k + 16 <= d; k += 16)
+    _mm512_storeu_ps(v + k, _mm512_mul_ps(fv, _mm512_loadu_ps(s + k)));
+  if (k < d) {
+    const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+    _mm512_mask_storeu_ps(v + k, m,
+                          _mm512_mul_ps(fv, _mm512_maskz_loadu_ps(m, s + k)));
+  }
+}
+
+__attribute__((target("avx512f"))) inline void ws_slab(
+    const float* ur, const float* cs, float* srow, std::int64_t nin,
+    std::int64_t nout, std::int64_t d) {
+  if (d == 16) {
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 4 <= nin; i += 4) {
+      const float* u0 = ur + i * 16;
+      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * nout]), _mm512_loadu_ps(u0), a0);
+      a1 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 1) * nout]),
+                           _mm512_loadu_ps(u0 + 16), a1);
+      a2 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 2) * nout]),
+                           _mm512_loadu_ps(u0 + 32), a2);
+      a3 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 3) * nout]),
+                           _mm512_loadu_ps(u0 + 48), a3);
+    }
+    for (; i < nin; ++i)
+      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * nout]),
+                           _mm512_loadu_ps(ur + i * 16), a0);
+    _mm512_storeu_ps(srow,
+                     _mm512_add_ps(_mm512_add_ps(a0, a1), _mm512_add_ps(a2, a3)));
+  } else if (d == 8) {
+    avx2::ws_slab(ur, cs, srow, nin, nout, d);
+  } else {
+    std::fill(srow, srow + d, 0.0f);
+    for (std::int64_t i = 0; i < nin; ++i) {
+      const float cij = cs[i * nout];
+      const __m512 cb = _mm512_set1_ps(cij);
+      const float* uv = ur + i * d;
+      std::int64_t k = 0;
+      for (; k + 16 <= d; k += 16)
+        _mm512_storeu_ps(srow + k, _mm512_fmadd_ps(cb, _mm512_loadu_ps(uv + k),
+                                                   _mm512_loadu_ps(srow + k)));
+      if (k < d) {
+        const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+        _mm512_mask_storeu_ps(
+            srow + k, m,
+            _mm512_fmadd_ps(cb, _mm512_maskz_loadu_ps(m, uv + k),
+                            _mm512_maskz_loadu_ps(m, srow + k)));
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void ws(const float* u, const float* c,
+                                           float* s, std::int64_t nin,
+                                           std::int64_t nout, std::int64_t d,
+                                           std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
+            nin, nout, d);
+}
+
+__attribute__((target("avx512f"))) void ws_squash(
+    const float* u, const float* c, float* s, float* v, std::int64_t nin,
+    std::int64_t nout, std::int64_t d, float eps, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    float* srow = s + t * d;
+    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
+            nout, d);
+    squash_row(srow, v + t * d, d, eps);
+  }
+}
+
+__attribute__((target("avx512f"))) inline __m256 fold256(__m512 x) {
+  return _mm256_add_ps(
+      _mm512_castps512_ps256(x),
+      _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(x), 1)));
+}
+
+// Four d==16 dot products against v0 reduced together: fold each zmm to
+// ymm, then a horizontal-add tree yields [dot0..dot3] in one xmm — far
+// fewer serial shuffles than four independent ladders.
+__attribute__((target("avx512f"))) inline __m128 dots4x16(const float* u0,
+                                                          __m512 v0) {
+  const __m256 q0 = fold256(_mm512_mul_ps(_mm512_loadu_ps(u0), v0));
+  const __m256 q1 = fold256(_mm512_mul_ps(_mm512_loadu_ps(u0 + 16), v0));
+  const __m256 q2 = fold256(_mm512_mul_ps(_mm512_loadu_ps(u0 + 32), v0));
+  const __m256 q3 = fold256(_mm512_mul_ps(_mm512_loadu_ps(u0 + 48), v0));
+  const __m256 hh =
+      _mm256_hadd_ps(_mm256_hadd_ps(q0, q1), _mm256_hadd_ps(q2, q3));
+  return _mm_add_ps(_mm256_castps256_ps128(hh), _mm256_extractf128_ps(hh, 1));
+}
+
+__attribute__((target("avx512f"))) inline void scatter4(__m128 dots, float* os,
+                                                        std::int64_t ib,
+                                                        std::int64_t nout,
+                                                        bool accumulate) {
+  const float dot0 = _mm_cvtss_f32(dots);
+  const float dot1 = _mm_cvtss_f32(_mm_movehdup_ps(dots));
+  const float dot2 = _mm_cvtss_f32(_mm_movehl_ps(dots, dots));
+  const float dot3 =
+      _mm_cvtss_f32(_mm_shuffle_ps(dots, dots, _MM_SHUFFLE(3, 3, 3, 3)));
+  if (accumulate) {
+    os[ib * nout] += dot0;
+    os[(ib + 1) * nout] += dot1;
+    os[(ib + 2) * nout] += dot2;
+    os[(ib + 3) * nout] += dot3;
+  } else {
+    os[ib * nout] = dot0;
+    os[(ib + 1) * nout] = dot1;
+    os[(ib + 2) * nout] = dot2;
+    os[(ib + 3) * nout] = dot3;
+  }
+}
+
+__attribute__((target("avx512f"))) inline void agree_slab(
+    const float* ur, const float* vrow, float* os, std::int64_t nin,
+    std::int64_t nout, std::int64_t d, bool accumulate) {
+  {
+    if (d == 16) {
+      const __m512 v0 = _mm512_loadu_ps(vrow);
+      std::int64_t i = 0;
+      // Two four-dot groups per step keep the shuffle and FMA ports busy
+      // past the reduce-tree latency.
+      for (; i + 8 <= nin; i += 8) {
+        const __m128 a = dots4x16(ur + i * 16, v0);
+        const __m128 b = dots4x16(ur + (i + 4) * 16, v0);
+        scatter4(a, os, i, nout, accumulate);
+        scatter4(b, os, i + 4, nout, accumulate);
+      }
+      for (; i + 4 <= nin; i += 4)
+        scatter4(dots4x16(ur + i * 16, v0), os, i, nout, accumulate);
+      for (; i < nin; ++i) {
+        const float dot = hsum16(_mm512_mul_ps(_mm512_loadu_ps(ur + i * 16), v0));
+        if (accumulate)
+          os[i * nout] += dot;
+        else
+          os[i * nout] = dot;
+      }
+    } else {
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * d;
+        __m512 acc = _mm512_setzero_ps();
+        std::int64_t k = 0;
+        for (; k + 16 <= d; k += 16)
+          acc = _mm512_fmadd_ps(_mm512_loadu_ps(uv + k),
+                                _mm512_loadu_ps(vrow + k), acc);
+        if (k < d) {
+          const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+          acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, uv + k),
+                                _mm512_maskz_loadu_ps(m, vrow + k), acc);
+        }
+        const float dot = hsum16(acc);
+        if (accumulate)
+          os[i * nout] += dot;
+        else
+          os[i * nout] = dot;
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void agree(const float* u, const float* v,
+                                              float* out, std::int64_t nin,
+                                              std::int64_t nout, std::int64_t d,
+                                              bool accumulate, std::int64_t t0,
+                                              std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t)
+    agree_slab(u + t * nin * d, v + t * d,
+               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               accumulate);
+}
+
+__attribute__((target("avx512f"))) void iter_fused(
+    const float* u, const float* c, float* s, float* v, float* b,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
+    std::int64_t t0, std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    float* srow = s + t * d;
+    float* vrow = v + t * d;
+    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    squash_row(srow, vrow, d, eps);
+    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+  }
+}
+
+__attribute__((target("avx512f"))) void ws_bwd(
+    const float* u, const float* c, const float* gs, float* gc, float* gu,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* gsrow = gs + t * d;
+    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const float* cs = c + cbase;
+    float* gcs = gc + cbase;
+    float* gur = gu + t * nin * d;
+    if (d == 16) {
+      const __m512 g0 = _mm512_loadu_ps(gsrow);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * 16;
+        float* guv = gur + i * 16;
+        gcs[i * nout] = hsum16(_mm512_mul_ps(_mm512_loadu_ps(uv), g0));
+        const __m512 cb = _mm512_set1_ps(cs[i * nout]);
+        _mm512_storeu_ps(guv, _mm512_fmadd_ps(cb, g0, _mm512_loadu_ps(guv)));
+      }
+    } else {
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const float* uv = ur + i * d;
+        float* guv = gur + i * d;
+        const __m512 cb = _mm512_set1_ps(cs[i * nout]);
+        __m512 acc = _mm512_setzero_ps();
+        std::int64_t k = 0;
+        for (; k + 16 <= d; k += 16) {
+          const __m512 gk = _mm512_loadu_ps(gsrow + k);
+          acc = _mm512_fmadd_ps(_mm512_loadu_ps(uv + k), gk, acc);
+          _mm512_storeu_ps(guv + k,
+                           _mm512_fmadd_ps(cb, gk, _mm512_loadu_ps(guv + k)));
+        }
+        if (k < d) {
+          const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+          const __m512 gk = _mm512_maskz_loadu_ps(m, gsrow + k);
+          acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, uv + k), gk, acc);
+          _mm512_mask_storeu_ps(
+              guv + k, m,
+              _mm512_fmadd_ps(cb, gk, _mm512_maskz_loadu_ps(m, guv + k)));
+        }
+        gcs[i * nout] = hsum16(acc);
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void agree_bwd(
+    const float* u, const float* v, const float* gb, float* gv, float* gu,
+    std::int64_t nin, std::int64_t nout, std::int64_t d, std::int64_t t0,
+    std::int64_t t1) {
+  for (std::int64_t t = t0; t < t1; ++t) {
+    const float* ur = u + t * nin * d;
+    const float* vrow = v + t * d;
+    const float* gbs = gb + (t / nout) * nin * nout + t % nout;
+    float* gvrow = gv + t * d;
+    float* gur = gu + t * nin * d;
+    if (d == 16) {
+      const __m512 v0 = _mm512_loadu_ps(vrow);
+      __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+      std::int64_t i = 0;
+      for (; i + 2 <= nin; i += 2) {
+        const __m512 ga = _mm512_set1_ps(gbs[i * nout]);
+        const __m512 gbv = _mm512_set1_ps(gbs[(i + 1) * nout]);
+        const float* u0 = ur + i * 16;
+        float* gu0 = gur + i * 16;
+        acc0 = _mm512_fmadd_ps(ga, _mm512_loadu_ps(u0), acc0);
+        acc1 = _mm512_fmadd_ps(gbv, _mm512_loadu_ps(u0 + 16), acc1);
+        _mm512_storeu_ps(gu0, _mm512_fmadd_ps(ga, v0, _mm512_loadu_ps(gu0)));
+        _mm512_storeu_ps(gu0 + 16,
+                         _mm512_fmadd_ps(gbv, v0, _mm512_loadu_ps(gu0 + 16)));
+      }
+      if (i < nin) {
+        const __m512 ga = _mm512_set1_ps(gbs[i * nout]);
+        float* gu0 = gur + i * 16;
+        acc0 = _mm512_fmadd_ps(ga, _mm512_loadu_ps(ur + i * 16), acc0);
+        _mm512_storeu_ps(gu0, _mm512_fmadd_ps(ga, v0, _mm512_loadu_ps(gu0)));
+      }
+      _mm512_storeu_ps(gvrow, _mm512_add_ps(acc0, acc1));
+    } else {
+      std::fill(gvrow, gvrow + d, 0.0f);
+      for (std::int64_t i = 0; i < nin; ++i) {
+        const __m512 g = _mm512_set1_ps(gbs[i * nout]);
+        const float* uv = ur + i * d;
+        float* guv = gur + i * d;
+        std::int64_t k = 0;
+        for (; k + 16 <= d; k += 16) {
+          _mm512_storeu_ps(gvrow + k,
+                           _mm512_fmadd_ps(g, _mm512_loadu_ps(uv + k),
+                                           _mm512_loadu_ps(gvrow + k)));
+          _mm512_storeu_ps(guv + k,
+                           _mm512_fmadd_ps(g, _mm512_loadu_ps(vrow + k),
+                                           _mm512_loadu_ps(guv + k)));
+        }
+        if (k < d) {
+          const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+          _mm512_mask_storeu_ps(
+              gvrow + k, m,
+              _mm512_fmadd_ps(g, _mm512_maskz_loadu_ps(m, uv + k),
+                              _mm512_maskz_loadu_ps(m, gvrow + k)));
+          _mm512_mask_storeu_ps(
+              guv + k, m,
+              _mm512_fmadd_ps(g, _mm512_maskz_loadu_ps(m, vrow + k),
+                              _mm512_maskz_loadu_ps(m, guv + k)));
+        }
+      }
+    }
+  }
+}
+
+__attribute__((target("avx512f"))) void softmax(float* x, std::int64_t d,
+                                                std::int64_t r0,
+                                                std::int64_t r1) {
+  if (d <= 16) {
+    // One masked vector per row — the routing shape (Nout <= 16). Inactive
+    // lanes are filled with -FLT_MAX for the max and with 0 for the exp
+    // argument (exp(0) = 1, a normal float): letting them underflow to
+    // denormals costs a microcode assist per row on most cores. Rows are
+    // processed four at a time: each row's max/sum ladder is latency-bound,
+    // so four independent chains keep the vector units busy.
+    const __mmask16 m = static_cast<__mmask16>((1u << d) - 1);
+    const __m512 lowest = _mm512_set1_ps(std::numeric_limits<float>::lowest());
+    std::int64_t r = r0;
+    for (; r + 4 <= r1; r += 4) {
+      float* p0 = x + r * d;
+      float* p1 = p0 + d;
+      float* p2 = p1 + d;
+      float* p3 = p2 + d;
+      const __m512 x0 = _mm512_mask_loadu_ps(lowest, m, p0);
+      const __m512 x1 = _mm512_mask_loadu_ps(lowest, m, p1);
+      const __m512 x2 = _mm512_mask_loadu_ps(lowest, m, p2);
+      const __m512 x3 = _mm512_mask_loadu_ps(lowest, m, p3);
+      const float mx0 = hmax16(x0), mx1 = hmax16(x1);
+      const float mx2 = hmax16(x2), mx3 = hmax16(x3);
+      const __m512 e0 = exp16(_mm512_maskz_sub_ps(m, x0, _mm512_set1_ps(mx0)));
+      const __m512 e1 = exp16(_mm512_maskz_sub_ps(m, x1, _mm512_set1_ps(mx1)));
+      const __m512 e2 = exp16(_mm512_maskz_sub_ps(m, x2, _mm512_set1_ps(mx2)));
+      const __m512 e3 = exp16(_mm512_maskz_sub_ps(m, x3, _mm512_set1_ps(mx3)));
+      const float s0 = hsum16(_mm512_maskz_mov_ps(m, e0));
+      const float s1 = hsum16(_mm512_maskz_mov_ps(m, e1));
+      const float s2 = hsum16(_mm512_maskz_mov_ps(m, e2));
+      const float s3 = hsum16(_mm512_maskz_mov_ps(m, e3));
+      _mm512_mask_storeu_ps(p0, m, _mm512_mul_ps(e0, _mm512_set1_ps(1.0f / s0)));
+      _mm512_mask_storeu_ps(p1, m, _mm512_mul_ps(e1, _mm512_set1_ps(1.0f / s1)));
+      _mm512_mask_storeu_ps(p2, m, _mm512_mul_ps(e2, _mm512_set1_ps(1.0f / s2)));
+      _mm512_mask_storeu_ps(p3, m, _mm512_mul_ps(e3, _mm512_set1_ps(1.0f / s3)));
+    }
+    for (; r < r1; ++r) {
+      float* row = x + r * d;
+      const __m512 xv = _mm512_mask_loadu_ps(lowest, m, row);
+      const float mx = hmax16(xv);
+      const __m512 e = exp16(_mm512_maskz_sub_ps(m, xv, _mm512_set1_ps(mx)));
+      const float sum = hsum16(_mm512_maskz_mov_ps(m, e));
+      _mm512_mask_storeu_ps(row, m,
+                            _mm512_mul_ps(e, _mm512_set1_ps(1.0f / sum)));
+    }
+    return;
+  }
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* row = x + r * d;
+    __m512 mv = _mm512_loadu_ps(row);
+    std::int64_t j = 16;
+    for (; j + 16 <= d; j += 16) mv = _mm512_max_ps(mv, _mm512_loadu_ps(row + j));
+    float mx = hmax16(mv);
+    for (; j < d; ++j) mx = std::max(mx, row[j]);
+    const __m512 mxv = _mm512_set1_ps(mx);
+    __m512 sv = _mm512_setzero_ps();
+    float sum = 0.0f;
+    j = 0;
+    for (; j + 16 <= d; j += 16) {
+      const __m512 e = exp16(_mm512_sub_ps(_mm512_loadu_ps(row + j), mxv));
+      _mm512_storeu_ps(row + j, e);
+      sv = _mm512_add_ps(sv, e);
+    }
+    sum = hsum16(sv);
+    for (; j < d; ++j) {
+      row[j] = poly_expf(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    const __m512 iv = _mm512_set1_ps(inv);
+    j = 0;
+    for (; j + 16 <= d; j += 16)
+      _mm512_storeu_ps(row + j, _mm512_mul_ps(iv, _mm512_loadu_ps(row + j)));
+    for (; j < d; ++j) row[j] *= inv;
+  }
+}
+
+__attribute__((target("avx512f"))) void squash(const float* s, float* v,
+                                               std::int64_t d, float eps,
+                                               std::int64_t r0,
+                                               std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) squash_row(s + r * d, v + r * d, d, eps);
+}
+
+__attribute__((target("avx512f"))) void squash_bwd(const float* s,
+                                                   const float* g, float* gs,
+                                                   std::int64_t d, float eps,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1) {
+  avx2::squash_bwd(s, g, gs, d, eps, r0, r1);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace avx512
+
+#endif  // QCAPS_CAPS_X86_NATIVE
+
+// ---- dispatch --------------------------------------------------------------
+
+struct OpsTable {
+  void (*ws)(const float*, const float*, float*, std::int64_t, std::int64_t,
+             std::int64_t, std::int64_t, std::int64_t);
+  void (*ws_squash)(const float*, const float*, float*, float*, std::int64_t,
+                    std::int64_t, std::int64_t, float, std::int64_t,
+                    std::int64_t);
+  void (*agree)(const float*, const float*, float*, std::int64_t, std::int64_t,
+                std::int64_t, bool, std::int64_t, std::int64_t);
+  void (*iter_fused)(const float*, const float*, float*, float*, float*,
+                     std::int64_t, std::int64_t, std::int64_t, float,
+                     std::int64_t, std::int64_t);
+  void (*ws_bwd)(const float*, const float*, const float*, float*, float*,
+                 std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+                 std::int64_t);
+  void (*agree_bwd)(const float*, const float*, const float*, float*, float*,
+                    std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+                    std::int64_t);
+  void (*softmax)(float*, std::int64_t, std::int64_t, std::int64_t);
+  void (*squash)(const float*, float*, std::int64_t, float, std::int64_t,
+                 std::int64_t);
+  void (*squash_bwd)(const float*, const float*, float*, std::int64_t, float,
+                     std::int64_t, std::int64_t);
+  CapsKernel tier;
+};
+
+bool tier_supported(CapsKernel k) {
+  switch (k) {
+    case CapsKernel::kScalar:
+      return true;
+#ifdef QCAPS_CAPS_X86_NATIVE
+    case CapsKernel::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case CapsKernel::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case CapsKernel::kAvx2:
+    case CapsKernel::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+OpsTable make_table(CapsKernel k) {
+  switch (k) {
+#ifdef QCAPS_CAPS_X86_NATIVE
+    case CapsKernel::kAvx512:
+      return {avx512::ws,        avx512::ws_squash,  avx512::agree,
+              avx512::iter_fused, avx512::ws_bwd,     avx512::agree_bwd,
+              avx512::softmax,    avx512::squash,     avx512::squash_bwd,
+              CapsKernel::kAvx512};
+    case CapsKernel::kAvx2:
+      return {avx2::ws,        avx2::ws_squash,  avx2::agree,
+              avx2::iter_fused, avx2::ws_bwd,     avx2::agree_bwd,
+              avx2::softmax,    avx2::squash,     avx2::squash_bwd,
+              CapsKernel::kAvx2};
+#else
+    case CapsKernel::kAvx512:
+    case CapsKernel::kAvx2:
+#endif
+    case CapsKernel::kScalar:
+      break;
+  }
+  return {scalar::ws,        scalar::ws_squash,  scalar::agree,
+          scalar::iter_fused, scalar::ws_bwd,     scalar::agree_bwd,
+          scalar::softmax,    scalar::squash,     scalar::squash_bwd,
+          CapsKernel::kScalar};
+}
+
+OpsTable pick_default() {
+  CapsKernel best = CapsKernel::kScalar;
+  const char* env = std::getenv("QCAPS_CAPS_NATIVE");
+  const bool env_off = env && std::strcmp(env, "0") == 0;
+  const bool cap_avx2 = env && std::strcmp(env, "avx2") == 0;
+  if (!env_off) {
+    if (!cap_avx2 && tier_supported(CapsKernel::kAvx512))
+      best = CapsKernel::kAvx512;
+    else if (tier_supported(CapsKernel::kAvx2))
+      best = CapsKernel::kAvx2;
+  }
+  return make_table(best);
+}
+
+OpsTable g_ops = pick_default();
+
+}  // namespace
+
+CapsKernel caps_kernel() { return g_ops.tier; }
+
+const char* caps_kernel_name() {
+  switch (g_ops.tier) {
+    case CapsKernel::kScalar: return "scalar";
+    case CapsKernel::kAvx2: return "avx2";
+    case CapsKernel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool caps_native_active() { return g_ops.tier != CapsKernel::kScalar; }
+
+bool caps_force_kernel(CapsKernel k) {
+  if (!tier_supported(k)) return false;
+  g_ops = make_table(k);
+  return true;
+}
+
+void caps_reset_kernel() { g_ops = pick_default(); }
+
+void routing_weighted_sum(const float* u, const float* c, float* s,
+                          std::int64_t r, std::int64_t nin, std::int64_t nout,
+                          std::int64_t d) {
+  run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.ws(u, c, s, nin, nout, d, t0, t1);
+  });
+}
+
+void routing_weighted_sum_squash(const float* u, const float* c, float* s,
+                                 float* v, std::int64_t r, std::int64_t nin,
+                                 std::int64_t nout, std::int64_t d, float eps) {
+  run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.ws_squash(u, c, s, v, nin, nout, d, eps, t0, t1);
+  });
+}
+
+void routing_agreement(const float* u, const float* v, float* out,
+                       std::int64_t r, std::int64_t nin, std::int64_t nout,
+                       std::int64_t d, bool accumulate) {
+  run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.agree(u, v, out, nin, nout, d, accumulate, t0, t1);
+  });
+}
+
+void routing_iteration_fused(const float* u, const float* c, float* s,
+                             float* v, float* b, std::int64_t r,
+                             std::int64_t nin, std::int64_t nout,
+                             std::int64_t d, float eps) {
+  run_ranges(r * nout, 2 * nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.iter_fused(u, c, s, v, b, nin, nout, d, eps, t0, t1);
+  });
+}
+
+void routing_weighted_sum_backward(const float* u, const float* c,
+                                   const float* gs, float* gc, float* gu,
+                                   std::int64_t r, std::int64_t nin,
+                                   std::int64_t nout, std::int64_t d) {
+  run_ranges(r * nout, 2 * nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.ws_bwd(u, c, gs, gc, gu, nin, nout, d, t0, t1);
+  });
+}
+
+void routing_agreement_backward(const float* u, const float* v,
+                                const float* gb, float* gv, float* gu,
+                                std::int64_t r, std::int64_t nin,
+                                std::int64_t nout, std::int64_t d) {
+  run_ranges(r * nout, 2 * nin * d, [&](std::int64_t t0, std::int64_t t1) {
+    g_ops.agree_bwd(u, v, gb, gv, gu, nin, nout, d, t0, t1);
+  });
+}
+
+void softmax_rows(float* x, std::int64_t rows, std::int64_t d) {
+  if (d <= 0) return;
+  run_ranges(rows, 4 * d, [&](std::int64_t r0, std::int64_t r1) {
+    g_ops.softmax(x, d, r0, r1);
+  });
+}
+
+void squash_rows(const float* s, float* v, std::int64_t rows, std::int64_t d,
+                 float eps) {
+  if (d <= 0) return;
+  run_ranges(rows, 2 * d, [&](std::int64_t r0, std::int64_t r1) {
+    g_ops.squash(s, v, d, eps, r0, r1);
+  });
+}
+
+void squash_rows_backward(const float* s, const float* g, float* gs,
+                          std::int64_t rows, std::int64_t d, float eps) {
+  if (d <= 0) return;
+  run_ranges(rows, 3 * d, [&](std::int64_t r0, std::int64_t r1) {
+    g_ops.squash_bwd(s, g, gs, d, eps, r0, r1);
+  });
+}
+
+}  // namespace qcaps::tensor

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/caps_kernels.hpp"
 #include "tensor/gemm.hpp"
 
 namespace qcaps::tensor {
@@ -148,19 +149,9 @@ Tensor softmax_last(const Tensor& a) {
   const std::int64_t d = a.dim(-1);
   const std::int64_t rows = a.numel() / d;
   Tensor out = a;
-  float* po = out.data();
-#pragma omp parallel for schedule(static) if (rows * d > (1 << 14))
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = po + r * d;
-    const float mx = *std::max_element(row, row + d);
-    float sum = 0.0f;
-    for (std::int64_t j = 0; j < d; ++j) {
-      row[j] = std::exp(row[j] - mx);
-      sum += row[j];
-    }
-    const float inv = 1.0f / sum;
-    for (std::int64_t j = 0; j < d; ++j) row[j] *= inv;
-  }
+  // Vectorized row kernel (runtime-dispatched, OpenMP over rows); it sits
+  // inside every dynamic-routing iteration.
+  softmax_rows(out.data(), rows, d);
   return out;
 }
 

@@ -1,0 +1,327 @@
+// Tests for the batched j-major routing kernel backend
+// (tensor/caps_kernels.{hpp,cpp}) and the layout refactor built on it:
+//
+//  * every vector tier (AVX-512, AVX2, forced scalar) agrees with the plain
+//    scalar loops on randomized shapes, including odd capsule dimensions;
+//  * DynamicRouting on the j-major layout reproduces the pre-refactor
+//    i-major implementation (kept verbatim below) within float tolerance on
+//    randomized shapes — the layout round-trip lock;
+//  * the unrolled-backward gradient check passes on every tier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/caps_ops.hpp"
+#include "nn/routing.hpp"
+#include "tensor/caps_kernels.hpp"
+#include "tensor/ops.hpp"
+#include "test_util.hpp"
+
+namespace qcaps::tensor {
+namespace {
+
+// Run `fn` once per tier supported on this machine (scalar always runs; the
+// env-forced scalar CI job exercises the same seam via QCAPS_CAPS_NATIVE=0).
+template <typename F>
+void for_each_tier(const F& fn) {
+  for (CapsKernel k :
+       {CapsKernel::kScalar, CapsKernel::kAvx2, CapsKernel::kAvx512}) {
+    if (!caps_force_kernel(k)) continue;
+    fn(k);
+  }
+  caps_reset_kernel();
+}
+
+const char* tier_name(CapsKernel k) {
+  switch (k) {
+    case CapsKernel::kScalar: return "scalar";
+    case CapsKernel::kAvx2: return "avx2";
+    case CapsKernel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+struct Shape4 {
+  std::int64_t r, nin, nout, d;
+};
+
+// The pre-refactor routing forward, verbatim: i-major votes
+// [R, Nin, Nout, D], scalar loops, std::exp softmax. The oracle the j-major
+// path must reproduce (up to float reassociation and the shared-polynomial
+// exp, hence the tolerances below).
+tensor::Tensor legacy_routing_forward(const tensor::Tensor& votes, int iters) {
+  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
+                     nout = votes.dim(2), d = votes.dim(3);
+  tensor::Tensor b({r_count, nin, nout});
+  tensor::Tensor v;
+  const float* u = votes.data();
+  for (int it = 0; it < iters; ++it) {
+    tensor::Tensor c = b;
+    {
+      float* pc = c.data();
+      for (std::int64_t row = 0; row < r_count * nin; ++row) {
+        float* rw = pc + row * nout;
+        float mx = rw[0];
+        for (std::int64_t j = 1; j < nout; ++j) mx = std::max(mx, rw[j]);
+        float sum = 0.0f;
+        for (std::int64_t j = 0; j < nout; ++j) {
+          rw[j] = std::exp(rw[j] - mx);
+          sum += rw[j];
+        }
+        for (std::int64_t j = 0; j < nout; ++j) rw[j] /= sum;
+      }
+    }
+    tensor::Tensor s({r_count, nout, d});
+    {
+      const float* pc = c.data();
+      float* ps = s.data();
+      for (std::int64_t r = 0; r < r_count; ++r)
+        for (std::int64_t i = 0; i < nin; ++i)
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float cij = pc[(r * nin + i) * nout + j];
+            const float* uv = u + ((r * nin + i) * nout + j) * d;
+            float* sv = ps + (r * nout + j) * d;
+            for (std::int64_t k = 0; k < d; ++k) sv[k] += cij * uv[k];
+          }
+    }
+    v = tensor::Tensor(s.shape());
+    {
+      const float* ps = s.data();
+      float* pv = v.data();
+      for (std::int64_t row = 0; row < r_count * nout; ++row) {
+        float nsq = 0.0f;
+        for (std::int64_t k = 0; k < d; ++k)
+          nsq += ps[row * d + k] * ps[row * d + k];
+        const float n = std::sqrt(nsq + 1e-8f);
+        const float f = n / (1.0f + nsq);
+        for (std::int64_t k = 0; k < d; ++k)
+          pv[row * d + k] = f * ps[row * d + k];
+      }
+    }
+    if (it + 1 == iters) break;
+    {
+      const float* pv = v.data();
+      float* pb = b.data();
+      for (std::int64_t r = 0; r < r_count; ++r)
+        for (std::int64_t i = 0; i < nin; ++i)
+          for (std::int64_t j = 0; j < nout; ++j) {
+            const float* uv = u + ((r * nin + i) * nout + j) * d;
+            const float* vv = pv + (r * nout + j) * d;
+            float acc = 0.0f;
+            for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vv[k];
+            pb[(r * nin + i) * nout + j] += acc;
+          }
+    }
+  }
+  return v;
+}
+
+tensor::Tensor permute_to_jmajor(const tensor::Tensor& votes) {
+  const std::int64_t r = votes.dim(0), nin = votes.dim(1),
+                     nout = votes.dim(2), d = votes.dim(3);
+  tensor::Tensor out({r, nout, nin, d});
+  const float* src = votes.data();
+  float* dst = out.data();
+  for (std::int64_t ri = 0; ri < r; ++ri)
+    for (std::int64_t i = 0; i < nin; ++i)
+      for (std::int64_t j = 0; j < nout; ++j)
+        for (std::int64_t k = 0; k < d; ++k)
+          dst[((ri * nout + j) * nin + i) * d + k] =
+              src[((ri * nin + i) * nout + j) * d + k];
+  return out;
+}
+
+TEST(CapsKernels, TiersAgreeWithScalarOnRandomShapes) {
+  common::Rng rng(11);
+  const Shape4 shapes[] = {
+      {2, 9, 3, 5}, {1, 33, 10, 8}, {3, 21, 10, 16}, {2, 7, 4, 20}, {1, 5, 2, 1}};
+  for (const auto& sh : shapes) {
+    const tensor::Tensor u =
+        tensor::Tensor::randn({sh.r, sh.nout, sh.nin, sh.d}, rng);
+    const tensor::Tensor c =
+        tensor::Tensor::uniform({sh.r, sh.nin, sh.nout}, rng, 0.0f, 1.0f);
+    const tensor::Tensor v =
+        tensor::Tensor::randn({sh.r, sh.nout, sh.d}, rng, 0.0f, 0.5f);
+    const tensor::Tensor gs =
+        tensor::Tensor::randn({sh.r, sh.nout, sh.d}, rng, 0.0f, 0.5f);
+    const tensor::Tensor gb =
+        tensor::Tensor::randn({sh.r, sh.nin, sh.nout}, rng, 0.0f, 0.5f);
+
+    // Scalar references.
+    ASSERT_TRUE(caps_force_kernel(CapsKernel::kScalar));
+    tensor::Tensor s_ref({sh.r, sh.nout, sh.d});
+    routing_weighted_sum(u.data(), c.data(), s_ref.data(), sh.r, sh.nin,
+                         sh.nout, sh.d);
+    tensor::Tensor a_ref({sh.r, sh.nin, sh.nout});
+    routing_agreement(u.data(), v.data(), a_ref.data(), sh.r, sh.nin, sh.nout,
+                      sh.d, /*accumulate=*/false);
+    tensor::Tensor gc_ref({sh.r, sh.nin, sh.nout});
+    tensor::Tensor gu_ref(u.shape());
+    routing_weighted_sum_backward(u.data(), c.data(), gs.data(), gc_ref.data(),
+                                  gu_ref.data(), sh.r, sh.nin, sh.nout, sh.d);
+    tensor::Tensor gv_ref({sh.r, sh.nout, sh.d});
+    tensor::Tensor gu2_ref(u.shape());
+    routing_agreement_backward(u.data(), v.data(), gb.data(), gv_ref.data(),
+                               gu2_ref.data(), sh.r, sh.nin, sh.nout, sh.d);
+
+    for_each_tier([&](CapsKernel k) {
+      const float tol = 2e-4f;
+      tensor::Tensor s({sh.r, sh.nout, sh.d});
+      routing_weighted_sum(u.data(), c.data(), s.data(), sh.r, sh.nin, sh.nout,
+                           sh.d);
+      testutil::expect_tensor_near(s, s_ref, tol, tier_name(k));
+
+      tensor::Tensor s2({sh.r, sh.nout, sh.d});
+      tensor::Tensor vout({sh.r, sh.nout, sh.d});
+      routing_weighted_sum_squash(u.data(), c.data(), s2.data(), vout.data(),
+                                  sh.r, sh.nin, sh.nout, sh.d, 1e-8f);
+      testutil::expect_tensor_near(s2, s_ref, tol, tier_name(k));
+      testutil::expect_tensor_near(vout, nn::squash_last(s2), 1e-5f,
+                                   tier_name(k));
+
+      tensor::Tensor a({sh.r, sh.nin, sh.nout});
+      routing_agreement(u.data(), v.data(), a.data(), sh.r, sh.nin, sh.nout,
+                        sh.d, /*accumulate=*/false);
+      testutil::expect_tensor_near(a, a_ref, tol, tier_name(k));
+
+      // accumulate=true must add on top of existing values.
+      tensor::Tensor b2 = a_ref;
+      routing_agreement(u.data(), v.data(), b2.data(), sh.r, sh.nin, sh.nout,
+                        sh.d, /*accumulate=*/true);
+      for (std::int64_t x = 0; x < b2.numel(); ++x)
+        ASSERT_NEAR(b2[x], 2.0f * a_ref[x], 4e-4f) << tier_name(k);
+
+      // Fused iteration == weighted sum + squash + agreement update.
+      tensor::Tensor fs({sh.r, sh.nout, sh.d});
+      tensor::Tensor fv({sh.r, sh.nout, sh.d});
+      tensor::Tensor fb({sh.r, sh.nin, sh.nout});
+      routing_iteration_fused(u.data(), c.data(), fs.data(), fv.data(),
+                              fb.data(), sh.r, sh.nin, sh.nout, sh.d, 1e-8f);
+      testutil::expect_tensor_near(fs, s_ref, tol, tier_name(k));
+      tensor::Tensor want_b({sh.r, sh.nin, sh.nout});
+      routing_agreement(u.data(), fv.data(), want_b.data(), sh.r, sh.nin,
+                        sh.nout, sh.d, /*accumulate=*/false);
+      testutil::expect_tensor_near(fb, want_b, 4e-4f, tier_name(k));
+
+      tensor::Tensor gc({sh.r, sh.nin, sh.nout});
+      tensor::Tensor gu(u.shape());
+      routing_weighted_sum_backward(u.data(), c.data(), gs.data(), gc.data(),
+                                    gu.data(), sh.r, sh.nin, sh.nout, sh.d);
+      testutil::expect_tensor_near(gc, gc_ref, tol, tier_name(k));
+      testutil::expect_tensor_near(gu, gu_ref, tol, tier_name(k));
+
+      tensor::Tensor gv({sh.r, sh.nout, sh.d});
+      tensor::Tensor gu2(u.shape());
+      routing_agreement_backward(u.data(), v.data(), gb.data(), gv.data(),
+                                 gu2.data(), sh.r, sh.nin, sh.nout, sh.d);
+      testutil::expect_tensor_near(gv, gv_ref, tol, tier_name(k));
+      testutil::expect_tensor_near(gu2, gu2_ref, tol, tier_name(k));
+    });
+  }
+}
+
+TEST(CapsKernels, SoftmaxRowsMatchesReferenceAllTiers) {
+  common::Rng rng(12);
+  for (std::int64_t d : {1, 3, 7, 10, 16, 21, 40}) {
+    tensor::Tensor x = tensor::Tensor::randn({37, d}, rng, 0.0f, 3.0f);
+    // Double-precision std::exp reference.
+    std::vector<double> want(static_cast<std::size_t>(x.numel()));
+    for (std::int64_t r = 0; r < 37; ++r) {
+      double mx = x[r * d];
+      for (std::int64_t j = 1; j < d; ++j)
+        mx = std::max(mx, static_cast<double>(x[r * d + j]));
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        want[static_cast<std::size_t>(r * d + j)] = std::exp(x[r * d + j] - mx);
+        sum += want[static_cast<std::size_t>(r * d + j)];
+      }
+      for (std::int64_t j = 0; j < d; ++j)
+        want[static_cast<std::size_t>(r * d + j)] /= sum;
+    }
+    for_each_tier([&](CapsKernel k) {
+      tensor::Tensor y = x;
+      softmax_rows(y.data(), 37, d);
+      for (std::int64_t i = 0; i < y.numel(); ++i)
+        ASSERT_NEAR(y[i], want[static_cast<std::size_t>(i)], 2e-6)
+            << tier_name(k) << " d=" << d << " flat " << i;
+    });
+  }
+}
+
+TEST(CapsKernels, SquashRowsMatchesScalarAllTiers) {
+  common::Rng rng(13);
+  for (std::int64_t d : {1, 5, 8, 16, 19}) {
+    const tensor::Tensor s = tensor::Tensor::randn({23, d}, rng);
+    const tensor::Tensor g = tensor::Tensor::randn({23, d}, rng);
+    ASSERT_TRUE(caps_force_kernel(CapsKernel::kScalar));
+    tensor::Tensor v_ref({23, d}), gs_ref({23, d});
+    squash_rows(s.data(), v_ref.data(), 23, d, 1e-8f);
+    squash_rows_backward(s.data(), g.data(), gs_ref.data(), 23, d, 1e-8f);
+    for_each_tier([&](CapsKernel k) {
+      tensor::Tensor v({23, d}), gs({23, d});
+      squash_rows(s.data(), v.data(), 23, d, 1e-8f);
+      squash_rows_backward(s.data(), g.data(), gs.data(), 23, d, 1e-8f);
+      testutil::expect_tensor_near(v, v_ref, 1e-5f, tier_name(k));
+      testutil::expect_tensor_near(gs, gs_ref, 1e-5f, tier_name(k));
+    });
+  }
+}
+
+TEST(CapsKernels, JMajorRoutingMatchesLegacyLayoutOnRandomShapes) {
+  // The layout round-trip lock: forward on the j-major layout must equal the
+  // pre-refactor i-major forward (modulo float reassociation and the shared
+  // exp polynomial) for randomized shapes, on every kernel tier.
+  common::Rng rng(14);
+  const Shape4 shapes[] = {
+      {2, 6, 4, 5}, {1, 40, 10, 16}, {3, 17, 3, 8}, {2, 11, 7, 12}};
+  for (const auto& sh : shapes) {
+    for (int iters : {1, 3}) {
+      const tensor::Tensor votes_imajor =
+          tensor::Tensor::randn({sh.r, sh.nin, sh.nout, sh.d}, rng, 0.0f, 0.6f);
+      const tensor::Tensor want = legacy_routing_forward(votes_imajor, iters);
+      const tensor::Tensor votes_j = permute_to_jmajor(votes_imajor);
+      for_each_tier([&](CapsKernel k) {
+        nn::DynamicRouting routing;
+        const tensor::Tensor got =
+            routing.forward(votes_j, iters, false, nn::RoutingQuantPoints{});
+        testutil::expect_tensor_near(got, want, 5e-4f, tier_name(k));
+      });
+    }
+  }
+}
+
+TEST(CapsKernels, RoutingBackwardGradcheckAllTiers) {
+  // Finite-difference check of the full unrolled backward on the new layout,
+  // per tier (the forced-scalar tier included).
+  common::Rng rng(15);
+  const tensor::Tensor votes =
+      tensor::Tensor::randn({2, 3, 4, 3}, rng, 0.0f, 0.7f);  // [R,Nout,Nin,D]
+  for_each_tier([&](CapsKernel k) {
+    SCOPED_TRACE(tier_name(k));
+    nn::DynamicRouting r;
+    const tensor::Tensor v =
+        r.forward(votes, 3, true, nn::RoutingQuantPoints{});
+    const testutil::WeightedSum head(v.shape());
+    const tensor::Tensor analytic = r.backward(head.grad());
+    auto loss = [&](const tensor::Tensor& in) {
+      nn::DynamicRouting probe;
+      return head(probe.forward(in, 3, false, nn::RoutingQuantPoints{}));
+    };
+    testutil::check_gradient(votes, loss, analytic, 1e-3f, 3e-2f, 3e-3f);
+  });
+}
+
+TEST(CapsKernels, ForceKernelSeamsBehave) {
+  // Unsupported tiers must refuse without changing the active choice.
+  const CapsKernel active = caps_kernel();
+  EXPECT_TRUE(caps_force_kernel(CapsKernel::kScalar));
+  EXPECT_EQ(caps_kernel(), CapsKernel::kScalar);
+  EXPECT_STREQ(caps_kernel_name(), "scalar");
+  caps_reset_kernel();
+  EXPECT_EQ(caps_kernel(), active);
+}
+
+}  // namespace
+}  // namespace qcaps::tensor

@@ -277,5 +277,33 @@ TEST(SoftmaxUnit, WinnerTakesMostMass) {
   EXPECT_GT(p[2].to_double(), 0.9);
 }
 
+TEST(HostCalibration, RatesAreMeasuredAndOrdered) {
+  // The constants mirror BENCH_kernels.json; lock the relationships the
+  // calibration relies on (all positive, int8 GEMM above fp32 GEMM, dense
+  // GEMM above the strided routing kernels).
+  const HostKernelRates& r = measured_host_rates();
+  EXPECT_GT(r.routing_quant, 0.0);
+  EXPECT_GT(r.routing_fp32, r.routing_quant);
+  EXPECT_GT(r.fp32_gemm, r.routing_fp32);
+  EXPECT_GT(r.int8_gemm, r.fp32_gemm);
+  EXPECT_GT(r.conv_fp32, 0.0);
+}
+
+TEST(HostCalibration, SecondsAndClockMapping) {
+  // 1e9 MACs at 10 G MAC/s = 0.1 s; a 256-PE array sustaining 64 G MAC/s
+  // needs a 0.25 GHz clock.
+  EXPECT_DOUBLE_EQ(host_seconds(1000000000, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(calibrated_clock_ghz(64.0, 256), 0.25);
+  // Calibrated array latency == host_seconds at full utilization.
+  const double ghz = calibrated_clock_ghz(measured_host_rates().int8_gemm, 256);
+  const double cycles = 1e6;  // any workload at 256 MACs/cycle
+  EXPECT_NEAR(cycles / (ghz * 1e9),
+              host_seconds(static_cast<std::int64_t>(cycles) * 256,
+                           measured_host_rates().int8_gemm),
+              1e-12);
+  EXPECT_THROW(host_seconds(1, 0.0), qcaps::Error);
+  EXPECT_THROW(calibrated_clock_ghz(1.0, 0), qcaps::Error);
+}
+
 }  // namespace
 }  // namespace qcaps::hwmodel

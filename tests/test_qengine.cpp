@@ -74,6 +74,91 @@ QTensor legacy_vote_transform(const QTensor& u, const QTensor& w,
   return votes;
 }
 
+// Permute i-major votes [B, Nin, Nout, D] into the j-major layout
+// [B, Nout, Nin, D] the routing engine consumes.
+QTensor to_jmajor(const QTensor& v) {
+  const std::int64_t b = v.dim(0), nin = v.dim(1), nout = v.dim(2),
+                     d = v.dim(3);
+  QTensor out({b, nout, nin, d}, v.fmt);
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t i = 0; i < nin; ++i)
+      for (std::int64_t j = 0; j < nout; ++j)
+        for (std::int64_t k = 0; k < d; ++k)
+          out.raw[static_cast<std::size_t>(((bi * nout + j) * nin + i) * d + k)] =
+              v.raw[static_cast<std::size_t>(((bi * nin + i) * nout + j) * d + k)];
+  return out;
+}
+
+// The integer routing loop exactly as qengine::dynamic_routing computed it
+// before the j-major refactor (PR 4): i-major votes, scalar int64
+// accumulation, identical rescale points. Kept verbatim as the bit-identity
+// oracle for the new layout + int32 fast path.
+QTensor legacy_dynamic_routing(const QTensor& votes, int iterations,
+                               fixed::FixedFormat act_fmt,
+                               fixed::FixedFormat dr_fmt) {
+  const std::int64_t r_count = votes.dim(0), nin = votes.dim(1),
+                     nout = votes.dim(2), d = votes.dim(3);
+  const hwmodel::SoftmaxUnit softmax(dr_fmt);
+  const hwmodel::SquashUnit squash(dr_fmt);
+  QTensor v_out({r_count, nout, d}, act_fmt);
+  for (std::int64_t r = 0; r < r_count; ++r) {
+    std::vector<std::int64_t> b_raw(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int64_t> c_raw(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int64_t> s_raw(static_cast<std::size_t>(nout * d), 0);
+    std::vector<std::int64_t> v_raw(static_cast<std::size_t>(nout * d), 0);
+    const std::int64_t* u = votes.raw.data() + r * nin * nout * d;
+    for (int it = 0; it < iterations; ++it) {
+      for (std::int64_t i = 0; i < nin; ++i) {
+        std::vector<hwmodel::FixedNum> logits(static_cast<std::size_t>(nout));
+        for (std::int64_t j = 0; j < nout; ++j)
+          logits[static_cast<std::size_t>(j)] = {
+              b_raw[static_cast<std::size_t>(i * nout + j)], dr_fmt};
+        const auto c = softmax.apply(logits, act_fmt);
+        for (std::int64_t j = 0; j < nout; ++j)
+          c_raw[static_cast<std::size_t>(i * nout + j)] =
+              c[static_cast<std::size_t>(j)].raw;
+      }
+      const int acc_qf = act_fmt.qf + act_fmt.qf;
+      std::fill(s_raw.begin(), s_raw.end(), 0);
+      for (std::int64_t j = 0; j < nout; ++j) {
+        for (std::int64_t k = 0; k < d; ++k) {
+          std::int64_t acc = 0;
+          for (std::int64_t i = 0; i < nin; ++i)
+            acc += c_raw[static_cast<std::size_t>(i * nout + j)] *
+                   u[(i * nout + j) * d + k];
+          s_raw[static_cast<std::size_t>(j * d + k)] =
+              hwmodel::rescale_raw(acc, acc_qf, dr_fmt);
+        }
+      }
+      for (std::int64_t j = 0; j < nout; ++j) {
+        std::vector<hwmodel::FixedNum> sv(static_cast<std::size_t>(d));
+        for (std::int64_t k = 0; k < d; ++k)
+          sv[static_cast<std::size_t>(k)] = {
+              s_raw[static_cast<std::size_t>(j * d + k)], dr_fmt};
+        const auto vq = squash.apply(sv, act_fmt);
+        for (std::int64_t k = 0; k < d; ++k)
+          v_raw[static_cast<std::size_t>(j * d + k)] =
+              vq[static_cast<std::size_t>(k)].raw;
+      }
+      if (it + 1 == iterations) break;
+      for (std::int64_t i = 0; i < nin; ++i) {
+        for (std::int64_t j = 0; j < nout; ++j) {
+          std::int64_t acc = 0;
+          for (std::int64_t k = 0; k < d; ++k)
+            acc += v_raw[static_cast<std::size_t>(j * d + k)] *
+                   u[(i * nout + j) * d + k];
+          const std::int64_t a =
+              hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
+          b_raw[static_cast<std::size_t>(i * nout + j)] = hwmodel::saturate_raw(
+              b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+        }
+      }
+    }
+    std::copy(v_raw.begin(), v_raw.end(), v_out.raw.begin() + r * nout * d);
+  }
+  return v_out;
+}
+
 TEST(QTensor, FloatRoundTripIsExactOnGrid) {
   common::Rng rng(1);
   const fixed::FixedFormat fmt(2, 6);
@@ -154,7 +239,7 @@ TEST(QEngineRouting, ShapesAndCapsuleNormBound) {
   const fixed::FixedFormat act(2, 10), dr(3, 8);
   const fixed::Quantizer q(act, fixed::RoundingScheme::kRoundToNearest);
   const tensor::Tensor votes = q.quantized(
-      tensor::Tensor::randn({3, 6, 4, 4}, rng, 0.0f, 0.4f));
+      tensor::Tensor::randn({3, 4, 6, 4}, rng, 0.0f, 0.4f));  // [R,Nout,Nin,D]
   const QTensor v = dynamic_routing(QTensor::from_float(votes, act), 3, act, dr);
   EXPECT_EQ(v.shape, (tensor::Shape{3, 4, 4}));
   const tensor::Tensor len = lengths(v);
@@ -166,10 +251,10 @@ TEST(QEngineRouting, AgreementSelectsSameWinnerAsFloat) {
   // the winning output capsule.
   const std::int64_t nin = 8, nout = 4, d = 4;
   common::Rng rng(5);
-  tensor::Tensor votes({1, nin, nout, d});
+  tensor::Tensor votes({1, nout, nin, d});  // j-major, shared by both engines
   for (std::int64_t i = 0; i < votes.numel(); ++i)
     votes[i] = rng.normal(0.0f, 0.08f);
-  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, i, 1, 0}) = 0.8f;
+  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, 1, i, 0}) = 0.8f;
   const fixed::FixedFormat act(2, 10), dr(3, 6);
   const fixed::Quantizer q(act, fixed::RoundingScheme::kRoundToNearest);
   const tensor::Tensor votes_q = q.quantized(votes);
@@ -289,13 +374,15 @@ TEST(QEngineVotes, QGemmPathIdenticalToLegacyLoopAtQ88) {
   const QTensor w = random_q(rng, {nin, nout, dout, din}, wf, 0.45f);
   const QTensor votes = vote_transform(u, w, act3);
   const QTensor want = legacy_vote_transform(u, w, act3);
-  ASSERT_EQ(votes.shape, (tensor::Shape{b, nin, nout, dout}));
+  ASSERT_EQ(votes.shape, (tensor::Shape{b, nout, nin, dout}));
+  const QTensor want_j = to_jmajor(want);
   for (std::size_t i = 0; i < votes.raw.size(); ++i)
-    ASSERT_EQ(votes.raw[i], want.raw[i]) << "flat " << i;
+    ASSERT_EQ(votes.raw[i], want_j.raw[i]) << "flat " << i;
 
-  // And therefore identical logits after routing + classification head.
+  // And therefore identical logits after routing + classification head —
+  // with the routing itself locked against the pre-refactor i-major loop.
   const QTensor v_new = dynamic_routing(votes, 3, act3, dr);
-  const QTensor v_old = dynamic_routing(want, 3, act3, dr);
+  const QTensor v_old = legacy_dynamic_routing(want, 3, act3, dr);
   const tensor::Tensor len_new = lengths(v_new);
   const tensor::Tensor len_old = lengths(v_old);
   for (std::int64_t i = 0; i < len_new.numel(); ++i)
@@ -310,9 +397,38 @@ TEST(QEngineVotes, Int8TierIdenticalToLegacyLoop) {
   ASSERT_TRUE(u.fits_i8());
   ASSERT_TRUE(w.fits_i8());
   const QTensor votes = vote_transform(u, w, act3);
-  const QTensor want = legacy_vote_transform(u, w, act3);
+  const QTensor want = to_jmajor(legacy_vote_transform(u, w, act3));
   for (std::size_t i = 0; i < votes.raw.size(); ++i)
     ASSERT_EQ(votes.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QEngineRouting, JMajorPathBitIdenticalToLegacy) {
+  // The refactor lock: the j-major engine (int32 fast path included) must
+  // reproduce the pre-refactor i-major scalar loop raw-for-raw, on both the
+  // narrow formats that take the int32 path and wide ones that fall back to
+  // int64 accumulation.
+  common::Rng rng(40);
+  const struct {
+    fixed::FixedFormat act, dr;
+    float amp;
+  } cases[] = {
+      {fixed::FixedFormat(2, 10), fixed::FixedFormat(3, 8), 0.9f},
+      {fixed::FixedFormat(2, 4), fixed::FixedFormat(2, 3), 1.5f},
+      {fixed::FixedFormat(8, 18), fixed::FixedFormat(6, 12), 60.0f},  // int64
+  };
+  for (const auto& cs : cases) {
+    const QTensor votes_i = random_q(rng, {3, 12, 5, 8}, cs.act, cs.amp);
+    const QTensor votes_j = to_jmajor(votes_i);
+    for (int iters : {1, 3}) {
+      const QTensor got = dynamic_routing(votes_j, iters, cs.act, cs.dr);
+      const QTensor want = legacy_dynamic_routing(votes_i, iters, cs.act, cs.dr);
+      ASSERT_EQ(got.shape, want.shape);
+      for (std::size_t i = 0; i < got.raw.size(); ++i)
+        ASSERT_EQ(got.raw[i], want.raw[i])
+            << "flat " << i << " fmt " << cs.act.to_string() << " iters "
+            << iters;
+    }
+  }
 }
 
 // ---- classification head precision ------------------------------------------

@@ -1,4 +1,5 @@
-// Tests for dynamic routing-by-agreement: algorithmic properties, the
+// Tests for dynamic routing-by-agreement on the j-major votes layout
+// [R, Nout, Nin, D]: algorithmic properties, the
 // quantization points of paper Fig. 9, and full unrolled gradients.
 #include <gtest/gtest.h>
 
@@ -21,7 +22,7 @@ tensor::Tensor route(const tensor::Tensor& votes, int iters,
 
 TEST(Routing, OutputShape) {
   common::Rng rng(1);
-  const tensor::Tensor votes = tensor::Tensor::randn({3, 6, 4, 5}, rng);
+  const tensor::Tensor votes = tensor::Tensor::randn({3, 4, 6, 5}, rng);
   const tensor::Tensor v = route(votes, 3);
   EXPECT_EQ(v.shape(), (tensor::Shape{3, 4, 5}));
 }
@@ -31,13 +32,13 @@ TEST(Routing, SingleIterationIsUniformAverageThenSquash) {
   // s_j = (1/Nout) Σ_i û_ij.
   common::Rng rng(2);
   const std::int64_t nin = 5, nout = 3, d = 4;
-  const tensor::Tensor votes = tensor::Tensor::randn({1, nin, nout, d}, rng);
+  const tensor::Tensor votes = tensor::Tensor::randn({1, nout, nin, d}, rng);
   const tensor::Tensor v = route(votes, 1);
   for (std::int64_t j = 0; j < nout; ++j) {
     tensor::Tensor s({1, d});
     for (std::int64_t i = 0; i < nin; ++i)
       for (std::int64_t k = 0; k < d; ++k)
-        s[k] += votes.at({0, i, j, k}) / static_cast<float>(nout);
+        s[k] += votes.at({0, j, i, k}) / static_cast<float>(nout);
     // squash s and compare: v = s * n / (1 + n^2).
     float nsq = 0.0f;
     for (std::int64_t k = 0; k < d; ++k) nsq += s[k] * s[k];
@@ -49,7 +50,7 @@ TEST(Routing, SingleIterationIsUniformAverageThenSquash) {
 
 TEST(Routing, CouplingsFormDistributionOverOutputs) {
   common::Rng rng(3);
-  const tensor::Tensor votes = tensor::Tensor::randn({2, 7, 5, 3}, rng);
+  const tensor::Tensor votes = tensor::Tensor::randn({2, 5, 7, 3}, rng);
   DynamicRouting r;
   r.forward(votes, 3, false, RoutingQuantPoints{});
   const tensor::Tensor& c = r.last_coupling();
@@ -66,14 +67,14 @@ TEST(Routing, AgreementConcentratesCouplings) {
   // to the others: after 3 iterations its coupling to output 0 must exceed
   // the uniform 1/Nout level.
   const std::int64_t nin = 4, nout = 3, d = 4;
-  tensor::Tensor votes({1, nin, nout, d});
+  tensor::Tensor votes({1, nout, nin, d});
   common::Rng rng(4);
   for (std::int64_t i = 0; i < nin; ++i)
     for (std::int64_t j = 0; j < nout; ++j)
       for (std::int64_t k = 0; k < d; ++k)
-        votes.at({0, i, j, k}) = rng.normal(0.0f, 0.05f);
+        votes.at({0, j, i, k}) = rng.normal(0.0f, 0.05f);
   // All capsules vote [2,0,0,0] for output 0 -> strong mutual agreement.
-  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, i, 0, 0}) = 2.0f;
+  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, 0, i, 0}) = 2.0f;
   DynamicRouting r;
   r.forward(votes, 3, false, RoutingQuantPoints{});
   const tensor::Tensor& c = r.last_coupling();
@@ -83,12 +84,12 @@ TEST(Routing, AgreementConcentratesCouplings) {
 
 TEST(Routing, MoreIterationsSharpenAgreement) {
   const std::int64_t nin = 6, nout = 2, d = 3;
-  tensor::Tensor votes({1, nin, nout, d});
+  tensor::Tensor votes({1, nout, nin, d});
   common::Rng rng(5);
   for (std::int64_t i = 0; i < nin; ++i) {
     for (std::int64_t k = 0; k < d; ++k) {
-      votes.at({0, i, 0, k}) = 1.0f + rng.normal(0.0f, 0.1f);  // aligned
-      votes.at({0, i, 1, k}) = rng.normal(0.0f, 1.0f);         // scattered
+      votes.at({0, 0, i, k}) = 1.0f + rng.normal(0.0f, 0.1f);  // aligned
+      votes.at({0, 1, i, k}) = rng.normal(0.0f, 1.0f);         // scattered
     }
   }
   DynamicRouting r1, r3;
@@ -101,7 +102,7 @@ TEST(Routing, MoreIterationsSharpenAgreement) {
 
 TEST(Routing, OutputCapsuleNormsBelowOne) {
   common::Rng rng(6);
-  const tensor::Tensor votes = tensor::Tensor::randn({4, 8, 5, 6}, rng, 0.0f, 2.0f);
+  const tensor::Tensor votes = tensor::Tensor::randn({4, 5, 8, 6}, rng, 0.0f, 2.0f);
   const tensor::Tensor v = route(votes, 3);
   const tensor::Tensor norms = tensor::l2_norm_last(v, 0.0f);
   for (std::int64_t i = 0; i < norms.numel(); ++i) EXPECT_LT(norms[i], 1.0f);
@@ -123,7 +124,7 @@ class RoutingGrad : public ::testing::TestWithParam<int> {};
 TEST_P(RoutingGrad, UnrolledBackwardMatchesFiniteDifference) {
   const int iters = GetParam();
   common::Rng rng(static_cast<std::uint64_t>(iters) + 7);
-  const tensor::Tensor votes = tensor::Tensor::randn({2, 4, 3, 3}, rng, 0.0f, 0.7f);
+  const tensor::Tensor votes = tensor::Tensor::randn({2, 3, 4, 3}, rng, 0.0f, 0.7f);
   DynamicRouting r;
   const tensor::Tensor v = r.forward(votes, iters, true, RoutingQuantPoints{});
   const testutil::WeightedSum head(v.shape());
@@ -141,7 +142,7 @@ TEST(RoutingQuant, RoutingPointsQuantizeInternals) {
   // With an extremely coarse QDR the routed output must collapse onto a much
   // coarser set of values than the FP32 reference.
   common::Rng rng(8);
-  const tensor::Tensor votes = tensor::Tensor::randn({2, 6, 4, 4}, rng, 0.0f, 0.5f);
+  const tensor::Tensor votes = tensor::Tensor::randn({2, 4, 6, 4}, rng, 0.0f, 0.5f);
   const tensor::Tensor v_fp = route(votes, 3);
 
   const fixed::Quantizer dr(fixed::FixedFormat(2, 2),
@@ -158,7 +159,7 @@ TEST(RoutingQuant, RoutingPointsQuantizeInternals) {
 
 TEST(RoutingQuant, ActivationPointsQuantizeOutput) {
   common::Rng rng(9);
-  const tensor::Tensor votes = tensor::Tensor::randn({1, 5, 3, 4}, rng, 0.0f, 0.5f);
+  const tensor::Tensor votes = tensor::Tensor::randn({1, 3, 5, 4}, rng, 0.0f, 0.5f);
   const fixed::Quantizer act(fixed::FixedFormat(1, 4),
                              fixed::RoundingScheme::kRoundToNearest);
   RoutingQuantPoints qp;
@@ -177,11 +178,11 @@ TEST(RoutingQuant, ModerateQdrPreservesWinners) {
   // quantization. A 4-fractional-bit QDR must keep the argmax output capsule
   // for a decisive vote pattern.
   const std::int64_t nin = 8, nout = 4, d = 4;
-  tensor::Tensor votes({1, nin, nout, d});
+  tensor::Tensor votes({1, nout, nin, d});
   common::Rng rng(10);
   for (std::int64_t i = 0; i < votes.numel(); ++i)
     votes[i] = rng.normal(0.0f, 0.1f);
-  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, i, 2, 0}) = 0.9f;
+  for (std::int64_t i = 0; i < nin; ++i) votes.at({0, 2, i, 0}) = 0.9f;
   const tensor::Tensor v_fp = route(votes, 3);
 
   const fixed::Quantizer dr(fixed::FixedFormat(2, 4),
