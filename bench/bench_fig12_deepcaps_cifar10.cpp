@@ -5,9 +5,40 @@
 // Expected shape (paper): ~6x weight-memory reduction at ~0.15% accuracy
 // loss on Path A; the routed block and L6 tolerate lower QDR than Qa; an
 // extreme budget (last legend row, 19.76x) collapses accuracy to chance.
+#include <algorithm>
 #include <cstdio>
 
+#include "accel/systolic.hpp"
 #include "bench_util.hpp"
+#include "core/evaluator.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "qengine/quantized_deep_caps.hpp"
+
+namespace {
+
+// Integer-deployment accuracy of `net` under `spec` over the whole test
+// set, in bounded batches (the executor's int64 activations make a whole-
+// set forward needlessly large; chunking is bit-exact since integer
+// execution is order-exact per sample).
+float integer_accuracy(qcaps::nn::Network& net,
+                       const qcaps::core::NetworkQuantSpec& spec,
+                       const qcaps::data::Dataset& test) {
+  using namespace qcaps;
+  const qengine::QuantizedDeepCaps deployed(net, spec);
+  constexpr std::int64_t kChunk = 64;
+  int correct = 0;
+  for (std::int64_t b0 = 0; b0 < test.size(); b0 += kChunk) {
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = b0; i < std::min(test.size(), b0 + kChunk); ++i)
+      idx.push_back(i);
+    const auto pred = deployed.predict(test.batch(idx));
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      if (pred[i] == test.labels[idx[i]]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(test.size());
+}
+
+}  // namespace
 
 int main() {
   using namespace qcaps;
@@ -49,5 +80,32 @@ int main() {
   if (res_b.model_memory)
     bench::print_model_row("DeepCaps", "synth-CIFAR10", "extreme memory",
                            *res_b.model_memory);
+
+  // ---- integer deployment: quantized DeepCaps wordlength sweep ------------
+  //
+  // Run the real fixed-point engine (quantized-graph executor: BN folded,
+  // ConvCaps3D votes, residual adds) at uniform wordlengths, and project
+  // each onto the CapsAcc-style 16x16 array with the clock calibrated to
+  // this machine's measured int8 qgemm rate (BENCH_kernels.json — the PR-4
+  // host-calibration constants, see docs/performance.md).
+  std::printf("\n--- integer engine + accelerator sweep (calibrated clock) "
+              "---\n");
+  accel::SystolicConfig acfg;
+  acfg.clock_ghz = hwmodel::calibrated_clock_ghz(
+      hwmodel::measured_host_rates().int8_gemm, acfg.macs_per_cycle());
+  const std::int64_t in_elems = split.test.channels() * split.test.height() *
+                                split.test.width();
+  std::printf("array clock %.2f GHz; %10s %10s %14s %12s\n", acfg.clock_ghz,
+              "bits", "acc", "latency (us)", "energy (uJ)");
+  for (const int bits : {8, 6, 5, 4}) {
+    core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+        6, bits, fixed::RoundingScheme::kRoundToNearest);
+    probe.calibrate_spec(spec);
+    const float acc = integer_accuracy(*trained.net, spec, split.test);
+    const auto wls = accel::workloads_from_spec(probe.memory(), spec, in_elems);
+    const auto t = accel::simulate_network(acfg, wls);
+    std::printf("%32d %9.2f%% %14.1f %12.2f\n", bits, 100.0f * acc,
+                t.latency_us(acfg), t.total_pj / 1e6);
+  }
   return 0;
 }

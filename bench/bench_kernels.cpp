@@ -13,8 +13,10 @@
 #include "core/quant_spec.hpp"
 #include "fixed/quantizer.hpp"
 #include "hwmodel/units.hpp"
+#include "models/deep_caps.hpp"
 #include "models/shallow_caps.hpp"
 #include "nn/routing.hpp"
+#include "qengine/quantized_deep_caps.hpp"
 #include "qengine/quantized_shallow_caps.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/gemm.hpp"
@@ -37,6 +39,7 @@ void BM_Matmul(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::matmul(a, b));
   }
+  state.SetLabel(tensor::gemm_kernel_name());
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
@@ -210,6 +213,43 @@ void BM_PredictBatchInt8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * b);
 }
 BENCHMARK(BM_PredictBatchInt8)->Arg(1)->Arg(4)->Arg(16);
+
+// DeepCaps counterparts (the second model family the serving stack runs):
+// the fp32 reference forward and the quantized-graph deployment — BN folded
+// into the block convolutions, ConvCaps3D votes routed per position, all
+// conv/vote products on the packed integer GEMM with cached weights.
+void BM_PredictBatchDeepCapsFp32(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  common::Rng rng(22);
+  auto net = models::build_deep_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->predict_batch(images));
+  }
+  state.SetLabel(tensor::gemm_kernel_name());
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_PredictBatchDeepCapsFp32)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_PredictBatchDeepCapsInt8(benchmark::State& state) {
+  const std::int64_t b = state.range(0);
+  const auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  common::Rng rng(23);
+  auto net = models::build_deep_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      6, 6, fixed::RoundingScheme::kRoundToNearest);
+  const qengine::QuantizedDeepCaps qmodel(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({b, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qmodel.predict_batch(images));
+  }
+  state.SetLabel(tensor::qgemm_kernel_name());
+  state.SetItemsProcessed(state.iterations() * b);
+}
+BENCHMARK(BM_PredictBatchDeepCapsInt8)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t c = state.range(0);

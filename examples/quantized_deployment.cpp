@@ -1,9 +1,14 @@
 // End-to-end deployment: search a quantization with the Q-CapsNets
 // framework, then run the winning spec on the integer-only inference engine
 // and on the systolic-array accelerator model — the full "paper pipeline"
-// from trained FP32 model to edge-deployable fixed-point CapsNet.
+// from trained FP32 model to edge-deployable fixed-point CapsNet. Both model
+// families deploy: ShallowCaps through the search, and DeepCaps as a
+// wordlength sweep on the quantized-graph executor (BN folding, ConvCaps3D
+// votes, residual adds — all integer).
 //
 // Usage: quantized_deployment [--budget-frac=0.25] [--tol=0.002]
+//                             [--skip-deepcaps]
+#include <algorithm>
 #include <cstdio>
 
 #include "accel/systolic.hpp"
@@ -12,6 +17,7 @@
 #include "core/framework.hpp"
 #include "data/synth.hpp"
 #include "models/model_cache.hpp"
+#include "qengine/quantized_deep_caps.hpp"
 #include "qengine/quantized_shallow_caps.hpp"
 
 int main(int argc, char** argv) {
@@ -85,5 +91,45 @@ int main(int argc, char** argv) {
               fp32_t.total_pj / timing.total_pj,
               static_cast<double>(fp32_t.total_cycles) /
                   static_cast<double>(timing.total_cycles));
+
+  // 4) The second model family: quantized DeepCaps wordlength sweep on the
+  // same integer engine and calibrated accelerator clock.
+  if (args.get_bool("skip-deepcaps", false)) return 0;
+  std::printf("\n=== DeepCaps (quantized-graph executor) ===\n");
+  nn::TrainConfig dtcfg;
+  dtcfg.epochs = 3;
+  auto deep = models::get_trained_deep_caps(split, "digits", dtcfg);
+  std::printf("FP32 accuracy: %.2f%%\n", deep.fp32_accuracy * 100.0f);
+  core::Evaluator dcalib(*deep.net, split.test, 384);
+  const std::int64_t in_elems = split.test.channels() * split.test.height() *
+                                split.test.width();
+  std::printf("%10s %10s %14s %14s %12s\n", "bits", "acc", "W-bits",
+              "latency (us)", "energy (uJ)");
+  for (const int bits : {8, 6, 5}) {
+    core::NetworkQuantSpec dspec = core::NetworkQuantSpec::uniform(
+        6, bits, fixed::RoundingScheme::kRoundToNearest);
+    dcalib.calibrate_spec(dspec);
+    const qengine::QuantizedDeepCaps ddep(*deep.net, dspec);
+    // Bounded batches: the int64 activations make a whole-set forward
+    // needlessly large, and chunking is bit-exact (order-exact per sample).
+    int dcorrect = 0;
+    std::int64_t dtotal = 0;
+    for (std::int64_t b0 = 0; b0 < split.test.size(); b0 += 64) {
+      std::vector<std::int64_t> didx;
+      for (std::int64_t i = b0; i < std::min(split.test.size(), b0 + 64); ++i)
+        didx.push_back(i);
+      const auto dpred = ddep.predict(split.test.batch(didx));
+      for (std::size_t i = 0; i < dpred.size(); ++i)
+        if (dpred[i] == split.test.labels[didx[i]]) ++dcorrect;
+      dtotal += static_cast<std::int64_t>(dpred.size());
+    }
+    const auto dwls =
+        accel::workloads_from_spec(dcalib.memory(), dspec, in_elems);
+    const auto dt = accel::simulate_network(acfg, dwls);
+    std::printf("%10d %9.2f%% %14lld %14.1f %12.2f\n", bits,
+                100.0 * dcorrect / static_cast<double>(dtotal),
+                static_cast<long long>(ddep.weight_bits()),
+                dt.latency_us(acfg), dt.total_pj / 1e6);
+  }
   return 0;
 }

@@ -35,12 +35,30 @@ std::string NetworkQuantSpec::to_string() const {
   return os.str();
 }
 
+std::vector<std::string> spec_layer_names(nn::Network& net) {
+  std::vector<std::string> names;
+  for (const auto idx : net.weighted_layers())
+    names.push_back(net.layer(idx).name());
+  return names;
+}
+
+void check_spec_covers(nn::Network& net, const NetworkQuantSpec& spec) {
+  const auto names = spec_layer_names(net);
+  if (names.size() == spec.layers.size()) return;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < names.size(); ++i)
+    os << (i ? ", " : "") << names[i];
+  QCAPS_CHECK_MSG(false, "spec covers " << spec.layers.size()
+                                        << " layers but " << net.name()
+                                        << " has " << names.size()
+                                        << " weighted layers (" << os.str()
+                                        << ")");
+}
+
 void apply_spec(nn::Network& net, const NetworkQuantSpec& spec,
                 std::uint64_t seed) {
   const auto widx = net.weighted_layers();
-  QCAPS_CHECK_MSG(widx.size() == spec.layers.size(),
-                  "spec covers " << spec.layers.size() << " layers, network has "
-                                 << widx.size() << " weighted layers");
+  check_spec_covers(net, spec);
   net.clear_quantization();
   for (std::size_t k = 0; k < widx.size(); ++k) {
     auto& layer = net.layer(widx[k]);

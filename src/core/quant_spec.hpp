@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fixed/format.hpp"
 #include "fixed/rounding.hpp"
 #include "nn/network.hpp"
 
@@ -31,6 +32,16 @@ struct LayerQuantSpec {
 
   int weight_wordlength() const { return qw_int + qw_frac; }
   int act_wordlength() const { return qa_int + qa_frac; }
+
+  // The concrete fixed-point formats a deployment executes in (the integer
+  // engine consumes these; the DR fallback mirrors apply_spec, which only
+  // installs a routing quantizer when qdr_frac >= 0).
+  fixed::FixedFormat weight_format() const { return {qw_int, qw_frac}; }
+  fixed::FixedFormat act_format() const { return {qa_int, qa_frac}; }
+  /// Routing format; qdr_frac < 0 inherits the activation fractional width.
+  fixed::FixedFormat dr_format() const {
+    return {qdr_int, qdr_frac >= 0 ? qdr_frac : qa_frac};
+  }
 };
 
 struct NetworkQuantSpec {
@@ -52,5 +63,15 @@ struct NetworkQuantSpec {
 /// stochastic-rounding noise streams across layers.
 void apply_spec(nn::Network& net, const NetworkQuantSpec& spec,
                 std::uint64_t seed = 0x5eed);
+
+/// Names of the weighted layers a spec for `net` indexes, in spec order —
+/// L1/L2/L3 for ShallowCaps, L1/B2..B5/L6 for DeepCaps. Error messages and
+/// reports use this to tie spec entries back to the architecture.
+std::vector<std::string> spec_layer_names(nn::Network& net);
+
+/// Check that `spec` covers exactly `net`'s weighted layers (with a
+/// layer-name diagnostic on mismatch) — the precondition of apply_spec and
+/// of compiling a quantized deployment graph.
+void check_spec_covers(nn::Network& net, const NetworkQuantSpec& spec);
 
 }  // namespace qcaps::core

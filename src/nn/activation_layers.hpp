@@ -25,6 +25,8 @@ class FlattenCapsLayer : public Layer {
   tensor::Tensor forward(const tensor::Tensor& x, Phase phase) override;
   tensor::Tensor backward(const tensor::Tensor& grad_out) override;
 
+  std::int64_t caps_dim() const { return caps_dim_; }
+
  private:
   std::int64_t caps_dim_;
   tensor::Shape input_shape_;

@@ -30,6 +30,12 @@ class BatchNorm2d {
   /// Non-trainable buffers — must be persisted alongside the parameters.
   tensor::Tensor& running_mean() { return running_mean_; }
   tensor::Tensor& running_var() { return running_var_; }
+  // Read-only views for BN folding (quantized deployment).
+  const tensor::Tensor& gamma() const { return gamma_; }
+  const tensor::Tensor& beta() const { return beta_; }
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+  float eps() const { return eps_; }
   std::int64_t channels() const { return channels_; }
 
  private:

@@ -38,8 +38,15 @@ class ConvCapsLayer : public WeightedLayer {
   std::vector<tensor::Tensor*> grads() override;
   std::vector<tensor::Tensor*> state() override;
 
+  std::int64_t in_types() const { return in_types_; }
+  std::int64_t in_dim() const { return in_dim_; }
   std::int64_t out_types() const { return out_types_; }
   std::int64_t out_dim() const { return out_dim_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  /// Null when built with batch_norm = false.
+  const BatchNorm2d* batch_norm() const { return bn_.get(); }
 
  private:
   std::int64_t in_types_, in_dim_, out_types_, out_dim_, kernel_, stride_, pad_;
@@ -61,9 +68,21 @@ class RoutedConvCapsLayer : public WeightedLayer {
 
   bool has_routing() const override { return true; }
 
- private:
+  std::int64_t in_types() const { return in_types_; }
+  std::int64_t in_dim() const { return in_dim_; }
+  std::int64_t out_types() const { return out_types_; }
+  std::int64_t out_dim() const { return out_dim_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t pad() const { return pad_; }
+  int iterations() const { return iters_; }
+
+  /// The [Tout*Dout, Din, K, K] conv weight of input type `type` (a copy of
+  /// the stacked master weight's slice) — the per-type vote convolution the
+  /// quantized-graph compiler re-expresses in integer arithmetic.
   tensor::Tensor weight_slice(std::int64_t type) const;
 
+ private:
   std::int64_t in_types_, in_dim_, out_types_, out_dim_, kernel_, stride_, pad_;
   int iters_;
   DynamicRouting routing_;
@@ -86,6 +105,14 @@ class CapsBlockLayer : public Layer {
   std::vector<tensor::Tensor*> grads() override;
   std::vector<tensor::Tensor*> state() override;
   bool has_routing() const override { return routed_skip_; }
+
+  // Sub-layer views for the quantized-graph compiler (the block is the
+  // quantization unit; its four convolutions share one LayerQuantSpec).
+  bool routed_skip() const { return routed_skip_; }
+  const ConvCapsLayer& conv1() const { return *conv1_; }
+  const ConvCapsLayer& conv2() const { return *conv2_; }
+  const ConvCapsLayer& conv3() const { return *conv3_; }
+  const Layer& skip_layer() const { return *skip_; }
 
  private:
   void sync_quant();

@@ -1,0 +1,538 @@
+#include "qengine/qgraph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "hwmodel/units.hpp"
+#include "nn/activation_layers.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/conv_caps.hpp"
+#include "nn/fc_caps.hpp"
+#include "nn/network.hpp"
+#include "nn/primary_caps.hpp"
+
+namespace qcaps::qengine {
+namespace {
+
+constexpr auto kRtn = fixed::RoundingScheme::kRoundToNearest;
+
+// Wide working format for pre-squash values: the activation format is
+// calibrated on the bounded post-squash capsules, but the conv outputs that
+// feed the squash can be far outside it. Same rule the hand-rolled
+// ShallowCaps deployment used (locked by the golden test).
+fixed::FixedFormat pre_squash_fmt(const fixed::FixedFormat& act) {
+  return {8, std::min(20, act.qf + 8)};
+}
+
+// Smallest QI with 2^(QI-1) > m (two's complement, sign included) — the
+// evaluator's calibration rule, with more headroom allowed since folded
+// weights are a deployment artifact, not a searched quantity.
+int needed_qi(double m) {
+  int qi = 1;
+  while (qi < 16 && std::ldexp(1.0, qi - 1) <= m) ++qi;
+  return qi;
+}
+
+// Quantize an FP32 weight tensor under the spec's weight format. When
+// `widen` (BN-folded weights), the integer bits grow to cover the values'
+// actual range so folding cannot push weights into the saturation cliff;
+// otherwise the spec format applies verbatim (the pre-refactor behaviour,
+// which the ShallowCaps golden-lock test depends on).
+QTensor quantize_weight(const tensor::Tensor& w, const core::LayerQuantSpec& ls,
+                        fixed::RoundingScheme scheme, bool widen,
+                        double folded_abs_max = 0.0) {
+  fixed::FixedFormat fmt = ls.weight_format();
+  if (widen) {
+    // Saturating silently here would collapse accuracy with no diagnostic
+    // (degenerate BN statistics can blow folded weights up arbitrarily).
+    QCAPS_CHECK_MSG(folded_abs_max < std::ldexp(1.0, 15),
+                    "BN-folded weights exceed the representable range "
+                    "(|w| up to " << folded_abs_max
+                    << "); the batch-norm statistics are degenerate");
+    fmt.qi = std::max(fmt.qi, needed_qi(folded_abs_max));
+  }
+  return QTensor::from_float(w, fmt, scheme);
+}
+
+double tensor_abs_max(const tensor::Tensor& t) {
+  double m = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    m = std::max(m, std::fabs(static_cast<double>(t[i])));
+  return m;
+}
+
+// Compile one ConvCapsLayer (BN folded) into a kConvCaps node.
+QuantizedOp compile_conv_caps(const nn::ConvCapsLayer& l,
+                              const core::LayerQuantSpec& ls,
+                              fixed::RoundingScheme scheme, int input) {
+  QuantizedOp op;
+  op.kind = QOpKind::kConvCaps;
+  op.input = input;
+  op.source = l.name();
+  tensor::Tensor w = l.master_weight();
+  tensor::Tensor b = l.master_bias();
+  if (const nn::BatchNorm2d* bn = l.batch_norm()) {
+    FoldedConv folded = fold_batch_norm(w, b, *bn);
+    const double m =
+        std::max(tensor_abs_max(folded.weight), tensor_abs_max(folded.bias));
+    op.weight = quantize_weight(folded.weight, ls, scheme, /*widen=*/true, m);
+    op.bias = QTensor::from_float(folded.bias, op.weight.fmt, scheme);
+  } else {
+    op.weight = quantize_weight(w, ls, scheme, /*widen=*/false);
+    if (b.numel() > 0) op.bias = QTensor::from_float(b, op.weight.fmt, scheme);
+  }
+  op.wcache = make_operand_cache(op.weight);
+  op.stride = l.stride();
+  op.pad = l.pad();
+  op.in_types = l.in_types();
+  op.in_dim = l.in_dim();
+  op.out_types = l.out_types();
+  op.out_dim = l.out_dim();
+  op.out_fmt = ls.act_format();
+  op.mid_fmt = pre_squash_fmt(op.out_fmt);
+  return op;
+}
+
+// Compile one RoutedConvCapsLayer (the ConvCaps3D) into a kConvCaps3d node:
+// per input type, that type's vote convolution weight, packed once.
+QuantizedOp compile_conv_caps3d(const nn::RoutedConvCapsLayer& l,
+                                const core::LayerQuantSpec& ls,
+                                fixed::RoundingScheme scheme, int input) {
+  QuantizedOp op;
+  op.kind = QOpKind::kConvCaps3d;
+  op.input = input;
+  op.source = l.name();
+  for (std::int64_t t = 0; t < l.in_types(); ++t) {
+    QTensor wt = quantize_weight(l.weight_slice(t), ls, scheme, false);
+    op.type_caches.push_back(make_operand_cache(wt));
+    op.type_weights.push_back(std::move(wt));
+  }
+  op.stride = l.stride();
+  op.pad = l.pad();
+  op.in_types = l.in_types();
+  op.in_dim = l.in_dim();
+  op.out_types = l.out_types();
+  op.out_dim = l.out_dim();
+  op.iterations = l.iterations();
+  op.out_fmt = ls.act_format();
+  op.dr_fmt = ls.dr_format();
+  return op;
+}
+
+// ---- op execution ----------------------------------------------------------
+
+// The one capsule-layout transpose every channel-grouped op shares:
+// gather [B, T*D, H, W] feature-map raws into [B, T*HW, D] capsule rows.
+// scatter_caps_rows is its exact inverse.
+void gather_caps_rows(const std::int64_t* src, std::int64_t b,
+                      std::int64_t types, std::int64_t d, std::int64_t plane,
+                      std::int64_t* dst) {
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t dd = 0; dd < d; ++dd)
+        for (std::int64_t p = 0; p < plane; ++p)
+          dst[((bi * types + t) * plane + p) * d + dd] =
+              src[((bi * types * d) + t * d + dd) * plane + p];
+}
+
+void scatter_caps_rows(const std::int64_t* src, std::int64_t b,
+                       std::int64_t types, std::int64_t d, std::int64_t plane,
+                       std::int64_t* dst) {
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t t = 0; t < types; ++t)
+      for (std::int64_t dd = 0; dd < d; ++dd)
+        for (std::int64_t p = 0; p < plane; ++p)
+          dst[((bi * types * d) + t * d + dd) * plane + p] =
+              src[((bi * types + t) * plane + p) * d + dd];
+}
+
+QTensor exec_conv_caps(const QuantizedOp& op, const QTensor& x) {
+  QTensor s = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.mid_fmt,
+                     kRtn, &op.wcache);
+  return squash_channels(s, op.out_dim, op.out_fmt);
+}
+
+QTensor exec_conv_caps3d(const QuantizedOp& op, const QTensor& x) {
+  const std::int64_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  QCAPS_CHECK_MSG(x.dim(1) == op.in_types * op.in_dim,
+                  op.source << ": expected " << op.in_types * op.in_dim
+                            << " channels, got " << x.dim(1));
+  const std::int64_t plane = h * w;
+  const std::int64_t k = op.type_weights.front().dim(2);
+  const std::int64_t oh = (h + 2 * op.pad - k) / op.stride + 1;
+  const std::int64_t ow = (w + 2 * op.pad - k) / op.stride + 1;
+  const std::int64_t oplane = oh * ow;
+  const std::int64_t jd = op.out_types * op.out_dim;
+
+  // Per input type t: integer conv of that type's channel slice with its
+  // vote weights, then a strided scatter straight into the j-major votes
+  // layout [R, Nout, Nin, Dout] (R = B * OH * OW) the routing engine
+  // consumes — the per-position analogue of the fc_caps vote product.
+  QTensor votes({b * oplane, op.out_types, op.in_types, op.out_dim},
+                op.out_fmt);
+  QTensor xs({b, op.in_dim, h, w}, x.fmt);
+  for (std::int64_t t = 0; t < op.in_types; ++t) {
+    for (std::int64_t bi = 0; bi < b; ++bi)
+      std::memcpy(xs.raw.data() + bi * op.in_dim * plane,
+                  x.raw.data() +
+                      (bi * op.in_types * op.in_dim + t * op.in_dim) * plane,
+                  static_cast<std::size_t>(op.in_dim * plane) *
+                      sizeof(std::int64_t));
+    const QTensor vmap =
+        conv2d(xs, op.type_weights[static_cast<std::size_t>(t)], QTensor(),
+               op.stride, op.pad, op.out_fmt, kRtn,
+               &op.type_caches[static_cast<std::size_t>(t)]);
+    const std::int64_t* pv = vmap.raw.data();
+    std::int64_t* pvotes = votes.raw.data();
+    for (std::int64_t bi = 0; bi < b; ++bi)
+      for (std::int64_t j = 0; j < op.out_types; ++j)
+        for (std::int64_t dd = 0; dd < op.out_dim; ++dd) {
+          const std::int64_t* src =
+              pv + (bi * jd + j * op.out_dim + dd) * oplane;
+          for (std::int64_t p = 0; p < oplane; ++p)
+            pvotes[(((bi * oplane + p) * op.out_types + j) * op.in_types + t) *
+                       op.out_dim +
+                   dd] = src[p];
+        }
+  }
+
+  const QTensor v = dynamic_routing(votes, op.iterations, op.out_fmt,
+                                    op.dr_fmt);
+
+  // Gather v[(b, y, x), j, dd] back into the feature map [B, Tout*Dout, ...].
+  QTensor out({b, jd, oh, ow}, op.out_fmt);
+  const std::int64_t* pvv = v.raw.data();
+  std::int64_t* po = out.raw.data();
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t c = 0; c < jd; ++c)
+      for (std::int64_t p = 0; p < oplane; ++p)
+        po[(bi * jd + c) * oplane + p] = pvv[(bi * oplane + p) * jd + c];
+  return out;
+}
+
+QTensor exec_primary_caps(const QuantizedOp& op, const QTensor& x) {
+  QTensor s = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.mid_fmt,
+                     kRtn, &op.wcache);
+  // [B, T*D, H', W'] -> capsule list [B, T*H'*W', D] (same traversal the
+  // hand-rolled deployment used — locked by the golden test).
+  const std::int64_t b = s.dim(0), plane = s.dim(2) * s.dim(3);
+  QTensor caps({b, op.caps_types * plane, op.caps_dim}, op.mid_fmt);
+  gather_caps_rows(s.raw.data(), b, op.caps_types, op.caps_dim, plane,
+                   caps.raw.data());
+  return squash_last(caps, op.out_fmt);
+}
+
+QTensor exec_flatten(const QuantizedOp& op, const QTensor& x) {
+  QCAPS_CHECK_MSG(x.shape.size() == 4 && x.dim(1) % op.caps_dim == 0,
+                  op.source << ": expected [B, T*D, H, W] with D = "
+                            << op.caps_dim);
+  const std::int64_t b = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  const std::int64_t types = c / op.caps_dim;
+  QTensor out({b, types * plane, op.caps_dim}, x.fmt);
+  gather_caps_rows(x.raw.data(), b, types, op.caps_dim, plane,
+                   out.raw.data());
+  return out;
+}
+
+}  // namespace
+
+std::int64_t QuantizedOp::weight_bits() const {
+  std::int64_t bits = weight.numel() * weight.fmt.wordlength() +
+                      bias.numel() * bias.fmt.wordlength();
+  for (const auto& w : type_weights) bits += w.numel() * w.fmt.wordlength();
+  return bits;
+}
+
+QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
+                        fixed::FixedFormat out_fmt) {
+  QCAPS_CHECK_MSG(s.shape.size() == 4 && s.dim(1) % caps_dim == 0,
+                  "squash_channels expects [B, T*D, H, W] with D = "
+                      << caps_dim);
+  const std::int64_t b = s.dim(0), c = s.dim(1), plane = s.dim(2) * s.dim(3);
+  const std::int64_t types = c / caps_dim;
+  // Gather each (b, t, y, x) capsule into a contiguous row, squash via the
+  // integer datapath, scatter back into the channel-grouped layout.
+  QTensor rows({b * types * plane, caps_dim}, s.fmt);
+  gather_caps_rows(s.raw.data(), b, types, caps_dim, plane, rows.raw.data());
+  const QTensor squashed = squash_last(rows, out_fmt);
+  QTensor out(s.shape, out_fmt);
+  scatter_caps_rows(squashed.raw.data(), b, types, caps_dim, plane,
+                    out.raw.data());
+  return out;
+}
+
+QTensor residual_add(const QTensor& a, const QTensor& b) {
+  QCAPS_CHECK_MSG(a.shape == b.shape && a.fmt == b.fmt,
+                  "residual_add expects same-shape, same-format operands");
+  QTensor out(a.shape, a.fmt);
+  for (std::size_t i = 0; i < a.raw.size(); ++i)
+    out.raw[i] = hwmodel::saturate_raw(a.raw[i] + b.raw[i], a.fmt);
+  return out;
+}
+
+FoldedConv fold_batch_norm(const tensor::Tensor& weight,
+                           const tensor::Tensor& bias,
+                           const nn::BatchNorm2d& bn) {
+  const std::int64_t f = weight.dim(0);
+  QCAPS_CHECK_MSG(bn.channels() == f,
+                  "batch-norm channels do not match conv filters");
+  FoldedConv out;
+  out.weight = weight;
+  out.bias = tensor::Tensor({f});
+  const std::int64_t per_filter = weight.numel() / f;
+  for (std::int64_t c = 0; c < f; ++c) {
+    const double inv = 1.0 / std::sqrt(static_cast<double>(
+                                           bn.running_var()[c]) +
+                                       static_cast<double>(bn.eps()));
+    const double scale = static_cast<double>(bn.gamma()[c]) * inv;
+    float* wrow = out.weight.data() + c * per_filter;
+    for (std::int64_t i = 0; i < per_filter; ++i)
+      wrow[i] = static_cast<float>(wrow[i] * scale);
+    const double b0 = bias.numel() > 0 ? static_cast<double>(bias[c]) : 0.0;
+    out.bias[c] = static_cast<float>(
+        (b0 - static_cast<double>(bn.running_mean()[c])) * scale +
+        static_cast<double>(bn.beta()[c]));
+  }
+  return out;
+}
+
+QuantizedGraph QuantizedGraph::compile(nn::Network& net,
+                                       const core::NetworkQuantSpec& spec) {
+  core::check_spec_covers(net, spec);
+  const auto scheme = spec.scheme;
+  QuantizedGraph g;
+  std::size_t w = 0;  // weighted-layer cursor = spec index
+  int last = -1;      // value produced by the previous op
+  bool input_fmt_set = false;
+
+  const auto push = [&g, &last](QuantizedOp op) {
+    g.ops_.push_back(std::move(op));
+    last = static_cast<int>(g.ops_.size()) - 1;
+  };
+  const auto take_spec = [&](nn::Layer& layer) -> const core::LayerQuantSpec& {
+    QCAPS_CHECK_MSG(w < spec.layers.size(),
+                    "spec exhausted before layer " << layer.name());
+    const core::LayerQuantSpec& ls = spec.layers[w++];
+    if (!input_fmt_set) {
+      // Inputs are [0, 1] pixels: reuse the first layer's activation format.
+      g.input_fmt_ = ls.act_format();
+      input_fmt_set = true;
+    }
+    return ls;
+  };
+
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    if (auto* conv = dynamic_cast<nn::Conv2dLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      QuantizedOp op;
+      op.kind = QOpKind::kConv2d;
+      op.input = last;
+      op.source = layer.name();
+      op.weight = quantize_weight(conv->master_weight(), ls, scheme, false);
+      if (conv->master_bias().numel() > 0)
+        op.bias = QTensor::from_float(conv->master_bias(), op.weight.fmt,
+                                      scheme);
+      op.wcache = make_operand_cache(op.weight);
+      op.stride = conv->stride();
+      op.pad = conv->pad();
+      op.out_fmt = ls.act_format();
+      push(std::move(op));
+    } else if (dynamic_cast<nn::ReluLayer*>(&layer) != nullptr) {
+      QuantizedOp op;
+      op.kind = QOpKind::kRelu;
+      op.input = last;
+      op.source = layer.name();
+      op.out_fmt = g.ops_.empty() ? g.input_fmt_ : g.ops_.back().out_fmt;
+      push(std::move(op));
+    } else if (auto* primary = dynamic_cast<nn::PrimaryCapsLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      QuantizedOp op;
+      op.kind = QOpKind::kPrimaryCaps;
+      op.input = last;
+      op.source = layer.name();
+      op.weight = quantize_weight(primary->master_weight(), ls, scheme, false);
+      op.bias = QTensor::from_float(primary->master_bias(), op.weight.fmt,
+                                    scheme);
+      op.wcache = make_operand_cache(op.weight);
+      op.stride = primary->stride();
+      op.pad = 0;
+      op.caps_types = primary->caps_types();
+      op.caps_dim = primary->caps_dim();
+      op.out_fmt = ls.act_format();
+      op.mid_fmt = pre_squash_fmt(op.out_fmt);
+      push(std::move(op));
+    } else if (auto* fc = dynamic_cast<nn::FCCapsLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      QuantizedOp votes;
+      votes.kind = QOpKind::kVoteTransform;
+      votes.input = last;
+      votes.source = layer.name();
+      votes.weight = quantize_weight(fc->master_weight(), ls, scheme, false);
+      votes.wcache = make_operand_cache(votes.weight);
+      votes.in_types = fc->num_in();
+      votes.in_dim = fc->dim_in();
+      votes.out_types = fc->num_out();
+      votes.out_dim = fc->dim_out();
+      votes.out_fmt = ls.act_format();
+      push(std::move(votes));
+      QuantizedOp routing;
+      routing.kind = QOpKind::kDynamicRouting;
+      routing.input = last;
+      routing.source = layer.name();
+      routing.iterations = fc->iterations();
+      routing.out_fmt = ls.act_format();
+      routing.dr_fmt = ls.dr_format();
+      push(std::move(routing));
+    } else if (auto* flat = dynamic_cast<nn::FlattenCapsLayer*>(&layer)) {
+      QuantizedOp op;
+      op.kind = QOpKind::kFlatten;
+      op.input = last;
+      op.source = layer.name();
+      op.caps_dim = flat->caps_dim();
+      op.out_fmt = g.ops_.empty() ? g.input_fmt_ : g.ops_.back().out_fmt;
+      push(std::move(op));
+    } else if (auto* block = dynamic_cast<nn::CapsBlockLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      push(compile_conv_caps(block->conv1(), ls, scheme, last));
+      const int x1 = last;
+      push(compile_conv_caps(block->conv2(), ls, scheme, last));
+      push(compile_conv_caps(block->conv3(), ls, scheme, last));
+      const int x3 = last;
+      if (block->routed_skip()) {
+        const auto* routed =
+            dynamic_cast<const nn::RoutedConvCapsLayer*>(&block->skip_layer());
+        QCAPS_CHECK_MSG(routed != nullptr,
+                        layer.name() << ": routed skip is not ConvCaps3D");
+        push(compile_conv_caps3d(*routed, ls, scheme, x1));
+      } else {
+        const auto* skip =
+            dynamic_cast<const nn::ConvCapsLayer*>(&block->skip_layer());
+        QCAPS_CHECK_MSG(skip != nullptr,
+                        layer.name() << ": skip is not a ConvCaps layer");
+        push(compile_conv_caps(*skip, ls, scheme, x1));
+      }
+      // Both branches carry the block's activation format today; should a
+      // future per-conv spec diverge them, align the skip with an explicit
+      // width-change node (residual_add requires one shared grid).
+      if (!(g.ops_[static_cast<std::size_t>(last)].out_fmt ==
+            g.ops_[static_cast<std::size_t>(x3)].out_fmt)) {
+        QuantizedOp fix;
+        fix.kind = QOpKind::kRescale;
+        fix.input = last;
+        fix.source = layer.name() + "/skip-rescale";
+        fix.out_fmt = g.ops_[static_cast<std::size_t>(x3)].out_fmt;
+        push(std::move(fix));
+      }
+      QuantizedOp add;
+      add.kind = QOpKind::kResidualAdd;
+      add.input = x3;
+      add.input2 = last;
+      add.source = layer.name();
+      add.out_fmt = g.ops_[static_cast<std::size_t>(x3)].out_fmt;
+      push(std::move(add));
+    } else if (auto* caps = dynamic_cast<nn::ConvCapsLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      push(compile_conv_caps(*caps, ls, scheme, last));
+    } else if (auto* routed =
+                   dynamic_cast<nn::RoutedConvCapsLayer*>(&layer)) {
+      const auto& ls = take_spec(layer);
+      push(compile_conv_caps3d(*routed, ls, scheme, last));
+    } else {
+      QCAPS_CHECK_MSG(false, "quantized-graph compiler does not support layer "
+                                 << layer.name());
+    }
+  }
+  QCAPS_CHECK_MSG(w == spec.layers.size(),
+                  "spec has " << spec.layers.size() << " entries but only " << w
+                              << " weighted layers were compiled");
+  QCAPS_CHECK_MSG(!g.ops_.empty(), "cannot compile an empty network");
+  return g;
+}
+
+QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
+  QCAPS_CHECK_MSG(!ops_.empty(), "forward on an empty graph");
+  QCAPS_CHECK_MSG(images.ndim() == 4, "expected [B, C, H, W] images");
+  const QTensor x0 = QTensor::from_float(images, input_fmt_);
+  std::vector<QTensor> vals(ops_.size());
+  const auto val = [&](int idx) -> const QTensor& {
+    return idx < 0 ? x0 : vals[static_cast<std::size_t>(idx)];
+  };
+  // Last consumer of each value: intermediates are freed as soon as no
+  // later op reads them, so the peak working set stays at a couple of
+  // layer activations instead of the whole (batched) value list.
+  std::vector<int> last_use(ops_.size(), -1);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].input >= 0)
+      last_use[static_cast<std::size_t>(ops_[i].input)] = static_cast<int>(i);
+    if (ops_[i].input2 >= 0)
+      last_use[static_cast<std::size_t>(ops_[i].input2)] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const QuantizedOp& op = ops_[i];
+    const QTensor& x = val(op.input);
+    switch (op.kind) {
+      case QOpKind::kConv2d:
+        vals[i] = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.out_fmt,
+                         kRtn, &op.wcache);
+        break;
+      case QOpKind::kRelu:
+        // Steal the input when this is its last use (the common case: relu
+        // directly follows its conv) instead of deep-copying the activation.
+        if (op.input >= 0 &&
+            last_use[static_cast<std::size_t>(op.input)] ==
+                static_cast<int>(i))
+          vals[i] = std::move(vals[static_cast<std::size_t>(op.input)]);
+        else
+          vals[i] = x;
+        relu(vals[i]);
+        break;
+      case QOpKind::kRescale:
+        vals[i] = rescale(x, op.out_fmt);
+        break;
+      case QOpKind::kPrimaryCaps:
+        vals[i] = exec_primary_caps(op, x);
+        break;
+      case QOpKind::kVoteTransform:
+        QCAPS_CHECK_MSG(x.dim(1) == op.in_types && x.dim(2) == op.in_dim,
+                        op.source << ": capsule list shape mismatch");
+        vals[i] = vote_transform(x, op.weight, op.out_fmt, kRtn, &op.wcache);
+        break;
+      case QOpKind::kDynamicRouting:
+        vals[i] = dynamic_routing(x, op.iterations, op.out_fmt, op.dr_fmt);
+        break;
+      case QOpKind::kConvCaps:
+        vals[i] = exec_conv_caps(op, x);
+        break;
+      case QOpKind::kConvCaps3d:
+        vals[i] = exec_conv_caps3d(op, x);
+        break;
+      case QOpKind::kResidualAdd:
+        vals[i] = residual_add(x, val(op.input2));
+        break;
+      case QOpKind::kFlatten:
+        vals[i] = exec_flatten(op, x);
+        break;
+    }
+    for (const int in : {op.input, op.input2})
+      if (in >= 0 && last_use[static_cast<std::size_t>(in)] ==
+                         static_cast<int>(i))
+        vals[static_cast<std::size_t>(in)] = QTensor();
+  }
+  return std::move(vals.back());
+}
+
+std::vector<int> QuantizedGraph::predict_batch(
+    const tensor::Tensor& images, std::vector<float>* scores) const {
+  return nn::classify_lengths(lengths(forward(images)), scores);
+}
+
+std::int64_t QuantizedGraph::weight_bits() const {
+  std::int64_t bits = 0;
+  for (const auto& op : ops_) bits += op.weight_bits();
+  return bits;
+}
+
+}  // namespace qcaps::qengine

@@ -1,0 +1,136 @@
+// Generic quantized-graph executor: compile any supported nn::Network plus a
+// calibrated core::NetworkQuantSpec into a flat list of integer ops, then run
+// batched [B, ...] forwards end-to-end in fixed-point arithmetic.
+//
+// This is the reusable layer underneath the per-family deployment classes
+// (QuantizedShallowCaps, QuantizedDeepCaps): instead of a hand-rolled layer
+// sequence per architecture, the compiler walks the trained network once,
+// quantizes every weight into a QTensor (folding eval-mode batch-norm into
+// the preceding convolution), builds the persistent packed-operand caches the
+// qgemm backend consumes, and emits QuantizedOp nodes that the interpreter
+// executes with the operators of src/qengine. A compiled graph is a value
+// type: copies share nothing and carry the packed weight caches, which is
+// exactly what the serving worker-pool replication wants.
+//
+// Supported layers: Conv2dLayer, ReluLayer, PrimaryCapsLayer, FCCapsLayer,
+// FlattenCapsLayer, ConvCapsLayer, RoutedConvCapsLayer, and CapsBlockLayer
+// (expanded into its four convolutions plus a raw fixed-point residual add)
+// — i.e. both CapsNet families of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/quant_spec.hpp"
+#include "nn/batch_norm.hpp"
+#include "qengine/qengine.hpp"
+
+namespace qcaps::qengine {
+
+enum class QOpKind {
+  kConv2d,         ///< integer conv + fused bias (+ packed-weight cache)
+  kRelu,           ///< max(0, x) on raw values
+  kRescale,        ///< format change (inter-layer width adjustment)
+  kPrimaryCaps,    ///< conv -> channel-grouped capsule list -> squash
+  kVoteTransform,  ///< u [B,Nin,Din] * W -> j-major votes [B,Nout,Nin,Dout]
+  kDynamicRouting, ///< votes -> routed capsules [B,Nout,Dout]
+  kConvCaps,       ///< conv (BN folded) -> per-capsule channel squash
+  kConvCaps3d,     ///< per-type vote convs -> j-major votes -> routing
+  kResidualAdd,    ///< saturating raw add of two same-format values
+  kFlatten,        ///< [B,T*D,H,W] capsule fmap -> [B,T*H*W,D] capsule list
+};
+
+/// One node of the compiled graph. Ops form a flat SSA-like list: node i
+/// produces value i; `input` (and `input2` for the residual add) name the
+/// consumed value indices, with -1 meaning the quantized network input.
+struct QuantizedOp {
+  QOpKind kind{};
+  int input = -1;
+  int input2 = -1;
+  std::string source;  ///< originating layer name (diagnostics)
+
+  // Weights (quantized at compile time) and their packed qgemm caches.
+  QTensor weight, bias;
+  QGemmOperandCache wcache;
+  std::vector<QTensor> type_weights;           ///< kConvCaps3d: per input type
+  std::vector<QGemmOperandCache> type_caches;  ///< kConvCaps3d
+
+  std::int64_t stride = 1, pad = 0;
+
+  fixed::FixedFormat out_fmt{1, 15};  ///< format of the produced value
+  fixed::FixedFormat mid_fmt{1, 15};  ///< wide pre-squash format (caps convs)
+  fixed::FixedFormat dr_fmt{1, 15};   ///< routing width (QDR)
+  int iterations = 0;                 ///< routing iterations
+
+  std::int64_t caps_types = 0, caps_dim = 0;  ///< kPrimaryCaps / kFlatten
+  std::int64_t in_types = 0, in_dim = 0;      ///< caps convolutions
+  std::int64_t out_types = 0, out_dim = 0;
+
+  /// Storage cost of this node's quantized parameters.
+  std::int64_t weight_bits() const;
+};
+
+class QuantizedGraph {
+ public:
+  QuantizedGraph() = default;
+
+  /// Compile `net` (trained, eval-ready) under `spec`. The spec must cover
+  /// net's weighted layers (core::check_spec_covers); integer bits should
+  /// already be calibrated (core::Evaluator::calibrate_spec). Weights are
+  /// quantized with spec.scheme; execution rescales round-to-nearest, like
+  /// the hand-rolled deployments before it. Eval-mode batch-norm is folded
+  /// into the preceding convolution's weights and bias before quantization;
+  /// folded weights may exceed the spec's weight range, so their integer
+  /// bits widen just enough to represent the folded values (fractional
+  /// widths — the searched quantity — are never touched).
+  static QuantizedGraph compile(nn::Network& net,
+                                const core::NetworkQuantSpec& spec);
+
+  /// Integer forward: images [B, C, H, W] in [0, 1] -> class capsules
+  /// [B, Ncls, D] in the final activation format.
+  QTensor forward(const tensor::Tensor& images) const;
+
+  /// Batched argmax-of-length classification (see Network::predict_batch).
+  /// Integer arithmetic is order-exact, so the result is bit-identical to B
+  /// separate calls.
+  std::vector<int> predict_batch(const tensor::Tensor& images,
+                                 std::vector<float>* scores = nullptr) const;
+
+  /// Total bits of the deployed weights (storage check).
+  std::int64_t weight_bits() const;
+
+  const std::vector<QuantizedOp>& ops() const { return ops_; }
+  fixed::FixedFormat input_format() const { return input_fmt_; }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<QuantizedOp> ops_;
+  fixed::FixedFormat input_fmt_{1, 15};
+};
+
+// ---- standalone op implementations ----------------------------------------
+// Exposed so tests can exercise the new integer capabilities directly.
+
+/// Per-capsule squash of a channel-grouped feature map [B, T*D, H, W] (each
+/// (b, t, y, x) vector of length D squashed via the SquashUnit datapath).
+QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
+                        fixed::FixedFormat out_fmt);
+
+/// Saturating raw addition of two same-shape, same-format tensors — the
+/// CapsBlock residual connection in fixed point. (Both operands sit on the
+/// same grid, so the sum is on-grid; only the range clip can act.)
+QTensor residual_add(const QTensor& a, const QTensor& b);
+
+/// Fold eval-mode batch-norm into conv weights/bias:
+///   w'[f,..] = w[f,..] * gamma_f / sqrt(var_f + eps)
+///   b'[f]    = (b[f] - mean_f) * gamma_f / sqrt(var_f + eps) + beta_f
+/// `bias` may be empty (treated as zeros). Returns {w', b'} in FP32.
+struct FoldedConv {
+  tensor::Tensor weight;
+  tensor::Tensor bias;
+};
+FoldedConv fold_batch_norm(const tensor::Tensor& weight,
+                           const tensor::Tensor& bias,
+                           const nn::BatchNorm2d& bn);
+
+}  // namespace qcaps::qengine

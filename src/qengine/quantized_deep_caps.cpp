@@ -1,0 +1,29 @@
+#include "qengine/quantized_deep_caps.hpp"
+
+#include "common/error.hpp"
+#include "nn/conv2d_layer.hpp"
+#include "nn/conv_caps.hpp"
+#include "nn/fc_caps.hpp"
+#include "nn/network.hpp"
+
+namespace qcaps::qengine {
+
+QuantizedDeepCaps::QuantizedDeepCaps(nn::Network& net,
+                                     const core::NetworkQuantSpec& spec) {
+  const auto widx = net.weighted_layers();
+  QCAPS_CHECK_MSG(widx.size() == 6 && spec.layers.size() == 6,
+                  "QuantizedDeepCaps expects the 6-unit DeepCaps "
+                  "(L1, B2..B5, L6)");
+  bool blocks_ok = true;
+  for (std::size_t i = 1; i <= 4; ++i)
+    blocks_ok = blocks_ok && dynamic_cast<nn::CapsBlockLayer*>(
+                                 &net.layer(widx[i])) != nullptr;
+  QCAPS_CHECK_MSG(
+      dynamic_cast<nn::Conv2dLayer*>(&net.layer(widx[0])) != nullptr &&
+          blocks_ok &&
+          dynamic_cast<nn::FCCapsLayer*>(&net.layer(widx[5])) != nullptr,
+      "network layout is not DeepCaps");
+  graph_ = QuantizedGraph::compile(net, spec);
+}
+
+}  // namespace qcaps::qengine

@@ -1,0 +1,58 @@
+// Integer-only deployment of a trained DeepCaps under a Q-CapsNets spec —
+// the second model family of the paper (Fig. 12), on the same quantized-graph
+// executor the ShallowCaps deployment runs.
+//
+// The constructor verifies the DeepCaps layout (L1 conv, four CapsBlocks,
+// capsule flatten, L6 FCCaps) and compiles it into integer ops: eval-mode
+// batch-norm folds into the block convolutions' weights, the ConvCaps3D skip
+// runs per-type integer vote convolutions scattered straight into the j-major
+// routing layout, and the residual connections execute as saturating raw
+// adds. Each of the six spec entries (L1, B2..B5, L6) governs every
+// convolution inside its unit — the per-block quantization granularity of
+// the paper.
+#pragma once
+
+#include <vector>
+
+#include "core/quant_spec.hpp"
+#include "qengine/qgraph.hpp"
+
+namespace qcaps::qengine {
+
+class QuantizedDeepCaps {
+ public:
+  /// `net` must be the DeepCaps layout built by build_deep_caps(); `spec`
+  /// must cover its six weighted units (L1, B2..B5, L6), with integer bits
+  /// already calibrated (core::Evaluator::calibrate_spec).
+  QuantizedDeepCaps(nn::Network& net, const core::NetworkQuantSpec& spec);
+
+  /// Integer forward pass: images [B, C, H, W] in [0, 1] -> class capsules
+  /// [B, Ncls, D] (in the L6 activation format).
+  QTensor forward(const tensor::Tensor& images) const {
+    return graph_.forward(images);
+  }
+
+  /// Argmax-of-length classification.
+  std::vector<int> predict(const tensor::Tensor& images) const {
+    return predict_batch(images);
+  }
+
+  /// Batched classification for the inference server. Integer arithmetic is
+  /// order-exact, so results are bit-identical to B separate predict()
+  /// calls. With `scores`, the winning capsule length is written per sample.
+  std::vector<int> predict_batch(const tensor::Tensor& images,
+                                 std::vector<float>* scores = nullptr) const {
+    return graph_.predict_batch(images, scores);
+  }
+
+  /// Total weight bits of the deployed model (storage check).
+  std::int64_t weight_bits() const { return graph_.weight_bits(); }
+
+  /// The compiled executor (inspection / serving).
+  const QuantizedGraph& graph() const { return graph_; }
+
+ private:
+  QuantizedGraph graph_;
+};
+
+}  // namespace qcaps::qengine

@@ -2,10 +2,9 @@
 
 #include "common/error.hpp"
 #include "nn/conv2d_layer.hpp"
-#include "nn/network.hpp"
 #include "nn/fc_caps.hpp"
+#include "nn/network.hpp"
 #include "nn/primary_caps.hpp"
-#include "tensor/ops.hpp"
 
 namespace qcaps::qengine {
 
@@ -19,103 +18,7 @@ QuantizedShallowCaps::QuantizedShallowCaps(nn::Network& net,
   auto* digit = dynamic_cast<nn::FCCapsLayer*>(&net.layer(widx[2]));
   QCAPS_CHECK_MSG(conv != nullptr && primary != nullptr && digit != nullptr,
                   "network layout is not ShallowCaps");
-  const auto& l1 = spec.layers[0];
-  const auto& l2 = spec.layers[1];
-  const auto& l3 = spec.layers[2];
-  const auto scheme = spec.scheme;
-
-  // Inputs are [0, 1] pixels: reuse L1's activation format for them.
-  act1_ = fixed::FixedFormat(l1.qa_int, l1.qa_frac);
-  input_fmt_ = act1_;
-  w1_ = QTensor::from_float(conv->master_weight(),
-                            fixed::FixedFormat(l1.qw_int, l1.qw_frac), scheme);
-  b1_ = QTensor::from_float(conv->master_bias(),
-                            fixed::FixedFormat(l1.qw_int, l1.qw_frac), scheme);
-  w1_cache_ = make_operand_cache(w1_);
-  stride1_ = conv->stride();
-  pad1_ = conv->pad();
-
-  act2_ = fixed::FixedFormat(l2.qa_int, l2.qa_frac);
-  w2_ = QTensor::from_float(primary->master_weight(),
-                            fixed::FixedFormat(l2.qw_int, l2.qw_frac), scheme);
-  b2_ = QTensor::from_float(primary->master_bias(),
-                            fixed::FixedFormat(l2.qw_int, l2.qw_frac), scheme);
-  w2_cache_ = make_operand_cache(w2_);
-  stride2_ = primary->stride();
-  caps_types_ = primary->caps_types();
-  caps_dim_ = primary->caps_dim();
-
-  act3_ = fixed::FixedFormat(l3.qa_int, l3.qa_frac);
-  dr3_ = fixed::FixedFormat(l3.qdr_int,
-                            l3.qdr_frac >= 0 ? l3.qdr_frac : l3.qa_frac);
-  w3_ = QTensor::from_float(digit->master_weight(),
-                            fixed::FixedFormat(l3.qw_int, l3.qw_frac), scheme);
-  w3_cache_ = make_operand_cache(w3_);
-  num_in_ = digit->num_in();
-  dim_in_ = digit->dim_in();
-  num_out_ = digit->num_out();
-  dim_out_ = digit->dim_out();
-  iterations_ = digit->iterations();
-}
-
-QTensor QuantizedShallowCaps::forward(const tensor::Tensor& images) const {
-  QCAPS_CHECK_MSG(images.ndim() == 4, "expected [B, C, H, W] images");
-  const std::int64_t b = images.dim(0);
-
-  // L1: conv + ReLU (packed-GEMM fast path, weights pre-packed at build).
-  const QTensor x0 = QTensor::from_float(images, input_fmt_);
-  QTensor x1 = conv2d(x0, w1_, b1_, stride1_, pad1_, act1_,
-                      fixed::RoundingScheme::kRoundToNearest, &w1_cache_);
-  relu(x1);
-
-  // L2: primary caps = conv -> capsule grouping -> squash.
-  //
-  // The conv result feeds the squash, whose inputs can be far outside the
-  // activation range (the activation format is calibrated on the bounded
-  // post-squash capsules). Like the fake-quant reference — which quantizes
-  // only the layer output — the pre-squash values stay in a wide
-  // accumulator-like format; act2 applies after the squash.
-  const fixed::FixedFormat pre_squash(8, std::min(20, act2_.qf + 8));
-  QTensor s2 = conv2d(x1, w2_, b2_, stride2_, 0, pre_squash,
-                      fixed::RoundingScheme::kRoundToNearest, &w2_cache_);
-  // [B, T*D, H', W'] -> capsule list [B, T*H'*W', D].
-  const std::int64_t oh = s2.dim(2), ow = s2.dim(3);
-  const std::int64_t plane = oh * ow;
-  QTensor caps({b, caps_types_ * plane, caps_dim_}, pre_squash);
-  for (std::int64_t bi = 0; bi < b; ++bi)
-    for (std::int64_t t = 0; t < caps_types_; ++t)
-      for (std::int64_t dd = 0; dd < caps_dim_; ++dd)
-        for (std::int64_t p = 0; p < plane; ++p)
-          caps.raw[static_cast<std::size_t>(
-              ((bi * caps_types_ + t) * plane + p) * caps_dim_ + dd)] =
-              s2.raw[static_cast<std::size_t>(
-                  ((bi * caps_types_ * caps_dim_) + t * caps_dim_ + dd) * plane +
-                  p)];
-  QTensor u = squash_last(caps, act2_);
-
-  // L3: votes û = W u on the packed integer GEMM backend (one strided
-  // qgemm_batch over the input types), then routing. The requantization into
-  // act3 is bit-identical to the per-element rescale_raw the scalar path
-  // applies.
-  QCAPS_CHECK(u.dim(1) == num_in_ && u.dim(2) == dim_in_);
-  const QTensor votes = vote_transform(
-      u, w3_, act3_, fixed::RoundingScheme::kRoundToNearest, &w3_cache_);
-  return dynamic_routing(votes, iterations_, act3_, dr3_);
-}
-
-std::vector<int> QuantizedShallowCaps::predict(const tensor::Tensor& images) const {
-  return predict_batch(images);
-}
-
-std::vector<int> QuantizedShallowCaps::predict_batch(
-    const tensor::Tensor& images, std::vector<float>* scores) const {
-  return nn::classify_lengths(lengths(forward(images)), scores);
-}
-
-std::int64_t QuantizedShallowCaps::weight_bits() const {
-  return w1_.numel() * w1_.fmt.wordlength() + b1_.numel() * b1_.fmt.wordlength() +
-         w2_.numel() * w2_.fmt.wordlength() + b2_.numel() * b2_.fmt.wordlength() +
-         w3_.numel() * w3_.fmt.wordlength();
+  graph_ = QuantizedGraph::compile(net, spec);
 }
 
 }  // namespace qcaps::qengine

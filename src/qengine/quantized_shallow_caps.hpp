@@ -1,17 +1,18 @@
 // Integer-only deployment of a trained ShallowCaps under a Q-CapsNets spec.
 //
-// Built from the trained FP32 network and a (calibrated) NetworkQuantSpec,
-// this re-expresses every weight as raw integers and executes the complete
-// forward pass — conv, ReLU, primary capsules, squash, dynamic routing —
-// with the integer operators of src/qengine. It is the "deployment" answer
-// to the framework's "search" question, and the network-scale validation
-// that the fake-quantized accuracy numbers are achievable on real hardware.
+// A thin architecture-checked wrapper over the generic quantized-graph
+// executor (qengine/qgraph.hpp): the constructor verifies the 3-layer
+// ShallowCaps layout, then compiles the network + spec into a QuantizedOp
+// graph that executes the complete forward pass — conv, ReLU, primary
+// capsules, squash, dynamic routing — in integer arithmetic. The compiled
+// graph reproduces the pre-refactor hand-rolled implementation raw-for-raw
+// (locked by tests/test_qgraph.cpp).
 #pragma once
 
 #include <vector>
 
 #include "core/quant_spec.hpp"
-#include "qengine/qengine.hpp"
+#include "qengine/qgraph.hpp"
 
 namespace qcaps::qengine {
 
@@ -24,10 +25,14 @@ class QuantizedShallowCaps {
 
   /// Integer forward pass: images [B, C, H, W] in [0, 1] -> class capsules
   /// [B, Ncls, D] (in the L3 activation format).
-  QTensor forward(const tensor::Tensor& images) const;
+  QTensor forward(const tensor::Tensor& images) const {
+    return graph_.forward(images);
+  }
 
   /// Argmax-of-length classification.
-  std::vector<int> predict(const tensor::Tensor& images) const;
+  std::vector<int> predict(const tensor::Tensor& images) const {
+    return predict_batch(images);
+  }
 
   /// Batched classification for the inference server: one integer forward
   /// over the stacked [B, C, H, W] images (the L3 votes run as a single
@@ -36,30 +41,18 @@ class QuantizedShallowCaps {
   /// order-exact, so results are bit-identical to B separate predict()
   /// calls. With `scores`, the winning capsule length is written per sample.
   std::vector<int> predict_batch(const tensor::Tensor& images,
-                                 std::vector<float>* scores = nullptr) const;
+                                 std::vector<float>* scores = nullptr) const {
+    return graph_.predict_batch(images, scores);
+  }
 
   /// Total weight bits of the deployed model (storage check).
-  std::int64_t weight_bits() const;
+  std::int64_t weight_bits() const { return graph_.weight_bits(); }
+
+  /// The compiled executor (inspection / serving).
+  const QuantizedGraph& graph() const { return graph_; }
 
  private:
-  // L1 conv
-  QTensor w1_, b1_;
-  QGemmOperandCache w1_cache_;  // packed once; conv2d skips the re-pack
-  std::int64_t stride1_, pad1_;
-  fixed::FixedFormat act1_;
-  // L2 primary caps
-  QTensor w2_, b2_;
-  QGemmOperandCache w2_cache_;
-  std::int64_t stride2_;
-  std::int64_t caps_types_, caps_dim_;
-  fixed::FixedFormat act2_;
-  // L3 digit caps
-  QTensor w3_;  // [Nin, Nout, Dout, Din]
-  QGemmOperandCache w3_cache_;  // packed once; forward() skips the re-pack
-  std::int64_t num_in_, dim_in_, num_out_, dim_out_;
-  int iterations_;
-  fixed::FixedFormat act3_, dr3_;
-  fixed::FixedFormat input_fmt_;
+  QuantizedGraph graph_;
 };
 
 }  // namespace qcaps::qengine

@@ -37,10 +37,11 @@ std::unique_ptr<ModelBackend> NetworkBackend::clone() const {
 
 QuantizedBackend::QuantizedBackend(std::string name, nn::Network& net,
                                    const core::NetworkQuantSpec& spec)
-    : name_(std::move(name)), model_(net, spec) {}
+    : name_(std::move(name)),
+      model_(qengine::QuantizedGraph::compile(net, spec)) {}
 
 QuantizedBackend::QuantizedBackend(std::string name,
-                                   qengine::QuantizedShallowCaps model)
+                                   qengine::QuantizedGraph model)
     : name_(std::move(name)), model_(std::move(model)) {}
 
 std::vector<Prediction> QuantizedBackend::predict_batch(
@@ -51,10 +52,9 @@ std::vector<Prediction> QuantizedBackend::predict_batch(
 }
 
 std::unique_ptr<ModelBackend> QuantizedBackend::clone() const {
-  // QuantizedShallowCaps is a value type; the copy carries the packed
-  // weight cache, so replicas skip the range scan and re-pack entirely.
-  return std::unique_ptr<ModelBackend>(
-      new QuantizedBackend(name_, model_));
+  // QuantizedGraph is a value type; the copy carries the packed weight
+  // caches, so replicas skip the range scan and re-pack entirely.
+  return std::make_unique<QuantizedBackend>(name_, model_);
 }
 
 }  // namespace qcaps::serve

@@ -8,10 +8,13 @@
 //                         network whose output is [B, Ncls, D]). Replicas are
 //                         produced by a user-supplied replicator so the
 //                         backend stays architecture-agnostic.
-//   * QuantizedBackend  — the integer-only QuantizedShallowCaps deployment.
-//                         A value type: replicas are plain copies, and each
-//                         carries the packed qgemm weight cache so no request
-//                         ever re-packs weights.
+//   * QuantizedBackend  — an integer-only deployment on the quantized-graph
+//                         executor: any network the graph compiler supports
+//                         (ShallowCaps AND DeepCaps) serves int8/int16
+//                         through the same backend. A value type: replicas
+//                         are plain copies, and each carries the packed
+//                         qgemm weight caches so no request ever re-packs
+//                         weights.
 #pragma once
 
 #include <functional>
@@ -20,7 +23,7 @@
 #include <vector>
 
 #include "nn/network.hpp"
-#include "qengine/quantized_shallow_caps.hpp"
+#include "qengine/qgraph.hpp"
 #include "serve/request_queue.hpp"
 
 namespace qcaps::serve {
@@ -58,23 +61,26 @@ class NetworkBackend final : public ModelBackend {
   std::unique_ptr<nn::Network> net_;
 };
 
-/// Integer-only ShallowCaps backend (the Q-CapsNets deployment target).
+/// Integer-only backend (the Q-CapsNets deployment target): compiles the
+/// trained network + calibrated spec into a quantized-graph executor, so one
+/// backend class serves every supported model family.
 class QuantizedBackend final : public ModelBackend {
  public:
-  /// See QuantizedShallowCaps: `net` is the trained ShallowCaps layout,
-  /// `spec` the calibrated quantization spec.
+  /// `net` is any trained network the quantized-graph compiler supports
+  /// (ShallowCaps, DeepCaps); `spec` the calibrated quantization spec.
   QuantizedBackend(std::string name, nn::Network& net,
                    const core::NetworkQuantSpec& spec);
+
+  /// Wrap an already-compiled executor (e.g. QuantizedDeepCaps::graph()).
+  QuantizedBackend(std::string name, qengine::QuantizedGraph model);
 
   const std::string& name() const override { return name_; }
   std::vector<Prediction> predict_batch(const tensor::Tensor& images) override;
   std::unique_ptr<ModelBackend> clone() const override;
 
  private:
-  QuantizedBackend(std::string name, qengine::QuantizedShallowCaps model);
-
   std::string name_;
-  qengine::QuantizedShallowCaps model_;
+  qengine::QuantizedGraph model_;
 };
 
 }  // namespace qcaps::serve

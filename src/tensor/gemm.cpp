@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #ifdef _OPENMP
@@ -162,22 +163,97 @@ __attribute__((target("avx2,fma"))) void kernel_avx2(std::int64_t kc,
   _mm256_storeu_ps(acc + 5 * NR, r5a);
   _mm256_storeu_ps(acc + 5 * NR + 8, r5b);
 }
+
+__attribute__((target("avx512f"))) void kernel_avx512(std::int64_t kc,
+                                                      const float* ap,
+                                                      const float* bp,
+                                                      float* acc) {
+  // The 16-wide tile row is exactly one zmm vector: 6 accumulators, one B
+  // load and 6 broadcast-FMAs per k-step — half the vector ops of the AVX2
+  // kernel. Per output lane the FMA sequence is identical to the AVX2 tier,
+  // so the two produce bit-identical results (locked by test_gemm).
+  __m512 r0 = _mm512_setzero_ps();
+  __m512 r1 = _mm512_setzero_ps();
+  __m512 r2 = _mm512_setzero_ps();
+  __m512 r3 = _mm512_setzero_ps();
+  __m512 r4 = _mm512_setzero_ps();
+  __m512 r5 = _mm512_setzero_ps();
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * NR);
+    const float* a = ap + p * MR;
+    r0 = _mm512_fmadd_ps(_mm512_set1_ps(a[0]), b0, r0);
+    r1 = _mm512_fmadd_ps(_mm512_set1_ps(a[1]), b0, r1);
+    r2 = _mm512_fmadd_ps(_mm512_set1_ps(a[2]), b0, r2);
+    r3 = _mm512_fmadd_ps(_mm512_set1_ps(a[3]), b0, r3);
+    r4 = _mm512_fmadd_ps(_mm512_set1_ps(a[4]), b0, r4);
+    r5 = _mm512_fmadd_ps(_mm512_set1_ps(a[5]), b0, r5);
+  }
+  _mm512_storeu_ps(acc + 0 * NR, r0);
+  _mm512_storeu_ps(acc + 1 * NR, r1);
+  _mm512_storeu_ps(acc + 2 * NR, r2);
+  _mm512_storeu_ps(acc + 3 * NR, r3);
+  _mm512_storeu_ps(acc + 4 * NR, r4);
+  _mm512_storeu_ps(acc + 5 * NR, r5);
+}
 #endif  // QCAPS_GEMM_X86_NATIVE
 
 using KernelFn = void (*)(std::int64_t, const float*, const float*, float*);
 
-KernelFn pick_kernel() {
+struct KernelChoice {
+  KernelFn fn;
+  GemmKernel tier;
+};
+
+bool tier_supported(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kScalar:
+      return true;
 #ifdef QCAPS_GEMM_X86_NATIVE
-  const char* env = std::getenv("QCAPS_GEMM_NATIVE");
-  const bool env_off = env && env[0] == '0' && env[1] == '\0';
-  if (!env_off && __builtin_cpu_supports("avx2") &&
-      __builtin_cpu_supports("fma"))
-    return kernel_avx2;
+    case GemmKernel::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case GemmKernel::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+#else
+    case GemmKernel::kAvx2:
+    case GemmKernel::kAvx512:
+      return false;
 #endif
-  return kernel_scalar;
+  }
+  return false;
 }
 
-const KernelFn g_kernel = pick_kernel();
+KernelChoice make_choice(GemmKernel k) {
+  switch (k) {
+#ifdef QCAPS_GEMM_X86_NATIVE
+    case GemmKernel::kAvx512:
+      return {kernel_avx512, GemmKernel::kAvx512};
+    case GemmKernel::kAvx2:
+      return {kernel_avx2, GemmKernel::kAvx2};
+#else
+    case GemmKernel::kAvx512:
+    case GemmKernel::kAvx2:
+#endif
+    case GemmKernel::kScalar:
+      break;
+  }
+  return {kernel_scalar, GemmKernel::kScalar};
+}
+
+KernelChoice pick_default() {
+  GemmKernel best = GemmKernel::kScalar;
+  const char* env = std::getenv("QCAPS_GEMM_NATIVE");
+  const bool env_off = env && std::strcmp(env, "0") == 0;
+  const bool cap_avx2 = env && std::strcmp(env, "avx2") == 0;
+  if (!env_off) {
+    if (!cap_avx2 && tier_supported(GemmKernel::kAvx512))
+      best = GemmKernel::kAvx512;
+    else if (tier_supported(GemmKernel::kAvx2))
+      best = GemmKernel::kAvx2;
+  }
+  return make_choice(best);
+}
+
+KernelChoice g_choice = pick_default();
 
 void write_tile(const float* t, float* c, std::int64_t ldc, std::int64_t mr,
                 std::int64_t nr, bool accumulate) {
@@ -209,6 +285,7 @@ void gemm_serial(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
   Scratch& s = scratch();
   float* apack = s.a.data();
   float* bpack = s.b.data();
+  const KernelFn kernel = g_choice.fn;
   float tile[MR * NR];
   for (std::int64_t jc = 0; jc < n; jc += NC) {
     const std::int64_t nc = std::min(NC, n - jc);
@@ -224,7 +301,7 @@ void gemm_serial(Trans ta, std::int64_t m, std::int64_t n, std::int64_t k,
           const float* bstrip = bpack + (jr / NR) * (kc * NR);
           for (std::int64_t ir = 0; ir < mc; ir += MR) {
             const std::int64_t mr = std::min(MR, mc - ir);
-            g_kernel(kc, apack + (ir / MR) * (kc * MR), bstrip, tile);
+            kernel(kc, apack + (ir / MR) * (kc * MR), bstrip, tile);
             write_tile(tile, c + (ic + ir) * ldc + jc + jr, ldc, mr, nr,
                        acc_c);
           }
@@ -352,12 +429,25 @@ void gemm_pack_b(std::int64_t m, std::int64_t n, std::int64_t k,
   gemm_serial(Trans::kN, m, n, k, a, lda, pack_b, c, ldc, accumulate);
 }
 
-bool gemm_native_active() {
-#ifdef QCAPS_GEMM_X86_NATIVE
-  return g_kernel == kernel_avx2;
-#else
-  return false;
-#endif
+GemmKernel gemm_kernel() { return g_choice.tier; }
+
+const char* gemm_kernel_name() {
+  switch (g_choice.tier) {
+    case GemmKernel::kScalar: return "scalar";
+    case GemmKernel::kAvx2: return "avx2";
+    case GemmKernel::kAvx512: return "avx512";
+  }
+  return "?";
 }
+
+bool gemm_native_active() { return g_choice.tier != GemmKernel::kScalar; }
+
+bool gemm_force_kernel(GemmKernel k) {
+  if (!tier_supported(k)) return false;
+  g_choice = make_choice(k);
+  return true;
+}
+
+void gemm_reset_kernel() { g_choice = pick_default(); }
 
 }  // namespace qcaps::tensor

@@ -190,6 +190,73 @@ TEST(GemmPackB, CustomProducerMatchesMaterializedB) {
   }
 }
 
+// Restores the default kernel dispatch even when an ASSERT aborts the test
+// body, so a tier-test failure cannot leak a forced tier into later tests.
+struct KernelResetGuard {
+  ~KernelResetGuard() { gemm_reset_kernel(); }
+};
+
+// Every supported microkernel tier must agree with the naive reference on
+// all edge shapes, and the AVX-512 tier must be bit-identical to AVX2 (each
+// output lane runs the same FMA sequence — see kernel_avx512).
+TEST(GemmBackend, EveryKernelTierMatchesNaive) {
+  const KernelResetGuard guard;
+  common::Rng rng(19);
+  for (const GemmKernel tier :
+       {GemmKernel::kScalar, GemmKernel::kAvx2, GemmKernel::kAvx512}) {
+    if (!gemm_force_kernel(tier)) continue;  // unsupported on this CPU/build
+    for (const Mkn& s : kShapes) {
+      const Tensor a = Tensor::randn({s.m, s.k}, rng);
+      const Tensor b = Tensor::randn({s.k, s.n}, rng);
+      Tensor c({s.m, s.n});
+      gemm_ex(Trans::kN, Trans::kN, s.m, s.n, s.k, a.data(), s.k, b.data(),
+              s.n, c.data(), s.n, false);
+      EXPECT_LT(rel_err(c, gemm_naive(a, b)), 1e-4f)
+          << "tier " << gemm_kernel_name() << " m=" << s.m << " k=" << s.k
+          << " n=" << s.n;
+    }
+  }
+}
+
+TEST(GemmBackend, Avx512TierBitIdenticalToAvx2) {
+  const KernelResetGuard guard;
+  if (!gemm_force_kernel(GemmKernel::kAvx512))
+    GTEST_SKIP() << "avx512f unavailable";
+  common::Rng rng(23);
+  const std::int64_t m = 37, k = 65, n = 51;
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c512({m, n}), c256({m, n});
+  gemm_ex(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n,
+          c512.data(), n, false);
+  ASSERT_TRUE(gemm_force_kernel(GemmKernel::kAvx2));  // implied by avx512f here
+  gemm_ex(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n,
+          c256.data(), n, false);
+  for (std::int64_t i = 0; i < c512.numel(); ++i)
+    ASSERT_EQ(c512[i], c256[i]) << "tier divergence at " << i;
+}
+
+TEST(GemmBackend, ForceKernelRejectsUnsupportedTierAndResets) {
+  const KernelResetGuard guard;
+  const GemmKernel active = gemm_kernel();
+  // Probe every tier: forcing an unsupported one must fail AND leave the
+  // active tier untouched (this is the rejection path on non-AVX-512 x86
+  // and on non-x86/QCAPS_GEMM_NATIVE=OFF builds).
+  for (const GemmKernel tier :
+       {GemmKernel::kScalar, GemmKernel::kAvx2, GemmKernel::kAvx512}) {
+    const bool forced = gemm_force_kernel(tier);
+    if (forced) {
+      EXPECT_EQ(gemm_kernel(), tier);
+      gemm_reset_kernel();
+    } else {
+      EXPECT_EQ(gemm_kernel(), active)
+          << "failed force must not change the active tier";
+    }
+  }
+  gemm_reset_kernel();
+  EXPECT_EQ(gemm_kernel(), active);
+}
+
 TEST(GemmBackend, DeterministicAcrossThreadCounts) {
 #ifdef _OPENMP
   common::Rng rng(17);
