@@ -3,6 +3,12 @@
 // integer deployment, fire concurrent clients at it, and print per-model
 // accuracy, latency and batching statistics.
 //
+// Clients retry retryable failures, so the demo doubles as a fault-injection
+// harness, e.g.:
+//   QCAPS_FAILPOINTS="serve.worker.batch=throw:1" ./serving_demo
+// kills one worker mid-batch; the pool restarts it, the affected clients
+// retry, and the run completes (see docs/robustness.md).
+//
 // Usage: serving_demo [--train=512] [--test=128] [--epochs=1] [--requests=64]
 //                     [--clients=4] [--max-batch=8] [--frac=6]
 #include <atomic>
@@ -61,11 +67,14 @@ int main(int argc, char** argv) {
   const int num_clients = args.get_int("clients", 4);
   for (const char* model : {"fp32", "int8"}) {
     std::atomic<int> correct{0};
+    std::atomic<int> retries{0};
     std::atomic<double> lat_sum{0.0};
     std::vector<std::thread> clients;
     for (int c = 0; c < num_clients; ++c) {
       clients.emplace_back([&, c] {
-        serve::InferenceClient client(server, model);
+        serve::ClientConfig ccfg;
+        ccfg.max_retries = 3;
+        serve::InferenceClient client(server, model, ccfg);
         for (int i = c; i < requests; i += num_clients) {
           const std::int64_t idx = i % split.test.size();
           const serve::ClientResult res =
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
           if (res.prediction.label ==
               split.test.labels[static_cast<std::size_t>(idx)])
             correct.fetch_add(1);
+          retries.fetch_add(res.retries);
           double cur = lat_sum.load();
           while (!lat_sum.compare_exchange_weak(cur, cur + res.latency_ms)) {
           }
@@ -83,11 +93,12 @@ int main(int argc, char** argv) {
     const serve::ModelStats stats = server.stats(model);
     std::printf(
         "%-5s  accuracy %5.1f%%  mean latency %6.2f ms  batches %llu  "
-        "mean batch %.2f  max batch %lld\n",
+        "mean batch %.2f  max batch %lld  retries %d  restarts %llu\n",
         model, 100.0 * correct.load() / requests,
         lat_sum.load() / requests,
         static_cast<unsigned long long>(stats.batches), stats.mean_batch,
-        static_cast<long long>(stats.max_batch_seen));
+        static_cast<long long>(stats.max_batch_seen), retries.load(),
+        static_cast<unsigned long long>(stats.worker_restarts));
   }
   server.shutdown();
   return 0;

@@ -1,0 +1,179 @@
+#include "common/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace qcaps::common {
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct ArmedSite {
+  FailpointSpec spec;
+  int remaining_skip = 0;
+  int remaining_hits = -1;  // -1 = unlimited
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, ArmedSite> armed;
+  std::map<std::string, std::uint64_t> hits;  // lifetime, survives disarm
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // never destroyed: sites may be
+  return *r;                          // evaluated during static teardown
+}
+
+// Parse one env entry "site=action[:arg][:hits[:skip]]".
+FailpointSpec parse_spec(const std::string& site, const std::string& rhs) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= rhs.size()) {
+    const std::size_t colon = rhs.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(rhs.substr(start));
+      break;
+    }
+    parts.push_back(rhs.substr(start, colon - start));
+    start = colon + 1;
+  }
+  QCAPS_CHECK_MSG(!parts.empty() && !parts[0].empty(),
+                  "QCAPS_FAILPOINTS: empty action for site '" << site << "'");
+  const auto to_int = [&](const std::string& s) {
+    QCAPS_CHECK_MSG(!s.empty() && s.find_first_not_of("-0123456789") ==
+                                      std::string::npos,
+                    "QCAPS_FAILPOINTS: bad integer '" << s << "' for site '"
+                                                      << site << "'");
+    return std::atoi(s.c_str());
+  };
+  FailpointSpec spec;
+  std::size_t next = 1;
+  if (parts[0] == "throw") {
+    spec.action = FailpointAction::kThrow;
+  } else if (parts[0] == "sleep") {
+    spec.action = FailpointAction::kSleep;
+    QCAPS_CHECK_MSG(parts.size() >= 2,
+                    "QCAPS_FAILPOINTS: sleep needs a duration for site '"
+                        << site << "'");
+    spec.delay_ms = to_int(parts[next++]);
+  } else {
+    QCAPS_CHECK_MSG(false, "QCAPS_FAILPOINTS: unknown action '" << parts[0]
+                               << "' for site '" << site << "'");
+  }
+  if (next < parts.size()) spec.max_hits = to_int(parts[next++]);
+  if (next < parts.size()) spec.skip = to_int(parts[next++]);
+  QCAPS_CHECK_MSG(next == parts.size(),
+                  "QCAPS_FAILPOINTS: trailing fields for site '" << site
+                                                                 << "'");
+  return spec;
+}
+
+// One-time environment arming: runs when the library is loaded, so release
+// binaries honour QCAPS_FAILPOINTS without any code changes.
+const bool g_env_armed = [] {
+  failpoints_arm_from_env(std::getenv("QCAPS_FAILPOINTS"));
+  return true;
+}();
+
+}  // namespace
+
+void failpoint_eval(const char* site) {
+  FailpointAction action{};
+  int delay_ms = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    const auto it = r.armed.find(site);
+    if (it == r.armed.end()) return;
+    ArmedSite& a = it->second;
+    if (a.remaining_skip > 0) {
+      --a.remaining_skip;
+      return;
+    }
+    action = a.spec.action;
+    delay_ms = a.spec.delay_ms;
+    ++r.hits[site];
+    if (a.remaining_hits > 0 && --a.remaining_hits == 0) {
+      r.armed.erase(it);
+      detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  switch (action) {
+    case FailpointAction::kThrow:
+      throw FailpointError(site);
+    case FailpointAction::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      break;
+  }
+}
+
+void failpoint_arm(const std::string& site, const FailpointSpec& spec) {
+  QCAPS_CHECK_MSG(!site.empty(), "failpoint_arm: empty site name");
+  QCAPS_CHECK_MSG(spec.max_hits != 0 && spec.delay_ms >= 0 && spec.skip >= 0,
+                  "failpoint_arm: invalid spec for site '" << site << "'");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ArmedSite armed;
+  armed.spec = spec;
+  armed.remaining_skip = spec.skip;
+  armed.remaining_hits = spec.max_hits;
+  const bool fresh = r.armed.emplace(site, armed).second;
+  if (!fresh)
+    r.armed[site] = armed;
+  else
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void failpoint_disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.armed.erase(site) > 0)
+    detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void failpoint_disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  detail::g_armed_sites.fetch_sub(static_cast<int>(r.armed.size()),
+                                  std::memory_order_relaxed);
+  r.armed.clear();
+}
+
+std::uint64_t failpoint_hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  const auto it = r.hits.find(site);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+void failpoints_arm_from_env(const char* env) {
+  if (env == nullptr || *env == '\0') return;
+  const std::string all(env);
+  std::size_t start = 0;
+  while (start < all.size()) {
+    std::size_t end = all.find(';', start);
+    if (end == std::string::npos) end = all.size();
+    const std::string entry = all.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    QCAPS_CHECK_MSG(eq != std::string::npos && eq > 0,
+                    "QCAPS_FAILPOINTS: entry '" << entry
+                                                << "' is not site=action");
+    const std::string site = entry.substr(0, eq);
+    failpoint_arm(site, parse_spec(site, entry.substr(eq + 1)));
+    QCAPS_WARN << "failpoint armed from environment: " << entry;
+  }
+}
+
+}  // namespace qcaps::common

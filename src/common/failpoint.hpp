@@ -1,0 +1,93 @@
+// Failpoint framework — deterministic fault injection for robustness tests.
+//
+// A failpoint is a named site in production code (QCAPS_FAILPOINT("a.b.c"))
+// that normally does nothing. Tests (or the environment) arm a site with an
+// action — throw an error, sleep for a while — plus an optional trigger
+// budget and skip count, turning "what happens when the worker dies mid-
+// batch?" from a thought experiment into a unit test.
+//
+// Cost model: the macro compiles to one relaxed atomic load of a global
+// armed-sites counter and a predicted-not-taken branch. Only when at least
+// one site is armed anywhere in the process does evaluation take the slow
+// path (mutex + name lookup). Serving hot paths can therefore carry
+// failpoints permanently.
+//
+// Arming:
+//   * programmatic — common::failpoint_arm("serve.worker.batch",
+//                        {FailpointAction::kThrow, /*delay_ms=*/0,
+//                         /*max_hits=*/1});
+//   * environment  — QCAPS_FAILPOINTS="site=throw[:hits[:skip]];
+//                                      site2=sleep:ms[:hits[:skip]]"
+//     parsed once at process start (see failpoints_arm_from_env), so fault
+//     schedules reach release binaries without a recompile.
+//
+// A kThrow trigger raises common::FailpointError (derived from qcaps::Error)
+// carrying the site name; what that means — failed batch, crashed worker —
+// is decided by where the site sits in the code under test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace qcaps::common {
+
+/// Thrown by a site armed with FailpointAction::kThrow.
+class FailpointError : public qcaps::Error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : qcaps::Error("failpoint triggered: " + site) {}
+};
+
+enum class FailpointAction {
+  kThrow,  ///< throw FailpointError at the site
+  kSleep,  ///< stall the calling thread for delay_ms
+};
+
+struct FailpointSpec {
+  FailpointAction action = FailpointAction::kThrow;
+  int delay_ms = 0;    ///< kSleep: stall duration
+  int max_hits = -1;   ///< trigger at most this many times (-1 = unlimited);
+                       ///< the site disarms itself once exhausted
+  int skip = 0;        ///< pass through the first `skip` evaluations
+};
+
+namespace detail {
+/// Number of currently armed sites; the macro's fast-path guard.
+extern std::atomic<int> g_armed_sites;
+}  // namespace detail
+
+/// True when any failpoint is armed (the macro's cheap check).
+inline bool failpoints_armed() {
+  return detail::g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: look `site` up and apply its action if armed. Called by the
+/// macro only when failpoints_armed().
+void failpoint_eval(const char* site);
+
+/// Arm `site` with `spec` (replacing any previous arming of the same site).
+void failpoint_arm(const std::string& site, const FailpointSpec& spec);
+
+/// Disarm one site / all sites. Lifetime hit counts survive disarming.
+void failpoint_disarm(const std::string& site);
+void failpoint_disarm_all();
+
+/// Times `site` actually triggered (exhausted or disarmed sites included).
+std::uint64_t failpoint_hits(const std::string& site);
+
+/// Parse QCAPS_FAILPOINTS ("site=throw[:hits[:skip]];site=sleep:ms[:hits
+/// [:skip]]") and arm accordingly; malformed entries throw qcaps::Error.
+/// Runs automatically at static-init time; exposed for tests.
+void failpoints_arm_from_env(const char* env);
+
+}  // namespace qcaps::common
+
+/// Mark a fault-injection site. Near-zero cost until a site is armed.
+#define QCAPS_FAILPOINT(site)                          \
+  do {                                                 \
+    if (::qcaps::common::failpoints_armed()) [[unlikely]] \
+      ::qcaps::common::failpoint_eval(site);           \
+  } while (false)

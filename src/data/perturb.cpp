@@ -1,0 +1,64 @@
+#include "data/perturb.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcaps::data {
+
+namespace {
+
+void check_batch(const tensor::Tensor& batch, const char* what) {
+  QCAPS_CHECK_MSG(batch.ndim() == 4,
+                  what << " expects a [B, C, H, W] batch, got "
+                       << tensor::shape_to_string(batch.shape()));
+}
+
+float clamp01(float v) { return std::min(1.0f, std::max(0.0f, v)); }
+
+}  // namespace
+
+tensor::Tensor shift_batch(const tensor::Tensor& batch, std::int64_t dx,
+                           std::int64_t dy) {
+  check_batch(batch, "shift_batch");
+  const std::int64_t b = batch.dim(0), c = batch.dim(1), h = batch.dim(2),
+                     w = batch.dim(3);
+  tensor::Tensor out(batch.shape());  // zero-initialized
+  for (std::int64_t bi = 0; bi < b; ++bi)
+    for (std::int64_t ci = 0; ci < c; ++ci) {
+      const float* src = batch.data() + (bi * c + ci) * h * w;
+      float* dst = out.data() + (bi * c + ci) * h * w;
+      for (std::int64_t y = 0; y < h; ++y) {
+        const std::int64_t sy = y - dy;
+        if (sy < 0 || sy >= h) continue;
+        for (std::int64_t x = 0; x < w; ++x) {
+          const std::int64_t sx = x - dx;
+          if (sx < 0 || sx >= w) continue;
+          dst[y * w + x] = src[sy * w + sx];
+        }
+      }
+    }
+  return out;
+}
+
+tensor::Tensor gaussian_noise_batch(const tensor::Tensor& batch, float stddev,
+                                    common::Rng& rng) {
+  check_batch(batch, "gaussian_noise_batch");
+  QCAPS_CHECK_MSG(stddev >= 0.0f, "gaussian_noise_batch: negative stddev");
+  tensor::Tensor out(batch.shape());
+  for (std::int64_t i = 0; i < batch.numel(); ++i)
+    out[i] = clamp01(batch[i] + rng.normal(0.0f, stddev));
+  return out;
+}
+
+tensor::Tensor adjust_contrast_batch(const tensor::Tensor& batch,
+                                     float factor) {
+  check_batch(batch, "adjust_contrast_batch");
+  QCAPS_CHECK_MSG(factor >= 0.0f, "adjust_contrast_batch: negative factor");
+  tensor::Tensor out(batch.shape());
+  for (std::int64_t i = 0; i < batch.numel(); ++i)
+    out[i] = clamp01(0.5f + factor * (batch[i] - 0.5f));
+  return out;
+}
+
+}  // namespace qcaps::data

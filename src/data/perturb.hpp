@@ -1,0 +1,33 @@
+// Deterministic input perturbations for robustness workloads.
+//
+// Unlike src/data/augment.hpp (training-time augmentation with per-image
+// random parameters), these transforms apply ONE configured perturbation to
+// every image of a batch, so a sweep over severities is reproducible and the
+// fp32-vs-quantized accuracy degradation at each severity is well defined
+// (see examples/perturbation_suite.cpp). All transforms keep pixels in the
+// [0, 1] range the deployments expect.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace qcaps::data {
+
+/// Shift every image of a [B, C, H, W] batch by (dx, dy) whole pixels
+/// (positive = right/down), zero-filling the vacated border.
+tensor::Tensor shift_batch(const tensor::Tensor& batch, std::int64_t dx,
+                           std::int64_t dy);
+
+/// Add i.i.d. zero-mean gaussian noise of the given stddev to every pixel,
+/// clamping back to [0, 1]. Noise is drawn from `rng`, so a fixed seed gives
+/// the same perturbed batch every run — int8 and fp32 see identical inputs.
+tensor::Tensor gaussian_noise_batch(const tensor::Tensor& batch, float stddev,
+                                    common::Rng& rng);
+
+/// Scale pixel contrast about the mid-grey 0.5: out = 0.5 + f * (in - 0.5),
+/// clamped to [0, 1]. f < 1 washes the image out, f > 1 hardens it.
+tensor::Tensor adjust_contrast_batch(const tensor::Tensor& batch, float factor);
+
+}  // namespace qcaps::data

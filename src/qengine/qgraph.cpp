@@ -449,6 +449,7 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
                   "spec has " << spec.layers.size() << " entries but only " << w
                               << " weighted layers were compiled");
   QCAPS_CHECK_MSG(!g.ops_.empty(), "cannot compile an empty network");
+  g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
   return g;
 }
 
@@ -516,12 +517,56 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
         vals[i] = exec_flatten(op, x);
         break;
     }
+    // Requant-saturation accounting: count produced raws sitting exactly on
+    // the output format's rails. Anything requantized (conv, rescale,
+    // squash, routing, residual add) can only reach a rail by clamping —
+    // or by landing on it exactly, which is indistinguishable and rare.
+    // kRelu and kFlatten never requantize, so they are left uncounted
+    // (relu also steals its input, which may already be freed). The scan is
+    // O(numel) over a value the op just wrote — noise next to the conv that
+    // produced it — and touches only relaxed atomics, so replica pools can
+    // run it concurrently.
+    if (sat_ && op.kind != QOpKind::kRelu && op.kind != QOpKind::kFlatten) {
+      const QTensor& y = vals[i];
+      const std::int64_t lo = y.fmt.raw_min(), hi = y.fmt.raw_max();
+      std::uint64_t at_rail = 0;
+      for (const std::int64_t r : y.raw) at_rail += (r <= lo || r >= hi);
+      sat_->saturated[i].fetch_add(at_rail, std::memory_order_relaxed);
+      sat_->total[i].fetch_add(static_cast<std::uint64_t>(y.numel()),
+                               std::memory_order_relaxed);
+    }
     for (const int in : {op.input, op.input2})
       if (in >= 0 && last_use[static_cast<std::size_t>(in)] ==
                          static_cast<int>(i))
         vals[static_cast<std::size_t>(in)] = QTensor();
   }
   return std::move(vals.back());
+}
+
+std::vector<NodeSaturation> QuantizedGraph::saturation() const {
+  std::vector<NodeSaturation> out(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    out[i].source = ops_[i].source;
+    out[i].kind = ops_[i].kind;
+    if (sat_) {
+      out[i].saturated = sat_->saturated[i].load(std::memory_order_relaxed);
+      out[i].total = sat_->total[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+double QuantizedGraph::saturation_rate() const {
+  std::uint64_t saturated = 0, total = 0;
+  if (sat_) {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      saturated += sat_->saturated[i].load(std::memory_order_relaxed);
+      total += sat_->total[i].load(std::memory_order_relaxed);
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(saturated) /
+                          static_cast<double>(total);
 }
 
 std::vector<int> QuantizedGraph::predict_batch(

@@ -9,8 +9,12 @@
 // the preceding convolution), builds the persistent packed-operand caches the
 // qgemm backend consumes, and emits QuantizedOp nodes that the interpreter
 // executes with the operators of src/qengine. A compiled graph is a value
-// type: copies share nothing and carry the packed weight caches, which is
-// exactly what the serving worker-pool replication wants.
+// type: copies carry their own packed weight caches, which is exactly what
+// the serving worker-pool replication wants. The one deliberately shared
+// piece of state is the saturation-counter block: copies of one compiled
+// graph aggregate their requant-saturation counts into a single set of
+// atomics, so a pool of per-worker replicas reports one coherent per-node
+// saturation picture (see saturation() below).
 //
 // Supported layers: Conv2dLayer, ReluLayer, PrimaryCapsLayer, FCCapsLayer,
 // FlattenCapsLayer, ConvCapsLayer, RoutedConvCapsLayer, and CapsBlockLayer
@@ -18,6 +22,9 @@
 // — i.e. both CapsNet families of the paper.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -70,6 +77,27 @@ struct QuantizedOp {
   std::int64_t weight_bits() const;
 };
 
+/// Requant-saturation observability for one graph node: how many of the
+/// values it produced sat exactly on its output format's representable
+/// rails (raw_min / raw_max) — i.e. were (or are indistinguishable from)
+/// clamped by the fixed-point requantization. A persistently high rate on a
+/// node is the classic too-few-integer-bits failure mode of aggressive
+/// (<= 4-bit) Q-CapsNets configurations: accuracy collapses with no error
+/// raised anywhere. Counters accumulate across forwards and across all
+/// copies of one compiled graph (the serving pool's replicas).
+struct NodeSaturation {
+  std::string source;            ///< originating layer (QuantizedOp::source)
+  QOpKind kind{};
+  std::uint64_t saturated = 0;   ///< values observed at a format rail
+  std::uint64_t total = 0;       ///< values observed in total
+
+  double rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(saturated) /
+                            static_cast<double>(total);
+  }
+};
+
 class QuantizedGraph {
  public:
   QuantizedGraph() = default;
@@ -103,9 +131,28 @@ class QuantizedGraph {
   fixed::FixedFormat input_format() const { return input_fmt_; }
   bool empty() const { return ops_.empty(); }
 
+  /// Per-node saturation snapshot (one entry per op, in op order). Layout
+  /// and squash-free nodes (kRelu, kFlatten) are counted as zero-total.
+  /// Shared across copies: any replica's forward() feeds the same counters.
+  std::vector<NodeSaturation> saturation() const;
+
+  /// Aggregate saturated/total over every counted node (0.0 when nothing
+  /// has been observed yet).
+  double saturation_rate() const;
+
  private:
+  /// Relaxed-atomic counter block shared by every copy of one compilation.
+  /// std::atomic<u64> value-initializes to zero, so sizing the vectors is
+  /// all the setup the counters need.
+  struct SatCounters {
+    std::vector<std::atomic<std::uint64_t>> saturated;
+    std::vector<std::atomic<std::uint64_t>> total;
+    explicit SatCounters(std::size_t n) : saturated(n), total(n) {}
+  };
+
   std::vector<QuantizedOp> ops_;
   fixed::FixedFormat input_fmt_{1, 15};
+  std::shared_ptr<SatCounters> sat_;
 };
 
 // ---- standalone op implementations ----------------------------------------

@@ -1,16 +1,47 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace qcaps::serve {
 
 std::optional<Batch> Batcher::next() {
+  // Fault-injection site: a sleep armed here stalls the worker *before* it
+  // pops, letting deadline tests age requests inside the queue; a throw here
+  // models a worker dying between batches (no in-flight requests lost).
+  QCAPS_FAILPOINT("serve.batcher.next");
   for (;;) {
+    std::uint64_t expired = 0;
     std::vector<InferenceRequest> requests =
-        queue_.pop_batch(cfg_.max_batch, cfg_.batch_window);
-    if (requests.empty()) return std::nullopt;
+        queue_.pop_batch(cfg_.max_batch, cfg_.batch_window, &expired);
+
+    // Belt and braces: requests taken early in the coalescing window may
+    // have expired while later arrivals trickled in. Fail them here, before
+    // any compute is spent, rather than returning a batch that mixes live
+    // and dead work.
+    const auto now = std::chrono::steady_clock::now();
+    auto dead = std::stable_partition(
+        requests.begin(), requests.end(),
+        [&](const InferenceRequest& r) { return !r.expired(now); });
+    for (auto it = dead; it != requests.end(); ++it) {
+      it->result.set_exception(std::make_exception_ptr(DeadlineError(
+          "request " + std::to_string(it->sequence) +
+          " exceeded its deadline before compute")));
+      ++expired;
+    }
+    requests.erase(dead, requests.end());
+
+    if (cfg_.expired_counter != nullptr && expired > 0)
+      cfg_.expired_counter->fetch_add(expired, std::memory_order_relaxed);
+    if (requests.empty()) {
+      if (queue_.closed() && queue_.size() == 0) return std::nullopt;
+      continue;  // whole pop expired during the window: go back for live work
+    }
+
     Batch batch;
     try {
       batch.images = stack(requests);

@@ -9,6 +9,7 @@
 // only throughput.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -22,6 +23,9 @@ struct BatcherConfig {
   std::int64_t max_batch = 16;
   /// How long to hold the first request of a batch while more coalesce.
   std::chrono::microseconds batch_window{200};
+  /// When non-null, incremented once per request failed with DeadlineError
+  /// (by the queue's pop or by the batcher's own pre-stack recheck).
+  std::atomic<std::uint64_t>* expired_counter = nullptr;
 };
 
 /// A coalesced batch: the stacked input plus the requests it came from

@@ -1,22 +1,41 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 namespace qcaps::serve {
 
-ClientResult InferenceClient::classify(const tensor::Tensor& image) {
+ClientResult InferenceClient::classify(const tensor::Tensor& image,
+                                       const SubmitOptions& opts) {
   const auto t0 = std::chrono::steady_clock::now();
-  std::future<InferenceResult> fut = server_.submit(model_, image);
-  const InferenceResult res = fut.get();  // rethrows a failed batch's error
-  const auto t1 = std::chrono::steady_clock::now();
-
-  ClientResult out;
-  out.prediction = res.prediction;
-  out.batch_size = res.batch_size;
-  out.sequence = res.sequence;
-  out.latency_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  return out;
+  auto backoff = cfg_.backoff;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      std::future<InferenceResult> fut = server_.submit(model_, image, opts);
+      const InferenceResult res = fut.get();  // rethrows a failed batch's
+                                              // error
+      const auto t1 = std::chrono::steady_clock::now();
+      ClientResult out;
+      out.prediction = res.prediction;
+      out.batch_size = res.batch_size;
+      out.sequence = res.sequence;
+      out.latency_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      out.retries = attempt;
+      return out;
+    } catch (const RetryableError&) {
+      if (attempt >= cfg_.max_retries) throw;
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(
+            cfg_.max_backoff,
+            std::chrono::microseconds(static_cast<std::int64_t>(
+                static_cast<double>(backoff.count()) *
+                std::max(1.0, cfg_.backoff_multiplier))));
+      }
+    }
+  }
 }
 
 }  // namespace qcaps::serve

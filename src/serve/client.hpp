@@ -5,31 +5,56 @@
 // caller experienced (queueing + batching window + forward pass). Clients
 // are cheap, hold no server state, and any number may share one server from
 // different threads.
+//
+// Retry semantics: failures derived from RetryableError — a shed request
+// (OverloadError) or a batch lost to a worker crash (WorkerCrashError) —
+// are retried up to ClientConfig::max_retries times with exponential
+// backoff, making worker restarts transparent to the caller. Terminal
+// failures (DeadlineError, shape errors, backend bugs) rethrow immediately:
+// resubmitting cannot fix them.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 #include "serve/server.hpp"
 
 namespace qcaps::serve {
 
+/// Retry policy for RetryableError failures.
+struct ClientConfig {
+  /// Resubmissions after the first attempt; 0 disables retrying.
+  int max_retries = 0;
+  /// Sleep before the first retry; doubles per retry (capped below).
+  std::chrono::microseconds backoff{1000};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{100000};
+};
+
 /// classify()'s return: the prediction plus client-observed timing.
 struct ClientResult {
   Prediction prediction;
   std::int64_t batch_size = 0;    ///< how many requests shared the forward
   std::uint64_t sequence = 0;     ///< FIFO position on the server
-  double latency_ms = 0.0;        ///< submit -> result, wall clock
+  double latency_ms = 0.0;        ///< submit -> result, wall clock (all
+                                  ///< attempts, backoff included)
+  int retries = 0;                ///< resubmissions this result needed
 };
 
 class InferenceClient {
  public:
-  InferenceClient(InferenceServer& server, std::string model)
-      : server_(server), model_(std::move(model)) {}
+  InferenceClient(InferenceServer& server, std::string model,
+                  ClientConfig cfg = {})
+      : server_(server), model_(std::move(model)), cfg_(cfg) {}
 
   const std::string& model() const { return model_; }
+  const ClientConfig& config() const { return cfg_; }
 
-  /// Submit one [C, H, W] image and block for its result.
-  ClientResult classify(const tensor::Tensor& image);
+  /// Submit one [C, H, W] image and block for its result, retrying
+  /// RetryableError failures per ClientConfig. `opts` (priority, deadline)
+  /// is carried on every attempt.
+  ClientResult classify(const tensor::Tensor& image,
+                        const SubmitOptions& opts = {});
 
   /// Label-only shorthand.
   int predict(const tensor::Tensor& image) {
@@ -39,6 +64,7 @@ class InferenceClient {
  private:
   InferenceServer& server_;
   std::string model_;
+  ClientConfig cfg_;
 };
 
 }  // namespace qcaps::serve

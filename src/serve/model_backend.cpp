@@ -1,6 +1,7 @@
 #include "serve/model_backend.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 
 namespace qcaps::serve {
 
@@ -26,6 +27,9 @@ NetworkBackend::NetworkBackend(std::string name, Replicator replicator)
 
 std::vector<Prediction> NetworkBackend::predict_batch(
     const tensor::Tensor& images) {
+  // A throw armed here models the backend itself failing on a batch (bad
+  // numerics, resource exhaustion) — distinct from the worker dying.
+  QCAPS_FAILPOINT("serve.backend.forward");
   std::vector<float> scores;
   const std::vector<int> labels = net_->predict_batch(images, &scores);
   return zip_predictions(labels, scores);
@@ -46,6 +50,7 @@ QuantizedBackend::QuantizedBackend(std::string name,
 
 std::vector<Prediction> QuantizedBackend::predict_batch(
     const tensor::Tensor& images) {
+  QCAPS_FAILPOINT("serve.backend.forward");
   std::vector<float> scores;
   const std::vector<int> labels = model_.predict_batch(images, &scores);
   return zip_predictions(labels, scores);

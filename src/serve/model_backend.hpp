@@ -40,6 +40,14 @@ class ModelBackend {
 
   /// Independent replica for another worker thread.
   virtual std::unique_ptr<ModelBackend> clone() const = 0;
+
+  /// Requant-saturation snapshot, when the backend runs fixed-point compute
+  /// (QuantizedBackend); empty for FP32 backends. Replica copies of one
+  /// quantized backend share one counter block, so any replica reports the
+  /// whole pool's counts.
+  virtual std::vector<qengine::NodeSaturation> saturation() const {
+    return {};
+  }
 };
 
 /// FP32 network backend. The replicator returns a fresh network carrying the
@@ -77,6 +85,10 @@ class QuantizedBackend final : public ModelBackend {
   const std::string& name() const override { return name_; }
   std::vector<Prediction> predict_batch(const tensor::Tensor& images) override;
   std::unique_ptr<ModelBackend> clone() const override;
+  std::vector<qengine::NodeSaturation> saturation() const override {
+    return model_.saturation();
+  }
+  double saturation_rate() const { return model_.saturation_rate(); }
 
  private:
   std::string name_;

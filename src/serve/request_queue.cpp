@@ -1,41 +1,106 @@
 #include "serve/request_queue.hpp"
 
-#include "common/error.hpp"
+#include <utility>
 
 namespace qcaps::serve {
 
-std::future<InferenceResult> RequestQueue::push(tensor::Tensor image) {
-  std::unique_lock<std::mutex> lk(mu_);
-  if (capacity_ > 0)
-    not_full_.wait(lk, [&] { return queue_.size() < capacity_ || closed_; });
-  QCAPS_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+namespace {
 
+// Fail a batch of expired requests outside the queue lock: set_exception may
+// run arbitrary continuation code on the waiting thread's future machinery,
+// which must never happen while holding mu_.
+void fail_expired(std::vector<InferenceRequest>& expired,
+                  std::uint64_t* expired_out) {
+  for (auto& req : expired) {
+    req.result.set_exception(std::make_exception_ptr(DeadlineError(
+        "request " + std::to_string(req.sequence) +
+        " exceeded its deadline before compute")));
+    if (expired_out != nullptr) ++*expired_out;
+  }
+  expired.clear();
+}
+
+}  // namespace
+
+std::size_t RequestQueue::total_size_locked() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::future<InferenceResult> RequestQueue::push(tensor::Tensor image,
+                                                const SubmitOptions& opts) {
+  const auto now = std::chrono::steady_clock::now();
   InferenceRequest req;
   req.image = std::move(image);
+  req.priority = opts.priority;
+  req.enqueued_at = now;
+  if (opts.timeout.count() > 0) req.deadline = now + opts.timeout;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  QCAPS_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+  // Admission control: shed sub-kHigh work the moment depth crosses the
+  // watermark — refusing cheap at the door beats blocking the producer on
+  // a queue that is already past its latency budget.
+  if (shed_watermark_ > 0 && opts.priority != Priority::kHigh &&
+      total_size_locked() >= shed_watermark_) {
+    ++shed_;
+    throw OverloadError("request shed: queue depth " +
+                        std::to_string(total_size_locked()) +
+                        " >= watermark " + std::to_string(shed_watermark_));
+  }
+  if (capacity_ > 0) {
+    const auto have_room = [&] {
+      return total_size_locked() < capacity_ || closed_;
+    };
+    if (req.has_deadline()) {
+      if (!not_full_.wait_until(lk, req.deadline, have_room))
+        throw DeadlineError(
+            "request deadline expired while blocked on a full queue");
+    } else {
+      not_full_.wait(lk, have_room);
+    }
+    // close() while we were blocked on capacity: reject rather than enqueue
+    // work no worker pool will ever accept again.
+    QCAPS_CHECK_MSG(!closed_, "push on a closed RequestQueue");
+  }
+
   req.sequence = next_sequence_++;
-  req.enqueued_at = std::chrono::steady_clock::now();
   std::future<InferenceResult> fut = req.result.get_future();
-  queue_.push_back(std::move(req));
+  queues_[static_cast<std::size_t>(opts.priority)].push_back(std::move(req));
   lk.unlock();
   not_empty_.notify_one();
   return fut;
 }
 
 std::vector<InferenceRequest> RequestQueue::pop_batch(
-    std::int64_t max_batch, std::chrono::microseconds window) {
+    std::int64_t max_batch, std::chrono::microseconds window,
+    std::uint64_t* expired_out) {
   QCAPS_CHECK(max_batch >= 1);
   std::vector<InferenceRequest> out;
+  std::vector<InferenceRequest> expired;
   std::unique_lock<std::mutex> lk(mu_);
-  not_empty_.wait(lk, [&] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return out;  // closed and drained: worker exit signal
+  const auto nonempty = [&] { return total_size_locked() > 0 || closed_; };
+  not_empty_.wait(lk, nonempty);
+  if (total_size_locked() == 0) return out;  // closed + drained: exit signal
 
+  // Drain front-to-back, highest class first; expired requests are set
+  // aside (failed after the lock drops) and never consume a batch slot.
   const auto take = [&] {
     bool popped = false;
-    while (!queue_.empty() &&
-           static_cast<std::int64_t>(out.size()) < max_batch) {
-      out.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      popped = true;
+    const auto now = std::chrono::steady_clock::now();
+    for (int p = kNumPriorities - 1; p >= 0; --p) {
+      auto& q = queues_[static_cast<std::size_t>(p)];
+      while (!q.empty() &&
+             static_cast<std::int64_t>(out.size()) < max_batch) {
+        InferenceRequest req = std::move(q.front());
+        q.pop_front();
+        popped = true;
+        if (req.has_deadline() && req.expired(now))
+          expired.push_back(std::move(req));
+        else
+          out.push_back(std::move(req));
+      }
     }
     // Wake blocked producers as soon as capacity frees up — they must not
     // sit out the rest of the coalescing window.
@@ -44,18 +109,24 @@ std::vector<InferenceRequest> RequestQueue::pop_batch(
   take();
 
   // Batch window: trade a bounded sliver of latency for a fuller batch.
-  if (window.count() > 0) {
+  // Guarded on out being non-empty — when everything popped so far had
+  // already expired there is no first request to hold, so loop back to a
+  // plain blocking wait instead of spinning out the window on nothing.
+  if (window.count() > 0 && !out.empty()) {
     const auto deadline = std::chrono::steady_clock::now() + window;
     while (static_cast<std::int64_t>(out.size()) < max_batch && !closed_) {
-      if (!not_empty_.wait_until(lk, deadline, [&] {
-            return !queue_.empty() || closed_;
-          }))
-        break;  // window elapsed
+      if (!not_empty_.wait_until(lk, deadline, nonempty)) break;  // elapsed
       take();
     }
   }
   lk.unlock();
   not_full_.notify_all();
+  fail_expired(expired, expired_out);
+  if (out.empty()) {
+    // Everything popped had expired: recurse to block for live work (or the
+    // closed+drained exit) instead of returning a hollow batch.
+    return pop_batch(max_batch, window, expired_out);
+  }
   return out;
 }
 
@@ -75,12 +146,17 @@ bool RequestQueue::closed() const {
 
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return queue_.size();
+  return total_size_locked();
 }
 
 std::uint64_t RequestQueue::total_pushed() const {
   std::lock_guard<std::mutex> lk(mu_);
   return next_sequence_;
+}
+
+std::uint64_t RequestQueue::total_shed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return shed_;
 }
 
 }  // namespace qcaps::serve

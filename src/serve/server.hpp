@@ -18,6 +18,19 @@
 // Knobs (ServerConfig): max_batch, the coalescing window, workers per model,
 // queue capacity (backpressure), and the per-worker OpenMP team size so
 // multi-worker pools can partition cores instead of oversubscribing them.
+//
+// Robustness (docs/robustness.md):
+//   * requests carry SubmitOptions — a priority class and a relative
+//     deadline; expired requests are failed with DeadlineError before any
+//     compute is spent, and a shed watermark refuses sub-high-priority work
+//     at the door (OverloadError) once queue depth crosses it.
+//   * workers are supervised: an exception escaping the per-batch isolation
+//     (e.g. a fault injected via QCAPS_FAILPOINT("serve.worker.batch"))
+//     fails only the in-flight batch with WorkerCrashError — a retryable
+//     error — then the worker restarts in place and the pool keeps serving.
+//   * quantized backends export per-node requant-saturation counters through
+//     stats(); an optional threshold flags a model whose outputs clamp too
+//     often (the silent-accuracy-collapse mode of <= 4-bit configs).
 #pragma once
 
 #include <atomic>
@@ -57,6 +70,13 @@ struct ServerConfig {
   /// Request-queue capacity; 0 = unbounded, otherwise push() blocks when
   /// full (backpressure instead of unbounded memory growth).
   std::size_t queue_capacity = 0;
+  /// Overload shedding: queue depth at which sub-kHigh submissions fail
+  /// fast with OverloadError instead of queueing. 0 disables shedding.
+  std::size_t shed_watermark = 0;
+  /// Saturation guardrail: when > 0 and the backend reports requant
+  /// saturation, an aggregate rate above this threshold sets
+  /// ModelStats::saturation_flagged and warn-logs once per pool.
+  double saturation_threshold = 0.0;
 };
 
 /// Snapshot of one model pool's counters.
@@ -67,6 +87,17 @@ struct ModelStats {
                                ///< run as several compute-tile forwards)
   std::int64_t max_batch_seen = 0;
   double mean_batch = 0.0;  ///< images / batches
+
+  // Robustness counters.
+  std::uint64_t shed = 0;             ///< refused at the shed watermark
+  std::uint64_t expired = 0;          ///< failed with DeadlineError pre-compute
+  std::uint64_t worker_restarts = 0;  ///< crashes survived by supervision
+  std::size_t queue_depth = 0;        ///< requests waiting right now
+
+  // Requant-saturation observability (quantized backends; empty/0 for FP32).
+  std::vector<qengine::NodeSaturation> node_saturation;
+  double saturation_rate = 0.0;    ///< aggregate over all nodes
+  bool saturation_flagged = false; ///< rate > cfg.saturation_threshold (> 0)
 };
 
 class InferenceServer {
@@ -85,8 +116,12 @@ class InferenceServer {
 
   /// Enqueue one [C, H, W] image (a leading batch dim of 1 is accepted and
   /// squeezed) for `model`; the future resolves when its batch completes.
+  /// `opts` carries the request's priority class and relative deadline.
+  /// Throws OverloadError when shed at the watermark and DeadlineError when
+  /// the deadline passes while blocked on a full queue.
   std::future<InferenceResult> submit(const std::string& model,
-                                      tensor::Tensor image);
+                                      tensor::Tensor image,
+                                      const SubmitOptions& opts = {});
 
   ModelStats stats(const std::string& model) const;
   std::vector<std::string> model_names() const;
@@ -104,12 +139,17 @@ class InferenceServer {
     std::atomic<std::uint64_t> images{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::int64_t> max_batch_seen{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> worker_restarts{0};
+    std::atomic<bool> saturation_warned{false};
 
     explicit ModelPool(const ServerConfig& c)
-        : cfg(c), queue(c.queue_capacity) {}
+        : cfg(c), queue(c.queue_capacity, c.shed_watermark) {}
   };
 
   static void worker_main(ModelPool& pool, ModelBackend& backend);
+  static void serve_batch(ModelPool& pool, ModelBackend& backend,
+                          Batch& batch);
 
   ModelPool& pool_for(const std::string& model) const;
 

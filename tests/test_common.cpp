@@ -1,6 +1,7 @@
 // Tests for src/common: RNG, counter hash, logging, CLI parsing.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 
@@ -183,6 +185,91 @@ TEST(Logging, LevelFiltering) {
   QCAPS_WARN << "suppressed";
   common::set_log_level(prev);
   SUCCEED();
+}
+
+// ---- failpoints ------------------------------------------------------------
+
+/// Every failpoint test disarms on scope exit so a failing assertion cannot
+/// leak an armed site into later tests.
+struct FailpointGuard {
+  ~FailpointGuard() { common::failpoint_disarm_all(); }
+};
+
+TEST(Failpoint, DisarmedSiteIsFree) {
+  // Default state: nothing armed, the macro's fast path must say so, and
+  // evaluating an unarmed site is a no-op.
+  EXPECT_FALSE(common::failpoints_armed());
+  QCAPS_FAILPOINT("test.never.armed");
+  SUCCEED();
+}
+
+TEST(Failpoint, ArmedThrowSiteThrowsAndCounts) {
+  FailpointGuard guard;
+  const std::uint64_t before = common::failpoint_hits("test.throw");
+  common::failpoint_arm("test.throw", {});
+  EXPECT_TRUE(common::failpoints_armed());
+  EXPECT_THROW(QCAPS_FAILPOINT("test.throw"), common::FailpointError);
+  EXPECT_EQ(common::failpoint_hits("test.throw"), before + 1);
+  common::failpoint_disarm("test.throw");
+  EXPECT_FALSE(common::failpoints_armed());
+  QCAPS_FAILPOINT("test.throw");  // disarmed again: no-op
+}
+
+TEST(Failpoint, MaxHitsSelfDisarms) {
+  FailpointGuard guard;
+  common::FailpointSpec spec;
+  spec.max_hits = 2;
+  common::failpoint_arm("test.twice", spec);
+  EXPECT_THROW(QCAPS_FAILPOINT("test.twice"), common::FailpointError);
+  EXPECT_THROW(QCAPS_FAILPOINT("test.twice"), common::FailpointError);
+  // Budget exhausted: the site disarmed itself.
+  EXPECT_FALSE(common::failpoints_armed());
+  QCAPS_FAILPOINT("test.twice");
+}
+
+TEST(Failpoint, SkipPassesThroughFirstEvaluations) {
+  FailpointGuard guard;
+  common::FailpointSpec spec;
+  spec.skip = 2;
+  spec.max_hits = 1;
+  common::failpoint_arm("test.skip", spec);
+  QCAPS_FAILPOINT("test.skip");  // skipped
+  QCAPS_FAILPOINT("test.skip");  // skipped
+  EXPECT_THROW(QCAPS_FAILPOINT("test.skip"), common::FailpointError);
+}
+
+TEST(Failpoint, SleepActionStallsTheCaller) {
+  FailpointGuard guard;
+  common::FailpointSpec spec;
+  spec.action = common::FailpointAction::kSleep;
+  spec.delay_ms = 30;
+  spec.max_hits = 1;
+  common::failpoint_arm("test.sleep", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  QCAPS_FAILPOINT("test.sleep");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+}
+
+TEST(Failpoint, EnvStringArmsMultipleSites) {
+  FailpointGuard guard;
+  common::failpoints_arm_from_env(
+      "test.env.a=throw:1;test.env.b=sleep:5:1:1");
+  EXPECT_THROW(QCAPS_FAILPOINT("test.env.a"), common::FailpointError);
+  QCAPS_FAILPOINT("test.env.b");  // skip = 1: first evaluation passes
+  QCAPS_FAILPOINT("test.env.b");  // sleeps 5 ms, then self-disarms
+  EXPECT_EQ(common::failpoint_hits("test.env.b"), 1u);
+  EXPECT_FALSE(common::failpoints_armed());
+}
+
+TEST(Failpoint, MalformedEnvEntriesThrow) {
+  FailpointGuard guard;
+  EXPECT_THROW(common::failpoints_arm_from_env("nosign"), qcaps::Error);
+  EXPECT_THROW(common::failpoints_arm_from_env("site=bogus"), qcaps::Error);
+  EXPECT_THROW(common::failpoints_arm_from_env("site=sleep"), qcaps::Error);
+  EXPECT_THROW(common::failpoints_arm_from_env("site=throw:x"), qcaps::Error);
 }
 
 }  // namespace

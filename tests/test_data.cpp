@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "data/augment.hpp"
 #include "data/loader.hpp"
+#include "data/perturb.hpp"
 #include "data/synth.hpp"
 #include "test_util.hpp"
 
@@ -223,6 +224,55 @@ TEST(Loader, NoShufflePreservesOrder) {
   const Batch b2 = loader.batch(2);
   EXPECT_EQ(b2.labels[0], ds.labels[8]);
   EXPECT_THROW(loader.batch(3), qcaps::Error);
+}
+
+// ---- deterministic perturbations (robustness workloads) --------------------
+
+TEST(Perturb, ShiftMovesPixelsAndZeroFillsBorder) {
+  tensor::Tensor batch({1, 1, 3, 3});
+  for (std::int64_t i = 0; i < 9; ++i)
+    batch[i] = static_cast<float>(i + 1);  // 1..9 row-major
+  const tensor::Tensor s = shift_batch(batch, 1, 1);  // right + down
+  // Row 0 and column 0 vacated, interior moved from the top-left.
+  EXPECT_FLOAT_EQ(s[0], 0.0f);
+  EXPECT_FLOAT_EQ(s[1], 0.0f);
+  EXPECT_FLOAT_EQ(s[3], 0.0f);
+  EXPECT_FLOAT_EQ(s[4], 1.0f);  // (1,1) <- (0,0)
+  EXPECT_FLOAT_EQ(s[8], 5.0f);  // (2,2) <- (1,1)
+  // A zero shift is the identity.
+  const tensor::Tensor id = shift_batch(batch, 0, 0);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(id[i], batch[i]);
+}
+
+TEST(Perturb, GaussianNoiseIsSeedDeterministicAndClamped) {
+  const Dataset ds = make_synth_digits(4, 3);
+  std::vector<std::int64_t> idx{0, 1, 2, 3};
+  const tensor::Tensor batch = ds.batch(idx);
+  common::Rng rng_a(99), rng_b(99);
+  const tensor::Tensor a = gaussian_noise_batch(batch, 0.25f, rng_a);
+  const tensor::Tensor b = gaussian_noise_batch(batch, 0.25f, rng_b);
+  bool changed = false;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "same seed must give the same perturbation";
+    EXPECT_GE(a[i], 0.0f);
+    EXPECT_LE(a[i], 1.0f);
+    changed = changed || a[i] != batch[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Perturb, ContrastScalesAboutMidGrey) {
+  tensor::Tensor batch({1, 1, 1, 3});
+  batch[0] = 0.5f;
+  batch[1] = 0.9f;
+  batch[2] = 0.1f;
+  const tensor::Tensor washed = adjust_contrast_batch(batch, 0.5f);
+  EXPECT_FLOAT_EQ(washed[0], 0.5f);  // mid-grey is the fixed point
+  EXPECT_FLOAT_EQ(washed[1], 0.7f);
+  EXPECT_FLOAT_EQ(washed[2], 0.3f);
+  const tensor::Tensor hard = adjust_contrast_batch(batch, 3.0f);
+  EXPECT_FLOAT_EQ(hard[1], 1.0f);  // clamped
+  EXPECT_FLOAT_EQ(hard[2], 0.0f);
 }
 
 }  // namespace

@@ -437,5 +437,48 @@ TEST_F(QuantizedDeepCapsTest, ForwardTracksFp32CapsuleLengths) {
   EXPECT_GE(agree, 13) << "of 16 cached inputs";
 }
 
+// ---- requant-saturation counters -------------------------------------------
+
+TEST(QGraphSaturation, NarrowFormatsCountRailHitsAndCopiesShareCounters) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(61);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+
+  // 4-bit wordlength (Q1.3): conv outputs and unit-length capsules clamp
+  // against raw_max constantly, so counters must be nonzero after one
+  // forward; per-node entries mirror the op list.
+  const auto narrow = core::NetworkQuantSpec::uniform(
+      3, 3, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, narrow);
+  EXPECT_EQ(g.saturation_rate(), 0.0);  // nothing observed yet
+  g.forward(images);
+  const auto nodes = g.saturation();
+  ASSERT_EQ(nodes.size(), g.ops().size());
+  std::uint64_t saturated = 0;
+  for (const auto& n : nodes) saturated += n.saturated;
+  EXPECT_GT(saturated, 0u);
+  EXPECT_GT(g.saturation_rate(), 0.0);
+  // Layout-only nodes are never counted.
+  for (const auto& n : nodes)
+    if (n.kind == QOpKind::kRelu || n.kind == QOpKind::kFlatten)
+      EXPECT_EQ(n.total, 0u);
+
+  // Copies (the serving pool's replicas) share one counter block: a forward
+  // on the copy is visible through the original, and rates agree.
+  const QuantizedGraph replica = g;  // NOLINT(performance-unnecessary-copy)
+  const double before = g.saturation_rate();
+  replica.forward(images);
+  const auto after = g.saturation();
+  std::uint64_t total_after = 0;
+  for (const auto& n : after) total_after += n.total;
+  std::uint64_t total_before = 0;
+  for (const auto& n : nodes) total_before += n.total;
+  EXPECT_EQ(total_after, 2 * total_before);
+  EXPECT_DOUBLE_EQ(g.saturation_rate(), before);  // same input, same rate
+  EXPECT_DOUBLE_EQ(replica.saturation_rate(), g.saturation_rate());
+}
+
 }  // namespace
 }  // namespace qcaps::qengine

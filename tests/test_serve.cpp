@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "core/quant_spec.hpp"
 #include "models/deep_caps.hpp"
@@ -707,6 +708,374 @@ TEST(InferenceServerStress, ConcurrentClientsOnMultiWorkerPool) {
             static_cast<std::uint64_t>(kClients * kPerClient));
   EXPECT_EQ(stats.images, static_cast<std::uint64_t>(kClients * kPerClient));
   server.shutdown();
+}
+
+// ---- Robustness: shutdown of a full queue, priorities, deadlines -----------
+
+TEST(RequestQueue, CloseWhileFullWakesBlockedProducers) {
+  // Documented contract (request_queue.hpp): producers blocked on a FULL
+  // bounded queue must wake on close() and fail their push — not deadlock
+  // waiting for capacity no drained worker will ever free again.
+  serve::RequestQueue queue(/*capacity=*/1);
+  queue.push(tiny_image(0.1f));  // queue is now full
+  constexpr int kProducers = 3;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> producers;
+  for (int i = 0; i < kProducers; ++i)
+    producers.emplace_back([&queue, &woken] {
+      EXPECT_THROW(queue.push(tiny_image(0.5f)), qcaps::Error);
+      woken.fetch_add(1);
+    });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(woken.load(), 0);  // all blocked on capacity
+  queue.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(woken.load(), kProducers);
+  // The request accepted before close is still drainable.
+  EXPECT_EQ(queue.pop_batch(4).size(), 1u);
+  EXPECT_TRUE(queue.pop_batch(4).empty());
+}
+
+TEST(RequestQueue, PriorityClassesDrainHighestFirst) {
+  serve::RequestQueue queue;
+  serve::SubmitOptions low, normal, high;
+  low.priority = serve::Priority::kLow;
+  high.priority = serve::Priority::kHigh;
+  queue.push(tiny_image(0.1f), low);
+  queue.push(tiny_image(0.2f), normal);
+  queue.push(tiny_image(0.3f), high);
+  queue.push(tiny_image(0.4f), high);
+  const auto batch = queue.pop_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  // High class first (FIFO within it), then normal, then low.
+  EXPECT_FLOAT_EQ(batch[0].image[0], 0.3f);
+  EXPECT_FLOAT_EQ(batch[1].image[0], 0.4f);
+  EXPECT_FLOAT_EQ(batch[2].image[0], 0.2f);
+  EXPECT_FLOAT_EQ(batch[3].image[0], 0.1f);
+}
+
+TEST(RequestQueue, ShedsBelowHighPriorityAtWatermark) {
+  serve::RequestQueue queue(/*capacity=*/0, /*shed_watermark=*/2);
+  queue.push(tiny_image(0.1f));
+  queue.push(tiny_image(0.2f));
+  // Depth is at the watermark: normal and low are refused at the door ...
+  EXPECT_THROW(queue.push(tiny_image(0.3f)), serve::OverloadError);
+  serve::SubmitOptions low;
+  low.priority = serve::Priority::kLow;
+  EXPECT_THROW(queue.push(tiny_image(0.3f), low), serve::OverloadError);
+  // ... but high priority is never shed.
+  serve::SubmitOptions high;
+  high.priority = serve::Priority::kHigh;
+  EXPECT_NO_THROW(queue.push(tiny_image(0.4f), high));
+  EXPECT_EQ(queue.total_shed(), 2u);
+  EXPECT_EQ(queue.size(), 3u);
+  // OverloadError is retryable — the client-visible contract.
+  EXPECT_THROW(
+      { throw serve::OverloadError("x"); }, serve::RetryableError);
+}
+
+TEST(RequestQueue, ExpiredRequestsFailBeforeReachingAConsumer) {
+  serve::RequestQueue queue;
+  serve::SubmitOptions rushed;
+  rushed.timeout = std::chrono::microseconds(1);
+  auto doomed = queue.push(tiny_image(0.1f), rushed);
+  std::this_thread::sleep_for(5ms);
+  auto live = queue.push(tiny_image(0.2f));
+  std::uint64_t expired = 0;
+  const auto batch = queue.pop_batch(4, std::chrono::microseconds{0},
+                                     &expired);
+  ASSERT_EQ(batch.size(), 1u);  // only the live request reaches the consumer
+  EXPECT_FLOAT_EQ(batch[0].image[0], 0.2f);
+  EXPECT_EQ(expired, 1u);
+  EXPECT_THROW(doomed.get(), serve::DeadlineError);
+  (void)live;
+}
+
+// ---- Robustness: fault injection through the server ------------------------
+
+/// Disarms all failpoints on scope exit so a failing assertion cannot leak
+/// an armed site into later tests.
+struct FailpointGuard {
+  ~FailpointGuard() { common::failpoint_disarm_all(); }
+};
+
+TEST(InferenceServerRobustness, DeadlineExpiryUnderStalledWorker) {
+  FailpointGuard guard;
+  // Stall the worker before every pop: requests age out inside the queue
+  // and must be failed with DeadlineError before any compute is spent.
+  common::FailpointSpec stall;
+  stall.action = common::FailpointAction::kSleep;
+  stall.delay_ms = 60;
+  common::failpoint_arm("serve.batcher.next", stall);
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.batch_window = std::chrono::microseconds{0};
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(), cfg);
+
+  serve::SubmitOptions rushed;
+  rushed.timeout = std::chrono::milliseconds(10);
+  std::vector<std::future<serve::InferenceResult>> doomed;
+  for (int i = 0; i < 3; ++i)
+    doomed.push_back(server.submit("echo", tiny_image(0.1f), rushed));
+  for (auto& fut : doomed) EXPECT_THROW(fut.get(), serve::DeadlineError);
+
+  // With the stall disarmed the same pool serves normally again.
+  common::failpoint_disarm_all();
+  EXPECT_EQ(server.submit("echo", tiny_image(0.05f)).get().prediction.label,
+            5);
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_GE(stats.expired, 3u);
+  EXPECT_EQ(stats.worker_restarts, 0u);  // a stall is not a crash
+  server.shutdown();
+}
+
+TEST(InferenceServerRobustness, WorkerCrashFailsOnlyInFlightBatch) {
+  FailpointGuard guard;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(), cfg);
+
+  // Kill the worker exactly once, with its first batch in hand.
+  common::FailpointSpec crash;
+  crash.max_hits = 1;
+  common::failpoint_arm("serve.worker.batch", crash);
+  auto killed = server.submit("echo", tiny_image(0.2f));
+  EXPECT_THROW(killed.get(), serve::WorkerCrashError);
+
+  // The supervised worker restarted: the pool keeps serving, and the
+  // restart is visible in the stats.
+  EXPECT_EQ(server.submit("echo", tiny_image(0.07f)).get().prediction.label,
+            7);
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_EQ(stats.worker_restarts, 1u);
+  EXPECT_EQ(stats.images, 1u);  // only the post-crash request computed
+  server.shutdown();
+}
+
+TEST(InferenceServerRobustness, ClientRetriesTransparentlyAcrossCrash) {
+  FailpointGuard guard;
+  // End-to-end acceptance path: a failpoint kills the worker mid-batch;
+  // only that batch fails, the client's bounded retry resubmits, the
+  // restarted worker serves the retry, and ModelStats reflects the crash.
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(), cfg);
+
+  common::FailpointSpec crash;
+  crash.max_hits = 1;
+  common::failpoint_arm("serve.worker.batch", crash);
+
+  serve::ClientConfig ccfg;
+  ccfg.max_retries = 2;
+  ccfg.backoff = std::chrono::microseconds(500);
+  serve::InferenceClient client(server, "echo", ccfg);
+  const serve::ClientResult res = client.classify(tiny_image(0.03f));
+  EXPECT_EQ(res.prediction.label, 3);
+  EXPECT_GE(res.retries, 1);
+
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_EQ(stats.worker_restarts, 1u);
+  EXPECT_EQ(stats.images, 1u);
+  server.shutdown();
+
+  // Terminal failures must NOT be retried: a deadline miss rethrows
+  // immediately even with retry budget left.
+  serve::InferenceServer server2;
+  serve::ServerConfig cfg2;
+  serve::InferenceServer* s2 = &server2;
+  s2->add_model("echo", std::make_unique<EchoBackend>(), cfg2);
+  common::FailpointSpec stall;
+  stall.action = common::FailpointAction::kSleep;
+  stall.delay_ms = 50;
+  common::failpoint_arm("serve.batcher.next", stall);
+  serve::InferenceClient client2(server2, "echo", ccfg);
+  serve::SubmitOptions rushed;
+  rushed.timeout = std::chrono::milliseconds(5);
+  EXPECT_THROW(client2.classify(tiny_image(0.1f), rushed),
+               serve::DeadlineError);
+  common::failpoint_disarm_all();
+  server2.shutdown();
+}
+
+TEST(InferenceServerRobustness, ShedOnOverloadKeepsHighPriorityBounded) {
+  // Offer ~2x the pool's throughput in low-priority work. The watermark
+  // sheds the excess at the door, so the queue a high-priority request
+  // waits behind is bounded — its latency stays far below the unbounded-
+  // queue worst case. Bounds are deliberately generous for CI machines;
+  // the structural asserts (sheds happened, every high-priority request
+  // succeeded without shedding) are the real contract.
+  constexpr auto kForward = 10ms;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 1;  // one forward per request: depth == latency backlog
+  cfg.batch_window = std::chrono::microseconds{0};
+  cfg.shed_watermark = 4;
+  serve::InferenceServer server;
+  server.add_model("echo", std::make_unique<EchoBackend>(kForward), cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> low_ok{0}, low_shed{0};
+  std::vector<std::thread> floods;
+  for (int t = 0; t < 2; ++t)
+    floods.emplace_back([&] {
+      serve::SubmitOptions low;
+      low.priority = serve::Priority::kLow;
+      // Fire-and-collect: each thread keeps many requests in flight so the
+      // offered load genuinely exceeds the one-at-a-time service rate.
+      std::vector<std::future<serve::InferenceResult>> futs;
+      while (!stop.load()) {
+        try {
+          futs.push_back(server.submit("echo", tiny_image(0.01f), low));
+        } catch (const serve::OverloadError&) {
+          low_shed.fetch_add(1);
+        }
+        std::this_thread::sleep_for(1ms);
+      }
+      for (auto& f : futs) {
+        f.get();  // accepted low-priority work is never dropped
+        low_ok.fetch_add(1);
+      }
+    });
+
+  serve::SubmitOptions high;
+  high.priority = serve::Priority::kHigh;
+  double worst_ms = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = server.submit("echo", tiny_image(0.02f), high).get();
+    EXPECT_EQ(res.prediction.label, 2);
+    worst_ms = std::max(
+        worst_ms, std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    std::this_thread::sleep_for(5ms);
+  }
+  stop = true;
+  for (auto& t : floods) t.join();
+
+  const serve::ModelStats stats = server.stats("echo");
+  EXPECT_GT(stats.shed, 0u);  // the overload was real and work was refused
+  // Watermark-bounded backlog: a high request waits at most ~(watermark+1)
+  // forwards (~50 ms here). 20x slack for loaded CI machines.
+  const double bound_ms =
+      20.0 * static_cast<double>(cfg.shed_watermark + 1) *
+      std::chrono::duration<double, std::milli>(kForward).count();
+  EXPECT_LT(worst_ms, bound_ms);
+  server.shutdown();
+}
+
+TEST(InferenceServerRobustness, CrashInWorkerPoolPreservesBitExactness) {
+  FailpointGuard guard;
+  // The acceptance scenario on a real quantized model: kill one worker of
+  // a 2-worker DeepCaps pool mid-batch. Only that batch's requests fail
+  // (the retrying client makes even those succeed), the pool keeps
+  // serving, results stay bit-identical to the direct model, and the
+  // restart shows up in ModelStats.
+  DeepCapsServeFixture fx;
+  serve::ServerConfig cfg;
+  cfg.max_batch = 2;
+  cfg.num_workers = 2;
+  serve::InferenceServer server;
+  server.add_model("deepcaps-int8",
+                   std::make_unique<serve::QuantizedBackend>("deepcaps-int8",
+                                                             *fx.net, fx.spec),
+                   cfg);
+  const std::uint64_t hits_before =
+      common::failpoint_hits("serve.worker.batch");
+  common::FailpointSpec crash;
+  crash.max_hits = 1;
+  common::failpoint_arm("serve.worker.batch", crash);
+
+  constexpr int kRequests = 12;
+  tensor::Tensor stacked({kRequests, 1, 28, 28});
+  serve::ClientConfig ccfg;
+  ccfg.max_retries = 3;
+  ccfg.backoff = std::chrono::microseconds(500);
+  std::atomic<int> wrong{0}, retried{0};
+  std::vector<std::thread> clients;
+  std::vector<int> want(kRequests, -1);
+  for (int i = 0; i < kRequests; ++i) {
+    const tensor::Tensor img = fx.image(0.23f * static_cast<float>(i));
+    std::memcpy(stacked.data() + i * img.numel(), img.data(),
+                sizeof(float) * static_cast<std::size_t>(img.numel()));
+  }
+  const std::vector<int> direct = fx.direct.predict_batch(stacked);
+  for (int i = 0; i < kRequests; ++i)
+    clients.emplace_back([&, i] {
+      serve::InferenceClient client(server, "deepcaps-int8", ccfg);
+      const serve::ClientResult res =
+          client.classify(fx.image(0.23f * static_cast<float>(i)));
+      if (res.prediction.label != direct[static_cast<std::size_t>(i)])
+        wrong.fetch_add(1);
+      if (res.retries > 0) retried.fetch_add(1);
+    });
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  const serve::ModelStats stats = server.stats("deepcaps-int8");
+  EXPECT_EQ(stats.worker_restarts, 1u);
+  EXPECT_EQ(common::failpoint_hits("serve.worker.batch"), hits_before + 1);
+  // Every request eventually computed exactly once post-retry.
+  EXPECT_EQ(stats.images, static_cast<std::uint64_t>(kRequests));
+  server.shutdown();
+}
+
+// ---- Robustness: requant-saturation observability --------------------------
+
+TEST(InferenceServerRobustness, SaturationCountersExportedThroughStats) {
+  // A 4-bit (Q1.3) ShallowCaps is deep in saturation territory: serving a
+  // few images must produce nonzero per-node clamp counters, visible
+  // through ModelStats, and trip the configured guardrail.
+  const auto mcfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(47);
+  auto net = models::build_shallow_caps(mcfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 3, fixed::RoundingScheme::kRoundToNearest);
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.num_workers = 2;  // counters must aggregate across replicas
+  cfg.saturation_threshold = 1e-6;
+  serve::InferenceServer server;
+  server.add_model("shallow-int4",
+                   std::make_unique<serve::QuantizedBackend>("shallow-int4",
+                                                             *net, spec),
+                   cfg);
+  std::vector<std::future<serve::InferenceResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    tensor::Tensor img({1, 28, 28});
+    for (std::int64_t j = 0; j < img.numel(); ++j)
+      img[j] = 0.5f + 0.5f * std::sin(static_cast<float>(i + 1) *
+                                      0.01f * static_cast<float>(j));
+    futures.push_back(server.submit("shallow-int4", img));
+  }
+  for (auto& fut : futures) fut.get();
+
+  const serve::ModelStats stats = server.stats("shallow-int4");
+  ASSERT_FALSE(stats.node_saturation.empty());
+  std::uint64_t total_saturated = 0, total_observed = 0;
+  for (const auto& node : stats.node_saturation) {
+    total_saturated += node.saturated;
+    total_observed += node.total;
+  }
+  EXPECT_GT(total_observed, 0u);
+  EXPECT_GT(total_saturated, 0u);  // 4-bit: clamping is guaranteed
+  EXPECT_GT(stats.saturation_rate, 0.0);
+  EXPECT_TRUE(stats.saturation_flagged);
+  server.shutdown();
+
+  // An FP32 backend reports no saturation data at all.
+  serve::InferenceServer fp32_server;
+  fp32_server.add_model(
+      "echo", std::make_unique<EchoBackend>(), serve::ServerConfig{});
+  fp32_server.submit("echo", tiny_image(0.1f)).get();
+  const serve::ModelStats fp32_stats = fp32_server.stats("echo");
+  EXPECT_TRUE(fp32_stats.node_saturation.empty());
+  EXPECT_FALSE(fp32_stats.saturation_flagged);
+  fp32_server.shutdown();
 }
 
 }  // namespace
