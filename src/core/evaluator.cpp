@@ -21,10 +21,15 @@ Evaluator::Evaluator(nn::Network& net, const data::Dataset& test_set,
 
 void Evaluator::calibrate() {
   net_.clear_quantization();
-  // One probe batch records per-layer |activation| maxima and sizes.
+  // One probe batch records per-layer |activation| maxima and sizes. The
+  // probe strides deterministically across the WHOLE test set: class-sorted
+  // or otherwise ordered datasets must still contribute samples from every
+  // region, or the activation maxima (and thus every searched spec's qa_int)
+  // would be skewed by whichever classes happen to come first.
   const std::int64_t probe = std::min<std::int64_t>(test_.size(), 64);
   std::vector<std::int64_t> idx(static_cast<std::size_t>(probe));
-  for (std::int64_t i = 0; i < probe; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (std::int64_t i = 0; i < probe; ++i)
+    idx[static_cast<std::size_t>(i)] = i * test_.size() / probe;
   net_.forward(test_.batch(idx), nn::Phase::kEval);
   act_int_bits_.clear();
   weight_int_bits_.clear();
@@ -70,9 +75,8 @@ float Evaluator::evaluate(const NetworkQuantSpec& spec) {
   calibrate_spec(calibrated);
   apply_spec(net_, calibrated);
   const float acc = nn::evaluate(net_, test_, batch_size_, eval_samples_);
-  ++evals_;
   net_.clear_quantization();
-  return acc;
+  return record(calibrated, acc);
 }
 
 }  // namespace qcaps::core

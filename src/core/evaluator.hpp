@@ -1,6 +1,15 @@
-// Quantized-accuracy evaluator: applies a NetworkQuantSpec to a trained
-// network and measures test accuracy. This is the `test(quant(model, ...))`
+// Quantized-accuracy evaluators: apply a NetworkQuantSpec to a trained
+// network and measure test accuracy. This is the `test(quant(model, ...))`
 // primitive every search step of Algorithm 1 calls.
+//
+// Two implementations share the EvaluatorBase interface:
+//   * Evaluator       — the fake-quant reference path: float values snapped
+//                       onto the fixed-point grid by hooks on the FP32
+//                       network (src/nn/quant_hooks.hpp).
+//   * QGraphEvaluator — (core/qgraph_evaluator.hpp) the integer deployment
+//                       path: each candidate spec compiles to a
+//                       qengine::QuantizedGraph and runs batched, memoized,
+//                       with packed weights reused across candidates.
 //
 // Calibration: the paper keeps a single integer bit everywhere. Our trained
 // models can have pre-squash activations outside [-1, 1), so the evaluator
@@ -11,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/memory_model.hpp"
 #include "core/quant_spec.hpp"
@@ -19,7 +29,66 @@
 
 namespace qcaps::core {
 
-class Evaluator {
+/// What the Algorithm 1/2/3 search primitives consume: an accuracy oracle
+/// over quantization specs plus the bookkeeping the framework driver needs.
+/// Implemented by the fake-quant Evaluator, the integer QGraphEvaluator, and
+/// scripted fakes in tests.
+class EvaluatorBase {
+ public:
+  virtual ~EvaluatorBase() = default;
+
+  /// Accuracy under `spec`.
+  virtual float evaluate(const NetworkQuantSpec& spec) = 0;
+
+  /// Accuracy under `spec` for a caller that only needs the exact value when
+  /// it reaches `acc_floor` (every Algorithm 1/2/3 comparison has this
+  /// shape). Implementations may stop evaluating once the result is provably
+  /// below the floor and return an upper bound on the true accuracy — still
+  /// below the floor, so the caller's pass/fail verdict is exact. Accepted
+  /// (>= floor) results are always fully evaluated. Default: full evaluation.
+  virtual float evaluate_bounded(const NetworkQuantSpec& spec,
+                                 float /*acc_floor*/) {
+    return evaluate(spec);
+  }
+
+  /// FP32 reference accuracy.
+  virtual float evaluate_fp32() = 0;
+
+  /// Fill the integer-bit fields of `spec` from calibrated ranges.
+  virtual void calibrate_spec(NetworkQuantSpec& spec) const = 0;
+
+  /// Static sizes of the network under search (Eq. 6, reductions).
+  virtual const MemoryModel& memory() const = 0;
+
+  std::int64_t num_evaluations() const { return evals_; }
+
+  /// Observe every real evaluation: the spec as executed (integer bits
+  /// calibrated), its accuracy, and whether the evaluation was truncated by
+  /// an evaluate_bounded early exit (accuracy is then an upper bound, not
+  /// the exact value). The search trace hooks in here; memoized replays do
+  /// not re-notify.
+  using Observer =
+      std::function<void(const NetworkQuantSpec&, float, bool truncated)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+ protected:
+  /// Count one evaluation and notify the observer; returns `accuracy`.
+  float record(const NetworkQuantSpec& executed, float accuracy,
+               bool truncated = false) {
+    ++evals_;
+    if (observer_) observer_(executed, accuracy, truncated);
+    return accuracy;
+  }
+
+  std::int64_t evals_ = 0;
+
+ private:
+  Observer observer_;
+};
+
+/// The fake-quant reference evaluator: installs quantizer hooks on the FP32
+/// network and measures accuracy on a deterministic test subset.
+class Evaluator : public EvaluatorBase {
  public:
   /// `eval_samples` caps the per-evaluation test subset (the search makes
   /// dozens of evaluations); <= 0 uses the full test set.
@@ -27,28 +96,29 @@ class Evaluator {
             std::int64_t eval_samples = -1, std::int64_t batch_size = 64);
 
   /// FP32 accuracy (hooks cleared). Also (re)runs calibration.
-  float evaluate_fp32();
+  float evaluate_fp32() override;
 
   /// Accuracy under `spec`. Calibrated integer bits are written into a copy
-  /// of the spec; use calibrate() beforehand if you need them externally.
-  float evaluate(const NetworkQuantSpec& spec);
+  /// of the spec; use calibrate_spec() beforehand if you need them
+  /// externally.
+  float evaluate(const NetworkQuantSpec& spec) override;
 
   /// Fill the integer-bit fields of `spec` from the calibrated ranges.
-  void calibrate_spec(NetworkQuantSpec& spec) const;
+  void calibrate_spec(NetworkQuantSpec& spec) const override;
 
-  const MemoryModel& memory() const { return memory_; }
+  const MemoryModel& memory() const override { return memory_; }
   nn::Network& network() { return net_; }
-  std::int64_t num_evaluations() const { return evals_; }
   std::int64_t eval_samples() const { return eval_samples_; }
 
- private:
-  void calibrate();
-
+ protected:
   nn::Network& net_;
   const data::Dataset& test_;
   std::int64_t eval_samples_;
   std::int64_t batch_size_;
-  std::int64_t evals_ = 0;
+
+ private:
+  void calibrate();
+
   MemoryModel memory_;
   std::vector<int> act_int_bits_;     ///< per weighted layer
   std::vector<int> weight_int_bits_;  ///< per weighted layer

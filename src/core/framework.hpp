@@ -12,6 +12,10 @@
 //   Path B   (budget and tolerance incompatible)
 //     Step 3B uniform + layer-wise weight quantization -> model_accuracy,
 //             returned alongside the Step-2 model_memory
+//
+// The accuracy oracle is pluggable (EvaluatorBase): the classic fake-quant
+// path, or the integer qgraph deployment path (QGraphEvaluator) that the
+// search runs at deployment fidelity — see docs/search.md.
 #pragma once
 
 #include <optional>
@@ -24,6 +28,8 @@
 #include "data/dataset.hpp"
 
 namespace qcaps::core {
+
+class SearchTrace;
 
 struct FrameworkConfig {
   /// accTOL: tolerated relative accuracy loss (e.g. 0.002 = 0.2%).
@@ -39,6 +45,18 @@ struct FrameworkConfig {
   int init_frac = 31;
   int min_frac = 0;
   bool verbose = true;
+
+  /// Accuracy oracle: the fake-quant nn::Network reference path, or the
+  /// compiled integer QuantizedGraph path (memoized, packed-weight reuse).
+  enum class Backend { kFakeQuant, kQGraph };
+  Backend backend = Backend::kFakeQuant;
+  /// kQGraph only: evaluate through a serve::InferenceServer pool of this
+  /// many workers (<= 1 evaluates directly on the calling thread).
+  int qgraph_workers = 0;
+
+  /// Optional: record every evaluation (spec, accuracy, memory, energy)
+  /// into this trace — the Pareto-front artifact. Not owned.
+  SearchTrace* trace = nullptr;
 };
 
 enum class ExitPath { kSatisfied, kFallback };  // Path A / Path B
@@ -51,6 +69,10 @@ struct QuantizedModel {
   std::int64_t activation_bits = 0;
   double weight_reduction = 0.0;
   double activation_reduction = 0.0;
+  /// False when the search that produced this model could not reach its
+  /// accuracy floor (the spec/accuracy describe the best attempt, which
+  /// does NOT honor the tolerance).
+  bool feasible = true;
 };
 
 /// Outcome of Algorithm 1 for one rounding scheme.
@@ -58,6 +80,7 @@ struct SchemeResult {
   fixed::RoundingScheme scheme = fixed::RoundingScheme::kTruncation;
   ExitPath path = ExitPath::kSatisfied;
   int step1_frac = 0;                        ///< Q found by Step 1
+  bool step1_feasible = true;                ///< Step 1 reached its floor
   std::optional<QuantizedModel> satisfied;   ///< Path A output
   QuantizedModel memory_model;               ///< Step-2 model_memory
   std::optional<QuantizedModel> accuracy_model;  ///< Path B output
@@ -75,13 +98,25 @@ struct FrameworkResult {
   std::optional<QuantizedModel> model_memory;     ///< Path B winners
   std::optional<QuantizedModel> model_accuracy;
 
+  /// True when a selected model honors the accuracy tolerance: Path A
+  /// always, Path B only if some scheme's accuracy_model reached the
+  /// target. When false, only model_memory (budget-driven, accuracy
+  /// best-effort) is returned.
+  bool feasible = true;
+
   std::int64_t total_evaluations = 0;
 };
 
-/// Run the framework on a trained network. The network is left with hooks
-/// cleared; re-apply a result spec with apply_spec() to use the model.
+/// Run the framework on a trained network with the configured backend. The
+/// network is left with hooks cleared; re-apply a result spec with
+/// apply_spec() to use the model.
 FrameworkResult run_qcapsnets(nn::Network& net, const data::Dataset& test_set,
                               const FrameworkConfig& cfg);
+
+/// Run the framework against an externally-constructed evaluator (any
+/// EvaluatorBase — a QGraphEvaluator with custom settings, a scripted fake
+/// in tests). `cfg.backend` is ignored on this overload.
+FrameworkResult run_qcapsnets(EvaluatorBase& eval, const FrameworkConfig& cfg);
 
 /// Human-readable summary (per-layer bit tables in the style of Fig. 11).
 std::string report(const FrameworkResult& result, const MemoryModel& memory);

@@ -3,8 +3,51 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "nn/conv_caps.hpp"
+#include "nn/fc_caps.hpp"
+#include "nn/primary_caps.hpp"
 
 namespace qcaps::core {
+
+namespace {
+// Squash activations / routing-softmax rows per sample for the hwmodel
+// energy roll-up. Derived from layer geometry (activation counts are the
+// recorded per-sample sizes, so the probe forward must have run).
+void count_special_ops(const nn::Layer& layer, std::int64_t activations,
+                       std::int64_t& squash, std::int64_t& softmax) {
+  if (const auto* pc = dynamic_cast<const nn::PrimaryCapsLayer*>(&layer)) {
+    squash += activations / pc->caps_dim();
+    return;
+  }
+  if (const auto* rc = dynamic_cast<const nn::RoutedConvCapsLayer*>(&layer)) {
+    const std::int64_t positions =
+        activations / (rc->out_types() * rc->out_dim());
+    squash += positions * rc->iterations() * rc->out_types();
+    softmax += positions * rc->iterations() * rc->in_types();
+    return;
+  }
+  if (const auto* cc = dynamic_cast<const nn::ConvCapsLayer*>(&layer)) {
+    squash += activations / cc->out_dim();
+    return;
+  }
+  if (const auto* fc = dynamic_cast<const nn::FCCapsLayer*>(&layer)) {
+    squash += static_cast<std::int64_t>(fc->iterations()) * fc->num_out();
+    softmax += static_cast<std::int64_t>(fc->iterations()) * fc->num_in();
+    return;
+  }
+  if (const auto* blk = dynamic_cast<const nn::CapsBlockLayer*>(&layer)) {
+    // The block is one quantization unit; roll its four convolutions up.
+    for (const nn::ConvCapsLayer* c :
+         {&blk->conv1(), &blk->conv2(), &blk->conv3()})
+      count_special_ops(*c, c->activation_elems_per_sample(), squash, softmax);
+    count_special_ops(blk->skip_layer(),
+                      blk->skip_layer().activation_elems_per_sample(), squash,
+                      softmax);
+    return;
+  }
+  // Plain conv / fc layers have no squash or routing datapath.
+}
+}  // namespace
 
 MemoryModel MemoryModel::capture(nn::Network& net) {
   MemoryModel mm;
@@ -20,9 +63,17 @@ MemoryModel MemoryModel::capture(nn::Network& net) {
                     "layer " << s.name
                              << " has no recorded activations — run a probe "
                                 "forward pass before capture()");
+    count_special_ops(layer, s.activations, s.squash_ops, s.softmax_ops);
     mm.layers_.push_back(std::move(s));
   }
   QCAPS_CHECK_MSG(!mm.layers_.empty(), "network has no weighted layers");
+  return mm;
+}
+
+MemoryModel MemoryModel::from_layers(std::vector<LayerSizes> layers) {
+  QCAPS_CHECK_MSG(!layers.empty(), "from_layers: no layers given");
+  MemoryModel mm;
+  mm.layers_ = std::move(layers);
   return mm;
 }
 

@@ -21,6 +21,8 @@ struct LayerSizes {
   std::int64_t params = 0;
   std::int64_t activations = 0;  ///< output elements per sample
   std::int64_t macs = 0;         ///< MAC operations per sample
+  std::int64_t squash_ops = 0;   ///< squash activations per sample
+  std::int64_t softmax_ops = 0;  ///< routing softmax rows per sample
   bool has_routing = false;
 };
 
@@ -29,6 +31,10 @@ class MemoryModel {
   /// Capture parameter/activation counts from `net`. The network must have
   /// run at least one forward pass (activation sizes are recorded then).
   static MemoryModel capture(nn::Network& net);
+
+  /// Build directly from per-layer sizes — scripted evaluators in tests and
+  /// offline cost studies don't need a live network.
+  static MemoryModel from_layers(std::vector<LayerSizes> layers);
 
   const std::vector<LayerSizes>& layers() const { return layers_; }
   std::size_t num_layers() const { return layers_.size(); }

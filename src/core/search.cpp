@@ -23,12 +23,24 @@ void set_frac(LayerQuantSpec& layer, Target target, int frac) {
   }
 }
 
-int get_frac(const LayerQuantSpec& layer, Target target) {
-  return target == Target::kWeights ? layer.qw_frac : layer.qa_frac;
+// Lower every targeted field of `layer` by one FROM ITS OWN current value.
+// Returns false (leaving `layer` untouched) when any targeted field would
+// cross below min_frac. This is the Algorithm 2 move: a combined
+// weights+activations target must not read one field and write both, or a
+// divergent qa/qw base (any spec after Step 2 touches only qw_frac) gets its
+// activation widths silently clobbered to weight-derived values.
+bool lower_frac(LayerQuantSpec& layer, Target target, int min_frac) {
+  const bool weights = target != Target::kActivations;
+  const bool acts = target != Target::kWeights;
+  if (weights && layer.qw_frac - 1 < min_frac) return false;
+  if (acts && layer.qa_frac - 1 < min_frac) return false;
+  if (weights) --layer.qw_frac;
+  if (acts) --layer.qa_frac;
+  return true;
 }
 }  // namespace
 
-UniformSearchResult binary_search_uniform(Evaluator& eval,
+UniformSearchResult binary_search_uniform(EvaluatorBase& eval,
                                           const NetworkQuantSpec& base,
                                           Target target, int init_frac,
                                           int min_frac, float acc_min) {
@@ -41,16 +53,16 @@ UniformSearchResult binary_search_uniform(Evaluator& eval,
   // Invariant: `hi` is the smallest width known to satisfy acc_min (verified
   // at the end); `lo` is one below the candidate range.
   int lo = min_frac - 1, hi = init_frac;
-  float hi_acc = eval.evaluate(spec_for(hi));
+  float hi_acc = eval.evaluate_bounded(spec_for(hi), acc_min);
   if (hi_acc < acc_min) {
     QCAPS_WARN << "binary search: even " << init_frac
                << " fractional bits misses the accuracy floor (" << hi_acc
                << " < " << acc_min << ")";
-    return {spec_for(hi), hi, hi_acc};
+    return {spec_for(hi), hi, hi_acc, /*feasible=*/false};
   }
   while (hi - lo > 1) {
     const int mid = lo + (hi - lo) / 2;
-    const float acc = eval.evaluate(spec_for(mid));
+    const float acc = eval.evaluate_bounded(spec_for(mid), acc_min);
     if (acc >= acc_min) {
       hi = mid;
       hi_acc = acc;
@@ -58,10 +70,10 @@ UniformSearchResult binary_search_uniform(Evaluator& eval,
       lo = mid;
     }
   }
-  return {spec_for(hi), hi, hi_acc};
+  return {spec_for(hi), hi, hi_acc, /*feasible=*/true};
 }
 
-LayerWiseResult layer_wise_quantization(Evaluator& eval,
+LayerWiseResult layer_wise_quantization(EvaluatorBase& eval,
                                         const NetworkQuantSpec& base,
                                         Target target, float acc_min,
                                         int min_frac) {
@@ -72,48 +84,54 @@ LayerWiseResult layer_wise_quantization(Evaluator& eval,
   // StartL = 1: the first layer is never reduced (Algorithm 2, line 4).
   for (std::size_t start_l = 1; start_l < L; ++start_l) {
     while (true) {
-      // Tentatively lower layers [start_l, L) by one fractional bit.
+      // Tentatively lower layers [start_l, L) by one fractional bit, each
+      // field relative to its own current width.
       NetworkQuantSpec trial = spec;
       bool room = true;
       for (std::size_t l = start_l; l < L; ++l) {
-        const int q = get_frac(trial.layers[l], target) - 1;
-        if (q < min_frac) {
+        if (!lower_frac(trial.layers[l], target, min_frac)) {
           room = false;
           break;
         }
-        set_frac(trial.layers[l], target, q);
       }
       if (!room) break;
-      const float acc = eval.evaluate(trial);
+      const float acc = eval.evaluate_bounded(trial, acc_min);
       if (acc < acc_min) break;  // revert: keep `spec` (the +1 of line 11)
       spec = std::move(trial);
       last_acc = acc;
       have_acc = true;
     }
   }
-  if (!have_acc) last_acc = eval.evaluate(spec);
-  return {spec, last_acc};
+  if (!have_acc) last_acc = eval.evaluate_bounded(spec, acc_min);
+  return {spec, last_acc, /*feasible=*/last_acc >= acc_min};
 }
 
-DrQuantResult dr_quantization(Evaluator& eval, const NetworkQuantSpec& base,
+DrQuantResult dr_quantization(EvaluatorBase& eval,
+                              const NetworkQuantSpec& base,
                               std::size_t layer_index, int init_frac,
                               float acc_min, int min_frac) {
   QCAPS_CHECK(layer_index < base.layers.size());
   NetworkQuantSpec spec = base;
   spec.layers[layer_index].qdr_frac = init_frac;
   int q = init_frac;
-  float best_acc = eval.evaluate(spec);
+  float best_acc = eval.evaluate_bounded(spec, acc_min);
+  if (best_acc < acc_min) {
+    QCAPS_WARN << "DR quantization: layer " << layer_index << " at QDR = "
+               << init_frac << " already misses the accuracy floor ("
+               << best_acc << " < " << acc_min << ")";
+    return {spec, q, best_acc, /*feasible=*/false};
+  }
   // Algorithm 3: keep lowering while accuracy holds, then back off one.
   while (q > min_frac) {
     NetworkQuantSpec trial = spec;
     trial.layers[layer_index].qdr_frac = q - 1;
-    const float acc = eval.evaluate(trial);
+    const float acc = eval.evaluate_bounded(trial, acc_min);
     if (acc < acc_min) break;
     --q;
     spec = std::move(trial);
     best_acc = acc;
   }
-  return {spec, q, best_acc};
+  return {spec, q, best_acc, /*feasible=*/true};
 }
 
 }  // namespace qcaps::core

@@ -2,6 +2,10 @@
 //   * binary_search_uniform — Step 1 (and the Path-B weight re-search)
 //   * LayerWise             — Algorithm 2 (Steps 3A / 3B)
 //   * DRQuant               — Algorithm 3 (Step 4A)
+//
+// All primitives consume an EvaluatorBase — the fake-quant reference
+// evaluator, the integer QGraphEvaluator and scripted test fakes are
+// interchangeable accuracy oracles.
 #pragma once
 
 #include <functional>
@@ -17,14 +21,16 @@ enum class Target { kWeights, kActivations, kWeightsAndActivations };
 /// Step 1: binary search the minimum uniform fractional width Q in
 /// [min_frac, init_frac] such that accuracy(Q applied to `target`) >= acc_min.
 /// Starts from `base` (other fields untouched) and returns the updated spec
-/// plus the found Q. If even init_frac fails, returns Q = init_frac.
+/// plus the found Q. If even init_frac fails the floor, the result carries
+/// `feasible = false` (spec/accuracy describe the init_frac point).
 struct UniformSearchResult {
   NetworkQuantSpec spec;
   int frac_bits = 0;
   float accuracy = 0.0f;
+  bool feasible = true;
 };
 
-UniformSearchResult binary_search_uniform(Evaluator& eval,
+UniformSearchResult binary_search_uniform(EvaluatorBase& eval,
                                           const NetworkQuantSpec& base,
                                           Target target, int init_frac,
                                           int min_frac, float acc_min);
@@ -32,27 +38,36 @@ UniformSearchResult binary_search_uniform(Evaluator& eval,
 /// Algorithm 2: layer-wise reduction. Starting at `base`, repeatedly lowers
 /// the fractional widths of `target` for all layers in [start_l, L) by one
 /// while accuracy stays >= acc_min, then freezes start_l and advances. The
-/// first layer (l = 0) is never reduced, matching the paper.
+/// first layer (l = 0) is never reduced, matching the paper. Each targeted
+/// field is decremented from its own current value, so divergent qa/qw bases
+/// (any spec after Step 2) keep their relative offsets. `feasible` is false
+/// only when the base spec itself misses the floor and no reduction was
+/// accepted.
 struct LayerWiseResult {
   NetworkQuantSpec spec;
   float accuracy = 0.0f;
+  bool feasible = true;
 };
 
-LayerWiseResult layer_wise_quantization(Evaluator& eval,
+LayerWiseResult layer_wise_quantization(EvaluatorBase& eval,
                                         const NetworkQuantSpec& base,
                                         Target target, float acc_min,
                                         int min_frac = 0);
 
 /// Algorithm 3: dynamic-routing quantization for one routing layer. Lowers
 /// that layer's QDR from `init_frac` until accuracy drops below acc_min,
-/// then backs off one step.
+/// then backs off one step. If the initial eval (QDR = init_frac) already
+/// fails acc_min, the result carries `feasible = false` and callers should
+/// keep their pre-DR spec.
 struct DrQuantResult {
   NetworkQuantSpec spec;
   int qdr_frac = 0;
   float accuracy = 0.0f;
+  bool feasible = true;
 };
 
-DrQuantResult dr_quantization(Evaluator& eval, const NetworkQuantSpec& base,
+DrQuantResult dr_quantization(EvaluatorBase& eval,
+                              const NetworkQuantSpec& base,
                               std::size_t layer_index, int init_frac,
                               float acc_min, int min_frac = 0);
 

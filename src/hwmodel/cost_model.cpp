@@ -1,5 +1,7 @@
 #include "hwmodel/cost_model.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace qcaps::hwmodel {
@@ -71,6 +73,20 @@ InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
   e.softmax_pj = static_cast<double>(softmax_ops) *
                  SoftmaxUnitModel{}.cost(act_frac_bits).energy_pj;
   return e;
+}
+
+double layer_energy_pj(std::int64_t macs, int mac_bits, std::int64_t squash_ops,
+                       int squash_frac_bits, std::int64_t softmax_ops,
+                       int softmax_frac_bits) {
+  double pj =
+      static_cast<double>(macs) * MacUnitModel{}.cost(mac_bits).energy_pj;
+  if (squash_ops > 0)
+    pj += static_cast<double>(squash_ops) *
+          SquashUnitModel{}.cost(std::max(1, squash_frac_bits)).energy_pj;
+  if (softmax_ops > 0)
+    pj += static_cast<double>(softmax_ops) *
+          SoftmaxUnitModel{}.cost(std::max(1, softmax_frac_bits)).energy_pj;
+  return pj;
 }
 
 }  // namespace qcaps::hwmodel

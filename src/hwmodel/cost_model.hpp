@@ -60,6 +60,14 @@ InferenceEnergy inference_energy(std::int64_t macs, int mac_bits,
                                  std::int64_t squash_ops,
                                  std::int64_t softmax_ops, int act_frac_bits);
 
+/// Per-layer roll-up where the routing softmax runs at its own fractional
+/// width (QDR — the quantity Algorithm 3 searches separately from QA).
+/// Fractional widths of 0 clamp to 1 bit, the models' minimum. This is what
+/// the search driver attaches to every explored quantization point.
+double layer_energy_pj(std::int64_t macs, int mac_bits, std::int64_t squash_ops,
+                       int squash_frac_bits, std::int64_t softmax_ops,
+                       int softmax_frac_bits);
+
 // ---- host calibration --------------------------------------------------
 //
 // Measured kernel throughputs of THIS repository's software backends on the

@@ -1,8 +1,14 @@
 #include "qengine/qgraph.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "common/error.hpp"
 #include "hwmodel/units.hpp"
@@ -63,27 +69,66 @@ double tensor_abs_max(const tensor::Tensor& t) {
   return m;
 }
 
+// The weight-cache key: layer identity + the spec fields that determine the
+// quantized bytes. Everything else about the layer (FP32 masters, BN stats)
+// is frozen for the cache's lifetime by contract.
+std::string weight_key(const std::string& source,
+                       const core::LayerQuantSpec& ls,
+                       fixed::RoundingScheme scheme) {
+  return source + '|' + std::to_string(ls.qw_int) + '.' +
+         std::to_string(ls.qw_frac) + '|' +
+         std::to_string(static_cast<int>(scheme));
+}
+
+// Fill op's weight fields from the cache, or run `build` and remember the
+// result. `build` must populate weight/bias/wcache (and the type_* vectors
+// for kConvCaps3d) on the op it is given.
+template <typename Build>
+void with_weights(QGraphWeightCache* cache, const core::LayerQuantSpec& ls,
+                  fixed::RoundingScheme scheme, QuantizedOp& op,
+                  Build&& build) {
+  if (cache == nullptr) {
+    build(op);
+    return;
+  }
+  const std::string key = weight_key(op.source, ls, scheme);
+  if (const QGraphWeightCache::Entry* e = cache->find(key)) {
+    op.weight = e->weight;
+    op.bias = e->bias;
+    op.wcache = e->wcache;
+    op.type_weights = e->type_weights;
+    op.type_caches = e->type_caches;
+    return;
+  }
+  build(op);
+  cache->put(key, {op.weight, op.bias, op.wcache, op.type_weights,
+                   op.type_caches});
+}
+
 // Compile one ConvCapsLayer (BN folded) into a kConvCaps node.
 QuantizedOp compile_conv_caps(const nn::ConvCapsLayer& l,
                               const core::LayerQuantSpec& ls,
-                              fixed::RoundingScheme scheme, int input) {
+                              fixed::RoundingScheme scheme, int input,
+                              QGraphWeightCache* cache) {
   QuantizedOp op;
   op.kind = QOpKind::kConvCaps;
   op.input = input;
   op.source = l.name();
-  tensor::Tensor w = l.master_weight();
-  tensor::Tensor b = l.master_bias();
-  if (const nn::BatchNorm2d* bn = l.batch_norm()) {
-    FoldedConv folded = fold_batch_norm(w, b, *bn);
-    const double m =
-        std::max(tensor_abs_max(folded.weight), tensor_abs_max(folded.bias));
-    op.weight = quantize_weight(folded.weight, ls, scheme, /*widen=*/true, m);
-    op.bias = QTensor::from_float(folded.bias, op.weight.fmt, scheme);
-  } else {
-    op.weight = quantize_weight(w, ls, scheme, /*widen=*/false);
-    if (b.numel() > 0) op.bias = QTensor::from_float(b, op.weight.fmt, scheme);
-  }
-  op.wcache = make_operand_cache(op.weight);
+  with_weights(cache, ls, scheme, op, [&](QuantizedOp& o) {
+    tensor::Tensor w = l.master_weight();
+    tensor::Tensor b = l.master_bias();
+    if (const nn::BatchNorm2d* bn = l.batch_norm()) {
+      FoldedConv folded = fold_batch_norm(w, b, *bn);
+      const double m =
+          std::max(tensor_abs_max(folded.weight), tensor_abs_max(folded.bias));
+      o.weight = quantize_weight(folded.weight, ls, scheme, /*widen=*/true, m);
+      o.bias = QTensor::from_float(folded.bias, o.weight.fmt, scheme);
+    } else {
+      o.weight = quantize_weight(w, ls, scheme, /*widen=*/false);
+      if (b.numel() > 0) o.bias = QTensor::from_float(b, o.weight.fmt, scheme);
+    }
+    o.wcache = make_operand_cache(o.weight);
+  });
   op.stride = l.stride();
   op.pad = l.pad();
   op.in_types = l.in_types();
@@ -99,16 +144,19 @@ QuantizedOp compile_conv_caps(const nn::ConvCapsLayer& l,
 // per input type, that type's vote convolution weight, packed once.
 QuantizedOp compile_conv_caps3d(const nn::RoutedConvCapsLayer& l,
                                 const core::LayerQuantSpec& ls,
-                                fixed::RoundingScheme scheme, int input) {
+                                fixed::RoundingScheme scheme, int input,
+                                QGraphWeightCache* cache) {
   QuantizedOp op;
   op.kind = QOpKind::kConvCaps3d;
   op.input = input;
   op.source = l.name();
-  for (std::int64_t t = 0; t < l.in_types(); ++t) {
-    QTensor wt = quantize_weight(l.weight_slice(t), ls, scheme, false);
-    op.type_caches.push_back(make_operand_cache(wt));
-    op.type_weights.push_back(std::move(wt));
-  }
+  with_weights(cache, ls, scheme, op, [&](QuantizedOp& o) {
+    for (std::int64_t t = 0; t < l.in_types(); ++t) {
+      QTensor wt = quantize_weight(l.weight_slice(t), ls, scheme, false);
+      o.type_caches.push_back(make_operand_cache(wt));
+      o.type_weights.push_back(std::move(wt));
+    }
+  });
   op.stride = l.stride();
   op.pad = l.pad();
   op.in_types = l.in_types();
@@ -238,6 +286,18 @@ QTensor exec_flatten(const QuantizedOp& op, const QTensor& x) {
 
 }  // namespace
 
+const QGraphWeightCache::Entry* QGraphWeightCache::find(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void QGraphWeightCache::put(std::string key, Entry entry) {
+  entries_.emplace(std::move(key), std::move(entry));
+}
+
 std::int64_t QuantizedOp::weight_bits() const {
   std::int64_t bits = weight.numel() * weight.fmt.wordlength() +
                       bias.numel() * bias.fmt.wordlength();
@@ -299,7 +359,9 @@ FoldedConv fold_batch_norm(const tensor::Tensor& weight,
 }
 
 QuantizedGraph QuantizedGraph::compile(nn::Network& net,
-                                       const core::NetworkQuantSpec& spec) {
+                                       const core::NetworkQuantSpec& spec,
+                                       QGraphWeightCache* weights,
+                                       bool track_saturation) {
   core::check_spec_covers(net, spec);
   const auto scheme = spec.scheme;
   QuantizedGraph g;
@@ -331,11 +393,13 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
       op.kind = QOpKind::kConv2d;
       op.input = last;
       op.source = layer.name();
-      op.weight = quantize_weight(conv->master_weight(), ls, scheme, false);
-      if (conv->master_bias().numel() > 0)
-        op.bias = QTensor::from_float(conv->master_bias(), op.weight.fmt,
-                                      scheme);
-      op.wcache = make_operand_cache(op.weight);
+      with_weights(weights, ls, scheme, op, [&](QuantizedOp& o) {
+        o.weight = quantize_weight(conv->master_weight(), ls, scheme, false);
+        if (conv->master_bias().numel() > 0)
+          o.bias = QTensor::from_float(conv->master_bias(), o.weight.fmt,
+                                       scheme);
+        o.wcache = make_operand_cache(o.weight);
+      });
       op.stride = conv->stride();
       op.pad = conv->pad();
       op.out_fmt = ls.act_format();
@@ -353,10 +417,13 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
       op.kind = QOpKind::kPrimaryCaps;
       op.input = last;
       op.source = layer.name();
-      op.weight = quantize_weight(primary->master_weight(), ls, scheme, false);
-      op.bias = QTensor::from_float(primary->master_bias(), op.weight.fmt,
-                                    scheme);
-      op.wcache = make_operand_cache(op.weight);
+      with_weights(weights, ls, scheme, op, [&](QuantizedOp& o) {
+        o.weight =
+            quantize_weight(primary->master_weight(), ls, scheme, false);
+        o.bias = QTensor::from_float(primary->master_bias(), o.weight.fmt,
+                                     scheme);
+        o.wcache = make_operand_cache(o.weight);
+      });
       op.stride = primary->stride();
       op.pad = 0;
       op.caps_types = primary->caps_types();
@@ -370,8 +437,10 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
       votes.kind = QOpKind::kVoteTransform;
       votes.input = last;
       votes.source = layer.name();
-      votes.weight = quantize_weight(fc->master_weight(), ls, scheme, false);
-      votes.wcache = make_operand_cache(votes.weight);
+      with_weights(weights, ls, scheme, votes, [&](QuantizedOp& o) {
+        o.weight = quantize_weight(fc->master_weight(), ls, scheme, false);
+        o.wcache = make_operand_cache(o.weight);
+      });
       votes.in_types = fc->num_in();
       votes.in_dim = fc->dim_in();
       votes.out_types = fc->num_out();
@@ -396,23 +465,23 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
       push(std::move(op));
     } else if (auto* block = dynamic_cast<nn::CapsBlockLayer*>(&layer)) {
       const auto& ls = take_spec(layer);
-      push(compile_conv_caps(block->conv1(), ls, scheme, last));
+      push(compile_conv_caps(block->conv1(), ls, scheme, last, weights));
       const int x1 = last;
-      push(compile_conv_caps(block->conv2(), ls, scheme, last));
-      push(compile_conv_caps(block->conv3(), ls, scheme, last));
+      push(compile_conv_caps(block->conv2(), ls, scheme, last, weights));
+      push(compile_conv_caps(block->conv3(), ls, scheme, last, weights));
       const int x3 = last;
       if (block->routed_skip()) {
         const auto* routed =
             dynamic_cast<const nn::RoutedConvCapsLayer*>(&block->skip_layer());
         QCAPS_CHECK_MSG(routed != nullptr,
                         layer.name() << ": routed skip is not ConvCaps3D");
-        push(compile_conv_caps3d(*routed, ls, scheme, x1));
+        push(compile_conv_caps3d(*routed, ls, scheme, x1, weights));
       } else {
         const auto* skip =
             dynamic_cast<const nn::ConvCapsLayer*>(&block->skip_layer());
         QCAPS_CHECK_MSG(skip != nullptr,
                         layer.name() << ": skip is not a ConvCaps layer");
-        push(compile_conv_caps(*skip, ls, scheme, x1));
+        push(compile_conv_caps(*skip, ls, scheme, x1, weights));
       }
       // Both branches carry the block's activation format today; should a
       // future per-conv spec diverge them, align the skip with an explicit
@@ -435,11 +504,11 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
       push(std::move(add));
     } else if (auto* caps = dynamic_cast<nn::ConvCapsLayer*>(&layer)) {
       const auto& ls = take_spec(layer);
-      push(compile_conv_caps(*caps, ls, scheme, last));
+      push(compile_conv_caps(*caps, ls, scheme, last, weights));
     } else if (auto* routed =
                    dynamic_cast<nn::RoutedConvCapsLayer*>(&layer)) {
       const auto& ls = take_spec(layer);
-      push(compile_conv_caps3d(*routed, ls, scheme, last));
+      push(compile_conv_caps3d(*routed, ls, scheme, last, weights));
     } else {
       QCAPS_CHECK_MSG(false, "quantized-graph compiler does not support layer "
                                  << layer.name());
@@ -449,14 +518,57 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
                   "spec has " << spec.layers.size() << " entries but only " << w
                               << " weighted layers were compiled");
   QCAPS_CHECK_MSG(!g.ops_.empty(), "cannot compile an empty network");
-  g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
+  if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
   return g;
 }
+
+namespace {
+// Opt-in micro-profiler (QCAPS_QGRAPH_PROFILE=1): cumulative wall time per op
+// kind across every forward in the process, dumped at exit. Diagnoses where
+// search evaluations / serving requests spend their time.
+struct OpProfile {
+  std::array<std::atomic<std::int64_t>, 16> ns{};
+  bool enabled = std::getenv("QCAPS_QGRAPH_PROFILE") != nullptr;
+  ~OpProfile() {
+    if (!enabled) return;
+    static const char* names[] = {"conv2d",    "relu",       "rescale",
+                                  "primary",   "votes",      "routing",
+                                  "convcaps",  "convcaps3d", "residual",
+                                  "flatten",   "satscan",    "input-quant"};
+    std::fprintf(stderr, "[qgraph profile]\n");
+    for (std::size_t i = 0; i < std::size(names); ++i)
+      if (ns[i].load() > 0)
+        std::fprintf(stderr, "  %-12s %8.1f ms\n", names[i],
+                     static_cast<double>(ns[i].load()) / 1e6);
+  }
+};
+OpProfile g_profile;
+
+struct OpTimer {
+  std::size_t slot;
+  std::chrono::steady_clock::time_point t0;
+  explicit OpTimer(std::size_t s)
+      : slot(s),
+        t0(g_profile.enabled ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{}) {}
+  ~OpTimer() {
+    if (g_profile.enabled)
+      g_profile.ns[slot].fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count(),
+          std::memory_order_relaxed);
+  }
+};
+}  // namespace
 
 QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
   QCAPS_CHECK_MSG(!ops_.empty(), "forward on an empty graph");
   QCAPS_CHECK_MSG(images.ndim() == 4, "expected [B, C, H, W] images");
-  const QTensor x0 = QTensor::from_float(images, input_fmt_);
+  const QTensor x0 = [&] {
+    OpTimer t(11);
+    return QTensor::from_float(images, input_fmt_);
+  }();
   std::vector<QTensor> vals(ops_.size());
   const auto val = [&](int idx) -> const QTensor& {
     return idx < 0 ? x0 : vals[static_cast<std::size_t>(idx)];
@@ -474,6 +586,8 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const QuantizedOp& op = ops_[i];
     const QTensor& x = val(op.input);
+    std::optional<OpTimer> timer;
+    timer.emplace(static_cast<std::size_t>(op.kind));
     switch (op.kind) {
       case QOpKind::kConv2d:
         vals[i] = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.out_fmt,
@@ -526,7 +640,9 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
     // O(numel) over a value the op just wrote — noise next to the conv that
     // produced it — and touches only relaxed atomics, so replica pools can
     // run it concurrently.
+    timer.reset();
     if (sat_ && op.kind != QOpKind::kRelu && op.kind != QOpKind::kFlatten) {
+      OpTimer sat_timer(10);
       const QTensor& y = vals[i];
       const std::int64_t lo = y.fmt.raw_min(), hi = y.fmt.raw_max();
       std::uint64_t at_rail = 0;

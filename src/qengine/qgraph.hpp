@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/quant_spec.hpp"
@@ -98,6 +99,36 @@ struct NodeSaturation {
   }
 };
 
+/// Cross-compilation cache of quantized, packed weights. A mixed-precision
+/// search compiles hundreds of candidate graphs from ONE frozen trained
+/// network; most candidates share per-layer weight specs with earlier ones
+/// (Algorithm 2 perturbs one suffix at a time), so their quantized weights
+/// and packed qgemm panels are byte-identical. Entries are keyed by
+/// (layer name, weight format, rounding scheme) — with the FP32 master
+/// weights and batch-norm statistics frozen, that key fully determines the
+/// quantized bytes. Never share one cache across different trained networks
+/// or across training steps. Not thread-safe; one compiling thread at a time.
+class QGraphWeightCache {
+ public:
+  struct Entry {
+    QTensor weight, bias;
+    QGemmOperandCache wcache;
+    std::vector<QTensor> type_weights;
+    std::vector<QGemmOperandCache> type_caches;
+  };
+
+  /// Null on miss; bumps hits() on success.
+  const Entry* find(const std::string& key) const;
+  void put(std::string key, Entry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  mutable std::uint64_t hits_ = 0;
+};
+
 class QuantizedGraph {
  public:
   QuantizedGraph() = default;
@@ -111,8 +142,16 @@ class QuantizedGraph {
   /// folded weights may exceed the spec's weight range, so their integer
   /// bits widen just enough to represent the folded values (fractional
   /// widths — the searched quantity — are never touched).
+  ///
+  /// `weights`, when given, reuses quantized+packed weight tensors across
+  /// compilations of the SAME trained network (see QGraphWeightCache).
+  /// `track_saturation = false` skips the per-op requant-saturation scan —
+  /// the right trade for throwaway search graphs; serving graphs keep it
+  /// (the guardrails in serve/ read these counters).
   static QuantizedGraph compile(nn::Network& net,
-                                const core::NetworkQuantSpec& spec);
+                                const core::NetworkQuantSpec& spec,
+                                QGraphWeightCache* weights = nullptr,
+                                bool track_saturation = true);
 
   /// Integer forward: images [B, C, H, W] in [0, 1] -> class capsules
   /// [B, Ncls, D] in the final activation format.
