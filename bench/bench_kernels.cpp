@@ -7,12 +7,17 @@
 #include <algorithm>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/quant_spec.hpp"
 #include "fixed/quantizer.hpp"
 #include "hwmodel/units.hpp"
+#include "io/model_serializer.hpp"
+#include "qengine/qgraph.hpp"
 #include "models/deep_caps.hpp"
 #include "models/shallow_caps.hpp"
 #include "nn/routing.hpp"
@@ -250,6 +255,46 @@ void BM_PredictBatchDeepCapsInt8(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * b);
 }
 BENCHMARK(BM_PredictBatchDeepCapsInt8)->Arg(1)->Arg(4)->Arg(16);
+
+// Cold start: what it costs to get a servable integer graph into memory.
+// Recompile quantizes + packs every weight from the FP32 network;
+// mmap-load maps the pre-exported .qcg artifact and points the packed
+// caches into the read-only image (bench/coldstart_bench.cpp drives the
+// same comparison end to end with medians and the speedup ratio).
+std::string coldstart_artifact_path() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") +
+         "/qcaps_bench_coldstart.qcg";
+}
+
+void BM_ColdStartRecompile(benchmark::State& state) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(24);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qengine::QuantizedGraph::compile(*net, spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ColdStartRecompile);
+
+void BM_ColdStartMmapLoad(benchmark::State& state) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(24);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const std::string path = coldstart_artifact_path();
+  io::save_graph(qengine::QuantizedGraph::compile(*net, spec), path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::load_graph(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ColdStartMmapLoad);
 
 void BM_Conv2d(benchmark::State& state) {
   const std::int64_t c = state.range(0);

@@ -1,0 +1,122 @@
+// Cold-start driver: how fast can a worker get a servable integer graph?
+//
+// Compares, over repeated trials of the same model:
+//
+//   recompile  — quantize + pack every weight from the FP32 network
+//                (QuantizedGraph::compile), the path a server without
+//                artifacts pays per process start;
+//   mmap-load  — map the pre-exported .qcg read-only and point the packed
+//                operand caches into the image (io::load_graph, the
+//                serving default);
+//   read-load  — same artifact through plain read() into an owned buffer
+//                (the mmap fallback), isolating what the zero-copy mapping
+//                itself buys.
+//
+// Reports per-path medians and the recompile/mmap ratio. The acceptance
+// bar for the artifact format is that ratio clearing an order of magnitude
+// (docs/model_format.md, "Cold start"). Exit status 0 always — this is a
+// measurement tool, not a gate; the CI gate greps the printed ratio.
+//
+// Usage: coldstart_bench [--model=shallow|deep] [--reps=N] [--keep]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/quant_spec.hpp"
+#include "io/model_serializer.hpp"
+#include "models/deep_caps.hpp"
+#include "models/shallow_caps.hpp"
+#include "qengine/qgraph.hpp"
+
+namespace {
+
+using namespace qcaps;
+using Clock = std::chrono::steady_clock;
+
+double median_ms(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+template <typename Fn>
+std::vector<double> time_reps(int reps, Fn&& fn) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const std::string model = args.get("model", "shallow");
+  const int reps = args.get_int("reps", 20);
+
+  std::unique_ptr<nn::Network> net;
+  core::NetworkQuantSpec spec = core::NetworkQuantSpec::uniform(
+      model == "deep" ? 6 : 3, 6, fixed::RoundingScheme::kRoundToNearest);
+  common::Rng rng(24);
+  if (model == "deep") {
+    net = models::build_deep_caps(models::DeepCapsConfig::experiment(28, 1),
+                                  rng);
+  } else if (model == "shallow") {
+    net = models::build_shallow_caps(models::ShallowCapsConfig::experiment(),
+                                     rng);
+  } else {
+    std::fprintf(stderr, "unknown --model=%s (shallow|deep)\n", model.c_str());
+    return 2;
+  }
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/qcaps_coldstart_" + model + ".qcg";
+  io::save_graph(qengine::QuantizedGraph::compile(*net, spec), path);
+  const io::QcgInfo info = io::inspect(path);
+  std::printf("model %s: %u nodes, tier int%u, artifact %llu bytes\n",
+              model.c_str(), info.node_count, info.tier_bits,
+              static_cast<unsigned long long>(info.file_size));
+
+  // Keep every produced graph alive until the end of its trial so the
+  // timings include full construction, not a dead-code-eliminated shell.
+  const std::vector<double> recompile = time_reps(reps, [&] {
+    const qengine::QuantizedGraph g = qengine::QuantizedGraph::compile(
+        *net, spec);
+    if (g.empty()) std::abort();
+  });
+  const std::vector<double> mmap_load = time_reps(reps, [&] {
+    const qengine::QuantizedGraph g = io::load_graph(path);
+    if (g.empty()) std::abort();
+  });
+  io::LoadOptions plain;
+  plain.use_mmap = false;
+  const std::vector<double> read_load = time_reps(reps, [&] {
+    const qengine::QuantizedGraph g = io::load_graph(path, plain);
+    if (g.empty()) std::abort();
+  });
+
+  const double rc = median_ms(recompile);
+  const double mm = median_ms(mmap_load);
+  const double rd = median_ms(read_load);
+  std::printf("recompile : median %9.3f ms over %d reps\n", rc, reps);
+  std::printf("mmap-load : median %9.3f ms over %d reps\n", mm, reps);
+  std::printf("read-load : median %9.3f ms over %d reps\n", rd, reps);
+  std::printf("speedup   : mmap-load is %.1fx faster than recompile\n",
+              mm > 0.0 ? rc / mm : 0.0);
+
+  if (!args.get_bool("keep", false)) std::remove(path.c_str());
+  return 0;
+}

@@ -10,6 +10,10 @@
 # hwmodel::HostKernelRates constants in src/hwmodel/cost_model.hpp (the
 # bench -> constant mapping is documented in docs/performance.md,
 # "Cost-model calibration").
+#
+# The BM_ColdStart{Recompile,MmapLoad} rows track the compiled-model
+# artifact's reason to exist (docs/model_format.md): mmap-loading a .qcg
+# must stay an order of magnitude faster than recompiling the graph.
 set -eu
 
 BIN=${1:-build/bench_kernels}

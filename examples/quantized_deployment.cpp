@@ -11,8 +11,14 @@
 // energy) is written as the Pareto-front artifact the CI search-smoke job
 // uploads (schema: docs/search.md).
 //
+// Compiled-model artifacts (docs/model_format.md): --export-qcg=PATH saves
+// the deployed ShallowCaps graph as a versioned .qcg image; --load-qcg=PATH
+// skips search + training entirely and serves straight from a zero-copy
+// mmap of a previously exported artifact — the production cold-start path.
+//
 // Usage: quantized_deployment [--budget-frac=0.25] [--tol=0.002] [--fast]
 //                             [--skip-deepcaps] [--pareto-json=PATH]
+//                             [--export-qcg=PATH] [--load-qcg=PATH]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "core/qgraph_evaluator.hpp"
 #include "data/synth.hpp"
 #include "hwmodel/cost_model.hpp"
+#include "io/model_serializer.hpp"
 #include "models/model_cache.hpp"
 #include "qengine/quantized_deep_caps.hpp"
 #include "qengine/quantized_shallow_caps.hpp"
@@ -146,6 +153,36 @@ int main(int argc, char** argv) {
   dcfg.test_size = fast ? 256 : 512;
   const data::DataSplit split = data::make_digits_split(dcfg);
   const std::int64_t eval_samples = fast ? 256 : 384;
+
+  // Artifact fast path: serve a previously exported .qcg — no training, no
+  // search, no re-quantization. This is what a production replica does at
+  // process start.
+  const std::string load_qcg = args.get("load-qcg", "");
+  if (!load_qcg.empty()) {
+    const io::QcgInfo info = io::inspect(load_qcg);
+    const auto t0 = Clock::now();
+    const qengine::QuantizedGraph g = io::load_graph(load_qcg);
+    std::printf("loaded %s: format v%u, %u nodes, tier int%u, %lld weight "
+                "bits, input %s (%.1f ms)\n",
+                load_qcg.c_str(), info.version, info.node_count,
+                info.tier_bits, static_cast<long long>(info.weight_bits),
+                g.input_format().to_string().c_str(),
+                1e3 * seconds_since(t0));
+    int correct = 0;
+    std::int64_t total = 0;
+    for (std::int64_t b0 = 0; b0 < split.test.size(); b0 += 64) {
+      std::vector<std::int64_t> idx;
+      for (std::int64_t i = b0; i < std::min(split.test.size(), b0 + 64); ++i)
+        idx.push_back(i);
+      const auto pred = g.predict_batch(split.test.batch(idx));
+      for (std::size_t i = 0; i < pred.size(); ++i)
+        if (pred[i] == split.test.labels[idx[i]]) ++correct;
+      total += static_cast<std::int64_t>(pred.size());
+    }
+    std::printf("artifact accuracy on the synthetic test set: %.2f%%\n",
+                100.0 * correct / static_cast<double>(total));
+    return 0;
+  }
   // Fast mode trains smaller fixtures; a separate cache tag keeps them from
   // colliding with the full-mode "digits" fixtures.
   const std::string cache_tag = fast ? "digits-fast" : "digits";
@@ -197,6 +234,21 @@ int main(int argc, char** argv) {
               static_cast<long long>(deployed.weight_bits()),
               static_cast<double>(calib.memory().weight_bits_fp32()) /
                   static_cast<double>(deployed.weight_bits()));
+
+  // 2b) Export the deployed graph as a compiled-model artifact.
+  const std::string export_qcg = args.get("export-qcg", "");
+  if (!export_qcg.empty()) {
+    io::SaveOptions sopts;
+    sopts.in_channels = split.test.channels();
+    sopts.in_h = split.test.height();
+    sopts.in_w = split.test.width();
+    io::save_graph(deployed.graph(), export_qcg, sopts);
+    const io::QcgInfo info = io::inspect(export_qcg);
+    std::printf("exported %s: %llu bytes, %u nodes, tier int%u\n",
+                export_qcg.c_str(),
+                static_cast<unsigned long long>(info.file_size),
+                info.node_count, info.tier_bits);
+  }
 
   // 3) Accelerator estimate for the deployed wordlengths. The array clock is
   // calibrated so 16x16 PEs sustain this machine's measured int8 qgemm rate

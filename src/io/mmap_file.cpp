@@ -1,0 +1,101 @@
+#include "io/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qcaps::io {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw qcaps::Error("MmapFile: " + what + " '" + path +
+                     "': " + std::strerror(errno));
+}
+}  // namespace
+
+MmapFile MmapFile::open(const std::string& path, bool prefer_mmap) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("cannot stat", path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+
+  MmapFile f;
+  f.size_ = size;
+  if (size == 0) {
+    ::close(fd);
+    return f;
+  }
+
+  if (prefer_mmap) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (p != MAP_FAILED) {
+      ::close(fd);
+      f.data_ = static_cast<const std::uint8_t*>(p);
+      f.mapped_ = true;
+      return f;
+    }
+    // Fall through to the read() path — correct, just not zero-copy.
+  }
+
+  f.owned_ = new std::uint8_t[size];
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, f.owned_ + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      delete[] f.owned_;
+      f.owned_ = nullptr;
+      errno = saved;
+      throw_errno("cannot read", path);
+    }
+    if (n == 0) break;  // file shrank under us; size check is the loader's
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  f.size_ = done;
+  f.data_ = f.owned_;
+  return f;
+}
+
+MmapFile::~MmapFile() {
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  delete[] owned_;
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)),
+      owned_(std::exchange(other.owned_, nullptr)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (mapped_ && data_ != nullptr)
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    delete[] owned_;
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    owned_ = std::exchange(other.owned_, nullptr);
+  }
+  return *this;
+}
+
+}  // namespace qcaps::io

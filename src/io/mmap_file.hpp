@@ -1,0 +1,43 @@
+// Read-only file mapping for zero-copy model loading.
+//
+// MmapFile maps a whole file PROT_READ / MAP_SHARED, so every process-level
+// consumer of the bytes — and every serving replica holding a view into
+// them — shares one physical copy backed by the page cache. When mmap is
+// unavailable (exotic filesystems, or disabled by the caller for A/B
+// benchmarking) the class falls back to reading the file into an owned
+// buffer: identical bytes, just not zero-copy. `zero_copy()` reports which
+// path was taken.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qcaps::io {
+
+class MmapFile {
+ public:
+  /// Map (or, with prefer_mmap = false, read) `path`. Throws qcaps::Error
+  /// when the file cannot be opened or read.
+  static MmapFile open(const std::string& path, bool prefer_mmap = true);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// True when the bytes live in a shared read-only mapping.
+  bool zero_copy() const { return mapped_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;           // data_ came from mmap
+  std::uint8_t* owned_ = nullptr; // read() fallback buffer (delete[])
+};
+
+}  // namespace qcaps::io

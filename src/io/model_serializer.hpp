@@ -1,0 +1,79 @@
+// QuantizedGraph <-> .qcg serialization (format: io/format.hpp,
+// docs/model_format.md).
+//
+// Write path: compile once, save_graph() — the node table, layer-name
+// string table, and every quantized weight in its packed qgemm container
+// layout (int8/int16 panels + exact max-|raw| calibration metadata) land in
+// one checksummed, versioned image. When the packed fast path is statically
+// guaranteed for a weight (its formats admit exact int32 accumulation for
+// EVERY representable input), the raw int64 grid values are omitted and the
+// weight later loads "hollow" — shape and format only.
+//
+// Read path: load_graph() maps the file read-only (io/mmap_file.hpp),
+// validates magic / version / arch / checksums — rejecting mismatches with
+// the typed errors of io/format.hpp — and rebuilds the graph with its
+// packed-operand caches POINTING INTO the mapping. Deserialization copies
+// only biases and non-guaranteed raw tensors; graph copies (the serving
+// pool's per-worker replicas) duplicate pointers, not panels, so N replicas
+// share one read-only weight image held alive by shared_ptr ownership.
+//
+// Fault-injection sites on the read path (common/failpoint.hpp):
+//   io.qcg.open     — before the file is opened
+//   io.qcg.validate — after header validation, before node parsing
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/format.hpp"
+#include "qengine/qgraph.hpp"
+
+namespace qcaps::io {
+
+/// Parsed header metadata (inspect(), and what load_graph validated).
+struct QcgInfo {
+  std::uint32_t version = 0;
+  QcgFamily family = QcgFamily::kUnknown;
+  std::uint32_t tier_bits = 0;  ///< widest container any weight needs (8/16/64)
+  std::uint32_t node_count = 0;
+  fixed::FixedFormat input_fmt{1, 15};
+  std::int64_t weight_bits = 0;
+  std::int64_t in_channels = 0, in_h = 0, in_w = 0;  ///< 0 = unrecorded
+  std::uint64_t file_size = 0;
+};
+
+struct SaveOptions {
+  /// Expected input extent, recorded in the header for tools that need to
+  /// synthesize probe inputs (the graph itself is extent-agnostic). 0 = skip.
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+};
+
+/// Serialize `g` to `path` (atomically enough for tests: full buffer, one
+/// write). Throws qcaps::Error on I/O failure.
+void save_graph(const qengine::QuantizedGraph& g, const std::string& path,
+                const SaveOptions& opts = {});
+
+struct LoadOptions {
+  /// Verify the payload CRC before trusting the image. The header CRC is
+  /// always checked; skipping the payload scan is for cold-start-latency
+  /// measurements only.
+  bool verify_checksum = true;
+  /// Load through mmap (zero-copy) or plain read() (owned buffer).
+  bool use_mmap = true;
+  /// Allocate the shared requant-saturation counters (serving graphs want
+  /// them; throwaway loads can skip).
+  bool track_saturation = true;
+};
+
+/// Deserialize `path` into an executable graph. Throws BadMagicError /
+/// VersionError / ArchError / CorruptError (all FormatError, all
+/// qcaps::Error) on a file this reader must not trust.
+qengine::QuantizedGraph load_graph(const std::string& path,
+                                   const LoadOptions& opts = {});
+
+/// Read and validate only the header (magic, arch, header CRC).
+QcgInfo inspect(const std::string& path);
+
+}  // namespace qcaps::io

@@ -68,11 +68,11 @@ std::vector<T> packed_of(const QTensor& t) {
 }
 
 template <typename T>
-const std::vector<T>& cached_container(const QGemmOperandCache& cache) {
+const T* cached_data(const QGemmOperandCache& cache) {
   if constexpr (std::is_same_v<T, std::int8_t>)
-    return cache.i8;
+    return cache.i8_data();
   else
-    return cache.i16;
+    return cache.i16_data();
 }
 
 template <typename T>
@@ -101,7 +101,7 @@ void run_qgemm_votes(const QTensor& u, const QTensor& w,
   std::vector<T> wp_local;
   const T* wp;
   if (w_cache) {
-    wp = cached_container<T>(*w_cache).data();
+    wp = cached_data<T>(*w_cache);
   } else {
     wp_local = packed_of<T>(w);
     wp = wp_local.data();
@@ -148,7 +148,7 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
   std::vector<T> w_local;
   const T* wp;
   if (w_cache) {
-    wp = cached_container<T>(*w_cache).data();
+    wp = cached_data<T>(*w_cache);
   } else {
     w_local = packed_of<T>(w);
     wp = w_local.data();

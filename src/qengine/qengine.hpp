@@ -7,6 +7,8 @@
 // datapaths from src/hwmodel (Newton-Raphson inverse sqrt, exp LUT).
 #pragma once
 
+#include <memory>
+
 #include "qengine/qtensor.hpp"
 
 namespace qcaps::qengine {
@@ -15,10 +17,28 @@ namespace qcaps::qengine {
 /// built once, it saves every subsequent conv2d/vote_transform call the
 /// O(|w|) range scan and packed copy on the hot path — the serving stack
 /// builds one per weight tensor and reuses it across all requests.
+///
+/// Two storage modes. make_operand_cache() fills the owning vectors (the
+/// compile path). The .qcg loader instead sets the *_view pointers into a
+/// read-only mapped file kept alive by `owner` — copying such a cache (the
+/// serving pool replicating its model per worker) duplicates two pointers
+/// and a shared_ptr, so N replicas share ONE weight image (io/ docs).
 struct QGemmOperandCache {
   std::int64_t max_abs = -1;      ///< -1 = not built
   std::vector<std::int8_t> i8;    ///< filled when the values fit int8
   std::vector<std::int16_t> i16;  ///< filled when the values fit int16
+  const std::int8_t* i8_view = nullptr;    ///< zero-copy alternative to i8
+  const std::int16_t* i16_view = nullptr;  ///< zero-copy alternative to i16
+  std::shared_ptr<const void> owner;       ///< keeps the views' image alive
+
+  bool has_i8() const { return i8_view != nullptr || !i8.empty(); }
+  bool has_i16() const { return i16_view != nullptr || !i16.empty(); }
+  const std::int8_t* i8_data() const {
+    return i8_view != nullptr ? i8_view : i8.data();
+  }
+  const std::int16_t* i16_data() const {
+    return i16_view != nullptr ? i16_view : i16.data();
+  }
 };
 
 /// Eagerly build the packed cache for `t`.

@@ -299,9 +299,14 @@ void QGraphWeightCache::put(std::string key, Entry entry) {
 }
 
 std::int64_t QuantizedOp::weight_bits() const {
-  std::int64_t bits = weight.numel() * weight.fmt.wordlength() +
-                      bias.numel() * bias.fmt.wordlength();
-  for (const auto& w : type_weights) bits += w.numel() * w.fmt.wordlength();
+  // Count from shapes, not raw.size(): mmap-loaded graphs carry "hollow"
+  // weights (shape + format + packed containers, no raw vector) whose
+  // storage cost is unchanged.
+  std::int64_t bits = tensor::shape_numel(weight.shape) *
+                          weight.fmt.wordlength() +
+                      tensor::shape_numel(bias.shape) * bias.fmt.wordlength();
+  for (const auto& w : type_weights)
+    bits += tensor::shape_numel(w.shape) * w.fmt.wordlength();
   return bits;
 }
 
@@ -518,6 +523,28 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
                   "spec has " << spec.layers.size() << " entries but only " << w
                               << " weighted layers were compiled");
   QCAPS_CHECK_MSG(!g.ops_.empty(), "cannot compile an empty network");
+  if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
+  return g;
+}
+
+QuantizedGraph QuantizedGraph::from_ops(std::vector<QuantizedOp> ops,
+                                        fixed::FixedFormat input_fmt,
+                                        bool track_saturation) {
+  QCAPS_CHECK_MSG(!ops.empty(), "cannot build an empty graph");
+  QCAPS_CHECK_MSG(input_fmt.valid(),
+                  "invalid input format " << input_fmt.to_string());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const QuantizedOp& op = ops[i];
+    QCAPS_CHECK_MSG(op.input >= -1 && op.input < static_cast<int>(i),
+                    "op " << i << " consumes value " << op.input
+                          << " which is not an earlier node");
+    QCAPS_CHECK_MSG(op.input2 >= -1 && op.input2 < static_cast<int>(i),
+                    "op " << i << " consumes value " << op.input2
+                          << " which is not an earlier node");
+  }
+  QuantizedGraph g;
+  g.ops_ = std::move(ops);
+  g.input_fmt_ = input_fmt;
   if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
   return g;
 }

@@ -35,6 +35,9 @@
 
 namespace qcaps::qengine {
 
+// NOTE: the enumerator order below is FROZEN — the .qcg model format
+// (io/format.hpp) stores these values on disk. Append new kinds at the end
+// and bump kQcgVersion; never reorder.
 enum class QOpKind {
   kConv2d,         ///< integer conv + fused bias (+ packed-weight cache)
   kRelu,           ///< max(0, x) on raw values
@@ -152,6 +155,16 @@ class QuantizedGraph {
                                 const core::NetworkQuantSpec& spec,
                                 QGraphWeightCache* weights = nullptr,
                                 bool track_saturation = true);
+
+  /// Rebuild a graph from an already-materialized op list — the .qcg
+  /// deserializer's entry point (io/model_serializer.hpp). Validates the
+  /// SSA discipline (every input names an earlier value or the network
+  /// input); callers are responsible for the ops' internal consistency
+  /// (weights packed, formats valid), which the serializer checks while
+  /// parsing.
+  static QuantizedGraph from_ops(std::vector<QuantizedOp> ops,
+                                 fixed::FixedFormat input_fmt,
+                                 bool track_saturation = true);
 
   /// Integer forward: images [B, C, H, W] in [0, 1] -> class capsules
   /// [B, Ncls, D] in the final activation format.

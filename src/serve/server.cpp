@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/logging.hpp"
+#include "io/model_serializer.hpp"
 
 namespace qcaps::serve {
 
@@ -43,6 +44,16 @@ void InferenceServer::add_model(const std::string& name,
         [&p, backend_ptr = p.replicas[static_cast<std::size_t>(w)].get()] {
           worker_main(p, *backend_ptr);
         });
+}
+
+void InferenceServer::add_model(const std::string& name,
+                                const std::string& qcg_path,
+                                const ServerConfig& cfg) {
+  // One load, N replicas: QuantizedGraph copies duplicate the zero-copy
+  // weight views, so the pool's clone() fan-out never re-packs weights.
+  add_model(name,
+            std::make_unique<QuantizedBackend>(name, io::load_graph(qcg_path)),
+            cfg);
 }
 
 namespace {

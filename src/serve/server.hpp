@@ -114,6 +114,15 @@ class InferenceServer {
                  std::unique_ptr<ModelBackend> backend,
                  const ServerConfig& cfg = {});
 
+  /// Register a compiled-model artifact: mmap-load the `.qcg` at `qcg_path`
+  /// (io/model_serializer.hpp) into a QuantizedBackend and start its pool.
+  /// All worker replicas share the file's single read-only weight image —
+  /// cold start costs one map + validate, not N re-quantization passes.
+  /// Throws the io format errors (BadMagicError, VersionError, ArchError,
+  /// CorruptError) on an artifact this build must not trust.
+  void add_model(const std::string& name, const std::string& qcg_path,
+                 const ServerConfig& cfg = {});
+
   /// Enqueue one [C, H, W] image (a leading batch dim of 1 is accepted and
   /// squeezed) for `model`; the future resolves when its batch completes.
   /// `opts` carries the request's priority class and relative deadline.
