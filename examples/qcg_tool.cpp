@@ -92,6 +92,17 @@ int cmd_info(const std::string& path) {
               static_cast<long long>(info.in_w));
   std::printf("  file size      : %llu bytes\n",
               static_cast<unsigned long long>(info.file_size));
+  // Fusion is an in-memory property (the artifact itself is always the
+  // unfused op list): load the graph the way a server would and report what
+  // the pass found eligible under the current environment.
+  const qengine::QuantizedGraph g = io::load_graph(path);
+  int relu_folds = 0, grouped = 0;
+  for (const auto& op : g.ops()) {
+    relu_folds += op.fused_away ? 1 : 0;
+    grouped += op.grouped ? 1 : 0;
+  }
+  std::printf("  fusion         : %s (%d relu folds, %d grouped vote convs)\n",
+              g.fused() ? "on" : "off", relu_folds, grouped);
   return 0;
 }
 

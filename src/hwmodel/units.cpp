@@ -144,11 +144,17 @@ std::vector<FixedNum> SquashUnit::apply(const std::vector<FixedNum>& s,
     norm_sq += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
   }
   std::vector<FixedNum> out(s.size());
-  const std::int64_t one = std::int64_t{1} << internal_qf_;
-  if (norm_sq == 0) {
-    for (auto& o : out) o = {0, out_fmt};
-    return out;
+  const std::int64_t gain = gain_raw(norm_sq);  // 0 for the zero vector
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::int64_t prod = s[i].raw * gain;  // io_qf + internal_qf frac
+    out[i] = {rescale_raw(prod, io_fmt_.qf + internal_qf_, out_fmt), out_fmt};
   }
+  return out;
+}
+
+std::int64_t SquashUnit::gain_raw(std::int64_t norm_sq) const {
+  if (norm_sq == 0) return 0;
+  const std::int64_t one = std::int64_t{1} << internal_qf_;
   // gain = norm_sq / (1 + norm_sq) * 1/sqrt(norm_sq), internal format.
   const std::int64_t inv_sqrt = inv_sqrt_raw(norm_sq, internal_qf_);
   // ratio = 1 - 1/(1 + norm_sq): division keeps every intermediate in range
@@ -156,12 +162,7 @@ std::vector<FixedNum> SquashUnit::apply(const std::vector<FixedNum>& s,
   const std::int64_t denom = one + norm_sq;
   const std::int64_t inv_denom = (one << internal_qf_) / denom;  // internal qf
   const std::int64_t ratio = one - inv_denom;
-  const std::int64_t gain = (ratio * inv_sqrt) >> internal_qf_;  // internal qf
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    const std::int64_t prod = s[i].raw * gain;  // io_qf + internal_qf frac
-    out[i] = {rescale_raw(prod, io_fmt_.qf + internal_qf_, out_fmt), out_fmt};
-  }
-  return out;
+  return (ratio * inv_sqrt) >> internal_qf_;  // internal qf
 }
 
 // ---- softmax ----------------------------------------------------------------

@@ -89,6 +89,16 @@ class SquashUnit {
   std::vector<FixedNum> apply(const std::vector<FixedNum>& s,
                               const fixed::FixedFormat& out_fmt) const;
 
+  /// Raw bulk-tensor seam: the squash gain (internal_qf() fractional bits)
+  /// for a capsule whose squared norm — accumulated by the caller at
+  /// internal_qf() fractional bits — is norm_sq. The caller finishes each
+  /// element as rescale_raw(s_raw * gain, io_qf + internal_qf(), out_fmt),
+  /// which is exactly apply()'s arithmetic without the FixedNum marshaling.
+  /// Returns 0 for norm_sq == 0 (zero vector squashes to zero).
+  std::int64_t gain_raw(std::int64_t norm_sq) const;
+
+  int internal_qf() const { return internal_qf_; }
+
  private:
   fixed::FixedFormat io_fmt_;
   int internal_qf_;

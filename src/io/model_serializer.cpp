@@ -669,9 +669,14 @@ qengine::QuantizedGraph load_graph(const std::string& path,
     ops.push_back(std::move(op));
   }
 
-  return qengine::QuantizedGraph::from_ops(
+  qengine::QuantizedGraph g = qengine::QuantizedGraph::from_ops(
       std::move(ops), fixed::FixedFormat(h.input_qi, h.input_qf),
       opts.track_saturation);
+  // The on-disk op list is always the unfused graph (the fusion pass never
+  // touches serialization); re-derive the in-memory annotations here, same
+  // as compile() does.
+  if (qengine::QuantizedGraph::fuse_enabled()) g.fuse();
+  return g;
 }
 
 QcgInfo inspect(const std::string& path) {

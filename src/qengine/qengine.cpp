@@ -87,16 +87,19 @@ void run_qgemm_matmul(const QTensor& a, const QTensor& b, std::int64_t m,
 
 // One strided GEMM per input type i (the shape qgemm amortizes best):
 //   c[:, i, :] [B x JD] = u[:, i, :] [B x Din] * w[i]^T [Din x JD]
-// The i-major int32 result is permuted into the j-major votes layout by the
-// caller's int32 -> int64 widening copy — a pass that exists anyway, so the
-// routing layout costs no extra traversal (emitting j-major directly would
-// need one GEMM batch per output capsule: n = Dout-wide calls too small to
-// amortize packing, measured 3x slower on the ShallowCaps head).
+// The i-major result is permuted into the j-major votes layout by the
+// requant epilogue's affine scatter (QGemmScatterDst) — element (bi, j*Dout
+// + dd) of batch item i lands at votes[((bi*Nout + j)*Nin + i)*Dout + dd]
+// straight out of the microkernel, so the routing layout costs no separate
+// widening-copy pass. (Emitting j-major via GEMM shapes instead would need
+// one batch per output capsule: n = Dout-wide calls too small to amortize
+// packing, measured 3x slower on the ShallowCaps head.)
 template <typename T>
 void run_qgemm_votes(const QTensor& u, const QTensor& w,
                      const QGemmOperandCache* w_cache, std::int64_t b,
-                     std::int64_t nin, std::int64_t din, std::int64_t jd,
-                     const tensor::QGemmRequant& rq, std::int32_t* c) {
+                     std::int64_t nin, std::int64_t din, std::int64_t nout,
+                     std::int64_t dout, const tensor::QGemmRequant& rq,
+                     std::int64_t* votes) {
   const auto up = packed_of<T>(u);
   std::vector<T> wp_local;
   const T* wp;
@@ -106,27 +109,17 @@ void run_qgemm_votes(const QTensor& u, const QTensor& w,
     wp_local = packed_of<T>(w);
     wp = wp_local.data();
   }
-  tensor::qgemm_batch(tensor::Trans::kN, tensor::Trans::kT, b, jd, din,
-                      up.data(), nin * din, din, wp, din, jd * din, c,
-                      nin * jd, jd, nin, rq);
-}
-
-// Widen the i-major int32 GEMM result [B, Nin, Nout*Dout] into the j-major
-// int64 votes [B, Nout, Nin, Dout] — the transpose rides on the widening
-// copy.
-void widen_to_jmajor(const std::int32_t* c, std::int64_t b, std::int64_t nin,
-                     std::int64_t nout, std::int64_t dout, std::int64_t* out) {
   const std::int64_t jd = nout * dout;
-#pragma omp parallel for collapse(2) schedule(static) if (b * nin * jd > (1 << 16))
-  for (std::int64_t bi = 0; bi < b; ++bi) {
-    for (std::int64_t j = 0; j < nout; ++j) {
-      const std::int32_t* src = c + bi * nin * jd + j * dout;
-      std::int64_t* dst = out + (bi * nout + j) * nin * dout;
-      for (std::int64_t i = 0; i < nin; ++i)
-        for (std::int64_t k = 0; k < dout; ++k)
-          dst[i * dout + k] = src[i * jd + k];
-    }
-  }
+  tensor::QGemmScatterDst sd;
+  sd.dst = votes;
+  sd.row_outer_stride = nout * nin * dout;  // per image row bi (row_inner = 1)
+  sd.col_inner = dout;
+  sd.col_outer_stride = nin * dout;         // per output type j
+  sd.col_inner_stride = 1;                  // per vote component dd
+  sd.batch_stride = dout;                   // per input type i
+  tensor::qgemm_batch_scatter(tensor::Trans::kN, tensor::Trans::kT, b, jd,
+                              din, up.data(), nin * din, din, wp, din,
+                              jd * din, nin, rq, sd);
 }
 
 // Batched im2col + packed integer GEMM convolution. The whole [B, ...]
@@ -138,10 +131,10 @@ template <typename T>
 QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
                      std::int64_t stride, std::int64_t pad,
                      fixed::FixedFormat out_fmt, int acc_qf,
-                     const QGemmOperandCache* w_cache, std::int64_t b,
-                     std::int64_t c, std::int64_t h, std::int64_t wd,
-                     std::int64_t f, std::int64_t k, std::int64_t oh,
-                     std::int64_t ow) {
+                     const QGemmOperandCache* w_cache, bool fuse_relu,
+                     std::int64_t b, std::int64_t c, std::int64_t h,
+                     std::int64_t wd, std::int64_t f, std::int64_t k,
+                     std::int64_t oh, std::int64_t ow) {
   const std::int64_t kk = c * k * k;
   const std::int64_t plane = oh * ow;
 
@@ -165,6 +158,8 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
 
   tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
   if (!bias32.empty()) rq.bias = bias32.data();
+  // Fused ReLU: clamp-lo at the (zero) output zero point inside the requant.
+  if (fuse_relu) rq.qmin = std::max(rq.qmin, std::int32_t{0});
 
   // Cache-block the batch: one GEMM per chunk of images, chunk sized so the
   // im2col columns + int32 accumulators + int64 outputs stay L2-resident
@@ -175,14 +170,13 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
   // computes it.
   constexpr std::int64_t kConvWorkingSetBytes = std::int64_t{1} << 20;
   const std::int64_t bytes_per_col =
-      kk * static_cast<std::int64_t>(sizeof(T)) + 12 * f;
+      kk * static_cast<std::int64_t>(sizeof(T)) + 8 * f;
   const std::int64_t chunk_b = std::clamp<std::int64_t>(
       kConvWorkingSetBytes / std::max<std::int64_t>(bytes_per_col * plane, 1),
       1, b);
 
   QTensor out({b, f, oh, ow}, out_fmt);
   std::vector<T> cols;
-  std::vector<std::int32_t> c32;
   for (std::int64_t b0 = 0; b0 < b; b0 += chunk_b) {
     const std::int64_t bc = std::min<std::int64_t>(chunk_b, b - b0);
     const std::int64_t n_chunk = bc * plane;
@@ -215,17 +209,17 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
       }
     }
 
-    c32.resize(static_cast<std::size_t>(f * n_chunk));
-    tensor::qgemm(tensor::Trans::kN, tensor::Trans::kN, f, n_chunk, kk, wp,
-                  kk, cols.data(), n_chunk, c32.data(), n_chunk, rq);
-
-    // Scatter [F, bc*plane] -> [b0.., F, plane].
-    for (std::int64_t fi = 0; fi < f; ++fi)
-      for (std::int64_t bi = 0; bi < bc; ++bi) {
-        const std::int32_t* src = c32.data() + fi * n_chunk + bi * plane;
-        std::int64_t* dst = out.raw.data() + ((b0 + bi) * f + fi) * plane;
-        for (std::int64_t p = 0; p < plane; ++p) dst[p] = src[p];
-      }
+    // The requant epilogue scatters [F, bc*plane] -> [b0.., F, plane]
+    // directly into the widened output — no dense int32 C, no second pass.
+    tensor::QGemmScatterDst sd;
+    sd.dst = out.raw.data() + b0 * f * plane;
+    sd.row_inner = f;
+    sd.row_inner_stride = plane;
+    sd.col_inner = plane;
+    sd.col_outer_stride = f * plane;
+    sd.col_inner_stride = 1;
+    tensor::qgemm_scatter(tensor::Trans::kN, tensor::Trans::kN, f, n_chunk,
+                          kk, wp, kk, cols.data(), n_chunk, rq, sd);
   }
   return out;
 }
@@ -235,7 +229,7 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
                fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme,
-               const QGemmOperandCache* w_cache) {
+               const QGemmOperandCache* w_cache, bool fuse_relu) {
   QCAPS_CHECK_MSG(x.shape.size() == 4 && w.shape.size() == 4,
                   "qengine conv2d expects [B,C,H,W] x [F,C,K,K]");
   const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
@@ -271,11 +265,11 @@ QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
     if (tier != 0 && bias_ok) {
       return tier == 1
                  ? conv2d_qgemm<std::int8_t>(x, w, bias, stride, pad, out_fmt,
-                                             acc_qf, w_cache, b, c, h, wd, f,
-                                             k, oh, ow)
+                                             acc_qf, w_cache, fuse_relu, b, c,
+                                             h, wd, f, k, oh, ow)
                  : conv2d_qgemm<std::int16_t>(x, w, bias, stride, pad, out_fmt,
-                                              acc_qf, w_cache, b, c, h, wd, f,
-                                              k, oh, ow);
+                                              acc_qf, w_cache, fuse_relu, b, c,
+                                              h, wd, f, k, oh, ow);
     }
   }
 
@@ -302,8 +296,10 @@ QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
             // Align the bias (weight fmt) to the accumulator's frac width.
             acc += bias.raw[static_cast<std::size_t>(fi)] << (acc_qf - bias.fmt.qf);
           }
+          std::int64_t v = hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+          if (fuse_relu && v < 0) v = 0;
           out.raw[static_cast<std::size_t>(((bi * f + fi) * oh + y) * ow + xx)] =
-              hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
+              v;
         }
       }
     }
@@ -329,15 +325,28 @@ QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt) {
   const std::int64_t d = s.dim(-1);
   const std::int64_t rows = s.numel() / d;
   const hwmodel::SquashUnit unit(s.fmt);
+  // Raw-seam bulk path: same arithmetic as unit.apply() per row without the
+  // per-row FixedNum vector allocations.
+  const int shift_up = unit.internal_qf() - 2 * s.fmt.qf;
+  const int prod_qf = s.fmt.qf + unit.internal_qf();
+  // Inlined round-to-nearest + saturate (the shift is always down here).
+  const int shift = prod_qf - out_fmt.qf;
+  QCAPS_CHECK(shift > 0);
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  const std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
   QTensor out(s.shape, out_fmt);
 #pragma omp parallel for schedule(static) if (rows > 64)
   for (std::int64_t r = 0; r < rows; ++r) {
-    std::vector<hwmodel::FixedNum> vec(static_cast<std::size_t>(d));
+    const std::int64_t* src = s.raw.data() + r * d;
+    std::int64_t* dst = out.raw.data() + r * d;
+    std::int64_t nsq = 0;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const std::int64_t wide = src[j] * src[j];
+      nsq += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+    }
+    const std::int64_t gain = unit.gain_raw(nsq);
     for (std::int64_t j = 0; j < d; ++j)
-      vec[static_cast<std::size_t>(j)] = {s.raw[static_cast<std::size_t>(r * d + j)], s.fmt};
-    const auto v = unit.apply(vec, out_fmt);
-    for (std::int64_t j = 0; j < d; ++j)
-      out.raw[static_cast<std::size_t>(r * d + j)] = v[static_cast<std::size_t>(j)].raw;
+      dst[j] = std::clamp((src[j] * gain + half) >> shift, lo, hi);
   }
   return out;
 }
@@ -560,14 +569,12 @@ QTensor vote_transform(const QTensor& u, const QTensor& w,
     const int tier = qgemm_tier(u.max_abs_raw(), wmax, din);
     if (tier != 0) {
       const tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
-      std::vector<std::int32_t> c(static_cast<std::size_t>(b * nin * jd));
       if (tier == 1)
-        run_qgemm_votes<std::int8_t>(u, w, w_cache, b, nin, din, jd, rq,
-                                     c.data());
+        run_qgemm_votes<std::int8_t>(u, w, w_cache, b, nin, din, nout, dout,
+                                     rq, votes.raw.data());
       else
-        run_qgemm_votes<std::int16_t>(u, w, w_cache, b, nin, din, jd, rq,
-                                      c.data());
-      widen_to_jmajor(c.data(), b, nin, nout, dout, votes.raw.data());
+        run_qgemm_votes<std::int16_t>(u, w, w_cache, b, nin, din, nout, dout,
+                                      rq, votes.raw.data());
       return votes;
     }
   }
@@ -590,6 +597,126 @@ QTensor vote_transform(const QTensor& u, const QTensor& w,
     }
   }
   return votes;
+}
+
+namespace {
+
+// Grouped ConvCaps3d vote convolutions (see the header): one im2col over the
+// full channel set, then a batch of Tin scattered GEMMs — type t's B operand
+// is the contiguous row block [t*Din*K*K, (t+1)*Din*K*K) of the shared
+// columns, its A operand the t-th slice of the concatenated packed weights.
+// The same L2-resident batch chunking as conv2d_qgemm; chunking cannot
+// change results (exact int32 accumulation per output element).
+template <typename T>
+void conv_caps3d_votes_impl(const QTensor& x, const T* wp,
+                            const tensor::QGemmRequant& rq, std::int64_t b,
+                            std::int64_t in_types, std::int64_t din,
+                            std::int64_t out_types, std::int64_t dout,
+                            std::int64_t h, std::int64_t wd, std::int64_t k,
+                            std::int64_t stride, std::int64_t pad,
+                            std::int64_t oh, std::int64_t ow,
+                            std::int64_t* votes) {
+  const std::int64_t c = in_types * din;  // full channel count
+  const std::int64_t kk = din * k * k;    // fan-in of ONE type's vote conv
+  const std::int64_t jd = out_types * dout;
+  const std::int64_t jd_all = out_types * in_types * dout;
+  const std::int64_t plane = oh * ow;
+
+  constexpr std::int64_t kConvWorkingSetBytes = std::int64_t{1} << 20;
+  const std::int64_t bytes_per_col =
+      c * k * k * static_cast<std::int64_t>(sizeof(T)) + 12 * jd;
+  const std::int64_t chunk_b = std::clamp<std::int64_t>(
+      kConvWorkingSetBytes / std::max<std::int64_t>(bytes_per_col * plane, 1),
+      1, b);
+
+  std::vector<T> cols;
+  for (std::int64_t b0 = 0; b0 < b; b0 += chunk_b) {
+    const std::int64_t bc = std::min<std::int64_t>(chunk_b, b - b0);
+    const std::int64_t n_chunk = bc * plane;
+    if (pad > 0)
+      cols.assign(static_cast<std::size_t>(c * k * k * n_chunk), T{0});
+    else
+      cols.resize(static_cast<std::size_t>(c * k * k * n_chunk));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::int64_t bi = 0; bi < bc; ++bi) {
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        const std::int64_t* xplane =
+            x.raw.data() + ((b0 + bi) * c + ci) * h * wd;
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            T* crow = cols.data() + ((ci * k + ky) * k + kx) * n_chunk +
+                      bi * plane;
+            for (std::int64_t y = 0; y < oh; ++y) {
+              const std::int64_t iy = y * stride + ky - pad;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t xx = 0; xx < ow; ++xx) {
+                const std::int64_t ix = xx * stride + kx - pad;
+                if (ix < 0 || ix >= wd) continue;
+                crow[y * ow + xx] = static_cast<T>(xplane[iy * wd + ix]);
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Batch item t: votes[((b0+bi)*plane + p)*Tout*Tin*Dout
+    //                     + j*Tin*Dout + t*Dout + dd]
+    // for GEMM element (row j*Dout + dd, column bi*plane + p).
+    tensor::QGemmScatterDst sd;
+    sd.dst = votes + b0 * plane * jd_all;
+    sd.row_inner = dout;                  // row splits as (j, dd)
+    sd.row_outer_stride = in_types * dout;
+    sd.row_inner_stride = 1;
+    sd.col_outer_stride = jd_all;         // column index is linear (inner = 1)
+    sd.batch_stride = dout;               // per input type t
+    tensor::qgemm_batch_scatter(tensor::Trans::kN, tensor::Trans::kN, jd,
+                                n_chunk, kk, wp, kk, jd * kk, cols.data(),
+                                n_chunk, kk * n_chunk, in_types, rq, sd);
+  }
+}
+
+}  // namespace
+
+bool conv_caps3d_votes(const QTensor& x, const QGemmOperandCache& grouped,
+                       fixed::FixedFormat w_fmt, std::int64_t in_types,
+                       std::int64_t in_dim, std::int64_t out_types,
+                       std::int64_t out_dim, std::int64_t ksize,
+                       std::int64_t stride, std::int64_t pad,
+                       fixed::FixedFormat out_fmt, QTensor& votes) {
+  QCAPS_CHECK_MSG(x.shape.size() == 4 && x.dim(1) == in_types * in_dim,
+                  "conv_caps3d_votes expects [B, Tin*Din, H, W] input");
+  if (grouped.max_abs < 0) return false;
+  const int acc_qf = x.fmt.qf + w_fmt.qf;
+  if (!requant_expressible(acc_qf, out_fmt,
+                           fixed::RoundingScheme::kRoundToNearest))
+    return false;
+  const std::int64_t kk = in_dim * ksize * ksize;
+  const int tier = qgemm_tier(x.max_abs_raw(), grouped.max_abs, kk);
+  if (tier == 0) return false;
+  if (tier == 1 && !grouped.has_i8()) return false;
+  if (tier == 2 && !grouped.has_i16()) return false;
+
+  const std::int64_t b = x.dim(0), h = x.dim(2), wd = x.dim(3);
+  const std::int64_t oh = (h + 2 * pad - ksize) / stride + 1;
+  const std::int64_t ow = (wd + 2 * pad - ksize) / stride + 1;
+  QCAPS_CHECK_MSG(votes.numel() == b * oh * ow * out_types * in_types * out_dim,
+                  "conv_caps3d_votes: votes tensor has the wrong size");
+  if (votes.numel() == 0) return true;
+  const tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
+  if (tier == 1)
+    conv_caps3d_votes_impl<std::int8_t>(x, grouped.i8_data(), rq, b, in_types,
+                                        in_dim, out_types, out_dim, h, wd,
+                                        ksize, stride, pad, oh, ow,
+                                        votes.raw.data());
+  else
+    conv_caps3d_votes_impl<std::int16_t>(x, grouped.i16_data(), rq, b,
+                                         in_types, in_dim, out_types, out_dim,
+                                         h, wd, ksize, stride, pad, oh, ow,
+                                         votes.raw.data());
+  return true;
 }
 
 tensor::Tensor lengths(const QTensor& caps) {

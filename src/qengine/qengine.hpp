@@ -55,12 +55,18 @@ QGemmOperandCache make_operand_cache(const QTensor& t);
 /// to the scalar path (integer accumulation is order-exact and the requant
 /// is the same round-half-up rescale). Pass `w_cache` (built from `w`) to
 /// skip re-packing constant weights on every call.
+///
+/// `fuse_relu` applies the following ReLU inside the requantization: the
+/// clamp's lower bound is raised to the zero point (0 on the symmetric
+/// grid), so relu(clamp(v, qmin, qmax)) == clamp(v, 0, qmax) element-exact
+/// on every path — the graph fusion pass uses this to elide kRelu nodes.
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
                fixed::FixedFormat out_fmt,
                fixed::RoundingScheme scheme =
                    fixed::RoundingScheme::kRoundToNearest,
-               const QGemmOperandCache* w_cache = nullptr);
+               const QGemmOperandCache* w_cache = nullptr,
+               bool fuse_relu = false);
 
 /// In-place ReLU on raw values.
 void relu(QTensor& x);
@@ -98,17 +104,35 @@ QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
 
 /// Batched capsule vote product: u [B, Nin, Din] (activations) *
 /// w [Nin, Nout, Dout, Din] (weights) -> j-major votes [B, Nout, Nin, Dout]
-/// in out_fmt — the layout dynamic_routing consumes. One strided qgemm_batch
-/// over the Nin input types on the fast path, with the j-major permutation
-/// folded into the int32 -> int64 widening copy that follows the GEMM anyway
-/// (no extra traversal); exact int64 scalar fallback otherwise
-/// (bit-identical values). Pass `w_cache` (built from `w`) to skip
-/// re-packing constant weights.
+/// in out_fmt — the layout dynamic_routing consumes. One strided batch of
+/// scattered GEMMs over the Nin input types on the fast path: the j-major
+/// permutation is an affine scatter fused into the qgemm requant epilogue
+/// (tensor::QGemmScatterDst), so votes land in routing order straight out of
+/// the microkernel with no intermediate dense result or widening-copy pass.
+/// Exact int64 scalar fallback otherwise (bit-identical values). Pass
+/// `w_cache` (built from `w`) to skip re-packing constant weights.
 QTensor vote_transform(const QTensor& u, const QTensor& w,
                        fixed::FixedFormat out_fmt,
                        fixed::RoundingScheme scheme =
                            fixed::RoundingScheme::kRoundToNearest,
                        const QGemmOperandCache* w_cache = nullptr);
+
+/// Fused, grouped ConvCaps3d vote convolutions: one im2col over the full
+/// [B, Tin*Din, H, W] input feeds a batch of Tin scattered GEMMs against the
+/// concatenated per-type vote weights in `grouped` (see the fusion pass in
+/// qgraph), landing votes j-major [B*OH*OW, Tout, Tin, Dout] straight out of
+/// the requant epilogue — no per-type channel-slice copies, conv dispatches,
+/// or permutation passes. `w_fmt` is the (shared) vote-weight format,
+/// `ksize` the square kernel size; `votes` must be preallocated with that
+/// shape and out_fmt. Returns false with `votes` untouched when the operands
+/// do not admit the packed fast path — the caller falls back to the
+/// per-type conv2d + scatter loop, which is bit-identical when both run.
+bool conv_caps3d_votes(const QTensor& x, const QGemmOperandCache& grouped,
+                       fixed::FixedFormat w_fmt, std::int64_t in_types,
+                       std::int64_t in_dim, std::int64_t out_types,
+                       std::int64_t out_dim, std::int64_t ksize,
+                       std::int64_t stride, std::int64_t pad,
+                       fixed::FixedFormat out_fmt, QTensor& votes);
 
 /// Capsule lengths (classification head): [B, N, D] -> [B, N]. The sum of
 /// squares accumulates exactly in int64 raw space; only the final square

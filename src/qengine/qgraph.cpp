@@ -171,9 +171,10 @@ QuantizedOp compile_conv_caps3d(const nn::RoutedConvCapsLayer& l,
 
 // ---- op execution ----------------------------------------------------------
 
-// The one capsule-layout transpose every channel-grouped op shares:
-// gather [B, T*D, H, W] feature-map raws into [B, T*HW, D] capsule rows.
-// scatter_caps_rows is its exact inverse.
+// The one capsule-layout transpose the routing-bound ops share: gather
+// [B, T*D, H, W] feature-map raws into [B, T*HW, D] capsule rows.
+// (squash_channels used to pair this with a scatter back; it now squashes
+// in the channel-grouped layout directly.)
 void gather_caps_rows(const std::int64_t* src, std::int64_t b,
                       std::int64_t types, std::int64_t d, std::int64_t plane,
                       std::int64_t* dst) {
@@ -183,17 +184,6 @@ void gather_caps_rows(const std::int64_t* src, std::int64_t b,
         for (std::int64_t p = 0; p < plane; ++p)
           dst[((bi * types + t) * plane + p) * d + dd] =
               src[((bi * types * d) + t * d + dd) * plane + p];
-}
-
-void scatter_caps_rows(const std::int64_t* src, std::int64_t b,
-                       std::int64_t types, std::int64_t d, std::int64_t plane,
-                       std::int64_t* dst) {
-  for (std::int64_t bi = 0; bi < b; ++bi)
-    for (std::int64_t t = 0; t < types; ++t)
-      for (std::int64_t dd = 0; dd < d; ++dd)
-        for (std::int64_t p = 0; p < plane; ++p)
-          dst[((bi * types * d) + t * d + dd) * plane + p] =
-              src[((bi * types + t) * plane + p) * d + dd];
 }
 
 QTensor exec_conv_caps(const QuantizedOp& op, const QTensor& x) {
@@ -214,36 +204,51 @@ QTensor exec_conv_caps3d(const QuantizedOp& op, const QTensor& x) {
   const std::int64_t oplane = oh * ow;
   const std::int64_t jd = op.out_types * op.out_dim;
 
+  QTensor votes({b * oplane, op.out_types, op.in_types, op.out_dim},
+                op.out_fmt);
+
+  // Fused path (fusion pass set op.grouped): ONE im2col over the full
+  // channel set feeds a batch of Tin scattered GEMMs against the
+  // concatenated packed vote weights; votes land j-major straight out of
+  // the requant epilogue. Bit-identical to the per-type loop below.
+  const bool done =
+      op.grouped && op.grouped_cache &&
+      conv_caps3d_votes(x, *op.grouped_cache,
+                        op.type_weights.front().fmt, op.in_types, op.in_dim,
+                        op.out_types, op.out_dim, k, op.stride, op.pad,
+                        op.out_fmt, votes);
+
   // Per input type t: integer conv of that type's channel slice with its
   // vote weights, then a strided scatter straight into the j-major votes
   // layout [R, Nout, Nin, Dout] (R = B * OH * OW) the routing engine
   // consumes — the per-position analogue of the fc_caps vote product.
-  QTensor votes({b * oplane, op.out_types, op.in_types, op.out_dim},
-                op.out_fmt);
-  QTensor xs({b, op.in_dim, h, w}, x.fmt);
-  for (std::int64_t t = 0; t < op.in_types; ++t) {
-    for (std::int64_t bi = 0; bi < b; ++bi)
-      std::memcpy(xs.raw.data() + bi * op.in_dim * plane,
-                  x.raw.data() +
-                      (bi * op.in_types * op.in_dim + t * op.in_dim) * plane,
-                  static_cast<std::size_t>(op.in_dim * plane) *
-                      sizeof(std::int64_t));
-    const QTensor vmap =
-        conv2d(xs, op.type_weights[static_cast<std::size_t>(t)], QTensor(),
-               op.stride, op.pad, op.out_fmt, kRtn,
-               &op.type_caches[static_cast<std::size_t>(t)]);
-    const std::int64_t* pv = vmap.raw.data();
-    std::int64_t* pvotes = votes.raw.data();
-    for (std::int64_t bi = 0; bi < b; ++bi)
-      for (std::int64_t j = 0; j < op.out_types; ++j)
-        for (std::int64_t dd = 0; dd < op.out_dim; ++dd) {
-          const std::int64_t* src =
-              pv + (bi * jd + j * op.out_dim + dd) * oplane;
-          for (std::int64_t p = 0; p < oplane; ++p)
-            pvotes[(((bi * oplane + p) * op.out_types + j) * op.in_types + t) *
-                       op.out_dim +
-                   dd] = src[p];
-        }
+  if (!done) {
+    QTensor xs({b, op.in_dim, h, w}, x.fmt);
+    for (std::int64_t t = 0; t < op.in_types; ++t) {
+      for (std::int64_t bi = 0; bi < b; ++bi)
+        std::memcpy(xs.raw.data() + bi * op.in_dim * plane,
+                    x.raw.data() +
+                        (bi * op.in_types * op.in_dim + t * op.in_dim) * plane,
+                    static_cast<std::size_t>(op.in_dim * plane) *
+                        sizeof(std::int64_t));
+      const QTensor vmap =
+          conv2d(xs, op.type_weights[static_cast<std::size_t>(t)], QTensor(),
+                 op.stride, op.pad, op.out_fmt, kRtn,
+                 &op.type_caches[static_cast<std::size_t>(t)]);
+      const std::int64_t* pv = vmap.raw.data();
+      std::int64_t* pvotes = votes.raw.data();
+      for (std::int64_t bi = 0; bi < b; ++bi)
+        for (std::int64_t j = 0; j < op.out_types; ++j)
+          for (std::int64_t dd = 0; dd < op.out_dim; ++dd) {
+            const std::int64_t* src =
+                pv + (bi * jd + j * op.out_dim + dd) * oplane;
+            for (std::int64_t p = 0; p < oplane; ++p)
+              pvotes[(((bi * oplane + p) * op.out_types + j) * op.in_types +
+                      t) *
+                         op.out_dim +
+                     dd] = src[p];
+          }
+    }
   }
 
   const QTensor v = dynamic_routing(votes, op.iterations, op.out_fmt,
@@ -317,14 +322,52 @@ QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
                       << caps_dim);
   const std::int64_t b = s.dim(0), c = s.dim(1), plane = s.dim(2) * s.dim(3);
   const std::int64_t types = c / caps_dim;
-  // Gather each (b, t, y, x) capsule into a contiguous row, squash via the
-  // integer datapath, scatter back into the channel-grouped layout.
-  QTensor rows({b * types * plane, caps_dim}, s.fmt);
-  gather_caps_rows(s.raw.data(), b, types, caps_dim, plane, rows.raw.data());
-  const QTensor squashed = squash_last(rows, out_fmt);
+  // Squash in the channel-grouped layout directly: capsule (b, t, y, x)'s
+  // elements sit exactly `plane` apart, so per (b, t) slab the squared norms
+  // accumulate vertically across the D contiguous channel rows, pixel-block
+  // by pixel-block. This replaces the old gather-rows / squash / scatter-rows
+  // sequence (two full transposes of the tensor plus per-row FixedNum
+  // marshaling) with one streaming pass. Bit-identical: integer addition is
+  // order-free and the per-term shift, the gain, and the final rescale are
+  // element-local — exactly SquashUnit::apply's arithmetic.
+  const hwmodel::SquashUnit unit(s.fmt);
+  const int shift_up = unit.internal_qf() - 2 * s.fmt.qf;
+  const int prod_qf = s.fmt.qf + unit.internal_qf();
+  // The output rescale always shifts DOWN (internal_qf >= out qf), so the
+  // round-to-nearest + saturate is inlined here — per-element calls into
+  // hwmodel::rescale_raw would dominate the second pass.
+  const int shift = prod_qf - out_fmt.qf;
+  QCAPS_CHECK(shift > 0);
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  const std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
   QTensor out(s.shape, out_fmt);
-  scatter_caps_rows(squashed.raw.data(), b, types, caps_dim, plane,
-                    out.raw.data());
+  const std::int64_t slabs = b * types;
+  constexpr std::int64_t kBlock = 512;
+#pragma omp parallel for schedule(static) if (slabs > 1)
+  for (std::int64_t sl = 0; sl < slabs; ++sl) {
+    const std::int64_t* src = s.raw.data() + sl * caps_dim * plane;
+    std::int64_t* dst = out.raw.data() + sl * caps_dim * plane;
+    std::int64_t nsq[kBlock];
+    std::int64_t gain[kBlock];
+    for (std::int64_t p0 = 0; p0 < plane; p0 += kBlock) {
+      const std::int64_t pc = std::min(kBlock, plane - p0);
+      std::fill(nsq, nsq + pc, std::int64_t{0});
+      for (std::int64_t j = 0; j < caps_dim; ++j) {
+        const std::int64_t* row = src + j * plane + p0;
+        for (std::int64_t p = 0; p < pc; ++p) {
+          const std::int64_t wide = row[p] * row[p];
+          nsq[p] += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+        }
+      }
+      for (std::int64_t p = 0; p < pc; ++p) gain[p] = unit.gain_raw(nsq[p]);
+      for (std::int64_t j = 0; j < caps_dim; ++j) {
+        const std::int64_t* row = src + j * plane + p0;
+        std::int64_t* orow = dst + j * plane + p0;
+        for (std::int64_t p = 0; p < pc; ++p)
+          orow[p] = std::clamp((row[p] * gain[p] + half) >> shift, lo, hi);
+      }
+    }
+  }
   return out;
 }
 
@@ -524,6 +567,8 @@ QuantizedGraph QuantizedGraph::compile(nn::Network& net,
                               << " weighted layers were compiled");
   QCAPS_CHECK_MSG(!g.ops_.empty(), "cannot compile an empty network");
   if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
+  g.init_profile();
+  if (fuse_enabled()) g.fuse();
   return g;
 }
 
@@ -544,58 +589,159 @@ QuantizedGraph QuantizedGraph::from_ops(std::vector<QuantizedOp> ops,
   }
   QuantizedGraph g;
   g.ops_ = std::move(ops);
+  // Fusion annotations never survive a round trip through an op list: any
+  // graph rebuilt from ops() (or from disk — the serializer always writes
+  // the unfused form) starts as the unfused twin. The .qcg loader re-runs
+  // fuse() explicitly after this when fusion is enabled.
+  for (QuantizedOp& op : g.ops_) {
+    op.fused_relu = false;
+    op.fused_away = false;
+    op.grouped = false;
+    op.grouped_cache.reset();
+  }
   g.input_fmt_ = input_fmt;
   if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
+  g.init_profile();
   return g;
 }
 
-namespace {
-// Opt-in micro-profiler (QCAPS_QGRAPH_PROFILE=1): cumulative wall time per op
-// kind across every forward in the process, dumped at exit. Diagnoses where
-// search evaluations / serving requests spend their time.
-struct OpProfile {
-  std::array<std::atomic<std::int64_t>, 16> ns{};
-  bool enabled = std::getenv("QCAPS_QGRAPH_PROFILE") != nullptr;
-  ~OpProfile() {
-    if (!enabled) return;
-    static const char* names[] = {"conv2d",    "relu",       "rescale",
-                                  "primary",   "votes",      "routing",
-                                  "convcaps",  "convcaps3d", "residual",
-                                  "flatten",   "satscan",    "input-quant"};
-    std::fprintf(stderr, "[qgraph profile]\n");
-    for (std::size_t i = 0; i < std::size(names); ++i)
-      if (ns[i].load() > 0)
-        std::fprintf(stderr, "  %-12s %8.1f ms\n", names[i],
-                     static_cast<double>(ns[i].load()) / 1e6);
-  }
-};
-OpProfile g_profile;
+bool QuantizedGraph::fuse_enabled() {
+  const char* e = std::getenv("QCAPS_QGRAPH_FUSE");
+  return e == nullptr || std::strcmp(e, "0") != 0;
+}
 
-struct OpTimer {
-  std::size_t slot;
-  std::chrono::steady_clock::time_point t0;
-  explicit OpTimer(std::size_t s)
-      : slot(s),
-        t0(g_profile.enabled ? std::chrono::steady_clock::now()
-                             : std::chrono::steady_clock::time_point{}) {}
-  ~OpTimer() {
-    if (g_profile.enabled)
-      g_profile.ns[slot].fetch_add(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - t0)
-              .count(),
-          std::memory_order_relaxed);
+void QuantizedGraph::fuse() {
+  if (fused_) return;
+  fused_ = true;
+  // A relu folds into its producing conv only when the conv's value has no
+  // other reader — any second consumer must see the pre-relu activation.
+  std::vector<int> consumers(ops_.size(), 0);
+  for (const QuantizedOp& op : ops_) {
+    if (op.input >= 0) ++consumers[static_cast<std::size_t>(op.input)];
+    if (op.input2 >= 0) ++consumers[static_cast<std::size_t>(op.input2)];
   }
-};
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    QuantizedOp& op = ops_[i];
+    if (op.kind == QOpKind::kRelu && op.input >= 0) {
+      const std::size_t p = static_cast<std::size_t>(op.input);
+      QuantizedOp& prod = ops_[p];
+      // relu(clamp(v, qmin, qmax)) == clamp(v, max(qmin, 0), qmax) on the
+      // symmetric grid, so raising the conv requant's lower clamp to the
+      // zero point reproduces the relu element-exactly on every path. The
+      // formats must match: a relu that also changes format would need a
+      // second rescale the fused clamp cannot express.
+      if (prod.kind == QOpKind::kConv2d && !prod.fused_relu &&
+          consumers[p] == 1 && prod.out_fmt == op.out_fmt) {
+        prod.fused_relu = true;
+        op.fused_away = true;
+        if (prof_) prof_->fused_from[p] = op.source;
+      }
+    } else if (op.kind == QOpKind::kConvCaps3d && !op.type_caches.empty()) {
+      // Concatenate the per-type packed vote weights into one operand image
+      // so the executor can run the Tin vote convolutions as ONE grouped
+      // im2col + scattered-GEMM batch. Grouping demands one shared storage
+      // tier across all types (the batch packs A once); when the types
+      // straddle the int8 boundary, stay on the per-type path rather than
+      // demote anyone to the wider tier unnecessarily — the executor's
+      // range gate re-checks at run time and falls back bit-identically.
+      std::int64_t gmax = 0;
+      bool all8 = true, all16 = true;
+      for (const auto& tc : op.type_caches) {
+        if (tc.max_abs < 0) { all8 = all16 = false; break; }
+        gmax = std::max(gmax, tc.max_abs);
+        all8 = all8 && tc.has_i8();
+        all16 = all16 && tc.has_i16();
+      }
+      all8 = all8 && gmax <= 127;
+      all16 = all16 && gmax <= 32767;
+      if (!all8 && !all16) continue;
+      auto cache = std::make_shared<QGemmOperandCache>();
+      cache->max_abs = gmax;
+      for (std::size_t t = 0; t < op.type_caches.size(); ++t) {
+        const std::int64_t n = tensor::shape_numel(op.type_weights[t].shape);
+        if (all8) {
+          const std::int8_t* src = op.type_caches[t].i8_data();
+          cache->i8.insert(cache->i8.end(), src, src + n);
+        }
+        if (all16) {
+          const std::int16_t* src = op.type_caches[t].i16_data();
+          cache->i16.insert(cache->i16.end(), src, src + n);
+        }
+      }
+      op.grouped = true;
+      op.grouped_cache = std::move(cache);
+      if (prof_) prof_->fused_from[i] = "grouped-votes";
+    }
+  }
+}
+
+namespace {
+
+const char* qop_kind_name(QOpKind k) {
+  switch (k) {
+    case QOpKind::kConv2d: return "conv2d";
+    case QOpKind::kRelu: return "relu";
+    case QOpKind::kRescale: return "rescale";
+    case QOpKind::kPrimaryCaps: return "primary";
+    case QOpKind::kVoteTransform: return "votes";
+    case QOpKind::kDynamicRouting: return "routing";
+    case QOpKind::kConvCaps: return "convcaps";
+    case QOpKind::kConvCaps3d: return "convcaps3d";
+    case QOpKind::kResidualAdd: return "residual";
+    case QOpKind::kFlatten: return "flatten";
+  }
+  return "unknown";
+}
+
+// QCAPS_QGRAPH_PROFILE: unset or "0" disables; "1" dumps to stderr; any
+// other value is the dump file path.
+const char* profile_target() {
+  const char* e = std::getenv("QCAPS_QGRAPH_PROFILE");
+  if (e == nullptr || std::strcmp(e, "0") == 0) return nullptr;
+  return e;
+}
+
 }  // namespace
+
+QuantizedGraph::NodeProfile::~NodeProfile() {
+  std::FILE* f = stderr;
+  bool close = false;
+  if (!target.empty() && target != "1") {
+    if (std::FILE* fp = std::fopen(target.c_str(), "w")) {
+      f = fp;
+      close = true;
+    }
+  }
+  std::fprintf(f, "[");
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    std::fprintf(
+        f, "%s\n {\"index\":%zu,\"source\":\"%s\",\"kind\":\"%s\",\"ns\":%lld,"
+           "\"bytes\":%lld,\"fused_from\":[%s%s%s]}",
+        i == 0 ? "" : ",", i, source[i].c_str(), kind[i].c_str(),
+        static_cast<long long>(ns[i].load(std::memory_order_relaxed)),
+        static_cast<long long>(bytes[i].load(std::memory_order_relaxed)),
+        fused_from[i].empty() ? "" : "\"", fused_from[i].c_str(),
+        fused_from[i].empty() ? "" : "\"");
+  }
+  std::fprintf(f, "\n]\n");
+  if (close) std::fclose(f);
+}
+
+void QuantizedGraph::init_profile() {
+  const char* target = profile_target();
+  if (target == nullptr) return;
+  prof_ = std::make_shared<NodeProfile>(ops_.size());
+  prof_->target = target;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    prof_->source[i] = ops_[i].source;
+    prof_->kind[i] = qop_kind_name(ops_[i].kind);
+  }
+}
 
 QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
   QCAPS_CHECK_MSG(!ops_.empty(), "forward on an empty graph");
   QCAPS_CHECK_MSG(images.ndim() == 4, "expected [B, C, H, W] images");
-  const QTensor x0 = [&] {
-    OpTimer t(11);
-    return QTensor::from_float(images, input_fmt_);
-  }();
+  const QTensor x0 = QTensor::from_float(images, input_fmt_);
   std::vector<QTensor> vals(ops_.size());
   const auto val = [&](int idx) -> const QTensor& {
     return idx < 0 ? x0 : vals[static_cast<std::size_t>(idx)];
@@ -613,12 +759,12 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const QuantizedOp& op = ops_[i];
     const QTensor& x = val(op.input);
-    std::optional<OpTimer> timer;
-    timer.emplace(static_cast<std::size_t>(op.kind));
+    const auto t0 = prof_ ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
     switch (op.kind) {
       case QOpKind::kConv2d:
         vals[i] = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.out_fmt,
-                         kRtn, &op.wcache);
+                         kRtn, &op.wcache, op.fused_relu);
         break;
       case QOpKind::kRelu:
         // Steal the input when this is its last use (the common case: relu
@@ -629,7 +775,9 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
           vals[i] = std::move(vals[static_cast<std::size_t>(op.input)]);
         else
           vals[i] = x;
-        relu(vals[i]);
+        // Folded into the producing conv's requant clamp: the value already
+        // is relu(conv(...)); this node just forwards it.
+        if (!op.fused_away) relu(vals[i]);
         break;
       case QOpKind::kRescale:
         vals[i] = rescale(x, op.out_fmt);
@@ -658,22 +806,35 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
         vals[i] = exec_flatten(op, x);
         break;
     }
+    if (prof_) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      prof_->ns[i].fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count(),
+          std::memory_order_relaxed);
+      prof_->bytes[i].fetch_add(
+          static_cast<std::int64_t>(vals[i].raw.size() * sizeof(std::int64_t)),
+          std::memory_order_relaxed);
+    }
     // Requant-saturation accounting: count produced raws sitting exactly on
     // the output format's rails. Anything requantized (conv, rescale,
     // squash, routing, residual add) can only reach a rail by clamping —
     // or by landing on it exactly, which is indistinguishable and rare.
     // kRelu and kFlatten never requantize, so they are left uncounted
-    // (relu also steals its input, which may already be freed). The scan is
-    // O(numel) over a value the op just wrote — noise next to the conv that
-    // produced it — and touches only relaxed atomics, so replica pools can
-    // run it concurrently.
-    timer.reset();
+    // (relu also steals its input, which may already be freed). A conv with
+    // a fused relu counts only the high rail: the raised lower clamp now
+    // produces legitimate relu zeros at qmin = 0, not saturation. The scan
+    // is O(numel) over a value the op just wrote — noise next to the conv
+    // that produced it — and touches only relaxed atomics, so replica pools
+    // can run it concurrently.
     if (sat_ && op.kind != QOpKind::kRelu && op.kind != QOpKind::kFlatten) {
-      OpTimer sat_timer(10);
       const QTensor& y = vals[i];
       const std::int64_t lo = y.fmt.raw_min(), hi = y.fmt.raw_max();
       std::uint64_t at_rail = 0;
-      for (const std::int64_t r : y.raw) at_rail += (r <= lo || r >= hi);
+      if (op.fused_relu) {
+        for (const std::int64_t r : y.raw) at_rail += (r >= hi);
+      } else {
+        for (const std::int64_t r : y.raw) at_rail += (r <= lo || r >= hi);
+      }
       sat_->saturated[i].fetch_add(at_rail, std::memory_order_relaxed);
       sat_->total[i].fetch_add(static_cast<std::uint64_t>(y.numel()),
                                std::memory_order_relaxed);

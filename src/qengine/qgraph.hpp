@@ -77,6 +77,21 @@ struct QuantizedOp {
   std::int64_t in_types = 0, in_dim = 0;      ///< caps convolutions
   std::int64_t out_types = 0, out_dim = 0;
 
+  // ---- fusion annotations (in-memory only; see QuantizedGraph::fuse) ----
+  // Never serialized: the .qcg op list is always the unfused graph, and
+  // from_ops() clears these fields, so any round trip through ops() or disk
+  // yields the unfused twin by construction.
+  bool fused_relu = false;  ///< kConv2d: apply the following ReLU as the
+                            ///< requant's clamp-lo (element-exact)
+  bool fused_away = false;  ///< node was folded into its producer; at run
+                            ///< time it aliases its input unchanged
+  bool grouped = false;     ///< kConvCaps3d: per-type vote convs run as one
+                            ///< grouped im2col + scattered GEMM batch
+  /// kConvCaps3d: the per-type packed vote weights concatenated into one
+  /// image (A operand of the grouped GEMM batch). Shared, not copied: the
+  /// serving pool's N replicas of one graph all point at the same panels.
+  std::shared_ptr<const QGemmOperandCache> grouped_cache;
+
   /// Storage cost of this node's quantized parameters.
   std::int64_t weight_bits() const;
 };
@@ -166,6 +181,23 @@ class QuantizedGraph {
                                  fixed::FixedFormat input_fmt,
                                  bool track_saturation = true);
 
+  /// Graph-level fusion pass over the compiled op list. Annotates in place —
+  /// no node is added, removed, or renamed, so saturation()/profile layouts
+  /// and the serialized form are untouched:
+  ///   - kRelu whose producer is a kConv2d with no other consumer and the
+  ///     same output format folds into the conv's requant clamp (the relu
+  ///     node stays but becomes an alias of its input at run time);
+  ///   - kConvCaps3d nodes whose per-type packed weights share a storage
+  ///     tier get a concatenated operand cache and run as ONE grouped
+  ///     im2col + scattered-GEMM batch instead of Tin separate convs.
+  /// Fused execution is bit-identical to unfused (golden-locked). compile()
+  /// and the .qcg loader call this when fuse_enabled(); idempotent.
+  void fuse();
+  /// True once fuse() has run on this graph.
+  bool fused() const { return fused_; }
+  /// Fusion kill switch: false when QCAPS_QGRAPH_FUSE=0 in the environment.
+  static bool fuse_enabled();
+
   /// Integer forward: images [B, C, H, W] in [0, 1] -> class capsules
   /// [B, Ncls, D] in the final activation format.
   QTensor forward(const tensor::Tensor& images) const;
@@ -202,9 +234,31 @@ class QuantizedGraph {
     explicit SatCounters(std::size_t n) : saturated(n), total(n) {}
   };
 
+  /// Opt-in per-node profile (QCAPS_QGRAPH_PROFILE): wall time and produced
+  /// bytes per node, shared across copies like the saturation block. The
+  /// last copy's destructor dumps machine-readable JSON — one record per
+  /// node with index/source/kind/ns/bytes/fused_from — to stderr
+  /// (QCAPS_QGRAPH_PROFILE=1) or to the file the variable names.
+  struct NodeProfile {
+    std::vector<std::string> source;
+    std::vector<std::string> kind;
+    std::vector<std::string> fused_from;  ///< sources folded in ("" = none)
+    std::vector<std::atomic<std::int64_t>> ns;
+    std::vector<std::atomic<std::int64_t>> bytes;
+    std::string target;  ///< "1" or "" -> stderr, otherwise a file path
+    explicit NodeProfile(std::size_t n)
+        : source(n), kind(n), fused_from(n), ns(n), bytes(n) {}
+    ~NodeProfile();  // emits the JSON dump
+  };
+
+  /// Build prof_ when QCAPS_QGRAPH_PROFILE enables it (compile / from_ops).
+  void init_profile();
+
   std::vector<QuantizedOp> ops_;
   fixed::FixedFormat input_fmt_{1, 15};
+  bool fused_ = false;
   std::shared_ptr<SatCounters> sat_;
+  std::shared_ptr<NodeProfile> prof_;
 };
 
 // ---- standalone op implementations ----------------------------------------

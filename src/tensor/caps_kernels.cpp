@@ -233,6 +233,25 @@ void softmax(float* x, std::int64_t d, std::int64_t r0, std::int64_t r1) {
   }
 }
 
+// Transposed-batch softmax: logical row r's element j lives at
+// x[j * rows + r] ([d, rows] storage); normalization runs over j.
+void softmax_t(float* x, std::int64_t rows, std::int64_t d, std::int64_t r0,
+               std::int64_t r1) {
+  for (std::int64_t r = r0; r < r1; ++r) {
+    float* col = x + r;
+    float mx = col[0];
+    for (std::int64_t j = 1; j < d; ++j) mx = std::max(mx, col[j * rows]);
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float e = poly_expf(col[j * rows] - mx);
+      col[j * rows] = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (std::int64_t j = 0; j < d; ++j) col[j * rows] *= inv;
+  }
+}
+
 void squash(const float* s, float* v, std::int64_t d, float eps,
             std::int64_t r0, std::int64_t r1) {
   for (std::int64_t r = r0; r < r1; ++r) squash_row(s + r * d, v + r * d, d, eps);
@@ -653,6 +672,34 @@ __attribute__((target("avx2,fma"))) void softmax(float* x, std::int64_t d,
   }
 }
 
+__attribute__((target("avx2,fma"))) void softmax_t(float* x, std::int64_t rows,
+                                                   std::int64_t d,
+                                                   std::int64_t r0,
+                                                   std::int64_t r1) {
+  // The transposed [d, rows] layout vectorizes across the batch: 8 logical
+  // rows share each ymm and the j walk is a strided vertical load, so the
+  // whole softmax is per-lane math with no horizontal reductions anywhere.
+  std::int64_t r = r0;
+  for (; r + 8 <= r1; r += 8) {
+    float* base = x + r;
+    __m256 mx = _mm256_loadu_ps(base);
+    for (std::int64_t j = 1; j < d; ++j)
+      mx = _mm256_max_ps(mx, _mm256_loadu_ps(base + j * rows));
+    __m256 sum = _mm256_setzero_ps();
+    for (std::int64_t j = 0; j < d; ++j) {
+      const __m256 e =
+          exp8(_mm256_sub_ps(_mm256_loadu_ps(base + j * rows), mx));
+      _mm256_storeu_ps(base + j * rows, e);
+      sum = _mm256_add_ps(sum, e);
+    }
+    const __m256 inv = _mm256_div_ps(_mm256_set1_ps(1.0f), sum);
+    for (std::int64_t j = 0; j < d; ++j)
+      _mm256_storeu_ps(base + j * rows,
+                       _mm256_mul_ps(inv, _mm256_loadu_ps(base + j * rows)));
+  }
+  if (r < r1) scalar::softmax_t(x, rows, d, r, r1);
+}
+
 __attribute__((target("avx2,fma"))) void squash(const float* s, float* v,
                                                 std::int64_t d, float eps,
                                                 std::int64_t r0,
@@ -794,7 +841,16 @@ __attribute__((target("avx512f"))) inline void squash_row(const float* s,
   }
 }
 
-__attribute__((target("avx512f"))) inline void ws_slab(
+__attribute__((target("avx512f"))) inline __m256 fold256(__m512 x) {
+  return _mm256_add_ps(
+      _mm512_castps512_ps256(x),
+      _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(x), 1)));
+}
+
+// fma (not just avx512f) in the target set: the d == 8 remainder rows run on
+// ymm FMAs, and GCC gates the 256-bit fmadd intrinsic on the FMA3 flag even
+// though every AVX-512F CPU has it.
+__attribute__((target("avx512f,fma"))) inline void ws_slab(
     const float* ur, const float* cs, float* srow, std::int64_t nin,
     std::int64_t nout, std::int64_t d) {
   if (d == 16) {
@@ -817,7 +873,27 @@ __attribute__((target("avx512f"))) inline void ws_slab(
     _mm512_storeu_ps(srow,
                      _mm512_add_ps(_mm512_add_ps(a0, a1), _mm512_add_ps(a2, a3)));
   } else if (d == 8) {
-    avx2::ws_slab(ur, cs, srow, nin, nout, d);
+    // Two capsule rows per zmm: rows i and i+1 are 16 contiguous floats, and
+    // their couplings are broadcast into the two 256-bit halves with a lane
+    // blend (AVX-512F only — insertf32x8 would need DQ). Two accumulators
+    // cover four rows per step; the halves fold together once at the end.
+    __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
+    std::int64_t i = 0;
+    for (; i + 4 <= nin; i += 4) {
+      const __m512 c01 =
+          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[i * nout]),
+                               _mm512_set1_ps(cs[(i + 1) * nout]));
+      const __m512 c23 =
+          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[(i + 2) * nout]),
+                               _mm512_set1_ps(cs[(i + 3) * nout]));
+      a0 = _mm512_fmadd_ps(c01, _mm512_loadu_ps(ur + i * 8), a0);
+      a1 = _mm512_fmadd_ps(c23, _mm512_loadu_ps(ur + (i + 2) * 8), a1);
+    }
+    __m256 acc = fold256(_mm512_add_ps(a0, a1));
+    for (; i < nin; ++i)
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+                            _mm256_loadu_ps(ur + i * 8), acc);
+    _mm256_storeu_ps(srow, acc);
   } else {
     std::fill(srow, srow + d, 0.0f);
     for (std::int64_t i = 0; i < nin; ++i) {
@@ -858,12 +934,6 @@ __attribute__((target("avx512f"))) void ws_squash(
             nout, d);
     squash_row(srow, v + t * d, d, eps);
   }
-}
-
-__attribute__((target("avx512f"))) inline __m256 fold256(__m512 x) {
-  return _mm256_add_ps(
-      _mm512_castps512_ps256(x),
-      _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(x), 1)));
 }
 
 // Four d==16 dot products against v0 reduced together: fold each zmm to
@@ -1163,6 +1233,54 @@ __attribute__((target("avx512f"))) void softmax(float* x, std::int64_t d,
   }
 }
 
+__attribute__((target("avx512f"))) void softmax_t(float* x, std::int64_t rows,
+                                                  std::int64_t d,
+                                                  std::int64_t r0,
+                                                  std::int64_t r1) {
+  // 16 logical rows per zmm; the normalization axis j is walked as strided
+  // vertical loads so no lane ever needs a horizontal reduction.
+  std::int64_t r = r0;
+  for (; r + 16 <= r1; r += 16) {
+    float* base = x + r;
+    __m512 mx = _mm512_loadu_ps(base);
+    for (std::int64_t j = 1; j < d; ++j)
+      mx = _mm512_max_ps(mx, _mm512_loadu_ps(base + j * rows));
+    __m512 sum = _mm512_setzero_ps();
+    for (std::int64_t j = 0; j < d; ++j) {
+      const __m512 e =
+          exp16(_mm512_sub_ps(_mm512_loadu_ps(base + j * rows), mx));
+      _mm512_storeu_ps(base + j * rows, e);
+      sum = _mm512_add_ps(sum, e);
+    }
+    const __m512 inv = _mm512_div_ps(_mm512_set1_ps(1.0f), sum);
+    for (std::int64_t j = 0; j < d; ++j)
+      _mm512_storeu_ps(base + j * rows,
+                       _mm512_mul_ps(inv, _mm512_loadu_ps(base + j * rows)));
+  }
+  if (r < r1) {
+    // Masked tail: inactive lanes stay untouched (maskz loads feed them
+    // zeros, masked stores never write them back).
+    const __mmask16 m = static_cast<__mmask16>((1u << (r1 - r)) - 1);
+    float* base = x + r;
+    __m512 mx = _mm512_maskz_loadu_ps(m, base);
+    for (std::int64_t j = 1; j < d; ++j)
+      mx = _mm512_mask_max_ps(mx, m, mx,
+                              _mm512_maskz_loadu_ps(m, base + j * rows));
+    __m512 sum = _mm512_setzero_ps();
+    for (std::int64_t j = 0; j < d; ++j) {
+      const __m512 e = exp16(_mm512_maskz_sub_ps(
+          m, _mm512_maskz_loadu_ps(m, base + j * rows), mx));
+      _mm512_mask_storeu_ps(base + j * rows, m, e);
+      sum = _mm512_maskz_add_ps(m, sum, e);
+    }
+    const __m512 inv = _mm512_maskz_div_ps(m, _mm512_set1_ps(1.0f), sum);
+    for (std::int64_t j = 0; j < d; ++j)
+      _mm512_mask_storeu_ps(
+          base + j * rows, m,
+          _mm512_mul_ps(inv, _mm512_maskz_loadu_ps(m, base + j * rows)));
+  }
+}
+
 __attribute__((target("avx512f"))) void squash(const float* s, float* v,
                                                std::int64_t d, float eps,
                                                std::int64_t r0,
@@ -1175,7 +1293,64 @@ __attribute__((target("avx512f"))) void squash_bwd(const float* s,
                                                    std::int64_t d, float eps,
                                                    std::int64_t r0,
                                                    std::int64_t r1) {
-  avx2::squash_bwd(s, g, gs, d, eps, r0, r1);
+  if (d == 16) {
+    // One zmm per row: both reductions come from the same loaded registers
+    // and the output is a single fused multiply-add.
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const __m512 sv = _mm512_loadu_ps(s + r * 16);
+      const __m512 gv = _mm512_loadu_ps(g + r * 16);
+      const float nsq = hsum16(_mm512_mul_ps(sv, sv));
+      const float dot = hsum16(_mm512_mul_ps(sv, gv));
+      const float n = std::sqrt(nsq + eps);
+      const float denom = 1.0f + nsq;
+      const float f = n / denom;
+      const float coeff = (1.0f - nsq) / (denom * denom) / n * dot;
+      _mm512_storeu_ps(
+          gs + r * 16,
+          _mm512_fmadd_ps(_mm512_set1_ps(f), gv,
+                          _mm512_mul_ps(_mm512_set1_ps(coeff), sv)));
+    }
+    return;
+  }
+  for (std::int64_t r = r0; r < r1; ++r) {
+    const float* sr = s + r * d;
+    const float* gr = g + r * d;
+    float* out = gs + r * d;
+    __m512 na = _mm512_setzero_ps(), da = _mm512_setzero_ps();
+    std::int64_t k = 0;
+    for (; k + 16 <= d; k += 16) {
+      const __m512 sv = _mm512_loadu_ps(sr + k);
+      na = _mm512_fmadd_ps(sv, sv, na);
+      da = _mm512_fmadd_ps(sv, _mm512_loadu_ps(gr + k), da);
+    }
+    if (k < d) {
+      const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+      const __m512 sv = _mm512_maskz_loadu_ps(m, sr + k);
+      na = _mm512_fmadd_ps(sv, sv, na);
+      da = _mm512_fmadd_ps(sv, _mm512_maskz_loadu_ps(m, gr + k), da);
+    }
+    const float nsq = hsum16(na);
+    const float dot = hsum16(da);
+    const float n = std::sqrt(nsq + eps);
+    const float denom = 1.0f + nsq;
+    const float f = n / denom;
+    const float coeff = (1.0f - nsq) / (denom * denom) / n * dot;
+    const __m512 fv = _mm512_set1_ps(f);
+    const __m512 cv = _mm512_set1_ps(coeff);
+    k = 0;
+    for (; k + 16 <= d; k += 16)
+      _mm512_storeu_ps(
+          out + k,
+          _mm512_fmadd_ps(fv, _mm512_loadu_ps(gr + k),
+                          _mm512_mul_ps(cv, _mm512_loadu_ps(sr + k))));
+    if (k < d) {
+      const __mmask16 m = static_cast<__mmask16>((1u << (d - k)) - 1);
+      _mm512_mask_storeu_ps(
+          out + k, m,
+          _mm512_fmadd_ps(fv, _mm512_maskz_loadu_ps(m, gr + k),
+                          _mm512_mul_ps(cv, _mm512_maskz_loadu_ps(m, sr + k))));
+    }
+  }
 }
 
 #pragma GCC diagnostic pop
@@ -1204,6 +1379,8 @@ struct OpsTable {
                     std::int64_t, std::int64_t, std::int64_t, std::int64_t,
                     std::int64_t);
   void (*softmax)(float*, std::int64_t, std::int64_t, std::int64_t);
+  void (*softmax_t)(float*, std::int64_t, std::int64_t, std::int64_t,
+                    std::int64_t);
   void (*squash)(const float*, float*, std::int64_t, float, std::int64_t,
                  std::int64_t);
   void (*squash_bwd)(const float*, const float*, float*, std::int64_t, float,
@@ -1235,13 +1412,13 @@ OpsTable make_table(CapsKernel k) {
     case CapsKernel::kAvx512:
       return {avx512::ws,        avx512::ws_squash,  avx512::agree,
               avx512::iter_fused, avx512::ws_bwd,     avx512::agree_bwd,
-              avx512::softmax,    avx512::squash,     avx512::squash_bwd,
-              CapsKernel::kAvx512};
+              avx512::softmax,    avx512::softmax_t,  avx512::squash,
+              avx512::squash_bwd, CapsKernel::kAvx512};
     case CapsKernel::kAvx2:
       return {avx2::ws,        avx2::ws_squash,  avx2::agree,
               avx2::iter_fused, avx2::ws_bwd,     avx2::agree_bwd,
-              avx2::softmax,    avx2::squash,     avx2::squash_bwd,
-              CapsKernel::kAvx2};
+              avx2::softmax,    avx2::softmax_t,  avx2::squash,
+              avx2::squash_bwd, CapsKernel::kAvx2};
 #else
     case CapsKernel::kAvx512:
     case CapsKernel::kAvx2:
@@ -1251,8 +1428,8 @@ OpsTable make_table(CapsKernel k) {
   }
   return {scalar::ws,        scalar::ws_squash,  scalar::agree,
           scalar::iter_fused, scalar::ws_bwd,     scalar::agree_bwd,
-          scalar::softmax,    scalar::squash,     scalar::squash_bwd,
-          CapsKernel::kScalar};
+          scalar::softmax,    scalar::softmax_t,  scalar::squash,
+          scalar::squash_bwd, CapsKernel::kScalar};
 }
 
 OpsTable pick_default() {
@@ -1349,6 +1526,13 @@ void softmax_rows(float* x, std::int64_t rows, std::int64_t d) {
   if (d <= 0) return;
   run_ranges(rows, 4 * d, [&](std::int64_t r0, std::int64_t r1) {
     g_ops.softmax(x, d, r0, r1);
+  });
+}
+
+void softmax_rows_t(float* x, std::int64_t rows, std::int64_t d) {
+  if (d <= 0 || rows <= 0) return;
+  run_ranges(rows, 4 * d, [&](std::int64_t r0, std::int64_t r1) {
+    g_ops.softmax_t(x, rows, d, r0, r1);
   });
 }
 

@@ -113,6 +113,15 @@ void routing_agreement_backward(const float* u, const float* v,
 /// In-place numerically stable softmax over each contiguous row of length d.
 void softmax_rows(float* x, std::int64_t rows, std::int64_t d);
 
+/// Transposed-batch softmax: x holds [d, rows], so logical row r's element j
+/// lives at x[j * rows + r] and normalization runs over j. In this
+/// orientation the vector tiers put 8/16 logical rows in each register and
+/// walk j as strided vertical loads — the entire softmax is per-lane math
+/// with no horizontal reductions, which is the fast form when the caller's
+/// logits are naturally column-major (e.g. routing logits sliced per input
+/// capsule across a batch).
+void softmax_rows_t(float* x, std::int64_t rows, std::int64_t d);
+
 /// v[row, :] = squash(s[row, :]) per contiguous row of length d.
 void squash_rows(const float* s, float* v, std::int64_t rows, std::int64_t d,
                  float eps);

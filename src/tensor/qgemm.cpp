@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -31,10 +32,13 @@ constexpr std::int64_t kParallelMinWork = std::int64_t{1} << 16;
 
 std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
 
-// Per-thread packing buffers, reused across calls.
+// Per-thread packing buffers, reused across calls. The a8/b8 pair holds the
+// narrow panels of the VNNI tier and is only allocated when that tier runs.
 struct Scratch {
   std::vector<std::int16_t> a;
   std::vector<std::int16_t> b;
+  std::vector<std::int8_t> a8;
+  std::vector<std::uint8_t> b8;
 };
 
 Scratch& scratch() {
@@ -45,6 +49,17 @@ Scratch& scratch() {
   }
   return s;
 }
+
+#ifdef QCAPS_QGEMM_X86_NATIVE
+Scratch& scratch_vnni() {
+  Scratch& s = scratch();
+  if (s.a8.empty()) {
+    s.a8.resize(static_cast<std::size_t>(MC * KC));
+    s.b8.resize(static_cast<std::size_t>(KC * NC));
+  }
+  return s;
+}
+#endif
 
 // ---- packing ---------------------------------------------------------------
 //
@@ -342,6 +357,254 @@ __attribute__((target("avx512f,avx512bw"))) void kernel_avx512_q(
   QCAPS_QGEMM_MERGE_ROW512(5, r5);
 #undef QCAPS_QGEMM_MERGE_ROW512
 }
+
+// ---- AVX-512 VNNI int8 path ------------------------------------------------
+//
+// The vpmaddwd tiers widen int8 operands to int16 inside the packed panels;
+// VNNI keeps them narrow, doubling the MACs per instruction. With
+// kc4 = ceil(kc/4) and kcp4 = kc4 * 4 (K padded to a multiple of 4):
+//   A panel (per MR-row block): row-contiguous signed bytes — (i, p) at
+//     out[i*kcp4 + p] — so the kernel broadcasts a 4-byte K quad per row
+//     with one 32-bit memory operand.
+//   B panel (per VNR = 32-col strip): quad-interleaved offset bytes —
+//     (4*p4 + q, j) at out[p4*VNR*4 + j*4 + q], stored as uint8(b + 128)
+//     because vpdpbusd multiplies an unsigned by a signed operand. One p4
+//     step of a strip is exactly two 64-byte zmm loads. The strip is twice
+//     as wide as the vpmaddwd tiers' (two zmm per tile row) so each A-quad
+//     broadcast feeds 128 MACs instead of 64.
+// The kernel therefore accumulates sum_k (b + 128) * a into each lane: the
+// exact product plus 128 * rowsum(op(A))[i] — constant per output row — in
+// wrapping int32 arithmetic. The driver subtracts that term in uint32
+// arithmetic after the last K block; the true value fits int32 under the
+// caller's no-wrap bound and 32-bit addition is modular, so the result is
+// exact even when intermediate accumulators wrap.
+
+void pack_a_vnni(Trans ta, const std::int8_t* a, std::int64_t lda,
+                 std::int64_t i0, std::int64_t mc, std::int64_t p0,
+                 std::int64_t kc, std::int8_t* out) {
+  const std::int64_t kcp = 4 * ceil_div(kc, 4);
+  for (std::int64_t ib = 0; ib < mc; ib += MR) {
+    const std::int64_t mr = std::min(MR, mc - ib);
+    for (std::int64_t i = 0; i < MR; ++i) {
+      std::int8_t* dst = out + i * kcp;
+      if (i < mr) {
+        if (ta == Trans::kN) {
+          std::memcpy(dst, a + (i0 + ib + i) * lda + p0,
+                      static_cast<std::size_t>(kc));
+        } else {
+          const std::int8_t* src = a + p0 * lda + i0 + ib + i;
+          for (std::int64_t p = 0; p < kc; ++p) dst[p] = src[p * lda];
+        }
+        std::fill(dst + kc, dst + kcp, std::int8_t{0});
+      } else {
+        std::fill(dst, dst + kcp, std::int8_t{0});
+      }
+    }
+    out += MR * kcp;
+  }
+}
+
+// Column-strip width of the VNNI int8 microkernel (two zmm per tile row).
+inline constexpr std::int64_t VNR = 32;
+static_assert(NC % VNR == 0, "B scratch sizing assumes NC is a strip multiple");
+
+void pack_b_vnni(Trans tb, const std::int8_t* b, std::int64_t ldb,
+                 std::int64_t p0, std::int64_t kc, std::int64_t j0,
+                 std::int64_t nc, std::uint8_t* out) {
+  const std::int64_t kc4 = ceil_div(kc, 4);
+  for (std::int64_t jb = 0; jb < nc; jb += VNR) {
+    const std::int64_t nr = std::min(VNR, nc - jb);
+    for (std::int64_t p4 = 0; p4 < kc4; ++p4) {
+      std::uint8_t* dst = out + p4 * VNR * 4;
+      const std::int64_t pq = std::min<std::int64_t>(4, kc - 4 * p4);
+      for (std::int64_t j = 0; j < nr; ++j) {
+        for (std::int64_t q = 0; q < pq; ++q) {
+          const std::int64_t p = p0 + 4 * p4 + q;
+          const std::int8_t v = tb == Trans::kN ? b[p * ldb + j0 + jb + j]
+                                                : b[(j0 + jb + j) * ldb + p];
+          // Offset bytes; K-tail and edge-column pads are 0, which
+          // contributes nothing against a zero (padded) A quad and is
+          // masked out of the merge for edge columns.
+          dst[j * 4 + q] = static_cast<std::uint8_t>(static_cast<int>(v) + 128);
+        }
+        for (std::int64_t q = pq; q < 4; ++q) dst[j * 4 + q] = 0;
+      }
+      for (std::int64_t j = nr; j < VNR; ++j) std::memset(dst + j * 4, 0, 4);
+    }
+    out += kc4 * VNR * 4;
+  }
+}
+
+// Broadcast one packed 4-byte A quad into every 32-bit lane.
+inline std::int32_t load_quad(const std::int8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+kernel_avx512vnni_q8(std::int64_t kc4, const std::int8_t* ap,
+                     const std::uint8_t* bp, std::int32_t* c, std::int64_t ldc,
+                     std::int64_t mr, std::int64_t nr, bool accumulate) {
+  // Two zmm of 16 int32 lanes per tile row (VNR = 32 columns): per K quad
+  // each row is two vpdpbusd against the strip's pair of 64-byte B loads
+  // (the unsigned operand), with the row's 4-byte A quad broadcast as the
+  // signed operand. The twelve accumulators double as the latency split the
+  // vpmaddwd tiers get from their 1-cycle vpaddd chain: each accumulator is
+  // touched only twice per unrolled iteration, so the loop runs at port
+  // throughput, not vpdpbusd latency.
+  const std::int64_t kcp = kc4 * 4;
+  const std::int8_t* a0 = ap;
+  const std::int8_t* a1 = ap + kcp;
+  const std::int8_t* a2 = ap + 2 * kcp;
+  const std::int8_t* a3 = ap + 3 * kcp;
+  const std::int8_t* a4 = ap + 4 * kcp;
+  const std::int8_t* a5 = ap + 5 * kcp;
+  __m512i r0l = _mm512_setzero_si512(), r0h = _mm512_setzero_si512();
+  __m512i r1l = _mm512_setzero_si512(), r1h = _mm512_setzero_si512();
+  __m512i r2l = _mm512_setzero_si512(), r2h = _mm512_setzero_si512();
+  __m512i r3l = _mm512_setzero_si512(), r3h = _mm512_setzero_si512();
+  __m512i r4l = _mm512_setzero_si512(), r4h = _mm512_setzero_si512();
+  __m512i r5l = _mm512_setzero_si512(), r5h = _mm512_setzero_si512();
+  const std::uint8_t* bq = bp;
+#define QCAPS_QGEMM_VNNI_STEP(off)                                           \
+  do {                                                                       \
+    const __m512i bl_ = _mm512_loadu_si512(bq + (off)*VNR * 4);              \
+    const __m512i bh_ = _mm512_loadu_si512(bq + (off)*VNR * 4 + 64);         \
+    __m512i av_;                                                             \
+    av_ = _mm512_set1_epi32(load_quad(a0 + (p4 + (off)) * 4));               \
+    r0l = _mm512_dpbusd_epi32(r0l, bl_, av_);                                \
+    r0h = _mm512_dpbusd_epi32(r0h, bh_, av_);                                \
+    av_ = _mm512_set1_epi32(load_quad(a1 + (p4 + (off)) * 4));               \
+    r1l = _mm512_dpbusd_epi32(r1l, bl_, av_);                                \
+    r1h = _mm512_dpbusd_epi32(r1h, bh_, av_);                                \
+    av_ = _mm512_set1_epi32(load_quad(a2 + (p4 + (off)) * 4));               \
+    r2l = _mm512_dpbusd_epi32(r2l, bl_, av_);                                \
+    r2h = _mm512_dpbusd_epi32(r2h, bh_, av_);                                \
+    av_ = _mm512_set1_epi32(load_quad(a3 + (p4 + (off)) * 4));               \
+    r3l = _mm512_dpbusd_epi32(r3l, bl_, av_);                                \
+    r3h = _mm512_dpbusd_epi32(r3h, bh_, av_);                                \
+    av_ = _mm512_set1_epi32(load_quad(a4 + (p4 + (off)) * 4));               \
+    r4l = _mm512_dpbusd_epi32(r4l, bl_, av_);                                \
+    r4h = _mm512_dpbusd_epi32(r4h, bh_, av_);                                \
+    av_ = _mm512_set1_epi32(load_quad(a5 + (p4 + (off)) * 4));               \
+    r5l = _mm512_dpbusd_epi32(r5l, bl_, av_);                                \
+    r5h = _mm512_dpbusd_epi32(r5h, bh_, av_);                                \
+  } while (0)
+  std::int64_t p4 = 0;
+  for (; p4 + 2 <= kc4; p4 += 2) {
+    QCAPS_QGEMM_VNNI_STEP(0);
+    QCAPS_QGEMM_VNNI_STEP(1);
+    bq += 2 * VNR * 4;
+  }
+  if (p4 < kc4) QCAPS_QGEMM_VNNI_STEP(0);
+#undef QCAPS_QGEMM_VNNI_STEP
+  const std::uint32_t full =
+      nr >= 32 ? 0xFFFFFFFFu : (std::uint32_t{1} << nr) - 1;
+  const __mmask16 mask_lo = static_cast<__mmask16>(full);
+  const __mmask16 mask_hi = static_cast<__mmask16>(full >> 16);
+#define QCAPS_QGEMM_MERGE_ROW512(i, lo, hi)                                  \
+  do {                                                                       \
+    if ((i) < mr) {                                                          \
+      std::int32_t* row_ = c + (i)*ldc;                                      \
+      __m512i vl_ = (lo);                                                    \
+      __m512i vh_ = (hi);                                                    \
+      if (accumulate) {                                                      \
+        vl_ = _mm512_add_epi32(vl_, _mm512_maskz_loadu_epi32(mask_lo, row_)); \
+        vh_ = _mm512_add_epi32(                                              \
+            vh_, _mm512_maskz_loadu_epi32(mask_hi, row_ + 16));              \
+      }                                                                      \
+      _mm512_mask_storeu_epi32(row_, mask_lo, vl_);                          \
+      _mm512_mask_storeu_epi32(row_ + 16, mask_hi, vh_);                     \
+    }                                                                        \
+  } while (0)
+  QCAPS_QGEMM_MERGE_ROW512(0, r0l, r0h);
+  QCAPS_QGEMM_MERGE_ROW512(1, r1l, r1h);
+  QCAPS_QGEMM_MERGE_ROW512(2, r2l, r2h);
+  QCAPS_QGEMM_MERGE_ROW512(3, r3l, r3h);
+  QCAPS_QGEMM_MERGE_ROW512(4, r4l, r4h);
+  QCAPS_QGEMM_MERGE_ROW512(5, r5l, r5h);
+#undef QCAPS_QGEMM_MERGE_ROW512
+}
+
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+kernel_avx512vnni_q16(std::int64_t kc2, const std::int16_t* ap,
+                      const std::int16_t* bp, std::int32_t* c,
+                      std::int64_t ldc, std::int64_t mr, std::int64_t nr,
+                      bool accumulate) {
+  // kernel_avx512_q with each madd+add pair fused into one vpdpwssd; the
+  // int16 pair-interleaved panels are consumed unchanged. Accumulators are
+  // split per unroll slot for the same latency reason as the int8 kernel:
+  // vpdpwssd carries the dependency through the multi-cycle dot product,
+  // where the madd tier chains through 1-cycle vpaddd.
+  const std::int64_t kcp = kc2 * 2;
+  const std::int16_t* a0 = ap;
+  const std::int16_t* a1 = ap + kcp;
+  const std::int16_t* a2 = ap + 2 * kcp;
+  const std::int16_t* a3 = ap + 3 * kcp;
+  const std::int16_t* a4 = ap + 4 * kcp;
+  const std::int16_t* a5 = ap + 5 * kcp;
+  __m512i r0a = _mm512_setzero_si512(), r0b = _mm512_setzero_si512();
+  __m512i r1a = _mm512_setzero_si512(), r1b = _mm512_setzero_si512();
+  __m512i r2a = _mm512_setzero_si512(), r2b = _mm512_setzero_si512();
+  __m512i r3a = _mm512_setzero_si512(), r3b = _mm512_setzero_si512();
+  __m512i r4a = _mm512_setzero_si512(), r4b = _mm512_setzero_si512();
+  __m512i r5a = _mm512_setzero_si512(), r5b = _mm512_setzero_si512();
+  const std::int16_t* bq = bp;
+  std::int64_t p2 = 0;
+  for (; p2 + 2 <= kc2; p2 += 2) {
+    const __m512i b0 = _mm512_loadu_si512(bq);
+    r0a = _mm512_dpwssd_epi32(r0a, _mm512_set1_epi32(load_pair(a0 + p2 * 2)), b0);
+    r1a = _mm512_dpwssd_epi32(r1a, _mm512_set1_epi32(load_pair(a1 + p2 * 2)), b0);
+    r2a = _mm512_dpwssd_epi32(r2a, _mm512_set1_epi32(load_pair(a2 + p2 * 2)), b0);
+    r3a = _mm512_dpwssd_epi32(r3a, _mm512_set1_epi32(load_pair(a3 + p2 * 2)), b0);
+    r4a = _mm512_dpwssd_epi32(r4a, _mm512_set1_epi32(load_pair(a4 + p2 * 2)), b0);
+    r5a = _mm512_dpwssd_epi32(r5a, _mm512_set1_epi32(load_pair(a5 + p2 * 2)), b0);
+    const __m512i b1 = _mm512_loadu_si512(bq + NR * 2);
+    r0b = _mm512_dpwssd_epi32(r0b, _mm512_set1_epi32(load_pair(a0 + p2 * 2 + 2)), b1);
+    r1b = _mm512_dpwssd_epi32(r1b, _mm512_set1_epi32(load_pair(a1 + p2 * 2 + 2)), b1);
+    r2b = _mm512_dpwssd_epi32(r2b, _mm512_set1_epi32(load_pair(a2 + p2 * 2 + 2)), b1);
+    r3b = _mm512_dpwssd_epi32(r3b, _mm512_set1_epi32(load_pair(a3 + p2 * 2 + 2)), b1);
+    r4b = _mm512_dpwssd_epi32(r4b, _mm512_set1_epi32(load_pair(a4 + p2 * 2 + 2)), b1);
+    r5b = _mm512_dpwssd_epi32(r5b, _mm512_set1_epi32(load_pair(a5 + p2 * 2 + 2)), b1);
+    bq += 2 * NR * 2;
+  }
+  if (p2 < kc2) {
+    const __m512i b = _mm512_loadu_si512(bq);
+    r0a = _mm512_dpwssd_epi32(r0a, _mm512_set1_epi32(load_pair(a0 + p2 * 2)), b);
+    r1a = _mm512_dpwssd_epi32(r1a, _mm512_set1_epi32(load_pair(a1 + p2 * 2)), b);
+    r2a = _mm512_dpwssd_epi32(r2a, _mm512_set1_epi32(load_pair(a2 + p2 * 2)), b);
+    r3a = _mm512_dpwssd_epi32(r3a, _mm512_set1_epi32(load_pair(a3 + p2 * 2)), b);
+    r4a = _mm512_dpwssd_epi32(r4a, _mm512_set1_epi32(load_pair(a4 + p2 * 2)), b);
+    r5a = _mm512_dpwssd_epi32(r5a, _mm512_set1_epi32(load_pair(a5 + p2 * 2)), b);
+  }
+  const __m512i r0 = _mm512_add_epi32(r0a, r0b);
+  const __m512i r1 = _mm512_add_epi32(r1a, r1b);
+  const __m512i r2 = _mm512_add_epi32(r2a, r2b);
+  const __m512i r3 = _mm512_add_epi32(r3a, r3b);
+  const __m512i r4 = _mm512_add_epi32(r4a, r4b);
+  const __m512i r5 = _mm512_add_epi32(r5a, r5b);
+  const __mmask16 mask =
+      static_cast<__mmask16>((std::uint32_t{1} << nr) - 1);
+#define QCAPS_QGEMM_MERGE_ROW512(i, reg)                                     \
+  do {                                                                       \
+    if ((i) < mr) {                                                          \
+      std::int32_t* row_ = c + (i)*ldc;                                      \
+      __m512i v_ = (reg);                                                    \
+      if (accumulate)                                                        \
+        v_ = _mm512_add_epi32(                                               \
+            v_, _mm512_maskz_loadu_epi32(mask, row_));                       \
+      _mm512_mask_storeu_epi32(row_, mask, v_);                              \
+    }                                                                        \
+  } while (0)
+  QCAPS_QGEMM_MERGE_ROW512(0, r0);
+  QCAPS_QGEMM_MERGE_ROW512(1, r1);
+  QCAPS_QGEMM_MERGE_ROW512(2, r2);
+  QCAPS_QGEMM_MERGE_ROW512(3, r3);
+  QCAPS_QGEMM_MERGE_ROW512(4, r4);
+  QCAPS_QGEMM_MERGE_ROW512(5, r5);
+#undef QCAPS_QGEMM_MERGE_ROW512
+}
 #endif  // QCAPS_QGEMM_X86_NATIVE
 
 using KernelFn = void (*)(std::int64_t kc2, const std::int16_t* ap,
@@ -364,9 +627,14 @@ bool tier_supported(QGemmKernel k) {
     case QGemmKernel::kAvx512:
       return __builtin_cpu_supports("avx512f") &&
              __builtin_cpu_supports("avx512bw");
+    case QGemmKernel::kAvx512Vnni:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vnni");
 #else
     case QGemmKernel::kAvx2:
     case QGemmKernel::kAvx512:
+    case QGemmKernel::kAvx512Vnni:
       return false;
 #endif
   }
@@ -376,11 +644,16 @@ bool tier_supported(QGemmKernel k) {
 KernelChoice make_choice(QGemmKernel k) {
   switch (k) {
 #ifdef QCAPS_QGEMM_X86_NATIVE
+    case QGemmKernel::kAvx512Vnni:
+      // The int16-panel kernel; the int8 path routes to the dedicated
+      // narrow-operand driver in qgemm_i32_impl.
+      return {kernel_avx512vnni_q16, QGemmKernel::kAvx512Vnni};
     case QGemmKernel::kAvx512:
       return {kernel_avx512_q, QGemmKernel::kAvx512};
     case QGemmKernel::kAvx2:
       return {kernel_avx2_q, QGemmKernel::kAvx2};
 #else
+    case QGemmKernel::kAvx512Vnni:
     case QGemmKernel::kAvx512:
     case QGemmKernel::kAvx2:
 #endif
@@ -395,8 +668,12 @@ KernelChoice pick_default() {
   const char* env = std::getenv("QCAPS_QGEMM_NATIVE");
   const bool env_off = env && std::strcmp(env, "0") == 0;
   const bool cap_avx2 = env && std::strcmp(env, "avx2") == 0;
+  const bool cap_avx512 = env && std::strcmp(env, "avx512") == 0;
   if (!env_off) {
-    if (!cap_avx2 && tier_supported(QGemmKernel::kAvx512))
+    if (!cap_avx2 && !cap_avx512 &&
+        tier_supported(QGemmKernel::kAvx512Vnni))
+      best = QGemmKernel::kAvx512Vnni;
+    else if (!cap_avx2 && tier_supported(QGemmKernel::kAvx512))
       best = QGemmKernel::kAvx512;
     else if (tier_supported(QGemmKernel::kAvx2))
       best = QGemmKernel::kAvx2;
@@ -455,11 +732,134 @@ bool want_parallel(std::int64_t work) {
 }
 #endif
 
+#ifdef QCAPS_QGEMM_X86_NATIVE
+// Blocked driver for the VNNI int8 tier: same loop structure as
+// qgemm_serial, narrow panels, vpdpbusd microkernel.
+template <typename PackB>
+void qgemm_serial_vnni(Trans ta, std::int64_t m, std::int64_t n,
+                       std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                       const PackB& pack_b, std::int32_t* c, std::int64_t ldc,
+                       bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate)
+      for (std::int64_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+    return;
+  }
+  Scratch& s = scratch_vnni();
+  std::int8_t* apack = s.a8.data();
+  std::uint8_t* bpack = s.b8.data();
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      const std::int64_t kc4 = ceil_div(kc, 4);
+      const bool acc_c = accumulate || pc > 0;
+      pack_b(pc, kc, jc, nc, bpack);
+      for (std::int64_t ic = 0; ic < m; ic += MC) {
+        const std::int64_t mc = std::min(MC, m - ic);
+        pack_a_vnni(ta, a, lda, ic, mc, pc, kc, apack);
+        for (std::int64_t jr = 0; jr < nc; jr += VNR) {
+          const std::int64_t nr = std::min(VNR, nc - jr);
+          const std::uint8_t* bstrip = bpack + (jr / VNR) * (kc4 * VNR * 4);
+          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+            const std::int64_t mr = std::min(MR, mc - ir);
+            kernel_avx512vnni_q8(kc4, apack + (ir / MR) * (kc4 * MR * 4),
+                                 bstrip, c + (ic + ir) * ldc + jc + jr, ldc,
+                                 mr, nr, acc_c);
+          }
+        }
+      }
+    }
+  }
+}
+
+void qgemm_i32_vnni(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                    const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                    std::int64_t ldc, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+#ifdef _OPENMP
+  if (want_parallel(m * n * k)) {
+    const bool split_n = n >= m;
+    const std::int64_t tiles = split_n ? ceil_div(n, NR) : ceil_div(m, MR);
+#pragma omp parallel
+    {
+      const std::int64_t nt = omp_get_num_threads();
+      const std::int64_t t = omp_get_thread_num();
+      const std::int64_t per = ceil_div(tiles, nt);
+      const std::int64_t lo = std::min(t * per, tiles);
+      const std::int64_t hi = std::min(lo + per, tiles);
+      if (lo < hi) {
+        if (split_n) {
+          const std::int64_t j0 = lo * NR;
+          const std::int64_t j1 = std::min(n, hi * NR);
+          const std::int8_t* bsub = tb == Trans::kN ? b + j0 : b + j0 * ldb;
+          auto pb = [tb, bsub, ldb](std::int64_t p0, std::int64_t kc,
+                                    std::int64_t jj, std::int64_t nc,
+                                    std::uint8_t* out) {
+            pack_b_vnni(tb, bsub, ldb, p0, kc, jj, nc, out);
+          };
+          qgemm_serial_vnni(ta, m, j1 - j0, k, a, lda, pb, c + j0, ldc,
+                            accumulate);
+        } else {
+          const std::int64_t i0 = lo * MR;
+          const std::int64_t i1 = std::min(m, hi * MR);
+          const std::int8_t* asub = ta == Trans::kN ? a + i0 * lda : a + i0;
+          auto pb = [tb, b, ldb](std::int64_t p0, std::int64_t kc,
+                                 std::int64_t jj, std::int64_t nc,
+                                 std::uint8_t* out) {
+            pack_b_vnni(tb, b, ldb, p0, kc, jj, nc, out);
+          };
+          qgemm_serial_vnni(ta, i1 - i0, n, k, asub, lda, pb, c + i0 * ldc,
+                            ldc, accumulate);
+        }
+      }
+    }
+  } else
+#endif
+  {
+    auto pb = [tb, b, ldb](std::int64_t p0, std::int64_t kc, std::int64_t jj,
+                           std::int64_t nc, std::uint8_t* out) {
+      pack_b_vnni(tb, b, ldb, p0, kc, jj, nc, out);
+    };
+    qgemm_serial_vnni(ta, m, n, k, a, lda, pb, c, ldc, accumulate);
+  }
+  if (k <= 0) return;
+  // Undo the +128 B-panel offset: the driver accumulated
+  // acc + 128*rowsum(op(A))[i] mod 2^32 into each row (see the VNNI packing
+  // comment); subtract the offset term in wrapping 32-bit arithmetic.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (want_parallel(m * n))
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::int64_t sum = 0;
+    for (std::int64_t p = 0; p < k; ++p)
+      sum += ta == Trans::kN ? a[i * lda + p] : a[p * lda + i];
+    const std::uint32_t off = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(std::int64_t{128} * sum));
+    std::int32_t* row = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j)
+      row[j] =
+          static_cast<std::int32_t>(static_cast<std::uint32_t>(row[j]) - off);
+  }
+}
+#endif  // QCAPS_QGEMM_X86_NATIVE
+
 template <typename SrcT>
 void qgemm_i32_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                     std::int64_t k, const SrcT* a, std::int64_t lda,
                     const SrcT* b, std::int64_t ldb, std::int32_t* c,
                     std::int64_t ldc, bool accumulate) {
+#ifdef QCAPS_QGEMM_X86_NATIVE
+  if constexpr (std::is_same_v<SrcT, std::int8_t>) {
+    if (g_choice.tier == QGemmKernel::kAvx512Vnni) {
+      qgemm_i32_vnni(ta, tb, m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+      return;
+    }
+  }
+#endif
 #ifdef _OPENMP
   if (want_parallel(m * n * k)) {
     // Split the larger output dimension on tile boundaries. Integer
@@ -636,7 +1036,8 @@ void requant_pass(std::int32_t* c, std::int64_t ldc, std::int64_t m,
   // effective (zero-point-adjusted) operands; an arbitrary int32 bias can
   // push past it, so bias rows take the scalar path.
   const bool vector_rows = colsum == nullptr && rq.bias == nullptr &&
-                           g_choice.tier == QGemmKernel::kAvx512;
+                           (g_choice.tier == QGemmKernel::kAvx512 ||
+                            g_choice.tier == QGemmKernel::kAvx512Vnni);
 #endif
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (want_parallel(m * n))
@@ -702,6 +1103,99 @@ void qgemm_batch_impl(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
   for (std::int64_t i = 0; i < batch; ++i)
     qgemm_impl(ta, tb, m, n, k, a + i * stride_a, lda, b + i * stride_b, ldb,
                c + i * stride_c, ldc, rq);
+}
+
+// ---- fused requantize + scatter epilogue -----------------------------------
+
+void check_scatter(const QGemmScatterDst& sd) {
+  QCAPS_CHECK_MSG(sd.dst != nullptr, "qgemm scatter destination is null");
+  QCAPS_CHECK_MSG(sd.row_inner >= 1 && sd.col_inner >= 1,
+                  "qgemm scatter inner split sizes must be >= 1");
+}
+
+// requant_pass, except each requantized element is widened to int64 and
+// written to the affine-scattered destination instead of back into C.
+void requant_scatter_pass(const std::int32_t* c, std::int64_t ldc,
+                          std::int64_t m, std::int64_t n, std::int64_t k,
+                          const QGemmRequant& rq, const std::int64_t* rowsum,
+                          const std::int64_t* colsum,
+                          const QGemmScatterDst& sd, std::int64_t* dst) {
+  const std::int64_t zz =
+      static_cast<std::int64_t>(rq.a_zero) * rq.b_zero * k;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (want_parallel(m * n))
+#endif
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t mult =
+        rq.row_multipliers ? rq.row_multipliers[i] : rq.multiplier;
+    const int shift = rq.row_shifts ? rq.row_shifts[i] : rq.shift;
+    std::int64_t base = zz;
+    if (rq.bias) base += rq.bias[i];
+    if (rowsum) base -= static_cast<std::int64_t>(rq.b_zero) * rowsum[i];
+    const std::int32_t* row = c + i * ldc;
+    std::int64_t* drow = dst + (i / sd.row_inner) * sd.row_outer_stride +
+                         (i % sd.row_inner) * sd.row_inner_stride;
+    std::int64_t j = 0;
+    for (std::int64_t jo = 0; j < n; ++jo) {
+      std::int64_t* dcol = drow + jo * sd.col_outer_stride;
+      const std::int64_t ji_end = std::min(sd.col_inner, n - j);
+      for (std::int64_t ji = 0; ji < ji_end; ++ji, ++j) {
+        std::int64_t acc = row[j] + base;
+        if (colsum) acc -= static_cast<std::int64_t>(rq.a_zero) * colsum[j];
+        dcol[ji * sd.col_inner_stride] =
+            requant_one(acc, mult, shift, rq.c_zero, rq.qmin, rq.qmax);
+      }
+    }
+  }
+}
+
+template <typename SrcT>
+void qgemm_scatter_one(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                       std::int64_t k, const SrcT* a, std::int64_t lda,
+                       const SrcT* b, std::int64_t ldb, const QGemmRequant& rq,
+                       const QGemmScatterDst& sd, std::int64_t* dst) {
+  if (m <= 0 || n <= 0) return;
+  // The accumulators bounce through a per-thread dense buffer; only the
+  // epilogue is scattered, so the microkernels are untouched.
+  thread_local std::vector<std::int32_t> cbuf;
+  if (cbuf.size() < static_cast<std::size_t>(m * n))
+    cbuf.resize(static_cast<std::size_t>(m * n));
+  qgemm_i32_impl(ta, tb, m, n, k, a, lda, b, ldb, cbuf.data(), n,
+                 /*accumulate=*/false);
+  std::vector<std::int64_t> rowsum, colsum;
+  if (rq.b_zero != 0) rowsum = op_a_row_sums(ta, m, k, a, lda);
+  if (rq.a_zero != 0) colsum = op_b_col_sums(tb, k, n, b, ldb);
+  requant_scatter_pass(cbuf.data(), n, m, n, k, rq,
+                       rowsum.empty() ? nullptr : rowsum.data(),
+                       colsum.empty() ? nullptr : colsum.data(), sd, dst);
+}
+
+template <typename SrcT>
+void qgemm_batch_scatter_impl(Trans ta, Trans tb, std::int64_t m,
+                              std::int64_t n, std::int64_t k, const SrcT* a,
+                              std::int64_t lda, std::int64_t stride_a,
+                              const SrcT* b, std::int64_t ldb,
+                              std::int64_t stride_b, std::int64_t batch,
+                              const QGemmRequant& rq,
+                              const QGemmScatterDst& sd) {
+  if (batch <= 0) return;
+  check_requant(rq);
+  check_requant_rows(rq, m);
+  check_scatter(sd);
+#ifdef _OPENMP
+  if (batch > 1 && want_parallel(batch * m * n * k)) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < batch; ++i)
+      qgemm_scatter_one(ta, tb, m, n, k, a + i * stride_a, lda,
+                        b + i * stride_b, ldb, rq, sd,
+                        sd.dst + i * sd.batch_stride);
+    return;
+  }
+#endif
+  for (std::int64_t i = 0; i < batch; ++i)
+    qgemm_scatter_one(ta, tb, m, n, k, a + i * stride_a, lda,
+                      b + i * stride_b, ldb, rq, sd,
+                      sd.dst + i * sd.batch_stride);
 }
 
 void check_k_bound_s8(std::int64_t k, const QGemmRequant* rq) {
@@ -776,6 +1270,42 @@ void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                    ldc, stride_c, batch, rq);
 }
 
+void qgemm_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                   const std::int8_t* b, std::int64_t ldb,
+                   const QGemmRequant& rq, const QGemmScatterDst& sd) {
+  check_k_bound_s8(k, &rq);
+  qgemm_batch_scatter_impl(ta, tb, m, n, k, a, lda, 0, b, ldb, 0, 1, rq, sd);
+}
+
+void qgemm_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int16_t* a, std::int64_t lda,
+                   const std::int16_t* b, std::int64_t ldb,
+                   const QGemmRequant& rq, const QGemmScatterDst& sd) {
+  qgemm_batch_scatter_impl(ta, tb, m, n, k, a, lda, 0, b, ldb, 0, 1, rq, sd);
+}
+
+void qgemm_batch_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                         std::int64_t k, const std::int8_t* a,
+                         std::int64_t lda, std::int64_t stride_a,
+                         const std::int8_t* b, std::int64_t ldb,
+                         std::int64_t stride_b, std::int64_t batch,
+                         const QGemmRequant& rq, const QGemmScatterDst& sd) {
+  check_k_bound_s8(k, &rq);
+  qgemm_batch_scatter_impl(ta, tb, m, n, k, a, lda, stride_a, b, ldb,
+                           stride_b, batch, rq, sd);
+}
+
+void qgemm_batch_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                         std::int64_t k, const std::int16_t* a,
+                         std::int64_t lda, std::int64_t stride_a,
+                         const std::int16_t* b, std::int64_t ldb,
+                         std::int64_t stride_b, std::int64_t batch,
+                         const QGemmRequant& rq, const QGemmScatterDst& sd) {
+  qgemm_batch_scatter_impl(ta, tb, m, n, k, a, lda, stride_a, b, ldb,
+                           stride_b, batch, rq, sd);
+}
+
 QGemmKernel qgemm_kernel() { return g_choice.tier; }
 
 const char* qgemm_kernel_name() {
@@ -783,6 +1313,7 @@ const char* qgemm_kernel_name() {
     case QGemmKernel::kScalar: return "scalar";
     case QGemmKernel::kAvx2: return "avx2";
     case QGemmKernel::kAvx512: return "avx512";
+    case QGemmKernel::kAvx512Vnni: return "avx512vnni";
   }
   return "?";
 }

@@ -6,19 +6,24 @@
 // gemm.{hpp,cpp}: N is walked in blocks of NC, K in blocks of KC, M in blocks
 // of MC; the current A block is packed into kQGemmMR-row panels and the
 // current B block into kQGemmNR-column panels; each MR x NR output tile is
-// produced by a register-resident microkernel. Both operands are widened to
-// int16 inside the packed panels with K laid out in interleaved pairs, so the
-// microkernel is a chain of pairwise multiply-add instructions
-// (vpmaddwd — the signed sibling of the maddubs path, exact for the full
-// int8 range including -128) into int32 accumulators:
+// produced by a register-resident microkernel. On the vpmaddwd tiers both
+// operands are widened to int16 inside the packed panels with K laid out in
+// interleaved pairs, so the microkernel is a chain of pairwise multiply-add
+// instructions (vpmaddwd — the signed sibling of the maddubs path, exact for
+// the full int8 range including -128) into int32 accumulators:
 //
+//   - AVX-512 VNNI tier: int8 operands stay narrow — row-contiguous int8 A
+//     panels and quad-interleaved (k x 4) B panels consumed by vpdpbusd, four
+//     MACs per int32 lane per instruction; int16 operands fuse the
+//     madd+add pair into vpdpwssd;
 //   - AVX-512BW tier: one zmm per tile row, 16 int32 lanes per vpmaddwd;
 //   - AVX2 tier: two ymm per tile row;
 //   - portable scalar fallback everywhere else.
 //
 // The tier is picked once at runtime from CPUID; QCAPS_QGEMM_NATIVE=0 in the
-// environment forces the scalar kernel and QCAPS_QGEMM_NATIVE=avx2 caps the
-// tier at AVX2.
+// environment forces the scalar kernel, QCAPS_QGEMM_NATIVE=avx2 caps the
+// tier at AVX2 and QCAPS_QGEMM_NATIVE=avx512 caps it at the vpmaddwd
+// AVX-512BW tier (excluding VNNI).
 //
 // Accumulation is exact as long as the int32 accumulator cannot wrap:
 // sum_k |a_ik| * |b_kj| must stay below 2^31 for every output element. For
@@ -125,12 +130,62 @@ void qgemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                  std::int64_t ldc, std::int64_t stride_c, std::int64_t batch,
                  const QGemmRequant& rq);
 
+/// Affine scatter destination for the fused requantize+scatter epilogue
+/// (qgemm_scatter / qgemm_batch_scatter): output element (i, j) of the
+/// logical m x n result is requantized and written, widened to int64, at
+///
+///   dst[(i / row_inner) * row_outer_stride
+///       + (i % row_inner) * row_inner_stride
+///       + (j / col_inner) * col_outer_stride
+///       + (j % col_inner) * col_inner_stride]
+///
+/// Splitting each output axis into two strided sub-axes expresses the
+/// capsule permutations (the j-major [R, Nout, Nin, D] votes layout) without
+/// a separate widening-copy pass over a dense result.
+struct QGemmScatterDst {
+  std::int64_t* dst = nullptr;
+  std::int64_t row_inner = 1;  ///< i splits as (i / row_inner, i % row_inner)
+  std::int64_t row_outer_stride = 0;
+  std::int64_t row_inner_stride = 0;
+  std::int64_t col_inner = 1;  ///< j splits as (j / col_inner, j % col_inner)
+  std::int64_t col_outer_stride = 0;
+  std::int64_t col_inner_stride = 0;
+  std::int64_t batch_stride = 0;  ///< dst advance per qgemm_batch_scatter item
+};
+
+/// Scattered variant of qgemm: requant(op(A)[m,k] * op(B)[k,n]) per `rq`,
+/// each element written straight to `sd` (see QGemmScatterDst) instead of a
+/// dense int32 C. Bit-identical to qgemm followed by a widening scatter.
+void qgemm_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int8_t* a, std::int64_t lda,
+                   const std::int8_t* b, std::int64_t ldb,
+                   const QGemmRequant& rq, const QGemmScatterDst& sd);
+void qgemm_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                   std::int64_t k, const std::int16_t* a, std::int64_t lda,
+                   const std::int16_t* b, std::int64_t ldb,
+                   const QGemmRequant& rq, const QGemmScatterDst& sd);
+
+/// Strided batch of scattered requantizing GEMMs: item i reads
+/// a + i*stride_a / b + i*stride_b and writes to sd.dst + i*sd.batch_stride.
+void qgemm_batch_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                         std::int64_t k, const std::int8_t* a,
+                         std::int64_t lda, std::int64_t stride_a,
+                         const std::int8_t* b, std::int64_t ldb,
+                         std::int64_t stride_b, std::int64_t batch,
+                         const QGemmRequant& rq, const QGemmScatterDst& sd);
+void qgemm_batch_scatter(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                         std::int64_t k, const std::int16_t* a,
+                         std::int64_t lda, std::int64_t stride_a,
+                         const std::int16_t* b, std::int64_t ldb,
+                         std::int64_t stride_b, std::int64_t batch,
+                         const QGemmRequant& rq, const QGemmScatterDst& sd);
+
 /// Microkernel tiers, simplest first.
-enum class QGemmKernel { kScalar, kAvx2, kAvx512 };
+enum class QGemmKernel { kScalar, kAvx2, kAvx512, kAvx512Vnni };
 
 /// The active microkernel tier.
 QGemmKernel qgemm_kernel();
-/// Name of the active tier ("scalar", "avx2", "avx512").
+/// Name of the active tier ("scalar", "avx2", "avx512", "avx512vnni").
 const char* qgemm_kernel_name();
 /// True when a vector (AVX2 or AVX-512) microkernel is active.
 bool qgemm_native_active();

@@ -250,6 +250,39 @@ TEST(CapsKernels, SoftmaxRowsMatchesReferenceAllTiers) {
   }
 }
 
+TEST(CapsKernels, SoftmaxRowsTransposedMatchesReferenceAllTiers) {
+  common::Rng rng(16);
+  // rows = 37 lands mid-vector for both tiers (37 = 4*8+5 = 2*16+5), so the
+  // avx2 scalar-delegated tail and the avx512 masked tail both execute.
+  constexpr std::int64_t rows = 37;
+  for (std::int64_t d : {1, 3, 7, 10, 16, 21, 40}) {
+    tensor::Tensor x = tensor::Tensor::randn({d, rows}, rng, 0.0f, 3.0f);
+    // Double-precision std::exp reference over the logical rows: element
+    // (r, j) of the [d, rows] storage sits at x[j * rows + r].
+    std::vector<double> want(static_cast<std::size_t>(x.numel()));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      double mx = x[r];
+      for (std::int64_t j = 1; j < d; ++j)
+        mx = std::max(mx, static_cast<double>(x[j * rows + r]));
+      double sum = 0.0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        want[static_cast<std::size_t>(j * rows + r)] =
+            std::exp(x[j * rows + r] - mx);
+        sum += want[static_cast<std::size_t>(j * rows + r)];
+      }
+      for (std::int64_t j = 0; j < d; ++j)
+        want[static_cast<std::size_t>(j * rows + r)] /= sum;
+    }
+    for_each_tier([&](CapsKernel k) {
+      tensor::Tensor y = x;
+      softmax_rows_t(y.data(), rows, d);
+      for (std::int64_t i = 0; i < y.numel(); ++i)
+        ASSERT_NEAR(y[i], want[static_cast<std::size_t>(i)], 2e-6)
+            << tier_name(k) << " d=" << d << " flat " << i;
+    });
+  }
+}
+
 TEST(CapsKernels, SquashRowsMatchesScalarAllTiers) {
   common::Rng rng(13);
   for (std::int64_t d : {1, 5, 8, 16, 19}) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #ifdef _OPENMP
@@ -71,12 +72,23 @@ std::vector<T> transposed(const std::vector<T>& src, std::int64_t r,
 }
 
 // Every microkernel tier available on this machine. All of them must agree
-// with the oracle (and therefore with each other) bit for bit.
+// with the oracle (and therefore with each other) bit for bit. Tiers the
+// CPU lacks (e.g. avx512vnni on pre-Ice-Lake parts) are skipped with a log
+// line so the gap is visible in CI output.
 std::vector<QGemmKernel> available_kernels() {
   std::vector<QGemmKernel> out;
   for (const auto k :
-       {QGemmKernel::kScalar, QGemmKernel::kAvx2, QGemmKernel::kAvx512})
-    if (qgemm_force_kernel(k)) out.push_back(k);
+       {QGemmKernel::kScalar, QGemmKernel::kAvx2, QGemmKernel::kAvx512,
+        QGemmKernel::kAvx512Vnni}) {
+    if (qgemm_force_kernel(k)) {
+      out.push_back(k);
+    } else {
+      std::fprintf(stderr,
+                   "[test_qgemm] tier %d unsupported on this CPU/build; "
+                   "skipping its forced-tier runs\n",
+                   static_cast<int>(k));
+    }
+  }
   qgemm_reset_kernel();
   return out;
 }
@@ -92,6 +104,7 @@ const char* kernel_tag(QGemmKernel k) {
     case QGemmKernel::kScalar: return "scalar";
     case QGemmKernel::kAvx2: return "avx2";
     case QGemmKernel::kAvx512: return "avx512";
+    case QGemmKernel::kAvx512Vnni: return "avx512vnni";
   }
   return "unknown";
 }
@@ -366,6 +379,114 @@ TEST_P(QGemmAllKernels, StridedBatchInterleavedLikeCapsuleVotes) {
   }
 }
 
+TEST_P(QGemmAllKernels, ScatterEpilogueMatchesDenseRequantPlusPermute) {
+  // qgemm_scatter = qgemm into a dense C, then widen each element into the
+  // affine-scattered destination. Exercise both axis splits: the vote layout
+  // splits columns (j -> (nout, dout)), the grouped ConvCaps3d layout splits
+  // rows (i -> (nout, dout)).
+  common::Rng rng(31);
+  const std::int64_t m = 12, k = 29, n = 20;
+  const auto a = random_i8(rng, m * k);
+  const auto b = random_i8(rng, k * n);
+  QGemmRequant rq;
+  rq.multiplier = (std::int32_t{1} << 29) + 54321;
+  rq.shift = 5;
+  rq.c_zero = 2;
+  rq.a_zero = -7;
+  rq.b_zero = 3;
+  rq.qmin = -128;
+  rq.qmax = 127;
+  const auto want =
+      qgemm_naive(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n, rq);
+
+  // Column split: j = (jo, ji) with ji in [0, 4); element (i, jo, ji) lands
+  // at dst[ji * (n/4 * m) + jo * m + i] — a [4, n/4, m] layout.
+  {
+    std::vector<std::int64_t> dst(static_cast<std::size_t>(m * n),
+                                  std::int64_t{-999});
+    QGemmScatterDst sd;
+    sd.dst = dst.data();
+    sd.row_inner = 1;
+    sd.row_outer_stride = 1;
+    sd.col_inner = 4;
+    sd.col_outer_stride = m;
+    sd.col_inner_stride = (n / 4) * m;
+    qgemm_scatter(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n, rq,
+                  sd);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        ASSERT_EQ(dst[static_cast<std::size_t>((j % 4) * (n / 4) * m +
+                                               (j / 4) * m + i)],
+                  want[static_cast<std::size_t>(i * n + j)])
+            << "i=" << i << " j=" << j;
+  }
+
+  // Row split: i = (io, ii) with ii in [0, 3); element (io, ii, j) lands at
+  // dst[j * m + ii * (m / 3) + io] — a [n, 3, m/3] layout.
+  {
+    std::vector<std::int64_t> dst(static_cast<std::size_t>(m * n),
+                                  std::int64_t{-999});
+    QGemmScatterDst sd;
+    sd.dst = dst.data();
+    sd.row_inner = 3;
+    sd.row_outer_stride = 1;
+    sd.row_inner_stride = m / 3;
+    sd.col_inner = 1;
+    sd.col_outer_stride = m;
+    qgemm_scatter(Trans::kN, Trans::kN, m, n, k, a.data(), k, b.data(), n, rq,
+                  sd);
+    for (std::int64_t i = 0; i < m; ++i)
+      for (std::int64_t j = 0; j < n; ++j)
+        ASSERT_EQ(dst[static_cast<std::size_t>(j * m + (i % 3) * (m / 3) +
+                                               i / 3)],
+                  want[static_cast<std::size_t>(i * n + j)])
+            << "i=" << i << " j=" << j;
+  }
+}
+
+TEST_P(QGemmAllKernels, BatchScatterLandsVotesJMajor) {
+  // The vote-transform fusion target: per input capsule i (the batch axis),
+  // votes [B, JD] scatter into the j-major [B, Nout, Nin, Dout] layout.
+  common::Rng rng(32);
+  const std::int64_t bsz = 3, nin = 5, din = 7, nout = 4, dout = 2;
+  const std::int64_t jd = nout * dout;
+  const auto u = random_i8(rng, bsz * nin * din);
+  const auto w = random_i8(rng, nin * jd * din);
+  QGemmRequant rq;
+  rq.shift = 3;
+  rq.qmin = -512;
+  rq.qmax = 511;
+  std::vector<std::int64_t> votes(
+      static_cast<std::size_t>(bsz * nout * nin * dout), std::int64_t{-999});
+  QGemmScatterDst sd;
+  sd.dst = votes.data();
+  sd.batch_stride = dout;
+  sd.row_inner = 1;
+  sd.row_outer_stride = nout * nin * dout;
+  sd.col_inner = dout;
+  sd.col_outer_stride = nin * dout;
+  sd.col_inner_stride = 1;
+  qgemm_batch_scatter(Trans::kN, Trans::kT, bsz, jd, din, u.data(), nin * din,
+                      din, w.data(), din, jd * din, nin, rq, sd);
+  for (std::int64_t i = 0; i < nin; ++i) {
+    std::vector<std::int8_t> ui(static_cast<std::size_t>(bsz * din));
+    for (std::int64_t bb = 0; bb < bsz; ++bb)
+      for (std::int64_t d = 0; d < din; ++d)
+        ui[static_cast<std::size_t>(bb * din + d)] =
+            u[static_cast<std::size_t>((bb * nin + i) * din + d)];
+    const auto want =
+        qgemm_naive(Trans::kN, Trans::kT, bsz, jd, din, ui.data(), din,
+                    w.data() + i * jd * din, din, rq);
+    for (std::int64_t bb = 0; bb < bsz; ++bb)
+      for (std::int64_t j = 0; j < nout; ++j)
+        for (std::int64_t d = 0; d < dout; ++d)
+          ASSERT_EQ(votes[static_cast<std::size_t>(
+                        ((bb * nout + j) * nin + i) * dout + d)],
+                    want[static_cast<std::size_t>(bb * jd + j * dout + d)])
+              << "i=" << i << " b=" << bb << " j=" << j << " d=" << d;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Kernels, QGemmAllKernels,
                          ::testing::ValuesIn(available_kernels()),
                          [](const auto& info) { return kernel_tag(info.param); });
@@ -413,7 +534,10 @@ TEST(QGemmDispatch, ReportsActiveKernel) {
   EXPECT_STREQ(qgemm_kernel_name(),
                k == QGemmKernel::kScalar
                    ? "scalar"
-                   : (k == QGemmKernel::kAvx2 ? "avx2" : "avx512"));
+                   : (k == QGemmKernel::kAvx2
+                          ? "avx2"
+                          : (k == QGemmKernel::kAvx512 ? "avx512"
+                                                       : "avx512vnni")));
   EXPECT_EQ(qgemm_native_active(), k != QGemmKernel::kScalar);
   // Forcing an unsupported-on-any-build tier value must fail cleanly.
   EXPECT_TRUE(qgemm_force_kernel(QGemmKernel::kScalar));

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -435,6 +436,154 @@ TEST_F(QuantizedDeepCapsTest, ForwardTracksFp32CapsuleLengths) {
   for (std::size_t i = 0; i < cls_fp.size(); ++i)
     if (cls_fp[i] == cls_q[i]) ++agree;
   EXPECT_GE(agree, 13) << "of 16 cached inputs";
+}
+
+// ---- graph-level fusion -----------------------------------------------------
+
+// The unfused twin of a compiled graph: round-tripping through from_ops
+// clears every fusion annotation by contract.
+QuantizedGraph unfused_twin(const QuantizedGraph& g) {
+  std::vector<QuantizedOp> ops = g.ops();
+  return QuantizedGraph::from_ops(std::move(ops), g.input_format());
+}
+
+TEST(QGraphFusion, CompileFoldsReluAndGroupsVoteConvs) {
+  // This test asserts the pass RAN; neutralize an inherited kill switch
+  // (CI's fusion-off lane runs the whole suite with QCAPS_QGRAPH_FUSE=0).
+  unsetenv("QCAPS_QGRAPH_FUSE");
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(62);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  ASSERT_TRUE(g.fused());
+  // conv -> relu with one consumer and matching formats must fold.
+  ASSERT_EQ(g.ops()[0].kind, QOpKind::kConv2d);
+  ASSERT_EQ(g.ops()[1].kind, QOpKind::kRelu);
+  EXPECT_TRUE(g.ops()[0].fused_relu);
+  EXPECT_TRUE(g.ops()[1].fused_away);
+  // The annotations never survive an ops() round trip (serialization path).
+  const QuantizedGraph twin = unfused_twin(g);
+  EXPECT_FALSE(twin.fused());
+  for (const auto& op : twin.ops()) {
+    EXPECT_FALSE(op.fused_relu);
+    EXPECT_FALSE(op.fused_away);
+    EXPECT_FALSE(op.grouped);
+    EXPECT_EQ(op.grouped_cache, nullptr);
+  }
+}
+
+TEST(QGraphFusion, KillSwitchDisablesThePass) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(63);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  ASSERT_EQ(setenv("QCAPS_QGRAPH_FUSE", "0", 1), 0);
+  EXPECT_FALSE(QuantizedGraph::fuse_enabled());
+  const QuantizedGraph off = QuantizedGraph::compile(*net, spec);
+  unsetenv("QCAPS_QGRAPH_FUSE");
+  EXPECT_TRUE(QuantizedGraph::fuse_enabled());
+  EXPECT_FALSE(off.fused());
+  EXPECT_FALSE(off.ops()[0].fused_relu);
+
+  // Off graph == on graph, raw for raw.
+  const QuantizedGraph on = QuantizedGraph::compile(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  const QTensor a = off.forward(images);
+  const QTensor b = on.forward(images);
+  ASSERT_EQ(a.shape, b.shape);
+  for (std::size_t i = 0; i < a.raw.size(); ++i)
+    ASSERT_EQ(a.raw[i], b.raw[i]) << "flat " << i;
+}
+
+TEST(QGraphFusion, ShallowCapsFusedBitIdenticalToUnfusedAcrossTiers) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(64);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({3, 1, 28, 28}, rng, 0.0f, 1.0f);
+  // frac 6 keeps weights inside int8 (the VNNI/avx qgemm tier); frac 10
+  // pushes them into int16 — both fused paths must agree with the twin.
+  for (const int frac : {6, 10}) {
+    const auto spec = core::NetworkQuantSpec::uniform(
+        3, frac, fixed::RoundingScheme::kRoundToNearest);
+    const QuantizedGraph fused = QuantizedGraph::compile(*net, spec);
+    ASSERT_TRUE(fused.fused());
+    const QuantizedGraph plain = unfused_twin(fused);
+    const QTensor want = plain.forward(images);
+    const QTensor got = fused.forward(images);
+    ASSERT_EQ(got.shape, want.shape);
+    ASSERT_TRUE(got.fmt == want.fmt);
+    for (std::size_t i = 0; i < got.raw.size(); ++i)
+      ASSERT_EQ(got.raw[i], want.raw[i]) << "frac " << frac << " flat " << i;
+  }
+}
+
+TEST(QGraphFusion, DeepCapsFusedBitIdenticalToUnfusedAcrossTiers) {
+  const auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  common::Rng rng(65);
+  auto net = models::build_deep_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (const int frac : {4, 8, 12}) {
+    const auto spec = core::NetworkQuantSpec::uniform(
+        6, frac, fixed::RoundingScheme::kRoundToNearest);
+    const QuantizedGraph fused = QuantizedGraph::compile(*net, spec);
+    ASSERT_TRUE(fused.fused());
+    // The ConvCaps3d skip (block 3) must carry the grouped operand image.
+    bool any_grouped = false;
+    for (const auto& op : fused.ops())
+      if (op.kind == QOpKind::kConvCaps3d) {
+        EXPECT_TRUE(op.grouped);
+        EXPECT_NE(op.grouped_cache, nullptr);
+        any_grouped = true;
+      }
+    EXPECT_TRUE(any_grouped);
+    const QuantizedGraph plain = unfused_twin(fused);
+    const QTensor want = plain.forward(images);
+    const QTensor got = fused.forward(images);
+    ASSERT_EQ(got.shape, want.shape);
+    ASSERT_TRUE(got.fmt == want.fmt);
+    for (std::size_t i = 0; i < got.raw.size(); ++i)
+      ASSERT_EQ(got.raw[i], want.raw[i]) << "frac " << frac << " flat " << i;
+  }
+}
+
+TEST(QGraphFusion, SaturationCountersStayCoherentUnderFusion) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(66);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  // 4-bit wordlength forces constant clamping (same setup as the plain
+  // saturation test below).
+  const auto narrow = core::NetworkQuantSpec::uniform(
+      3, 3, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph fused = QuantizedGraph::compile(*net, narrow);
+  ASSERT_TRUE(fused.fused() && fused.ops()[0].fused_relu);
+  const QuantizedGraph plain = unfused_twin(fused);
+  fused.forward(images);
+  plain.forward(images);
+  const auto nf = fused.saturation();
+  const auto np = plain.saturation();
+  ASSERT_EQ(nf.size(), np.size());
+  for (std::size_t i = 0; i < nf.size(); ++i) {
+    // Node identity (names, kinds, order) is untouched by fusion.
+    EXPECT_EQ(nf[i].source, np[i].source);
+    EXPECT_EQ(nf[i].kind, np[i].kind);
+    EXPECT_EQ(nf[i].total, np[i].total);
+  }
+  // The fused conv counts only high-rail hits: its raised lower clamp now
+  // produces legitimate relu zeros, which the unfused conv counted as
+  // low-rail saturation. Never more than the unfused count.
+  EXPECT_LE(nf[0].saturated, np[0].saturated);
+  // The elided relu stays an uncounted layout node.
+  EXPECT_EQ(nf[1].kind, QOpKind::kRelu);
+  EXPECT_EQ(nf[1].total, 0u);
+  EXPECT_EQ(nf[1].saturated, 0u);
 }
 
 // ---- requant-saturation counters -------------------------------------------
