@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Distill the top-line end-to-end rows out of a google-benchmark JSON dump.
+
+Two modes:
+
+  distill_e2e.py FULL.json OUT.json
+      Read the full bench_kernels dump (as written by dump_bench_json.sh)
+      and write OUT.json holding just the serving-rate headline rows —
+      best-of-repetitions items_per_second per benchmark, so the committed
+      file is the same number docs/performance.md quotes and the smoke diff
+      compares like with like.
+
+  distill_e2e.py --diff BASELINE.json CURRENT.json [--tol 0.15]
+      Compare two distilled files row by row and print the relative change.
+      Rows regressing by more than --tol emit a GitHub Actions ::warning::
+      annotation (never a failure: CI smoke numbers are reduced-repetition
+      and the runners are noisy — the annotation flags "look at this", the
+      committed full-protocol file stays the record). Exit is 0 unless the
+      inputs are malformed or share no rows.
+
+The row list is fixed here, not configurable: these are the numbers the
+performance narrative tracks PR over PR (quantized-vs-fp32 DeepCaps serving,
+the int8 GEMM tier, the routing kernels).
+"""
+import argparse
+import json
+import sys
+
+ROWS = [
+    "BM_PredictBatchFp32/16",
+    "BM_PredictBatchInt8/16",
+    "BM_PredictBatchDeepCapsFp32/1",
+    "BM_PredictBatchDeepCapsFp32/4",
+    "BM_PredictBatchDeepCapsFp32/16",
+    "BM_PredictBatchDeepCapsInt8/1",
+    "BM_PredictBatchDeepCapsInt8/4",
+    "BM_PredictBatchDeepCapsInt8/16",
+    "BM_QGemm/256",
+    "BM_QGemm16/256",
+    "BM_Matmul/256",
+    "BM_RoutingFp32/288",
+    "BM_RoutingQuantized/288",
+]
+
+
+def distill(full_path, out_path):
+    with open(full_path) as f:
+        full = json.load(f)
+    best = {}
+    label = {}
+    for b in full.get("benchmarks", []):
+        # Aggregate rows (_mean/_median/...) have run_type "aggregate";
+        # best-of-reps means the max rate over the per-repetition rows.
+        if b.get("run_type") != "iteration":
+            continue
+        name = b.get("name")
+        if name not in ROWS:
+            continue
+        rate = b.get("items_per_second")
+        if rate is None:
+            continue
+        if name not in best or rate > best[name]:
+            best[name] = rate
+            label[name] = b.get("label", "")
+    missing = [r for r in ROWS if r not in best]
+    out = {
+        "source": full_path,
+        "metric": "items_per_second, best of repetitions",
+        "rows": {r: {"rate": best[r], "label": label[r]}
+                 for r in ROWS if r in best},
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=1)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(out['rows'])} rows)")
+    if missing:
+        print(f"note: {len(missing)} row(s) absent from {full_path}: "
+              + ", ".join(missing))
+    return 0
+
+
+def diff(baseline_path, current_path, tol):
+    with open(baseline_path) as f:
+        base = json.load(f)["rows"]
+    with open(current_path) as f:
+        cur = json.load(f)["rows"]
+    shared = [r for r in ROWS if r in base and r in cur]
+    if not shared:
+        print(f"error: no shared rows between {baseline_path} and "
+              f"{current_path}", file=sys.stderr)
+        return 1
+    regressed = 0
+    for r in shared:
+        b, c = base[r]["rate"], cur[r]["rate"]
+        rel = (c - b) / b if b else 0.0
+        marker = ""
+        if rel < -tol:
+            regressed += 1
+            marker = "  <-- regression"
+            print(f"::warning title=bench regression::{r}: "
+                  f"{rel * 100:+.1f}% vs committed baseline")
+        print(f"{r:38s} {b:14.4g} -> {c:14.4g}  ({rel * 100:+6.1f}%){marker}")
+    print(f"{len(shared)} rows compared, {regressed} regressed beyond "
+          f"{tol * 100:.0f}% (warn-only)")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser()
+    p.add_argument("--diff", action="store_true")
+    p.add_argument("--tol", type=float, default=0.15)
+    p.add_argument("paths", nargs=2)
+    a = p.parse_args()
+    if a.diff:
+        return diff(a.paths[0], a.paths[1], a.tol)
+    return distill(a.paths[0], a.paths[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,11 +79,11 @@ double layer_energy_pj(std::int64_t macs, int mac_bits, std::int64_t squash_ops,
 
 /// Sustained multiply-accumulate rates in G MAC/s.
 struct HostKernelRates {
-  double fp32_gemm = 41.6;     ///< BM_Matmul/256 (packed fp32, AVX-512 tier)
-  double int8_gemm = 118.0;    ///< BM_QGemm/256 (qgemm int8 VNNI tier)
-  double conv_fp32 = 17.6;     ///< BM_Conv2d/64 (fused im2col conv)
-  double routing_fp32 = 8.0;   ///< BM_RoutingFp32/288 (caps kernels)
-  double routing_quant = 1.9;  ///< BM_RoutingQuantized/288 (fake-quant path)
+  double fp32_gemm = 40.8;     ///< BM_Matmul/256 (packed fp32, AVX-512 tier)
+  double int8_gemm = 108.5;    ///< BM_QGemm/256 (qgemm int8 VNNI tier)
+  double conv_fp32 = 18.8;     ///< BM_Conv2d/64 (fused im2col conv)
+  double routing_fp32 = 9.8;   ///< BM_RoutingFp32/288 (caps kernels)
+  double routing_quant = 2.0;  ///< BM_RoutingQuantized/288 (fake-quant path)
 };
 
 /// The committed BENCH_kernels.json numbers.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "tensor/caps_kernels.hpp"
 
 namespace qcaps::hwmodel {
 
@@ -165,6 +166,11 @@ std::int64_t SquashUnit::gain_raw(std::int64_t norm_sq) const {
   return (ratio * inv_sqrt) >> internal_qf_;  // internal qf
 }
 
+void SquashUnit::gain_raw_n(const std::int64_t* norm_sq, std::int64_t* gain,
+                            std::int64_t n) const {
+  tensor::squash_gain_raw_n(norm_sq, gain, n, internal_qf_);
+}
+
 // ---- softmax ----------------------------------------------------------------
 
 SoftmaxUnit::SoftmaxUnit(fixed::FixedFormat io_fmt, int lut_addr_bits)
@@ -219,6 +225,39 @@ std::vector<FixedNum> SoftmaxUnit::apply(const std::vector<FixedNum>& logits,
     out[i] = {saturate_raw(q, out_fmt), out_fmt};
   }
   return out;
+}
+
+void SoftmaxUnit::apply_rows_t_raw(const std::int64_t* logits,
+                                   std::int64_t* out, std::int64_t rows,
+                                   std::int64_t d,
+                                   const fixed::FixedFormat& out_fmt) const {
+  QCAPS_CHECK(rows >= 0 && d > 0);
+  const std::int64_t entries = static_cast<std::int64_t>(lut_.size());
+  std::vector<std::int64_t> exps(static_cast<std::size_t>(d));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t* col = logits + r;
+    std::int64_t max_raw = col[0];
+    for (std::int64_t j = 1; j < d; ++j)
+      max_raw = std::max(max_raw, col[j * rows]);
+    std::int64_t sum = 0;
+    // Same element order as apply(): the LUT address per element, the sum
+    // in j index order, then the rounded divide — bit-for-bit the FixedNum
+    // path on each logical row.
+    for (std::int64_t j = 0; j < d; ++j) {
+      const double delta = std::ldexp(
+          static_cast<double>(col[j * rows] - max_raw), -io_fmt_.qf);
+      std::int64_t addr = static_cast<std::int64_t>(std::llround(
+          -delta / lut_range_ * static_cast<double>(entries - 1)));
+      addr = std::clamp<std::int64_t>(addr, 0, entries - 1);
+      exps[static_cast<std::size_t>(j)] = lut_[static_cast<std::size_t>(addr)];
+      sum += exps[static_cast<std::size_t>(j)];
+    }
+    for (std::int64_t j = 0; j < d; ++j) {
+      const std::int64_t num = exps[static_cast<std::size_t>(j)] << out_fmt.qf;
+      const std::int64_t q = (2 * num + sum) / (2 * sum);
+      out[j * rows + r] = saturate_raw(q, out_fmt);
+    }
+  }
 }
 
 }  // namespace qcaps::hwmodel

@@ -97,6 +97,14 @@ class SquashUnit {
   /// Returns 0 for norm_sq == 0 (zero vector squashes to zero).
   std::int64_t gain_raw(std::int64_t norm_sq) const;
 
+  /// Batched gain_raw over n squared norms (gain[i] = gain_raw(norm_sq[i])
+  /// bit-for-bit): delegates to the runtime-dispatched vector kernel
+  /// (tensor::squash_gain_raw_n), which runs the Newton-Raphson rounds over
+  /// 4/8 lanes of norms. This scalar unit remains the oracle the kernel's
+  /// tiers are locked against.
+  void gain_raw_n(const std::int64_t* norm_sq, std::int64_t* gain,
+                  std::int64_t n) const;
+
   int internal_qf() const { return internal_qf_; }
 
  private:
@@ -114,6 +122,17 @@ class SoftmaxUnit {
   /// Variant with a distinct output format (see SquashUnit::apply).
   std::vector<FixedNum> apply(const std::vector<FixedNum>& logits,
                               const fixed::FixedFormat& out_fmt) const;
+
+  /// Raw transposed-batch seam: `logits` holds `rows` logical rows of
+  /// length d stored TRANSPOSED ([d, rows]: row r's element j at
+  /// logits[j*rows + r]), all in io format; couplings land in `out` (same
+  /// layout, may not alias) saturated to out_fmt. Bit-for-bit apply() per
+  /// logical row — max-subtract, LUT address, j-index-order sum, rounded
+  /// divide — without the per-row FixedNum marshaling, so a batch caller
+  /// (routing logits held j-major) pays zero allocations per row.
+  void apply_rows_t_raw(const std::int64_t* logits, std::int64_t* out,
+                        std::int64_t rows, std::int64_t d,
+                        const fixed::FixedFormat& out_fmt) const;
 
  private:
   fixed::FixedFormat io_fmt_;

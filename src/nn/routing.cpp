@@ -20,6 +20,18 @@ namespace qcaps::nn {
 // Iteration 0 skips the softmax outright: b = 0 makes the couplings exactly
 // uniform (softmax of a constant row computes 1 * (1 / Nout) — the same
 // float value the fill produces).
+//
+// Without a tape the per-sample logits and couplings live TRANSPOSED
+// ([Nout, Nin], each output capsule's column contiguous): the softmax runs
+// through softmax_rows_t and the slab kernels take the couplings with unit
+// stride, so no row-major logit transpose happens anywhere in the iteration
+// loop. Only the final couplings are transposed once into last_c_'s
+// [R, Nin, Nout] contract. On the scalar tier this is bit-identical to the
+// row-major path (softmax_rows_t keeps each row's max/exp/sum in j order and
+// the slab kernels only change addressing); the vector tiers share the
+// pointwise exp polynomial but reduce the row-major softmax in vector order,
+// so the two paths agree to softmax tolerance there. The keep_tape path
+// stays row-major because backward consumes the tapes in that layout.
 tensor::Tensor DynamicRouting::forward_fused(const tensor::Tensor& votes,
                                              int iterations, bool keep_tape) {
   const std::int64_t r_count = votes.dim(0), nout = votes.dim(1),
@@ -61,34 +73,54 @@ tensor::Tensor DynamicRouting::forward_fused(const tensor::Tensor& votes,
       const std::int64_t soff = r * caps_elems;
       const float* ur = u + r * nout * nin * d;
       std::fill(b_loc.begin(), b_loc.end(), 0.0f);
-      for (int it = 0; it < iterations; ++it) {
-        const bool last = it + 1 == iterations;
-        float* c_ptr = keep_tape
-                           ? c_tape_[static_cast<std::size_t>(it)].data() + coff
-                           : (last ? last_c_.data() + coff : c_loc.data());
-        if (it == 0) {
-          std::fill(c_ptr, c_ptr + row_elems, uniform);
-        } else {
-          std::copy(b_loc.begin(), b_loc.end(), c_ptr);
-          tensor::softmax_rows(c_ptr, nin, nout);
-        }
-        float* s_ptr = keep_tape
-                           ? s_tape_[static_cast<std::size_t>(it)].data() + soff
-                           : s_loc.data();
-        float* v_ptr = keep_tape
-                           ? v_tape_[static_cast<std::size_t>(it)].data() + soff
-                           : (last ? v_out.data() + soff : v_loc.data());
-        if (last) {
-          tensor::routing_weighted_sum_squash(ur, c_ptr, s_ptr, v_ptr, 1, nin,
-                                              nout, d, 1e-8f);
-          if (keep_tape) {
+      if (keep_tape) {
+        for (int it = 0; it < iterations; ++it) {
+          const bool last = it + 1 == iterations;
+          float* c_ptr = c_tape_[static_cast<std::size_t>(it)].data() + coff;
+          if (it == 0) {
+            std::fill(c_ptr, c_ptr + row_elems, uniform);
+          } else {
+            std::copy(b_loc.begin(), b_loc.end(), c_ptr);
+            tensor::softmax_rows(c_ptr, nin, nout);
+          }
+          float* s_ptr = s_tape_[static_cast<std::size_t>(it)].data() + soff;
+          float* v_ptr = v_tape_[static_cast<std::size_t>(it)].data() + soff;
+          if (last) {
+            tensor::routing_weighted_sum_squash(ur, c_ptr, s_ptr, v_ptr, 1,
+                                                nin, nout, d, 1e-8f);
             std::copy(c_ptr, c_ptr + row_elems, last_c_.data() + coff);
             std::copy(v_ptr, v_ptr + caps_elems, v_out.data() + soff);
+          } else {
+            tensor::routing_iteration_fused(ur, c_ptr, s_ptr, v_ptr,
+                                            b_loc.data(), 1, nin, nout, d,
+                                            1e-8f);
           }
-        } else {
-          tensor::routing_iteration_fused(ur, c_ptr, s_ptr, v_ptr,
-                                          b_loc.data(), 1, nin, nout, d,
-                                          1e-8f);
+        }
+      } else {
+        // Transposed iteration loop: b_loc/c_loc are [Nout, Nin] here.
+        for (int it = 0; it < iterations; ++it) {
+          const bool last = it + 1 == iterations;
+          float* c_ptr = c_loc.data();
+          if (it == 0) {
+            std::fill(c_ptr, c_ptr + row_elems, uniform);
+          } else {
+            std::copy(b_loc.begin(), b_loc.end(), c_ptr);
+            tensor::softmax_rows_t(c_ptr, nin, nout);
+          }
+          float* v_ptr = last ? v_out.data() + soff : v_loc.data();
+          if (last) {
+            tensor::routing_weighted_sum_squash(ur, c_ptr, s_loc.data(), v_ptr,
+                                                1, nin, nout, d, 1e-8f,
+                                                /*c_transposed=*/true);
+            float* lc = last_c_.data() + coff;
+            for (std::int64_t j = 0; j < nout; ++j)
+              for (std::int64_t i = 0; i < nin; ++i)
+                lc[i * nout + j] = c_ptr[j * nin + i];
+          } else {
+            tensor::routing_iteration_fused(ur, c_ptr, s_loc.data(), v_ptr,
+                                            b_loc.data(), 1, nin, nout, d,
+                                            1e-8f, /*c_transposed=*/true);
+          }
         }
       }
     }

@@ -132,6 +132,7 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
                      std::int64_t stride, std::int64_t pad,
                      fixed::FixedFormat out_fmt, int acc_qf,
                      const QGemmOperandCache* w_cache, bool fuse_relu,
+                     const RescaleFold* fold, fixed::FixedFormat result_fmt,
                      std::int64_t b, std::int64_t c, std::int64_t h,
                      std::int64_t wd, std::int64_t f, std::int64_t k,
                      std::int64_t oh, std::int64_t ow) {
@@ -157,9 +158,25 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
   }
 
   tensor::QGemmRequant rq = make_requant(acc_qf, out_fmt);
-  if (!bias32.empty()) rq.bias = bias32.data();
   // Fused ReLU: clamp-lo at the (zero) output zero point inside the requant.
   if (fuse_relu) rq.qmin = std::max(rq.qmin, std::int32_t{0});
+  if (fold != nullptr) {
+    // Folded trailing rescale: one requant with the composed shift, rails,
+    // and the inner rounding constant carried in the accumulator-scale bias
+    // (the caller verified the composition and the widened bias range).
+    rq.shift = fold->shift;
+    rq.qmin = static_cast<std::int32_t>(fold->lo);
+    rq.qmax = static_cast<std::int32_t>(fold->hi);
+    if (fold->bias_add != 0) {
+      if (bias32.empty())
+        bias32.assign(static_cast<std::size_t>(f),
+                      static_cast<std::int32_t>(fold->bias_add));
+      else
+        for (auto& bv : bias32)
+          bv += static_cast<std::int32_t>(fold->bias_add);
+    }
+  }
+  if (!bias32.empty()) rq.bias = bias32.data();
 
   // Cache-block the batch: one GEMM per chunk of images, chunk sized so the
   // im2col columns + int32 accumulators + int64 outputs stay L2-resident
@@ -175,7 +192,7 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
       kConvWorkingSetBytes / std::max<std::int64_t>(bytes_per_col * plane, 1),
       1, b);
 
-  QTensor out({b, f, oh, ow}, out_fmt);
+  QTensor out({b, f, oh, ow}, result_fmt);
   std::vector<T> cols;
   for (std::int64_t b0 = 0; b0 < b; b0 += chunk_b) {
     const std::int64_t bc = std::min<std::int64_t>(chunk_b, b - b0);
@@ -229,7 +246,8 @@ QTensor conv2d_qgemm(const QTensor& x, const QTensor& w, const QTensor& bias,
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
                fixed::FixedFormat out_fmt, fixed::RoundingScheme scheme,
-               const QGemmOperandCache* w_cache, bool fuse_relu) {
+               const QGemmOperandCache* w_cache, bool fuse_relu,
+               const fixed::FixedFormat* fold_fmt) {
   QCAPS_CHECK_MSG(x.shape.size() == 4 && w.shape.size() == 4,
                   "qengine conv2d expects [B,C,H,W] x [F,C,K,K]");
   const std::int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), wd = x.dim(3);
@@ -250,30 +268,47 @@ QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                   "conv2d weight cache was not built");
   QCAPS_CHECK_MSG(!has_bias || bias.fmt.qf <= acc_qf,
                   "conv2d bias fractional width exceeds the accumulator's");
-  if (b == 0) return QTensor({b, f, oh, ow}, out_fmt);
+  const fixed::FixedFormat result_fmt = fold_fmt ? *fold_fmt : out_fmt;
+  if (b == 0) return QTensor({b, f, oh, ow}, result_fmt);
 
-  // Packed-GEMM fast path (bit-identical; see header).
-  if (requant_expressible(acc_qf, out_fmt, scheme)) {
+  // Packed-GEMM fast path (bit-identical; see header). With a folded
+  // trailing rescale the requant must express the COMPOSED shift/rails, so
+  // the expressibility gate runs against the final format; any reject
+  // (range, bias widening) falls back to the scalar path, which applies
+  // the two rounding steps inline — still one pass, still bit-identical.
+  RescaleFold fold;
+  if (fold_fmt != nullptr) {
+    const std::int64_t lo1 = fuse_relu
+                                 ? std::max<std::int64_t>(out_fmt.raw_min(), 0)
+                                 : out_fmt.raw_min();
+    fold = compose_rescale(acc_qf - out_fmt.qf, lo1, out_fmt.raw_max(),
+                           out_fmt, *fold_fmt);
+  }
+  if (requant_expressible(acc_qf, result_fmt, scheme) &&
+      (fold_fmt == nullptr || fold.ok)) {
     const std::int64_t wmax = w_cache ? w_cache->max_abs : w.max_abs_raw();
     const int tier = qgemm_tier(x.max_abs_raw(), wmax, c * k * k);
     bool bias_ok = true;
     if (has_bias) {
       const int bshift = acc_qf - bias.fmt.qf;
       bias_ok = bshift >= 0 && bshift < 31 &&
-                bias.max_abs_raw() <= (INT32_MAX >> bshift);
+                bias.max_abs_raw() <= ((INT32_MAX - fold.bias_add) >> bshift);
     }
     if (tier != 0 && bias_ok) {
+      const RescaleFold* fp = fold_fmt ? &fold : nullptr;
       return tier == 1
                  ? conv2d_qgemm<std::int8_t>(x, w, bias, stride, pad, out_fmt,
-                                             acc_qf, w_cache, fuse_relu, b, c,
-                                             h, wd, f, k, oh, ow)
+                                             acc_qf, w_cache, fuse_relu, fp,
+                                             result_fmt, b, c, h, wd, f, k,
+                                             oh, ow)
                  : conv2d_qgemm<std::int16_t>(x, w, bias, stride, pad, out_fmt,
-                                              acc_qf, w_cache, fuse_relu, b, c,
-                                              h, wd, f, k, oh, ow);
+                                              acc_qf, w_cache, fuse_relu, fp,
+                                              result_fmt, b, c, h, wd, f, k,
+                                              oh, ow);
     }
   }
 
-  QTensor out({b, f, oh, ow}, out_fmt);
+  QTensor out({b, f, oh, ow}, result_fmt);
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t bi = 0; bi < b; ++bi) {
     for (std::int64_t fi = 0; fi < f; ++fi) {
@@ -298,6 +333,10 @@ QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
           }
           std::int64_t v = hwmodel::rescale_raw(acc, acc_qf, out_fmt, scheme);
           if (fuse_relu && v < 0) v = 0;
+          // Folded trailing rescale: the second rounding step runs inline
+          // (always round-to-nearest — the kRescale node's scheme).
+          if (fold_fmt != nullptr)
+            v = hwmodel::rescale_raw(v, out_fmt.qf, *fold_fmt);
           out.raw[static_cast<std::size_t>(((bi * f + fi) * oh + y) * ow + xx)] =
               v;
         }
@@ -320,7 +359,8 @@ QTensor rescale(const QTensor& x, fixed::FixedFormat out_fmt,
   return out;
 }
 
-QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt) {
+QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt,
+                    const fixed::FixedFormat* fold_fmt) {
   QCAPS_CHECK(!s.shape.empty());
   const std::int64_t d = s.dim(-1);
   const std::int64_t rows = s.numel() / d;
@@ -330,23 +370,50 @@ QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt) {
   const int shift_up = unit.internal_qf() - 2 * s.fmt.qf;
   const int prod_qf = s.fmt.qf + unit.internal_qf();
   // Inlined round-to-nearest + saturate (the shift is always down here).
-  const int shift = prod_qf - out_fmt.qf;
+  int shift = prod_qf - out_fmt.qf;
   QCAPS_CHECK(shift > 0);
-  const std::int64_t half = std::int64_t{1} << (shift - 1);
-  const std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
-  QTensor out(s.shape, out_fmt);
+  std::int64_t half = std::int64_t{1} << (shift - 1);
+  std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
+  fixed::FixedFormat result_fmt = out_fmt;
+  if (fold_fmt != nullptr) {
+    // Composed trailing rescale (see compose_rescale): same bits as
+    // squash-then-rescale in one traversal.
+    const RescaleFold fold =
+        compose_rescale(shift, lo, hi, out_fmt, *fold_fmt);
+    QCAPS_CHECK_MSG(fold.ok, "squash_last: inexact rescale fold");
+    shift = fold.shift;
+    half = fold.add;
+    lo = fold.lo;
+    hi = fold.hi;
+    result_fmt = *fold_fmt;
+  }
+  QTensor out(s.shape, result_fmt);
+  // Blocked rows: one norms pass, one batched gain (vector NR over lanes of
+  // rows), one scale pass — same bits as the per-row loop in any order.
+  constexpr std::int64_t kBlock = 64;
+  const std::int64_t nblocks = (rows + kBlock - 1) / kBlock;
 #pragma omp parallel for schedule(static) if (rows > 64)
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int64_t* src = s.raw.data() + r * d;
-    std::int64_t* dst = out.raw.data() + r * d;
-    std::int64_t nsq = 0;
-    for (std::int64_t j = 0; j < d; ++j) {
-      const std::int64_t wide = src[j] * src[j];
-      nsq += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+  for (std::int64_t blk = 0; blk < nblocks; ++blk) {
+    const std::int64_t r0 = blk * kBlock;
+    const std::int64_t rc = std::min(kBlock, rows - r0);
+    std::int64_t nsq[kBlock];
+    std::int64_t gain[kBlock];
+    for (std::int64_t rr = 0; rr < rc; ++rr) {
+      const std::int64_t* src = s.raw.data() + (r0 + rr) * d;
+      std::int64_t acc = 0;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const std::int64_t wide = src[j] * src[j];
+        acc += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+      }
+      nsq[rr] = acc;
     }
-    const std::int64_t gain = unit.gain_raw(nsq);
-    for (std::int64_t j = 0; j < d; ++j)
-      dst[j] = std::clamp((src[j] * gain + half) >> shift, lo, hi);
+    unit.gain_raw_n(nsq, gain, rc);
+    for (std::int64_t rr = 0; rr < rc; ++rr) {
+      const std::int64_t* src = s.raw.data() + (r0 + rr) * d;
+      std::int64_t* dst = out.raw.data() + (r0 + rr) * d;
+      for (std::int64_t j = 0; j < d; ++j)
+        dst[j] = std::clamp((src[j] * gain[rr] + half) >> shift, lo, hi);
+    }
   }
   return out;
 }
@@ -386,15 +453,20 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
 
 #pragma omp parallel for schedule(static) if (r_count > 4)
   for (std::int64_t r = 0; r < r_count; ++r) {
-    // Per-row state: logits b (dr fmt), couplings c (act fmt).
-    std::vector<std::int64_t> b_raw(static_cast<std::size_t>(nin * nout), 0);
+    // Per-row state: logits b (dr fmt), couplings c (act fmt). Both are
+    // held j-major [Nout, Nin] — the transposed-batch orientation: the
+    // softmax normalizes each logical i-row through the strided raw seam,
+    // while the weighted sum's coupling reads and the agreement's logit
+    // writes (both per-j slabs) become unit-stride.
+    std::vector<std::int64_t> b_raw(static_cast<std::size_t>(nout * nin), 0);
     std::vector<std::int64_t> s_raw(static_cast<std::size_t>(nout * d), 0);
     std::vector<std::int64_t> v_raw(static_cast<std::size_t>(nout * d), 0);
-    std::vector<std::int32_t> c32(static_cast<std::size_t>(nin * nout), 0);
+    std::vector<std::int32_t> c32(static_cast<std::size_t>(nout * nin), 0);
     std::vector<std::int32_t> v32(static_cast<std::size_t>(nout * d), 0);
     std::vector<std::int32_t> acc32(static_cast<std::size_t>(d), 0);
-    std::vector<std::int64_t> c_raw;
-    if (!i32_ok) c_raw.resize(static_cast<std::size_t>(nin * nout));
+    std::vector<std::int64_t> c_raw(static_cast<std::size_t>(nout * nin), 0);
+    std::vector<std::int64_t> nsq_scratch(static_cast<std::size_t>(nout));
+    std::vector<std::int64_t> gain_scratch(static_cast<std::size_t>(nout));
     const std::int64_t* u = votes.raw.data() + r * nout * nin * d;
     const std::int32_t* ur32 = i32_ok ? u32.data() + r * nout * nin * d
                                       : nullptr;
@@ -402,22 +474,13 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
     for (int it = 0; it < iterations; ++it) {
       // c_i* = softmax over Nout of b_i* — logits carry the QDR format but
       // the couplings come out at activation precision (Fig. 9: the cheap
-      // data is what feeds the unit, not what leaves it).
-      for (std::int64_t i = 0; i < nin; ++i) {
-        std::vector<hwmodel::FixedNum> logits(static_cast<std::size_t>(nout));
-        for (std::int64_t j = 0; j < nout; ++j)
-          logits[static_cast<std::size_t>(j)] = {
-              b_raw[static_cast<std::size_t>(i * nout + j)], dr_fmt};
-        const auto c = softmax.apply(logits, act_fmt);
-        for (std::int64_t j = 0; j < nout; ++j) {
-          const std::int64_t raw = c[static_cast<std::size_t>(j)].raw;
-          if (i32_ok)
-            c32[static_cast<std::size_t>(i * nout + j)] =
-                static_cast<std::int32_t>(raw);
-          else
-            c_raw[static_cast<std::size_t>(i * nout + j)] = raw;
-        }
-      }
+      // data is what feeds the unit, not what leaves it). One batched raw
+      // pass over all Nin rows: no per-i FixedNum marshaling.
+      softmax.apply_rows_t_raw(b_raw.data(), c_raw.data(), nin, nout,
+                               act_fmt);
+      if (i32_ok)
+        for (std::size_t t = 0; t < c_raw.size(); ++t)
+          c32[t] = static_cast<std::int32_t>(c_raw[t]);
       // s_j = Σ_i c_ij û_j|i, accumulated wide, rescaled into dr fmt
       // (precision lowered before the squash, Fig. 9). Per (r, j) slab the
       // votes rows are contiguous in k, so the int32 loop vectorizes.
@@ -425,9 +488,10 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
       for (std::int64_t j = 0; j < nout; ++j) {
         if (i32_ok) {
           const std::int32_t* uj = ur32 + j * nin * d;
+          const std::int32_t* cj = c32.data() + j * nin;
           std::fill(acc32.begin(), acc32.end(), 0);
           for (std::int64_t i = 0; i < nin; ++i) {
-            const std::int32_t cij = c32[static_cast<std::size_t>(i * nout + j)];
+            const std::int32_t cij = cj[i];
             const std::int32_t* uv = uj + i * d;
             for (std::int64_t k = 0; k < d; ++k)
               acc32[static_cast<std::size_t>(k)] += cij * uv[k];
@@ -437,34 +501,51 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
                 acc32[static_cast<std::size_t>(k)], acc_qf, dr_fmt);
         } else {
           const std::int64_t* uj = u + j * nin * d;
+          const std::int64_t* cj = c_raw.data() + j * nin;
           for (std::int64_t k = 0; k < d; ++k) {
             std::int64_t acc = 0;
             for (std::int64_t i = 0; i < nin; ++i)
-              acc += c_raw[static_cast<std::size_t>(i * nout + j)] *
-                     uj[i * d + k];
+              acc += cj[i] * uj[i * d + k];
             s_raw[static_cast<std::size_t>(j * d + k)] =
                 hwmodel::rescale_raw(acc, acc_qf, dr_fmt);
           }
         }
       }
-      // v_j = squash(s_j): QDR input, activation-precision output.
-      for (std::int64_t j = 0; j < nout; ++j) {
-        std::vector<hwmodel::FixedNum> sv(static_cast<std::size_t>(d));
-        for (std::int64_t k = 0; k < d; ++k)
-          sv[static_cast<std::size_t>(k)] = {
-              s_raw[static_cast<std::size_t>(j * d + k)], dr_fmt};
-        const auto vq = squash.apply(sv, act_fmt);
-        for (std::int64_t k = 0; k < d; ++k) {
-          const std::int64_t raw = vq[static_cast<std::size_t>(k)].raw;
-          v_raw[static_cast<std::size_t>(j * d + k)] = raw;
-          if (i32_ok)
-            v32[static_cast<std::size_t>(j * d + k)] =
-                static_cast<std::int32_t>(raw);
+      // v_j = squash(s_j): QDR input, activation-precision output. Raw bulk
+      // seam: norms for all Nout capsules, ONE batched gain call (vector NR
+      // over lanes of norms), then the per-element finish — apply()'s
+      // arithmetic without the FixedNum marshaling.
+      {
+        const int shift_up = squash.internal_qf() - 2 * dr_fmt.qf;
+        const int prod_qf = dr_fmt.qf + squash.internal_qf();
+        for (std::int64_t j = 0; j < nout; ++j) {
+          const std::int64_t* sj = s_raw.data() + j * d;
+          std::int64_t acc = 0;
+          for (std::int64_t k = 0; k < d; ++k) {
+            const std::int64_t wide = sj[k] * sj[k];
+            acc += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
+          }
+          nsq_scratch[static_cast<std::size_t>(j)] = acc;
+        }
+        squash.gain_raw_n(nsq_scratch.data(), gain_scratch.data(), nout);
+        for (std::int64_t j = 0; j < nout; ++j) {
+          const std::int64_t g = gain_scratch[static_cast<std::size_t>(j)];
+          for (std::int64_t k = 0; k < d; ++k) {
+            const std::int64_t raw = hwmodel::rescale_raw(
+                s_raw[static_cast<std::size_t>(j * d + k)] * g, prod_qf,
+                act_fmt);
+            v_raw[static_cast<std::size_t>(j * d + k)] = raw;
+            if (i32_ok)
+              v32[static_cast<std::size_t>(j * d + k)] =
+                  static_cast<std::int32_t>(raw);
+          }
         }
       }
       if (it + 1 == iterations) break;
-      // b_ij += a_ij = v_j · û_j|i (wide dot, rescaled into dr fmt).
+      // b_ij += a_ij = v_j · û_j|i (wide dot, rescaled into dr fmt); the
+      // j-major logits make this a unit-stride walk per j-slab.
       for (std::int64_t j = 0; j < nout; ++j) {
+        std::int64_t* bj = b_raw.data() + j * nin;
         if (i32_ok) {
           const std::int32_t* uj = ur32 + j * nin * d;
           const std::int32_t* vj = v32.data() + j * d;
@@ -474,9 +555,7 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
             for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vj[k];
             const std::int64_t a =
                 hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
-            b_raw[static_cast<std::size_t>(i * nout + j)] =
-                hwmodel::saturate_raw(
-                    b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+            bj[i] = hwmodel::saturate_raw(bj[i] + a, dr_fmt);
           }
         } else {
           const std::int64_t* uj = u + j * nin * d;
@@ -487,9 +566,7 @@ QTensor dynamic_routing(const QTensor& votes, int iterations,
             for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vj[k];
             const std::int64_t a =
                 hwmodel::rescale_raw(acc, 2 * act_fmt.qf, dr_fmt);
-            b_raw[static_cast<std::size_t>(i * nout + j)] =
-                hwmodel::saturate_raw(
-                    b_raw[static_cast<std::size_t>(i * nout + j)] + a, dr_fmt);
+            bj[i] = hwmodel::saturate_raw(bj[i] + a, dr_fmt);
           }
         }
       }
@@ -538,6 +615,43 @@ QTensor matmul(const QTensor& a, const QTensor& b, fixed::FixedFormat out_fmt,
     }
   }
   return out;
+}
+
+RescaleFold compose_rescale(int shift1, std::int64_t lo1, std::int64_t hi1,
+                            fixed::FixedFormat from, fixed::FixedFormat to) {
+  RescaleFold f;
+  const int t = from.qf - to.qf;
+  // An upshifting rescale multiplies the already-rounded value by 2^-t —
+  // not expressible as one round-to-nearest pass over the accumulator.
+  if (t < 0) return f;
+  // Push the producer's rails through the (monotone, nondecreasing) rescale
+  // and intersect with the target's: clamp commutes with a monotone map.
+  const auto step = [t](std::int64_t y) {
+    return t == 0 ? y : (y + (std::int64_t{1} << (t - 1))) >> t;
+  };
+  f.lo = std::max(step(lo1), to.raw_min());
+  f.hi = std::min(step(hi1), to.raw_max());
+  if (f.lo > f.hi) return f;  // empty composed range
+  f.shift = shift1 + t;
+  if (t == 0) {
+    // Format change on the same grid: only the rails tighten.
+    f.add = shift1 >= 1 ? std::int64_t{1} << (shift1 - 1) : 0;
+  } else if (shift1 >= 1) {
+    // Nested round-to-nearest telescopes with the inner rounding constant
+    // widened into the numerator:
+    //   floor((floor((x + 2^(s1-1)) / 2^s1) + 2^(t-1)) / 2^t)
+    //     == floor((x + 2^(s1-1) + 2^(s1+t-1)) / 2^(s1+t))   for every x.
+    f.add = (std::int64_t{1} << (shift1 - 1)) +
+            (std::int64_t{1} << (f.shift - 1));
+    f.bias_add = std::int64_t{1} << (shift1 - 1);
+  } else if (f.shift >= 1) {
+    // Exact upshift by -s1 then RTN by t collapses to plain RTN by s1+t:
+    // the shifted-in zeros sit strictly below the rounding constant.
+    f.add = std::int64_t{1} << (f.shift - 1);
+  }
+  // else: both stages net to an exact left shift by -(s1+t); no constant.
+  f.ok = true;
+  return f;
 }
 
 QGemmOperandCache make_operand_cache(const QTensor& t) {

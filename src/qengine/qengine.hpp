@@ -44,6 +44,33 @@ struct QGemmOperandCache {
 /// Eagerly build the packed cache for `t`.
 QGemmOperandCache make_operand_cache(const QTensor& t);
 
+// ---- rescale-epilogue composition ------------------------------------------
+
+/// Exactness analysis for composing a trailing rescale (RTN, `from` ->
+/// `to`) into a producing requant epilogue of the form
+///     y = clamp((num + add1) >> shift1, lo1, hi1)        (shift1 >= 1,
+///                                                         add1 = 2^(shift1-1))
+/// or, for shift1 <= 0, the exact left shift y = clamp(num << -shift1, ...).
+/// When ok, the two steps equal the ONE pass
+///     clamp((num + add) >> shift, lo, hi)                (shift >= 1)
+/// or  clamp(num << -shift, lo, hi)                       (shift <= 0)
+/// on every int64 `num` — same bits, one traversal. `bias_add` is the part
+/// of `add` beyond the standard RTN constant 2^(shift-1): epilogues built on
+/// qgemm's requant_one (which bakes that constant in) fold `bias_add` into
+/// their accumulator-scale bias instead of using `add` directly.
+/// Rejects (ok = false): upshifting rescales (to.qf > from.qf — a left
+/// shift after rounding is not expressible as one RTN pass) and crossed
+/// composed rails (empty output range).
+struct RescaleFold {
+  bool ok = false;
+  int shift = 0;             ///< composed total shift
+  std::int64_t add = 0;      ///< composed numerator constant (shift >= 1)
+  std::int64_t bias_add = 0; ///< add - 2^(shift-1), at accumulator scale
+  std::int64_t lo = 0, hi = 0;  ///< composed clamp rails
+};
+RescaleFold compose_rescale(int shift1, std::int64_t lo1, std::int64_t hi1,
+                            fixed::FixedFormat from, fixed::FixedFormat to);
+
 /// Integer conv2d: x [B, C, H, W] (act fmt) * w [F, C, K, K] (weight fmt)
 /// + bias [F] (weight fmt) -> [B, F, H', W'] in out_fmt.
 ///
@@ -60,13 +87,21 @@ QGemmOperandCache make_operand_cache(const QTensor& t);
 /// clamp's lower bound is raised to the zero point (0 on the symmetric
 /// grid), so relu(clamp(v, qmin, qmax)) == clamp(v, 0, qmax) element-exact
 /// on every path — the graph fusion pass uses this to elide kRelu nodes.
+///
+/// `fold_fmt` composes a trailing rescale out_fmt -> *fold_fmt into the
+/// epilogue (result carries *fold_fmt): the fast path widens its requant
+/// constants per qengine::compose_rescale, the scalar path applies the two
+/// rounding steps inline — both bit-identical to conv2d-then-rescale. Only
+/// valid for downshifting rescales under round-to-nearest (the graph fusion
+/// pass validates exactness before annotating).
 QTensor conv2d(const QTensor& x, const QTensor& w, const QTensor& bias,
                std::int64_t stride, std::int64_t pad,
                fixed::FixedFormat out_fmt,
                fixed::RoundingScheme scheme =
                    fixed::RoundingScheme::kRoundToNearest,
                const QGemmOperandCache* w_cache = nullptr,
-               bool fuse_relu = false);
+               bool fuse_relu = false,
+               const fixed::FixedFormat* fold_fmt = nullptr);
 
 /// In-place ReLU on raw values.
 void relu(QTensor& x);
@@ -77,8 +112,11 @@ QTensor rescale(const QTensor& x, fixed::FixedFormat out_fmt,
                     fixed::RoundingScheme::kRoundToNearest);
 
 /// squash over the last axis of [..., D] via the SquashUnit datapath;
-/// output has out_fmt.
-QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt);
+/// output has out_fmt. `fold_fmt` composes an exact trailing rescale
+/// out_fmt -> *fold_fmt into the output pass (see qengine::compose_rescale;
+/// the caller validates exactness), so the result carries *fold_fmt.
+QTensor squash_last(const QTensor& s, fixed::FixedFormat out_fmt,
+                    const fixed::FixedFormat* fold_fmt = nullptr);
 
 /// Integer dynamic routing. votes: j-major [R, Nout, Nin, D] in act fmt
 /// (the layout vote_transform emits — per (r, j) slab the weighted sum and

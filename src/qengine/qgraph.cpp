@@ -189,7 +189,8 @@ void gather_caps_rows(const std::int64_t* src, std::int64_t b,
 QTensor exec_conv_caps(const QuantizedOp& op, const QTensor& x) {
   QTensor s = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.mid_fmt,
                      kRtn, &op.wcache);
-  return squash_channels(s, op.out_dim, op.out_fmt);
+  return squash_channels(s, op.out_dim, op.out_fmt,
+                         op.fused_rescale ? &op.fused_out_fmt : nullptr);
 }
 
 QTensor exec_conv_caps3d(const QuantizedOp& op, const QTensor& x) {
@@ -255,13 +256,26 @@ QTensor exec_conv_caps3d(const QuantizedOp& op, const QTensor& x) {
                                     op.dr_fmt);
 
   // Gather v[(b, y, x), j, dd] back into the feature map [B, Tout*Dout, ...].
-  QTensor out({b, jd, oh, ow}, op.out_fmt);
+  // A folded trailing kRescale rides this pass for free: the per-element
+  // rescale_raw IS the rescale node's arithmetic, applied while the value
+  // is being copied anyway (exact for any format pair).
+  const fixed::FixedFormat ofmt =
+      op.fused_rescale ? op.fused_out_fmt : op.out_fmt;
+  QTensor out({b, jd, oh, ow}, ofmt);
   const std::int64_t* pvv = v.raw.data();
   std::int64_t* po = out.raw.data();
-  for (std::int64_t bi = 0; bi < b; ++bi)
-    for (std::int64_t c = 0; c < jd; ++c)
-      for (std::int64_t p = 0; p < oplane; ++p)
-        po[(bi * jd + c) * oplane + p] = pvv[(bi * oplane + p) * jd + c];
+  if (op.fused_rescale) {
+    for (std::int64_t bi = 0; bi < b; ++bi)
+      for (std::int64_t c = 0; c < jd; ++c)
+        for (std::int64_t p = 0; p < oplane; ++p)
+          po[(bi * jd + c) * oplane + p] = hwmodel::rescale_raw(
+              pvv[(bi * oplane + p) * jd + c], op.out_fmt.qf, ofmt);
+  } else {
+    for (std::int64_t bi = 0; bi < b; ++bi)
+      for (std::int64_t c = 0; c < jd; ++c)
+        for (std::int64_t p = 0; p < oplane; ++p)
+          po[(bi * jd + c) * oplane + p] = pvv[(bi * oplane + p) * jd + c];
+  }
   return out;
 }
 
@@ -274,7 +288,8 @@ QTensor exec_primary_caps(const QuantizedOp& op, const QTensor& x) {
   QTensor caps({b, op.caps_types * plane, op.caps_dim}, op.mid_fmt);
   gather_caps_rows(s.raw.data(), b, op.caps_types, op.caps_dim, plane,
                    caps.raw.data());
-  return squash_last(caps, op.out_fmt);
+  return squash_last(caps, op.out_fmt,
+                     op.fused_rescale ? &op.fused_out_fmt : nullptr);
 }
 
 QTensor exec_flatten(const QuantizedOp& op, const QTensor& x) {
@@ -316,7 +331,8 @@ std::int64_t QuantizedOp::weight_bits() const {
 }
 
 QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
-                        fixed::FixedFormat out_fmt) {
+                        fixed::FixedFormat out_fmt,
+                        const fixed::FixedFormat* fold_fmt) {
   QCAPS_CHECK_MSG(s.shape.size() == 4 && s.dim(1) % caps_dim == 0,
                   "squash_channels expects [B, T*D, H, W] with D = "
                       << caps_dim);
@@ -336,11 +352,25 @@ QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
   // The output rescale always shifts DOWN (internal_qf >= out qf), so the
   // round-to-nearest + saturate is inlined here — per-element calls into
   // hwmodel::rescale_raw would dominate the second pass.
-  const int shift = prod_qf - out_fmt.qf;
+  int shift = prod_qf - out_fmt.qf;
   QCAPS_CHECK(shift > 0);
-  const std::int64_t half = std::int64_t{1} << (shift - 1);
-  const std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
-  QTensor out(s.shape, out_fmt);
+  std::int64_t half = std::int64_t{1} << (shift - 1);
+  std::int64_t lo = out_fmt.raw_min(), hi = out_fmt.raw_max();
+  fixed::FixedFormat result_fmt = out_fmt;
+  if (fold_fmt != nullptr) {
+    // Compose the trailing rescale out_fmt -> *fold_fmt into this pass:
+    // same bits as squash-then-rescale, one traversal (fusion pass
+    // validated exactness before annotating).
+    const RescaleFold fold =
+        compose_rescale(shift, lo, hi, out_fmt, *fold_fmt);
+    QCAPS_CHECK_MSG(fold.ok, "squash_channels: inexact rescale fold");
+    shift = fold.shift;
+    half = fold.add;
+    lo = fold.lo;
+    hi = fold.hi;
+    result_fmt = *fold_fmt;
+  }
+  QTensor out(s.shape, result_fmt);
   const std::int64_t slabs = b * types;
   constexpr std::int64_t kBlock = 512;
 #pragma omp parallel for schedule(static) if (slabs > 1)
@@ -359,7 +389,7 @@ QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
           nsq[p] += shift_up >= 0 ? (wide << shift_up) : (wide >> -shift_up);
         }
       }
-      for (std::int64_t p = 0; p < pc; ++p) gain[p] = unit.gain_raw(nsq[p]);
+      unit.gain_raw_n(nsq, gain, pc);
       for (std::int64_t j = 0; j < caps_dim; ++j) {
         const std::int64_t* row = src + j * plane + p0;
         std::int64_t* orow = dst + j * plane + p0;
@@ -598,6 +628,8 @@ QuantizedGraph QuantizedGraph::from_ops(std::vector<QuantizedOp> ops,
     op.fused_away = false;
     op.grouped = false;
     op.grouped_cache.reset();
+    op.fused_rescale = false;
+    op.fused_out_fmt = fixed::FixedFormat{1, 15};
   }
   g.input_fmt_ = input_fmt;
   if (track_saturation) g.sat_ = std::make_shared<SatCounters>(g.ops_.size());
@@ -608,6 +640,86 @@ QuantizedGraph QuantizedGraph::from_ops(std::vector<QuantizedOp> ops,
 bool QuantizedGraph::fuse_enabled() {
   const char* e = std::getenv("QCAPS_QGRAPH_FUSE");
   return e == nullptr || std::strcmp(e, "0") != 0;
+}
+
+namespace {
+
+// The ONE rescale-fold eligibility decision, shared by fuse() and the
+// qcg_tool report so they cannot diverge. Returns "" when node `i` (a
+// kRescale) folds into its producer; otherwise a short reason. On success
+// `fold` carries the composed constants (unused for kConvCaps3d, whose
+// fold is a per-element rescale riding the output gather).
+std::string rescale_fold_decision(const std::vector<QuantizedOp>& ops,
+                                  fixed::FixedFormat input_fmt,
+                                  const std::vector<int>& consumers,
+                                  std::size_t i, RescaleFold* fold) {
+  const QuantizedOp& op = ops[i];
+  if (op.kind != QOpKind::kRescale) return "not a rescale";
+  if (op.fused_away) return "";  // already folded (fused graph)
+  if (op.input < 0) return "no producer (network input)";
+  const std::size_t p = static_cast<std::size_t>(op.input);
+  const QuantizedOp& prod = ops[p];
+  if (consumers[p] != 1) return "producer shared";
+  if (prod.fused_away) return "producer fused away";
+  if (prod.fused_rescale) return "producer already folded";
+  const fixed::FixedFormat from = prod.out_fmt;
+  const fixed::FixedFormat to = op.out_fmt;
+  const auto verdict = [&](const RescaleFold& f) -> std::string {
+    if (f.ok) {
+      *fold = f;
+      return "";
+    }
+    return to.qf > from.qf ? "inexact: upshift" : "inexact: empty range";
+  };
+  switch (prod.kind) {
+    case QOpKind::kConvCaps3d:
+      // The fold is rescale_raw applied during the routed output's gather
+      // pass — the rescale node's own arithmetic, exact for any pair.
+      fold->ok = true;
+      return "";
+    case QOpKind::kConvCaps:
+    case QOpKind::kPrimaryCaps: {
+      // squash_channels / squash_last epilogue: one RTN shift from the
+      // squash product grid down to the activation format.
+      const hwmodel::SquashUnit unit(prod.mid_fmt);
+      const int s1 = prod.mid_fmt.qf + unit.internal_qf() - from.qf;
+      return verdict(
+          compose_rescale(s1, from.raw_min(), from.raw_max(), from, to));
+    }
+    case QOpKind::kConv2d: {
+      // conv requant epilogue: shift from the accumulator grid. The scalar
+      // fallback applies the two rounding steps inline, so only the
+      // composition itself gates the fold (bias widening is re-checked by
+      // the fast path's own gate, which falls back bit-identically).
+      const fixed::FixedFormat in_fmt =
+          prod.input < 0
+              ? input_fmt
+              : (ops[static_cast<std::size_t>(prod.input)].fused_rescale
+                     ? ops[static_cast<std::size_t>(prod.input)].fused_out_fmt
+                     : ops[static_cast<std::size_t>(prod.input)].out_fmt);
+      const int s1 = in_fmt.qf + prod.weight.fmt.qf - from.qf;
+      const std::int64_t lo1 =
+          prod.fused_relu ? std::max<std::int64_t>(from.raw_min(), 0)
+                          : from.raw_min();
+      return verdict(compose_rescale(s1, lo1, from.raw_max(), from, to));
+    }
+    default:
+      return "producer kind";
+  }
+}
+
+}  // namespace
+
+std::string rescale_fold_blocker(const QuantizedGraph& g, std::size_t i) {
+  const auto& ops = g.ops();
+  QCAPS_CHECK(i < ops.size());
+  std::vector<int> consumers(ops.size(), 0);
+  for (const QuantizedOp& op : ops) {
+    if (op.input >= 0) ++consumers[static_cast<std::size_t>(op.input)];
+    if (op.input2 >= 0) ++consumers[static_cast<std::size_t>(op.input2)];
+  }
+  RescaleFold fold;
+  return rescale_fold_decision(ops, g.input_format(), consumers, i, &fold);
 }
 
 void QuantizedGraph::fuse() {
@@ -631,8 +743,24 @@ void QuantizedGraph::fuse() {
       // formats must match: a relu that also changes format would need a
       // second rescale the fused clamp cannot express.
       if (prod.kind == QOpKind::kConv2d && !prod.fused_relu &&
-          consumers[p] == 1 && prod.out_fmt == op.out_fmt) {
+          !prod.fused_rescale && consumers[p] == 1 &&
+          prod.out_fmt == op.out_fmt) {
         prod.fused_relu = true;
+        op.fused_away = true;
+        if (prof_) prof_->fused_from[p] = op.source;
+      }
+    } else if (op.kind == QOpKind::kRescale) {
+      // Fold the format change into the producer's requant epilogue when
+      // the two-step round-to-nearest composition is exact on the RTN grid
+      // (compose_rescale); reject-and-skip otherwise. Ops are scanned in
+      // SSA order, so an upstream conv's own fold is already visible when
+      // its accumulator grid is derived here.
+      RescaleFold fold;
+      if (rescale_fold_decision(ops_, input_fmt_, consumers, i, &fold)
+              .empty()) {
+        const std::size_t p = static_cast<std::size_t>(op.input);
+        ops_[p].fused_rescale = true;
+        ops_[p].fused_out_fmt = op.out_fmt;
         op.fused_away = true;
         if (prof_) prof_->fused_from[p] = op.source;
       }
@@ -712,7 +840,7 @@ QuantizedGraph::NodeProfile::~NodeProfile() {
       close = true;
     }
   }
-  std::fprintf(f, "[");
+  std::fprintf(f, "{\"nodes\": [");
   for (std::size_t i = 0; i < source.size(); ++i) {
     std::fprintf(
         f, "%s\n {\"index\":%zu,\"source\":\"%s\",\"kind\":\"%s\",\"ns\":%lld,"
@@ -723,7 +851,46 @@ QuantizedGraph::NodeProfile::~NodeProfile() {
         fused_from[i].empty() ? "" : "\"", fused_from[i].c_str(),
         fused_from[i].empty() ? "" : "\"");
   }
-  std::fprintf(f, "\n]\n");
+  // Per-op-kind aggregate, heaviest kind first: where the graph's time goes
+  // at a glance (a fused-away node keeps its kind but accumulates ~0 ns, so
+  // folded rescale/relu rows visibly drain out of this table).
+  struct KindRow {
+    std::string name;
+    std::int64_t nodes = 0;
+    std::int64_t total_ns = 0;
+  };
+  std::vector<KindRow> rows;
+  std::int64_t graph_ns = 0;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const std::int64_t t = ns[i].load(std::memory_order_relaxed);
+    graph_ns += t;
+    auto it = std::find_if(rows.begin(), rows.end(),
+                           [&](const KindRow& r) { return r.name == kind[i]; });
+    if (it == rows.end()) {
+      rows.push_back({kind[i], 1, t});
+    } else {
+      ++it->nodes;
+      it->total_ns += t;
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const KindRow& a, const KindRow& b) {
+                     return a.total_ns > b.total_ns;
+                   });
+  std::fprintf(f, "\n],\n \"kinds\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double pct =
+        graph_ns > 0 ? 100.0 * static_cast<double>(rows[i].total_ns) /
+                           static_cast<double>(graph_ns)
+                     : 0.0;
+    std::fprintf(f,
+                 "%s\n {\"kind\":\"%s\",\"nodes\":%lld,\"ns\":%lld,"
+                 "\"pct\":%.1f}",
+                 i == 0 ? "" : ",", rows[i].name.c_str(),
+                 static_cast<long long>(rows[i].nodes),
+                 static_cast<long long>(rows[i].total_ns), pct);
+  }
+  std::fprintf(f, "\n]}\n");
   if (close) std::fclose(f);
 }
 
@@ -764,7 +931,8 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
     switch (op.kind) {
       case QOpKind::kConv2d:
         vals[i] = conv2d(x, op.weight, op.bias, op.stride, op.pad, op.out_fmt,
-                         kRtn, &op.wcache, op.fused_relu);
+                         kRtn, &op.wcache, op.fused_relu,
+                         op.fused_rescale ? &op.fused_out_fmt : nullptr);
         break;
       case QOpKind::kRelu:
         // Steal the input when this is its last use (the common case: relu
@@ -780,7 +948,18 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
         if (!op.fused_away) relu(vals[i]);
         break;
       case QOpKind::kRescale:
-        vals[i] = rescale(x, op.out_fmt);
+        // Folded into the producer's requant epilogue: the value already
+        // carries out_fmt, so forward it (stealing at last use, like relu).
+        if (op.fused_away) {
+          if (op.input >= 0 &&
+              last_use[static_cast<std::size_t>(op.input)] ==
+                  static_cast<int>(i))
+            vals[i] = std::move(vals[static_cast<std::size_t>(op.input)]);
+          else
+            vals[i] = x;
+        } else {
+          vals[i] = rescale(x, op.out_fmt);
+        }
         break;
       case QOpKind::kPrimaryCaps:
         vals[i] = exec_primary_caps(op, x);
@@ -826,7 +1005,10 @@ QTensor QuantizedGraph::forward(const tensor::Tensor& images) const {
     // is O(numel) over a value the op just wrote — noise next to the conv
     // that produced it — and touches only relaxed atomics, so replica pools
     // can run it concurrently.
-    if (sat_ && op.kind != QOpKind::kRelu && op.kind != QOpKind::kFlatten) {
+    // A fused-away rescale forwards a value its producer already counted at
+    // the same composed rails — scanning it again would double-count.
+    if (sat_ && op.kind != QOpKind::kRelu && op.kind != QOpKind::kFlatten &&
+        !op.fused_away) {
       const QTensor& y = vals[i];
       const std::int64_t lo = y.fmt.raw_min(), hi = y.fmt.raw_max();
       std::uint64_t at_rail = 0;

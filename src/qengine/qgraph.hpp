@@ -87,6 +87,11 @@ struct QuantizedOp {
                             ///< time it aliases its input unchanged
   bool grouped = false;     ///< kConvCaps3d: per-type vote convs run as one
                             ///< grouped im2col + scattered GEMM batch
+  /// The following kRescale composed into this node's requant epilogue:
+  /// the node produces fused_out_fmt directly (one pass, exact on the RTN
+  /// grid) and the rescale node runs as an alias of its input.
+  bool fused_rescale = false;
+  fixed::FixedFormat fused_out_fmt{1, 15};
   /// kConvCaps3d: the per-type packed vote weights concatenated into one
   /// image (A operand of the grouped GEMM batch). Shared, not copied: the
   /// serving pool's N replicas of one graph all point at the same panels.
@@ -189,7 +194,13 @@ class QuantizedGraph {
   ///     node stays but becomes an alias of its input at run time);
   ///   - kConvCaps3d nodes whose per-type packed weights share a storage
   ///     tier get a concatenated operand cache and run as ONE grouped
-  ///     im2col + scattered-GEMM batch instead of Tin separate convs.
+  ///     im2col + scattered-GEMM batch instead of Tin separate convs;
+  ///   - kRescale whose producer is a kConv2d / kConvCaps / kPrimaryCaps /
+  ///     kConvCaps3d with no other consumer folds into the producer's
+  ///     requant epilogue when the two-step round-to-nearest composition is
+  ///     exact (compose_rescale below; upshifts and crossed composed rails
+  ///     reject-and-skip), so inter-layer width changes cost zero extra
+  ///     passes over the activation tensor.
   /// Fused execution is bit-identical to unfused (golden-locked). compile()
   /// and the .qcg loader call this when fuse_enabled(); idempotent.
   void fuse();
@@ -261,13 +272,24 @@ class QuantizedGraph {
   std::shared_ptr<NodeProfile> prof_;
 };
 
+/// Rescale-fold eligibility of node `i`, for tooling (qcg_tool info): ""
+/// when fuse() folds it into its producer (or already has), otherwise a
+/// short reason ("not a rescale", "producer kind", "producer shared",
+/// "inexact: upshift", ...). Mirrors fuse()'s decision exactly (shared
+/// helper). See qengine::compose_rescale for the exactness conditions.
+std::string rescale_fold_blocker(const QuantizedGraph& g, std::size_t i);
+
 // ---- standalone op implementations ----------------------------------------
 // Exposed so tests can exercise the new integer capabilities directly.
 
 /// Per-capsule squash of a channel-grouped feature map [B, T*D, H, W] (each
 /// (b, t, y, x) vector of length D squashed via the SquashUnit datapath).
+/// `fold_fmt`, when given, composes an exact trailing rescale
+/// out_fmt -> *fold_fmt into the output pass (the result carries *fold_fmt);
+/// the caller must have validated exactness via compose_rescale.
 QTensor squash_channels(const QTensor& s, std::int64_t caps_dim,
-                        fixed::FixedFormat out_fmt);
+                        fixed::FixedFormat out_fmt,
+                        const fixed::FixedFormat* fold_fmt = nullptr);
 
 /// Saturating raw addition of two same-shape, same-format tensors — the
 /// CapsBlock residual connection in fixed point. (Both operands sit on the

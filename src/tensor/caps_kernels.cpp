@@ -1,6 +1,7 @@
 #include "tensor/caps_kernels.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +94,63 @@ inline float squash_gain(float nsq, float eps) {
   return std::sqrt(nsq + eps) / (1.0f + nsq);
 }
 
+// ---- integer squash gain core ----------------------------------------------
+//
+// The SquashUnit datapath (hwmodel/units.cpp) replicated raw-for-raw; that
+// scalar unit is the oracle every tier is locked against. Normalization is
+// the branch-free form of the unit's while-loop: for s > 0 there is exactly
+// one even e with m = s / 2^e in [2^qf, 2^(qf+2)), namely the parity round-up
+// of bit_width(s) - qf - 2, so both derivations land on the same (m, e).
+
+// Tail shared by every tier after the Newton-Raphson value y ~ 1/sqrt(m) is
+// known: undo the exponent, then gain = (1 - 1/(1 + nsq)) / sqrt(nsq).
+inline std::int64_t squash_gain_finish(std::int64_t s, std::int64_t y,
+                                       int half_e, int qf) {
+  std::int64_t inv_sqrt;
+  if (half_e > 0) {
+    inv_sqrt = y >> std::min(half_e, 62);
+  } else if (half_e < 0) {
+    const int up = -half_e;
+    inv_sqrt = up >= 30 ? std::int64_t{1} << 53  // saturate for tiny s
+                        : y << up;
+  } else {
+    inv_sqrt = y;
+  }
+  const std::int64_t one = std::int64_t{1} << qf;
+  const std::int64_t denom = one + s;
+  const std::int64_t inv_denom = (one << qf) / denom;
+  const std::int64_t ratio = one - inv_denom;
+  return (ratio * inv_sqrt) >> qf;
+}
+
+inline std::int64_t squash_gain_one(std::int64_t s, int qf) {
+  if (s <= 0) return 0;
+  const std::int64_t one = std::int64_t{1} << qf;
+  const int e0 =
+      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(s))) - qf - 2;
+  const int e = e0 + (e0 & 1);  // e0 & 1 == 1 for negative odd e0 too
+  const std::int64_t m = e >= 0 ? s >> e : s << -e;
+  // Seed: 1/sqrt(m) in (0.5, 1]; two-segment linear fit within ~8% on [1, 4).
+  std::int64_t y = m < 2 * one ? one - ((m - one) >> 2)
+                               : (3 * one >> 2) - ((m - 2 * one) >> 3);
+  const std::int64_t three = 3 * one;
+  for (int it = 0; it < 4; ++it) {
+    const std::int64_t y2 = (y * y) >> qf;
+    const std::int64_t my2 = (m * y2) >> qf;
+    y = (y * (three - my2)) >> (qf + 1);
+  }
+  return squash_gain_finish(s, y, e / 2, qf);
+}
+
+// Base offset of the couplings slab for flattened (r, j) index t. The legacy
+// layout is [r, nin, nout] (per-slab stride nout; the base picks column j of
+// sample r); the transposed layout [r, nout, nin] keeps each slab contiguous
+// (cstride == 1), which is how the transposed-batch softmax leaves them.
+inline std::int64_t coupling_base(std::int64_t t, std::int64_t nin,
+                                  std::int64_t nout, std::int64_t cstride) {
+  return cstride == 1 ? t * nin : (t / nout) * nin * nout + t % nout;
+}
+
 // ---- scalar tier -----------------------------------------------------------
 //
 // Plain loops over the j-major slabs; the portable fallback every non-AVX
@@ -108,67 +166,68 @@ inline void squash_row(const float* s, float* v, std::int64_t d, float eps) {
 }
 
 inline void ws_slab(const float* ur, const float* cs, float* srow,
-                    std::int64_t nin, std::int64_t nout, std::int64_t d) {
+                    std::int64_t nin, std::int64_t cstride, std::int64_t d) {
   std::fill(srow, srow + d, 0.0f);
   for (std::int64_t i = 0; i < nin; ++i) {
-    const float cij = cs[i * nout];
+    const float cij = cs[i * cstride];
     const float* uv = ur + i * d;
     for (std::int64_t k = 0; k < d; ++k) srow[k] += cij * uv[k];
   }
 }
 
 void ws(const float* u, const float* c, float* s, std::int64_t nin,
-        std::int64_t nout, std::int64_t d, std::int64_t t0, std::int64_t t1) {
+        std::int64_t nout, std::int64_t cstride, std::int64_t d,
+        std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
-            nin, nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride),
+            s + t * d, nin, cstride, d);
 }
 
 void ws_squash(const float* u, const float* c, float* s, float* v,
-               std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
-               std::int64_t t0, std::int64_t t1) {
+               std::int64_t nin, std::int64_t nout, std::int64_t cstride,
+               std::int64_t d, float eps, std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     float* srow = s + t * d;
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
-            nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride), srow,
+            nin, cstride, d);
     squash_row(srow, v + t * d, d, eps);
   }
 }
 
 inline void agree_slab(const float* ur, const float* vrow, float* os,
-                       std::int64_t nin, std::int64_t nout, std::int64_t d,
+                       std::int64_t nin, std::int64_t cstride, std::int64_t d,
                        bool accumulate) {
   for (std::int64_t i = 0; i < nin; ++i) {
     const float* uv = ur + i * d;
     float acc = 0.0f;
     for (std::int64_t k = 0; k < d; ++k) acc += uv[k] * vrow[k];
     if (accumulate)
-      os[i * nout] += acc;
+      os[i * cstride] += acc;
     else
-      os[i * nout] = acc;
+      os[i * cstride] = acc;
   }
 }
 
 void agree(const float* u, const float* v, float* out, std::int64_t nin,
-           std::int64_t nout, std::int64_t d, bool accumulate, std::int64_t t0,
-           std::int64_t t1) {
+           std::int64_t nout, std::int64_t cstride, std::int64_t d,
+           bool accumulate, std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
     agree_slab(u + t * nin * d, v + t * d,
-               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               out + coupling_base(t, nin, nout, cstride), nin, cstride, d,
                accumulate);
 }
 
 void iter_fused(const float* u, const float* c, float* s, float* v, float* b,
-                std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
-                std::int64_t t0, std::int64_t t1) {
+                std::int64_t nin, std::int64_t nout, std::int64_t cstride,
+                std::int64_t d, float eps, std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     const float* ur = u + t * nin * d;
-    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const std::int64_t cbase = coupling_base(t, nin, nout, cstride);
     float* srow = s + t * d;
     float* vrow = v + t * d;
-    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    ws_slab(ur, c + cbase, srow, nin, cstride, d);
     squash_row(srow, vrow, d, eps);
-    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+    agree_slab(ur, vrow, b + cbase, nin, cstride, d, /*accumulate=*/true);
   }
 }
 
@@ -276,6 +335,11 @@ void squash_bwd(const float* s, const float* g, float* gs, std::int64_t d,
   }
 }
 
+void gain_n(const std::int64_t* nsq, std::int64_t* gain, std::int64_t n,
+            int qf) {
+  for (std::int64_t i = 0; i < n; ++i) gain[i] = squash_gain_one(nsq[i], qf);
+}
+
 }  // namespace scalar
 
 #ifdef QCAPS_CAPS_X86_NATIVE
@@ -337,14 +401,14 @@ __attribute__((target("avx2,fma"))) inline void squash_row(const float* s,
 
 __attribute__((target("avx2,fma"))) inline void ws_slab(
     const float* ur, const float* cs, float* srow, std::int64_t nin,
-    std::int64_t nout, std::int64_t d) {
+    std::int64_t cstride, std::int64_t d) {
   if (d == 16) {
     __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
     __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
     std::int64_t i = 0;
     for (; i + 2 <= nin; i += 2) {
-      const __m256 c0 = _mm256_broadcast_ss(cs + i * nout);
-      const __m256 c1 = _mm256_broadcast_ss(cs + (i + 1) * nout);
+      const __m256 c0 = _mm256_broadcast_ss(cs + i * cstride);
+      const __m256 c1 = _mm256_broadcast_ss(cs + (i + 1) * cstride);
       const float* u0 = ur + i * 16;
       a0 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(u0), a0);
       a1 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(u0 + 8), a1);
@@ -352,7 +416,7 @@ __attribute__((target("avx2,fma"))) inline void ws_slab(
       b1 = _mm256_fmadd_ps(c1, _mm256_loadu_ps(u0 + 24), b1);
     }
     if (i < nin) {
-      const __m256 c0 = _mm256_broadcast_ss(cs + i * nout);
+      const __m256 c0 = _mm256_broadcast_ss(cs + i * cstride);
       a0 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(ur + i * 16), a0);
       a1 = _mm256_fmadd_ps(c0, _mm256_loadu_ps(ur + i * 16 + 8), a1);
     }
@@ -363,24 +427,24 @@ __attribute__((target("avx2,fma"))) inline void ws_slab(
     __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
     std::int64_t i = 0;
     for (; i + 4 <= nin; i += 4) {
-      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * cstride),
                            _mm256_loadu_ps(ur + i * 8), a0);
-      a1 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 1) * nout),
+      a1 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 1) * cstride),
                            _mm256_loadu_ps(ur + i * 8 + 8), a1);
-      a2 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 2) * nout),
+      a2 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 2) * cstride),
                            _mm256_loadu_ps(ur + i * 8 + 16), a2);
-      a3 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 3) * nout),
+      a3 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + (i + 3) * cstride),
                            _mm256_loadu_ps(ur + i * 8 + 24), a3);
     }
     for (; i < nin; ++i)
-      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+      a0 = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * cstride),
                            _mm256_loadu_ps(ur + i * 8), a0);
     _mm256_storeu_ps(srow,
                      _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3)));
   } else {
     std::fill(srow, srow + d, 0.0f);
     for (std::int64_t i = 0; i < nin; ++i) {
-      const float cij = cs[i * nout];
+      const float cij = cs[i * cstride];
       const __m256 cb = _mm256_set1_ps(cij);
       const float* uv = ur + i * d;
       std::int64_t k = 0;
@@ -394,28 +458,30 @@ __attribute__((target("avx2,fma"))) inline void ws_slab(
 
 __attribute__((target("avx2,fma"))) void ws(const float* u, const float* c,
                                             float* s, std::int64_t nin,
-                                            std::int64_t nout, std::int64_t d,
-                                            std::int64_t t0, std::int64_t t1) {
+                                            std::int64_t nout,
+                                            std::int64_t cstride,
+                                            std::int64_t d, std::int64_t t0,
+                                            std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
-            nin, nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride),
+            s + t * d, nin, cstride, d);
 }
 
 __attribute__((target("avx2,fma"))) void ws_squash(
     const float* u, const float* c, float* s, float* v, std::int64_t nin,
-    std::int64_t nout, std::int64_t d, float eps, std::int64_t t0,
-    std::int64_t t1) {
+    std::int64_t nout, std::int64_t cstride, std::int64_t d, float eps,
+    std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     float* srow = s + t * d;
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
-            nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride), srow,
+            nin, cstride, d);
     squash_row(srow, v + t * d, d, eps);
   }
 }
 
 __attribute__((target("avx2,fma"))) inline void agree_slab(
     const float* ur, const float* vrow, float* os, std::int64_t nin,
-    std::int64_t nout, std::int64_t d, bool accumulate) {
+    std::int64_t cstride, std::int64_t d, bool accumulate) {
   {
     if (d == 16) {
       const __m256 v0 = _mm256_loadu_ps(vrow);
@@ -430,11 +496,11 @@ __attribute__((target("avx2,fma"))) inline void agree_slab(
         const float dot0 = hsum8(d0);
         const float dot1 = hsum8(d1);
         if (accumulate) {
-          os[i * nout] += dot0;
-          os[(i + 1) * nout] += dot1;
+          os[i * cstride] += dot0;
+          os[(i + 1) * cstride] += dot1;
         } else {
-          os[i * nout] = dot0;
-          os[(i + 1) * nout] = dot1;
+          os[i * cstride] = dot0;
+          os[(i + 1) * cstride] = dot1;
         }
       }
       if (i < nin) {
@@ -442,18 +508,18 @@ __attribute__((target("avx2,fma"))) inline void agree_slab(
         d0 = _mm256_fmadd_ps(_mm256_loadu_ps(ur + i * 16 + 8), v1, d0);
         const float dot = hsum8(d0);
         if (accumulate)
-          os[i * nout] += dot;
+          os[i * cstride] += dot;
         else
-          os[i * nout] = dot;
+          os[i * cstride] = dot;
       }
     } else if (d == 8) {
       const __m256 v0 = _mm256_loadu_ps(vrow);
       for (std::int64_t i = 0; i < nin; ++i) {
         const float dot = hsum8(_mm256_mul_ps(_mm256_loadu_ps(ur + i * 8), v0));
         if (accumulate)
-          os[i * nout] += dot;
+          os[i * cstride] += dot;
         else
-          os[i * nout] = dot;
+          os[i * cstride] = dot;
       }
     } else {
       for (std::int64_t i = 0; i < nin; ++i) {
@@ -469,9 +535,9 @@ __attribute__((target("avx2,fma"))) inline void agree_slab(
         }
         for (; k < d; ++k) dot += uv[k] * vrow[k];
         if (accumulate)
-          os[i * nout] += dot;
+          os[i * cstride] += dot;
         else
-          os[i * nout] = dot;
+          os[i * cstride] = dot;
       }
     }
   }
@@ -480,27 +546,28 @@ __attribute__((target("avx2,fma"))) inline void agree_slab(
 __attribute__((target("avx2,fma"))) void agree(const float* u, const float* v,
                                                float* out, std::int64_t nin,
                                                std::int64_t nout,
+                                               std::int64_t cstride,
                                                std::int64_t d, bool accumulate,
                                                std::int64_t t0,
                                                std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
     agree_slab(u + t * nin * d, v + t * d,
-               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               out + coupling_base(t, nin, nout, cstride), nin, cstride, d,
                accumulate);
 }
 
 __attribute__((target("avx2,fma"))) void iter_fused(
     const float* u, const float* c, float* s, float* v, float* b,
-    std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
-    std::int64_t t0, std::int64_t t1) {
+    std::int64_t nin, std::int64_t nout, std::int64_t cstride, std::int64_t d,
+    float eps, std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     const float* ur = u + t * nin * d;
-    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const std::int64_t cbase = coupling_base(t, nin, nout, cstride);
     float* srow = s + t * d;
     float* vrow = v + t * d;
-    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    ws_slab(ur, c + cbase, srow, nin, cstride, d);
     squash_row(srow, vrow, d, eps);
-    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+    agree_slab(ur, vrow, b + cbase, nin, cstride, d, /*accumulate=*/true);
   }
 }
 
@@ -747,6 +814,77 @@ __attribute__((target("avx2,fma"))) void squash_bwd(const float* s,
   }
 }
 
+// Integer squash gain, 4 int64 norms per iteration. The Newton-Raphson
+// body runs vectorized: every operand is < 4 << qf <= 2^30 by construction,
+// so the 64x64 products reduce to _mm256_mul_epu32 on the low halves. The
+// normalization (lzcnt math), the ratio division, and the final wide product
+// stay scalar per lane — they are a fixed handful of ops next to the 4x3
+// multiplies of the NR rounds. A conservative mask (negative NR residual or
+// y leaving 32 bits) falls the whole block back to the scalar element.
+__attribute__((target("avx2"))) void gain_n(const std::int64_t* nsq,
+                                            std::int64_t* gain, std::int64_t n,
+                                            int qf) {
+  const std::int64_t one = std::int64_t{1} << qf;
+  const __m256i vone = _mm256_set1_epi64x(one);
+  const __m256i vtwo_one = _mm256_set1_epi64x(2 * one);
+  const __m256i vthree = _mm256_set1_epi64x(3 * one);
+  const __m256i vseed_hi = _mm256_set1_epi64x(3 * one >> 2);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vy_cap = _mm256_set1_epi64x(std::int64_t{1} << 31);
+  const __m128i cqf = _mm_cvtsi32_si128(qf);
+  const __m128i cqf1 = _mm_cvtsi32_si128(qf + 1);
+  alignas(32) std::int64_t mbuf[4], ybuf[4];
+  int half_e[4];
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const std::int64_t s = nsq[i + l];
+      if (s <= 0) {  // zero vector: lane runs on a dummy m, result forced 0
+        mbuf[l] = one;
+        half_e[l] = 0;
+        continue;
+      }
+      const int e0 = static_cast<int>(
+                         std::bit_width(static_cast<std::uint64_t>(s))) -
+                     qf - 2;
+      const int e = e0 + (e0 & 1);
+      mbuf[l] = e >= 0 ? s >> e : s << -e;
+      half_e[l] = e / 2;
+    }
+    const __m256i m =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(mbuf));
+    // Two-segment seed: both branches evaluated, blended on m < 2. The
+    // discarded lane of the high branch may shift a negative value
+    // logically — it never survives the blend.
+    const __m256i ya = _mm256_sub_epi64(
+        vone, _mm256_srli_epi64(_mm256_sub_epi64(m, vone), 2));
+    const __m256i yb = _mm256_sub_epi64(
+        vseed_hi, _mm256_srli_epi64(_mm256_sub_epi64(m, vtwo_one), 3));
+    __m256i y = _mm256_blendv_epi8(yb, ya, _mm256_cmpgt_epi64(vtwo_one, m));
+    __m256i bad = vzero;
+    for (int it = 0; it < 4; ++it) {
+      const __m256i y2 = _mm256_srl_epi64(_mm256_mul_epu32(y, y), cqf);
+      const __m256i my2 = _mm256_srl_epi64(_mm256_mul_epu32(m, y2), cqf);
+      const __m256i t = _mm256_sub_epi64(vthree, my2);
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi64(vzero, t));
+      y = _mm256_srl_epi64(_mm256_mul_epu32(y, t), cqf1);
+      bad = _mm256_or_si256(bad, _mm256_cmpgt_epi64(y, vy_cap));
+    }
+    if (_mm256_movemask_epi8(bad) != 0) {
+      for (int l = 0; l < 4; ++l)
+        gain[i + l] = squash_gain_one(nsq[i + l], qf);
+      continue;
+    }
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ybuf), y);
+    for (int l = 0; l < 4; ++l)
+      gain[i + l] =
+          nsq[i + l] <= 0
+              ? 0
+              : squash_gain_finish(nsq[i + l], ybuf[l], half_e[l], qf);
+  }
+  for (; i < n; ++i) gain[i] = squash_gain_one(nsq[i], qf);
+}
+
 }  // namespace avx2
 
 // ---- AVX-512F tier ---------------------------------------------------------
@@ -852,23 +990,23 @@ __attribute__((target("avx512f"))) inline __m256 fold256(__m512 x) {
 // though every AVX-512F CPU has it.
 __attribute__((target("avx512f,fma"))) inline void ws_slab(
     const float* ur, const float* cs, float* srow, std::int64_t nin,
-    std::int64_t nout, std::int64_t d) {
+    std::int64_t cstride, std::int64_t d) {
   if (d == 16) {
     __m512 a0 = _mm512_setzero_ps(), a1 = _mm512_setzero_ps();
     __m512 a2 = _mm512_setzero_ps(), a3 = _mm512_setzero_ps();
     std::int64_t i = 0;
     for (; i + 4 <= nin; i += 4) {
       const float* u0 = ur + i * 16;
-      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * nout]), _mm512_loadu_ps(u0), a0);
-      a1 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 1) * nout]),
+      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * cstride]), _mm512_loadu_ps(u0), a0);
+      a1 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 1) * cstride]),
                            _mm512_loadu_ps(u0 + 16), a1);
-      a2 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 2) * nout]),
+      a2 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 2) * cstride]),
                            _mm512_loadu_ps(u0 + 32), a2);
-      a3 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 3) * nout]),
+      a3 = _mm512_fmadd_ps(_mm512_set1_ps(cs[(i + 3) * cstride]),
                            _mm512_loadu_ps(u0 + 48), a3);
     }
     for (; i < nin; ++i)
-      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * nout]),
+      a0 = _mm512_fmadd_ps(_mm512_set1_ps(cs[i * cstride]),
                            _mm512_loadu_ps(ur + i * 16), a0);
     _mm512_storeu_ps(srow,
                      _mm512_add_ps(_mm512_add_ps(a0, a1), _mm512_add_ps(a2, a3)));
@@ -881,23 +1019,23 @@ __attribute__((target("avx512f,fma"))) inline void ws_slab(
     std::int64_t i = 0;
     for (; i + 4 <= nin; i += 4) {
       const __m512 c01 =
-          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[i * nout]),
-                               _mm512_set1_ps(cs[(i + 1) * nout]));
+          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[i * cstride]),
+                               _mm512_set1_ps(cs[(i + 1) * cstride]));
       const __m512 c23 =
-          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[(i + 2) * nout]),
-                               _mm512_set1_ps(cs[(i + 3) * nout]));
+          _mm512_mask_blend_ps(0xFF00, _mm512_set1_ps(cs[(i + 2) * cstride]),
+                               _mm512_set1_ps(cs[(i + 3) * cstride]));
       a0 = _mm512_fmadd_ps(c01, _mm512_loadu_ps(ur + i * 8), a0);
       a1 = _mm512_fmadd_ps(c23, _mm512_loadu_ps(ur + (i + 2) * 8), a1);
     }
     __m256 acc = fold256(_mm512_add_ps(a0, a1));
     for (; i < nin; ++i)
-      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * nout),
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(cs + i * cstride),
                             _mm256_loadu_ps(ur + i * 8), acc);
     _mm256_storeu_ps(srow, acc);
   } else {
     std::fill(srow, srow + d, 0.0f);
     for (std::int64_t i = 0; i < nin; ++i) {
-      const float cij = cs[i * nout];
+      const float cij = cs[i * cstride];
       const __m512 cb = _mm512_set1_ps(cij);
       const float* uv = ur + i * d;
       std::int64_t k = 0;
@@ -917,21 +1055,23 @@ __attribute__((target("avx512f,fma"))) inline void ws_slab(
 
 __attribute__((target("avx512f"))) void ws(const float* u, const float* c,
                                            float* s, std::int64_t nin,
-                                           std::int64_t nout, std::int64_t d,
-                                           std::int64_t t0, std::int64_t t1) {
+                                           std::int64_t nout,
+                                           std::int64_t cstride,
+                                           std::int64_t d, std::int64_t t0,
+                                           std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, s + t * d,
-            nin, nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride),
+            s + t * d, nin, cstride, d);
 }
 
 __attribute__((target("avx512f"))) void ws_squash(
     const float* u, const float* c, float* s, float* v, std::int64_t nin,
-    std::int64_t nout, std::int64_t d, float eps, std::int64_t t0,
-    std::int64_t t1) {
+    std::int64_t nout, std::int64_t cstride, std::int64_t d, float eps,
+    std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     float* srow = s + t * d;
-    ws_slab(u + t * nin * d, c + (t / nout) * nin * nout + t % nout, srow, nin,
-            nout, d);
+    ws_slab(u + t * nin * d, c + coupling_base(t, nin, nout, cstride), srow,
+            nin, cstride, d);
     squash_row(srow, v + t * d, d, eps);
   }
 }
@@ -952,7 +1092,7 @@ __attribute__((target("avx512f"))) inline __m128 dots4x16(const float* u0,
 
 __attribute__((target("avx512f"))) inline void scatter4(__m128 dots, float* os,
                                                         std::int64_t ib,
-                                                        std::int64_t nout,
+                                                        std::int64_t cstride,
                                                         bool accumulate) {
   const float dot0 = _mm_cvtss_f32(dots);
   const float dot1 = _mm_cvtss_f32(_mm_movehdup_ps(dots));
@@ -960,21 +1100,21 @@ __attribute__((target("avx512f"))) inline void scatter4(__m128 dots, float* os,
   const float dot3 =
       _mm_cvtss_f32(_mm_shuffle_ps(dots, dots, _MM_SHUFFLE(3, 3, 3, 3)));
   if (accumulate) {
-    os[ib * nout] += dot0;
-    os[(ib + 1) * nout] += dot1;
-    os[(ib + 2) * nout] += dot2;
-    os[(ib + 3) * nout] += dot3;
+    os[ib * cstride] += dot0;
+    os[(ib + 1) * cstride] += dot1;
+    os[(ib + 2) * cstride] += dot2;
+    os[(ib + 3) * cstride] += dot3;
   } else {
-    os[ib * nout] = dot0;
-    os[(ib + 1) * nout] = dot1;
-    os[(ib + 2) * nout] = dot2;
-    os[(ib + 3) * nout] = dot3;
+    os[ib * cstride] = dot0;
+    os[(ib + 1) * cstride] = dot1;
+    os[(ib + 2) * cstride] = dot2;
+    os[(ib + 3) * cstride] = dot3;
   }
 }
 
 __attribute__((target("avx512f"))) inline void agree_slab(
     const float* ur, const float* vrow, float* os, std::int64_t nin,
-    std::int64_t nout, std::int64_t d, bool accumulate) {
+    std::int64_t cstride, std::int64_t d, bool accumulate) {
   {
     if (d == 16) {
       const __m512 v0 = _mm512_loadu_ps(vrow);
@@ -984,17 +1124,17 @@ __attribute__((target("avx512f"))) inline void agree_slab(
       for (; i + 8 <= nin; i += 8) {
         const __m128 a = dots4x16(ur + i * 16, v0);
         const __m128 b = dots4x16(ur + (i + 4) * 16, v0);
-        scatter4(a, os, i, nout, accumulate);
-        scatter4(b, os, i + 4, nout, accumulate);
+        scatter4(a, os, i, cstride, accumulate);
+        scatter4(b, os, i + 4, cstride, accumulate);
       }
       for (; i + 4 <= nin; i += 4)
-        scatter4(dots4x16(ur + i * 16, v0), os, i, nout, accumulate);
+        scatter4(dots4x16(ur + i * 16, v0), os, i, cstride, accumulate);
       for (; i < nin; ++i) {
         const float dot = hsum16(_mm512_mul_ps(_mm512_loadu_ps(ur + i * 16), v0));
         if (accumulate)
-          os[i * nout] += dot;
+          os[i * cstride] += dot;
         else
-          os[i * nout] = dot;
+          os[i * cstride] = dot;
       }
     } else {
       for (std::int64_t i = 0; i < nin; ++i) {
@@ -1011,9 +1151,9 @@ __attribute__((target("avx512f"))) inline void agree_slab(
         }
         const float dot = hsum16(acc);
         if (accumulate)
-          os[i * nout] += dot;
+          os[i * cstride] += dot;
         else
-          os[i * nout] = dot;
+          os[i * cstride] = dot;
       }
     }
   }
@@ -1021,27 +1161,29 @@ __attribute__((target("avx512f"))) inline void agree_slab(
 
 __attribute__((target("avx512f"))) void agree(const float* u, const float* v,
                                               float* out, std::int64_t nin,
-                                              std::int64_t nout, std::int64_t d,
-                                              bool accumulate, std::int64_t t0,
+                                              std::int64_t nout,
+                                              std::int64_t cstride,
+                                              std::int64_t d, bool accumulate,
+                                              std::int64_t t0,
                                               std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t)
     agree_slab(u + t * nin * d, v + t * d,
-               out + (t / nout) * nin * nout + t % nout, nin, nout, d,
+               out + coupling_base(t, nin, nout, cstride), nin, cstride, d,
                accumulate);
 }
 
 __attribute__((target("avx512f"))) void iter_fused(
     const float* u, const float* c, float* s, float* v, float* b,
-    std::int64_t nin, std::int64_t nout, std::int64_t d, float eps,
-    std::int64_t t0, std::int64_t t1) {
+    std::int64_t nin, std::int64_t nout, std::int64_t cstride, std::int64_t d,
+    float eps, std::int64_t t0, std::int64_t t1) {
   for (std::int64_t t = t0; t < t1; ++t) {
     const float* ur = u + t * nin * d;
-    const std::int64_t cbase = (t / nout) * nin * nout + t % nout;
+    const std::int64_t cbase = coupling_base(t, nin, nout, cstride);
     float* srow = s + t * d;
     float* vrow = v + t * d;
-    ws_slab(ur, c + cbase, srow, nin, nout, d);
+    ws_slab(ur, c + cbase, srow, nin, cstride, d);
     squash_row(srow, vrow, d, eps);
-    agree_slab(ur, vrow, b + cbase, nin, nout, d, /*accumulate=*/true);
+    agree_slab(ur, vrow, b + cbase, nin, cstride, d, /*accumulate=*/true);
   }
 }
 
@@ -1355,6 +1497,70 @@ __attribute__((target("avx512f"))) void squash_bwd(const float* s,
 
 #pragma GCC diagnostic pop
 
+// Integer squash gain, 8 int64 norms per iteration (same organization as
+// the AVX2 kernel — vectorized NR body, scalar normalization/finish, block
+// falls back to the scalar element when the conservative mask trips).
+__attribute__((target("avx512f"))) void gain_n(const std::int64_t* nsq,
+                                               std::int64_t* gain,
+                                               std::int64_t n, int qf) {
+  const std::int64_t one = std::int64_t{1} << qf;
+  const __m512i vone = _mm512_set1_epi64(one);
+  const __m512i vtwo_one = _mm512_set1_epi64(2 * one);
+  const __m512i vthree = _mm512_set1_epi64(3 * one);
+  const __m512i vseed_hi = _mm512_set1_epi64(3 * one >> 2);
+  const __m512i vzero = _mm512_setzero_si512();
+  const __m512i vy_cap = _mm512_set1_epi64(std::int64_t{1} << 31);
+  const __m128i cqf = _mm_cvtsi32_si128(qf);
+  const __m128i cqf1 = _mm_cvtsi32_si128(qf + 1);
+  alignas(64) std::int64_t mbuf[8], ybuf[8];
+  int half_e[8];
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (int l = 0; l < 8; ++l) {
+      const std::int64_t s = nsq[i + l];
+      if (s <= 0) {
+        mbuf[l] = one;
+        half_e[l] = 0;
+        continue;
+      }
+      const int e0 = static_cast<int>(
+                         std::bit_width(static_cast<std::uint64_t>(s))) -
+                     qf - 2;
+      const int e = e0 + (e0 & 1);
+      mbuf[l] = e >= 0 ? s >> e : s << -e;
+      half_e[l] = e / 2;
+    }
+    const __m512i m = _mm512_load_si512(mbuf);
+    const __m512i ya = _mm512_sub_epi64(
+        vone, _mm512_srli_epi64(_mm512_sub_epi64(m, vone), 2));
+    const __m512i yb = _mm512_sub_epi64(
+        vseed_hi, _mm512_srli_epi64(_mm512_sub_epi64(m, vtwo_one), 3));
+    __m512i y = _mm512_mask_blend_epi64(
+        _mm512_cmpgt_epi64_mask(vtwo_one, m), yb, ya);
+    __mmask8 bad = 0;
+    for (int it = 0; it < 4; ++it) {
+      const __m512i y2 = _mm512_srl_epi64(_mm512_mul_epu32(y, y), cqf);
+      const __m512i my2 = _mm512_srl_epi64(_mm512_mul_epu32(m, y2), cqf);
+      const __m512i t = _mm512_sub_epi64(vthree, my2);
+      bad |= _mm512_cmpgt_epi64_mask(vzero, t);
+      y = _mm512_srl_epi64(_mm512_mul_epu32(y, t), cqf1);
+      bad |= _mm512_cmpgt_epi64_mask(y, vy_cap);
+    }
+    if (bad != 0) {
+      for (int l = 0; l < 8; ++l)
+        gain[i + l] = squash_gain_one(nsq[i + l], qf);
+      continue;
+    }
+    _mm512_store_si512(ybuf, y);
+    for (int l = 0; l < 8; ++l)
+      gain[i + l] =
+          nsq[i + l] <= 0
+              ? 0
+              : squash_gain_finish(nsq[i + l], ybuf[l], half_e[l], qf);
+  }
+  for (; i < n; ++i) gain[i] = squash_gain_one(nsq[i], qf);
+}
+
 }  // namespace avx512
 
 #endif  // QCAPS_CAPS_X86_NATIVE
@@ -1363,15 +1569,15 @@ __attribute__((target("avx512f"))) void squash_bwd(const float* s,
 
 struct OpsTable {
   void (*ws)(const float*, const float*, float*, std::int64_t, std::int64_t,
-             std::int64_t, std::int64_t, std::int64_t);
+             std::int64_t, std::int64_t, std::int64_t, std::int64_t);
   void (*ws_squash)(const float*, const float*, float*, float*, std::int64_t,
-                    std::int64_t, std::int64_t, float, std::int64_t,
-                    std::int64_t);
+                    std::int64_t, std::int64_t, std::int64_t, float,
+                    std::int64_t, std::int64_t);
   void (*agree)(const float*, const float*, float*, std::int64_t, std::int64_t,
-                std::int64_t, bool, std::int64_t, std::int64_t);
+                std::int64_t, std::int64_t, bool, std::int64_t, std::int64_t);
   void (*iter_fused)(const float*, const float*, float*, float*, float*,
-                     std::int64_t, std::int64_t, std::int64_t, float,
-                     std::int64_t, std::int64_t);
+                     std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+                     float, std::int64_t, std::int64_t);
   void (*ws_bwd)(const float*, const float*, const float*, float*, float*,
                  std::int64_t, std::int64_t, std::int64_t, std::int64_t,
                  std::int64_t);
@@ -1385,6 +1591,7 @@ struct OpsTable {
                  std::int64_t);
   void (*squash_bwd)(const float*, const float*, float*, std::int64_t, float,
                      std::int64_t, std::int64_t);
+  void (*gain_n)(const std::int64_t*, std::int64_t*, std::int64_t, int);
   CapsKernel tier;
 };
 
@@ -1413,12 +1620,12 @@ OpsTable make_table(CapsKernel k) {
       return {avx512::ws,        avx512::ws_squash,  avx512::agree,
               avx512::iter_fused, avx512::ws_bwd,     avx512::agree_bwd,
               avx512::softmax,    avx512::softmax_t,  avx512::squash,
-              avx512::squash_bwd, CapsKernel::kAvx512};
+              avx512::squash_bwd, avx512::gain_n,     CapsKernel::kAvx512};
     case CapsKernel::kAvx2:
       return {avx2::ws,        avx2::ws_squash,  avx2::agree,
               avx2::iter_fused, avx2::ws_bwd,     avx2::agree_bwd,
               avx2::softmax,    avx2::softmax_t,  avx2::squash,
-              avx2::squash_bwd, CapsKernel::kAvx2};
+              avx2::squash_bwd, avx2::gain_n,     CapsKernel::kAvx2};
 #else
     case CapsKernel::kAvx512:
     case CapsKernel::kAvx2:
@@ -1429,7 +1636,7 @@ OpsTable make_table(CapsKernel k) {
   return {scalar::ws,        scalar::ws_squash,  scalar::agree,
           scalar::iter_fused, scalar::ws_bwd,     scalar::agree_bwd,
           scalar::softmax,    scalar::softmax_t,  scalar::squash,
-          scalar::squash_bwd, CapsKernel::kScalar};
+          scalar::squash_bwd, scalar::gain_n,     CapsKernel::kScalar};
 }
 
 OpsTable pick_default() {
@@ -1473,34 +1680,39 @@ void caps_reset_kernel() { g_ops = pick_default(); }
 
 void routing_weighted_sum(const float* u, const float* c, float* s,
                           std::int64_t r, std::int64_t nin, std::int64_t nout,
-                          std::int64_t d) {
+                          std::int64_t d, bool c_transposed) {
+  const std::int64_t cstride = c_transposed ? 1 : nout;
   run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
-    g_ops.ws(u, c, s, nin, nout, d, t0, t1);
+    g_ops.ws(u, c, s, nin, nout, cstride, d, t0, t1);
   });
 }
 
 void routing_weighted_sum_squash(const float* u, const float* c, float* s,
                                  float* v, std::int64_t r, std::int64_t nin,
-                                 std::int64_t nout, std::int64_t d, float eps) {
+                                 std::int64_t nout, std::int64_t d, float eps,
+                                 bool c_transposed) {
+  const std::int64_t cstride = c_transposed ? 1 : nout;
   run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
-    g_ops.ws_squash(u, c, s, v, nin, nout, d, eps, t0, t1);
+    g_ops.ws_squash(u, c, s, v, nin, nout, cstride, d, eps, t0, t1);
   });
 }
 
 void routing_agreement(const float* u, const float* v, float* out,
                        std::int64_t r, std::int64_t nin, std::int64_t nout,
-                       std::int64_t d, bool accumulate) {
+                       std::int64_t d, bool accumulate, bool out_transposed) {
+  const std::int64_t cstride = out_transposed ? 1 : nout;
   run_ranges(r * nout, nin * d, [&](std::int64_t t0, std::int64_t t1) {
-    g_ops.agree(u, v, out, nin, nout, d, accumulate, t0, t1);
+    g_ops.agree(u, v, out, nin, nout, cstride, d, accumulate, t0, t1);
   });
 }
 
 void routing_iteration_fused(const float* u, const float* c, float* s,
                              float* v, float* b, std::int64_t r,
                              std::int64_t nin, std::int64_t nout,
-                             std::int64_t d, float eps) {
+                             std::int64_t d, float eps, bool c_transposed) {
+  const std::int64_t cstride = c_transposed ? 1 : nout;
   run_ranges(r * nout, 2 * nin * d, [&](std::int64_t t0, std::int64_t t1) {
-    g_ops.iter_fused(u, c, s, v, b, nin, nout, d, eps, t0, t1);
+    g_ops.iter_fused(u, c, s, v, b, nin, nout, cstride, d, eps, t0, t1);
   });
 }
 
@@ -1550,6 +1762,14 @@ void squash_rows_backward(const float* s, const float* g, float* gs,
   run_ranges(rows, 3 * d, [&](std::int64_t r0, std::int64_t r1) {
     g_ops.squash_bwd(s, g, gs, d, eps, r0, r1);
   });
+}
+
+void squash_gain_raw_n(const std::int64_t* nsq, std::int64_t* gain,
+                       std::int64_t n, int qf) {
+  // No internal threading: callers batch per pixel-block inside their own
+  // parallel loops, so the call sees short arrays on a hot path.
+  if (n <= 0) return;
+  g_ops.gain_n(nsq, gain, n, qf);
 }
 
 }  // namespace qcaps::tensor

@@ -52,25 +52,32 @@ void caps_reset_kernel();
 
 // ---- routing forward -------------------------------------------------------
 
-/// s[r, j, :] = Σ_i c[r, i, j] * u[r, j, i, :]  (s is overwritten).
+/// s[r, j, :] = Σ_i c[r, i, j] * u[r, j, i, :]  (s is overwritten). With
+/// c_transposed the couplings are stored [r, nout, nin] — each (r, j) slab
+/// contiguous, as the transposed-batch softmax (softmax_rows_t) leaves them —
+/// instead of the legacy [r, nin, nout].
 void routing_weighted_sum(const float* u, const float* c, float* s,
                           std::int64_t r, std::int64_t nin, std::int64_t nout,
-                          std::int64_t d);
+                          std::int64_t d, bool c_transposed = false);
 
 /// Fused weighted sum + squash: also writes v[r, j, :] = squash(s[r, j, :])
 /// while the freshly accumulated s row is register/L1 resident. The squash
 /// is identical to nn::squash_last (gain n/(1+n^2), norm guarded by eps).
+/// c_transposed as in routing_weighted_sum.
 void routing_weighted_sum_squash(const float* u, const float* c, float* s,
                                  float* v, std::int64_t r, std::int64_t nin,
-                                 std::int64_t nout, std::int64_t d, float eps);
+                                 std::int64_t nout, std::int64_t d, float eps,
+                                 bool c_transposed = false);
 
 /// out[r, i, j] (+)= Σ_k u[r, j, i, k] * v[r, j, k]. With accumulate=true
 /// this is the fused agreement + logit update (out = b); with
 /// accumulate=false it materializes the agreement tensor a for a
-/// quantization point.
+/// quantization point. With out_transposed the logit/agreement tensor is
+/// stored [r, nout, nin] (see routing_weighted_sum).
 void routing_agreement(const float* u, const float* v, float* out,
                        std::int64_t r, std::int64_t nin, std::int64_t nout,
-                       std::int64_t d, bool accumulate);
+                       std::int64_t d, bool accumulate,
+                       bool out_transposed = false);
 
 /// Fully fused quantizer-free routing iteration: per (r, j) slab computes
 ///   s[r, j, :] = Σ_i c[r, i, j] u[r, j, i, :]
@@ -78,11 +85,15 @@ void routing_agreement(const float* u, const float* v, float* out,
 ///   b[r, i, j] += u[r, j, i, :] · v[r, j, :]
 /// in ONE pass over the votes slab — the agreement re-reads û from cache
 /// instead of streaming the tensor a second time, which matters once the
-/// votes outgrow L2 (DeepCaps/ShallowCaps head shapes).
+/// votes outgrow L2 (DeepCaps/ShallowCaps head shapes). With c_transposed
+/// both c and b are stored [r, nout, nin] (see routing_weighted_sum), so the
+/// couplings a transposed-batch softmax produced feed straight in and the
+/// updated logits stay slab-contiguous for the next softmax_rows_t.
 void routing_iteration_fused(const float* u, const float* c, float* s,
                              float* v, float* b, std::int64_t r,
                              std::int64_t nin, std::int64_t nout,
-                             std::int64_t d, float eps);
+                             std::int64_t d, float eps,
+                             bool c_transposed = false);
 
 // ---- routing backward ------------------------------------------------------
 
@@ -129,5 +140,20 @@ void squash_rows(const float* s, float* v, std::int64_t rows, std::int64_t d,
 /// gs = squash backward per row: gs = f*g + (f'/n)(s·g) s.
 void squash_rows_backward(const float* s, const float* g, float* gs,
                           std::int64_t rows, std::int64_t d, float eps);
+
+// ---- integer squash gain ---------------------------------------------------
+
+/// Batched integer squash gain: gain[i] = the hwmodel SquashUnit gain for
+/// squared norm nsq[i], everything at qf fractional bits — bit-for-bit the
+/// scalar `SquashUnit::gain_raw` datapath (that unit stays the oracle the
+/// tiers are locked against). The vector tiers run the Newton-Raphson
+/// inverse-sqrt iterations over 4/8 lanes of int64 norms (every NR operand
+/// fits 32 bits by construction: m, y < 4 << qf and qf <= 28); the
+/// per-element ratio division and the final wide product stay scalar. A
+/// conservative range mask falls any block whose intermediates leave the
+/// proven envelope back to the scalar element — same bits on every tier,
+/// only the throughput changes. nsq values must be >= 0; qf in [1, 28].
+void squash_gain_raw_n(const std::int64_t* nsq, std::int64_t* gain,
+                       std::int64_t n, int qf);
 
 }  // namespace qcaps::tensor

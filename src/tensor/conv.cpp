@@ -192,7 +192,6 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
 #pragma omp parallel
   {
     std::vector<float> cols(static_cast<std::size_t>(patch * ncols));
-    std::vector<float> gcols(static_cast<std::size_t>(patch * ncols));
     Tensor local_gw(weight.shape());
     Tensor local_gb = has_bias ? Tensor({g.out_c}) : Tensor();
 #pragma omp for schedule(static) nowait
@@ -202,10 +201,42 @@ Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
       im2col(input.data() + b * img_in, g, cols.data());
       gemm_ex(Trans::kN, Trans::kT, g.out_c, patch, ncols, go, ncols,
               cols.data(), ncols, local_gw.data(), patch, /*accumulate=*/true);
-      // grad_cols[patch, ncols] = W[F, patch]^T * gO[F, ncols]
-      gemm_ex(Trans::kT, Trans::kN, patch, ncols, g.out_c, weight.data(),
-              patch, go, ncols, gcols.data(), ncols, /*accumulate=*/false);
-      col2im(gcols.data(), g, grads.grad_input.data() + b * img_in);
+      // grad_cols[patch, ncols] = W[F, patch]^T * gO[F, ncols], scattered
+      // straight through the col2im map into this image's zeroed gradient:
+      // virtual-C row m0+i is patch entry (ch, ky, kx), column n0+j is output
+      // pixel (y, x), and the tile element lands on input pixel
+      // (y*stride + ky - pad, x*stride + kx - pad) when in bounds. The
+      // [patch, ncols] column matrix is never materialized, and K-blocked
+      // partial tiles are correct because the scatter accumulates.
+      float* gi = grads.grad_input.data() + b * img_in;
+      gemm_scatter_c(
+          Trans::kT, Trans::kN, patch, ncols, g.out_c, weight.data(), patch,
+          go, ncols,
+          [gi, &g, ow](std::int64_t m0, std::int64_t mr, std::int64_t n0,
+                       std::int64_t nr, const float* tile) {
+            for (std::int64_t i = 0; i < mr; ++i) {
+              const std::int64_t prow = m0 + i;
+              const std::int64_t kx = prow % g.kernel;
+              const std::int64_t ky = (prow / g.kernel) % g.kernel;
+              const std::int64_t ch = prow / (g.kernel * g.kernel);
+              float* plane = gi + ch * g.in_h * g.in_w;
+              const float* src = tile + i * kGemmNR;
+              std::int64_t iy = (n0 / ow) * g.stride + ky - g.pad;
+              std::int64_t ix = (n0 % ow) * g.stride + kx - g.pad;
+              std::int64_t x = n0 % ow;
+              for (std::int64_t j = 0; j < nr; ++j) {
+                if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w)
+                  plane[iy * g.in_w + ix] += src[j];
+                if (++x == ow) {
+                  x = 0;
+                  ix = kx - g.pad;
+                  iy += g.stride;
+                } else {
+                  ix += g.stride;
+                }
+              }
+            }
+          });
       if (has_bias) {
         for (std::int64_t f = 0; f < g.out_c; ++f) {
           const float* gorow = go + f * ncols;

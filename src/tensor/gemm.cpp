@@ -398,6 +398,41 @@ void gemm_batch(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
             c + i * stride_c, ldc, accumulate);
 }
 
+void gemm_scatter_c(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb,
+                    const ScatterCFn& scatter) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  // Same blocked walk as gemm_serial, with the write_tile store replaced by
+  // the sink. Deliberately no threading: the sink may fold distinct C
+  // coordinates onto one storage location (col2im overlap), which would race.
+  Scratch& s = scratch();
+  float* apack = s.a.data();
+  float* bpack = s.b.data();
+  const KernelFn kernel = g_choice.fn;
+  float tile[MR * NR];
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      pack_b_block(tb, b, ldb, pc, kc, jc, nc, bpack);
+      for (std::int64_t ic = 0; ic < m; ic += MC) {
+        const std::int64_t mc = std::min(MC, m - ic);
+        pack_a_block(ta, a, lda, ic, mc, pc, kc, apack);
+        for (std::int64_t jr = 0; jr < nc; jr += NR) {
+          const std::int64_t nr = std::min(NR, nc - jr);
+          const float* bstrip = bpack + (jr / NR) * (kc * NR);
+          for (std::int64_t ir = 0; ir < mc; ir += MR) {
+            const std::int64_t mr = std::min(MR, mc - ir);
+            kernel(kc, apack + (ir / MR) * (kc * MR), bstrip, tile);
+            scatter(ic + ir, mr, jc + jr, nr, tile);
+          }
+        }
+      }
+    }
+  }
+}
+
 void gemm_pack_b(std::int64_t m, std::int64_t n, std::int64_t k,
                  const float* a, std::int64_t lda, const PackBFn& pack_b,
                  float* c, std::int64_t ldc, bool accumulate) {

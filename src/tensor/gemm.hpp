@@ -77,6 +77,26 @@ void gemm_pack_b(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
                  std::int64_t lda, const PackBFn& pack_b, float* c,
                  std::int64_t ldc, bool accumulate);
 
+/// Consumes one finished microkernel tile of a virtual C: tile element
+/// (i, j) with i < mr, j < nr and row stride kGemmNR holds a product term of
+/// C[m0 + i, n0 + j]. When k exceeds the GEMM's K cache block the same
+/// coordinates are handed PARTIAL sums more than once, so sinks must
+/// accumulate (+=) into zero-initialized storage.
+using ScatterCFn = std::function<void(std::int64_t m0, std::int64_t mr,
+                                      std::int64_t n0, std::int64_t nr,
+                                      const float* tile)>;
+
+/// GEMM with a virtual C operand: computes op(A)[m,k] * op(B)[k,n] and hands
+/// every microkernel tile to `scatter` instead of storing a C matrix. This is
+/// the fused col2im path: conv backward scatters the input-gradient columns
+/// straight into the gradient image and never allocates the
+/// [patch, out_pixels] matrix. Runs single-threaded within the call — sinks
+/// like col2im write overlapping locations, so callers parallelize across
+/// independent invocations (e.g. per image) instead.
+void gemm_scatter_c(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                    std::int64_t k, const float* a, std::int64_t lda,
+                    const float* b, std::int64_t ldb, const ScatterCFn& scatter);
+
 /// Microkernel tiers, simplest first (mirrors the qgemm backend).
 enum class GemmKernel { kScalar, kAvx2, kAvx512 };
 

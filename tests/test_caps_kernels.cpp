@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "hwmodel/units.hpp"
 #include "nn/caps_ops.hpp"
 #include "nn/routing.hpp"
 #include "tensor/caps_kernels.hpp"
@@ -298,6 +299,51 @@ TEST(CapsKernels, SquashRowsMatchesScalarAllTiers) {
       squash_rows_backward(s.data(), g.data(), gs.data(), 23, d, 1e-8f);
       testutil::expect_tensor_near(v, v_ref, 1e-5f, tier_name(k));
       testutil::expect_tensor_near(gs, gs_ref, 1e-5f, tier_name(k));
+    });
+  }
+}
+
+TEST(CapsKernels, SquashGainRawMatchesSquashUnitOracleAllTiers) {
+  // Bit-exact lock of the batched integer gain against the scalar
+  // hwmodel::SquashUnit datapath (the oracle), on every tier, across the
+  // internal widths the graph uses and norms spanning the whole dynamic
+  // range: zeros, tiny values (inv-sqrt saturation), exact powers of two
+  // (normalization edges), and dense random coverage.
+  common::Rng rng(21);
+  for (const int qf : {12, 16, 20, 24, 28}) {
+    const fixed::FixedFormat fmt{4, qf};
+    const hwmodel::SquashUnit unit(fmt, qf);
+    std::vector<std::int64_t> nsq;
+    nsq.push_back(0);
+    for (int b = 0; b <= 60; ++b) {
+      nsq.push_back(std::int64_t{1} << b);
+      nsq.push_back((std::int64_t{1} << b) - 1);
+      nsq.push_back((std::int64_t{1} << b) + 1);
+    }
+    for (int i = 0; i < 1000; ++i) {
+      const int bits = 1 + static_cast<int>(rng.uniform() * 59.0f);
+      const std::uint64_t r =
+          (static_cast<std::uint64_t>(rng.uniform() * 4294967295.0f) << 32) ^
+          static_cast<std::uint64_t>(rng.uniform() * 4294967295.0f);
+      nsq.push_back(static_cast<std::int64_t>(
+          r & ((std::uint64_t{1} << bits) - 1)));
+    }
+    std::vector<std::int64_t> want(nsq.size());
+    for (std::size_t i = 0; i < nsq.size(); ++i)
+      want[i] = unit.gain_raw(nsq[i]);
+    for_each_tier([&](CapsKernel k) {
+      std::vector<std::int64_t> got(nsq.size(), -1);
+      squash_gain_raw_n(nsq.data(), got.data(),
+                        static_cast<std::int64_t>(nsq.size()), qf);
+      for (std::size_t i = 0; i < nsq.size(); ++i)
+        ASSERT_EQ(got[i], want[i])
+            << tier_name(k) << " qf " << qf << " nsq " << nsq[i];
+      // Odd lengths exercise the masked/scalar tail.
+      std::vector<std::int64_t> tail(nsq.begin(), nsq.begin() + 7);
+      std::vector<std::int64_t> tg(7, -1);
+      squash_gain_raw_n(tail.data(), tg.data(), 7, qf);
+      for (std::size_t i = 0; i < 7; ++i)
+        ASSERT_EQ(tg[i], want[i]) << tier_name(k) << " tail " << i;
     });
   }
 }

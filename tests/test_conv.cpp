@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm.hpp"
 #include "test_util.hpp"
 
 namespace qcaps::tensor {
@@ -138,6 +139,63 @@ TEST(ConvBackward, GradInputMatchesFiniteDifference) {
   auto grads = conv2d_backward(input, weight, head.grad(), 1, 1, true);
   auto loss = [&](const Tensor& in) {
     return head(conv2d_forward(in, weight, bias, 1, 1));
+  };
+  testutil::check_gradient(input, loss, grads.grad_input);
+}
+
+TEST(ConvBackward, FusedCol2imScatterMatchesMaterializedReference) {
+  // conv2d_backward scatters the W^T * gO product straight through the
+  // col2im map (gemm_scatter_c) instead of materializing grad_cols. Against
+  // the explicit gemm_ex + col2im composition only the order of the
+  // overlap-sum additions may differ, so the gradients must agree to float
+  // reassociation tolerance across stride/pad geometries.
+  common::Rng rng(7);
+  for (const auto& [stride, pad] :
+       {std::pair{1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 2}}) {
+    const Tensor input = Tensor::randn({2, 3, 9, 9}, rng);
+    const Tensor weight = Tensor::randn({4, 3, 3, 3}, rng, 0.0f, 0.5f);
+    const Tensor out = conv2d_forward(input, weight, Tensor(), stride, pad);
+    const Tensor grad_out = Tensor::randn(out.shape(), rng);
+    const auto grads =
+        conv2d_backward(input, weight, grad_out, stride, pad, false);
+
+    Conv2dGeom g;
+    g.in_c = 3;
+    g.in_h = 9;
+    g.in_w = 9;
+    g.out_c = 4;
+    g.kernel = 3;
+    g.stride = stride;
+    g.pad = pad;
+    const std::int64_t patch = g.in_c * g.kernel * g.kernel;
+    const std::int64_t ncols = g.out_h() * g.out_w();
+    Tensor want(input.shape());
+    std::vector<float> gcols(static_cast<std::size_t>(patch * ncols));
+    for (std::int64_t b = 0; b < 2; ++b) {
+      gemm_ex(Trans::kT, Trans::kN, patch, ncols, g.out_c, weight.data(),
+              patch, grad_out.data() + b * g.out_c * ncols, ncols,
+              gcols.data(), ncols, /*accumulate=*/false);
+      col2im(gcols.data(), g, want.data() + b * g.in_c * g.in_h * g.in_w);
+    }
+    const std::string label = "fused col2im stride=" + std::to_string(stride) +
+                              " pad=" + std::to_string(pad);
+    expect_tensor_near(grads.grad_input, want, 1e-4f, label.c_str());
+  }
+}
+
+TEST(ConvBackward, GradInputFiniteDifferenceThroughStridedScatter) {
+  // Finite-difference lock on the fused col2im backward over a geometry
+  // where the scatter is non-trivial: stride 2 with padding drops edge
+  // columns and interleaves kernel taps, and batch 2 runs the per-image
+  // parallel loop.
+  common::Rng rng(8);
+  const Tensor input = Tensor::randn({2, 2, 7, 7}, rng);
+  const Tensor weight = Tensor::randn({3, 2, 3, 3}, rng, 0.0f, 0.5f);
+  const Tensor out = conv2d_forward(input, weight, Tensor(), 2, 1);
+  const testutil::WeightedSum head(out.shape());
+  const auto grads = conv2d_backward(input, weight, head.grad(), 2, 1, false);
+  auto loss = [&](const Tensor& in) {
+    return head(conv2d_forward(in, weight, Tensor(), 2, 1));
   };
   testutil::check_gradient(input, loss, grads.grad_input);
 }

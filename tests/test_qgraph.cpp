@@ -471,6 +471,7 @@ TEST(QGraphFusion, CompileFoldsReluAndGroupsVoteConvs) {
     EXPECT_FALSE(op.fused_away);
     EXPECT_FALSE(op.grouped);
     EXPECT_EQ(op.grouped_cache, nullptr);
+    EXPECT_FALSE(op.fused_rescale);
   }
 }
 
@@ -584,6 +585,206 @@ TEST(QGraphFusion, SaturationCountersStayCoherentUnderFusion) {
   EXPECT_EQ(nf[1].kind, QOpKind::kRelu);
   EXPECT_EQ(nf[1].total, 0u);
   EXPECT_EQ(nf[1].saturated, 0u);
+}
+
+// ---- rescale-epilogue folding ----------------------------------------------
+
+// Widen the out_fmt of op `idx` to `wide` and insert a kRescale node right
+// after it converting back to the original format, rewiring every downstream
+// consumer onto the rescale. This reproduces the compiler's skip-rescale
+// shape (the only kRescale source today) on any producer kind, so the fold
+// pass can be exercised without a per-conv diverged quantization spec.
+std::vector<QuantizedOp> with_rescale_after(std::vector<QuantizedOp> ops,
+                                            int idx,
+                                            fixed::FixedFormat wide) {
+  QuantizedOp r;
+  r.kind = QOpKind::kRescale;
+  r.input = idx;
+  r.source = ops[static_cast<std::size_t>(idx)].source + "/width-restore";
+  r.out_fmt = ops[static_cast<std::size_t>(idx)].out_fmt;
+  ops[static_cast<std::size_t>(idx)].out_fmt = wide;
+  for (std::size_t i = static_cast<std::size_t>(idx) + 1; i < ops.size();
+       ++i) {
+    const auto fix = [&](int& v) {
+      if (v > idx)
+        ++v;
+      else if (v == idx)
+        v = idx + 1;
+    };
+    fix(ops[i].input);
+    fix(ops[i].input2);
+  }
+  ops.insert(ops.begin() + idx + 1, std::move(r));
+  return ops;
+}
+
+int find_op(const std::vector<QuantizedOp>& ops, QOpKind kind) {
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    if (ops[i].kind == kind) return static_cast<int>(i);
+  return -1;
+}
+
+// Lock the fold bit-exactly against the unfused twin on every producer kind
+// that supports it, and assert the annotation actually landed. fuse() is
+// called directly (not via the env gate), so the lock also runs — and must
+// hold — on the CI tiers: AVX2-capped, forced-scalar, and fusion-off lanes.
+void expect_fold_bit_exact(std::vector<QuantizedOp> ops,
+                           fixed::FixedFormat input_fmt, int producer,
+                           const tensor::Tensor& images) {
+  QuantizedGraph fused = QuantizedGraph::from_ops(ops, input_fmt);
+  fused.fuse();
+  ASSERT_EQ(rescale_fold_blocker(fused, static_cast<std::size_t>(producer) + 1),
+            "");
+  EXPECT_TRUE(fused.ops()[static_cast<std::size_t>(producer)].fused_rescale);
+  EXPECT_TRUE(fused.ops()[static_cast<std::size_t>(producer) + 1].fused_away);
+  const QuantizedGraph plain =
+      QuantizedGraph::from_ops(std::move(ops), input_fmt);
+  const QTensor want = plain.forward(images);
+  const QTensor got = fused.forward(images);
+  ASSERT_EQ(got.shape, want.shape);
+  ASSERT_TRUE(got.fmt == want.fmt);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QGraphRescaleFold, FoldsIntoConv2dEpilogue) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(70);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  std::vector<QuantizedOp> ops = g.ops();
+  const int conv = find_op(ops, QOpKind::kConv2d);
+  ASSERT_EQ(conv, 0);
+  // Widened conv target {3,8}; the restore rescale is a downshift by 2 —
+  // exactly composable into the conv requant.
+  expect_fold_bit_exact(
+      with_rescale_after(std::move(ops), conv, fixed::FixedFormat{3, 8}),
+      g.input_format(), conv, images);
+}
+
+TEST(QGraphRescaleFold, FoldsIntoPrimaryCapsSquash) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(71);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  std::vector<QuantizedOp> ops = g.ops();
+  const int prim = find_op(ops, QOpKind::kPrimaryCaps);
+  ASSERT_GE(prim, 0);
+  expect_fold_bit_exact(
+      with_rescale_after(std::move(ops), prim, fixed::FixedFormat{3, 8}),
+      g.input_format(), prim, images);
+}
+
+TEST(QGraphRescaleFold, FoldsIntoConvCapsAndConvCaps3d) {
+  const auto cfg = models::DeepCapsConfig::experiment(28, 1);
+  common::Rng rng(72);
+  auto net = models::build_deep_caps(cfg, rng);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  for (const int frac : {6, 10}) {
+    const auto spec = core::NetworkQuantSpec::uniform(
+        6, frac, fixed::RoundingScheme::kRoundToNearest);
+    const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+    const fixed::FixedFormat wide{6, frac + 2};
+    {
+      std::vector<QuantizedOp> ops = g.ops();
+      const int cc = find_op(ops, QOpKind::kConvCaps);
+      ASSERT_GE(cc, 0) << "frac " << frac;
+      expect_fold_bit_exact(with_rescale_after(std::move(ops), cc, wide),
+                            g.input_format(), cc, images);
+    }
+    {
+      std::vector<QuantizedOp> ops = g.ops();
+      const int c3 = find_op(ops, QOpKind::kConvCaps3d);
+      ASSERT_GE(c3, 0) << "frac " << frac;
+      expect_fold_bit_exact(with_rescale_after(std::move(ops), c3, wide),
+                            g.input_format(), c3, images);
+    }
+  }
+}
+
+TEST(QGraphRescaleFold, UpshiftDeclinesAndStaysBitExact) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(73);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  // Narrowed conv target {3,4}: the restore rescale is an UPshift back to
+  // {3,6} — a left shift after rounding is not one RTN pass, so the pass
+  // must decline and leave the rescale node executing.
+  std::vector<QuantizedOp> ops =
+      with_rescale_after(g.ops(), 0, fixed::FixedFormat{3, 4});
+  QuantizedGraph fused = QuantizedGraph::from_ops(ops, g.input_format());
+  fused.fuse();
+  EXPECT_EQ(rescale_fold_blocker(fused, 1), "inexact: upshift");
+  EXPECT_FALSE(fused.ops()[0].fused_rescale);
+  EXPECT_FALSE(fused.ops()[1].fused_away);
+  const QuantizedGraph plain =
+      QuantizedGraph::from_ops(std::move(ops), g.input_format());
+  const QTensor want = plain.forward(images);
+  const QTensor got = fused.forward(images);
+  for (std::size_t i = 0; i < got.raw.size(); ++i)
+    ASSERT_EQ(got.raw[i], want.raw[i]) << "flat " << i;
+}
+
+TEST(QGraphRescaleFold, SharedProducerDeclines) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(74);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  std::vector<QuantizedOp> ops =
+      with_rescale_after(g.ops(), 0, fixed::FixedFormat{3, 8});
+  // A second reader of the conv value (pre-rescale grid) blocks the fold.
+  QuantizedOp extra;
+  extra.kind = QOpKind::kRelu;
+  extra.input = 0;
+  extra.source = "second-reader";
+  extra.out_fmt = fixed::FixedFormat{3, 8};
+  ops.push_back(std::move(extra));
+  QuantizedGraph fused = QuantizedGraph::from_ops(ops, g.input_format());
+  fused.fuse();
+  EXPECT_EQ(rescale_fold_blocker(fused, 1), "producer shared");
+  EXPECT_FALSE(fused.ops()[0].fused_rescale);
+  EXPECT_EQ(rescale_fold_blocker(fused, 0), "not a rescale");
+}
+
+TEST(QGraphRescaleFold, FoldedNodeSkipsSaturationCounters) {
+  const auto cfg = models::ShallowCapsConfig::experiment();
+  common::Rng rng(75);
+  auto net = models::build_shallow_caps(cfg, rng);
+  const auto spec = core::NetworkQuantSpec::uniform(
+      3, 6, fixed::RoundingScheme::kRoundToNearest);
+  const QuantizedGraph g = QuantizedGraph::compile(*net, spec);
+  const tensor::Tensor images =
+      tensor::Tensor::uniform({2, 1, 28, 28}, rng, 0.0f, 1.0f);
+  const std::vector<QuantizedOp> ops =
+      with_rescale_after(g.ops(), 0, fixed::FixedFormat{3, 8});
+  QuantizedGraph fused =
+      QuantizedGraph::from_ops(ops, g.input_format(), /*track_saturation=*/true);
+  fused.fuse();
+  ASSERT_TRUE(fused.ops()[1].fused_away);
+  fused.forward(images);
+  const auto sat = fused.saturation();
+  // The folded rescale's value is an alias of the conv output (which the
+  // conv node already scanned on the composed grid) — counting it again
+  // would double-book every element.
+  ASSERT_EQ(sat[1].kind, QOpKind::kRescale);
+  EXPECT_EQ(sat[1].total, 0u);
+  EXPECT_EQ(sat[1].saturated, 0u);
+  EXPECT_GT(sat[0].total, 0u);
 }
 
 // ---- requant-saturation counters -------------------------------------------

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "nn/routing.hpp"
+#include "tensor/caps_kernels.hpp"
 #include "tensor/ops.hpp"
 #include "test_util.hpp"
 
@@ -117,6 +118,46 @@ TEST(Routing, RejectsBadInputs) {
                          RoutingQuantPoints{}),
                qcaps::Error);
   EXPECT_THROW(r.backward(tensor::Tensor({1, 3, 4})), qcaps::Error);
+}
+
+TEST(Routing, TransposedNoTapePathLocksToTapePathOnEveryTier) {
+  // The no-tape forward runs the whole iteration loop on transposed
+  // ([Nout, Nin]) logits/couplings — softmax_rows_t plus unit-stride slab
+  // kernels — while keep_tape stays row-major for backward. On the scalar
+  // tier the two are the same arithmetic in the same order, so v and
+  // last_coupling must match bit for bit; the vector tiers share the
+  // pointwise exp but reduce the row-major softmax in vector order, so
+  // there the paths are locked to softmax tolerance.
+  common::Rng rng(11);
+  // nin = 37 exercises the avx2/avx512 softmax_rows_t tails; iterations = 3
+  // routes every kernel (iteration_fused twice, weighted_sum_squash once).
+  const tensor::Tensor votes = tensor::Tensor::randn({3, 5, 37, 8}, rng);
+  for (tensor::CapsKernel k :
+       {tensor::CapsKernel::kScalar, tensor::CapsKernel::kAvx2,
+        tensor::CapsKernel::kAvx512}) {
+    if (!tensor::caps_force_kernel(k)) continue;
+    DynamicRouting taped, plain;
+    const tensor::Tensor vt = taped.forward(votes, 3, true, RoutingQuantPoints{});
+    const tensor::Tensor vn = plain.forward(votes, 3, false, RoutingQuantPoints{});
+    ASSERT_EQ(vt.shape(), vn.shape());
+    const tensor::Tensor& ct = taped.last_coupling();
+    const tensor::Tensor& cn = plain.last_coupling();
+    ASSERT_EQ(ct.shape(), cn.shape());
+    if (k == tensor::CapsKernel::kScalar) {
+      for (std::int64_t i = 0; i < vt.numel(); ++i)
+        ASSERT_EQ(vt[i], vn[i]) << "v flat " << i;
+      for (std::int64_t i = 0; i < ct.numel(); ++i)
+        ASSERT_EQ(ct[i], cn[i]) << "c flat " << i;
+    } else {
+      for (std::int64_t i = 0; i < vt.numel(); ++i)
+        ASSERT_NEAR(vt[i], vn[i], 2e-5f)
+            << tensor::caps_kernel_name() << " v flat " << i;
+      for (std::int64_t i = 0; i < ct.numel(); ++i)
+        ASSERT_NEAR(ct[i], cn[i], 2e-5f)
+            << tensor::caps_kernel_name() << " c flat " << i;
+    }
+    tensor::caps_reset_kernel();
+  }
 }
 
 class RoutingGrad : public ::testing::TestWithParam<int> {};
